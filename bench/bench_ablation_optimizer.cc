@@ -1,0 +1,143 @@
+// Ablation bench for the design choices DESIGN.md calls out: each engine
+// feature is toggled on the same store and the affected queries re-timed.
+// This grounds the Table 3 contrasts in their mechanisms:
+//   - structural summary / tag index  -> Q6, Q7 (regular path expressions)
+//   - ID index                        -> Q1 (exact match)
+//   - hash-join decorrelation         -> Q8, Q9 (reference chasing)
+//   - lazy let evaluation             -> Q12 (pruned value join)
+// plus a rel-operator microbenchmark of hash join vs nested loops on the
+// shredded closed_auction |x| person join (the Q8 shape).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "gen/generator.h"
+#include "query/evaluator.h"
+#include "query/parser.h"
+#include "rel/operators.h"
+#include "rel/shredder.h"
+#include "store/dom_store.h"
+#include "util/logging.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+#include "xmark/queries.h"
+
+namespace xmark::bench {
+namespace {
+
+double TimeQuery(const query::StorageAdapter* store,
+                 const query::EvaluatorOptions& opts, int q) {
+  auto parsed = query::ParseQueryText(GetQuery(q).text);
+  XMARK_CHECK(parsed.ok());
+  query::Evaluator evaluator(store, opts);
+  PhaseTimer timer;
+  auto result = evaluator.Run(*parsed);
+  XMARK_CHECK(result.ok());
+  return timer.ElapsedWallMillis();
+}
+
+int Main(int argc, char** argv) {
+  const double sf = FlagDouble(argc, argv, "sf", 0.05);
+  std::printf("=== Ablation: optimizer features on the native store ===\n");
+  std::printf("scaling factor %g\n\n", sf);
+
+  gen::GeneratorOptions gopts;
+  gopts.scale = sf;
+  const std::string doc_text = gen::XmlGen(gopts).GenerateToString();
+
+  store::DomStore::Options dopts;  // all indexes built
+  auto store = store::DomStore::Load(doc_text, dopts);
+  XMARK_CHECK(store.ok());
+
+  query::EvaluatorOptions all_on;  // defaults: everything enabled
+
+  struct Ablation {
+    const char* feature;
+    std::vector<int> queries;
+    query::EvaluatorOptions off;
+  };
+  std::vector<Ablation> ablations;
+  {
+    Ablation a{"structural summary + tag index", {6, 7}, all_on};
+    a.off.use_path_index = false;
+    a.off.use_tag_index = false;
+    ablations.push_back(std::move(a));
+  }
+  {
+    Ablation a{"ID index", {1}, all_on};
+    a.off.use_id_index = false;
+    ablations.push_back(std::move(a));
+  }
+  {
+    Ablation a{"hash-join decorrelation", {8, 9}, all_on};
+    a.off.hash_join = false;
+    ablations.push_back(std::move(a));
+  }
+  {
+    Ablation a{"lazy let evaluation", {12}, all_on};
+    a.off.lazy_let = false;
+    ablations.push_back(std::move(a));
+  }
+  {
+    Ablation a{"invariant-path caching", {11}, all_on};
+    a.off.cache_invariant_paths = false;
+    ablations.push_back(std::move(a));
+  }
+
+  TablePrinter table({"Feature", "Query", "on (ms)", "off (ms)", "speedup"});
+  for (const Ablation& ab : ablations) {
+    for (int q : ab.queries) {
+      const double on_ms = TimeQuery(store->get(), all_on, q);
+      const double off_ms = TimeQuery(store->get(), ab.off, q);
+      table.AddRow({ab.feature, StringPrintf("Q%d", q),
+                    StringPrintf("%.2f", on_ms), StringPrintf("%.2f", off_ms),
+                    StringPrintf("%.1fx", off_ms / std::max(0.001, on_ms))});
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  // rel-operator microbench: person |x| closed_auction (the Q8 join) as a
+  // hash join vs a nested-loop join.
+  std::printf("--- rel operators: hash join vs nested loops (Q8 shape) ---\n");
+  auto parsed_doc = xml::Document::Parse(doc_text);
+  XMARK_CHECK(parsed_doc.ok());
+  auto tables = rel::ShredAuctionDocument(*parsed_doc);
+  XMARK_CHECK(tables.ok());
+  const int pid = tables->persons->ColumnIndex("id");
+  const int buyer = tables->closed_auctions->ColumnIndex("buyer");
+
+  PhaseTimer hash_timer;
+  rel::HashJoin hash_join(
+      std::make_unique<rel::TableScan>(tables->persons.get()),
+      std::make_unique<rel::TableScan>(tables->closed_auctions.get()),
+      static_cast<size_t>(pid),
+      static_cast<size_t>(buyer) + 0);
+  auto hash_rows = rel::Collect(&hash_join);
+  XMARK_CHECK(hash_rows.ok());
+  const double hash_ms = hash_timer.ElapsedWallMillis();
+
+  PhaseTimer nl_timer;
+  const size_t person_cols = tables->persons->num_columns();
+  rel::NestedLoopJoin nl_join(
+      std::make_unique<rel::TableScan>(tables->persons.get()),
+      std::make_unique<rel::TableScan>(tables->closed_auctions.get()),
+      [&](const rel::Row& l, const rel::Row& r) {
+        (void)person_cols;
+        return std::get<std::string>(l[pid]) ==
+               std::get<std::string>(r[buyer]);
+      });
+  auto nl_rows = rel::Collect(&nl_join);
+  XMARK_CHECK(nl_rows.ok());
+  const double nl_ms = nl_timer.ElapsedWallMillis();
+
+  std::printf("hash join: %.2f ms (%zu rows), nested loops: %.2f ms "
+              "(%zu rows), speedup %.1fx\n",
+              hash_ms, hash_rows->size(), nl_ms, nl_rows->size(),
+              nl_ms / std::max(0.001, hash_ms));
+  return 0;
+}
+
+}  // namespace
+}  // namespace xmark::bench
+
+int main(int argc, char** argv) { return xmark::bench::Main(argc, argv); }

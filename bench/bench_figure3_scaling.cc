@@ -1,0 +1,68 @@
+// Reproduces Figure 3 of the paper: document size as a function of the
+// scaling factor ("tiny" 0.1 -> 10 MB ... "huge" 100 -> 10 GB), plus the
+// xmlgen efficiency claims of section 4.5 (linear time, constant memory).
+//
+// Default run sweeps small factors so it finishes in seconds; pass
+// --full to also measure factor 1.0 (the paper's "standard" 100 MB point).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "gen/generator.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace xmark::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  const bool full = FlagBool(argc, argv, "full");
+
+  std::printf("=== Figure 3: Scaling the benchmark document ===\n");
+  std::printf("Paper: factor 0.1 -> 10 MB, 1 -> 100 MB, 10 -> 1 GB, "
+              "100 -> 10 GB (linear)\n\n");
+
+  std::vector<double> factors = {0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1};
+  if (full) factors.push_back(1.0);
+
+  TablePrinter table({"factor", "size", "bytes/factor", "gen time",
+                      "entities"});
+  double base_ratio = 0;
+  for (double f : factors) {
+    gen::GeneratorOptions opts;
+    opts.scale = f;
+    gen::XmlGen gen(opts);
+    PhaseTimer timer;
+    const size_t bytes = gen.MeasureSize();
+    const double ms = timer.ElapsedWallMillis();
+    const double ratio = static_cast<double>(bytes) / f;
+    if (base_ratio == 0) base_ratio = ratio;
+    table.AddRow({StringPrintf("%g", f), HumanBytes(bytes),
+                  StringPrintf("%.3g", ratio),
+                  StringPrintf("%.1f ms", ms),
+                  std::to_string(gen.counts().TotalEntities())});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  // Linearity check: bytes/factor should be roughly constant.
+  gen::GeneratorOptions small_opts, big_opts;
+  small_opts.scale = 0.01;
+  big_opts.scale = 0.08;
+  const double small_size =
+      static_cast<double>(gen::XmlGen(small_opts).MeasureSize());
+  const double big_size =
+      static_cast<double>(gen::XmlGen(big_opts).MeasureSize());
+  std::printf("linearity: size(0.08)/size(0.01) = %.2f (ideal 8.00)\n",
+              big_size / small_size);
+
+  // Extrapolated factor-1.0 size (the paper calibrates "slightly more than
+  // 100 MB").
+  std::printf("extrapolated size at factor 1.0: %s\n",
+              HumanBytes(static_cast<size_t>(big_size / 0.08)).c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace xmark::bench
+
+int main(int argc, char** argv) { return xmark::bench::Main(argc, argv); }

@@ -1,0 +1,74 @@
+// Reproduces Table 1 of the paper: database sizes and bulkload times for
+// the mass-storage systems A-F. Absolute values differ from the paper
+// (550 MHz Pentium III + disk vs this machine + main memory); the shape to
+// check is the spread: the native store (D) loads fastest and stays
+// smallest, the fragmented mapping (B) and the heavier native mappings
+// carry the most overhead.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "util/table_printer.h"
+#include "xmark/runner.h"
+
+namespace xmark::bench {
+namespace {
+
+struct PaperRow {
+  char system;
+  const char* size;
+  const char* bulkload;
+};
+
+constexpr PaperRow kPaperTable1[] = {
+    {'A', "241 MB", "414 s"}, {'B', "280 MB", "781 s"},
+    {'C', "238 MB", "548 s"}, {'D', "142 MB", "50 s"},
+    {'E', "302 MB", "96 s"},  {'F', "345 MB", "215 s"},
+};
+
+int Main(int argc, char** argv) {
+  const double sf = FlagDouble(argc, argv, "sf", 0.05);
+  std::printf("=== Table 1: Database sizes and bulkload times ===\n");
+  std::printf("scaling factor %g (paper used 1.0 = 100 MB)\n\n", sf);
+
+  BenchmarkRunner runner(sf);
+  std::printf("document: %s\n\n", HumanBytes(runner.document().size()).c_str());
+
+  TablePrinter table({"System", "Size", "Bulkload time", "Catalog entries",
+                      "Paper size", "Paper bulkload"});
+  for (size_t i = 0; i < kMassStorageSystems.size(); ++i) {
+    const SystemId id = kMassStorageSystems[i];
+    const Status st = runner.LoadSystem(id);
+    if (!st.ok()) {
+      std::fprintf(stderr, "load %c failed: %s\n", SystemLabel(id),
+                   st.ToString().c_str());
+      return 1;
+    }
+    const LoadInfo& info = runner.load_info(id);
+    table.AddRow({std::string(1, SystemLabel(id)),
+                  HumanBytes(info.database_bytes),
+                  StringPrintf("%.1f ms", info.bulkload_ms),
+                  std::to_string(info.catalog_entries),
+                  kPaperTable1[i].size, kPaperTable1[i].bulkload});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  std::printf("shape checks (paper):\n");
+  const auto ratio = [&](SystemId a, SystemId b) {
+    return runner.load_info(a).bulkload_ms / runner.load_info(b).bulkload_ms;
+  };
+  std::printf("  D loads fastest of all systems (paper: 50 s minimum): "
+              "D/A = %.2fx, D/B = %.2fx\n",
+              ratio(SystemId::kD, SystemId::kA),
+              ratio(SystemId::kD, SystemId::kB));
+  std::printf("  B is the slowest relational bulkload (paper: 781 s): "
+              "B/A = %.2fx, B/C = %.2fx\n",
+              ratio(SystemId::kB, SystemId::kA),
+              ratio(SystemId::kB, SystemId::kC));
+  return 0;
+}
+
+}  // namespace
+}  // namespace xmark::bench
+
+int main(int argc, char** argv) { return xmark::bench::Main(argc, argv); }

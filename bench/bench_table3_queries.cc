@@ -1,0 +1,134 @@
+// Reproduces Table 3 of the paper: per-query execution times (ms) of the
+// queries discussed in section 7 on the six mass-storage systems A-F,
+// extended with the Q15/Q16 long-path observation ("Systems A, B and C
+// needed about 8 times longer to execute Q16 than ... Q15").
+//
+// Shape to check against the paper (not absolute numbers):
+//   - Q1 cheap everywhere; C/D lead (id lookup through schema/index).
+//   - Q2/Q3 hit the relational mappings; C is the best relational system.
+//   - Q6/Q7 collapse on D (structural summary), expensive elsewhere.
+//   - Q8/Q9 cheap on hash-join systems; Q9 > Q8.
+//   - Q10 dominated by result construction; fragmented B suffers most.
+//   - Q11/Q12 giant theta joins; Q12 < Q11 (lazy-let pruning).
+//   - Q17/Q20 moderate everywhere.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "util/table_printer.h"
+#include "xmark/runner.h"
+
+namespace xmark::bench {
+namespace {
+
+struct PaperRow {
+  int query;
+  double ms[6];  // A..F
+};
+
+// Table 3 of the paper (ms, scaling factor 1.0 on 550 MHz hardware).
+constexpr PaperRow kPaperTable3[] = {
+    {1, {689, 784, 257, 120, 1597, 2814}},
+    {2, {3171, 1971, 707, 2900, 4659, 7481}},
+    {3, {41030, 6389, 1942, 3900, 4630, 8074}},
+    {5, {259, 221, 237, 160, 246, 204}},
+    {6, {293, 331, 509, 10, 336, 508}},
+    {7, {719, 741, 1520, 10, 287, 2845}},
+    {8, {1684, 1466, 667, 470, 3849, 9143}},
+    {9, {3530, 10189, 92534, 980, 5994, 13698}},
+    {10, {3414285, 86886, 1568, 22000, 54721, 69422}},
+    {11, {205675, 2551760, 2533738, 8700, 602223, 741730}},
+    {12, {126127, 965118, 976026, 7500, 268644, 270577}},
+    {17, {1008, 1117, 240, 250, 2103, 3598}},
+    {20, {821, 939, 1254, 620, 1065, 1759}},
+};
+
+int Main(int argc, char** argv) {
+  const double sf = FlagDouble(argc, argv, "sf", 0.05);
+  const int reps = FlagInt(argc, argv, "reps", 1);
+  std::printf("=== Table 3: Query performance (ms), systems A-F ===\n");
+  std::printf("scaling factor %g (paper used 1.0)\n\n", sf);
+
+  BenchmarkRunner runner(sf);
+  for (SystemId id : kMassStorageSystems) {
+    const Status st = runner.LoadSystem(id);
+    if (!st.ok()) {
+      std::fprintf(stderr, "load %c: %s\n", SystemLabel(id),
+                   st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  TablePrinter table(
+      {"Query", "A", "B", "C", "D", "E", "F", "items", "paper (A..F)"});
+  std::map<int, std::array<double, 6>> measured;
+  for (const PaperRow& row : kPaperTable3) {
+    std::vector<std::string> cells{StringPrintf("Q%d", row.query)};
+    size_t items = 0;
+    for (size_t s = 0; s < kMassStorageSystems.size(); ++s) {
+      auto timing = runner.RunQuery(kMassStorageSystems[s], row.query, reps);
+      if (!timing.ok()) {
+        std::fprintf(stderr, "Q%d on %c: %s\n", row.query,
+                     SystemLabel(kMassStorageSystems[s]),
+                     timing.status().ToString().c_str());
+        return 1;
+      }
+      measured[row.query][s] = timing->total_ms();
+      cells.push_back(StringPrintf("%.1f", timing->total_ms()));
+      items = timing->result_items;
+    }
+    cells.push_back(std::to_string(items));
+    cells.push_back(StringPrintf("%.0f %.0f %.0f %.0f %.0f %.0f",
+                                 row.ms[0], row.ms[1], row.ms[2], row.ms[3],
+                                 row.ms[4], row.ms[5]));
+    table.AddRow(std::move(cells));
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  // Section 7's Q15/Q16 long-path observation.
+  std::printf("--- Q15/Q16 path-length observation (section 7) ---\n");
+  TablePrinter paths({"Query", "A", "B", "C", "D", "E", "F", "items"});
+  std::map<int, std::array<double, 6>> path_ms;
+  for (int q : {15, 16}) {
+    std::vector<std::string> cells{StringPrintf("Q%d", q)};
+    size_t items = 0;
+    for (size_t s = 0; s < kMassStorageSystems.size(); ++s) {
+      auto timing = runner.RunQuery(kMassStorageSystems[s], q, reps);
+      if (!timing.ok()) return 1;
+      path_ms[q][s] = timing->total_ms();
+      cells.push_back(StringPrintf("%.1f", timing->total_ms()));
+      items = timing->result_items;
+    }
+    cells.push_back(std::to_string(items));
+    paths.AddRow(std::move(cells));
+  }
+  std::printf("%s", paths.ToString().c_str());
+  std::printf("paper: Q16 took ~8x longer than Q15 on A, B, C. measured: "
+              "A %.1fx, B %.1fx, C %.1fx\n\n",
+              path_ms[16][0] / std::max(0.001, path_ms[15][0]),
+              path_ms[16][1] / std::max(0.001, path_ms[15][1]),
+              path_ms[16][2] / std::max(0.001, path_ms[15][2]));
+
+  // Shape checks.
+  auto m = [&](int q, int s) { return measured[q][s]; };
+  std::printf("shape checks (see EXPERIMENTS.md for discussion):\n");
+  std::printf("  Q6 on D vs A: %.2fx faster (paper: 29x)\n",
+              m(6, 0) / std::max(0.001, m(6, 3)));
+  std::printf("  Q7 on D vs F: %.2fx faster (paper: 284x)\n",
+              m(7, 5) / std::max(0.001, m(7, 3)));
+  std::printf("  Q3 relational best is C: C=%.1f vs A=%.1f, B=%.1f\n",
+              m(3, 2), m(3, 0), m(3, 1));
+  std::printf("  Q12 < Q11 on lazy-let systems: A %.2fx, D %.2fx\n",
+              m(11, 0) / std::max(0.001, m(12, 0)),
+              m(11, 3) / std::max(0.001, m(12, 3)));
+  std::printf("  Q9 > Q8 everywhere: A %.1fx, D %.1fx, F %.1fx\n",
+              m(9, 0) / std::max(0.001, m(8, 0)),
+              m(9, 3) / std::max(0.001, m(8, 3)),
+              m(9, 5) / std::max(0.001, m(8, 5)));
+  return 0;
+}
+
+}  // namespace
+}  // namespace xmark::bench
+
+int main(int argc, char** argv) { return xmark::bench::Main(argc, argv); }

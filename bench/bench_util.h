@@ -1,0 +1,52 @@
+#ifndef XMARK_BENCH_BENCH_UTIL_H_
+#define XMARK_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "util/string_util.h"
+
+namespace xmark::bench {
+
+/// Parses "--name=value" from argv; returns `def` when absent.
+inline double FlagDouble(int argc, char** argv, const char* name, double def) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::atof(argv[i] + prefix.size());
+    }
+  }
+  return def;
+}
+
+inline int FlagInt(int argc, char** argv, const char* name, int def) {
+  return static_cast<int>(FlagDouble(argc, argv, name, def));
+}
+
+inline bool FlagBool(int argc, char** argv, const char* name) {
+  const std::string flag = std::string("--") + name;
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
+/// "12.3 MB"-style size rendering.
+inline std::string HumanBytes(size_t bytes) {
+  if (bytes >= (size_t{1} << 30)) {
+    return StringPrintf("%.2f GB", static_cast<double>(bytes) / (1 << 30));
+  }
+  if (bytes >= (size_t{1} << 20)) {
+    return StringPrintf("%.2f MB", static_cast<double>(bytes) / (1 << 20));
+  }
+  if (bytes >= (size_t{1} << 10)) {
+    return StringPrintf("%.1f KB", static_cast<double>(bytes) / (1 << 10));
+  }
+  return StringPrintf("%zu B", bytes);
+}
+
+}  // namespace xmark::bench
+
+#endif  // XMARK_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,510 @@
+#include "gen/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/distributions.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace xmark::gen {
+
+const std::array<const char*, kNumContinents> kContinentTags = {
+    "africa", "asia", "australia", "europe", "namerica", "samerica"};
+
+namespace {
+
+// Fraction of items listed per continent; sums to 1. Mirrors the strong
+// skew towards North America / Europe in the original document.
+constexpr std::array<double, kNumContinents> kContinentShare = {
+    0.0253, 0.0920, 0.1012, 0.2989, 0.4253, 0.0573};
+
+// Presence probabilities for optional elements (§4.1: "exceptions, such as
+// that not every person has a homepage, are predictable").
+constexpr double kPhonePresent = 0.55;
+constexpr double kAddressPresent = 0.50;
+constexpr double kHomepagePresent = 0.50;  // Q17: many persons lack one
+constexpr double kCreditcardPresent = 0.70;
+constexpr double kProfilePresent = 0.85;
+constexpr double kEducationPresent = 0.60;
+constexpr double kGenderPresent = 0.50;
+constexpr double kAgePresent = 0.50;
+constexpr double kIncomePresent = 0.80;  // Q20 also counts absent incomes
+constexpr double kWatchesPresent = 0.50;
+constexpr double kProvincePresent = 0.30;
+constexpr double kReservePresent = 0.45;
+constexpr double kPrivacyPresent = 0.50;
+constexpr double kClosedAnnotationPresent = 0.90;
+constexpr double kFeaturedItem = 0.10;
+constexpr double kUnitedStatesBias = 0.45;
+
+}  // namespace
+
+EntityCounts EntityCounts::ForScale(double factor) {
+  XMARK_CHECK(factor > 0);
+  auto scaled = [factor](double base, int64_t minimum) {
+    return std::max<int64_t>(minimum,
+                             static_cast<int64_t>(std::llround(base * factor)));
+  };
+  EntityCounts c;
+  c.persons = scaled(25500, 3);
+  c.open_auctions = scaled(12000, 2);
+  c.closed_auctions = scaled(9750, 2);
+  c.items = c.open_auctions + c.closed_auctions;  // consistency (§4.5)
+  c.categories = scaled(1000, 2);
+  c.edges = scaled(2000, 1);
+  // Largest-remainder style split so the continent counts sum to items.
+  double cum = 0.0;
+  int64_t assigned = 0;
+  for (int i = 0; i < kNumContinents; ++i) {
+    cum += kContinentShare[i];
+    const int64_t upto = (i == kNumContinents - 1)
+                             ? c.items
+                             : static_cast<int64_t>(std::llround(
+                                   cum * static_cast<double>(c.items)));
+    c.items_per_continent[i] = upto - assigned;
+    assigned = upto;
+  }
+  return c;
+}
+
+const std::array<ScalePoint, 4> kFigure3Scales = {{
+    {"tiny", 0.1, "10 MB"},
+    {"standard", 1.0, "100 MB"},
+    {"large", 10.0, "1 GB"},
+    {"huge", 100.0, "10 GB"},
+}};
+
+XmlGen::XmlGen(const GeneratorOptions& options)
+    : options_(options),
+      counts_(EntityCounts::ForScale(options.scale)),
+      item_partition_(options.seed, static_cast<uint64_t>(counts_.items)) {}
+
+int64_t XmlGen::ItemForOpenAuction(int64_t j) const {
+  XMARK_CHECK(j >= 0 && j < counts_.open_auctions);
+  return static_cast<int64_t>(
+      item_partition_.Apply(static_cast<uint64_t>(j)));
+}
+
+int64_t XmlGen::ItemForClosedAuction(int64_t j) const {
+  XMARK_CHECK(j >= 0 && j < counts_.closed_auctions);
+  return static_cast<int64_t>(item_partition_.Apply(
+      static_cast<uint64_t>(counts_.open_auctions + j)));
+}
+
+int XmlGen::ContinentOfItem(int64_t k) const {
+  int64_t acc = 0;
+  for (int i = 0; i < kNumContinents; ++i) {
+    acc += counts_.items_per_continent[i];
+    if (k < acc) return i;
+  }
+  XMARK_CHECK(false);
+  return -1;
+}
+
+int64_t XmlGen::UniformIndex(Prng& prng, int64_t n) const {
+  return static_cast<int64_t>(prng.NextBelow(static_cast<uint64_t>(n)));
+}
+
+int64_t XmlGen::ExponentialIndex(Prng& prng, int64_t n) const {
+  // Rate chosen so ~95% of the mass falls inside [0, n); the tail wraps.
+  const double v = SampleExponential(prng, 3.0 / static_cast<double>(n));
+  return static_cast<int64_t>(v) % n;
+}
+
+int64_t XmlGen::NormalIndex(Prng& prng, int64_t n) const {
+  const double v = SampleNormal(prng, static_cast<double>(n) / 2.0,
+                                static_cast<double>(n) / 6.0);
+  return std::clamp<int64_t>(static_cast<int64_t>(v), 0, n - 1);
+}
+
+std::string XmlGen::RandomDate(Prng& prng) const {
+  return StringPrintf("%02d/%02d/%04d", static_cast<int>(prng.NextInt(1, 12)),
+                      static_cast<int>(prng.NextInt(1, 28)),
+                      static_cast<int>(prng.NextInt(1998, 2001)));
+}
+
+std::string XmlGen::RandomTime(Prng& prng) const {
+  return StringPrintf("%02d:%02d:%02d", static_cast<int>(prng.NextInt(0, 23)),
+                      static_cast<int>(prng.NextInt(0, 59)),
+                      static_cast<int>(prng.NextInt(0, 59)));
+}
+
+std::string XmlGen::Money(double amount) const {
+  return StringPrintf("%.2f", amount);
+}
+
+void XmlGen::EmitPerson(XmlWriter& w, Prng& prng, int64_t k) const {
+  const auto& firsts = NameTables::FirstNames();
+  const auto& lasts = NameTables::LastNames();
+  const std::string first = firsts[prng.NextBelow(firsts.size())];
+  const std::string last = lasts[prng.NextBelow(lasts.size())];
+
+  w.StartElement("person");
+  w.Attribute("id", "person" + std::to_string(k));
+  w.SimpleElement("name", first + " " + last);
+  const auto& providers = NameTables::EmailProviders();
+  w.SimpleElement("emailaddress",
+                  "mailto:" + last + std::to_string(k) + "@" +
+                      providers[prng.NextBelow(providers.size())]);
+  if (prng.NextBool(kPhonePresent)) {
+    w.SimpleElement(
+        "phone",
+        StringPrintf("+%d (%d) %d", static_cast<int>(prng.NextInt(1, 99)),
+                     static_cast<int>(prng.NextInt(10, 999)),
+                     static_cast<int>(prng.NextInt(1000000, 99999999))));
+  }
+  if (prng.NextBool(kAddressPresent)) {
+    w.StartElement("address");
+    w.SimpleElement("street",
+                    StringPrintf("%d %s St",
+                                 static_cast<int>(prng.NextInt(1, 99)),
+                                 text_.Words(prng, 1).c_str()));
+    const auto& cities = NameTables::Cities();
+    w.SimpleElement("city", cities[prng.NextBelow(cities.size())]);
+    const auto& countries = NameTables::Countries();
+    w.SimpleElement("country",
+                    prng.NextBool(kUnitedStatesBias)
+                        ? "United States"
+                        : countries[prng.NextBelow(countries.size())]);
+    if (prng.NextBool(kProvincePresent)) {
+      const auto& provinces = NameTables::Provinces();
+      w.SimpleElement("province", provinces[prng.NextBelow(provinces.size())]);
+    }
+    w.SimpleElement("zipcode",
+                    std::to_string(prng.NextInt(10000, 99999)));
+    w.EndElement();
+  }
+  if (prng.NextBool(kHomepagePresent)) {
+    w.SimpleElement("homepage",
+                    "http://www.example.com/~" + last + std::to_string(k));
+  }
+  if (prng.NextBool(kCreditcardPresent)) {
+    w.SimpleElement(
+        "creditcard",
+        StringPrintf("%04d %04d %04d %04d",
+                     static_cast<int>(prng.NextInt(1000, 9999)),
+                     static_cast<int>(prng.NextInt(1000, 9999)),
+                     static_cast<int>(prng.NextInt(1000, 9999)),
+                     static_cast<int>(prng.NextInt(1000, 9999))));
+  }
+  if (prng.NextBool(kProfilePresent)) {
+    w.StartElement("profile");
+    const int interests =
+        static_cast<int>(std::min<double>(6, SampleExponential(prng, 0.8)));
+    for (int i = 0; i < interests; ++i) {
+      w.EmptyElementWithAttribute(
+          "interest", "category",
+          "category" + std::to_string(UniformIndex(prng, counts_.categories)));
+    }
+    if (prng.NextBool(kEducationPresent)) {
+      const auto& education = NameTables::Education();
+      w.SimpleElement("education",
+                      education[prng.NextBelow(education.size())]);
+    }
+    if (prng.NextBool(kGenderPresent)) {
+      w.SimpleElement("gender", prng.NextBool(0.5) ? "male" : "female");
+    }
+    w.SimpleElement("business", prng.NextBool(0.5) ? "Yes" : "No");
+    if (prng.NextBool(kAgePresent)) {
+      const double age = SampleNormal(prng, 34.0, 12.0);
+      w.SimpleElement("age",
+                      std::to_string(std::clamp<int64_t>(
+                          static_cast<int64_t>(age), 18, 90)));
+    }
+    if (prng.NextBool(kIncomePresent)) {
+      const double income =
+          std::max(0.0, SampleNormal(prng, 40000.0, 30000.0));
+      w.SimpleElement("income", Money(income));
+    }
+    w.EndElement();
+  }
+  if (prng.NextBool(kWatchesPresent)) {
+    w.StartElement("watches");
+    const int watches =
+        1 + static_cast<int>(std::min<double>(19, SampleExponential(prng, 0.7)));
+    for (int i = 0; i < watches; ++i) {
+      w.EmptyElementWithAttribute(
+          "watch", "open_auction",
+          "open_auction" +
+              std::to_string(UniformIndex(prng, counts_.open_auctions)));
+    }
+    w.EndElement();
+  }
+  w.EndElement();
+}
+
+void XmlGen::EmitItem(XmlWriter& w, Prng& prng, int64_t k) const {
+  w.StartElement("item");
+  w.Attribute("id", "item" + std::to_string(k));
+  if (prng.NextBool(kFeaturedItem)) w.Attribute("featured", "yes");
+  const auto& countries = NameTables::Countries();
+  w.SimpleElement("location",
+                  prng.NextBool(kUnitedStatesBias)
+                      ? "United States"
+                      : countries[prng.NextBelow(countries.size())]);
+  w.SimpleElement("quantity", std::to_string(prng.NextInt(1, 10)));
+  w.SimpleElement("name", text_.Words(prng, static_cast<int>(prng.NextInt(2, 4))));
+  const auto& payments = NameTables::PaymentKinds();
+  std::string payment = payments[prng.NextBelow(payments.size())];
+  if (prng.NextBool(0.4)) {
+    payment += ", " + payments[prng.NextBelow(payments.size())];
+  }
+  w.SimpleElement("payment", payment);
+  text_.EmitDescription(w, prng);
+  const auto& shippings = NameTables::ShippingKinds();
+  w.SimpleElement("shipping", shippings[prng.NextBelow(shippings.size())]);
+  const int categories =
+      1 + static_cast<int>(std::min<double>(9, SampleExponential(prng, 0.9)));
+  for (int i = 0; i < categories; ++i) {
+    w.EmptyElementWithAttribute(
+        "incategory", "category",
+        "category" + std::to_string(UniformIndex(prng, counts_.categories)));
+  }
+  w.StartElement("mailbox");
+  const int mails =
+      static_cast<int>(std::min<double>(5, SampleExponential(prng, 1.2)));
+  for (int i = 0; i < mails; ++i) {
+    const auto& lasts = NameTables::LastNames();
+    w.StartElement("mail");
+    w.SimpleElement("from", lasts[prng.NextBelow(lasts.size())]);
+    w.SimpleElement("to", lasts[prng.NextBelow(lasts.size())]);
+    w.SimpleElement("date", RandomDate(prng));
+    text_.EmitTextElement(w, prng);
+    w.EndElement();
+  }
+  w.EndElement();
+  w.EndElement();
+}
+
+void XmlGen::EmitOpenAuction(XmlWriter& w, Prng& prng, int64_t j) const {
+  w.StartElement("open_auction");
+  w.Attribute("id", "open_auction" + std::to_string(j));
+  const double initial = 1.0 + SampleExponential(prng, 1.0 / 50.0);
+  w.SimpleElement("initial", Money(initial));
+  if (prng.NextBool(kReservePresent)) {
+    w.SimpleElement("reserve",
+                    Money(initial * (1.2 + 1.3 * prng.NextDouble())));
+  }
+  const int bidders =
+      static_cast<int>(std::min<double>(50, SampleExponential(prng, 0.45)));
+  double current = initial;
+  for (int b = 0; b < bidders; ++b) {
+    const double increase = 1.0 + SampleExponential(prng, 1.0 / 6.0);
+    // Keep values consistent: current bid = initial + sum of increases.
+    // Round the increase to cents first so the invariant survives
+    // formatting (tested in tests/gen_generator_test.cc).
+    const double rounded = std::round(increase * 100.0) / 100.0;
+    current += rounded;
+    w.StartElement("bidder");
+    w.SimpleElement("date", RandomDate(prng));
+    w.SimpleElement("time", RandomTime(prng));
+    w.EmptyElementWithAttribute(
+        "personref", "person",
+        "person" + std::to_string(UniformIndex(prng, counts_.persons)));
+    w.SimpleElement("increase", Money(rounded));
+    w.EndElement();
+  }
+  w.SimpleElement("current", Money(current));
+  if (prng.NextBool(kPrivacyPresent)) {
+    w.SimpleElement("privacy", prng.NextBool(0.5) ? "Yes" : "No");
+  }
+  w.EmptyElementWithAttribute(
+      "itemref", "item", "item" + std::to_string(ItemForOpenAuction(j)));
+  const int64_t seller = ExponentialIndex(prng, counts_.persons);
+  w.EmptyElementWithAttribute("seller", "person",
+                              "person" + std::to_string(seller));
+  text_.EmitAnnotation(w, prng, "person" + std::to_string(seller));
+  w.SimpleElement("quantity", std::to_string(prng.NextInt(1, 10)));
+  w.SimpleElement("type", prng.NextBool(0.8) ? "Regular" : "Featured");
+  w.StartElement("interval");
+  w.SimpleElement("start", RandomDate(prng));
+  w.SimpleElement("end", RandomDate(prng));
+  w.EndElement();
+  w.EndElement();
+}
+
+void XmlGen::EmitClosedAuction(XmlWriter& w, Prng& prng, int64_t j) const {
+  w.StartElement("closed_auction");
+  const int64_t seller = ExponentialIndex(prng, counts_.persons);
+  w.EmptyElementWithAttribute("seller", "person",
+                              "person" + std::to_string(seller));
+  // Buyer references follow a normal distribution (§4.2's mix).
+  w.EmptyElementWithAttribute(
+      "buyer", "person",
+      "person" + std::to_string(NormalIndex(prng, counts_.persons)));
+  w.EmptyElementWithAttribute(
+      "itemref", "item", "item" + std::to_string(ItemForClosedAuction(j)));
+  w.SimpleElement("price", Money(1.0 + SampleExponential(prng, 1.0 / 80.0)));
+  w.SimpleElement("date", RandomDate(prng));
+  w.SimpleElement("quantity", std::to_string(prng.NextInt(1, 10)));
+  w.SimpleElement("type", prng.NextBool(0.8) ? "Regular" : "Featured");
+  if (prng.NextBool(kClosedAnnotationPresent)) {
+    text_.EmitAnnotation(w, prng, "person" + std::to_string(seller));
+  }
+  w.EndElement();
+}
+
+void XmlGen::EmitCategory(XmlWriter& w, Prng& prng, int64_t c) const {
+  w.StartElement("category");
+  w.Attribute("id", "category" + std::to_string(c));
+  w.SimpleElement("name", text_.Words(prng, 2));
+  text_.EmitDescription(w, prng);
+  w.EndElement();
+}
+
+void XmlGen::EmitEdge(XmlWriter& w, Prng& prng, int64_t /*e*/) const {
+  w.StartElement("edge");
+  w.Attribute("from", "category" +
+                          std::to_string(UniformIndex(prng, counts_.categories)));
+  w.Attribute("to", "category" + std::to_string(ExponentialIndex(
+                        prng, counts_.categories)));
+  w.EndElement();
+}
+
+Status XmlGen::Generate(ByteSink* sink) const {
+  XmlWriter w(sink, options_.indent);
+  w.StartElement("site");
+
+  // regions: items split over the six continents in id order.
+  w.StartElement("regions");
+  {
+    Prng prng = StreamPrng(kItemStream);
+    int64_t item_id = 0;
+    for (int cont = 0; cont < kNumContinents; ++cont) {
+      w.StartElement(kContinentTags[cont]);
+      for (int64_t i = 0; i < counts_.items_per_continent[cont]; ++i) {
+        EmitItem(w, prng, item_id++);
+      }
+      w.EndElement();
+    }
+  }
+  w.EndElement();
+
+  w.StartElement("categories");
+  {
+    Prng prng = StreamPrng(kCategoryStream);
+    for (int64_t c = 0; c < counts_.categories; ++c) EmitCategory(w, prng, c);
+  }
+  w.EndElement();
+
+  w.StartElement("catgraph");
+  {
+    Prng prng = StreamPrng(kEdgeStream);
+    for (int64_t e = 0; e < counts_.edges; ++e) EmitEdge(w, prng, e);
+  }
+  w.EndElement();
+
+  w.StartElement("people");
+  {
+    Prng prng = StreamPrng(kPersonStream);
+    for (int64_t k = 0; k < counts_.persons; ++k) EmitPerson(w, prng, k);
+  }
+  w.EndElement();
+
+  w.StartElement("open_auctions");
+  {
+    Prng prng = StreamPrng(kOpenAuctionStream);
+    for (int64_t j = 0; j < counts_.open_auctions; ++j) {
+      EmitOpenAuction(w, prng, j);
+    }
+  }
+  w.EndElement();
+
+  w.StartElement("closed_auctions");
+  {
+    Prng prng = StreamPrng(kClosedAuctionStream);
+    for (int64_t j = 0; j < counts_.closed_auctions; ++j) {
+      EmitClosedAuction(w, prng, j);
+    }
+  }
+  w.EndElement();
+
+  w.EndElement();  // site
+  sink->Append("\n");
+  return sink->Flush();
+}
+
+Status XmlGen::GenerateToFile(const std::string& path) const {
+  XMARK_ASSIGN_OR_RETURN(std::unique_ptr<FileSink> sink,
+                         FileSink::Open(path));
+  XMARK_RETURN_IF_ERROR(Generate(sink.get()));
+  return sink->Close();
+}
+
+std::string XmlGen::GenerateToString() const {
+  std::string out;
+  StringSink sink(&out);
+  const Status st = Generate(&sink);
+  XMARK_CHECK(st.ok());
+  return out;
+}
+
+size_t XmlGen::MeasureSize() const {
+  CountingSink sink;
+  const Status st = Generate(&sink);
+  XMARK_CHECK(st.ok());
+  return sink.bytes();
+}
+
+StatusOr<std::vector<std::string>> XmlGen::GenerateSplit(
+    const std::string& directory, int entities_per_file) const {
+  if (entities_per_file <= 0) {
+    return Status::InvalidArgument("entities_per_file must be positive");
+  }
+  std::vector<std::string> files;
+
+  // Emits `total` entities of one section, `entities_per_file` per file.
+  // The PRNG stream is consumed sequentially exactly as in Generate(), so
+  // entity payloads are identical to the single-document version.
+  auto emit_section =
+      [&](const char* section, Stream stream, int64_t total,
+          auto&& emit_one) -> Status {
+    Prng prng = StreamPrng(stream);
+    int64_t index = 0;
+    int file_no = 0;
+    while (index < total) {
+      const std::string path = directory + "/" + section + "_" +
+                               std::to_string(file_no++) + ".xml";
+      XMARK_ASSIGN_OR_RETURN(std::unique_ptr<FileSink> sink,
+                             FileSink::Open(path));
+      XmlWriter w(sink.get(), options_.indent);
+      w.StartElement(section);
+      for (int i = 0; i < entities_per_file && index < total; ++i, ++index) {
+        emit_one(w, prng, index);
+      }
+      w.EndElement();
+      sink->Append("\n");
+      XMARK_RETURN_IF_ERROR(sink->Close());
+      files.push_back(path);
+    }
+    return Status::OK();
+  };
+
+  // Items are a single PRNG stream across all continents; in split mode we
+  // emit them as one "items" sequence (the work-around shape of §5; the
+  // one-document semantics remain normative).
+  XMARK_RETURN_IF_ERROR(emit_section(
+      "items", kItemStream, counts_.items,
+      [this](XmlWriter& w, Prng& p, int64_t k) { EmitItem(w, p, k); }));
+  XMARK_RETURN_IF_ERROR(emit_section(
+      "categories", kCategoryStream, counts_.categories,
+      [this](XmlWriter& w, Prng& p, int64_t c) { EmitCategory(w, p, c); }));
+  XMARK_RETURN_IF_ERROR(emit_section(
+      "catgraph", kEdgeStream, counts_.edges,
+      [this](XmlWriter& w, Prng& p, int64_t e) { EmitEdge(w, p, e); }));
+  XMARK_RETURN_IF_ERROR(emit_section(
+      "people", kPersonStream, counts_.persons,
+      [this](XmlWriter& w, Prng& p, int64_t k) { EmitPerson(w, p, k); }));
+  XMARK_RETURN_IF_ERROR(emit_section(
+      "open_auctions", kOpenAuctionStream, counts_.open_auctions,
+      [this](XmlWriter& w, Prng& p, int64_t j) { EmitOpenAuction(w, p, j); }));
+  XMARK_RETURN_IF_ERROR(emit_section(
+      "closed_auctions", kClosedAuctionStream, counts_.closed_auctions,
+      [this](XmlWriter& w, Prng& p, int64_t j) {
+        EmitClosedAuction(w, p, j);
+      }));
+  return files;
+}
+
+}  // namespace xmark::gen

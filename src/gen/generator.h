@@ -1,0 +1,138 @@
+#ifndef XMARK_GEN_GENERATOR_H_
+#define XMARK_GEN_GENERATOR_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gen/permutation.h"
+#include "gen/text_generator.h"
+#include "gen/writer.h"
+#include "util/prng.h"
+#include "util/status.h"
+
+namespace xmark::gen {
+
+/// Number of world regions (africa, asia, australia, europe, namerica,
+/// samerica — the continents of the regions element).
+inline constexpr int kNumContinents = 6;
+
+extern const std::array<const char*, kNumContinents> kContinentTags;
+
+/// Entity cardinalities for a given scaling factor. At scale 1.0 these
+/// match the published xmlgen calibration: 25500 persons, 12000 open and
+/// 9750 closed auctions, 21750 items (= open + closed, the consistency
+/// constraint of §4.5), 1000 categories.
+struct EntityCounts {
+  int64_t persons = 0;
+  int64_t open_auctions = 0;
+  int64_t closed_auctions = 0;
+  int64_t items = 0;
+  int64_t categories = 0;
+  int64_t edges = 0;
+  std::array<int64_t, kNumContinents> items_per_continent{};
+
+  static EntityCounts ForScale(double factor);
+
+  int64_t TotalEntities() const {
+    return persons + open_auctions + closed_auctions + items + categories;
+  }
+};
+
+/// Generator configuration.
+struct GeneratorOptions {
+  /// Scaling factor; 1.0 produces roughly 100 MB (Figure 3).
+  double scale = 1.0;
+  /// Generator family seed; output is a pure function of (scale, seed).
+  uint64_t seed = 42;
+  /// Pretty-print with indentation (bigger output; off by default).
+  bool indent = false;
+};
+
+/// The named scale factors of Figure 3.
+struct ScalePoint {
+  const char* name;
+  double factor;
+  const char* nominal_size;
+};
+extern const std::array<ScalePoint, 4> kFigure3Scales;
+
+/// xmlgen — the XMark document generator (paper §4.5).
+///
+/// Properties reproduced from the paper: (1) platform independent — the
+/// PRNG is our own, not the OS's; (2) accurately scalable via `scale`;
+/// (3) constant memory — output streams through a ByteSink, state is O(1)
+/// in document size; (4) deterministic — output depends only on options.
+class XmlGen {
+ public:
+  explicit XmlGen(const GeneratorOptions& options);
+
+  /// Streams the complete document into `sink`.
+  Status Generate(ByteSink* sink) const;
+
+  /// Convenience wrappers.
+  Status GenerateToFile(const std::string& path) const;
+  std::string GenerateToString() const;
+
+  /// Byte size of the document this configuration would produce, without
+  /// materializing it.
+  size_t MeasureSize() const;
+
+  /// Split mode (paper §5): writes at most `entities_per_file` top-level
+  /// entities per file into `directory` (one file sequence per document
+  /// section, e.g. people_0.xml, people_1.xml, ...). Returns the paths.
+  StatusOr<std::vector<std::string>> GenerateSplit(
+      const std::string& directory, int entities_per_file) const;
+
+  const EntityCounts& counts() const { return counts_; }
+  const GeneratorOptions& options() const { return options_; }
+
+  /// Item id referenced by open auction `j` / closed auction `j`. Exposed
+  /// for the reference-integrity property tests.
+  int64_t ItemForOpenAuction(int64_t j) const;
+  int64_t ItemForClosedAuction(int64_t j) const;
+
+  /// Continent (index into kContinentTags) that lists item `k`.
+  int ContinentOfItem(int64_t k) const;
+
+ private:
+  // Per-section PRNG stream ids. Each document section consumes exactly one
+  // stream so sections are independently reproducible (split mode relies on
+  // this).
+  enum Stream : uint64_t {
+    kPersonStream = 1,
+    kItemStream = 2,
+    kOpenAuctionStream = 3,
+    kClosedAuctionStream = 4,
+    kCategoryStream = 5,
+    kEdgeStream = 6,
+  };
+
+  Prng StreamPrng(Stream stream) const { return Prng(options_.seed, stream); }
+
+  void EmitPerson(XmlWriter& w, Prng& prng, int64_t k) const;
+  void EmitItem(XmlWriter& w, Prng& prng, int64_t k) const;
+  void EmitOpenAuction(XmlWriter& w, Prng& prng, int64_t j) const;
+  void EmitClosedAuction(XmlWriter& w, Prng& prng, int64_t j) const;
+  void EmitCategory(XmlWriter& w, Prng& prng, int64_t c) const;
+  void EmitEdge(XmlWriter& w, Prng& prng, int64_t e) const;
+
+  // Reference-index helpers implementing the distribution mix of §4.2.
+  int64_t UniformIndex(Prng& prng, int64_t n) const;
+  int64_t ExponentialIndex(Prng& prng, int64_t n) const;
+  int64_t NormalIndex(Prng& prng, int64_t n) const;
+
+  std::string RandomDate(Prng& prng) const;
+  std::string RandomTime(Prng& prng) const;
+  std::string Money(double amount) const;
+
+  GeneratorOptions options_;
+  EntityCounts counts_;
+  RandomPermutation item_partition_;
+  TextGenerator text_;
+};
+
+}  // namespace xmark::gen
+
+#endif  // XMARK_GEN_GENERATOR_H_

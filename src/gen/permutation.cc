@@ -1,0 +1,45 @@
+#include "gen/permutation.h"
+
+#include "util/logging.h"
+#include "util/prng.h"
+
+namespace xmark::gen {
+
+RandomPermutation::RandomPermutation(uint64_t seed, uint64_t n) : n_(n) {
+  XMARK_CHECK(n > 0);
+  // Smallest even-width domain 2^(2*half_bits) covering n.
+  half_bits_ = 1;
+  while ((uint64_t{1} << (2 * half_bits_)) < n) ++half_bits_;
+  half_mask_ = (uint64_t{1} << half_bits_) - 1;
+  Prng prng(seed, /*stream=*/0x9e37);
+  for (auto& k : keys_) k = prng.NextU64();
+}
+
+uint64_t RandomPermutation::Feistel(uint64_t x) const {
+  uint64_t left = x >> half_bits_;
+  uint64_t right = x & half_mask_;
+  for (const uint64_t key : keys_) {
+    // SplitMix-style round function on (right, key).
+    uint64_t f = right ^ key;
+    f *= 0xbf58476d1ce4e5b9ULL;
+    f ^= f >> 29;
+    f *= 0x94d049bb133111ebULL;
+    f ^= f >> 32;
+    const uint64_t new_right = left ^ (f & half_mask_);
+    left = right;
+    right = new_right;
+  }
+  return (left << half_bits_) | right;
+}
+
+uint64_t RandomPermutation::Apply(uint64_t i) const {
+  XMARK_CHECK(i < n_);
+  // Cycle walking: the Feistel domain may exceed n, so iterate until the
+  // image lands inside [0, n). Terminates because Feistel is a bijection
+  // on the padded domain.
+  uint64_t x = Feistel(i);
+  while (x >= n_) x = Feistel(x);
+  return x;
+}
+
+}  // namespace xmark::gen

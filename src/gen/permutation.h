@@ -1,0 +1,39 @@
+#ifndef XMARK_GEN_PERMUTATION_H_
+#define XMARK_GEN_PERMUTATION_H_
+
+#include <array>
+#include <cstdint>
+
+namespace xmark::gen {
+
+/// Deterministic pseudo-random bijection on [0, n).
+///
+/// xmlgen must guarantee that every item id is referenced exactly once —
+/// by either an open or a closed auction — without keeping a log of issued
+/// references (paper §4.5: the authors "solved this problem by modifying
+/// the random number generation to produce several identical streams").
+/// A keyed format-preserving permutation achieves the same effect in O(1)
+/// memory: open auction j references item Apply(j), closed auction j
+/// references item Apply(n_open + j), and bijectivity guarantees the
+/// partition. Implemented as a 4-round Feistel network with cycle walking.
+class RandomPermutation {
+ public:
+  RandomPermutation(uint64_t seed, uint64_t n);
+
+  /// Maps i in [0, n) to a unique value in [0, n).
+  uint64_t Apply(uint64_t i) const;
+
+  uint64_t size() const { return n_; }
+
+ private:
+  uint64_t Feistel(uint64_t x) const;
+
+  uint64_t n_;
+  int half_bits_;
+  uint64_t half_mask_;
+  std::array<uint64_t, 4> keys_;
+};
+
+}  // namespace xmark::gen
+
+#endif  // XMARK_GEN_PERMUTATION_H_

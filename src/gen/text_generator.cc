@@ -1,0 +1,107 @@
+#include "gen/text_generator.h"
+
+#include "util/string_util.h"
+
+namespace xmark::gen {
+namespace {
+
+// Shape probabilities for the mixed-content model. Tuned (see
+// tests/gen_text_test.cc) so that Q15's 9-step path exists at small scale
+// factors and item descriptions have Q14 selectivity in the 10-25% band.
+constexpr double kParlistInDescription = 0.45;
+constexpr double kNestedParlistInListitem = 0.50;
+constexpr double kInlineMarkup = 0.30;       // per chunk of a text element
+constexpr double kKeywordInsideEmph = 0.65;  // nested keyword under emph
+constexpr double kDescriptionInAnnotation = 0.85;
+
+}  // namespace
+
+TextGenerator::TextGenerator()
+    : words_(WordList::Instance()), zipf_(words_.size(), 1.0) {}
+
+std::string TextGenerator::Words(Prng& prng, int count) const {
+  std::string out;
+  for (int i = 0; i < count; ++i) {
+    if (i > 0) out.push_back(' ');
+    out.append(words_.word(zipf_.Sample(prng)));
+  }
+  return out;
+}
+
+std::string TextGenerator::Sentence(Prng& prng) const {
+  return Words(prng, static_cast<int>(prng.NextInt(8, 20)));
+}
+
+void TextGenerator::EmitTextElement(XmlWriter& writer, Prng& prng) const {
+  writer.StartElement("text");
+  const int chunks = static_cast<int>(prng.NextInt(3, 8));
+  for (int c = 0; c < chunks; ++c) {
+    writer.Text(Words(prng, static_cast<int>(prng.NextInt(5, 14))));
+    writer.Text(" ");
+    if (prng.NextBool(kInlineMarkup)) {
+      const int which = static_cast<int>(prng.NextInt(0, 2));
+      if (which == 0) {
+        writer.StartElement("bold");
+        writer.Text(Words(prng, static_cast<int>(prng.NextInt(1, 4))));
+        writer.EndElement();
+      } else if (which == 1) {
+        writer.StartElement("keyword");
+        writer.Text(Words(prng, static_cast<int>(prng.NextInt(1, 3))));
+        writer.EndElement();
+      } else {
+        writer.StartElement("emph");
+        writer.Text(Words(prng, static_cast<int>(prng.NextInt(1, 3))));
+        if (prng.NextBool(kKeywordInsideEmph)) {
+          writer.Text(" ");
+          writer.StartElement("keyword");
+          writer.Text(Words(prng, static_cast<int>(prng.NextInt(1, 3))));
+          writer.EndElement();
+        }
+        writer.EndElement();
+      }
+      writer.Text(" ");
+    }
+  }
+  writer.Text(Words(prng, static_cast<int>(prng.NextInt(4, 10))));
+  writer.EndElement();
+}
+
+void TextGenerator::EmitParlist(XmlWriter& writer, Prng& prng,
+                                int depth) const {
+  writer.StartElement("parlist");
+  const int items = static_cast<int>(prng.NextInt(1, 4));
+  for (int i = 0; i < items; ++i) {
+    writer.StartElement("listitem");
+    if (depth < kMaxParlistDepth && prng.NextBool(kNestedParlistInListitem)) {
+      EmitParlist(writer, prng, depth + 1);
+    } else {
+      EmitTextElement(writer, prng);
+    }
+    writer.EndElement();
+  }
+  writer.EndElement();
+}
+
+void TextGenerator::EmitDescription(XmlWriter& writer, Prng& prng) const {
+  writer.StartElement("description");
+  if (prng.NextBool(kParlistInDescription)) {
+    EmitParlist(writer, prng, 1);
+  } else {
+    EmitTextElement(writer, prng);
+  }
+  writer.EndElement();
+}
+
+void TextGenerator::EmitAnnotation(XmlWriter& writer, Prng& prng,
+                                   const std::string& author_person_id) const {
+  writer.StartElement("annotation");
+  writer.EmptyElementWithAttribute("author", "person", author_person_id);
+  if (prng.NextBool(kDescriptionInAnnotation)) {
+    EmitDescription(writer, prng);
+  }
+  writer.SimpleElement("happiness",
+                       std::to_string(prng.NextInt(1, 10)));
+  writer.EndElement();
+}
+
+}  // namespace xmark::gen

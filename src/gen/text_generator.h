@@ -1,0 +1,58 @@
+#ifndef XMARK_GEN_TEXT_GENERATOR_H_
+#define XMARK_GEN_TEXT_GENERATOR_H_
+
+#include <string>
+
+#include "gen/wordlist.h"
+#include "gen/writer.h"
+#include "util/distributions.h"
+#include "util/prng.h"
+
+namespace xmark::gen {
+
+/// Generates the document-centric side of the benchmark document (paper
+/// §4.1/§4.3): natural-language-like word streams under a Zipf frequency
+/// law, and the mixed-content markup trees (text / parlist / listitem with
+/// inline bold / keyword / emph) used by description, annotation and mail
+/// elements.
+///
+/// The shape probabilities are chosen so the deep path of queries Q15/Q16
+/// (annotation/description/parlist/listitem/parlist/listitem/text/emph/
+/// keyword) occurs with useful frequency, and so the word "gold" (query
+/// Q14) appears in a mid-teens percentage of item descriptions.
+class TextGenerator {
+ public:
+  TextGenerator();
+
+  /// `count` Zipf-distributed words joined by single spaces.
+  std::string Words(Prng& prng, int count) const;
+
+  /// A short run of words sized like a sentence (8-20 words).
+  std::string Sentence(Prng& prng) const;
+
+  /// Emits <text> with mixed content: word runs interleaved with inline
+  /// bold/keyword/emph wrappers; emph may contain a nested keyword.
+  void EmitTextElement(XmlWriter& writer, Prng& prng) const;
+
+  /// Emits <parlist> of 1-4 <listitem>s; each listitem recursively holds a
+  /// text or (while depth allows) another parlist.
+  void EmitParlist(XmlWriter& writer, Prng& prng, int depth) const;
+
+  /// Emits <description> containing either a text or a parlist.
+  void EmitDescription(XmlWriter& writer, Prng& prng) const;
+
+  /// Emits <annotation> (author ref, optional description, happiness).
+  void EmitAnnotation(XmlWriter& writer, Prng& prng,
+                      const std::string& author_person_id) const;
+
+  /// Maximum parlist nesting depth.
+  static constexpr int kMaxParlistDepth = 3;
+
+ private:
+  const WordList& words_;
+  ZipfSampler zipf_;
+};
+
+}  // namespace xmark::gen
+
+#endif  // XMARK_GEN_TEXT_GENERATOR_H_

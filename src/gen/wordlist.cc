@@ -1,0 +1,232 @@
+#include "gen/wordlist.h"
+
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace xmark::gen {
+namespace {
+
+// Core word list: common English content words (stopwords excluded, like the
+// paper's table). Order matters: earlier words get higher Zipf frequency.
+// "gold" is pinned near the front so query Q14 has a healthy selectivity.
+const char* const kCoreWords[] = {
+    "time", "year", "people", "way", "day", "man", "thing", "woman", "life",
+    "child", "world", "school", "state", "family", "student", "group",
+    "country", "problem", "hand", "part", "place", "case", "week", "company",
+    "system", "program", "question", "work", "gold", "government", "number",
+    "night", "point", "home", "water", "room", "mother", "area", "money",
+    "story", "fact", "month", "lot", "right", "study", "book", "eye", "job",
+    "word", "business", "issue", "side", "kind", "head", "house", "service",
+    "friend", "father", "power", "hour", "game", "line", "end", "member",
+    "law", "car", "city", "community", "name", "president", "team", "minute",
+    "idea", "kid", "body", "information", "back", "parent", "face", "others",
+    "level", "office", "door", "health", "person", "art", "war", "history",
+    "party", "result", "change", "morning", "reason", "research", "girl",
+    "guy", "moment", "air", "teacher", "force", "education", "silver",
+    "heart", "king", "queen", "lord", "lady", "knight", "castle", "sword",
+    "crown", "throne", "love", "death", "honor", "grace", "soul", "spirit",
+    "blood", "battle", "victory", "shadow", "light", "dark", "dream",
+    "sleep", "wake", "speak", "hear", "listen", "voice", "song", "music",
+    "dance", "play", "stage", "scene", "act", "tale", "verse", "rhyme",
+    "letter", "message", "news", "truth", "lie", "promise", "oath", "vow",
+    "gift", "treasure", "jewel", "pearl", "diamond", "ring", "chain",
+    "purse", "coin", "fortune", "wealth", "poor", "rich", "merchant",
+    "market", "trade", "ship", "sail", "sea", "ocean", "river", "stream",
+    "mountain", "valley", "forest", "tree", "leaf", "flower", "rose",
+    "garden", "field", "farm", "harvest", "grain", "bread", "wine", "feast",
+    "table", "chair", "bed", "window", "wall", "tower", "gate", "bridge",
+    "road", "path", "journey", "travel", "stranger", "guest", "host",
+    "master", "servant", "slave", "freedom", "prison", "anchor", "judge",
+    "court", "trial", "crime", "guilt", "pardon", "mercy", "justice",
+    "anger", "rage", "fury", "peace", "quiet", "storm", "thunder",
+    "lightning", "rain", "snow", "wind", "cloud", "sun", "moon", "star",
+    "sky", "heaven", "earth", "ground", "stone", "rock", "iron", "steel",
+    "copper", "brass", "wood", "fire", "flame", "ash", "smoke", "dust",
+    "sand", "clay", "glass", "mirror", "picture", "image", "color", "red",
+    "green", "blue", "white", "black", "gray", "brown", "yellow", "purple",
+    "horse", "dog", "cat", "bird", "eagle", "hawk", "dove", "raven",
+    "lion", "wolf", "bear", "deer", "fox", "hare", "fish", "serpent",
+    "dragon", "beast", "cattle", "sheep", "lamb", "goat", "swine", "hound",
+    "hunt", "chase", "catch", "trap", "snare", "net", "bow", "arrow",
+    "spear", "shield", "armor", "helmet", "banner", "flag", "drum",
+    "trumpet", "horn", "bell", "clock", "watch", "season", "spring",
+    "summer", "autumn", "winter", "frost", "ice", "heat", "cold", "warm",
+    "breath", "sigh", "tear", "smile", "laugh", "weep", "mourn", "grief",
+    "sorrow", "joy", "delight", "pleasure", "pain", "wound", "scar",
+    "sickness", "cure", "physician", "medicine", "poison", "potion",
+    "charm", "spell", "magic", "witch", "wizard", "ghost", "grave", "tomb",
+    "church", "temple", "altar", "prayer", "blessing", "curse", "sin",
+    "virtue", "vice", "pride", "envy", "greed", "wrath", "sloth", "lust",
+    "hope", "faith", "charity", "wisdom", "folly", "fool", "jest", "wit",
+    "humor", "mirth", "sport", "prize", "wager", "dice", "card", "chess",
+    "duty", "task", "labor", "toil", "rest", "leisure", "holiday",
+    "wedding", "bride", "groom", "marriage", "widow", "orphan", "heir",
+    "birth", "cradle", "youth", "age", "elder", "ancient", "modern",
+    "custom", "fashion", "manner", "habit", "nature", "glory", "chance",
+    "fate", "destiny", "doom", "luck", "hazard", "danger", "risk", "safety",
+    "guard", "watchman", "sentinel", "soldier", "captain", "general",
+    "army", "navy", "fleet", "troop", "band", "crew", "assembly", "council",
+    "senate", "crowd", "throng", "nation", "empire", "kingdom", "realm",
+    "province", "border", "frontier", "coast", "shore", "harbor", "port",
+    "island", "cave", "cliff", "peak", "summit", "slope", "meadow", "marsh",
+    "desert", "plain", "wilderness",
+};
+
+constexpr size_t kNumCoreWords = sizeof(kCoreWords) / sizeof(kCoreWords[0]);
+
+const char* const kSuffixes[] = {"s",    "ed",   "ing",  "ly",   "er",
+                                 "est",  "tion", "ness", "ment", "ful",
+                                 "less", "ish",  "able", "ive",  "ous"};
+const char* const kPrefixes[] = {"un",  "re",   "over", "under", "out",
+                                 "pre", "mis",  "dis",  "fore",  "counter"};
+
+}  // namespace
+
+WordList::WordList() {
+  words_.reserve(kVocabularySize);
+  std::unordered_set<std::string> seen;
+  auto add = [&](std::string w) {
+    if (words_.size() >= kVocabularySize) return;
+    if (seen.insert(w).second) words_.push_back(std::move(w));
+  };
+  // Round 0: the core words themselves (highest frequency ranks).
+  for (size_t i = 0; i < kNumCoreWords; ++i) add(kCoreWords[i]);
+  // Round 1: suffix derivations, interleaved so frequency decays smoothly.
+  for (const char* suffix : kSuffixes) {
+    for (size_t i = 0; i < kNumCoreWords; ++i) {
+      add(std::string(kCoreWords[i]) + suffix);
+    }
+  }
+  // Round 2: prefix derivations.
+  for (const char* prefix : kPrefixes) {
+    for (size_t i = 0; i < kNumCoreWords; ++i) {
+      add(std::string(prefix) + kCoreWords[i]);
+    }
+  }
+  // Round 3: prefix+suffix combinations until the table is full.
+  for (const char* prefix : kPrefixes) {
+    for (const char* suffix : kSuffixes) {
+      for (size_t i = 0; i < kNumCoreWords && words_.size() < kVocabularySize;
+           ++i) {
+        add(std::string(prefix) + kCoreWords[i] + suffix);
+      }
+    }
+  }
+  XMARK_CHECK(words_.size() == kVocabularySize);
+}
+
+const WordList& WordList::Instance() {
+  static const WordList* const kInstance = new WordList();
+  return *kInstance;
+}
+
+const std::vector<std::string>& NameTables::FirstNames() {
+  static const auto* const kTable = new std::vector<std::string>{
+      "James",   "Mary",    "Robert",  "Patricia", "John",    "Jennifer",
+      "Michael", "Linda",   "David",   "Elizabeth", "William", "Barbara",
+      "Richard", "Susan",   "Joseph",  "Jessica",  "Thomas",  "Sarah",
+      "Charles", "Karen",   "Umberto", "Hannah",   "Takeshi", "Ioana",
+      "Albrecht", "Florian", "Martin", "Ralph",    "Miron",   "Svetlana",
+      "Pierre",  "Claudine", "Rajesh", "Priya",    "Chen",    "Mei",
+      "Olaf",    "Ingrid",  "Pedro",   "Lucia",    "Ahmed",   "Fatima",
+      "Kwame",   "Amara",   "Dmitri",  "Olga",     "Henrik",  "Astrid",
+      "Marco",   "Giulia",  "Jorge",   "Carmen",   "Yusuf",   "Leila",
+      "Ivan",    "Natasha", "Erik",    "Freja",    "Andre",   "Sofia",
+      "Tobias",  "Greta",   "Nikolai", "Elena",    "Carlos",  "Rosa",
+  };
+  return *kTable;
+}
+
+const std::vector<std::string>& NameTables::LastNames() {
+  static const auto* const kTable = new std::vector<std::string>{
+      "Smith",     "Johnson",   "Williams", "Brown",    "Jones",
+      "Garcia",    "Miller",    "Davis",    "Rodriguez", "Martinez",
+      "Hernandez", "Lopez",     "Gonzalez", "Wilson",   "Anderson",
+      "Thomas",    "Taylor",    "Moore",    "Jackson",  "Martin",
+      "Schmidt",   "Waas",      "Kersten",  "Carey",    "Manolescu",
+      "Busse",     "Nakamura",  "Tanaka",   "Suzuki",   "Yamamoto",
+      "Mueller",   "Schneider", "Fischer",  "Weber",    "Meyer",
+      "Wagner",    "Becker",    "Hoffmann", "Rossi",    "Russo",
+      "Ferrari",   "Esposito",  "Bianchi",  "Romano",   "Colombo",
+      "Ricci",     "Novak",     "Kovacs",   "Popescu",  "Ionescu",
+      "Petrov",    "Ivanov",    "Smirnov",  "Kuznetsov", "Andersen",
+      "Nielsen",   "Hansen",    "Pedersen", "Larsen",   "Olsen",
+      "Silva",     "Santos",    "Oliveira", "Souza",    "Pereira",
+      "Kim",       "Lee",       "Park",     "Choi",     "Chung",
+      "Wang",      "Li",        "Zhang",    "Liu",      "Chen",
+      "Patel",     "Sharma",    "Singh",    "Kumar",    "Gupta",
+  };
+  return *kTable;
+}
+
+const std::vector<std::string>& NameTables::Countries() {
+  static const auto* const kTable = new std::vector<std::string>{
+      "United States", "Germany",     "France",    "United Kingdom",
+      "Netherlands",   "Italy",       "Spain",     "Japan",
+      "China",         "India",       "Brazil",    "Canada",
+      "Australia",     "Russia",      "Mexico",    "South Africa",
+      "Sweden",        "Norway",      "Denmark",   "Finland",
+      "Poland",        "Romania",     "Hungary",   "Greece",
+      "Turkey",        "Egypt",       "Nigeria",   "Kenya",
+      "Argentina",     "Chile",       "Peru",      "South Korea",
+  };
+  return *kTable;
+}
+
+const std::vector<std::string>& NameTables::Cities() {
+  static const auto* const kTable = new std::vector<std::string>{
+      "Amsterdam", "Rotterdam", "Berlin",   "Hamburg",   "Munich",
+      "Paris",     "Lyon",      "London",   "Manchester", "Rome",
+      "Milan",     "Madrid",    "Barcelona", "Tokyo",    "Osaka",
+      "Beijing",   "Shanghai",  "Mumbai",   "Delhi",     "Sao Paulo",
+      "Toronto",   "Vancouver", "Sydney",   "Melbourne", "Moscow",
+      "Cairo",     "Lagos",     "Nairobi",  "Buenos Aires", "Santiago",
+      "Lima",      "Seoul",     "New York", "Chicago",   "Seattle",
+      "Redmond",   "Austin",    "Boston",   "Atlanta",   "Denver",
+  };
+  return *kTable;
+}
+
+const std::vector<std::string>& NameTables::Provinces() {
+  static const auto* const kTable = new std::vector<std::string>{
+      "North Holland", "Bavaria",  "Ontario",   "California", "Texas",
+      "Provence",      "Tuscany",  "Catalonia", "Kanto",      "Queensland",
+      "Gauteng",       "Scania",   "Silesia",   "Anatolia",   "Patagonia",
+  };
+  return *kTable;
+}
+
+const std::vector<std::string>& NameTables::EmailProviders() {
+  static const auto* const kTable = new std::vector<std::string>{
+      "mail.example.com", "post.example.org", "inbox.example.net",
+      "box.example.edu",  "mx.example.info",  "mail.example.co.uk",
+  };
+  return *kTable;
+}
+
+const std::vector<std::string>& NameTables::Education() {
+  static const auto* const kTable = new std::vector<std::string>{
+      "High School", "College", "Graduate School", "Other",
+  };
+  return *kTable;
+}
+
+const std::vector<std::string>& NameTables::PaymentKinds() {
+  static const auto* const kTable = new std::vector<std::string>{
+      "Creditcard", "Money order", "Cash", "Personal Check",
+  };
+  return *kTable;
+}
+
+const std::vector<std::string>& NameTables::ShippingKinds() {
+  static const auto* const kTable = new std::vector<std::string>{
+      "Will ship only within country",
+      "Will ship internationally",
+      "Buyer pays fixed shipping charges",
+      "See description for charges",
+  };
+  return *kTable;
+}
+
+}  // namespace xmark::gen

@@ -1,0 +1,51 @@
+#ifndef XMARK_GEN_WORDLIST_H_
+#define XMARK_GEN_WORDLIST_H_
+
+#include <string>
+#include <vector>
+
+namespace xmark::gen {
+
+/// Vocabulary used by the text generator.
+///
+/// The original xmlgen uses the 17 000 most frequent non-stopword tokens of
+/// Shakespeare's plays (paper §4.3). That table is not redistributable, so
+/// we derive a deterministic synthetic vocabulary of the same size: a core
+/// list of common English words expanded with regular morphological
+/// suffixes/prefixes. Ranks are meaningful — the Zipf sampler treats index 0
+/// as the most frequent word — and a handful of query-relevant tokens
+/// ("gold" for Q14) are pinned into the high-frequency region.
+class WordList {
+ public:
+  /// Builds the vocabulary; deterministic and seed-free.
+  static const WordList& Instance();
+
+  const std::string& word(size_t rank) const { return words_[rank]; }
+  size_t size() const { return words_.size(); }
+
+  /// Target vocabulary size, matching the paper's 17 000.
+  static constexpr size_t kVocabularySize = 17000;
+
+ private:
+  WordList();
+  std::vector<std::string> words_;
+};
+
+/// Fixed auxiliary tables (person names, countries, cities, auction
+/// categories of payment/shipping, education levels, email providers).
+/// Stand-ins for the scrambled Internet directories of §4.3.
+struct NameTables {
+  static const std::vector<std::string>& FirstNames();
+  static const std::vector<std::string>& LastNames();
+  static const std::vector<std::string>& Countries();
+  static const std::vector<std::string>& Cities();
+  static const std::vector<std::string>& Provinces();
+  static const std::vector<std::string>& EmailProviders();
+  static const std::vector<std::string>& Education();
+  static const std::vector<std::string>& PaymentKinds();
+  static const std::vector<std::string>& ShippingKinds();
+};
+
+}  // namespace xmark::gen
+
+#endif  // XMARK_GEN_WORDLIST_H_

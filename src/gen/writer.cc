@@ -1,0 +1,130 @@
+#include "gen/writer.h"
+
+#include <memory>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace xmark::gen {
+
+StatusOr<std::unique_ptr<FileSink>> FileSink::Open(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  return std::unique_ptr<FileSink>(new FileSink(f));
+}
+
+FileSink::~FileSink() {
+  if (file_ != nullptr) Close();
+}
+
+void FileSink::Append(std::string_view data) {
+  buffer_.append(data);
+  if (buffer_.size() >= kBufSize) {
+    if (std::fwrite(buffer_.data(), 1, buffer_.size(), file_) !=
+        buffer_.size()) {
+      failed_ = true;
+    }
+    buffer_.clear();
+  }
+}
+
+Status FileSink::Flush() {
+  if (!buffer_.empty()) {
+    if (std::fwrite(buffer_.data(), 1, buffer_.size(), file_) !=
+        buffer_.size()) {
+      failed_ = true;
+    }
+    buffer_.clear();
+  }
+  std::fflush(file_);
+  return failed_ ? Status::IoError("short write") : Status::OK();
+}
+
+Status FileSink::Close() {
+  if (file_ == nullptr) return Status::OK();
+  Status st = Flush();
+  if (std::fclose(file_) != 0 && st.ok()) st = Status::IoError("close failed");
+  file_ = nullptr;
+  return st;
+}
+
+void XmlWriter::Indent() {
+  if (!indent_) return;
+  std::string pad = "\n";
+  pad.append(2 * stack_.size(), ' ');
+  sink_->Append(pad);
+}
+
+void XmlWriter::CloseStartTag(bool self_closing) {
+  if (tag_open_) {
+    sink_->Append(self_closing ? "/>" : ">");
+    tag_open_ = false;
+  }
+}
+
+void XmlWriter::StartElement(std::string_view tag) {
+  CloseStartTag(false);
+  if (!stack_.empty() || indent_) Indent();
+  sink_->Append("<");
+  sink_->Append(tag);
+  stack_.emplace_back(tag);
+  tag_open_ = true;
+  had_text_ = false;
+}
+
+void XmlWriter::Attribute(std::string_view name, std::string_view value) {
+  XMARK_CHECK(tag_open_);
+  sink_->Append(" ");
+  sink_->Append(name);
+  sink_->Append("=\"");
+  std::string escaped;
+  AppendXmlEscaped(escaped, value);
+  sink_->Append(escaped);
+  sink_->Append("\"");
+}
+
+void XmlWriter::Text(std::string_view text) {
+  CloseStartTag(false);
+  std::string escaped;
+  AppendXmlEscaped(escaped, text);
+  sink_->Append(escaped);
+  had_text_ = true;
+}
+
+void XmlWriter::Raw(std::string_view markup) {
+  CloseStartTag(false);
+  sink_->Append(markup);
+  had_text_ = true;
+}
+
+void XmlWriter::EndElement() {
+  XMARK_CHECK(!stack_.empty());
+  const std::string tag = stack_.back();
+  stack_.pop_back();
+  if (tag_open_) {
+    sink_->Append("/>");
+    tag_open_ = false;
+  } else {
+    if (!had_text_) Indent();
+    sink_->Append("</");
+    sink_->Append(tag);
+    sink_->Append(">");
+  }
+  had_text_ = false;
+}
+
+void XmlWriter::SimpleElement(std::string_view tag, std::string_view text) {
+  StartElement(tag);
+  Text(text);
+  EndElement();
+}
+
+void XmlWriter::EmptyElementWithAttribute(std::string_view tag,
+                                          std::string_view attr,
+                                          std::string_view value) {
+  StartElement(tag);
+  Attribute(attr, value);
+  EndElement();
+}
+
+}  // namespace xmark::gen

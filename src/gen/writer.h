@@ -1,0 +1,103 @@
+#ifndef XMARK_GEN_WRITER_H_
+#define XMARK_GEN_WRITER_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace xmark::gen {
+
+/// Output abstraction for the generator. xmlgen must run in constant memory
+/// regardless of document size (paper §4.5), so all emission is streaming
+/// through this interface.
+class ByteSink {
+ public:
+  virtual ~ByteSink() = default;
+  virtual void Append(std::string_view data) = 0;
+  /// Flushes buffered bytes to the final destination (no-op by default).
+  virtual Status Flush() { return Status::OK(); }
+};
+
+/// Accumulates output in a std::string (tests, small documents).
+class StringSink : public ByteSink {
+ public:
+  explicit StringSink(std::string* out) : out_(out) {}
+  void Append(std::string_view data) override { out_->append(data); }
+
+ private:
+  std::string* out_;
+};
+
+/// Writes to a file through a fixed-size buffer.
+class FileSink : public ByteSink {
+ public:
+  static StatusOr<std::unique_ptr<FileSink>> Open(const std::string& path);
+  ~FileSink() override;
+
+  void Append(std::string_view data) override;
+  Status Flush() override;
+
+  /// Closes the file; returns the first IO error observed.
+  Status Close();
+
+ private:
+  explicit FileSink(std::FILE* file) : file_(file) { buffer_.reserve(kBufSize); }
+
+  static constexpr size_t kBufSize = 1 << 16;
+  std::FILE* file_;
+  std::string buffer_;
+  bool failed_ = false;
+};
+
+/// Discards output but counts bytes; used to measure document sizes without
+/// materializing them (Figure 3 at large scale factors).
+class CountingSink : public ByteSink {
+ public:
+  void Append(std::string_view data) override { bytes_ += data.size(); }
+  size_t bytes() const { return bytes_; }
+
+ private:
+  size_t bytes_ = 0;
+};
+
+/// Streaming XML writer: maintains the open-tag stack, escapes character
+/// data, and optionally indents.
+class XmlWriter {
+ public:
+  explicit XmlWriter(ByteSink* sink, bool indent = false)
+      : sink_(sink), indent_(indent) {}
+
+  void StartElement(std::string_view tag);
+  /// Must be called between StartElement and the first content.
+  void Attribute(std::string_view name, std::string_view value);
+  void Text(std::string_view text);
+  /// Raw pre-escaped markup (used by the text generator for mixed content).
+  void Raw(std::string_view markup);
+  void EndElement();
+
+  /// Convenience: <tag>text</tag>.
+  void SimpleElement(std::string_view tag, std::string_view text);
+  /// Convenience: <tag attr="value"/>.
+  void EmptyElementWithAttribute(std::string_view tag, std::string_view attr,
+                                 std::string_view value);
+
+  int depth() const { return static_cast<int>(stack_.size()); }
+
+ private:
+  void CloseStartTag(bool self_closing);
+  void Indent();
+
+  ByteSink* sink_;
+  bool indent_;
+  std::vector<std::string> stack_;
+  bool tag_open_ = false;       // start tag not yet closed with '>'
+  bool had_text_ = false;       // suppress indentation in mixed content
+};
+
+}  // namespace xmark::gen
+
+#endif  // XMARK_GEN_WRITER_H_

@@ -1,0 +1,139 @@
+#ifndef XMARK_QUERY_AST_H_
+#define XMARK_QUERY_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace xmark::query {
+
+struct AstNode;
+using AstPtr = std::unique_ptr<AstNode>;
+
+/// Expression kinds of the XQuery subset (DESIGN.md §5).
+enum class AstKind {
+  kStringLiteral,
+  kNumberLiteral,
+  kVarRef,
+  kContextItem,
+  kPath,
+  kFlwor,
+  kQuantified,
+  kIf,
+  kBinary,
+  kUnaryMinus,
+  kFunctionCall,
+  kElementConstructor,
+  kSequenceExpr,
+};
+
+enum class BinaryOp {
+  kOr,
+  kAnd,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kBefore,  // << node-order comparison
+  kAfter,   // >>
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+};
+
+const char* BinaryOpName(BinaryOp op);
+
+enum class Axis { kChild, kDescendant, kAttribute, kSelf };
+
+/// One path step: axis + node test + predicates.
+struct Step {
+  enum class Test { kName, kWildcard, kText, kAnyNode };
+
+  Axis axis = Axis::kChild;
+  Test test = Test::kName;
+  std::string name;  // for Test::kName and kAttribute
+  std::vector<AstPtr> predicates;
+};
+
+/// for/let clause of a FLWOR (or the binding list of a quantifier).
+struct ForLetClause {
+  bool is_let = false;
+  std::string var;
+  AstPtr expr;
+};
+
+struct OrderSpec {
+  AstPtr key;
+  bool descending = false;
+};
+
+/// One piece of an attribute value template: literal text or {expr}.
+struct AttrPart {
+  std::string text;
+  AstPtr expr;  // non-null => expression part
+};
+
+struct AttrConstructor {
+  std::string name;
+  std::vector<AttrPart> parts;
+};
+
+/// A single heterogeneous AST node (variant-style; the fields used depend
+/// on `kind`). Keeping one node type makes the recursive parser and
+/// evaluator compact.
+struct AstNode {
+  explicit AstNode(AstKind k) : kind(k) {}
+
+  AstKind kind;
+
+  // kStringLiteral / kVarRef / kFunctionCall (name)
+  std::string str_value;
+  // kNumberLiteral
+  double num_value = 0.0;
+
+  // kPath
+  bool absolute = false;  // starts with '/' or '//'
+  AstPtr start;           // non-null when the path begins with a primary
+  std::vector<Step> steps;
+
+  // kFlwor / kQuantified (bindings)
+  std::vector<ForLetClause> clauses;
+  AstPtr where;  // FLWOR where; quantifier `satisfies`
+  std::vector<OrderSpec> order_by;
+  AstPtr ret;
+  bool is_every = false;  // quantifier flavor
+
+  // kBinary (args[0], args[1]) / kIf (args[0..2]) / kFunctionCall /
+  // kSequenceExpr / kUnaryMinus (args[0])
+  BinaryOp op = BinaryOp::kOr;
+  std::vector<AstPtr> args;
+
+  // kElementConstructor
+  std::string tag;
+  std::vector<AttrConstructor> attrs;
+  std::vector<AstPtr> content;  // children: literals and embedded exprs
+};
+
+/// User-defined function from the query prolog (Q18's currency converter).
+struct FunctionDecl {
+  std::string name;
+  std::vector<std::string> params;
+  AstPtr body;
+};
+
+/// A parsed query module: prolog functions plus the body expression.
+struct ParsedQuery {
+  std::vector<FunctionDecl> functions;
+  AstPtr body;
+};
+
+/// Renders the AST as an s-expression (debugging, plan tests).
+std::string AstToString(const AstNode& node);
+
+}  // namespace xmark::query
+
+#endif  // XMARK_QUERY_AST_H_

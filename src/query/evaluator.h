@@ -1,0 +1,111 @@
+#ifndef XMARK_QUERY_EVALUATOR_H_
+#define XMARK_QUERY_EVALUATOR_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "query/ast.h"
+#include "query/storage.h"
+#include "query/value.h"
+#include "util/status.h"
+
+namespace xmark::query {
+
+/// Optimizer/execution features. Each engine configuration (systems A-G)
+/// enables the subset its architecture plausibly provides; the differences
+/// drive the Table 3 contrasts.
+struct EvaluatorOptions {
+  /// Resolve [@id="lit"] predicates through the store's ID index.
+  bool use_id_index = true;
+  /// Resolve root child-paths through the structural summary.
+  bool use_path_index = true;
+  /// Resolve descendant steps through the tag index.
+  bool use_tag_index = true;
+  /// Decorrelate nested equi-join FLWORs into hash joins.
+  bool hash_join = true;
+  /// Defer `let` evaluation until first use (prunes Q12's inner loop).
+  bool lazy_let = true;
+  /// Memoize absolute-path subexpressions across loop iterations.
+  bool cache_invariant_paths = true;
+  /// Deep-copy node results into constructed trees (the embedded System G
+  /// returns copies, a large part of its overhead).
+  bool copy_results = false;
+};
+
+/// Tree-walking XQuery-subset evaluator over a StorageAdapter.
+///
+/// One Evaluator instance may be reused across queries; per-run caches
+/// (hash-join tables, invariant-path memos) are reset by Run().
+class Evaluator {
+ public:
+  Evaluator(const StorageAdapter* store, const EvaluatorOptions& options);
+  ~Evaluator();
+
+  /// Evaluates a parsed query module and returns the result sequence.
+  StatusOr<Sequence> Run(const ParsedQuery& query);
+
+  /// Evaluates a bare expression (no prolog). Used by tests.
+  StatusOr<Sequence> RunExpr(const AstNode& expr);
+
+  const EvaluatorOptions& options() const { return options_; }
+
+  /// Statistics from the last Run (exposed for ablation benchmarks).
+  struct Stats {
+    int64_t nodes_visited = 0;       // adapter navigation calls
+    int64_t hash_joins_built = 0;    // decorrelated inner loops
+    int64_t index_lookups = 0;       // id/tag/path index hits
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Environment;
+  struct Focus;
+  struct JoinPlan;
+  struct JoinCache;
+
+  StatusOr<Sequence> Eval(const AstNode& node, Environment& env,
+                          const Focus* focus);
+  StatusOr<Sequence> EvalPath(const AstNode& node, Environment& env,
+                              const Focus* focus);
+  StatusOr<Sequence> EvalFlwor(const AstNode& node, Environment& env,
+                               const Focus* focus);
+  StatusOr<Sequence> EvalQuantified(const AstNode& node, Environment& env,
+                                    const Focus* focus);
+  StatusOr<Sequence> EvalBinary(const AstNode& node, Environment& env,
+                                const Focus* focus);
+  StatusOr<Sequence> EvalFunction(const AstNode& node, Environment& env,
+                                  const Focus* focus);
+  StatusOr<Sequence> EvalConstructor(const AstNode& node, Environment& env,
+                                     const Focus* focus);
+
+  Status ApplyStep(const Step& step, const Sequence& input, Environment& env,
+                   Sequence* output);
+  Status ApplyPredicates(const std::vector<AstPtr>& predicates,
+                         Environment& env, Sequence* group);
+
+  // Hash-join decorrelation machinery.
+  const JoinPlan* AnalyzeJoin(const AstNode& flwor);
+  StatusOr<Sequence> EvalHashJoin(const AstNode& node, const JoinPlan& plan,
+                                  Environment& env, const Focus* focus);
+
+  const StorageAdapter* store_;
+  EvaluatorOptions options_;
+  Stats stats_;
+
+  const ParsedQuery* current_query_ = nullptr;
+  std::unordered_map<std::string, const FunctionDecl*> functions_;
+  std::unordered_map<const AstNode*, std::unique_ptr<JoinPlan>> join_plans_;
+  std::unordered_map<const AstNode*, std::unique_ptr<JoinCache>> join_caches_;
+  std::unordered_map<const AstNode*, Sequence> invariant_cache_;
+  int udf_depth_ = 0;
+};
+
+/// Deep-copies a stored node into a constructed tree (System G's copy
+/// semantics; also used by the result checker).
+ConstructedPtr DeepCopyNode(const NodeRef& ref);
+
+}  // namespace xmark::query
+
+#endif  // XMARK_QUERY_EVALUATOR_H_

@@ -1,0 +1,220 @@
+#include "query/lexer.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace xmark::query {
+namespace {
+
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsNameChar(char c) {
+  return IsNameStart(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+         c == '-' || c == '.' || c == ':';
+}
+
+}  // namespace
+
+void Lexer::SkipTrivia() {
+  while (pos_ < input_.size()) {
+    const char c = input_[pos_];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++pos_;
+      continue;
+    }
+    // XQuery comments: (: ... :), nestable.
+    if (c == '(' && pos_ + 1 < input_.size() && input_[pos_ + 1] == ':') {
+      int depth = 1;
+      pos_ += 2;
+      while (pos_ < input_.size() && depth > 0) {
+        if (input_.compare(pos_, 2, "(:") == 0) {
+          ++depth;
+          pos_ += 2;
+        } else if (input_.compare(pos_, 2, ":)") == 0) {
+          --depth;
+          pos_ += 2;
+        } else {
+          ++pos_;
+        }
+      }
+      continue;
+    }
+    break;
+  }
+}
+
+StatusOr<Token> Lexer::Next() {
+  SkipTrivia();
+  Token tok;
+  tok.begin = pos_;
+  if (pos_ >= input_.size()) {
+    tok.kind = TokenKind::kEof;
+    tok.end = pos_;
+    return tok;
+  }
+  const char c = input_[pos_];
+
+  auto single = [&](TokenKind kind) {
+    tok.kind = kind;
+    ++pos_;
+    tok.end = pos_;
+    return tok;
+  };
+  auto two = [&](TokenKind kind) {
+    tok.kind = kind;
+    pos_ += 2;
+    tok.end = pos_;
+    return tok;
+  };
+
+  if (IsNameStart(c)) {
+    size_t p = pos_;
+    while (p < input_.size() && IsNameChar(input_[p])) ++p;
+    tok.kind = TokenKind::kIdent;
+    tok.text = std::string(input_.substr(pos_, p - pos_));
+    pos_ = p;
+    tok.end = p;
+    return tok;
+  }
+  if (c == '$') {
+    size_t p = pos_ + 1;
+    if (p >= input_.size() || !IsNameStart(input_[p])) {
+      return Status::ParseError("expected variable name after '$'");
+    }
+    while (p < input_.size() && IsNameChar(input_[p])) ++p;
+    tok.kind = TokenKind::kVar;
+    tok.text = std::string(input_.substr(pos_ + 1, p - pos_ - 1));
+    pos_ = p;
+    tok.end = p;
+    return tok;
+  }
+  if (c == '"' || c == '\'') {
+    const char quote = c;
+    std::string out;
+    size_t p = pos_ + 1;
+    while (p < input_.size()) {
+      if (input_[p] == quote) {
+        // Doubled quote is an escaped quote.
+        if (p + 1 < input_.size() && input_[p + 1] == quote) {
+          out.push_back(quote);
+          p += 2;
+          continue;
+        }
+        tok.kind = TokenKind::kString;
+        tok.text = std::move(out);
+        pos_ = p + 1;
+        tok.end = pos_;
+        return tok;
+      }
+      out.push_back(input_[p]);
+      ++p;
+    }
+    return Status::ParseError("unterminated string literal");
+  }
+  if (std::isdigit(static_cast<unsigned char>(c)) ||
+      (c == '.' && pos_ + 1 < input_.size() &&
+       std::isdigit(static_cast<unsigned char>(input_[pos_ + 1])))) {
+    size_t p = pos_;
+    while (p < input_.size() &&
+           (std::isdigit(static_cast<unsigned char>(input_[p])) ||
+            input_[p] == '.')) {
+      ++p;
+    }
+    // Optional exponent.
+    if (p < input_.size() && (input_[p] == 'e' || input_[p] == 'E')) {
+      size_t q = p + 1;
+      if (q < input_.size() && (input_[q] == '+' || input_[q] == '-')) ++q;
+      if (q < input_.size() &&
+          std::isdigit(static_cast<unsigned char>(input_[q]))) {
+        while (q < input_.size() &&
+               std::isdigit(static_cast<unsigned char>(input_[q]))) {
+          ++q;
+        }
+        p = q;
+      }
+    }
+    tok.kind = TokenKind::kNumber;
+    tok.text = std::string(input_.substr(pos_, p - pos_));
+    const auto parsed = ParseDouble(tok.text);
+    if (!parsed.has_value()) {
+      return Status::ParseError("malformed number '" + tok.text + "'");
+    }
+    tok.number = *parsed;
+    pos_ = p;
+    tok.end = p;
+    return tok;
+  }
+
+  switch (c) {
+    case '(':
+      return single(TokenKind::kLParen);
+    case ')':
+      return single(TokenKind::kRParen);
+    case '[':
+      return single(TokenKind::kLBracket);
+    case ']':
+      return single(TokenKind::kRBracket);
+    case '{':
+      return single(TokenKind::kLBrace);
+    case '}':
+      return single(TokenKind::kRBrace);
+    case ',':
+      return single(TokenKind::kComma);
+    case ';':
+      return single(TokenKind::kSemicolon);
+    case '@':
+      return single(TokenKind::kAt);
+    case '*':
+      return single(TokenKind::kStar);
+    case '+':
+      return single(TokenKind::kPlus);
+    case '-':
+      return single(TokenKind::kMinus);
+    case '/':
+      if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '/') {
+        return two(TokenKind::kSlashSlash);
+      }
+      return single(TokenKind::kSlash);
+    case '.':
+      if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '.') {
+        return two(TokenKind::kDotDot);
+      }
+      return single(TokenKind::kDot);
+    case '=':
+      return single(TokenKind::kEq);
+    case '!':
+      if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '=') {
+        return two(TokenKind::kNe);
+      }
+      return Status::ParseError("unexpected '!'");
+    case '<':
+      if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '<') {
+        return two(TokenKind::kLtLt);
+      }
+      if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '=') {
+        return two(TokenKind::kLe);
+      }
+      return single(TokenKind::kLt);
+    case '>':
+      if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '>') {
+        return two(TokenKind::kGtGt);
+      }
+      if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '=') {
+        return two(TokenKind::kGe);
+      }
+      return single(TokenKind::kGt);
+    case ':':
+      if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '=') {
+        return two(TokenKind::kAssign);
+      }
+      return Status::ParseError("unexpected ':'");
+    default:
+      return Status::ParseError(std::string("unexpected character '") + c +
+                                "' at offset " + std::to_string(pos_));
+  }
+}
+
+}  // namespace xmark::query

@@ -1,0 +1,77 @@
+#ifndef XMARK_QUERY_LEXER_H_
+#define XMARK_QUERY_LEXER_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace xmark::query {
+
+enum class TokenKind {
+  kEof,
+  kIdent,    // name (may contain ':', '-', '.')
+  kVar,      // $name (text excludes '$')
+  kString,   // quoted literal, text is decoded
+  kNumber,
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kLBrace,
+  kRBrace,
+  kComma,
+  kSemicolon,
+  kSlash,
+  kSlashSlash,
+  kAt,
+  kStar,
+  kPlus,
+  kMinus,
+  kDot,
+  kDotDot,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kLtLt,   // <<
+  kGtGt,   // >>
+  kAssign, // :=
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;     // identifier/string/number spelling
+  double number = 0.0;  // for kNumber
+  size_t begin = 0;     // offset of the first character in the source
+  size_t end = 0;       // one past the last character
+};
+
+/// Hand-written tokenizer for the XQuery subset. The parser can read and
+/// reset the cursor (position()/SetPosition()) — this is how direct element
+/// constructors, which are not token-structured, are handled.
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) {}
+
+  /// Scans the next token starting at the cursor. kParseError on bad input.
+  StatusOr<Token> Next();
+
+  /// Raw source access for the constructor sub-parser.
+  std::string_view input() const { return input_; }
+  size_t position() const { return pos_; }
+  void SetPosition(size_t pos) { pos_ = pos; }
+
+  /// Skips whitespace and (: comments :) without consuming a token.
+  void SkipTrivia();
+
+ private:
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+}  // namespace xmark::query
+
+#endif  // XMARK_QUERY_LEXER_H_

@@ -1,0 +1,71 @@
+#ifndef XMARK_QUERY_PARSER_H_
+#define XMARK_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "query/ast.h"
+#include "query/lexer.h"
+#include "util/status.h"
+
+namespace xmark::query {
+
+/// Recursive-descent parser for the XQuery subset used by the twenty XMark
+/// queries: FLWOR, quantifiers, path expressions with predicates, direct
+/// element constructors with embedded expressions, prolog function
+/// declarations, and the operator grammar (or/and/comparisons incl. `<<`
+/// node order, additive, multiplicative).
+class Parser {
+ public:
+  explicit Parser(std::string_view input);
+
+  /// Parses a complete query module (prolog + body).
+  StatusOr<ParsedQuery> ParseQuery();
+
+  /// Parses a standalone expression (tests / interactive use).
+  StatusOr<AstPtr> ParseExpression();
+
+ private:
+  // Token plumbing.
+  Status Advance();
+  bool CurIs(TokenKind kind) const { return cur_.kind == kind; }
+  bool CurIsIdent(std::string_view text) const {
+    return cur_.kind == TokenKind::kIdent && cur_.text == text;
+  }
+  Status Expect(TokenKind kind, const char* what);
+  StatusOr<Token> PeekNext();
+  Status Fail(const std::string& message) const;
+
+  // Grammar productions.
+  StatusOr<AstPtr> ParseExpr();         // Expr ::= ExprSingle ("," ...)*
+  StatusOr<AstPtr> ParseExprSingle();
+  StatusOr<AstPtr> ParseFlwor();
+  StatusOr<AstPtr> ParseQuantified();
+  StatusOr<AstPtr> ParseIf();
+  StatusOr<AstPtr> ParseOr();
+  StatusOr<AstPtr> ParseAnd();
+  StatusOr<AstPtr> ParseComparison();
+  StatusOr<AstPtr> ParseAdditive();
+  StatusOr<AstPtr> ParseMultiplicative();
+  StatusOr<AstPtr> ParseUnary();
+  StatusOr<AstPtr> ParsePath();
+  StatusOr<AstPtr> ParsePrimary();
+  Status ParseStep(Axis axis, std::vector<Step>* steps);
+  Status ParsePredicates(std::vector<AstPtr>* predicates);
+
+  // Direct element constructor; scans raw source starting at `pos` (which
+  // points at '<'), returns the node and sets *resume to the offset just
+  // past the constructor.
+  StatusOr<AstPtr> ParseConstructorAt(size_t pos, size_t* resume);
+  // Parses "{ Expr }" raw-embedded at `pos` (pointing at '{').
+  StatusOr<AstPtr> ParseEmbeddedExpr(size_t pos, size_t* resume);
+
+  Lexer lexer_;
+  Token cur_;
+};
+
+/// Convenience wrapper: parse a whole query text.
+StatusOr<ParsedQuery> ParseQueryText(std::string_view text);
+
+}  // namespace xmark::query
+
+#endif  // XMARK_QUERY_PARSER_H_

@@ -1,0 +1,128 @@
+#ifndef XMARK_QUERY_STORAGE_H_
+#define XMARK_QUERY_STORAGE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xml/names.h"
+
+namespace xmark::query {
+
+/// Opaque node handle within one storage engine.
+using NodeHandle = uint64_t;
+
+inline constexpr NodeHandle kInvalidHandle = ~uint64_t{0};
+
+/// Abstract physical XML mapping. The query evaluator is written entirely
+/// against this interface; the systems of the paper's evaluation (A-G)
+/// differ in how they implement it (edge table, fragmented tables,
+/// DTD-inlined tables, native DOM with or without indexes), which is what
+/// produces the performance contrasts of Tables 1-3.
+///
+/// Navigation methods must behave like the XPath data model over the loaded
+/// document: elements and text nodes only (the benchmark document has no
+/// other node kinds), attributes exposed through dedicated accessors.
+class StorageAdapter {
+ public:
+  virtual ~StorageAdapter() = default;
+
+  /// Human-readable mapping name ("edge table", "native DOM", ...).
+  virtual std::string_view mapping_name() const = 0;
+
+  /// The name table used by this store's NameIds.
+  virtual const xml::NameTable& names() const = 0;
+
+  /// The document element.
+  virtual NodeHandle Root() const = 0;
+
+  virtual bool IsElement(NodeHandle n) const = 0;
+  /// Tag id for elements; xml::kInvalidName for text nodes.
+  virtual xml::NameId NameOf(NodeHandle n) const = 0;
+  virtual NodeHandle Parent(NodeHandle n) const = 0;
+  virtual NodeHandle FirstChild(NodeHandle n) const = 0;
+  virtual NodeHandle NextSibling(NodeHandle n) const = 0;
+
+  /// Content of a text node.
+  virtual std::string Text(NodeHandle n) const = 0;
+  /// XPath string-value (concatenated descendant text).
+  virtual std::string StringValue(NodeHandle n) const = 0;
+
+  virtual std::optional<std::string> Attribute(NodeHandle n,
+                                               std::string_view name) const = 0;
+  virtual std::vector<std::pair<std::string, std::string>> Attributes(
+      NodeHandle n) const = 0;
+
+  /// True when `a` precedes `b` in document order (Q4's BEFORE predicate).
+  virtual bool Before(NodeHandle a, NodeHandle b) const = 0;
+
+  // --- Optional access paths -------------------------------------------
+  // Engines advertise the physical structures their architecture provides;
+  // the evaluator exploits them only when the engine's feature flags allow.
+
+  /// O(1)/O(log n) lookup of an element by its ID attribute value.
+  virtual bool SupportsIdLookup() const { return false; }
+  virtual NodeHandle NodeById(std::string_view /*id*/) const {
+    return kInvalidHandle;
+  }
+
+  /// All elements with a given tag, in document order.
+  virtual bool SupportsTagIndex() const { return false; }
+  virtual const std::vector<NodeHandle>* NodesByTag(
+      xml::NameId /*tag*/) const {
+    return nullptr;
+  }
+  /// Descendant elements of `n` with tag `tag`, in document order, resolved
+  /// through an index rather than a subtree walk. nullopt when the store
+  /// has no structure supporting this.
+  virtual std::optional<std::vector<NodeHandle>> DescendantsByTag(
+      NodeHandle /*n*/, xml::NameId /*tag*/) const {
+    return std::nullopt;
+  }
+  /// Children of `n` with tag `tag` resolved through the physical layout
+  /// (fragmented tables, inlined child slots). nullopt → caller iterates
+  /// the generic child chain.
+  virtual std::optional<std::vector<NodeHandle>> ChildrenByTag(
+      NodeHandle /*n*/, xml::NameId /*tag*/) const {
+    return std::nullopt;
+  }
+
+  /// Resolves an element name against the mapping's catalog during query
+  /// compilation; returns the number of catalog entries inspected. For a
+  /// monolithic mapping this is one dictionary probe, for a highly
+  /// fragmented mapping it scans the table catalog — the effect Table 2
+  /// reports as compilation-cost differences between systems A and B.
+  virtual size_t ResolveName(std::string_view name) const {
+    return names().Lookup(name) != xml::kInvalidName ? 1 : 0;
+  }
+
+  /// Structural summary (DataGuide): resolve a root-to-node child path to
+  /// its extent, or just its cardinality, without touching the document
+  /// (System D's trick that makes Q6/Q7 "surprisingly fast").
+  virtual bool SupportsPathIndex() const { return false; }
+  virtual std::optional<std::vector<NodeHandle>> PathExtent(
+      const std::vector<xml::NameId>& /*path*/) const {
+    return std::nullopt;
+  }
+  /// Count of nodes reachable from the path prefix by descending through
+  /// any further tags whose last step equals `tag` (supports //tag counts).
+  virtual std::optional<int64_t> PathCount(
+      const std::vector<xml::NameId>& /*path*/) const {
+    return std::nullopt;
+  }
+
+  // --- Accounting --------------------------------------------------------
+
+  /// Bytes of memory held by the mapping (Table 1's "database size").
+  virtual size_t StorageBytes() const = 0;
+
+  /// Number of catalog entries (tables/paths) the mapping exposes; drives
+  /// the metadata-access cost during query compilation (Table 2).
+  virtual size_t CatalogEntries() const = 0;
+};
+
+}  // namespace xmark::query
+
+#endif  // XMARK_QUERY_STORAGE_H_

@@ -1,0 +1,150 @@
+#include "query/value.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace xmark::query {
+namespace {
+
+void SerializeStoredNode(const NodeRef& ref, std::string& out) {
+  const StorageAdapter& store = *ref.store;
+  if (!store.IsElement(ref.handle)) {
+    AppendXmlEscaped(out, store.Text(ref.handle));
+    return;
+  }
+  out.push_back('<');
+  const std::string tag(store.names().Spelling(store.NameOf(ref.handle)));
+  out.append(tag);
+  for (const auto& [name, value] : store.Attributes(ref.handle)) {
+    out.push_back(' ');
+    out.append(name);
+    out.append("=\"");
+    AppendXmlEscaped(out, value);
+    out.push_back('"');
+  }
+  NodeHandle child = store.FirstChild(ref.handle);
+  if (child == kInvalidHandle) {
+    out.append("/>");
+    return;
+  }
+  out.push_back('>');
+  for (; child != kInvalidHandle; child = store.NextSibling(child)) {
+    SerializeStoredNode(NodeRef{&store, child}, out);
+  }
+  out.append("</");
+  out.append(tag);
+  out.push_back('>');
+}
+
+void SerializeConstructed(const ConstructedNode& node, std::string& out) {
+  if (node.tag.empty()) {
+    AppendXmlEscaped(out, node.text);
+    return;
+  }
+  out.push_back('<');
+  out.append(node.tag);
+  for (const auto& [name, value] : node.attributes) {
+    out.push_back(' ');
+    out.append(name);
+    out.append("=\"");
+    AppendXmlEscaped(out, value);
+    out.push_back('"');
+  }
+  if (node.children.empty()) {
+    out.append("/>");
+    return;
+  }
+  out.push_back('>');
+  for (const Item& child : node.children) {
+    if (child.is_node()) {
+      SerializeStoredNode(child.node(), out);
+    } else if (child.is_constructed()) {
+      SerializeConstructed(*child.constructed(), out);
+    } else {
+      AppendXmlEscaped(out, ItemStringValue(child));
+    }
+  }
+  out.append("</");
+  out.append(node.tag);
+  out.push_back('>');
+}
+
+void AppendConstructedStringValue(const ConstructedNode& node,
+                                  std::string& out) {
+  if (node.tag.empty()) {
+    out.append(node.text);
+    return;
+  }
+  for (const Item& child : node.children) {
+    if (child.is_constructed()) {
+      AppendConstructedStringValue(*child.constructed(), out);
+    } else {
+      out.append(ItemStringValue(child));
+    }
+  }
+}
+
+}  // namespace
+
+std::string ConstructedStringValue(const ConstructedNode& node) {
+  std::string out;
+  AppendConstructedStringValue(node, out);
+  return out;
+}
+
+std::string ItemStringValue(const Item& item) {
+  if (item.is_node()) {
+    return item.node().store->StringValue(item.node().handle);
+  }
+  if (item.is_constructed()) return ConstructedStringValue(*item.constructed());
+  if (item.is_boolean()) return item.boolean() ? "true" : "false";
+  if (item.is_number()) return FormatDouble(item.number());
+  return item.string();
+}
+
+std::optional<double> ItemNumberValue(const Item& item) {
+  if (item.is_number()) return item.number();
+  if (item.is_boolean()) return item.boolean() ? 1.0 : 0.0;
+  return ParseDouble(ItemStringValue(item));
+}
+
+bool EffectiveBooleanValue(const Sequence& seq) {
+  if (seq.empty()) return false;
+  const Item& first = seq.front();
+  if (first.is_node() || first.is_constructed()) return true;
+  if (seq.size() > 1) return true;  // relaxed (see header)
+  if (first.is_boolean()) return first.boolean();
+  if (first.is_number()) {
+    return first.number() != 0.0 && !std::isnan(first.number());
+  }
+  return !first.string().empty();
+}
+
+std::string SerializeItem(const Item& item) {
+  if (item.is_node()) {
+    std::string out;
+    SerializeStoredNode(item.node(), out);
+    return out;
+  }
+  if (item.is_constructed()) {
+    std::string out;
+    SerializeConstructed(*item.constructed(), out);
+    return out;
+  }
+  return ItemStringValue(item);
+}
+
+std::string SerializeSequence(const Sequence& seq) {
+  std::string out;
+  bool prev_atomic = false;
+  for (size_t i = 0; i < seq.size(); ++i) {
+    const bool atomic = seq[i].is_atomic();
+    if (i > 0) out.push_back((atomic && prev_atomic) ? ' ' : '\n');
+    out.append(SerializeItem(seq[i]));
+    prev_atomic = atomic;
+  }
+  return out;
+}
+
+}  // namespace xmark::query

@@ -1,0 +1,100 @@
+#ifndef XMARK_QUERY_VALUE_H_
+#define XMARK_QUERY_VALUE_H_
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "query/storage.h"
+#include "util/status.h"
+
+namespace xmark::query {
+
+struct ConstructedNode;
+class Item;
+
+/// XQuery value: an ordered sequence of items.
+using Sequence = std::vector<Item>;
+
+/// Reference to a node inside a storage engine.
+struct NodeRef {
+  const StorageAdapter* store = nullptr;
+  NodeHandle handle = kInvalidHandle;
+
+  bool operator==(const NodeRef& other) const {
+    return store == other.store && handle == other.handle;
+  }
+};
+
+/// Element (or text) newly constructed by a query (Q10/Q13 style
+/// constructors). Children may mix text, nested constructed nodes and
+/// references to stored nodes (which are deep-copied only at serialization
+/// time).
+struct ConstructedNode {
+  std::string tag;  // empty => text node, `text` holds the content
+  std::string text;
+  std::vector<std::pair<std::string, std::string>> attributes;
+  std::vector<Item> children;
+};
+
+using ConstructedPtr = std::shared_ptr<const ConstructedNode>;
+
+/// One XQuery item: a stored node, a constructed node, or an atomic value.
+class Item {
+ public:
+  Item() : value_(false) {}
+  explicit Item(bool b) : value_(b) {}
+  explicit Item(double d) : value_(d) {}
+  explicit Item(std::string s) : value_(std::move(s)) {}
+  explicit Item(NodeRef n) : value_(n) {}
+  explicit Item(ConstructedPtr c) : value_(std::move(c)) {}
+
+  bool is_node() const { return std::holds_alternative<NodeRef>(value_); }
+  bool is_constructed() const {
+    return std::holds_alternative<ConstructedPtr>(value_);
+  }
+  bool is_boolean() const { return std::holds_alternative<bool>(value_); }
+  bool is_number() const { return std::holds_alternative<double>(value_); }
+  bool is_string() const {
+    return std::holds_alternative<std::string>(value_);
+  }
+  bool is_atomic() const { return !is_node() && !is_constructed(); }
+
+  const NodeRef& node() const { return std::get<NodeRef>(value_); }
+  const ConstructedPtr& constructed() const {
+    return std::get<ConstructedPtr>(value_);
+  }
+  bool boolean() const { return std::get<bool>(value_); }
+  double number() const { return std::get<double>(value_); }
+  const std::string& string() const { return std::get<std::string>(value_); }
+
+ private:
+  std::variant<bool, double, std::string, NodeRef, ConstructedPtr> value_;
+};
+
+/// String-value of an item (node string-value, atomic lexical form).
+std::string ItemStringValue(const Item& item);
+
+/// Numeric value; nullopt when the lexical form is not a number.
+std::optional<double> ItemNumberValue(const Item& item);
+
+/// XQuery effective boolean value of a sequence. Errors on multi-item
+/// atomic-only sequences are relaxed to "true if non-empty" — the queries
+/// in the benchmark never rely on that error.
+bool EffectiveBooleanValue(const Sequence& seq);
+
+/// Serializes an item the way query results are printed: markup for nodes,
+/// lexical form for atomics.
+std::string SerializeItem(const Item& item);
+
+/// Serializes a whole sequence, separating top-level atomics with spaces
+/// and nodes with newlines.
+std::string SerializeSequence(const Sequence& seq);
+
+/// String-value of a constructed node (concatenated text).
+std::string ConstructedStringValue(const ConstructedNode& node);
+
+}  // namespace xmark::query
+
+#endif  // XMARK_QUERY_VALUE_H_

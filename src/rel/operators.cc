@@ -1,0 +1,237 @@
+#include "rel/operators.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace xmark::rel {
+
+StatusOr<bool> TableScan::Next(Row* row) {
+  if (pos_ >= table_->num_rows()) return false;
+  row->clear();
+  row->reserve(table_->num_columns());
+  for (size_t c = 0; c < table_->num_columns(); ++c) {
+    row->push_back(table_->ValueAt(c, pos_));
+  }
+  ++pos_;
+  return true;
+}
+
+StatusOr<bool> Filter::Next(Row* row) {
+  while (true) {
+    XMARK_ASSIGN_OR_RETURN(bool more, input_->Next(row));
+    if (!more) return false;
+    if (predicate_(*row)) return true;
+  }
+}
+
+StatusOr<bool> Project::Next(Row* row) {
+  XMARK_ASSIGN_OR_RETURN(bool more, input_->Next(row));
+  if (!more) return false;
+  *row = projection_(*row);
+  return true;
+}
+
+Status HashJoin::Open() {
+  XMARK_RETURN_IF_ERROR(right_->Open());
+  build_.clear();
+  Row row;
+  while (true) {
+    XMARK_ASSIGN_OR_RETURN(bool more, right_->Next(&row));
+    if (!more) break;
+    build_.emplace(ValueToString(row[right_key_]), row);
+  }
+  XMARK_RETURN_IF_ERROR(left_->Open());
+  left_open_ = true;
+  matches_.clear();
+  match_pos_ = 0;
+  return Status::OK();
+}
+
+StatusOr<bool> HashJoin::Next(Row* row) {
+  XMARK_CHECK(left_open_);
+  while (true) {
+    if (match_pos_ < matches_.size()) {
+      *row = current_left_;
+      const Row& right = *matches_[match_pos_++];
+      row->insert(row->end(), right.begin(), right.end());
+      return true;
+    }
+    XMARK_ASSIGN_OR_RETURN(bool more, left_->Next(&current_left_));
+    if (!more) return false;
+    matches_.clear();
+    match_pos_ = 0;
+    auto [begin, end] =
+        build_.equal_range(ValueToString(current_left_[left_key_]));
+    for (auto it = begin; it != end; ++it) matches_.push_back(&it->second);
+  }
+}
+
+Status NestedLoopJoin::Open() {
+  XMARK_RETURN_IF_ERROR(right_->Open());
+  right_rows_.clear();
+  Row row;
+  while (true) {
+    XMARK_ASSIGN_OR_RETURN(bool more, right_->Next(&row));
+    if (!more) break;
+    right_rows_.push_back(row);
+  }
+  XMARK_RETURN_IF_ERROR(left_->Open());
+  right_pos_ = 0;
+  left_valid_ = false;
+  return Status::OK();
+}
+
+StatusOr<bool> NestedLoopJoin::Next(Row* row) {
+  while (true) {
+    if (!left_valid_) {
+      XMARK_ASSIGN_OR_RETURN(bool more, left_->Next(&current_left_));
+      if (!more) return false;
+      left_valid_ = true;
+      right_pos_ = 0;
+    }
+    while (right_pos_ < right_rows_.size()) {
+      const Row& right = right_rows_[right_pos_++];
+      if (condition_(current_left_, right)) {
+        *row = current_left_;
+        row->insert(row->end(), right.begin(), right.end());
+        return true;
+      }
+    }
+    left_valid_ = false;
+  }
+}
+
+Status Sort::Open() {
+  XMARK_RETURN_IF_ERROR(input_->Open());
+  rows_.clear();
+  Row row;
+  while (true) {
+    XMARK_ASSIGN_OR_RETURN(bool more, input_->Next(&row));
+    if (!more) break;
+    rows_.push_back(row);
+  }
+  std::stable_sort(rows_.begin(), rows_.end(),
+                   [this](const Row& a, const Row& b) {
+                     for (const Key& key : keys_) {
+                       int cmp = CompareValues(a[key.column], b[key.column]);
+                       if (key.descending) cmp = -cmp;
+                       if (cmp != 0) return cmp < 0;
+                     }
+                     return false;
+                   });
+  pos_ = 0;
+  return Status::OK();
+}
+
+StatusOr<bool> Sort::Next(Row* row) {
+  if (pos_ >= rows_.size()) return false;
+  *row = rows_[pos_++];
+  return true;
+}
+
+Status Aggregate::Open() {
+  XMARK_RETURN_IF_ERROR(input_->Open());
+  results_.clear();
+  pos_ = 0;
+
+  struct GroupState {
+    Row key;
+    std::vector<double> accum;
+    std::vector<int64_t> count;
+    std::vector<bool> seen;
+  };
+  // std::map keyed on the rendered group key keeps deterministic output
+  // order (sorted by key).
+  std::map<std::string, GroupState> groups;
+
+  Row row;
+  while (true) {
+    XMARK_ASSIGN_OR_RETURN(bool more, input_->Next(&row));
+    if (!more) break;
+    std::string key_text;
+    Row key;
+    for (size_t c : group_columns_) {
+      key_text += ValueToString(row[c]);
+      key_text.push_back('\x1f');
+      key.push_back(row[c]);
+    }
+    auto [it, inserted] = groups.try_emplace(key_text);
+    GroupState& state = it->second;
+    if (inserted) {
+      state.key = std::move(key);
+      state.accum.assign(aggregates_.size(), 0.0);
+      state.count.assign(aggregates_.size(), 0);
+      state.seen.assign(aggregates_.size(), false);
+    }
+    for (size_t a = 0; a < aggregates_.size(); ++a) {
+      const Agg& agg = aggregates_[a];
+      ++state.count[a];
+      if (agg.func == Func::kCount) continue;
+      const Value& v = row[agg.column];
+      const double num = std::holds_alternative<int64_t>(v)
+                             ? static_cast<double>(std::get<int64_t>(v))
+                             : std::holds_alternative<double>(v)
+                                   ? std::get<double>(v)
+                                   : 0.0;
+      switch (agg.func) {
+        case Func::kSum:
+          state.accum[a] += num;
+          break;
+        case Func::kMin:
+          if (!state.seen[a] || num < state.accum[a]) state.accum[a] = num;
+          break;
+        case Func::kMax:
+          if (!state.seen[a] || num > state.accum[a]) state.accum[a] = num;
+          break;
+        case Func::kCount:
+          break;
+      }
+      state.seen[a] = true;
+    }
+  }
+  // A global aggregate over an empty input still produces one row.
+  if (groups.empty() && group_columns_.empty()) {
+    Row out;
+    for (const Agg& agg : aggregates_) {
+      out.push_back(agg.func == Func::kCount ? Value(int64_t{0})
+                                             : Value(0.0));
+    }
+    results_.push_back(std::move(out));
+    return Status::OK();
+  }
+  for (auto& [text, state] : groups) {
+    Row out = state.key;
+    for (size_t a = 0; a < aggregates_.size(); ++a) {
+      if (aggregates_[a].func == Func::kCount) {
+        out.push_back(state.count[a]);
+      } else {
+        out.push_back(state.accum[a]);
+      }
+    }
+    results_.push_back(std::move(out));
+  }
+  return Status::OK();
+}
+
+StatusOr<bool> Aggregate::Next(Row* row) {
+  if (pos_ >= results_.size()) return false;
+  *row = results_[pos_++];
+  return true;
+}
+
+StatusOr<std::vector<Row>> Collect(Operator* plan) {
+  XMARK_RETURN_IF_ERROR(plan->Open());
+  std::vector<Row> out;
+  Row row;
+  while (true) {
+    XMARK_ASSIGN_OR_RETURN(bool more, plan->Next(&row));
+    if (!more) break;
+    out.push_back(row);
+  }
+  return out;
+}
+
+}  // namespace xmark::rel

@@ -1,0 +1,168 @@
+#ifndef XMARK_REL_OPERATORS_H_
+#define XMARK_REL_OPERATORS_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "rel/table.h"
+#include "util/status.h"
+
+namespace xmark::rel {
+
+/// A materialized row flowing between operators.
+using Row = std::vector<Value>;
+
+/// Pull-based (Volcano-style) operator interface: Open, then Next until it
+/// returns false. The relational engines of the paper's Systems A-C run
+/// their join-shaped query plans through these operators; the ablation
+/// bench compares hash join vs nested loops directly on them.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+  virtual Status Open() = 0;
+  /// Produces the next row into *row; returns false at end of stream.
+  virtual StatusOr<bool> Next(Row* row) = 0;
+};
+
+/// Full scan over a table.
+class TableScan : public Operator {
+ public:
+  explicit TableScan(const Table* table) : table_(table) {}
+  Status Open() override {
+    pos_ = 0;
+    return Status::OK();
+  }
+  StatusOr<bool> Next(Row* row) override;
+
+ private:
+  const Table* table_;
+  size_t pos_ = 0;
+};
+
+/// Filters rows by a predicate.
+class Filter : public Operator {
+ public:
+  Filter(std::unique_ptr<Operator> input,
+         std::function<bool(const Row&)> predicate)
+      : input_(std::move(input)), predicate_(std::move(predicate)) {}
+  Status Open() override { return input_->Open(); }
+  StatusOr<bool> Next(Row* row) override;
+
+ private:
+  std::unique_ptr<Operator> input_;
+  std::function<bool(const Row&)> predicate_;
+};
+
+/// Projects/computes columns.
+class Project : public Operator {
+ public:
+  Project(std::unique_ptr<Operator> input,
+          std::function<Row(const Row&)> projection)
+      : input_(std::move(input)), projection_(std::move(projection)) {}
+  Status Open() override { return input_->Open(); }
+  StatusOr<bool> Next(Row* row) override;
+
+ private:
+  std::unique_ptr<Operator> input_;
+  std::function<Row(const Row&)> projection_;
+};
+
+/// Equi hash join: build on the right input, probe with the left. Output
+/// rows are left ++ right.
+class HashJoin : public Operator {
+ public:
+  HashJoin(std::unique_ptr<Operator> left, std::unique_ptr<Operator> right,
+           size_t left_key, size_t right_key)
+      : left_(std::move(left)),
+        right_(std::move(right)),
+        left_key_(left_key),
+        right_key_(right_key) {}
+  Status Open() override;
+  StatusOr<bool> Next(Row* row) override;
+
+ private:
+  std::unique_ptr<Operator> left_;
+  std::unique_ptr<Operator> right_;
+  size_t left_key_;
+  size_t right_key_;
+  std::unordered_multimap<std::string, Row> build_;
+  Row current_left_;
+  std::vector<const Row*> matches_;
+  size_t match_pos_ = 0;
+  bool left_open_ = false;
+};
+
+/// Nested-loop join with an arbitrary condition (theta joins — the Q11/Q12
+/// shape). Materializes the right input once.
+class NestedLoopJoin : public Operator {
+ public:
+  NestedLoopJoin(std::unique_ptr<Operator> left,
+                 std::unique_ptr<Operator> right,
+                 std::function<bool(const Row&, const Row&)> condition)
+      : left_(std::move(left)),
+        right_(std::move(right)),
+        condition_(std::move(condition)) {}
+  Status Open() override;
+  StatusOr<bool> Next(Row* row) override;
+
+ private:
+  std::unique_ptr<Operator> left_;
+  std::unique_ptr<Operator> right_;
+  std::function<bool(const Row&, const Row&)> condition_;
+  std::vector<Row> right_rows_;
+  Row current_left_;
+  size_t right_pos_ = 0;
+  bool left_valid_ = false;
+};
+
+/// Sorts the input by the given key columns (materializing).
+class Sort : public Operator {
+ public:
+  struct Key {
+    size_t column;
+    bool descending = false;
+  };
+  Sort(std::unique_ptr<Operator> input, std::vector<Key> keys)
+      : input_(std::move(input)), keys_(std::move(keys)) {}
+  Status Open() override;
+  StatusOr<bool> Next(Row* row) override;
+
+ private:
+  std::unique_ptr<Operator> input_;
+  std::vector<Key> keys_;
+  std::vector<Row> rows_;
+  size_t pos_ = 0;
+};
+
+/// Hash group-by with COUNT/SUM/MIN/MAX aggregates.
+class Aggregate : public Operator {
+ public:
+  enum class Func { kCount, kSum, kMin, kMax };
+  struct Agg {
+    Func func;
+    size_t column;  // ignored for kCount
+  };
+  /// `group_columns` may be empty for a global aggregate.
+  Aggregate(std::unique_ptr<Operator> input,
+            std::vector<size_t> group_columns, std::vector<Agg> aggregates)
+      : input_(std::move(input)),
+        group_columns_(std::move(group_columns)),
+        aggregates_(std::move(aggregates)) {}
+  Status Open() override;
+  StatusOr<bool> Next(Row* row) override;
+
+ private:
+  std::unique_ptr<Operator> input_;
+  std::vector<size_t> group_columns_;
+  std::vector<Agg> aggregates_;
+  std::vector<Row> results_;
+  size_t pos_ = 0;
+};
+
+/// Runs a plan to completion and collects all rows.
+StatusOr<std::vector<Row>> Collect(Operator* plan);
+
+}  // namespace xmark::rel
+
+#endif  // XMARK_REL_OPERATORS_H_

@@ -1,0 +1,109 @@
+#include "rel/shredder.h"
+
+#include "util/string_util.h"
+
+namespace xmark::rel {
+namespace {
+
+// First child element of `n` with the given tag, or kInvalidNode.
+xml::NodeId ChildByTag(const xml::Document& doc, xml::NodeId n,
+                       std::string_view tag) {
+  for (xml::NodeId c = doc.first_child(n); c != xml::kInvalidNode;
+       c = doc.next_sibling(c)) {
+    if (doc.IsElement(c) && doc.tag(c) == tag) return c;
+  }
+  return xml::kInvalidNode;
+}
+
+std::string ChildText(const xml::Document& doc, xml::NodeId n,
+                      std::string_view tag) {
+  const xml::NodeId c = ChildByTag(doc, n, tag);
+  return c == xml::kInvalidNode ? std::string() : doc.StringValue(c);
+}
+
+std::string RefAttr(const xml::Document& doc, xml::NodeId n,
+                    std::string_view tag, std::string_view attr) {
+  const xml::NodeId c = ChildByTag(doc, n, tag);
+  if (c == xml::kInvalidNode) return "";
+  const auto v = doc.attribute(c, attr);
+  return v.has_value() ? std::string(*v) : "";
+}
+
+}  // namespace
+
+StatusOr<AuctionTables> ShredAuctionDocument(const xml::Document& doc) {
+  AuctionTables tables;
+  tables.persons = std::make_unique<Table>(std::vector<ColumnSpec>{
+      {"id", ColumnType::kString},
+      {"name", ColumnType::kString},
+      {"city", ColumnType::kString},
+      {"country", ColumnType::kString},
+      {"income", ColumnType::kDouble},
+  });
+  tables.items = std::make_unique<Table>(std::vector<ColumnSpec>{
+      {"id", ColumnType::kString},
+      {"name", ColumnType::kString},
+      {"continent", ColumnType::kString},
+      {"location", ColumnType::kString},
+  });
+  tables.open_auctions = std::make_unique<Table>(std::vector<ColumnSpec>{
+      {"id", ColumnType::kString},
+      {"item", ColumnType::kString},
+      {"seller", ColumnType::kString},
+      {"initial", ColumnType::kDouble},
+      {"current", ColumnType::kDouble},
+  });
+  tables.closed_auctions = std::make_unique<Table>(std::vector<ColumnSpec>{
+      {"item", ColumnType::kString},
+      {"buyer", ColumnType::kString},
+      {"seller", ColumnType::kString},
+      {"price", ColumnType::kDouble},
+  });
+
+  for (xml::NodeId n = 0; n < doc.num_nodes(); ++n) {
+    if (!doc.IsElement(n)) continue;
+    const std::string& tag = doc.tag(n);
+    if (tag == "person") {
+      double income = -1.0;
+      const xml::NodeId profile = ChildByTag(doc, n, "profile");
+      if (profile != xml::kInvalidNode) {
+        const std::string text = ChildText(doc, profile, "income");
+        const auto parsed = ParseDouble(text);
+        if (parsed.has_value()) income = *parsed;
+      }
+      std::string city, country;
+      const xml::NodeId address = ChildByTag(doc, n, "address");
+      if (address != xml::kInvalidNode) {
+        city = ChildText(doc, address, "city");
+        country = ChildText(doc, address, "country");
+      }
+      XMARK_RETURN_IF_ERROR(tables.persons->AppendRow(
+          {std::string(doc.attribute(n, "id").value_or("")),
+           ChildText(doc, n, "name"), std::move(city), std::move(country),
+           income}));
+    } else if (tag == "item") {
+      const xml::NodeId region = doc.parent(n);
+      XMARK_RETURN_IF_ERROR(tables.items->AppendRow(
+          {std::string(doc.attribute(n, "id").value_or("")),
+           ChildText(doc, n, "name"),
+           region == xml::kInvalidNode ? std::string() : doc.tag(region),
+           ChildText(doc, n, "location")}));
+    } else if (tag == "open_auction") {
+      XMARK_RETURN_IF_ERROR(tables.open_auctions->AppendRow(
+          {std::string(doc.attribute(n, "id").value_or("")),
+           RefAttr(doc, n, "itemref", "item"),
+           RefAttr(doc, n, "seller", "person"),
+           ParseDouble(ChildText(doc, n, "initial")).value_or(0.0),
+           ParseDouble(ChildText(doc, n, "current")).value_or(0.0)}));
+    } else if (tag == "closed_auction") {
+      XMARK_RETURN_IF_ERROR(tables.closed_auctions->AppendRow(
+          {RefAttr(doc, n, "itemref", "item"),
+           RefAttr(doc, n, "buyer", "person"),
+           RefAttr(doc, n, "seller", "person"),
+           ParseDouble(ChildText(doc, n, "price")).value_or(0.0)}));
+    }
+  }
+  return tables;
+}
+
+}  // namespace xmark::rel

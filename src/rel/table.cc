@@ -1,0 +1,123 @@
+#include "rel/table.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace xmark::rel {
+
+std::string ValueToString(const Value& v) {
+  if (std::holds_alternative<int64_t>(v)) {
+    return std::to_string(std::get<int64_t>(v));
+  }
+  if (std::holds_alternative<double>(v)) {
+    return FormatDouble(std::get<double>(v));
+  }
+  return std::get<std::string>(v);
+}
+
+int CompareValues(const Value& a, const Value& b) {
+  // Numeric types compare numerically with each other; strings compare
+  // lexicographically; numbers sort before strings.
+  const bool a_num = !std::holds_alternative<std::string>(a);
+  const bool b_num = !std::holds_alternative<std::string>(b);
+  if (a_num != b_num) return a_num ? -1 : 1;
+  if (a_num) {
+    const double da = std::holds_alternative<int64_t>(a)
+                          ? static_cast<double>(std::get<int64_t>(a))
+                          : std::get<double>(a);
+    const double db = std::holds_alternative<int64_t>(b)
+                          ? static_cast<double>(std::get<int64_t>(b))
+                          : std::get<double>(b);
+    if (da < db) return -1;
+    if (da > db) return 1;
+    return 0;
+  }
+  return std::get<std::string>(a).compare(std::get<std::string>(b));
+}
+
+Table::Table(std::vector<ColumnSpec> schema) : schema_(std::move(schema)) {
+  col_slot_.reserve(schema_.size());
+  for (const ColumnSpec& col : schema_) {
+    switch (col.type) {
+      case ColumnType::kInt64:
+        col_slot_.push_back(int_cols_.size());
+        int_cols_.emplace_back();
+        break;
+      case ColumnType::kDouble:
+        col_slot_.push_back(double_cols_.size());
+        double_cols_.emplace_back();
+        break;
+      case ColumnType::kString:
+        col_slot_.push_back(string_cols_.size());
+        string_cols_.emplace_back();
+        break;
+    }
+  }
+}
+
+int Table::ColumnIndex(std::string_view name) const {
+  for (size_t i = 0; i < schema_.size(); ++i) {
+    if (schema_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status Table::AppendRow(std::vector<Value> row) {
+  if (row.size() != schema_.size()) {
+    return Status::InvalidArgument("row arity mismatch");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    switch (schema_[i].type) {
+      case ColumnType::kInt64:
+        if (!std::holds_alternative<int64_t>(row[i])) {
+          return Status::InvalidArgument("column " + schema_[i].name +
+                                         " expects int64");
+        }
+        int_cols_[col_slot_[i]].push_back(std::get<int64_t>(row[i]));
+        break;
+      case ColumnType::kDouble:
+        if (!std::holds_alternative<double>(row[i])) {
+          return Status::InvalidArgument("column " + schema_[i].name +
+                                         " expects double");
+        }
+        double_cols_[col_slot_[i]].push_back(std::get<double>(row[i]));
+        break;
+      case ColumnType::kString:
+        if (!std::holds_alternative<std::string>(row[i])) {
+          return Status::InvalidArgument("column " + schema_[i].name +
+                                         " expects string");
+        }
+        string_cols_[col_slot_[i]].push_back(
+            std::move(std::get<std::string>(row[i])));
+        break;
+    }
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+Value Table::ValueAt(size_t column, size_t row) const {
+  switch (schema_[column].type) {
+    case ColumnType::kInt64:
+      return Int64At(column, row);
+    case ColumnType::kDouble:
+      return DoubleAt(column, row);
+    case ColumnType::kString:
+      return StringAt(column, row);
+  }
+  XMARK_CHECK(false);
+  return int64_t{0};
+}
+
+size_t Table::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& col : int_cols_) bytes += col.capacity() * sizeof(int64_t);
+  for (const auto& col : double_cols_) bytes += col.capacity() * sizeof(double);
+  for (const auto& col : string_cols_) {
+    bytes += col.capacity() * sizeof(std::string);
+    for (const std::string& s : col) bytes += s.capacity();
+  }
+  return bytes;
+}
+
+}  // namespace xmark::rel

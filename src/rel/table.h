@@ -1,0 +1,73 @@
+#ifndef XMARK_REL_TABLE_H_
+#define XMARK_REL_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/status.h"
+
+namespace xmark::rel {
+
+/// Column types of the mini relational engine. XML shredding needs little
+/// more: surrogate ids, numbers and strings (everything in the benchmark
+/// document is a string at rest and cast on use, paper §2).
+enum class ColumnType { kInt64, kDouble, kString };
+
+/// A single value.
+using Value = std::variant<int64_t, double, std::string>;
+
+/// Renders a value for output/tests.
+std::string ValueToString(const Value& v);
+
+/// Total order over values (type-first, then value) used by sort and
+/// group-by operators.
+int CompareValues(const Value& a, const Value& b);
+
+struct ColumnSpec {
+  std::string name;
+  ColumnType type;
+};
+
+/// Columnar table: fixed schema, append-only rows.
+class Table {
+ public:
+  explicit Table(std::vector<ColumnSpec> schema);
+
+  const std::vector<ColumnSpec>& schema() const { return schema_; }
+  size_t num_columns() const { return schema_.size(); }
+  size_t num_rows() const { return num_rows_; }
+
+  /// Index of the named column; -1 when absent.
+  int ColumnIndex(std::string_view name) const;
+
+  /// Appends a row; values must match the schema arity and types.
+  Status AppendRow(std::vector<Value> row);
+
+  int64_t Int64At(size_t column, size_t row) const {
+    return int_cols_[col_slot_[column]][row];
+  }
+  double DoubleAt(size_t column, size_t row) const {
+    return double_cols_[col_slot_[column]][row];
+  }
+  const std::string& StringAt(size_t column, size_t row) const {
+    return string_cols_[col_slot_[column]][row];
+  }
+  Value ValueAt(size_t column, size_t row) const;
+
+  /// Approximate memory held by the table.
+  size_t MemoryBytes() const;
+
+ private:
+  std::vector<ColumnSpec> schema_;
+  std::vector<size_t> col_slot_;  // column -> index within its type group
+  std::vector<std::vector<int64_t>> int_cols_;
+  std::vector<std::vector<double>> double_cols_;
+  std::vector<std::vector<std::string>> string_cols_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace xmark::rel
+
+#endif  // XMARK_REL_TABLE_H_

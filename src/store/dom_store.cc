@@ -1,0 +1,154 @@
+#include "store/dom_store.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace xmark::store {
+
+StatusOr<std::unique_ptr<DomStore>> DomStore::Load(std::string_view xml,
+                                                   const Options& options) {
+  XMARK_ASSIGN_OR_RETURN(xml::Document doc, xml::Document::Parse(xml));
+  std::unique_ptr<DomStore> out(new DomStore(std::move(doc), options));
+  out->BuildIndexes();
+  return out;
+}
+
+void DomStore::BuildIndexes() {
+  const xml::NameId id_attr = doc_.names().Lookup("id");
+  if (options_.build_path_summary) {
+    summary_.clear();
+    summary_.push_back(SummaryNode{});  // virtual document node
+  }
+  // Single DFS builds every index; summary positions are tracked with an
+  // explicit stack of summary indices parallel to the element stack.
+  std::vector<size_t> summary_stack{0};
+  std::vector<xml::NodeId> node_stack;
+
+  for (xml::NodeId n = 0; n < doc_.num_nodes(); ++n) {
+    // Maintain the stacks: pop ancestors that do not contain n.
+    while (!node_stack.empty() &&
+           !(n >= node_stack.back() && n < doc_.SubtreeEnd(node_stack.back()))) {
+      node_stack.pop_back();
+      if (options_.build_path_summary) summary_stack.pop_back();
+    }
+    if (!doc_.IsElement(n)) continue;
+
+    const xml::NameId tag = doc_.name(n);
+    if (options_.build_tag_index) {
+      tag_index_[tag].push_back(n);
+    }
+    if (options_.build_id_index && id_attr != xml::kInvalidName) {
+      const auto id = doc_.attribute(n, id_attr);
+      if (id.has_value()) id_index_.emplace(std::string(*id), n);
+    }
+    if (options_.build_path_summary) {
+      SummaryNode& parent = summary_[summary_stack.back()];
+      auto it = parent.children.find(tag);
+      size_t idx;
+      if (it == parent.children.end()) {
+        idx = summary_.size();
+        summary_[summary_stack.back()].children.emplace(tag, idx);
+        summary_.push_back(SummaryNode{});
+        summary_.back().tag = tag;
+      } else {
+        idx = it->second;
+      }
+      summary_[idx].extent.push_back(n);
+      summary_stack.push_back(idx);
+    }
+    node_stack.push_back(n);
+  }
+}
+
+std::optional<std::string> DomStore::Attribute(query::NodeHandle n,
+                                               std::string_view name) const {
+  const auto v = doc_.attribute(static_cast<xml::NodeId>(n), name);
+  if (!v.has_value()) return std::nullopt;
+  return std::string(*v);
+}
+
+std::vector<std::pair<std::string, std::string>> DomStore::Attributes(
+    query::NodeHandle n) const {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const auto& attr : doc_.attributes(static_cast<xml::NodeId>(n))) {
+    out.emplace_back(std::string(doc_.names().Spelling(attr.name)),
+                     std::string(attr.value));
+  }
+  return out;
+}
+
+query::NodeHandle DomStore::NodeById(std::string_view id) const {
+  const auto it = id_index_.find(std::string(id));
+  return it == id_index_.end() ? query::kInvalidHandle : it->second;
+}
+
+const std::vector<query::NodeHandle>* DomStore::NodesByTag(
+    xml::NameId tag) const {
+  if (!options_.build_tag_index) return nullptr;
+  const auto it = tag_index_.find(tag);
+  return it == tag_index_.end() ? nullptr : &it->second;
+}
+
+std::optional<std::vector<query::NodeHandle>> DomStore::DescendantsByTag(
+    query::NodeHandle n, xml::NameId tag) const {
+  if (!options_.build_tag_index) return std::nullopt;
+  const auto it = tag_index_.find(tag);
+  if (it == tag_index_.end()) return std::vector<query::NodeHandle>{};
+  // Preorder ids: the subtree of n is the contiguous handle interval
+  // [n+1, SubtreeEnd(n)), so a tag-index slice is exactly the answer.
+  const auto& handles = it->second;
+  const query::NodeHandle lo = n + 1;
+  const query::NodeHandle hi =
+      doc_.SubtreeEnd(static_cast<xml::NodeId>(n));
+  auto begin = std::lower_bound(handles.begin(), handles.end(), lo);
+  auto end = std::lower_bound(handles.begin(), handles.end(),
+                              static_cast<query::NodeHandle>(hi));
+  return std::vector<query::NodeHandle>(begin, end);
+}
+
+std::optional<std::vector<query::NodeHandle>> DomStore::PathExtent(
+    const std::vector<xml::NameId>& path) const {
+  if (!options_.build_path_summary || path.empty()) return std::nullopt;
+  size_t idx = 0;  // virtual document node
+  for (const xml::NameId tag : path) {
+    const auto it = summary_[idx].children.find(tag);
+    if (it == summary_[idx].children.end()) {
+      return std::vector<query::NodeHandle>{};
+    }
+    idx = it->second;
+  }
+  return summary_[idx].extent;
+}
+
+std::optional<int64_t> DomStore::PathCount(
+    const std::vector<xml::NameId>& path) const {
+  const auto extent = PathExtent(path);
+  if (!extent.has_value()) return std::nullopt;
+  return static_cast<int64_t>(extent->size());
+}
+
+size_t DomStore::StorageBytes() const {
+  size_t bytes = doc_.MemoryBytes();
+  for (const auto& [tag, nodes] : tag_index_) {
+    bytes += nodes.capacity() * sizeof(query::NodeHandle) + sizeof(tag);
+  }
+  for (const auto& [id, node] : id_index_) {
+    bytes += id.size() + sizeof(node) + 32;  // hash-bucket overhead estimate
+  }
+  for (const SummaryNode& s : summary_) {
+    bytes += sizeof(SummaryNode) +
+             s.extent.capacity() * sizeof(query::NodeHandle) +
+             s.children.size() * 16;
+  }
+  return bytes;
+}
+
+size_t DomStore::CatalogEntries() const {
+  // The native store's "catalog" is its structural summary (or, without
+  // one, the tag dictionary).
+  if (options_.build_path_summary) return summary_.size();
+  return doc_.names().size();
+}
+
+}  // namespace xmark::store

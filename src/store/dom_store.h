@@ -1,0 +1,121 @@
+#ifndef XMARK_STORE_DOM_STORE_H_
+#define XMARK_STORE_DOM_STORE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "query/storage.h"
+#include "util/status.h"
+#include "xml/dom.h"
+
+namespace xmark::store {
+
+/// Native main-memory mapping: the document tree itself, optionally
+/// augmented with access structures. This is the architecture of the
+/// paper's systems D-G:
+///   D — full index set (tag index, id index, structural summary);
+///   E — id index only;
+///   F — bare tree;
+///   G — bare tree inside an embedded processor (copy semantics and
+///       per-query loading are modeled at the engine layer).
+class DomStore : public query::StorageAdapter {
+ public:
+  struct Options {
+    bool build_tag_index = true;
+    bool build_id_index = true;
+    bool build_path_summary = true;
+  };
+
+  /// Parses `xml` and builds the selected indexes.
+  static StatusOr<std::unique_ptr<DomStore>> Load(std::string_view xml,
+                                                  const Options& options);
+
+  // StorageAdapter:
+  std::string_view mapping_name() const override { return "native DOM"; }
+  const xml::NameTable& names() const override { return doc_.names(); }
+  query::NodeHandle Root() const override { return doc_.root(); }
+  bool IsElement(query::NodeHandle n) const override {
+    return doc_.IsElement(static_cast<xml::NodeId>(n));
+  }
+  xml::NameId NameOf(query::NodeHandle n) const override {
+    return doc_.name(static_cast<xml::NodeId>(n));
+  }
+  query::NodeHandle Parent(query::NodeHandle n) const override {
+    return AsHandle(doc_.parent(static_cast<xml::NodeId>(n)));
+  }
+  query::NodeHandle FirstChild(query::NodeHandle n) const override {
+    return AsHandle(doc_.first_child(static_cast<xml::NodeId>(n)));
+  }
+  query::NodeHandle NextSibling(query::NodeHandle n) const override {
+    return AsHandle(doc_.next_sibling(static_cast<xml::NodeId>(n)));
+  }
+  std::string Text(query::NodeHandle n) const override {
+    return std::string(doc_.text(static_cast<xml::NodeId>(n)));
+  }
+  std::string StringValue(query::NodeHandle n) const override {
+    return doc_.StringValue(static_cast<xml::NodeId>(n));
+  }
+  std::optional<std::string> Attribute(query::NodeHandle n,
+                                       std::string_view name) const override;
+  std::vector<std::pair<std::string, std::string>> Attributes(
+      query::NodeHandle n) const override;
+  bool Before(query::NodeHandle a, query::NodeHandle b) const override {
+    return a < b;
+  }
+
+  bool SupportsIdLookup() const override { return !id_index_.empty(); }
+  query::NodeHandle NodeById(std::string_view id) const override;
+
+  bool SupportsTagIndex() const override { return options_.build_tag_index; }
+  const std::vector<query::NodeHandle>* NodesByTag(
+      xml::NameId tag) const override;
+  std::optional<std::vector<query::NodeHandle>> DescendantsByTag(
+      query::NodeHandle n, xml::NameId tag) const override;
+
+  bool SupportsPathIndex() const override {
+    return options_.build_path_summary;
+  }
+  std::optional<std::vector<query::NodeHandle>> PathExtent(
+      const std::vector<xml::NameId>& path) const override;
+  std::optional<int64_t> PathCount(
+      const std::vector<xml::NameId>& path) const override;
+
+  size_t StorageBytes() const override;
+  size_t CatalogEntries() const override;
+
+  /// Number of distinct root-to-node tag paths (DataGuide size).
+  size_t SummaryPaths() const { return summary_.size(); }
+
+  const xml::Document& document() const { return doc_; }
+
+ private:
+  // Structural summary (strong DataGuide): one entry per distinct
+  // root-to-node tag path, with its extent in document order.
+  struct SummaryNode {
+    xml::NameId tag = xml::kInvalidName;
+    std::unordered_map<xml::NameId, size_t> children;
+    std::vector<query::NodeHandle> extent;
+  };
+
+  explicit DomStore(xml::Document doc, const Options& options)
+      : doc_(std::move(doc)), options_(options) {}
+
+  static query::NodeHandle AsHandle(xml::NodeId id) {
+    return id == xml::kInvalidNode ? query::kInvalidHandle
+                                   : static_cast<query::NodeHandle>(id);
+  }
+
+  void BuildIndexes();
+
+  xml::Document doc_;
+  Options options_;
+  std::unordered_map<xml::NameId, std::vector<query::NodeHandle>> tag_index_;
+  std::unordered_map<std::string, query::NodeHandle> id_index_;
+  std::vector<SummaryNode> summary_;  // [0] is the root path
+};
+
+}  // namespace xmark::store
+
+#endif  // XMARK_STORE_DOM_STORE_H_

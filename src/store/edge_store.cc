@@ -1,0 +1,184 @@
+#include "store/edge_store.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "xml/dom.h"
+
+namespace xmark::store {
+
+StatusOr<std::unique_ptr<EdgeStore>> EdgeStore::Load(std::string_view xml) {
+  XMARK_ASSIGN_OR_RETURN(xml::Document doc, xml::Document::Parse(xml));
+  std::unique_ptr<EdgeStore> store(new EdgeStore());
+  // Shred the parsed tree into the edge and attribute relations. NameIds
+  // are re-interned into the store's own dictionary so the store is
+  // self-contained once the transient DOM is dropped.
+  const size_t n = doc.num_nodes();
+  store->rows_.reserve(n);
+  const xml::NameId id_attr = doc.names().Lookup("id");
+
+  std::vector<uint32_t> ord_of_node(n, 0);
+  for (xml::NodeId i = 0; i < n; ++i) {
+    uint32_t ord = 0;
+    for (xml::NodeId c = doc.first_child(i); c != xml::kInvalidNode;
+         c = doc.next_sibling(c)) {
+      ord_of_node[c] = ord++;
+    }
+  }
+
+  for (xml::NodeId i = 0; i < n; ++i) {
+    EdgeRow row{};
+    row.id = i;
+    row.parent = doc.parent(i) == xml::kInvalidNode ? kNoParent : doc.parent(i);
+    row.ord = ord_of_node[i];
+    if (doc.IsElement(i)) {
+      row.tag = store->names_.Intern(doc.names().Spelling(doc.name(i)));
+      row.text_begin = 0;
+      row.text_len = 0;
+      for (const auto& attr : doc.attributes(i)) {
+        AttrRow arow{};
+        arow.owner = i;
+        arow.name = store->names_.Intern(doc.names().Spelling(attr.name));
+        arow.value_begin = static_cast<uint32_t>(store->heap_.size());
+        arow.value_len = static_cast<uint32_t>(attr.value.size());
+        store->heap_.append(attr.value);
+        store->attrs_.push_back(arow);
+        if (attr.name == id_attr) {
+          store->id_value_index_.emplace_back(std::string(attr.value), i);
+        }
+      }
+    } else {
+      row.tag = xml::kInvalidName;
+      row.text_begin = static_cast<uint32_t>(store->heap_.size());
+      row.text_len = static_cast<uint32_t>(doc.text(i).size());
+      store->heap_.append(doc.text(i));
+    }
+    store->rows_.push_back(row);
+  }
+
+  // Cluster the edge relation on (parent, ord); build the PK index.
+  std::sort(store->rows_.begin(), store->rows_.end(),
+            [](const EdgeRow& a, const EdgeRow& b) {
+              if (a.parent != b.parent) return a.parent < b.parent;
+              return a.ord < b.ord;
+            });
+  store->pos_of_id_.resize(n);
+  for (uint32_t pos = 0; pos < store->rows_.size(); ++pos) {
+    store->pos_of_id_[store->rows_[pos].id] = pos;
+  }
+  std::sort(store->attrs_.begin(), store->attrs_.end(),
+            [](const AttrRow& a, const AttrRow& b) {
+              return a.owner < b.owner;
+            });
+  std::sort(store->id_value_index_.begin(), store->id_value_index_.end());
+  store->root_ = doc.root();
+  return store;
+}
+
+bool EdgeStore::IsElement(query::NodeHandle n) const {
+  return RowOf(n).tag != xml::kInvalidName;
+}
+
+xml::NameId EdgeStore::NameOf(query::NodeHandle n) const {
+  return RowOf(n).tag;
+}
+
+query::NodeHandle EdgeStore::Parent(query::NodeHandle n) const {
+  const uint32_t p = RowOf(n).parent;
+  return p == kNoParent ? query::kInvalidHandle : p;
+}
+
+query::NodeHandle EdgeStore::FirstChild(query::NodeHandle n) const {
+  // Probe the clustered relation for (parent == n, ord == 0).
+  const auto it = std::lower_bound(
+      rows_.begin(), rows_.end(), n, [](const EdgeRow& row, uint64_t parent) {
+        return row.parent < parent;
+      });
+  if (it == rows_.end() || it->parent != n) return query::kInvalidHandle;
+  return it->id;
+}
+
+query::NodeHandle EdgeStore::NextSibling(query::NodeHandle n) const {
+  const uint32_t pos = pos_of_id_[n];
+  if (pos + 1 >= rows_.size()) return query::kInvalidHandle;
+  const EdgeRow& next = rows_[pos + 1];
+  if (next.parent != rows_[pos].parent) return query::kInvalidHandle;
+  return next.id;
+}
+
+std::string EdgeStore::Text(query::NodeHandle n) const {
+  const EdgeRow& row = RowOf(n);
+  return std::string(HeapString(row.text_begin, row.text_len));
+}
+
+void EdgeStore::AppendStringValue(query::NodeHandle n, std::string* out) const {
+  const EdgeRow& row = RowOf(n);
+  if (row.tag == xml::kInvalidName) {
+    out->append(HeapString(row.text_begin, row.text_len));
+    return;
+  }
+  for (query::NodeHandle c = FirstChild(n); c != query::kInvalidHandle;
+       c = NextSibling(c)) {
+    AppendStringValue(c, out);
+  }
+}
+
+std::string EdgeStore::StringValue(query::NodeHandle n) const {
+  std::string out;
+  AppendStringValue(n, &out);
+  return out;
+}
+
+std::optional<std::string> EdgeStore::Attribute(query::NodeHandle n,
+                                                std::string_view name) const {
+  const xml::NameId id = names_.Lookup(name);
+  if (id == xml::kInvalidName) return std::nullopt;
+  auto it = std::lower_bound(attrs_.begin(), attrs_.end(), n,
+                             [](const AttrRow& row, uint64_t owner) {
+                               return row.owner < owner;
+                             });
+  for (; it != attrs_.end() && it->owner == n; ++it) {
+    if (it->name == id) {
+      return std::string(HeapString(it->value_begin, it->value_len));
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<std::pair<std::string, std::string>> EdgeStore::Attributes(
+    query::NodeHandle n) const {
+  std::vector<std::pair<std::string, std::string>> out;
+  auto it = std::lower_bound(attrs_.begin(), attrs_.end(), n,
+                             [](const AttrRow& row, uint64_t owner) {
+                               return row.owner < owner;
+                             });
+  for (; it != attrs_.end() && it->owner == n; ++it) {
+    out.emplace_back(std::string(names_.Spelling(it->name)),
+                     std::string(HeapString(it->value_begin, it->value_len)));
+  }
+  return out;
+}
+
+query::NodeHandle EdgeStore::NodeById(std::string_view id) const {
+  const auto it = std::lower_bound(
+      id_value_index_.begin(), id_value_index_.end(), id,
+      [](const std::pair<std::string, uint32_t>& entry, std::string_view key) {
+        return std::string_view(entry.first) < key;
+      });
+  if (it == id_value_index_.end() || it->first != id) {
+    return query::kInvalidHandle;
+  }
+  return it->second;
+}
+
+size_t EdgeStore::StorageBytes() const {
+  size_t bytes = rows_.capacity() * sizeof(EdgeRow) +
+                 pos_of_id_.capacity() * sizeof(uint32_t) +
+                 attrs_.capacity() * sizeof(AttrRow) + heap_.capacity();
+  for (const auto& [value, node] : id_value_index_) {
+    bytes += value.size() + sizeof(node) + 16;
+  }
+  return bytes;
+}
+
+}  // namespace xmark::store

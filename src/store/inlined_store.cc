@@ -1,0 +1,234 @@
+#include "store/inlined_store.h"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_set>
+
+#include "util/logging.h"
+#include "xml/dom.h"
+
+namespace xmark::store {
+namespace {
+
+// True when `child` occurs exactly once in the content model and is not
+// repeatable (no '*' or '+' right after it): the DTD guarantees at most
+// one such child per parent, so it can be inlined as a direct slot.
+bool AtMostOnce(const std::string& model, const std::string& child) {
+  size_t occurrences = 0;
+  bool repeatable = false;
+  size_t pos = 0;
+  auto is_name_char = [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-' || c == '.' || c == ':';
+  };
+  while ((pos = model.find(child, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !is_name_char(model[pos - 1]);
+    const size_t end = pos + child.size();
+    const bool right_ok = end >= model.size() || !is_name_char(model[end]);
+    if (left_ok && right_ok) {
+      ++occurrences;
+      // Skip an optional '?' — optional children still inline.
+      size_t after = end;
+      if (after < model.size() && model[after] == '?') ++after;
+      if (after < model.size() && (model[after] == '*' || model[after] == '+')) {
+        repeatable = true;
+      }
+      // A ')' followed by * / + makes the whole group repeatable; treat any
+      // group-closing star conservatively as repeatable.
+    }
+    pos = end;
+  }
+  if (occurrences != 1 || repeatable) return false;
+  // Conservative group check: if the model ends with ")*" or ")+" the
+  // group repeats and nothing inside may be inlined.
+  const size_t last = model.find_last_of(')');
+  if (last != std::string::npos && last + 1 < model.size() &&
+      (model[last + 1] == '*' || model[last + 1] == '+')) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<InlinedStore>> InlinedStore::Load(
+    std::string_view xml, std::string_view dtd_text) {
+  XMARK_ASSIGN_OR_RETURN(xml::Dtd dtd, xml::Dtd::Parse(dtd_text));
+  XMARK_ASSIGN_OR_RETURN(xml::Document doc, xml::Document::Parse(xml));
+  std::unique_ptr<InlinedStore> store(new InlinedStore());
+  store->dtd_elements_ = dtd.elements().size();
+  const size_t n = doc.num_nodes();
+  const xml::NameId id_attr = doc.names().Lookup("id");
+
+  store->parent_.resize(n);
+  store->first_child_.resize(n);
+  store->next_sibling_.resize(n);
+  store->tag_.resize(n);
+  store->row_of_.resize(n);
+  store->text_span_.resize(n, {0, 0});
+
+  auto as_handle = [](xml::NodeId id) {
+    return id == xml::kInvalidNode ? query::kInvalidHandle
+                                   : static_cast<query::NodeHandle>(id);
+  };
+
+  for (xml::NodeId i = 0; i < n; ++i) {
+    store->parent_[i] = as_handle(doc.parent(i));
+    store->first_child_[i] = as_handle(doc.first_child(i));
+    store->next_sibling_[i] = as_handle(doc.next_sibling(i));
+    if (doc.IsElement(i)) {
+      const xml::NameId tag =
+          store->names_.Intern(doc.names().Spelling(doc.name(i)));
+      store->tag_[i] = tag;
+      store->row_of_[i] = store->tag_cardinality_[tag]++;
+      for (const auto& attr : doc.attributes(i)) {
+        AttrRow arow{};
+        arow.owner = i;
+        arow.name = store->names_.Intern(doc.names().Spelling(attr.name));
+        arow.value_begin = static_cast<uint32_t>(store->heap_.size());
+        arow.value_len = static_cast<uint32_t>(attr.value.size());
+        store->heap_.append(attr.value);
+        store->attrs_.push_back(arow);
+        if (attr.name == id_attr) {
+          store->id_index_.emplace(std::string(attr.value), i);
+        }
+      }
+    } else {
+      store->tag_[i] = xml::kInvalidName;
+      store->text_span_[i] = {static_cast<uint32_t>(store->heap_.size()),
+                              static_cast<uint32_t>(doc.text(i).size())};
+      store->heap_.append(doc.text(i));
+    }
+  }
+  std::sort(store->attrs_.begin(), store->attrs_.end(),
+            [](const AttrRow& a, const AttrRow& b) {
+              return a.owner < b.owner;
+            });
+
+  // Derive direct child slots from the DTD.
+  std::unordered_set<uint64_t> inlineable;
+  for (const xml::DtdElement& elem : dtd.elements()) {
+    const xml::NameId parent_tag = store->names_.Lookup(elem.name);
+    if (parent_tag == xml::kInvalidName) continue;  // tag absent from doc
+    for (const std::string& child : elem.children) {
+      const xml::NameId child_tag = store->names_.Lookup(child);
+      if (child_tag == xml::kInvalidName) continue;
+      if (AtMostOnce(elem.model, child)) {
+        inlineable.insert(SlotKey(parent_tag, child_tag));
+      }
+    }
+  }
+  for (xml::NodeId i = 0; i < n; ++i) {
+    if (!doc.IsElement(i)) continue;
+    const xml::NameId ptag = store->tag_[i];
+    for (query::NodeHandle c = store->first_child_[i];
+         c != query::kInvalidHandle; c = store->next_sibling_[c]) {
+      const xml::NameId ctag = store->tag_[c];
+      if (ctag == xml::kInvalidName) continue;
+      const uint64_t key = SlotKey(ptag, ctag);
+      if (!inlineable.count(key)) continue;
+      auto& slot = store->slots_[key];
+      if (slot.empty()) {
+        slot.assign(store->tag_cardinality_[ptag], query::kInvalidHandle);
+      }
+      slot[store->row_of_[i]] = c;
+    }
+  }
+
+  store->root_ = doc.root();
+  return store;
+}
+
+std::string InlinedStore::Text(query::NodeHandle n) const {
+  const auto& [begin, len] = text_span_[n];
+  return std::string(std::string_view(heap_).substr(begin, len));
+}
+
+void InlinedStore::AppendStringValue(query::NodeHandle n,
+                                     std::string* out) const {
+  if (tag_[n] == xml::kInvalidName) {
+    const auto& [begin, len] = text_span_[n];
+    out->append(std::string_view(heap_).substr(begin, len));
+    return;
+  }
+  for (query::NodeHandle c = first_child_[n]; c != query::kInvalidHandle;
+       c = next_sibling_[c]) {
+    AppendStringValue(c, out);
+  }
+}
+
+std::string InlinedStore::StringValue(query::NodeHandle n) const {
+  std::string out;
+  AppendStringValue(n, &out);
+  return out;
+}
+
+std::optional<std::string> InlinedStore::Attribute(
+    query::NodeHandle n, std::string_view name) const {
+  const xml::NameId id = names_.Lookup(name);
+  if (id == xml::kInvalidName) return std::nullopt;
+  auto it = std::lower_bound(attrs_.begin(), attrs_.end(), n,
+                             [](const AttrRow& row, uint64_t owner) {
+                               return row.owner < owner;
+                             });
+  for (; it != attrs_.end() && it->owner == n; ++it) {
+    if (it->name == id) {
+      return std::string(
+          std::string_view(heap_).substr(it->value_begin, it->value_len));
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<std::pair<std::string, std::string>> InlinedStore::Attributes(
+    query::NodeHandle n) const {
+  std::vector<std::pair<std::string, std::string>> out;
+  auto it = std::lower_bound(attrs_.begin(), attrs_.end(), n,
+                             [](const AttrRow& row, uint64_t owner) {
+                               return row.owner < owner;
+                             });
+  for (; it != attrs_.end() && it->owner == n; ++it) {
+    out.emplace_back(std::string(names_.Spelling(it->name)),
+                     std::string(std::string_view(heap_).substr(
+                         it->value_begin, it->value_len)));
+  }
+  return out;
+}
+
+query::NodeHandle InlinedStore::NodeById(std::string_view id) const {
+  const auto it = id_index_.find(std::string(id));
+  return it == id_index_.end() ? query::kInvalidHandle : it->second;
+}
+
+std::optional<std::vector<query::NodeHandle>> InlinedStore::ChildrenByTag(
+    query::NodeHandle n, xml::NameId tag) const {
+  if (tag_[n] == xml::kInvalidName) return std::vector<query::NodeHandle>{};
+  const auto it = slots_.find(SlotKey(tag_[n], tag));
+  if (it == slots_.end()) return std::nullopt;  // not inlined: generic walk
+  const query::NodeHandle child = it->second[row_of_[n]];
+  if (child == query::kInvalidHandle) {
+    return std::vector<query::NodeHandle>{};
+  }
+  return std::vector<query::NodeHandle>{child};
+}
+
+size_t InlinedStore::StorageBytes() const {
+  size_t bytes = heap_.capacity() + attrs_.capacity() * sizeof(AttrRow) +
+                 parent_.capacity() * sizeof(query::NodeHandle) * 3 +
+                 tag_.capacity() * sizeof(xml::NameId) +
+                 row_of_.capacity() * sizeof(uint32_t) +
+                 text_span_.capacity() * sizeof(std::pair<uint32_t, uint32_t>);
+  for (const auto& [key, slot] : slots_) {
+    bytes += sizeof(key) + slot.capacity() * sizeof(query::NodeHandle);
+  }
+  for (const auto& [id, node] : id_index_) {
+    bytes += id.size() + sizeof(node) + 32;
+  }
+  return bytes;
+}
+
+size_t InlinedStore::CatalogEntries() const {
+  return dtd_elements_ + slots_.size();
+}
+
+}  // namespace xmark::store

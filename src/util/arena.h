@@ -1,0 +1,79 @@
+#ifndef XMARK_UTIL_ARENA_H_
+#define XMARK_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace xmark {
+
+/// Bump-pointer arena used by the DOM store. All allocations are freed at
+/// once when the arena is destroyed; individual deallocation is not
+/// supported. Not thread-safe.
+class Arena {
+ public:
+  explicit Arena(size_t block_size = 1 << 16) : block_size_(block_size) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Allocates `n` bytes aligned to `align` (power of two).
+  void* Allocate(size_t n, size_t align = alignof(std::max_align_t)) {
+    size_t pos = (pos_ + align - 1) & ~(align - 1);
+    if (blocks_.empty() || pos + n > cap_) {
+      NewBlock(n);
+      pos = 0;
+    }
+    char* out = blocks_.back().get() + pos;
+    pos_ = pos + n;
+    return out;
+  }
+
+  /// Copies `s` into the arena and returns a view over the stable copy.
+  std::string_view CopyString(std::string_view s) {
+    if (s.empty()) return {};
+    char* p = static_cast<char*>(Allocate(s.size(), 1));
+    std::memcpy(p, s.data(), s.size());
+    return {p, s.size()};
+  }
+
+  /// Constructs a T in the arena. The destructor will NOT run; only use for
+  /// trivially destructible types.
+  template <typename T, typename... Args>
+  T* New(Args&&... args) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena::New requires trivially destructible types");
+    return new (Allocate(sizeof(T), alignof(T)))
+        T(std::forward<Args>(args)...);
+  }
+
+  /// Total bytes reserved from the system (capacity, not live bytes).
+  size_t bytes_reserved() const { return bytes_reserved_; }
+
+  /// Bytes handed out to callers.
+  size_t bytes_used() const { return bytes_used_base_ + pos_; }
+
+ private:
+  void NewBlock(size_t min_size) {
+    if (!blocks_.empty()) bytes_used_base_ += pos_;
+    const size_t size = min_size > block_size_ ? min_size : block_size_;
+    blocks_.push_back(std::make_unique<char[]>(size));
+    cap_ = size;
+    pos_ = 0;
+    bytes_reserved_ += size;
+  }
+
+  size_t block_size_;
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  size_t cap_ = 0;
+  size_t pos_ = 0;
+  size_t bytes_reserved_ = 0;
+  size_t bytes_used_base_ = 0;
+};
+
+}  // namespace xmark
+
+#endif  // XMARK_UTIL_ARENA_H_

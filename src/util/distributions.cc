@@ -1,0 +1,69 @@
+#include "util/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace xmark {
+
+double SampleExponential(Prng& prng, double lambda) {
+  XMARK_CHECK(lambda > 0.0);
+  // Inverse CDF; 1 - u avoids log(0).
+  return -std::log(1.0 - prng.NextDouble()) / lambda;
+}
+
+double SampleNormal(Prng& prng, double mean, double stddev) {
+  // Polar Box-Muller; we deliberately discard the second variate to keep
+  // the stream position deterministic per call count.
+  double u, v, s;
+  do {
+    u = 2.0 * prng.NextDouble() - 1.0;
+    v = 2.0 * prng.NextDouble() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  return mean + stddev * u * factor;
+}
+
+ZipfSampler::ZipfSampler(size_t n, double s) {
+  XMARK_CHECK(n > 0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = total;
+  }
+  for (size_t i = 0; i < n; ++i) cdf_[i] /= total;
+  cdf_[n - 1] = 1.0;  // guard against rounding
+}
+
+size_t ZipfSampler::Sample(Prng& prng) const {
+  const double u = prng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+DiscreteSampler::DiscreteSampler(const std::vector<double>& weights) {
+  XMARK_CHECK(!weights.empty());
+  cdf_.resize(weights.size());
+  double total = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    XMARK_CHECK(weights[i] >= 0.0);
+    total += weights[i];
+    cdf_[i] = total;
+  }
+  XMARK_CHECK(total > 0.0);
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;
+}
+
+size_t DiscreteSampler::Sample(Prng& prng) const {
+  const double u = prng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+}  // namespace xmark

@@ -1,0 +1,53 @@
+#ifndef XMARK_UTIL_DISTRIBUTIONS_H_
+#define XMARK_UTIL_DISTRIBUTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/prng.h"
+
+namespace xmark {
+
+/// Random-variate samplers over the deterministic Prng. The paper (§4.2,
+/// §4.5) requires uniform, exponential and normal distributions "of fairly
+/// high quality" implemented from textbook algorithms on top of the custom
+/// generator; the generator's references are drawn from all three.
+
+/// Exponential variate with rate `lambda` (mean 1/lambda); inverse-CDF.
+double SampleExponential(Prng& prng, double lambda);
+
+/// Standard normal variate via the Box-Muller transform (polar form).
+double SampleNormal(Prng& prng, double mean, double stddev);
+
+/// Zipf-distributed rank in [0, n) with exponent `s`; used by the text
+/// generator to mimic natural-language word frequencies.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s);
+
+  /// Draws a rank; rank 0 is the most frequent outcome.
+  size_t Sample(Prng& prng) const;
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Draws an index in [0, weights.size()) proportional to `weights`.
+class DiscreteSampler {
+ public:
+  explicit DiscreteSampler(const std::vector<double>& weights);
+
+  size_t Sample(Prng& prng) const;
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace xmark
+
+#endif  // XMARK_UTIL_DISTRIBUTIONS_H_

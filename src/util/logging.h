@@ -1,0 +1,29 @@
+#ifndef XMARK_UTIL_LOGGING_H_
+#define XMARK_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace xmark {
+namespace internal_logging {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace internal_logging
+}  // namespace xmark
+
+/// Aborts the process with a diagnostic when `cond` is false. Used for
+/// internal invariants that indicate programmer error, never for user input.
+#define XMARK_CHECK(cond)                                               \
+  do {                                                                  \
+    if (!(cond))                                                        \
+      ::xmark::internal_logging::CheckFailed(__FILE__, __LINE__, #cond); \
+  } while (0)
+
+#define XMARK_DCHECK(cond) XMARK_CHECK(cond)
+
+#endif  // XMARK_UTIL_LOGGING_H_

@@ -1,0 +1,75 @@
+#include "util/prng.h"
+
+#include "util/logging.h"
+
+namespace xmark {
+namespace {
+
+// SplitMix64 finalizer (Steele, Lea, Flood 2014). Public-domain constants.
+uint64_t Mix64(uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t DeriveState(uint64_t seed, uint64_t stream) {
+  // Two mixing rounds decorrelate adjacent (seed, stream) pairs.
+  return Mix64(Mix64(seed) ^ (stream * 0xd1342543de82ef95ULL + 1));
+}
+
+}  // namespace
+
+Prng::Prng(uint64_t seed, uint64_t stream)
+    : seed_(seed),
+      stream_(stream),
+      state_(DeriveState(seed, stream)),
+      counter_(0) {}
+
+uint64_t Prng::NextU64() {
+  state_ += 0x9e3779b97f4a7c15ULL;
+  ++counter_;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Prng::NextBelow(uint64_t bound) {
+  XMARK_CHECK(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = ~uint64_t{0} - (~uint64_t{0} % bound);
+  uint64_t v = NextU64();
+  while (v >= limit) v = NextU64();
+  return v % bound;
+}
+
+int64_t Prng::NextInt(int64_t lo, int64_t hi) {
+  XMARK_CHECK(lo <= hi);
+  const uint64_t span =
+      static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+  if (span == 0) return static_cast<int64_t>(NextU64());  // full range
+  return lo + static_cast<int64_t>(NextBelow(span));
+}
+
+double Prng::NextDouble() {
+  // 53 high-quality bits -> [0,1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+bool Prng::NextBool(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+void Prng::Reset() {
+  state_ = DeriveState(seed_, stream_);
+  counter_ = 0;
+}
+
+Prng Prng::Split(uint64_t child) const {
+  return Prng(Mix64(seed_ ^ Mix64(stream_)), child);
+}
+
+}  // namespace xmark

@@ -1,0 +1,58 @@
+#ifndef XMARK_UTIL_PRNG_H_
+#define XMARK_UTIL_PRNG_H_
+
+#include <cstdint>
+
+namespace xmark {
+
+/// Deterministic pseudo-random number generator.
+///
+/// The paper (§4.5) requires the generator to be platform independent and
+/// deterministic, and to be able to "produce several identical streams of
+/// random numbers" so that reference targets (e.g., the partitioning of item
+/// ids between open and closed auctions) can be re-derived without keeping a
+/// log. We implement this with a counter-based SplitMix64 construction:
+/// a (seed, stream) pair defines an infinite reproducible stream, and any
+/// stream can be re-opened at position zero at any time.
+class Prng {
+ public:
+  /// Creates stream `stream` of the generator family identified by `seed`.
+  explicit Prng(uint64_t seed, uint64_t stream = 0);
+
+  /// Next raw 64-bit value.
+  uint64_t NextU64();
+
+  /// Uniform in [0, bound) without modulo bias (bound > 0).
+  uint64_t NextBelow(uint64_t bound);
+
+  /// Uniform integer in the closed interval [lo, hi].
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability `p` (clamped to [0,1]).
+  bool NextBool(double p);
+
+  /// Restarts this stream from its beginning; the subsequent sequence is
+  /// identical to a freshly-constructed Prng with the same (seed, stream).
+  void Reset();
+
+  /// Derives an independent child stream; deterministic in (seed, stream,
+  /// child). Used to split the generator per document section.
+  Prng Split(uint64_t child) const;
+
+  uint64_t seed() const { return seed_; }
+  uint64_t stream() const { return stream_; }
+  uint64_t position() const { return counter_; }
+
+ private:
+  uint64_t seed_;
+  uint64_t stream_;
+  uint64_t state_;
+  uint64_t counter_;
+};
+
+}  // namespace xmark
+
+#endif  // XMARK_UTIL_PRNG_H_

@@ -1,0 +1,124 @@
+#ifndef XMARK_UTIL_STATUS_H_
+#define XMARK_UTIL_STATUS_H_
+
+#include <cstdlib>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace xmark {
+
+/// Coarse error category carried by a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kParseError,
+  kInternal,
+  kUnimplemented,
+  kIoError,
+};
+
+/// Returns a human-readable name for `code` ("OK", "ParseError", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Error-return type used throughout the library (exceptions are disabled
+/// per the project style). A Status is either OK or carries a code plus a
+/// descriptive message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Value-or-error return type; holds T on success, a non-OK Status otherwise.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status)  // NOLINT: implicit by design, mirrors absl.
+      : status_(std::move(status)) {}
+  StatusOr(T value)  // NOLINT: implicit by design, mirrors absl.
+      : value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return value_; }
+  T& value() & { return value_; }
+  T&& value() && { return std::move(value_); }
+
+  const T& operator*() const& { return value_; }
+  T& operator*() & { return value_; }
+  const T* operator->() const { return &value_; }
+  T* operator->() { return &value_; }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+/// Evaluates `expr` (a Status) and returns it from the enclosing function if
+/// it is not OK.
+#define XMARK_RETURN_IF_ERROR(expr)            \
+  do {                                         \
+    ::xmark::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+#define XMARK_INTERNAL_CONCAT_(a, b) a##b
+#define XMARK_INTERNAL_CONCAT(a, b) XMARK_INTERNAL_CONCAT_(a, b)
+
+#define XMARK_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+/// Evaluates `expr` (a StatusOr<T>), propagating errors; otherwise assigns
+/// the contained value to `lhs`.
+#define XMARK_ASSIGN_OR_RETURN(lhs, expr) \
+  XMARK_ASSIGN_OR_RETURN_IMPL(            \
+      XMARK_INTERNAL_CONCAT(_status_or_, __LINE__), lhs, expr)
+
+}  // namespace xmark
+
+#endif  // XMARK_UTIL_STATUS_H_

@@ -1,0 +1,30 @@
+#ifndef XMARK_UTIL_TABLE_PRINTER_H_
+#define XMARK_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace xmark {
+
+/// Renders aligned plain-text tables; the benchmark harnesses use it to
+/// print rows in the same layout as the paper's Tables 1-3.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table with a header rule, e.g.:
+  ///   System | Size    | Bulkload time
+  ///   -------+---------+--------------
+  ///   A      | 241 MB  | 414 s
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace xmark
+
+#endif  // XMARK_UTIL_TABLE_PRINTER_H_

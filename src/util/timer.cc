@@ -1,0 +1,21 @@
+#include "util/timer.h"
+
+#include <ctime>
+
+namespace xmark {
+namespace {
+
+uint64_t ClockNanos(clockid_t id) {
+  timespec ts;
+  clock_gettime(id, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ULL +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
+
+}  // namespace
+
+uint64_t WallTimeNanos() { return ClockNanos(CLOCK_MONOTONIC); }
+
+uint64_t CpuTimeNanos() { return ClockNanos(CLOCK_PROCESS_CPUTIME_ID); }
+
+}  // namespace xmark

@@ -1,0 +1,46 @@
+#ifndef XMARK_UTIL_TIMER_H_
+#define XMARK_UTIL_TIMER_H_
+
+#include <cstdint>
+
+namespace xmark {
+
+/// Monotonic wall-clock time in nanoseconds.
+uint64_t WallTimeNanos();
+
+/// Per-process CPU time (user + system) in nanoseconds. Together with wall
+/// time this supports the CPU%-of-total breakdown of Table 2.
+uint64_t CpuTimeNanos();
+
+/// Measures one phase (e.g., query compilation vs execution) in both wall
+/// and CPU time.
+class PhaseTimer {
+ public:
+  PhaseTimer() { Restart(); }
+
+  void Restart() {
+    wall_start_ = WallTimeNanos();
+    cpu_start_ = CpuTimeNanos();
+  }
+
+  double ElapsedWallMillis() const {
+    return static_cast<double>(WallTimeNanos() - wall_start_) / 1e6;
+  }
+  double ElapsedCpuMillis() const {
+    return static_cast<double>(CpuTimeNanos() - cpu_start_) / 1e6;
+  }
+
+ private:
+  uint64_t wall_start_ = 0;
+  uint64_t cpu_start_ = 0;
+};
+
+/// Wall and CPU milliseconds spent in one benchmark phase.
+struct PhaseCost {
+  double wall_ms = 0.0;
+  double cpu_ms = 0.0;
+};
+
+}  // namespace xmark
+
+#endif  // XMARK_UTIL_TIMER_H_

@@ -1,0 +1,246 @@
+#include "xmark/queries.h"
+
+#include "util/logging.h"
+
+namespace xmark::bench {
+namespace {
+
+constexpr std::string_view kQ1 = R"(
+for $b in document("auction.xml")/site/people/person[@id = "person0"]
+return $b/name/text()
+)";
+
+constexpr std::string_view kQ2 = R"(
+for $b in document("auction.xml")/site/open_auctions/open_auction
+return <increase>{$b/bidder[1]/increase/text()}</increase>
+)";
+
+constexpr std::string_view kQ3 = R"(
+for $b in document("auction.xml")/site/open_auctions/open_auction
+where zero-or-one($b/bidder[1]/increase/text()) * 2
+      <= $b/bidder[last()]/increase/text()
+return <increase first="{$b/bidder[1]/increase/text()}"
+                 last="{$b/bidder[last()]/increase/text()}"/>
+)";
+
+constexpr std::string_view kQ4 = R"(
+for $b in document("auction.xml")/site/open_auctions/open_auction
+where some $pr1 in $b/bidder/personref[@person = "person20"],
+      $pr2 in $b/bidder/personref[@person = "person51"]
+      satisfies $pr1 << $pr2
+return <history>{$b/reserve/text()}</history>
+)";
+
+constexpr std::string_view kQ5 = R"(
+count(for $i in document("auction.xml")/site/closed_auctions/closed_auction
+      where $i/price/text() >= 40
+      return $i/price)
+)";
+
+constexpr std::string_view kQ6 = R"(
+for $b in document("auction.xml")/site/regions
+return count($b//item)
+)";
+
+constexpr std::string_view kQ7 = R"(
+for $p in document("auction.xml")/site
+return count($p//description) + count($p//mail) + count($p//email)
+)";
+
+constexpr std::string_view kQ8 = R"(
+for $p in document("auction.xml")/site/people/person
+let $a := for $t in document("auction.xml")/site/closed_auctions/closed_auction
+          where $t/buyer/@person = $p/@id
+          return $t
+return <item person="{$p/name/text()}">{count($a)}</item>
+)";
+
+constexpr std::string_view kQ9 = R"(
+for $p in document("auction.xml")/site/people/person
+let $a := for $t in document("auction.xml")/site/closed_auctions/closed_auction
+          where $p/@id = $t/buyer/@person
+          return for $t2 in document("auction.xml")/site/regions/europe/item
+                 where $t/itemref/@item = $t2/@id
+                 return <item>{$t2/name/text()}</item>
+return <person name="{$p/name/text()}">{$a}</person>
+)";
+
+constexpr std::string_view kQ10 = R"(
+for $i in distinct-values(
+    document("auction.xml")/site/people/person/profile/interest/@category)
+let $p := for $t in document("auction.xml")/site/people/person
+          where $t/profile/interest/@category = $i
+          return <personne>
+                   <statistiques>
+                     <sexe>{$t/profile/gender/text()}</sexe>
+                     <age>{$t/profile/age/text()}</age>
+                     <education>{$t/profile/education/text()}</education>
+                     <revenu>{$t/profile/income/text()}</revenu>
+                   </statistiques>
+                   <coordonnees>
+                     <nom>{$t/name/text()}</nom>
+                     <rue>{$t/address/street/text()}</rue>
+                     <ville>{$t/address/city/text()}</ville>
+                     <pays>{$t/address/country/text()}</pays>
+                     <reseau>
+                       <courrier>{$t/emailaddress/text()}</courrier>
+                       <pagePerso>{$t/homepage/text()}</pagePerso>
+                     </reseau>
+                   </coordonnees>
+                   <cartePaiement>{$t/creditcard/text()}</cartePaiement>
+                 </personne>
+return <categorie><id>{$i}</id>{$p}</categorie>
+)";
+
+constexpr std::string_view kQ11 = R"(
+for $p in document("auction.xml")/site/people/person
+let $l := for $i in document("auction.xml")/site/open_auctions/open_auction/initial
+          where $p/profile/income > 5000 * $i/text()
+          return $i
+return <items name="{$p/name/text()}">{count($l)}</items>
+)";
+
+constexpr std::string_view kQ12 = R"(
+for $p in document("auction.xml")/site/people/person
+let $l := for $i in document("auction.xml")/site/open_auctions/open_auction/initial
+          where $p/profile/income > 5000 * $i/text()
+          return $i
+where $p/profile/income > 50000
+return <items name="{$p/name/text()}">{count($l)}</items>
+)";
+
+constexpr std::string_view kQ13 = R"(
+for $i in document("auction.xml")/site/regions/australia/item
+return <item name="{$i/name/text()}">{$i/description}</item>
+)";
+
+constexpr std::string_view kQ14 = R"(
+for $i in document("auction.xml")/site//item
+where contains($i/description, "gold")
+return $i/name/text()
+)";
+
+constexpr std::string_view kQ15 = R"(
+for $a in document("auction.xml")/site/closed_auctions/closed_auction
+          /annotation/description/parlist/listitem/parlist/listitem
+          /text/emph/keyword/text()
+return <text>{$a}</text>
+)";
+
+constexpr std::string_view kQ16 = R"(
+for $a in document("auction.xml")/site/closed_auctions/closed_auction
+where not(empty($a/annotation/description/parlist/listitem/parlist/listitem
+               /text/emph/keyword/text()))
+return <person id="{$a/seller/@person}"/>
+)";
+
+constexpr std::string_view kQ17 = R"(
+for $p in document("auction.xml")/site/people/person
+where empty($p/homepage/text())
+return <person name="{$p/name/text()}"/>
+)";
+
+constexpr std::string_view kQ18 = R"(
+declare function local:convert($v) { 2.20371 * $v };
+for $i in document("auction.xml")/site/open_auctions/open_auction
+return local:convert(zero-or-one($i/reserve/text()))
+)";
+
+constexpr std::string_view kQ19 = R"(
+for $b in document("auction.xml")/site/regions//item
+let $k := $b/name/text()
+order by zero-or-one($b/location)
+return <item name="{$k}">{$b/location/text()}</item>
+)";
+
+constexpr std::string_view kQ20 = R"(
+<result>
+  <preferred>{count(document("auction.xml")
+      /site/people/person/profile[income >= 100000])}</preferred>
+  <standard>{count(document("auction.xml")
+      /site/people/person/profile[income < 100000 and income >= 30000])}</standard>
+  <challenge>{count(document("auction.xml")
+      /site/people/person/profile[income < 30000])}</challenge>
+  <na>{count(for $p in document("auction.xml")/site/people/person
+             where empty($p/profile/income)
+             return $p)}</na>
+</result>
+)";
+
+const std::array<QuerySpec, 20> kQueries = {{
+    {1, "Exact Match",
+     "Return the name of the person with ID 'person0'.", kQ1},
+    {2, "Ordered Access",
+     "Return the initial increases of all open auctions.", kQ2},
+    {3, "Ordered Access",
+     "Return the first and current increases of all open auctions whose "
+     "current increase is at least twice as high as the initial increase.",
+     kQ3},
+    {4, "Ordered Access",
+     "List the reserves of those open auctions where a certain person "
+     "issued a bid before another person.",
+     kQ4},
+    {5, "Casting", "How many sold items cost more than 40?", kQ5},
+    {6, "Regular Path Expressions",
+     "How many items are listed on all continents?", kQ6},
+    {7, "Regular Path Expressions",
+     "How many pieces of prose are in our database?", kQ7},
+    {8, "Chasing References",
+     "List the names of persons and the number of items they bought.", kQ8},
+    {9, "Chasing References",
+     "List the names of persons and the names of the items they bought in "
+     "Europe.",
+     kQ9},
+    {10, "Construction of Complex Results",
+     "List all persons according to their interest; use French markup in "
+     "the result.",
+     kQ10},
+    {11, "Joins on Values",
+     "For each person, list the number of items currently on sale whose "
+     "price does not exceed 0.02% of the person's income.",
+     kQ11},
+    {12, "Joins on Values",
+     "For each person with an income of more than 50000, list the number "
+     "of items currently on sale whose price does not exceed 0.02% of the "
+     "person's income.",
+     kQ12},
+    {13, "Reconstruction",
+     "List the names of items registered in Australia along with their "
+     "descriptions.",
+     kQ13},
+    {14, "Full Text",
+     "Return the names of all items whose description contains the word "
+     "'gold'.",
+     kQ14},
+    {15, "Path Traversals",
+     "Print the keywords in emphasis in annotations of closed auctions.",
+     kQ15},
+    {16, "Path Traversals",
+     "Return the IDs of the sellers of those auctions that have one or "
+     "more keywords in emphasis.",
+     kQ16},
+    {17, "Missing Elements", "Which persons don't have a homepage?", kQ17},
+    {18, "Function Application",
+     "Convert the currency of the reserves of all open auctions to "
+     "another currency.",
+     kQ18},
+    {19, "Sorting",
+     "Give an alphabetically ordered list of all items along with their "
+     "location.",
+     kQ19},
+    {20, "Aggregation",
+     "Group customers by their income and output the cardinality of each "
+     "group.",
+     kQ20},
+}};
+
+}  // namespace
+
+const std::array<QuerySpec, 20>& AllQueries() { return kQueries; }
+
+const QuerySpec& GetQuery(int number) {
+  XMARK_CHECK(number >= 1 && number <= 20);
+  return kQueries[number - 1];
+}
+
+}  // namespace xmark::bench

@@ -1,0 +1,63 @@
+#include "xmark/result_check.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+#include "xml/dom.h"
+#include "xml/serializer.h"
+
+namespace xmark::bench {
+namespace {
+
+// Canonicalizes one serialized item: if it parses as an element, re-emit
+// it with sorted attributes; otherwise return as-is.
+std::string Canonicalize(const std::string& serialized,
+                         const EquivalenceOptions& options) {
+  if (!options.canonical_attributes) return serialized;
+  if (serialized.empty() || serialized.front() != '<') return serialized;
+  auto doc = xml::Document::Parse(serialized, /*keep_whitespace=*/true);
+  if (!doc.ok()) return serialized;
+  xml::SerializeOptions ser;
+  ser.canonical = true;
+  return SerializeDocument(*doc, ser);
+}
+
+}  // namespace
+
+std::vector<std::string> CanonicalItems(const query::Sequence& result,
+                                        const EquivalenceOptions& options) {
+  std::vector<std::string> out;
+  out.reserve(result.size());
+  for (const query::Item& item : result) {
+    out.push_back(Canonicalize(SerializeItem(item), options));
+  }
+  if (options.ignore_item_order) std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string ExplainDifference(const query::Sequence& a,
+                              const query::Sequence& b,
+                              const EquivalenceOptions& options) {
+  const std::vector<std::string> ca = CanonicalItems(a, options);
+  const std::vector<std::string> cb = CanonicalItems(b, options);
+  if (ca.size() != cb.size()) {
+    return StringPrintf("cardinality mismatch: %zu vs %zu items", ca.size(),
+                        cb.size());
+  }
+  for (size_t i = 0; i < ca.size(); ++i) {
+    if (ca[i] != cb[i]) {
+      std::string lhs = ca[i].substr(0, 120);
+      std::string rhs = cb[i].substr(0, 120);
+      return StringPrintf("item %zu differs:\n  left:  %s\n  right: %s", i,
+                          lhs.c_str(), rhs.c_str());
+    }
+  }
+  return "";
+}
+
+bool ResultsEquivalent(const query::Sequence& a, const query::Sequence& b,
+                       const EquivalenceOptions& options) {
+  return ExplainDifference(a, b, options).empty();
+}
+
+}  // namespace xmark::bench

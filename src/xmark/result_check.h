@@ -1,0 +1,39 @@
+#ifndef XMARK_XMARK_RESULT_CHECK_H_
+#define XMARK_XMARK_RESULT_CHECK_H_
+
+#include <string>
+#include <vector>
+
+#include "query/value.h"
+
+namespace xmark::bench {
+
+/// Result-equivalence checking (paper §1 discusses why deciding when two
+/// XML query outputs are equivalent "still requires research"; this is the
+/// pragmatic slice the benchmark kit needs to verify engines against each
+/// other).
+struct EquivalenceOptions {
+  /// Ignore the order of top-level items (for engines free to reorder
+  /// unordered results).
+  bool ignore_item_order = false;
+  /// Sort attributes within serialized elements before comparing.
+  bool canonical_attributes = true;
+};
+
+/// Serializes every item of a result into comparable strings.
+std::vector<std::string> CanonicalItems(const query::Sequence& result,
+                                        const EquivalenceOptions& options);
+
+/// Compares two results; on mismatch returns a short human-readable
+/// explanation, otherwise an empty string.
+std::string ExplainDifference(const query::Sequence& a,
+                              const query::Sequence& b,
+                              const EquivalenceOptions& options);
+
+/// True when the results are equivalent under `options`.
+bool ResultsEquivalent(const query::Sequence& a, const query::Sequence& b,
+                       const EquivalenceOptions& options = {});
+
+}  // namespace xmark::bench
+
+#endif  // XMARK_XMARK_RESULT_CHECK_H_

@@ -1,0 +1,63 @@
+#include "xmark/runner.h"
+
+#include "gen/generator.h"
+#include "util/logging.h"
+
+namespace xmark::bench {
+
+BenchmarkRunner::BenchmarkRunner(double scale, uint64_t seed) : scale_(scale) {
+  gen::GeneratorOptions opts;
+  opts.scale = scale;
+  opts.seed = seed;
+  document_ = gen::XmlGen(opts).GenerateToString();
+}
+
+Status BenchmarkRunner::LoadSystem(SystemId system) {
+  if (engines_.count(system)) return Status::OK();
+  std::unique_ptr<Engine> engine = Engine::Create(system);
+  PhaseTimer timer;
+  XMARK_RETURN_IF_ERROR(engine->Load(document_));
+  LoadInfo info;
+  info.bulkload_ms = timer.ElapsedWallMillis();
+  info.database_bytes = engine->StorageBytes();
+  info.catalog_entries = engine->CatalogEntries();
+  load_info_[system] = info;
+  engines_[system] = std::move(engine);
+  return Status::OK();
+}
+
+StatusOr<QueryTiming> BenchmarkRunner::RunQuery(SystemId system,
+                                                int query_number,
+                                                int repetitions) {
+  XMARK_RETURN_IF_ERROR(LoadSystem(system));
+  Engine* engine = engines_.at(system).get();
+  const QuerySpec& spec = GetQuery(query_number);
+
+  QueryTiming best;
+  best.query = query_number;
+  best.system = system;
+  bool first = true;
+  for (int rep = 0; rep < std::max(1, repetitions); ++rep) {
+    QueryTiming timing;
+    timing.query = query_number;
+    timing.system = system;
+
+    PhaseTimer compile_timer;
+    XMARK_ASSIGN_OR_RETURN(PreparedQuery prepared, engine->Prepare(spec.text));
+    timing.compile.wall_ms = compile_timer.ElapsedWallMillis();
+    timing.compile.cpu_ms = compile_timer.ElapsedCpuMillis();
+
+    PhaseTimer exec_timer;
+    XMARK_ASSIGN_OR_RETURN(query::Sequence result,
+                           engine->Execute(prepared));
+    timing.execute.wall_ms = exec_timer.ElapsedWallMillis();
+    timing.execute.cpu_ms = exec_timer.ElapsedCpuMillis();
+    timing.result_items = result.size();
+
+    if (first || timing.total_ms() < best.total_ms()) best = timing;
+    first = false;
+  }
+  return best;
+}
+
+}  // namespace xmark::bench

@@ -1,0 +1,66 @@
+#ifndef XMARK_XMARK_RUNNER_H_
+#define XMARK_XMARK_RUNNER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "util/status.h"
+#include "util/timer.h"
+#include "xmark/engine.h"
+#include "xmark/queries.h"
+
+namespace xmark::bench {
+
+/// Bulkload measurement for one system (Table 1 row).
+struct LoadInfo {
+  double bulkload_ms = 0;
+  size_t database_bytes = 0;
+  size_t catalog_entries = 0;
+};
+
+/// One timed query run (Table 2 / Table 3 / Figure 4 cell).
+struct QueryTiming {
+  int query = 0;
+  SystemId system = SystemId::kA;
+  PhaseCost compile;
+  PhaseCost execute;
+  size_t result_items = 0;
+
+  double total_ms() const { return compile.wall_ms + execute.wall_ms; }
+};
+
+/// Drives the benchmark: generates the scaled document once, loads it into
+/// the requested systems, and times query runs with compile/execute phase
+/// separation (the measurement protocol behind Tables 1-3 and Figure 4).
+class BenchmarkRunner {
+ public:
+  /// Generates the benchmark document at the given scaling factor.
+  explicit BenchmarkRunner(double scale, uint64_t seed = 42);
+
+  /// Bulkloads `system`, recording Table 1 metrics. Idempotent.
+  Status LoadSystem(SystemId system);
+
+  /// Times one query (1..20) on a loaded system. The best of `repetitions`
+  /// runs is reported (steady-state timing).
+  StatusOr<QueryTiming> RunQuery(SystemId system, int query_number,
+                                 int repetitions = 1);
+
+  const LoadInfo& load_info(SystemId system) const {
+    return load_info_.at(system);
+  }
+  Engine* engine(SystemId system) { return engines_.at(system).get(); }
+
+  const std::string& document() const { return document_; }
+  double scale() const { return scale_; }
+
+ private:
+  double scale_;
+  std::string document_;
+  std::map<SystemId, std::unique_ptr<Engine>> engines_;
+  std::map<SystemId, LoadInfo> load_info_;
+};
+
+}  // namespace xmark::bench
+
+#endif  // XMARK_XMARK_RUNNER_H_

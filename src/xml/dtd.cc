@@ -1,0 +1,270 @@
+#include "xml/dtd.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace xmark::xml {
+
+const char kAuctionDtd[] = R"dtd(<!-- XMark auction document DTD (after xmlgen; see paper section 4). -->
+<!ELEMENT site            (regions, categories, catgraph, people,
+                           open_auctions, closed_auctions)>
+
+<!ELEMENT categories      (category+)>
+<!ELEMENT category        (name, description)>
+<!ATTLIST category        id ID #REQUIRED>
+<!ELEMENT name            (#PCDATA)>
+<!ELEMENT description     (text | parlist)>
+<!ELEMENT text            (#PCDATA | bold | keyword | emph)*>
+<!ELEMENT bold            (#PCDATA | bold | keyword | emph)*>
+<!ELEMENT keyword         (#PCDATA | bold | keyword | emph)*>
+<!ELEMENT emph            (#PCDATA | bold | keyword | emph)*>
+<!ELEMENT parlist         (listitem)*>
+<!ELEMENT listitem        (text | parlist)*>
+
+<!ELEMENT catgraph        (edge*)>
+<!ELEMENT edge            EMPTY>
+<!ATTLIST edge            from IDREF #REQUIRED to IDREF #REQUIRED>
+
+<!ELEMENT regions         (africa, asia, australia, europe, namerica,
+                           samerica)>
+<!ELEMENT africa          (item*)>
+<!ELEMENT asia            (item*)>
+<!ELEMENT australia       (item*)>
+<!ELEMENT namerica        (item*)>
+<!ELEMENT samerica        (item*)>
+<!ELEMENT europe          (item*)>
+<!ELEMENT item            (location, quantity, name, payment, description,
+                           shipping, incategory+, mailbox)>
+<!ATTLIST item            id ID #REQUIRED
+                          featured CDATA #IMPLIED>
+<!ELEMENT location        (#PCDATA)>
+<!ELEMENT quantity        (#PCDATA)>
+<!ELEMENT payment         (#PCDATA)>
+<!ELEMENT shipping        (#PCDATA)>
+<!ELEMENT reserve         (#PCDATA)>
+<!ELEMENT incategory      EMPTY>
+<!ATTLIST incategory      category IDREF #REQUIRED>
+<!ELEMENT mailbox         (mail*)>
+<!ELEMENT mail            (from, to, date, text)>
+<!ELEMENT from            (#PCDATA)>
+<!ELEMENT to              (#PCDATA)>
+<!ELEMENT date            (#PCDATA)>
+<!ELEMENT itemref         EMPTY>
+<!ATTLIST itemref         item IDREF #REQUIRED>
+<!ELEMENT personref       EMPTY>
+<!ATTLIST personref       person IDREF #REQUIRED>
+
+<!ELEMENT people          (person*)>
+<!ELEMENT person          (name, emailaddress, phone?, address?, homepage?,
+                           creditcard?, profile?, watches?)>
+<!ATTLIST person          id ID #REQUIRED>
+<!ELEMENT emailaddress    (#PCDATA)>
+<!ELEMENT phone           (#PCDATA)>
+<!ELEMENT address         (street, city, country, province?, zipcode)>
+<!ELEMENT street          (#PCDATA)>
+<!ELEMENT city            (#PCDATA)>
+<!ELEMENT province        (#PCDATA)>
+<!ELEMENT zipcode         (#PCDATA)>
+<!ELEMENT country         (#PCDATA)>
+<!ELEMENT homepage        (#PCDATA)>
+<!ELEMENT creditcard      (#PCDATA)>
+<!ELEMENT profile         (interest*, education?, gender?, business, age?,
+                           income?)>
+<!ELEMENT interest        EMPTY>
+<!ATTLIST interest        category IDREF #REQUIRED>
+<!ELEMENT education       (#PCDATA)>
+<!ELEMENT income          (#PCDATA)>
+<!ELEMENT gender          (#PCDATA)>
+<!ELEMENT business        (#PCDATA)>
+<!ELEMENT age             (#PCDATA)>
+<!ELEMENT watches         (watch*)>
+<!ELEMENT watch           EMPTY>
+<!ATTLIST watch           open_auction IDREF #REQUIRED>
+
+<!ELEMENT open_auctions   (open_auction*)>
+<!ELEMENT open_auction    (initial, reserve?, bidder*, current, privacy?,
+                           itemref, seller, annotation, quantity, type,
+                           interval)>
+<!ATTLIST open_auction    id ID #REQUIRED>
+<!ELEMENT initial         (#PCDATA)>
+<!ELEMENT current         (#PCDATA)>
+<!ELEMENT privacy         (#PCDATA)>
+<!ELEMENT bidder          (date, time, personref, increase)>
+<!ELEMENT time            (#PCDATA)>
+<!ELEMENT increase        (#PCDATA)>
+<!ELEMENT seller          EMPTY>
+<!ATTLIST seller          person IDREF #REQUIRED>
+<!ELEMENT interval        (start, end)>
+<!ELEMENT start           (#PCDATA)>
+<!ELEMENT end             (#PCDATA)>
+<!ELEMENT type            (#PCDATA)>
+
+<!ELEMENT closed_auctions (closed_auction*)>
+<!ELEMENT closed_auction  (seller, buyer, itemref, price, date, quantity,
+                           type, annotation?)>
+<!ELEMENT buyer           EMPTY>
+<!ATTLIST buyer           person IDREF #REQUIRED>
+<!ELEMENT price           (#PCDATA)>
+<!ELEMENT annotation      (author, description?, happiness)>
+<!ELEMENT author          EMPTY>
+<!ATTLIST author          person IDREF #REQUIRED>
+<!ELEMENT happiness       (#PCDATA)>
+)dtd";
+
+namespace {
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+         c == '.' || c == ':';
+}
+
+void SkipSpace(std::string_view text, size_t& pos) {
+  while (pos < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[pos]))) {
+    ++pos;
+  }
+}
+
+std::string_view ReadName(std::string_view text, size_t& pos) {
+  const size_t start = pos;
+  while (pos < text.size() && IsNameChar(text[pos])) ++pos;
+  return text.substr(start, pos - start);
+}
+
+}  // namespace
+
+StatusOr<Dtd> Dtd::Parse(std::string_view text) {
+  Dtd dtd;
+  size_t pos = 0;
+  auto get_or_create = [&dtd](std::string_view name) -> DtdElement& {
+    auto it = dtd.index_.find(std::string(name));
+    if (it != dtd.index_.end()) return dtd.elements_[it->second];
+    dtd.index_.emplace(std::string(name), dtd.elements_.size());
+    dtd.elements_.push_back(DtdElement{});
+    dtd.elements_.back().name = std::string(name);
+    return dtd.elements_.back();
+  };
+
+  while (pos < text.size()) {
+    SkipSpace(text, pos);
+    if (pos >= text.size()) break;
+    if (text.compare(pos, 4, "<!--") == 0) {
+      const size_t end = text.find("-->", pos + 4);
+      if (end == std::string_view::npos) {
+        return Status::ParseError("unterminated DTD comment");
+      }
+      pos = end + 3;
+      continue;
+    }
+    if (text.compare(pos, 9, "<!ELEMENT") == 0) {
+      pos += 9;
+      SkipSpace(text, pos);
+      const std::string_view name = ReadName(text, pos);
+      if (name.empty()) return Status::ParseError("ELEMENT without a name");
+      const size_t end = text.find('>', pos);
+      if (end == std::string_view::npos) {
+        return Status::ParseError("unterminated ELEMENT declaration");
+      }
+      std::string_view model = TrimWhitespace(text.substr(pos, end - pos));
+      DtdElement& elem = get_or_create(name);
+      elem.model = std::string(model);
+      elem.empty = (model == "EMPTY");
+      // Extract identifiers from the content model.
+      size_t mp = 0;
+      while (mp < model.size()) {
+        if (model[mp] == '#') {
+          ++mp;
+          const std::string_view word = ReadName(model, mp);
+          if (word == "PCDATA") elem.pcdata = true;
+          continue;
+        }
+        if (IsNameChar(model[mp]) &&
+            !std::isdigit(static_cast<unsigned char>(model[mp]))) {
+          const std::string_view word = ReadName(model, mp);
+          if (word != "EMPTY" && word != "ANY") {
+            bool seen = false;
+            for (const std::string& c : elem.children) {
+              if (c == word) {
+                seen = true;
+                break;
+              }
+            }
+            if (!seen) elem.children.emplace_back(word);
+          }
+          continue;
+        }
+        ++mp;
+      }
+      pos = end + 1;
+      continue;
+    }
+    if (text.compare(pos, 9, "<!ATTLIST") == 0) {
+      pos += 9;
+      SkipSpace(text, pos);
+      const std::string_view elem_name = ReadName(text, pos);
+      if (elem_name.empty()) return Status::ParseError("ATTLIST without name");
+      const size_t end = text.find('>', pos);
+      if (end == std::string_view::npos) {
+        return Status::ParseError("unterminated ATTLIST declaration");
+      }
+      std::string_view body = text.substr(pos, end - pos);
+      DtdElement& elem = get_or_create(elem_name);
+      size_t bp = 0;
+      while (true) {
+        SkipSpace(body, bp);
+        if (bp >= body.size()) break;
+        DtdAttribute attr;
+        attr.name = std::string(ReadName(body, bp));
+        if (attr.name.empty()) {
+          return Status::ParseError("malformed ATTLIST body");
+        }
+        SkipSpace(body, bp);
+        const std::string_view type = ReadName(body, bp);
+        if (type == "ID") {
+          attr.type = DtdAttributeType::kId;
+        } else if (type == "IDREF" || type == "IDREFS") {
+          attr.type = DtdAttributeType::kIdRef;
+        } else {
+          attr.type = DtdAttributeType::kCData;
+        }
+        SkipSpace(body, bp);
+        if (bp < body.size() && body[bp] == '#') {
+          ++bp;
+          const std::string_view def = ReadName(body, bp);
+          attr.required = (def == "REQUIRED");
+        } else if (bp < body.size() && (body[bp] == '"' || body[bp] == '\'')) {
+          const char q = body[bp];
+          const size_t vend = body.find(q, bp + 1);
+          if (vend == std::string_view::npos) {
+            return Status::ParseError("unterminated attribute default");
+          }
+          bp = vend + 1;
+        }
+        elem.attributes.push_back(std::move(attr));
+      }
+      pos = end + 1;
+      continue;
+    }
+    return Status::ParseError("unsupported DTD construct near offset " +
+                              std::to_string(pos));
+  }
+  return dtd;
+}
+
+const DtdElement* Dtd::Find(std::string_view element) const {
+  auto it = index_.find(std::string(element));
+  if (it == index_.end()) return nullptr;
+  return &elements_[it->second];
+}
+
+bool Dtd::AllowsChild(std::string_view parent, std::string_view child) const {
+  const DtdElement* elem = Find(parent);
+  if (elem == nullptr) return false;
+  for (const std::string& c : elem->children) {
+    if (c == child) return true;
+  }
+  return false;
+}
+
+}  // namespace xmark::xml

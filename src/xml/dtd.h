@@ -1,0 +1,63 @@
+#ifndef XMARK_XML_DTD_H_
+#define XMARK_XML_DTD_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace xmark::xml {
+
+/// Attribute type as declared in an ATTLIST.
+enum class DtdAttributeType { kCData, kId, kIdRef };
+
+struct DtdAttribute {
+  std::string name;
+  DtdAttributeType type = DtdAttributeType::kCData;
+  bool required = false;
+};
+
+/// One ELEMENT declaration, with a shallow interpretation of the content
+/// model: enough structure for schema derivation (which child elements can
+/// occur, whether the element is text-only/empty/mixed), not a full
+/// content-model automaton.
+struct DtdElement {
+  std::string name;
+  std::string model;                 // raw content model text
+  std::vector<std::string> children;  // distinct child element names
+  bool pcdata = false;               // #PCDATA can occur
+  bool empty = false;                // declared EMPTY
+  std::vector<DtdAttribute> attributes;
+};
+
+/// Parsed DTD. System C in the paper "reads in a DTD and lets the user
+/// generate an optimized database schema"; our inlined-mapping engine uses
+/// this model the same way, and the generator's document always validates
+/// against it.
+class Dtd {
+ public:
+  /// Parses the internal-subset syntax: <!ELEMENT ...> and <!ATTLIST ...>
+  /// declarations, comments, and whitespace.
+  static StatusOr<Dtd> Parse(std::string_view text);
+
+  const DtdElement* Find(std::string_view element) const;
+  const std::vector<DtdElement>& elements() const { return elements_; }
+
+  /// True when `child` may occur under `parent` per the content model.
+  bool AllowsChild(std::string_view parent, std::string_view child) const;
+
+ private:
+  std::vector<DtdElement> elements_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+/// The XMark auction DTD (paper §4; mirrors the generator's output).
+/// `income` is modeled as a child element of `profile`, following the
+/// element relationships of the paper's Figure 1.
+extern const char kAuctionDtd[];
+
+}  // namespace xmark::xml
+
+#endif  // XMARK_XML_DTD_H_

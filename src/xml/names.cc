@@ -1,0 +1,21 @@
+#include "xml/names.h"
+
+#include "util/logging.h"
+
+namespace xmark::xml {
+
+NameId NameTable::Intern(std::string_view name) {
+  auto it = map_.find(std::string(name));
+  if (it != map_.end()) return it->second;
+  const NameId id = static_cast<NameId>(spellings_.size());
+  spellings_.emplace_back(name);
+  map_.emplace(spellings_.back(), id);
+  return id;
+}
+
+NameId NameTable::Lookup(std::string_view name) const {
+  auto it = map_.find(std::string(name));
+  return it == map_.end() ? kInvalidName : it->second;
+}
+
+}  // namespace xmark::xml

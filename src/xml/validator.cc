@@ -1,0 +1,372 @@
+#include "xml/validator.h"
+
+#include <cctype>
+#include <functional>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace xmark::xml {
+
+// ---------------------------------------------------------------------------
+// ContentModel
+// ---------------------------------------------------------------------------
+
+/// Regex-style content-model tree. Cardinality applies to the node itself.
+struct ContentModel::Node {
+  enum class Kind { kName, kSequence, kChoice };
+  enum class Card { kOne, kOptional, kStar, kPlus };
+
+  Kind kind = Kind::kName;
+  Card card = Card::kOne;
+  std::string name;
+  std::vector<std::shared_ptr<const Node>> children;
+};
+
+namespace {
+
+using ModelNode = ContentModel::Node;
+
+class ModelParser {
+ public:
+  explicit ModelParser(std::string_view text) : text_(text) {}
+
+  StatusOr<std::shared_ptr<const ModelNode>> Parse() {
+    auto node = ParseGroup();
+    if (!node.ok()) return node.status();
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::ParseError("trailing content-model input");
+    }
+    return node;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  ModelNode::Card ParseCard() {
+    if (pos_ < text_.size()) {
+      if (text_[pos_] == '?') {
+        ++pos_;
+        return ModelNode::Card::kOptional;
+      }
+      if (text_[pos_] == '*') {
+        ++pos_;
+        return ModelNode::Card::kStar;
+      }
+      if (text_[pos_] == '+') {
+        ++pos_;
+        return ModelNode::Card::kPlus;
+      }
+    }
+    return ModelNode::Card::kOne;
+  }
+
+  StatusOr<std::shared_ptr<const ModelNode>> ParseAtom() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Status::ParseError("unexpected end");
+    if (text_[pos_] == '(') return ParseGroup();
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_' || text_[pos_] == '-' || text_[pos_] == '.' ||
+            text_[pos_] == ':')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::ParseError("expected a name in content model");
+    }
+    auto node = std::make_shared<ModelNode>();
+    node->kind = ModelNode::Kind::kName;
+    node->name = std::string(text_.substr(start, pos_ - start));
+    node->card = ParseCard();
+    return std::shared_ptr<const ModelNode>(node);
+  }
+
+  StatusOr<std::shared_ptr<const ModelNode>> ParseGroup() {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != '(') {
+      return ParseAtom();
+    }
+    ++pos_;  // '('
+    std::vector<std::shared_ptr<const ModelNode>> parts;
+    char separator = 0;
+    while (true) {
+      XMARK_ASSIGN_OR_RETURN(auto part, ParseAtom());
+      parts.push_back(std::move(part));
+      SkipSpace();
+      if (pos_ >= text_.size()) {
+        return Status::ParseError("unterminated group");
+      }
+      if (text_[pos_] == ')') {
+        ++pos_;
+        break;
+      }
+      if (text_[pos_] == ',' || text_[pos_] == '|') {
+        if (separator != 0 && separator != text_[pos_]) {
+          return Status::ParseError("mixed ',' and '|' in one group");
+        }
+        separator = text_[pos_];
+        ++pos_;
+        continue;
+      }
+      return Status::ParseError(std::string("unexpected '") + text_[pos_] +
+                                "' in content model");
+    }
+    auto node = std::make_shared<ModelNode>();
+    node->kind = separator == '|' ? ModelNode::Kind::kChoice
+                                  : ModelNode::Kind::kSequence;
+    node->children = std::move(parts);
+    node->card = ParseCard();
+    return std::shared_ptr<const ModelNode>(node);
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+// Backtracking matcher: returns the set of input positions reachable after
+// matching `node` starting from each position in `from`. Content models in
+// DTDs are small, and the XMark models are tiny, so this is plenty fast.
+void MatchPositions(const ModelNode& node,
+                    const std::vector<std::string>& input,
+                    const std::set<size_t>& from, std::set<size_t>* out);
+
+void MatchOnce(const ModelNode& node, const std::vector<std::string>& input,
+               const std::set<size_t>& from, std::set<size_t>* out) {
+  switch (node.kind) {
+    case ModelNode::Kind::kName:
+      for (size_t pos : from) {
+        if (pos < input.size() && input[pos] == node.name) {
+          out->insert(pos + 1);
+        }
+      }
+      return;
+    case ModelNode::Kind::kSequence: {
+      std::set<size_t> current = from;
+      for (const auto& child : node.children) {
+        std::set<size_t> next;
+        MatchPositions(*child, input, current, &next);
+        current = std::move(next);
+        if (current.empty()) break;
+      }
+      out->insert(current.begin(), current.end());
+      return;
+    }
+    case ModelNode::Kind::kChoice:
+      for (const auto& child : node.children) {
+        std::set<size_t> next;
+        MatchPositions(*child, input, from, &next);
+        out->insert(next.begin(), next.end());
+      }
+      return;
+  }
+}
+
+void MatchPositions(const ModelNode& node,
+                    const std::vector<std::string>& input,
+                    const std::set<size_t>& from, std::set<size_t>* out) {
+  switch (node.card) {
+    case ModelNode::Card::kOne:
+      MatchOnce(node, input, from, out);
+      return;
+    case ModelNode::Card::kOptional: {
+      out->insert(from.begin(), from.end());
+      MatchOnce(node, input, from, out);
+      return;
+    }
+    case ModelNode::Card::kStar:
+    case ModelNode::Card::kPlus: {
+      std::set<size_t> reached;
+      if (node.card == ModelNode::Card::kStar) {
+        reached.insert(from.begin(), from.end());
+      }
+      std::set<size_t> frontier = from;
+      while (!frontier.empty()) {
+        std::set<size_t> next;
+        MatchOnce(node, input, frontier, &next);
+        std::set<size_t> fresh;
+        for (size_t p : next) {
+          if (reached.insert(p).second) fresh.insert(p);
+        }
+        frontier = std::move(fresh);
+      }
+      out->insert(reached.begin(), reached.end());
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+StatusOr<ContentModel> ContentModel::Compile(std::string_view model) {
+  ContentModel out;
+  const std::string trimmed(TrimWhitespace(model));
+  if (trimmed == "EMPTY") {
+    out.empty_ = true;
+    return out;
+  }
+  if (trimmed == "ANY") {
+    out.any_ = true;
+    return out;
+  }
+  if (trimmed.find("#PCDATA") != std::string::npos) {
+    // Mixed content: (#PCDATA | a | b | ...)* — collect the names.
+    out.mixed_ = true;
+    size_t pos = 0;
+    while (pos < trimmed.size()) {
+      if (std::isalpha(static_cast<unsigned char>(trimmed[pos])) ||
+          trimmed[pos] == '_') {
+        const size_t start = pos;
+        while (pos < trimmed.size() &&
+               (std::isalnum(static_cast<unsigned char>(trimmed[pos])) ||
+                trimmed[pos] == '_' || trimmed[pos] == '-' ||
+                trimmed[pos] == '.' || trimmed[pos] == ':')) {
+          ++pos;
+        }
+        out.mixed_names_.push_back(trimmed.substr(start, pos - start));
+      } else {
+        ++pos;
+      }
+    }
+    return out;
+  }
+  ModelParser parser(trimmed);
+  XMARK_ASSIGN_OR_RETURN(out.root_, parser.Parse());
+  return out;
+}
+
+bool ContentModel::Matches(const std::vector<std::string>& children) const {
+  if (any_) return true;
+  if (empty_) return children.empty();
+  if (mixed_) {
+    for (const std::string& child : children) {
+      bool allowed = false;
+      for (const std::string& name : mixed_names_) {
+        if (name == child) {
+          allowed = true;
+          break;
+        }
+      }
+      if (!allowed) return false;
+    }
+    return true;
+  }
+  std::set<size_t> out;
+  MatchPositions(*root_, children, {0}, &out);
+  return out.count(children.size()) > 0;
+}
+
+// ---------------------------------------------------------------------------
+// Validator
+// ---------------------------------------------------------------------------
+
+std::vector<ValidationError> Validator::Validate(const Document& doc,
+                                                 size_t max_errors) const {
+  std::vector<ValidationError> errors;
+  auto report = [&](NodeId node, std::string message) {
+    if (errors.size() < max_errors) {
+      errors.push_back(ValidationError{node, std::move(message)});
+    }
+  };
+
+  // Compile content models once per element declaration.
+  std::unordered_map<std::string, ContentModel> models;
+  for (const DtdElement& elem : dtd_->elements()) {
+    auto model = ContentModel::Compile(elem.model);
+    if (model.ok()) {
+      models.emplace(elem.name, std::move(model).value());
+    } else {
+      report(kInvalidNode, "bad content model for " + elem.name + ": " +
+                               model.status().ToString());
+    }
+  }
+
+  std::unordered_set<std::string> seen_ids;
+  std::vector<std::pair<NodeId, std::string>> idrefs;
+
+  for (NodeId n = 0; n < doc.num_nodes(); ++n) {
+    if (errors.size() >= max_errors) break;
+    if (!doc.IsElement(n)) continue;
+    const std::string& tag = doc.tag(n);
+    const DtdElement* decl = dtd_->Find(tag);
+    if (decl == nullptr) {
+      report(n, "undeclared element <" + tag + ">");
+      continue;
+    }
+
+    // Content model.
+    const auto model = models.find(tag);
+    if (model != models.end()) {
+      std::vector<std::string> children;
+      bool has_text = false;
+      for (NodeId c = doc.first_child(n); c != kInvalidNode;
+           c = doc.next_sibling(c)) {
+        if (doc.IsElement(c)) {
+          children.push_back(doc.tag(c));
+        } else if (!TrimWhitespace(doc.text(c)).empty()) {
+          has_text = true;
+        }
+      }
+      if (has_text && !model->second.mixed() && !decl->pcdata) {
+        report(n, "unexpected character data in <" + tag + ">");
+      }
+      if (!model->second.Matches(children)) {
+        report(n, "children of <" + tag + "> violate content model " +
+                      decl->model);
+      }
+    }
+
+    // Attributes.
+    std::unordered_set<std::string> present;
+    for (const DomAttribute& attr : doc.attributes(n)) {
+      const std::string name(doc.names().Spelling(attr.name));
+      present.insert(name);
+      const DtdAttribute* adecl = nullptr;
+      for (const DtdAttribute& a : decl->attributes) {
+        if (a.name == name) adecl = &a;
+      }
+      if (adecl == nullptr) {
+        report(n, "undeclared attribute '" + name + "' on <" + tag + ">");
+        continue;
+      }
+      if (adecl->type == DtdAttributeType::kId) {
+        if (!seen_ids.insert(std::string(attr.value)).second) {
+          report(n, "duplicate ID '" + std::string(attr.value) + "'");
+        }
+      } else if (adecl->type == DtdAttributeType::kIdRef) {
+        idrefs.emplace_back(n, std::string(attr.value));
+      }
+    }
+    for (const DtdAttribute& a : decl->attributes) {
+      if (a.required && !present.count(a.name)) {
+        report(n, "missing required attribute '" + a.name + "' on <" + tag +
+                      ">");
+      }
+    }
+  }
+
+  // IDREF resolution (the typed references of §4.2).
+  for (const auto& [node, value] : idrefs) {
+    if (errors.size() >= max_errors) break;
+    if (!seen_ids.count(value)) {
+      report(node, "dangling IDREF '" + value + "'");
+    }
+  }
+  return errors;
+}
+
+Status Validator::Check(const Document& doc) const {
+  const std::vector<ValidationError> errors = Validate(doc, 1);
+  if (errors.empty()) return Status::OK();
+  return Status::InvalidArgument(errors.front().message);
+}
+
+}  // namespace xmark::xml

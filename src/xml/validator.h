@@ -1,0 +1,74 @@
+#ifndef XMARK_XML_VALIDATOR_H_
+#define XMARK_XML_VALIDATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "xml/dom.h"
+#include "xml/dtd.h"
+
+namespace xmark::xml {
+
+/// One validation violation.
+struct ValidationError {
+  NodeId node = kInvalidNode;
+  std::string message;
+};
+
+/// DTD validator: checks a document against ELEMENT content models
+/// (sequence, choice, ?, *, +, mixed content, EMPTY) and ATTLIST
+/// declarations (declared attributes, #REQUIRED presence, ID uniqueness,
+/// IDREF resolution). The benchmark ships a DTD precisely so stores can
+/// exploit it (paper §4.4); the validator is what ties the generator's
+/// output to that contract in tests.
+class Validator {
+ public:
+  explicit Validator(const Dtd* dtd) : dtd_(dtd) {}
+
+  /// Validates the whole document; collects up to `max_errors` violations.
+  std::vector<ValidationError> Validate(const Document& doc,
+                                        size_t max_errors = 100) const;
+
+  /// Convenience: OK when the document is valid, otherwise the first error.
+  Status Check(const Document& doc) const;
+
+ private:
+  const Dtd* dtd_;
+};
+
+/// Content-model matcher used by the validator (exposed for tests):
+/// compiles a DTD content-model expression like "(a, (b | c)*, d?)" and
+/// decides whether a sequence of child tag names matches it.
+class ContentModel {
+ public:
+  static StatusOr<ContentModel> Compile(std::string_view model);
+
+  /// True when `children` (element names in order) satisfies the model.
+  /// For mixed content ( (#PCDATA | a | b)* ), text is always allowed and
+  /// element names are checked against the alternation set.
+  bool Matches(const std::vector<std::string>& children) const;
+
+  bool mixed() const { return mixed_; }
+  bool empty_model() const { return empty_; }
+  bool any() const { return any_; }
+
+  /// Regex-style tree: name | seq | choice, with ?/*/+ cardinalities.
+  /// Public so the matcher implementation can see it; not part of the API.
+  struct Node;
+
+  ContentModel() = default;
+
+ private:
+
+  std::shared_ptr<const Node> root_;
+  bool mixed_ = false;
+  bool empty_ = false;
+  bool any_ = false;
+  std::vector<std::string> mixed_names_;
+};
+
+}  // namespace xmark::xml
+
+#endif  // XMARK_XML_VALIDATOR_H_

@@ -1,0 +1,458 @@
+#include "gen/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "util/logging.h"
+
+#include "util/string_util.h"
+#include "xml/dom.h"
+#include "xml/dtd.h"
+
+namespace xmark::gen {
+namespace {
+
+constexpr double kTestScale = 0.002;
+
+const XmlGen& TestGen() {
+  static const XmlGen* const kGen = [] {
+    GeneratorOptions opts;
+    opts.scale = kTestScale;
+    return new XmlGen(opts);
+  }();
+  return *kGen;
+}
+
+const xml::Document& TestDoc() {
+  static const xml::Document* const kDoc = [] {
+    auto doc = xml::Document::Parse(TestGen().GenerateToString());
+    XMARK_CHECK(doc.ok());
+    return new xml::Document(std::move(doc).value());
+  }();
+  return *kDoc;
+}
+
+std::map<std::string, int> CountTags(const xml::Document& doc) {
+  std::map<std::string, int> counts;
+  for (xml::NodeId n = 0; n < doc.num_nodes(); ++n) {
+    if (doc.IsElement(n)) ++counts[doc.tag(n)];
+  }
+  return counts;
+}
+
+TEST(EntityCountsTest, Scale1MatchesPublishedCalibration) {
+  const EntityCounts c = EntityCounts::ForScale(1.0);
+  EXPECT_EQ(c.persons, 25500);
+  EXPECT_EQ(c.open_auctions, 12000);
+  EXPECT_EQ(c.closed_auctions, 9750);
+  EXPECT_EQ(c.items, 21750);
+  EXPECT_EQ(c.categories, 1000);
+}
+
+TEST(EntityCountsTest, ContinentSplitSumsToItems) {
+  for (double f : {0.001, 0.01, 0.1, 1.0, 2.5}) {
+    const EntityCounts c = EntityCounts::ForScale(f);
+    int64_t sum = 0;
+    for (int i = 0; i < kNumContinents; ++i) {
+      EXPECT_GE(c.items_per_continent[i], 0) << "factor " << f;
+      sum += c.items_per_continent[i];
+    }
+    EXPECT_EQ(sum, c.items) << "factor " << f;
+  }
+}
+
+TEST(EntityCountsTest, ItemsEqualAuctions) {
+  // The consistency constraint of §4.5: items == open + closed.
+  for (double f : {0.005, 0.05, 0.5}) {
+    const EntityCounts c = EntityCounts::ForScale(f);
+    EXPECT_EQ(c.items, c.open_auctions + c.closed_auctions);
+  }
+}
+
+TEST(XmlGenTest, DeterministicOutput) {
+  GeneratorOptions opts;
+  opts.scale = 0.001;
+  EXPECT_EQ(XmlGen(opts).GenerateToString(), XmlGen(opts).GenerateToString());
+}
+
+TEST(XmlGenTest, DifferentSeedsDiffer) {
+  GeneratorOptions a, b;
+  a.scale = b.scale = 0.001;
+  a.seed = 1;
+  b.seed = 2;
+  EXPECT_NE(XmlGen(a).GenerateToString(), XmlGen(b).GenerateToString());
+}
+
+TEST(XmlGenTest, OutputIsWellFormed) {
+  // TestDoc() construction already asserts parseability.
+  EXPECT_GT(TestDoc().num_nodes(), 100u);
+  EXPECT_EQ(TestDoc().tag(TestDoc().root()), "site");
+}
+
+TEST(XmlGenTest, EntityCountsMatchDocument) {
+  const auto counts = CountTags(TestDoc());
+  const EntityCounts& expect = TestGen().counts();
+  EXPECT_EQ(counts.at("person"), expect.persons);
+  EXPECT_EQ(counts.at("open_auction"), expect.open_auctions);
+  EXPECT_EQ(counts.at("closed_auction"), expect.closed_auctions);
+  EXPECT_EQ(counts.at("item"), expect.items);
+  EXPECT_EQ(counts.at("category"), expect.categories);
+  EXPECT_EQ(counts.at("edge"), expect.edges);
+}
+
+TEST(XmlGenTest, SectionOrderFollowsDtd) {
+  const xml::Document& doc = TestDoc();
+  std::vector<std::string> sections;
+  for (auto c = doc.first_child(doc.root()); c != xml::kInvalidNode;
+       c = doc.next_sibling(c)) {
+    sections.push_back(doc.tag(c));
+  }
+  EXPECT_EQ(sections,
+            (std::vector<std::string>{"regions", "categories", "catgraph",
+                                      "people", "open_auctions",
+                                      "closed_auctions"}));
+}
+
+TEST(XmlGenTest, AllSixContinentsPresent) {
+  const xml::Document& doc = TestDoc();
+  const auto regions = doc.first_child(doc.root());
+  std::vector<std::string> continents;
+  for (auto c = doc.first_child(regions); c != xml::kInvalidNode;
+       c = doc.next_sibling(c)) {
+    continents.push_back(doc.tag(c));
+  }
+  EXPECT_EQ(continents, (std::vector<std::string>{
+                            "africa", "asia", "australia", "europe",
+                            "namerica", "samerica"}));
+}
+
+// Collects id="..." attribute values and all IDREF attribute values.
+struct RefMap {
+  std::set<std::string> ids;
+  std::vector<std::pair<std::string, std::string>> refs;  // (attr, value)
+};
+
+RefMap CollectRefs(const xml::Document& doc) {
+  RefMap out;
+  for (xml::NodeId n = 0; n < doc.num_nodes(); ++n) {
+    if (!doc.IsElement(n)) continue;
+    for (const auto& attr : doc.attributes(n)) {
+      const std::string name = doc.names().Spelling(attr.name);
+      if (name == "id") {
+        out.ids.insert(std::string(attr.value));
+      } else if (name == "person" || name == "item" || name == "category" ||
+                 name == "open_auction" || name == "from" || name == "to") {
+        out.refs.emplace_back(name, std::string(attr.value));
+      }
+    }
+  }
+  return out;
+}
+
+TEST(XmlGenTest, AllReferencesResolve) {
+  const RefMap refs = CollectRefs(TestDoc());
+  for (const auto& [attr, value] : refs.refs) {
+    EXPECT_TRUE(refs.ids.count(value)) << attr << " -> " << value;
+  }
+}
+
+TEST(XmlGenTest, ReferencesAreTyped) {
+  // §4.2: "all instances of an XML element point to the same type".
+  const RefMap refs = CollectRefs(TestDoc());
+  for (const auto& [attr, value] : refs.refs) {
+    if (attr == "person") {
+      EXPECT_TRUE(xmark::StartsWith(value, "person")) << value;
+    } else if (attr == "item") {
+      EXPECT_TRUE(xmark::StartsWith(value, "item")) << value;
+    } else if (attr == "category" || attr == "from" || attr == "to") {
+      EXPECT_TRUE(xmark::StartsWith(value, "category")) << value;
+    } else if (attr == "open_auction") {
+      EXPECT_TRUE(xmark::StartsWith(value, "open_auction")) << value;
+    }
+  }
+}
+
+TEST(XmlGenTest, ItemPartitionIsExact) {
+  // Every item is referenced by exactly one auction (§4.5's identical-
+  // streams trick, realized as a keyed permutation).
+  const xml::Document& doc = TestDoc();
+  std::multiset<std::string> referenced;
+  for (xml::NodeId n = 0; n < doc.num_nodes(); ++n) {
+    if (doc.IsElement(n) && doc.tag(n) == "itemref") {
+      referenced.insert(std::string(*doc.attribute(n, "item")));
+    }
+  }
+  const EntityCounts& c = TestGen().counts();
+  EXPECT_EQ(static_cast<int64_t>(referenced.size()), c.items);
+  for (int64_t k = 0; k < c.items; ++k) {
+    EXPECT_EQ(referenced.count("item" + std::to_string(k)), 1u) << k;
+  }
+}
+
+TEST(XmlGenTest, AccessorsMatchDocumentPartition) {
+  const xml::Document& doc = TestDoc();
+  const XmlGen& gen = TestGen();
+  // Find open auction 0's itemref in the document and cross-check.
+  for (xml::NodeId n = 0; n < doc.num_nodes(); ++n) {
+    if (!doc.IsElement(n) || doc.tag(n) != "open_auction") continue;
+    const std::string id(*doc.attribute(n, "id"));
+    const int64_t j = *xmark::ParseInt(id.substr(strlen("open_auction")));
+    for (auto ch = doc.first_child(n); ch != xml::kInvalidNode;
+         ch = doc.next_sibling(ch)) {
+      if (doc.IsElement(ch) && doc.tag(ch) == "itemref") {
+        EXPECT_EQ(std::string(*doc.attribute(ch, "item")),
+                  "item" + std::to_string(gen.ItemForOpenAuction(j)));
+      }
+    }
+  }
+}
+
+TEST(XmlGenTest, CurrentEqualsInitialPlusIncreases) {
+  const xml::Document& doc = TestDoc();
+  int auctions_checked = 0;
+  for (xml::NodeId n = 0; n < doc.num_nodes(); ++n) {
+    if (!doc.IsElement(n) || doc.tag(n) != "open_auction") continue;
+    double initial = 0, current = 0, increases = 0;
+    for (auto ch = doc.first_child(n); ch != xml::kInvalidNode;
+         ch = doc.next_sibling(ch)) {
+      if (!doc.IsElement(ch)) continue;
+      if (doc.tag(ch) == "initial") {
+        initial = *xmark::ParseDouble(doc.StringValue(ch));
+      } else if (doc.tag(ch) == "current") {
+        current = *xmark::ParseDouble(doc.StringValue(ch));
+      } else if (doc.tag(ch) == "bidder") {
+        for (auto b = doc.first_child(ch); b != xml::kInvalidNode;
+             b = doc.next_sibling(b)) {
+          if (doc.IsElement(b) && doc.tag(b) == "increase") {
+            increases += *xmark::ParseDouble(doc.StringValue(b));
+          }
+        }
+      }
+    }
+    EXPECT_NEAR(current, initial + increases, 0.011);
+    ++auctions_checked;
+  }
+  EXPECT_GT(auctions_checked, 0);
+}
+
+TEST(XmlGenTest, ConformsToAuctionDtd) {
+  auto dtd = xml::Dtd::Parse(xml::kAuctionDtd);
+  ASSERT_TRUE(dtd.ok());
+  const xml::Document& doc = TestDoc();
+  for (xml::NodeId n = 0; n < doc.num_nodes(); ++n) {
+    if (!doc.IsElement(n)) continue;
+    const xml::DtdElement* decl = dtd->Find(doc.tag(n));
+    ASSERT_NE(decl, nullptr) << "undeclared element " << doc.tag(n);
+    // Children must be allowed by the content model.
+    for (auto c = doc.first_child(n); c != xml::kInvalidNode;
+         c = doc.next_sibling(c)) {
+      if (doc.IsElement(c)) {
+        EXPECT_TRUE(dtd->AllowsChild(doc.tag(n), doc.tag(c)))
+            << doc.tag(c) << " under " << doc.tag(n);
+      } else {
+        EXPECT_TRUE(decl->pcdata)
+            << "unexpected text under " << doc.tag(n);
+      }
+    }
+    // Attributes must be declared.
+    for (const auto& attr : doc.attributes(n)) {
+      const std::string aname = doc.names().Spelling(attr.name);
+      bool declared = false;
+      for (const auto& da : decl->attributes) declared |= (da.name == aname);
+      EXPECT_TRUE(declared) << aname << " on " << doc.tag(n);
+    }
+  }
+}
+
+TEST(XmlGenTest, SomePersonsLackHomepage) {
+  // Q17's premise: the fraction without a homepage is high.
+  const xml::Document& doc = TestDoc();
+  int with = 0, without = 0;
+  for (xml::NodeId n = 0; n < doc.num_nodes(); ++n) {
+    if (!doc.IsElement(n) || doc.tag(n) != "person") continue;
+    bool has = false;
+    for (auto c = doc.first_child(n); c != xml::kInvalidNode;
+         c = doc.next_sibling(c)) {
+      if (doc.IsElement(c) && doc.tag(c) == "homepage") has = true;
+    }
+    has ? ++with : ++without;
+  }
+  EXPECT_GT(without, 0);
+  EXPECT_GT(with, 0);
+}
+
+TEST(XmlGenTest, DeepProsePathOccurs) {
+  // Q15 must have a non-empty result at moderate scale: look for
+  // annotation//parlist/listitem/parlist anywhere in a larger document.
+  GeneratorOptions opts;
+  opts.scale = 0.01;
+  auto doc = xml::Document::Parse(XmlGen(opts).GenerateToString());
+  ASSERT_TRUE(doc.ok());
+  int nested = 0;
+  for (xml::NodeId n = 0; n < doc->num_nodes(); ++n) {
+    if (!doc->IsElement(n) || doc->tag(n) != "parlist") continue;
+    const auto p1 = doc->parent(n);
+    if (p1 == xml::kInvalidNode || doc->tag(p1) != "listitem") continue;
+    const auto p2 = doc->parent(p1);
+    if (p2 != xml::kInvalidNode && doc->tag(p2) == "parlist") ++nested;
+  }
+  EXPECT_GT(nested, 0);
+}
+
+TEST(XmlGenTest, GoldAppearsInDescriptions) {
+  // Q14's probe word should hit a sane fraction of item descriptions.
+  const xml::Document& doc = TestDoc();
+  int with_gold = 0, total = 0;
+  for (xml::NodeId n = 0; n < doc.num_nodes(); ++n) {
+    if (!doc.IsElement(n) || doc.tag(n) != "item") continue;
+    ++total;
+    for (auto c = doc.first_child(n); c != xml::kInvalidNode;
+         c = doc.next_sibling(c)) {
+      if (doc.IsElement(c) && doc.tag(c) == "description" &&
+          xmark::Contains(doc.StringValue(c), "gold")) {
+        ++with_gold;
+      }
+    }
+  }
+  EXPECT_GT(total, 0);
+  EXPECT_GT(with_gold, 0);
+  EXPECT_LT(with_gold, total);
+}
+
+TEST(XmlGenTest, MeasureSizeMatchesActualOutput) {
+  GeneratorOptions opts;
+  opts.scale = 0.001;
+  XmlGen gen(opts);
+  EXPECT_EQ(gen.MeasureSize(), gen.GenerateToString().size());
+}
+
+TEST(XmlGenTest, ScalingIsApproximatelyLinear) {
+  GeneratorOptions small, big;
+  small.scale = 0.005;
+  big.scale = 0.02;
+  const double ratio = static_cast<double>(XmlGen(big).MeasureSize()) /
+                       static_cast<double>(XmlGen(small).MeasureSize());
+  EXPECT_NEAR(ratio, 4.0, 0.8);
+}
+
+TEST(XmlGenTest, GenerateToFileRoundTrips) {
+  const std::string path = ::testing::TempDir() + "/xmlgen_test_doc.xml";
+  GeneratorOptions opts;
+  opts.scale = 0.001;
+  XmlGen gen(opts);
+  ASSERT_TRUE(gen.GenerateToFile(path).ok());
+  auto doc = xml::Document::ParseFile(path);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->tag(doc->root()), "site");
+  std::remove(path.c_str());
+}
+
+TEST(XmlGenTest, SplitModeCoversAllEntities) {
+  const std::string dir = ::testing::TempDir() + "/xmlgen_split";
+  std::filesystem::create_directories(dir);
+  GeneratorOptions opts;
+  opts.scale = 0.001;
+  XmlGen gen(opts);
+  auto files = gen.GenerateSplit(dir, /*entities_per_file=*/10);
+  ASSERT_TRUE(files.ok()) << files.status();
+  EXPECT_GT(files->size(), 1u);
+  std::map<std::string, int> totals;
+  for (const std::string& f : *files) {
+    auto doc = xml::Document::ParseFile(f);
+    ASSERT_TRUE(doc.ok()) << f << ": " << doc.status();
+    int top_level = 0;
+    for (auto c = doc->first_child(doc->root()); c != xml::kInvalidNode;
+         c = doc->next_sibling(c)) {
+      if (doc->IsElement(c)) {
+        ++top_level;
+        ++totals[doc->tag(c)];
+      }
+    }
+    EXPECT_LE(top_level, 10);
+  }
+  const EntityCounts& c = gen.counts();
+  EXPECT_EQ(totals["person"], c.persons);
+  EXPECT_EQ(totals["item"], c.items);
+  EXPECT_EQ(totals["open_auction"], c.open_auctions);
+  EXPECT_EQ(totals["closed_auction"], c.closed_auctions);
+  EXPECT_EQ(totals["category"], c.categories);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(XmlGenTest, SplitModePayloadMatchesSingleDocument) {
+  // The split files must contain byte-identical entity payloads (§5: the
+  // one-document semantics are normative).
+  const std::string dir = ::testing::TempDir() + "/xmlgen_split2";
+  std::filesystem::create_directories(dir);
+  GeneratorOptions opts;
+  opts.scale = 0.001;
+  XmlGen gen(opts);
+  auto files = gen.GenerateSplit(dir, 1000000);  // one file per section
+  ASSERT_TRUE(files.ok());
+  // people_0.xml's <people> content equals the single document's section.
+  std::string single = gen.GenerateToString();
+  const size_t begin = single.find("<people>");
+  const size_t end = single.find("</people>");
+  ASSERT_NE(begin, std::string::npos);
+  std::string section = single.substr(begin, end + 9 - begin);
+  for (const std::string& f : *files) {
+    if (f.find("people_0.xml") == std::string::npos) continue;
+    std::ifstream in(f);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string content = buf.str();
+    // Strip trailing newline.
+    while (!content.empty() && content.back() == '\n') content.pop_back();
+    EXPECT_EQ(content, section);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(XmlGenTest, Figure3ScaleTableIsExposed) {
+  ASSERT_EQ(kFigure3Scales.size(), 4u);
+  EXPECT_STREQ(kFigure3Scales[0].name, "tiny");
+  EXPECT_DOUBLE_EQ(kFigure3Scales[1].factor, 1.0);
+  EXPECT_STREQ(kFigure3Scales[3].nominal_size, "10 GB");
+}
+
+TEST(XmlGenTest, IncomeDistributionSupportsQ20Groups) {
+  // Q20 groups: >=100000, [30000,100000), <30000, and missing.
+  const xml::Document& doc = TestDoc();
+  int high = 0, mid = 0, low = 0, missing = 0;
+  for (xml::NodeId n = 0; n < doc.num_nodes(); ++n) {
+    if (!doc.IsElement(n) || doc.tag(n) != "person") continue;
+    double income = -1;
+    for (auto c = doc.first_child(n); c != xml::kInvalidNode;
+         c = doc.next_sibling(c)) {
+      if (!doc.IsElement(c) || doc.tag(c) != "profile") continue;
+      for (auto pc = doc.first_child(c); pc != xml::kInvalidNode;
+           pc = doc.next_sibling(pc)) {
+        if (doc.IsElement(pc) && doc.tag(pc) == "income") {
+          income = *xmark::ParseDouble(doc.StringValue(pc));
+        }
+      }
+    }
+    if (income < 0) {
+      ++missing;
+    } else if (income >= 100000) {
+      ++high;
+    } else if (income >= 30000) {
+      ++mid;
+    } else {
+      ++low;
+    }
+  }
+  EXPECT_GT(mid, 0);
+  EXPECT_GT(low, 0);
+  EXPECT_GT(missing, 0);
+  (void)high;  // the >=100000 tail may be empty at tiny scale
+}
+
+}  // namespace
+}  // namespace xmark::gen

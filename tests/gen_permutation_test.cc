@@ -1,0 +1,71 @@
+#include "gen/permutation.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace xmark::gen {
+namespace {
+
+class PermutationSizes : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PermutationSizes, IsBijective) {
+  const uint64_t n = GetParam();
+  RandomPermutation perm(42, n);
+  std::set<uint64_t> images;
+  for (uint64_t i = 0; i < n; ++i) {
+    const uint64_t v = perm.Apply(i);
+    EXPECT_LT(v, n);
+    images.insert(v);
+  }
+  EXPECT_EQ(images.size(), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSizes, PermutationSizes,
+                         ::testing::Values(1, 2, 3, 7, 16, 100, 1023, 1024,
+                                           1025, 21750));
+
+TEST(PermutationTest, DeterministicForSeed) {
+  RandomPermutation a(7, 1000);
+  RandomPermutation b(7, 1000);
+  for (uint64_t i = 0; i < 1000; ++i) EXPECT_EQ(a.Apply(i), b.Apply(i));
+}
+
+TEST(PermutationTest, DifferentSeedsProduceDifferentPermutations) {
+  RandomPermutation a(1, 1000);
+  RandomPermutation b(2, 1000);
+  int same = 0;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    if (a.Apply(i) == b.Apply(i)) ++same;
+  }
+  // Two random permutations of 1000 agree in ~1 position on average.
+  EXPECT_LT(same, 10);
+}
+
+TEST(PermutationTest, NotIdentity) {
+  RandomPermutation perm(42, 1000);
+  int fixed = 0;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    if (perm.Apply(i) == i) ++fixed;
+  }
+  EXPECT_LT(fixed, 10);
+}
+
+TEST(PermutationTest, PartitionSemantics) {
+  // The generator's use: first n_open preimages and the rest partition the
+  // item id space with no overlap.
+  const uint64_t n_open = 24, n_closed = 20;
+  RandomPermutation perm(42, n_open + n_closed);
+  std::set<uint64_t> open_items, closed_items;
+  for (uint64_t j = 0; j < n_open; ++j) open_items.insert(perm.Apply(j));
+  for (uint64_t j = 0; j < n_closed; ++j) {
+    closed_items.insert(perm.Apply(n_open + j));
+  }
+  EXPECT_EQ(open_items.size(), n_open);
+  EXPECT_EQ(closed_items.size(), n_closed);
+  for (uint64_t v : closed_items) EXPECT_EQ(open_items.count(v), 0u);
+}
+
+}  // namespace
+}  // namespace xmark::gen

@@ -1,0 +1,170 @@
+#include "gen/text_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/wordlist.h"
+#include "util/string_util.h"
+#include "xml/dom.h"
+
+namespace xmark::gen {
+namespace {
+
+TEST(WordListTest, HasExactly17000Words) {
+  EXPECT_EQ(WordList::Instance().size(), WordList::kVocabularySize);
+  EXPECT_EQ(WordList::kVocabularySize, 17000u);
+}
+
+TEST(WordListTest, WordsAreUniqueAndNonEmpty) {
+  const WordList& wl = WordList::Instance();
+  std::set<std::string> seen;
+  for (size_t i = 0; i < wl.size(); ++i) {
+    ASSERT_FALSE(wl.word(i).empty());
+    ASSERT_TRUE(seen.insert(wl.word(i)).second) << wl.word(i);
+  }
+}
+
+TEST(WordListTest, GoldIsHighFrequency) {
+  // Q14's probe word must live in the fat head of the Zipf distribution.
+  const WordList& wl = WordList::Instance();
+  bool found = false;
+  for (size_t i = 0; i < 100; ++i) {
+    if (wl.word(i) == "gold") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TextGeneratorTest, WordsProducesRequestedCount) {
+  TextGenerator gen;
+  Prng prng(1);
+  const std::string five = gen.Words(prng, 5);
+  EXPECT_EQ(xmark::SplitString(five, ' ').size(), 5u);
+  Prng prng2(2);
+  EXPECT_TRUE(gen.Words(prng2, 0).empty());
+}
+
+TEST(TextGeneratorTest, SentenceLengthInRange) {
+  TextGenerator gen;
+  Prng prng(3);
+  for (int i = 0; i < 50; ++i) {
+    const auto words = xmark::SplitString(gen.Sentence(prng), ' ');
+    EXPECT_GE(words.size(), 8u);
+    EXPECT_LE(words.size(), 20u);
+  }
+}
+
+TEST(TextGeneratorTest, Deterministic) {
+  TextGenerator gen;
+  Prng a(7, 1), b(7, 1);
+  EXPECT_EQ(gen.Words(a, 20), gen.Words(b, 20));
+}
+
+std::string EmitFragment(
+    const std::function<void(TextGenerator&, XmlWriter&, Prng&)>& emit,
+    uint64_t seed) {
+  TextGenerator gen;
+  Prng prng(seed);
+  std::string out;
+  StringSink sink(&out);
+  XmlWriter writer(&sink);
+  writer.StartElement("root");
+  emit(gen, writer, prng);
+  writer.EndElement();
+  return out;
+}
+
+TEST(TextGeneratorTest, TextElementIsWellFormed) {
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    const std::string xml = EmitFragment(
+        [](TextGenerator& g, XmlWriter& w, Prng& p) { g.EmitTextElement(w, p); },
+        seed);
+    auto doc = xml::Document::Parse(xml);
+    ASSERT_TRUE(doc.ok()) << doc.status() << "\n" << xml;
+    EXPECT_EQ(doc->tag(doc->first_child(doc->root())), "text");
+  }
+}
+
+TEST(TextGeneratorTest, DescriptionIsWellFormedAndTyped) {
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    const std::string xml = EmitFragment(
+        [](TextGenerator& g, XmlWriter& w, Prng& p) { g.EmitDescription(w, p); },
+        seed);
+    auto doc = xml::Document::Parse(xml);
+    ASSERT_TRUE(doc.ok()) << doc.status();
+    const auto desc = doc->first_child(doc->root());
+    EXPECT_EQ(doc->tag(desc), "description");
+    const auto child = doc->first_child(desc);
+    ASSERT_NE(child, xml::kInvalidNode);
+    EXPECT_TRUE(doc->tag(child) == "text" || doc->tag(child) == "parlist");
+  }
+}
+
+TEST(TextGeneratorTest, ParlistDepthBounded) {
+  for (uint64_t seed = 0; seed < 30; ++seed) {
+    const std::string xml = EmitFragment(
+        [](TextGenerator& g, XmlWriter& w, Prng& p) {
+          g.EmitParlist(w, p, 1);
+        },
+        seed);
+    auto doc = xml::Document::Parse(xml);
+    ASSERT_TRUE(doc.ok());
+    int max_parlist_depth = 0;
+    for (xml::NodeId n = 0; n < doc->num_nodes(); ++n) {
+      if (doc->IsElement(n) && doc->tag(n) == "parlist") {
+        int depth = 0;
+        for (xml::NodeId a = n; a != xml::kInvalidNode; a = doc->parent(a)) {
+          if (doc->IsElement(a) && doc->tag(a) == "parlist") ++depth;
+        }
+        max_parlist_depth = std::max(max_parlist_depth, depth);
+      }
+    }
+    EXPECT_LE(max_parlist_depth, TextGenerator::kMaxParlistDepth);
+  }
+}
+
+TEST(TextGeneratorTest, EmphSometimesContainsKeyword) {
+  // The Q15 path ingredient: <emph> with a <keyword> child must occur.
+  int hits = 0;
+  for (uint64_t seed = 0; seed < 60; ++seed) {
+    const std::string xml = EmitFragment(
+        [](TextGenerator& g, XmlWriter& w, Prng& p) { g.EmitTextElement(w, p); },
+        seed);
+    auto doc = xml::Document::Parse(xml);
+    ASSERT_TRUE(doc.ok());
+    for (xml::NodeId n = 0; n < doc->num_nodes(); ++n) {
+      if (!doc->IsElement(n) || doc->tag(n) != "emph") continue;
+      for (auto c = doc->first_child(n); c != xml::kInvalidNode;
+           c = doc->next_sibling(c)) {
+        if (doc->IsElement(c) && doc->tag(c) == "keyword") ++hits;
+      }
+    }
+  }
+  EXPECT_GT(hits, 0);
+}
+
+TEST(TextGeneratorTest, AnnotationStructure) {
+  const std::string xml = EmitFragment(
+      [](TextGenerator& g, XmlWriter& w, Prng& p) {
+        g.EmitAnnotation(w, p, "person7");
+      },
+      11);
+  auto doc = xml::Document::Parse(xml);
+  ASSERT_TRUE(doc.ok());
+  const auto ann = doc->first_child(doc->root());
+  EXPECT_EQ(doc->tag(ann), "annotation");
+  const auto author = doc->first_child(ann);
+  EXPECT_EQ(doc->tag(author), "author");
+  EXPECT_EQ(*doc->attribute(author, "person"), "person7");
+  // Last child is happiness with an integer 1..10.
+  xml::NodeId last = author;
+  while (doc->next_sibling(last) != xml::kInvalidNode) {
+    last = doc->next_sibling(last);
+  }
+  EXPECT_EQ(doc->tag(last), "happiness");
+  const auto value = xmark::ParseInt(doc->StringValue(last));
+  ASSERT_TRUE(value.has_value());
+  EXPECT_GE(*value, 1);
+  EXPECT_LE(*value, 10);
+}
+
+}  // namespace
+}  // namespace xmark::gen

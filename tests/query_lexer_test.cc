@@ -1,0 +1,120 @@
+#include "query/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace xmark::query {
+namespace {
+
+std::vector<Token> LexAll(std::string_view text) {
+  Lexer lexer(text);
+  std::vector<Token> out;
+  while (true) {
+    auto tok = lexer.Next();
+    EXPECT_TRUE(tok.ok()) << tok.status();
+    if (!tok.ok() || tok->kind == TokenKind::kEof) break;
+    out.push_back(*tok);
+  }
+  return out;
+}
+
+TEST(LexerTest, Identifiers) {
+  auto toks = LexAll("for person local:convert zero-or-one open_auction");
+  ASSERT_EQ(toks.size(), 5u);
+  for (const Token& t : toks) EXPECT_EQ(t.kind, TokenKind::kIdent);
+  EXPECT_EQ(toks[2].text, "local:convert");
+  EXPECT_EQ(toks[3].text, "zero-or-one");
+}
+
+TEST(LexerTest, Variables) {
+  auto toks = LexAll("$b $person0 $pr1");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].kind, TokenKind::kVar);
+  EXPECT_EQ(toks[0].text, "b");
+  EXPECT_EQ(toks[2].text, "pr1");
+}
+
+TEST(LexerTest, Strings) {
+  auto toks = LexAll("\"person0\" 'single' \"with \"\"escaped\"\"\"");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].text, "person0");
+  EXPECT_EQ(toks[1].text, "single");
+  EXPECT_EQ(toks[2].text, "with \"escaped\"");
+}
+
+TEST(LexerTest, Numbers) {
+  auto toks = LexAll("40 5000 0.02 2.20371 1e3");
+  ASSERT_EQ(toks.size(), 5u);
+  EXPECT_DOUBLE_EQ(toks[0].number, 40);
+  EXPECT_DOUBLE_EQ(toks[2].number, 0.02);
+  EXPECT_DOUBLE_EQ(toks[3].number, 2.20371);
+  EXPECT_DOUBLE_EQ(toks[4].number, 1000);
+}
+
+TEST(LexerTest, PathOperators) {
+  auto toks = LexAll("/site//item/@id");
+  ASSERT_EQ(toks.size(), 7u);
+  EXPECT_EQ(toks[0].kind, TokenKind::kSlash);
+  EXPECT_EQ(toks[2].kind, TokenKind::kSlashSlash);
+  EXPECT_EQ(toks[4].kind, TokenKind::kSlash);
+  EXPECT_EQ(toks[5].kind, TokenKind::kAt);
+}
+
+TEST(LexerTest, ComparisonOperators) {
+  auto toks = LexAll("= != < <= > >= << >> :=");
+  ASSERT_EQ(toks.size(), 9u);
+  EXPECT_EQ(toks[0].kind, TokenKind::kEq);
+  EXPECT_EQ(toks[1].kind, TokenKind::kNe);
+  EXPECT_EQ(toks[2].kind, TokenKind::kLt);
+  EXPECT_EQ(toks[3].kind, TokenKind::kLe);
+  EXPECT_EQ(toks[4].kind, TokenKind::kGt);
+  EXPECT_EQ(toks[5].kind, TokenKind::kGe);
+  EXPECT_EQ(toks[6].kind, TokenKind::kLtLt);
+  EXPECT_EQ(toks[7].kind, TokenKind::kGtGt);
+  EXPECT_EQ(toks[8].kind, TokenKind::kAssign);
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  auto toks = LexAll("a (: comment (: nested :) still :) b");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[1].text, "b");
+}
+
+TEST(LexerTest, ErrorOnUnterminatedString) {
+  Lexer lexer("\"oops");
+  auto tok = lexer.Next();
+  EXPECT_FALSE(tok.ok());
+}
+
+TEST(LexerTest, ErrorOnBareDollar) {
+  Lexer lexer("$ x");
+  EXPECT_FALSE(lexer.Next().ok());
+}
+
+TEST(LexerTest, PositionsTrackSource) {
+  Lexer lexer("ab cd");
+  auto t1 = lexer.Next();
+  auto t2 = lexer.Next();
+  ASSERT_TRUE(t1.ok() && t2.ok());
+  EXPECT_EQ(t1->begin, 0u);
+  EXPECT_EQ(t1->end, 2u);
+  EXPECT_EQ(t2->begin, 3u);
+  EXPECT_EQ(t2->end, 5u);
+}
+
+TEST(LexerTest, SetPositionRewinds) {
+  Lexer lexer("one two");
+  auto t1 = lexer.Next();
+  ASSERT_TRUE(t1.ok());
+  const size_t pos = lexer.position();
+  auto t2 = lexer.Next();
+  ASSERT_TRUE(t2.ok());
+  EXPECT_EQ(t2->text, "two");
+  lexer.SetPosition(pos);
+  auto t2_again = lexer.Next();
+  ASSERT_TRUE(t2_again.ok());
+  EXPECT_EQ(t2_again->text, "two");
+}
+
+}  // namespace
+}  // namespace xmark::query

@@ -1,0 +1,75 @@
+// Property test: the evaluator must produce identical results under every
+// combination of optimizer features — the features may only change cost,
+// never semantics. Runs a representative query set over all 2^6 option
+// combinations against the fully-indexed native store.
+
+#include <gtest/gtest.h>
+
+#include "gen/generator.h"
+#include "query/evaluator.h"
+#include "query/parser.h"
+#include "store/dom_store.h"
+#include "util/logging.h"
+#include "xmark/queries.h"
+#include "xmark/result_check.h"
+
+namespace xmark::query {
+namespace {
+
+const store::DomStore& Store() {
+  static const store::DomStore* const kStore = [] {
+    gen::GeneratorOptions options;
+    options.scale = 0.002;
+    store::DomStore::Options dom_options;
+    auto store = store::DomStore::Load(gen::XmlGen(options).GenerateToString(),
+                                       dom_options);
+    XMARK_CHECK(store.ok());
+    return store->release();
+  }();
+  return *kStore;
+}
+
+EvaluatorOptions FromMask(int mask) {
+  EvaluatorOptions options;
+  options.use_id_index = mask & 1;
+  options.use_tag_index = mask & 2;
+  options.use_path_index = mask & 4;
+  options.hash_join = mask & 8;
+  options.lazy_let = mask & 16;
+  options.cache_invariant_paths = mask & 32;
+  return options;
+}
+
+// Queries covering every feature: exact match (id index), regular paths
+// (tag/path index), reference chasing (hash join), value join (lazy let +
+// invariant cache), plus ordered access and aggregation.
+const int kQueries[] = {1, 2, 6, 7, 8, 11, 12, 20};
+
+class OptionsMatrix : public ::testing::TestWithParam<int> {};
+
+TEST_P(OptionsMatrix, SameResultsAsAllFeaturesOff) {
+  const EvaluatorOptions options = FromMask(GetParam());
+  for (int q : kQueries) {
+    auto parsed = ParseQueryText(bench::GetQuery(q).text);
+    ASSERT_TRUE(parsed.ok()) << "Q" << q;
+
+    Evaluator baseline(&Store(), FromMask(0));
+    auto expected = baseline.Run(*parsed);
+    ASSERT_TRUE(expected.ok()) << "Q" << q << ": " << expected.status();
+
+    Evaluator subject(&Store(), options);
+    auto actual = subject.Run(*parsed);
+    ASSERT_TRUE(actual.ok()) << "Q" << q << ": " << actual.status();
+
+    bench::EquivalenceOptions eq;
+    EXPECT_TRUE(bench::ResultsEquivalent(*expected, *actual, eq))
+        << "Q" << q << " differs under option mask " << GetParam() << ": "
+        << bench::ExplainDifference(*expected, *actual, eq);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCombinations, OptionsMatrix,
+                         ::testing::Range(0, 64));
+
+}  // namespace
+}  // namespace xmark::query

@@ -1,0 +1,177 @@
+#include "query/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "xmark/queries.h"
+
+namespace xmark::query {
+namespace {
+
+AstPtr MustParseExpr(std::string_view text) {
+  Parser parser(text);
+  auto result = parser.ParseExpression();
+  EXPECT_TRUE(result.ok()) << text << " -> " << result.status();
+  return result.ok() ? std::move(result).value() : nullptr;
+}
+
+std::string Sexpr(std::string_view text) {
+  AstPtr ast = MustParseExpr(text);
+  return ast == nullptr ? "<error>" : AstToString(*ast);
+}
+
+TEST(ParserTest, Literals) {
+  EXPECT_EQ(Sexpr("42"), "42");
+  EXPECT_EQ(Sexpr("\"hi\""), "\"hi\"");
+  EXPECT_EQ(Sexpr("$x"), "$x");
+}
+
+TEST(ParserTest, AbsolutePath) {
+  EXPECT_EQ(Sexpr("/site/people/person"), "(path / /site /people /person)");
+}
+
+TEST(ParserTest, DescendantAndAttribute) {
+  EXPECT_EQ(Sexpr("//item/@id"), "(path / //item /@id)");
+}
+
+TEST(ParserTest, VariableRootedPath) {
+  EXPECT_EQ(Sexpr("$b/name/text()"), "(path $b /name /text())");
+}
+
+TEST(ParserTest, PredicatesAndPositional) {
+  EXPECT_EQ(Sexpr("$b/bidder[1]/increase"),
+            "(path $b /bidder[1] /increase)");
+  EXPECT_EQ(Sexpr("person[@id = \"person0\"]"),
+            "(path /person[(= (path /@id) \"person0\")])");
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  // * binds tighter than +, + tighter than comparison, comparison beats and.
+  EXPECT_EQ(Sexpr("1 + 2 * 3"), "(+ 1 (* 2 3))");
+  EXPECT_EQ(Sexpr("1 < 2 and 3 < 4"), "(and (< 1 2) (< 3 4))");
+  EXPECT_EQ(Sexpr("1 < 2 or 3 < 4 and 5 < 6"),
+            "(or (< 1 2) (and (< 3 4) (< 5 6)))");
+}
+
+TEST(ParserTest, NodeOrderComparison) {
+  EXPECT_EQ(Sexpr("$a << $b"), "(<< $a $b)");
+}
+
+TEST(ParserTest, FunctionCalls) {
+  EXPECT_EQ(Sexpr("count($l)"), "(count $l)");
+  EXPECT_EQ(Sexpr("contains($d, \"gold\")"), "(contains $d \"gold\")");
+  EXPECT_EQ(Sexpr("document(\"auction.xml\")/site"),
+            "(path (document \"auction.xml\") /site)");
+}
+
+TEST(ParserTest, TextIsKindTestNotFunction) {
+  // `text()` after a slash must parse as a node test, not a call.
+  EXPECT_EQ(Sexpr("$a/text()"), "(path $a /text())");
+}
+
+TEST(ParserTest, Flwor) {
+  const std::string s =
+      Sexpr("for $x in /a where $x/b = 1 order by $x/c return $x");
+  EXPECT_EQ(s,
+            "(flwor (for $x (path / /a)) (where (= (path $x /b) 1)) "
+            "(order (path $x /c)) (return $x))");
+}
+
+TEST(ParserTest, FlworMultipleClauses) {
+  const std::string s = Sexpr("for $x in /a let $y := $x/b return $y");
+  EXPECT_EQ(s, "(flwor (for $x (path / /a)) (let $y (path $x /b)) "
+               "(return $y))");
+}
+
+TEST(ParserTest, Quantified) {
+  EXPECT_EQ(Sexpr("some $p in /a satisfies $p = 1"),
+            "(some ($p (path / /a)) satisfies (= $p 1))");
+  EXPECT_EQ(Sexpr("every $p in /a satisfies $p = 1"),
+            "(every ($p (path / /a)) satisfies (= $p 1))");
+}
+
+TEST(ParserTest, IfThenElse) {
+  EXPECT_EQ(Sexpr("if (1 < 2) then \"a\" else \"b\""),
+            "(if (< 1 2) \"a\" \"b\")");
+}
+
+TEST(ParserTest, SequenceAndEmpty) {
+  EXPECT_EQ(Sexpr("(1, 2, 3)"), "(seq 1 2 3)");
+  EXPECT_EQ(Sexpr("()"), "(seq)");
+}
+
+TEST(ParserTest, ElementConstructor) {
+  EXPECT_EQ(Sexpr("<a x=\"1\">hi</a>"), "(elem a @x \"hi\")");
+  EXPECT_EQ(Sexpr("<a>{$x}</a>"), "(elem a $x)");
+  EXPECT_EQ(Sexpr("<increase>{$b/bidder[1]/increase/text()}</increase>"),
+            "(elem increase (path $b /bidder[1] /increase /text()))");
+}
+
+TEST(ParserTest, NestedConstructors) {
+  EXPECT_EQ(Sexpr("<a><b>{1}</b><c/></a>"), "(elem a (elem b 1) (elem c))");
+}
+
+TEST(ParserTest, ConstructorAttributeTemplates) {
+  AstPtr ast = MustParseExpr("<item name=\"pre-{$k}-post\"/>");
+  ASSERT_NE(ast, nullptr);
+  ASSERT_EQ(ast->attrs.size(), 1u);
+  ASSERT_EQ(ast->attrs[0].parts.size(), 3u);
+  EXPECT_EQ(ast->attrs[0].parts[0].text, "pre-");
+  EXPECT_NE(ast->attrs[0].parts[1].expr, nullptr);
+  EXPECT_EQ(ast->attrs[0].parts[2].text, "-post");
+}
+
+TEST(ParserTest, ConstructorBraceEscapes) {
+  AstPtr ast = MustParseExpr("<a>{{literal}}</a>");
+  ASSERT_NE(ast, nullptr);
+  ASSERT_EQ(ast->content.size(), 1u);
+  EXPECT_EQ(ast->content[0]->str_value, "{literal}");
+}
+
+TEST(ParserTest, UnaryMinus) {
+  EXPECT_EQ(Sexpr("-3"), "(neg 3)");
+  EXPECT_EQ(Sexpr("2 - -3"), "(- 2 (neg 3))");
+}
+
+TEST(ParserTest, PrologFunctionDeclaration) {
+  Parser parser(
+      "declare function local:convert($v) { 2.20371 * $v };\n"
+      "local:convert(10)");
+  auto query = parser.ParseQuery();
+  ASSERT_TRUE(query.ok()) << query.status();
+  ASSERT_EQ(query->functions.size(), 1u);
+  EXPECT_EQ(query->functions[0].name, "local:convert");
+  EXPECT_EQ(query->functions[0].params,
+            (std::vector<std::string>{"v"}));
+  EXPECT_EQ(AstToString(*query->body), "(local:convert 10)");
+}
+
+TEST(ParserTest, KeywordsAreContextual) {
+  // Element names that collide with keywords still parse as steps.
+  EXPECT_EQ(Sexpr("$m/from"), "(path $m /from)");
+  EXPECT_EQ(Sexpr("/site/regions"), "(path / /site /regions)");
+}
+
+TEST(ParserTest, Errors) {
+  for (const char* bad :
+       {"for $x return $x",    // missing 'in'
+        "for $x in /a",        // missing return
+        "<a>{1}</b>",          // mismatched constructor tags
+        "1 +",                 // dangling operator
+        "count(",              // unterminated call
+        "$x[",                 // unterminated predicate
+        "if (1) then 2"}) {    // missing else
+    Parser parser(bad);
+    EXPECT_FALSE(parser.ParseExpression().ok()) << bad;
+  }
+}
+
+TEST(ParserTest, AllTwentyBenchmarkQueriesParse) {
+  for (const auto& spec : bench::AllQueries()) {
+    auto parsed = ParseQueryText(spec.text);
+    EXPECT_TRUE(parsed.ok()) << "Q" << spec.number << ": "
+                             << parsed.status();
+  }
+}
+
+}  // namespace
+}  // namespace xmark::query

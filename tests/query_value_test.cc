@@ -1,0 +1,93 @@
+#include "query/value.h"
+
+#include <gtest/gtest.h>
+
+namespace xmark::query {
+namespace {
+
+TEST(ItemTest, AtomicKinds) {
+  EXPECT_TRUE(Item(true).is_boolean());
+  EXPECT_TRUE(Item(3.5).is_number());
+  EXPECT_TRUE(Item(std::string("x")).is_string());
+  EXPECT_TRUE(Item(3.5).is_atomic());
+  EXPECT_FALSE(Item(3.5).is_node());
+}
+
+TEST(ItemTest, StringValues) {
+  EXPECT_EQ(ItemStringValue(Item(true)), "true");
+  EXPECT_EQ(ItemStringValue(Item(false)), "false");
+  EXPECT_EQ(ItemStringValue(Item(3.0)), "3");
+  EXPECT_EQ(ItemStringValue(Item(3.25)), "3.25");
+  EXPECT_EQ(ItemStringValue(Item(std::string("abc"))), "abc");
+}
+
+TEST(ItemTest, NumberValues) {
+  EXPECT_DOUBLE_EQ(*ItemNumberValue(Item(2.5)), 2.5);
+  EXPECT_DOUBLE_EQ(*ItemNumberValue(Item(std::string("42"))), 42.0);
+  EXPECT_DOUBLE_EQ(*ItemNumberValue(Item(true)), 1.0);
+  EXPECT_FALSE(ItemNumberValue(Item(std::string("abc"))).has_value());
+}
+
+TEST(EffectiveBooleanTest, Rules) {
+  EXPECT_FALSE(EffectiveBooleanValue({}));
+  EXPECT_TRUE(EffectiveBooleanValue({Item(true)}));
+  EXPECT_FALSE(EffectiveBooleanValue({Item(false)}));
+  EXPECT_TRUE(EffectiveBooleanValue({Item(1.0)}));
+  EXPECT_FALSE(EffectiveBooleanValue({Item(0.0)}));
+  EXPECT_TRUE(EffectiveBooleanValue({Item(std::string("x"))}));
+  EXPECT_FALSE(EffectiveBooleanValue({Item(std::string())}));
+}
+
+TEST(ConstructedTest, TextNode) {
+  auto node = std::make_shared<ConstructedNode>();
+  node->text = "plain & <text>";
+  EXPECT_EQ(SerializeItem(Item(ConstructedPtr(node))),
+            "plain &amp; &lt;text&gt;");
+}
+
+TEST(ConstructedTest, ElementWithAttributesAndChildren) {
+  auto child = std::make_shared<ConstructedNode>();
+  child->text = "inner";
+  auto node = std::make_shared<ConstructedNode>();
+  node->tag = "item";
+  node->attributes.emplace_back("name", "a \"quoted\" one");
+  node->children.emplace_back(ConstructedPtr(child));
+  EXPECT_EQ(SerializeItem(Item(ConstructedPtr(node))),
+            "<item name=\"a &quot;quoted&quot; one\">inner</item>");
+}
+
+TEST(ConstructedTest, EmptyElementSelfCloses) {
+  auto node = std::make_shared<ConstructedNode>();
+  node->tag = "person";
+  node->attributes.emplace_back("id", "p1");
+  EXPECT_EQ(SerializeItem(Item(ConstructedPtr(node))),
+            "<person id=\"p1\"/>");
+}
+
+TEST(ConstructedTest, StringValueConcatenatesText) {
+  auto t1 = std::make_shared<ConstructedNode>();
+  t1->text = "one ";
+  auto inner = std::make_shared<ConstructedNode>();
+  inner->tag = "b";
+  auto t2 = std::make_shared<ConstructedNode>();
+  t2->text = "two";
+  inner->children.emplace_back(ConstructedPtr(t2));
+  auto node = std::make_shared<ConstructedNode>();
+  node->tag = "a";
+  node->children.emplace_back(ConstructedPtr(t1));
+  node->children.emplace_back(ConstructedPtr(inner));
+  EXPECT_EQ(ConstructedStringValue(*node), "one two");
+  EXPECT_EQ(ItemStringValue(Item(ConstructedPtr(node))), "one two");
+}
+
+TEST(SequenceTest, SerializeSeparators) {
+  Sequence seq{Item(1.0), Item(2.0)};
+  EXPECT_EQ(SerializeSequence(seq), "1 2");
+  auto node = std::make_shared<ConstructedNode>();
+  node->tag = "x";
+  seq.emplace_back(ConstructedPtr(node));
+  EXPECT_EQ(SerializeSequence(seq), "1 2\n<x/>");
+}
+
+}  // namespace
+}  // namespace xmark::query

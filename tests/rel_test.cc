@@ -1,0 +1,260 @@
+#include "rel/operators.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/generator.h"
+#include "rel/shredder.h"
+#include "rel/table.h"
+#include "xml/dom.h"
+
+namespace xmark::rel {
+namespace {
+
+Table MakePeople() {
+  Table t({{"id", ColumnType::kString},
+           {"age", ColumnType::kInt64},
+           {"income", ColumnType::kDouble}});
+  EXPECT_TRUE(t.AppendRow({std::string("p0"), int64_t{30}, 50000.0}).ok());
+  EXPECT_TRUE(t.AppendRow({std::string("p1"), int64_t{25}, 20000.0}).ok());
+  EXPECT_TRUE(t.AppendRow({std::string("p2"), int64_t{41}, 90000.0}).ok());
+  return t;
+}
+
+Table MakeSales() {
+  Table t({{"buyer", ColumnType::kString}, {"price", ColumnType::kDouble}});
+  EXPECT_TRUE(t.AppendRow({std::string("p0"), 10.0}).ok());
+  EXPECT_TRUE(t.AppendRow({std::string("p2"), 20.0}).ok());
+  EXPECT_TRUE(t.AppendRow({std::string("p0"), 30.0}).ok());
+  EXPECT_TRUE(t.AppendRow({std::string("px"), 40.0}).ok());
+  return t;
+}
+
+TEST(TableTest, SchemaAndAccess) {
+  Table t = MakePeople();
+  EXPECT_EQ(t.num_rows(), 3u);
+  EXPECT_EQ(t.num_columns(), 3u);
+  EXPECT_EQ(t.ColumnIndex("age"), 1);
+  EXPECT_EQ(t.ColumnIndex("missing"), -1);
+  EXPECT_EQ(t.StringAt(0, 1), "p1");
+  EXPECT_EQ(t.Int64At(1, 2), 41);
+  EXPECT_DOUBLE_EQ(t.DoubleAt(2, 0), 50000.0);
+}
+
+TEST(TableTest, TypeMismatchRejected) {
+  Table t({{"x", ColumnType::kInt64}});
+  EXPECT_FALSE(t.AppendRow({3.5}).ok());
+  EXPECT_FALSE(t.AppendRow({std::string("no")}).ok());
+  EXPECT_FALSE(t.AppendRow({int64_t{1}, int64_t{2}}).ok());  // arity
+  EXPECT_TRUE(t.AppendRow({int64_t{1}}).ok());
+}
+
+TEST(ValueTest, CompareAndRender) {
+  EXPECT_EQ(CompareValues(int64_t{2}, 2.0), 0);
+  EXPECT_LT(CompareValues(int64_t{1}, 2.0), 0);
+  EXPECT_GT(CompareValues(std::string("b"), std::string("a")), 0);
+  EXPECT_LT(CompareValues(2.0, std::string("a")), 0);  // numbers first
+  EXPECT_EQ(ValueToString(int64_t{7}), "7");
+  EXPECT_EQ(ValueToString(2.5), "2.5");
+  EXPECT_EQ(ValueToString(std::string("s")), "s");
+}
+
+TEST(ScanTest, ProducesAllRows) {
+  Table t = MakePeople();
+  TableScan scan(&t);
+  auto rows = Collect(&scan);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 3u);
+  EXPECT_EQ(std::get<std::string>((*rows)[0][0]), "p0");
+}
+
+TEST(FilterTest, KeepsMatching) {
+  Table t = MakePeople();
+  Filter plan(std::make_unique<TableScan>(&t), [](const Row& row) {
+    return std::get<int64_t>(row[1]) >= 30;
+  });
+  auto rows = Collect(&plan);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 2u);
+}
+
+TEST(ProjectTest, ComputesColumns) {
+  Table t = MakePeople();
+  Project plan(std::make_unique<TableScan>(&t), [](const Row& row) -> Row {
+    return {std::get<std::string>(row[0]),
+            std::get<double>(row[2]) / 1000.0};
+  });
+  auto rows = Collect(&plan);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_DOUBLE_EQ(std::get<double>((*rows)[0][1]), 50.0);
+}
+
+TEST(HashJoinTest, JoinsOnKeys) {
+  Table people = MakePeople();
+  Table sales = MakeSales();
+  HashJoin join(std::make_unique<TableScan>(&people),
+                std::make_unique<TableScan>(&sales), 0, 0);
+  auto rows = Collect(&join);
+  ASSERT_TRUE(rows.ok());
+  // p0 matches twice, p2 once, p1 and px never.
+  EXPECT_EQ(rows->size(), 3u);
+  for (const Row& row : *rows) {
+    EXPECT_EQ(std::get<std::string>(row[0]), std::get<std::string>(row[3]));
+  }
+}
+
+TEST(HashJoinTest, EmptyInputs) {
+  Table people = MakePeople();
+  Table empty({{"buyer", ColumnType::kString},
+               {"price", ColumnType::kDouble}});
+  HashJoin join(std::make_unique<TableScan>(&people),
+                std::make_unique<TableScan>(&empty), 0, 0);
+  auto rows = Collect(&join);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+}
+
+TEST(NestedLoopJoinTest, MatchesHashJoinOnEquality) {
+  Table people = MakePeople();
+  Table sales = MakeSales();
+  HashJoin hash(std::make_unique<TableScan>(&people),
+                std::make_unique<TableScan>(&sales), 0, 0);
+  NestedLoopJoin nested(
+      std::make_unique<TableScan>(&people),
+      std::make_unique<TableScan>(&sales),
+      [](const Row& l, const Row& r) {
+        return std::get<std::string>(l[0]) == std::get<std::string>(r[0]);
+      });
+  auto h = Collect(&hash);
+  auto n = Collect(&nested);
+  ASSERT_TRUE(h.ok() && n.ok());
+  EXPECT_EQ(h->size(), n->size());
+}
+
+TEST(NestedLoopJoinTest, ThetaJoin) {
+  Table people = MakePeople();
+  Table sales = MakeSales();
+  NestedLoopJoin join(std::make_unique<TableScan>(&people),
+                      std::make_unique<TableScan>(&sales),
+                      [](const Row& l, const Row& r) {
+                        return std::get<double>(l[2]) >
+                               1000.0 * std::get<double>(r[1]);
+                      });
+  auto rows = Collect(&join);
+  ASSERT_TRUE(rows.ok());
+  // incomes {50000,20000,90000} vs 1000*price {10000,20000,30000,40000}:
+  // p0: 4 wait- 50000>10000,50000>20000,50000>30000,50000>40000 -> 4
+  // p1: 20000>10000 -> 1 ; p2: all 4.
+  EXPECT_EQ(rows->size(), 9u);
+}
+
+TEST(SortTest, OrdersByKey) {
+  Table t = MakePeople();
+  Sort plan(std::make_unique<TableScan>(&t), {{1, false}});
+  auto rows = Collect(&plan);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(std::get<int64_t>((*rows)[0][1]), 25);
+  EXPECT_EQ(std::get<int64_t>((*rows)[2][1]), 41);
+}
+
+TEST(SortTest, DescendingAndStable) {
+  Table t = MakePeople();
+  Sort plan(std::make_unique<TableScan>(&t), {{1, true}});
+  auto rows = Collect(&plan);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(std::get<int64_t>((*rows)[0][1]), 41);
+}
+
+TEST(AggregateTest, GlobalAggregates) {
+  Table sales = MakeSales();
+  Aggregate agg(std::make_unique<TableScan>(&sales), {},
+                {{Aggregate::Func::kCount, 0},
+                 {Aggregate::Func::kSum, 1},
+                 {Aggregate::Func::kMin, 1},
+                 {Aggregate::Func::kMax, 1}});
+  auto rows = Collect(&agg);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ(std::get<int64_t>((*rows)[0][0]), 4);
+  EXPECT_DOUBLE_EQ(std::get<double>((*rows)[0][1]), 100.0);
+  EXPECT_DOUBLE_EQ(std::get<double>((*rows)[0][2]), 10.0);
+  EXPECT_DOUBLE_EQ(std::get<double>((*rows)[0][3]), 40.0);
+}
+
+TEST(AggregateTest, GroupBy) {
+  Table sales = MakeSales();
+  Aggregate agg(std::make_unique<TableScan>(&sales), {0},
+                {{Aggregate::Func::kCount, 0},
+                 {Aggregate::Func::kSum, 1}});
+  auto rows = Collect(&agg);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 3u);  // p0, p2, px
+  // Deterministic (sorted) group order: p0, p2, px.
+  EXPECT_EQ(std::get<std::string>((*rows)[0][0]), "p0");
+  EXPECT_EQ(std::get<int64_t>((*rows)[0][1]), 2);
+  EXPECT_DOUBLE_EQ(std::get<double>((*rows)[0][2]), 40.0);
+}
+
+TEST(AggregateTest, EmptyInputGlobalProducesZeroRow) {
+  Table empty({{"x", ColumnType::kDouble}});
+  Aggregate agg(std::make_unique<TableScan>(&empty), {},
+                {{Aggregate::Func::kCount, 0}});
+  auto rows = Collect(&agg);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ(std::get<int64_t>((*rows)[0][0]), 0);
+}
+
+TEST(ComposedPlanTest, FilterJoinAggregate) {
+  Table people = MakePeople();
+  Table sales = MakeSales();
+  // SELECT count(*) FROM people JOIN sales ON id=buyer WHERE age >= 30.
+  auto filtered = std::make_unique<Filter>(
+      std::make_unique<TableScan>(&people),
+      [](const Row& row) { return std::get<int64_t>(row[1]) >= 30; });
+  auto joined = std::make_unique<HashJoin>(
+      std::move(filtered), std::make_unique<TableScan>(&sales), 0, 0);
+  Aggregate agg(std::move(joined), {}, {{Aggregate::Func::kCount, 0}});
+  auto rows = Collect(&agg);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(std::get<int64_t>((*rows)[0][0]), 3);  // p0 x2 + p2 x1
+}
+
+TEST(ShredderTest, TablesMatchGeneratorCounts) {
+  gen::GeneratorOptions options;
+  options.scale = 0.002;
+  gen::XmlGen gen(options);
+  auto doc = xml::Document::Parse(gen.GenerateToString());
+  ASSERT_TRUE(doc.ok());
+  auto tables = ShredAuctionDocument(*doc);
+  ASSERT_TRUE(tables.ok());
+  EXPECT_EQ(tables->persons->num_rows(),
+            static_cast<size_t>(gen.counts().persons));
+  EXPECT_EQ(tables->items->num_rows(),
+            static_cast<size_t>(gen.counts().items));
+  EXPECT_EQ(tables->open_auctions->num_rows(),
+            static_cast<size_t>(gen.counts().open_auctions));
+  EXPECT_EQ(tables->closed_auctions->num_rows(),
+            static_cast<size_t>(gen.counts().closed_auctions));
+}
+
+TEST(ShredderTest, ReferencesJoinCleanly) {
+  gen::GeneratorOptions options;
+  options.scale = 0.002;
+  auto doc = xml::Document::Parse(gen::XmlGen(options).GenerateToString());
+  ASSERT_TRUE(doc.ok());
+  auto tables = ShredAuctionDocument(*doc);
+  ASSERT_TRUE(tables.ok());
+  // Every closed_auction.item joins an items.id row (referential
+  // integrity, paper §4.5).
+  HashJoin join(
+      std::make_unique<TableScan>(tables->closed_auctions.get()),
+      std::make_unique<TableScan>(tables->items.get()),
+      static_cast<size_t>(tables->closed_auctions->ColumnIndex("item")),
+      static_cast<size_t>(tables->items->ColumnIndex("id")));
+  auto rows = Collect(&join);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), tables->closed_auctions->num_rows());
+}
+
+}  // namespace
+}  // namespace xmark::rel

@@ -1,0 +1,114 @@
+#include "util/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/prng.h"
+
+namespace xmark {
+namespace {
+
+TEST(ExponentialTest, MeanMatchesRate) {
+  Prng p(1);
+  const double lambda = 0.25;
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += SampleExponential(p, lambda);
+  EXPECT_NEAR(sum / n, 1.0 / lambda, 0.05);
+}
+
+TEST(ExponentialTest, NonNegative) {
+  Prng p(2);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(SampleExponential(p, 2.0), 0.0);
+  }
+}
+
+TEST(NormalTest, MeanAndStddev) {
+  Prng p(3);
+  const int n = 200000;
+  double sum = 0, sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double v = SampleNormal(p, 10.0, 3.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(NormalTest, SymmetricAroundMean) {
+  Prng p(4);
+  int above = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (SampleNormal(p, 0.0, 1.0) > 0) ++above;
+  }
+  EXPECT_NEAR(static_cast<double>(above) / n, 0.5, 0.01);
+}
+
+TEST(ZipfTest, RankZeroIsMostFrequent) {
+  Prng p(5);
+  ZipfSampler zipf(100, 1.0);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[zipf.Sample(p)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[99]);
+}
+
+TEST(ZipfTest, FrequencyRatioFollowsLaw) {
+  Prng p(6);
+  ZipfSampler zipf(1000, 1.0);
+  std::vector<int> counts(1000, 0);
+  const int n = 1000000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Sample(p)];
+  // Under s=1.0, f(rank1)/f(rank2) ~ 2.
+  const double ratio =
+      static_cast<double>(counts[0]) / static_cast<double>(counts[1]);
+  EXPECT_NEAR(ratio, 2.0, 0.25);
+}
+
+TEST(ZipfTest, AllRanksInRange) {
+  Prng p(7);
+  ZipfSampler zipf(10, 1.2);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(zipf.Sample(p), 10u);
+  }
+}
+
+TEST(DiscreteTest, RespectsWeights) {
+  Prng p(8);
+  DiscreteSampler sampler({1.0, 3.0, 0.0, 6.0});
+  std::vector<int> counts(4, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[sampler.Sample(p)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.1, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.3, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[3]) / n, 0.6, 0.01);
+}
+
+TEST(DiscreteTest, SingleBucket) {
+  Prng p(9);
+  DiscreteSampler sampler({5.0});
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sampler.Sample(p), 0u);
+}
+
+TEST(DistributionsTest, DeterministicGivenPrngState) {
+  Prng a(10, 2);
+  Prng b(10, 2);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(SampleExponential(a, 1.5), SampleExponential(b, 1.5));
+  }
+  Prng c(10, 3);
+  Prng d(10, 3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(SampleNormal(c, 0, 1), SampleNormal(d, 0, 1));
+  }
+}
+
+}  // namespace
+}  // namespace xmark

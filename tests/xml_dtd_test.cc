@@ -1,0 +1,162 @@
+#include "xml/dtd.h"
+
+#include <gtest/gtest.h>
+
+namespace xmark::xml {
+namespace {
+
+Dtd MustParse(std::string_view text) {
+  auto result = Dtd::Parse(text);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return std::move(result).value();
+}
+
+TEST(DtdTest, ParsesElementWithChildren) {
+  Dtd dtd = MustParse("<!ELEMENT a (b, c?, d*)>");
+  const DtdElement* a = dtd.Find("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->children, (std::vector<std::string>{"b", "c", "d"}));
+  EXPECT_FALSE(a->pcdata);
+  EXPECT_FALSE(a->empty);
+}
+
+TEST(DtdTest, ParsesPcdata) {
+  Dtd dtd = MustParse("<!ELEMENT name (#PCDATA)>");
+  const DtdElement* e = dtd.Find("name");
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(e->pcdata);
+  EXPECT_TRUE(e->children.empty());
+}
+
+TEST(DtdTest, ParsesMixedContent) {
+  Dtd dtd = MustParse("<!ELEMENT text (#PCDATA | bold | emph)*>");
+  const DtdElement* e = dtd.Find("text");
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(e->pcdata);
+  EXPECT_EQ(e->children, (std::vector<std::string>{"bold", "emph"}));
+}
+
+TEST(DtdTest, ParsesEmpty) {
+  Dtd dtd = MustParse("<!ELEMENT edge EMPTY>");
+  ASSERT_NE(dtd.Find("edge"), nullptr);
+  EXPECT_TRUE(dtd.Find("edge")->empty);
+}
+
+TEST(DtdTest, ParsesAttlist) {
+  Dtd dtd = MustParse(
+      "<!ELEMENT item EMPTY>"
+      "<!ATTLIST item id ID #REQUIRED featured CDATA #IMPLIED>");
+  const DtdElement* item = dtd.Find("item");
+  ASSERT_NE(item, nullptr);
+  ASSERT_EQ(item->attributes.size(), 2u);
+  EXPECT_EQ(item->attributes[0].name, "id");
+  EXPECT_EQ(item->attributes[0].type, DtdAttributeType::kId);
+  EXPECT_TRUE(item->attributes[0].required);
+  EXPECT_EQ(item->attributes[1].name, "featured");
+  EXPECT_EQ(item->attributes[1].type, DtdAttributeType::kCData);
+  EXPECT_FALSE(item->attributes[1].required);
+}
+
+TEST(DtdTest, ParsesIdref) {
+  Dtd dtd = MustParse(
+      "<!ELEMENT r EMPTY><!ATTLIST r person IDREF #REQUIRED>");
+  EXPECT_EQ(dtd.Find("r")->attributes[0].type, DtdAttributeType::kIdRef);
+}
+
+TEST(DtdTest, AttlistBeforeElementDeclaration) {
+  Dtd dtd = MustParse(
+      "<!ATTLIST x id ID #REQUIRED><!ELEMENT x (#PCDATA)>");
+  const DtdElement* x = dtd.Find("x");
+  ASSERT_NE(x, nullptr);
+  EXPECT_TRUE(x->pcdata);
+  ASSERT_EQ(x->attributes.size(), 1u);
+}
+
+TEST(DtdTest, AllowsChild) {
+  Dtd dtd = MustParse("<!ELEMENT a (b, c)>");
+  EXPECT_TRUE(dtd.AllowsChild("a", "b"));
+  EXPECT_FALSE(dtd.AllowsChild("a", "z"));
+  EXPECT_FALSE(dtd.AllowsChild("nope", "b"));
+}
+
+TEST(DtdTest, CommentsSkipped) {
+  Dtd dtd = MustParse("<!-- hi --><!ELEMENT a (b)><!-- bye -->");
+  EXPECT_NE(dtd.Find("a"), nullptr);
+}
+
+TEST(DtdTest, RejectsGarbage) {
+  EXPECT_FALSE(Dtd::Parse("<!WRONG foo>").ok());
+}
+
+// The bundled auction DTD is the contract between the generator and the
+// engines; pin its key structural facts.
+TEST(AuctionDtdTest, ParsesCompletely) {
+  Dtd dtd = MustParse(kAuctionDtd);
+  EXPECT_GE(dtd.elements().size(), 50u);
+}
+
+TEST(AuctionDtdTest, SiteStructure) {
+  Dtd dtd = MustParse(kAuctionDtd);
+  const DtdElement* site = dtd.Find("site");
+  ASSERT_NE(site, nullptr);
+  EXPECT_EQ(site->children,
+            (std::vector<std::string>{"regions", "categories", "catgraph",
+                                      "people", "open_auctions",
+                                      "closed_auctions"}));
+}
+
+TEST(AuctionDtdTest, PersonOptionalHomepage) {
+  Dtd dtd = MustParse(kAuctionDtd);
+  const DtdElement* person = dtd.Find("person");
+  ASSERT_NE(person, nullptr);
+  EXPECT_TRUE(dtd.AllowsChild("person", "homepage"));
+  EXPECT_NE(person->model.find("homepage?"), std::string::npos);
+}
+
+TEST(AuctionDtdTest, ReferencesAreTyped) {
+  Dtd dtd = MustParse(kAuctionDtd);
+  for (const char* ref : {"itemref", "personref", "seller", "buyer",
+                          "author", "incategory", "interest", "watch"}) {
+    const DtdElement* e = dtd.Find(ref);
+    ASSERT_NE(e, nullptr) << ref;
+    EXPECT_TRUE(e->empty) << ref;
+    ASSERT_FALSE(e->attributes.empty()) << ref;
+    EXPECT_EQ(e->attributes[0].type, DtdAttributeType::kIdRef) << ref;
+  }
+}
+
+TEST(AuctionDtdTest, IdBearingEntities) {
+  Dtd dtd = MustParse(kAuctionDtd);
+  for (const char* entity : {"person", "item", "open_auction", "category"}) {
+    const DtdElement* e = dtd.Find(entity);
+    ASSERT_NE(e, nullptr) << entity;
+    bool has_id = false;
+    for (const auto& a : e->attributes) {
+      if (a.name == "id" && a.type == DtdAttributeType::kId) has_id = true;
+    }
+    EXPECT_TRUE(has_id) << entity;
+  }
+}
+
+TEST(AuctionDtdTest, IncomeIsChildOfProfile) {
+  // Paper Figure 1 models income under profile; Q11/Q12/Q20 depend on it.
+  Dtd dtd = MustParse(kAuctionDtd);
+  EXPECT_TRUE(dtd.AllowsChild("profile", "income"));
+  EXPECT_TRUE(dtd.Find("income")->pcdata);
+}
+
+TEST(AuctionDtdTest, DeepProsePathExists) {
+  // Q15's path: ...annotation/description/parlist/listitem/parlist/...
+  Dtd dtd = MustParse(kAuctionDtd);
+  EXPECT_TRUE(dtd.AllowsChild("closed_auction", "annotation"));
+  EXPECT_TRUE(dtd.AllowsChild("annotation", "description"));
+  EXPECT_TRUE(dtd.AllowsChild("description", "parlist"));
+  EXPECT_TRUE(dtd.AllowsChild("parlist", "listitem"));
+  EXPECT_TRUE(dtd.AllowsChild("listitem", "parlist"));
+  EXPECT_TRUE(dtd.AllowsChild("listitem", "text"));
+  EXPECT_TRUE(dtd.AllowsChild("text", "emph"));
+  EXPECT_TRUE(dtd.AllowsChild("emph", "keyword"));
+}
+
+}  // namespace
+}  // namespace xmark::xml

@@ -1,0 +1,201 @@
+#include "xml/sax_parser.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace xmark::xml {
+namespace {
+
+/// Records events as strings for easy assertions.
+class RecordingHandler : public SaxHandler {
+ public:
+  Status OnStartElement(std::string_view name,
+                        const std::vector<SaxAttribute>& attrs) override {
+    std::string e = "start:" + std::string(name);
+    for (const auto& a : attrs) {
+      e += " " + std::string(a.name) + "=" + std::string(a.value);
+    }
+    events.push_back(e);
+    return Status::OK();
+  }
+  Status OnEndElement(std::string_view name) override {
+    events.push_back("end:" + std::string(name));
+    return Status::OK();
+  }
+  Status OnCharacters(std::string_view text) override {
+    events.push_back("text:" + std::string(text));
+    return Status::OK();
+  }
+  Status OnComment(std::string_view text) override {
+    events.push_back("comment:" + std::string(text));
+    return Status::OK();
+  }
+  Status OnProcessingInstruction(std::string_view target,
+                                 std::string_view data) override {
+    events.push_back("pi:" + std::string(target) + ":" + std::string(data));
+    return Status::OK();
+  }
+
+  std::vector<std::string> events;
+};
+
+Status ParseInto(std::string_view doc, RecordingHandler* h) {
+  SaxParser parser;
+  return parser.Parse(doc, h);
+}
+
+TEST(SaxTest, SimpleElement) {
+  RecordingHandler h;
+  ASSERT_TRUE(ParseInto("<a>hi</a>", &h).ok());
+  ASSERT_EQ(h.events.size(), 3u);
+  EXPECT_EQ(h.events[0], "start:a");
+  EXPECT_EQ(h.events[1], "text:hi");
+  EXPECT_EQ(h.events[2], "end:a");
+}
+
+TEST(SaxTest, NestedElements) {
+  RecordingHandler h;
+  ASSERT_TRUE(ParseInto("<a><b><c/></b></a>", &h).ok());
+  EXPECT_EQ(h.events, (std::vector<std::string>{"start:a", "start:b",
+                                                "start:c", "end:c", "end:b",
+                                                "end:a"}));
+}
+
+TEST(SaxTest, Attributes) {
+  RecordingHandler h;
+  ASSERT_TRUE(
+      ParseInto("<person id=\"person0\" featured='yes'/>", &h).ok());
+  EXPECT_EQ(h.events[0], "start:person id=person0 featured=yes");
+}
+
+TEST(SaxTest, AttributeEntityDecoding) {
+  RecordingHandler h;
+  ASSERT_TRUE(ParseInto("<a t=\"x &amp; y &lt;z&gt;\"/>", &h).ok());
+  EXPECT_EQ(h.events[0], "start:a t=x & y <z>");
+}
+
+TEST(SaxTest, TextEntityDecoding) {
+  RecordingHandler h;
+  ASSERT_TRUE(ParseInto("<a>1 &lt; 2 &amp;&amp; 3 &gt; 2</a>", &h).ok());
+  EXPECT_EQ(h.events[1], "text:1 < 2 && 3 > 2");
+}
+
+TEST(SaxTest, NumericCharacterReferences) {
+  RecordingHandler h;
+  ASSERT_TRUE(ParseInto("<a>&#65;&#x42;</a>", &h).ok());
+  EXPECT_EQ(h.events[1], "text:AB");
+}
+
+TEST(SaxTest, CommentsReported) {
+  RecordingHandler h;
+  ASSERT_TRUE(ParseInto("<a><!-- note --></a>", &h).ok());
+  EXPECT_EQ(h.events[1], "comment: note ");
+}
+
+TEST(SaxTest, XmlDeclarationSkipped) {
+  RecordingHandler h;
+  ASSERT_TRUE(
+      ParseInto("<?xml version=\"1.0\" encoding=\"UTF-8\"?><a/>", &h).ok());
+  EXPECT_EQ(h.events[0], "start:a");
+}
+
+TEST(SaxTest, ProcessingInstructionReported) {
+  RecordingHandler h;
+  ASSERT_TRUE(ParseInto("<a><?target some data?></a>", &h).ok());
+  EXPECT_EQ(h.events[1], "pi:target:some data");
+}
+
+TEST(SaxTest, DoctypeSkipped) {
+  RecordingHandler h;
+  ASSERT_TRUE(ParseInto(
+      "<!DOCTYPE site SYSTEM \"auction.dtd\" [<!ENTITY x \"y\">]><a/>", &h)
+          .ok());
+  EXPECT_EQ(h.events[0], "start:a");
+}
+
+TEST(SaxTest, CdataPassedThrough) {
+  RecordingHandler h;
+  ASSERT_TRUE(ParseInto("<a><![CDATA[<raw> & text]]></a>", &h).ok());
+  EXPECT_EQ(h.events[1], "text:<raw> & text");
+}
+
+TEST(SaxTest, MismatchedTagsRejected) {
+  RecordingHandler h;
+  Status st = ParseInto("<a><b></a></b>", &h);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+}
+
+TEST(SaxTest, UnclosedElementRejected) {
+  RecordingHandler h;
+  EXPECT_FALSE(ParseInto("<a><b></b>", &h).ok());
+}
+
+TEST(SaxTest, CharacterDataOutsideRootRejected) {
+  RecordingHandler h;
+  EXPECT_FALSE(ParseInto("hello<a/>", &h).ok());
+  RecordingHandler h2;
+  EXPECT_FALSE(ParseInto("<a/>junk", &h2).ok());
+}
+
+TEST(SaxTest, WhitespaceOutsideRootAllowed) {
+  RecordingHandler h;
+  EXPECT_TRUE(ParseInto("\n  <a/>\n", &h).ok());
+}
+
+TEST(SaxTest, MalformedEntityRejected) {
+  RecordingHandler h;
+  EXPECT_FALSE(ParseInto("<a>&bogus;</a>", &h).ok());
+  RecordingHandler h2;
+  EXPECT_FALSE(ParseInto("<a>&amp</a>", &h2).ok());
+}
+
+TEST(SaxTest, UnquotedAttributeRejected) {
+  RecordingHandler h;
+  EXPECT_FALSE(ParseInto("<a x=1/>", &h).ok());
+}
+
+TEST(SaxTest, ErrorsReportLineNumbers) {
+  RecordingHandler h;
+  Status st = ParseInto("<a>\n\n<b></c>\n</a>", &h);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("line 3"), std::string::npos);
+}
+
+TEST(SaxTest, MixedContent) {
+  RecordingHandler h;
+  ASSERT_TRUE(ParseInto("<t>one <b>two</b> three</t>", &h).ok());
+  EXPECT_EQ(h.events, (std::vector<std::string>{
+                          "start:t", "text:one ", "start:b", "text:two",
+                          "end:b", "text: three", "end:t"}));
+}
+
+TEST(SaxTest, HandlerErrorPropagates) {
+  class FailingHandler : public RecordingHandler {
+   public:
+    Status OnCharacters(std::string_view) override {
+      return Status::Internal("handler says no");
+    }
+  };
+  FailingHandler h;
+  SaxParser parser;
+  Status st = parser.Parse("<a>x</a>", &h);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+}
+
+TEST(SaxTest, DeeplyNestedDocument) {
+  std::string doc;
+  constexpr int kDepth = 2000;
+  for (int i = 0; i < kDepth; ++i) doc += "<d>";
+  doc += "x";
+  for (int i = 0; i < kDepth; ++i) doc += "</d>";
+  RecordingHandler h;
+  EXPECT_TRUE(ParseInto(doc, &h).ok());
+  EXPECT_EQ(h.events.size(), 2 * kDepth + 1u);
+}
+
+}  // namespace
+}  // namespace xmark::xml

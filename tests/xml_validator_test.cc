@@ -1,0 +1,214 @@
+#include "xml/validator.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/generator.h"
+
+namespace xmark::xml {
+namespace {
+
+ContentModel MustCompile(std::string_view model) {
+  auto compiled = ContentModel::Compile(model);
+  EXPECT_TRUE(compiled.ok()) << model << ": " << compiled.status();
+  return std::move(compiled).value();
+}
+
+bool Match(std::string_view model, std::vector<std::string> children) {
+  return MustCompile(model).Matches(children);
+}
+
+TEST(ContentModelTest, SimpleSequence) {
+  EXPECT_TRUE(Match("(a, b, c)", {"a", "b", "c"}));
+  EXPECT_FALSE(Match("(a, b, c)", {"a", "c", "b"}));
+  EXPECT_FALSE(Match("(a, b, c)", {"a", "b"}));
+  EXPECT_FALSE(Match("(a, b, c)", {"a", "b", "c", "c"}));
+}
+
+TEST(ContentModelTest, Optional) {
+  EXPECT_TRUE(Match("(a, b?, c)", {"a", "b", "c"}));
+  EXPECT_TRUE(Match("(a, b?, c)", {"a", "c"}));
+  EXPECT_FALSE(Match("(a, b?, c)", {"a", "b", "b", "c"}));
+}
+
+TEST(ContentModelTest, StarAndPlus) {
+  EXPECT_TRUE(Match("(a*)", {}));
+  EXPECT_TRUE(Match("(a*)", {"a", "a", "a"}));
+  EXPECT_FALSE(Match("(a+)", {}));
+  EXPECT_TRUE(Match("(a+)", {"a"}));
+  EXPECT_TRUE(Match("(a, b*, c+)", {"a", "c"}));
+  EXPECT_TRUE(Match("(a, b*, c+)", {"a", "b", "b", "c", "c"}));
+  EXPECT_FALSE(Match("(a, b*, c+)", {"a", "b"}));
+}
+
+TEST(ContentModelTest, Choice) {
+  EXPECT_TRUE(Match("(a | b)", {"a"}));
+  EXPECT_TRUE(Match("(a | b)", {"b"}));
+  EXPECT_FALSE(Match("(a | b)", {"a", "b"}));
+  EXPECT_FALSE(Match("(a | b)", {}));
+}
+
+TEST(ContentModelTest, NestedGroups) {
+  // The open_auction shape: sequences with nested optional groups.
+  const char* model = "(initial, reserve?, bidder*, current, itemref)";
+  EXPECT_TRUE(Match(model, {"initial", "current", "itemref"}));
+  EXPECT_TRUE(Match(model, {"initial", "reserve", "bidder", "bidder",
+                            "current", "itemref"}));
+  EXPECT_FALSE(Match(model, {"reserve", "initial", "current", "itemref"}));
+}
+
+TEST(ContentModelTest, GroupCardinality) {
+  EXPECT_TRUE(Match("((a, b)+)", {"a", "b", "a", "b"}));
+  EXPECT_FALSE(Match("((a, b)+)", {"a", "b", "a"}));
+  EXPECT_TRUE(Match("((a | b)*, c)", {"b", "a", "b", "c"}));
+}
+
+TEST(ContentModelTest, ChoiceOfSequences) {
+  EXPECT_TRUE(Match("((a, b) | (c, d))", {"c", "d"}));
+  EXPECT_FALSE(Match("((a, b) | (c, d))", {"a", "d"}));
+}
+
+TEST(ContentModelTest, EmptyAndAny) {
+  ContentModel empty = MustCompile("EMPTY");
+  EXPECT_TRUE(empty.empty_model());
+  EXPECT_TRUE(empty.Matches({}));
+  EXPECT_FALSE(empty.Matches({"a"}));
+  ContentModel any = MustCompile("ANY");
+  EXPECT_TRUE(any.Matches({"x", "y"}));
+}
+
+TEST(ContentModelTest, MixedContent) {
+  ContentModel mixed = MustCompile("(#PCDATA | bold | emph)*");
+  EXPECT_TRUE(mixed.mixed());
+  EXPECT_TRUE(mixed.Matches({}));
+  EXPECT_TRUE(mixed.Matches({"bold", "emph", "bold"}));
+  EXPECT_FALSE(mixed.Matches({"bold", "keyword"}));
+}
+
+TEST(ContentModelTest, RejectsMalformed) {
+  EXPECT_FALSE(ContentModel::Compile("(a, b").ok());
+  EXPECT_FALSE(ContentModel::Compile("(a, | b)").ok());
+  EXPECT_FALSE(ContentModel::Compile("(a | b, c)").ok());  // mixed seps
+}
+
+Document MustParse(std::string_view text) {
+  auto doc = Document::Parse(text);
+  EXPECT_TRUE(doc.ok()) << doc.status();
+  return std::move(doc).value();
+}
+
+Dtd MustParseDtd(std::string_view text) {
+  auto dtd = Dtd::Parse(text);
+  EXPECT_TRUE(dtd.ok()) << dtd.status();
+  return std::move(dtd).value();
+}
+
+constexpr std::string_view kTinyDtd = R"(
+<!ELEMENT root (entry+)>
+<!ELEMENT entry (name, note?)>
+<!ATTLIST entry id ID #REQUIRED ref IDREF #IMPLIED>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT note (#PCDATA)>
+)";
+
+TEST(ValidatorTest, ValidDocumentPasses) {
+  Dtd dtd = MustParseDtd(kTinyDtd);
+  Document doc = MustParse(
+      "<root><entry id=\"e1\"><name>n</name></entry>"
+      "<entry id=\"e2\" ref=\"e1\"><name>m</name><note>x</note></entry>"
+      "</root>");
+  Validator validator(&dtd);
+  EXPECT_TRUE(validator.Check(doc).ok());
+}
+
+TEST(ValidatorTest, DetectsContentModelViolation) {
+  Dtd dtd = MustParseDtd(kTinyDtd);
+  Document doc = MustParse(
+      "<root><entry id=\"e1\"><note>no name</note></entry></root>");
+  Validator validator(&dtd);
+  const auto errors = validator.Validate(doc);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors[0].message.find("content model"), std::string::npos);
+}
+
+TEST(ValidatorTest, DetectsMissingRequiredAttribute) {
+  Dtd dtd = MustParseDtd(kTinyDtd);
+  Document doc = MustParse("<root><entry><name>n</name></entry></root>");
+  Validator validator(&dtd);
+  const auto errors = validator.Validate(doc);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors[0].message.find("required attribute"), std::string::npos);
+}
+
+TEST(ValidatorTest, DetectsDuplicateIds) {
+  Dtd dtd = MustParseDtd(kTinyDtd);
+  Document doc = MustParse(
+      "<root><entry id=\"e\"><name>a</name></entry>"
+      "<entry id=\"e\"><name>b</name></entry></root>");
+  Validator validator(&dtd);
+  const auto errors = validator.Validate(doc);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors[0].message.find("duplicate ID"), std::string::npos);
+}
+
+TEST(ValidatorTest, DetectsDanglingIdref) {
+  Dtd dtd = MustParseDtd(kTinyDtd);
+  Document doc = MustParse(
+      "<root><entry id=\"e1\" ref=\"nope\"><name>a</name></entry></root>");
+  Validator validator(&dtd);
+  const auto errors = validator.Validate(doc);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors[0].message.find("dangling IDREF"), std::string::npos);
+}
+
+TEST(ValidatorTest, DetectsUndeclaredElementAndAttribute) {
+  Dtd dtd = MustParseDtd(kTinyDtd);
+  Document doc1 = MustParse("<root><mystery/></root>");
+  Validator validator(&dtd);
+  auto errors = validator.Validate(doc1);
+  ASSERT_FALSE(errors.empty());
+  bool undeclared = false;
+  for (const auto& e : errors) {
+    undeclared |= e.message.find("undeclared element") != std::string::npos;
+  }
+  EXPECT_TRUE(undeclared);
+
+  Document doc2 = MustParse(
+      "<root><entry id=\"e\" bogus=\"1\"><name>a</name></entry></root>");
+  errors = validator.Validate(doc2);
+  ASSERT_FALSE(errors.empty());
+  bool found = false;
+  for (const auto& e : errors) {
+    found |= e.message.find("undeclared attribute") != std::string::npos;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ValidatorTest, DetectsUnexpectedText) {
+  Dtd dtd = MustParseDtd(kTinyDtd);
+  Document doc = MustParse(
+      "<root>stray text<entry id=\"e\"><name>a</name></entry></root>");
+  Validator validator(&dtd);
+  const auto errors = validator.Validate(doc);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors[0].message.find("character data"), std::string::npos);
+}
+
+// The capstone property: generated benchmark documents validate against
+// the bundled auction DTD, including ID/IDREF integrity.
+TEST(ValidatorTest, GeneratedDocumentIsValid) {
+  auto dtd = Dtd::Parse(kAuctionDtd);
+  ASSERT_TRUE(dtd.ok());
+  for (uint64_t seed : {1ull, 42ull, 9999ull}) {
+    gen::GeneratorOptions options;
+    options.scale = 0.002;
+    options.seed = seed;
+    Document doc = MustParse(gen::XmlGen(options).GenerateToString());
+    Validator validator(&*dtd);
+    const auto errors = validator.Validate(doc, 5);
+    EXPECT_TRUE(errors.empty())
+        << "seed " << seed << ": " << errors.front().message;
+  }
+}
+
+}  // namespace
+}  // namespace xmark::xml
