@@ -15,11 +15,68 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "query/evaluator.h"
+#include "query/parser.h"
+#include "util/logging.h"
 #include "util/table_printer.h"
+#include "util/timer.h"
 #include "xmark/runner.h"
 
 namespace xmark::bench {
 namespace {
+
+// Zero-copy storage-access ablation on one engine: every query timed with
+// the view/cursor fast paths on vs off (the seed's per-access allocation
+// behavior), same store, same tree.
+struct AblationResult {
+  double fast_ms[20] = {};
+  double slow_ms[20] = {};
+  double fast_total = 0;
+  double slow_total = 0;
+  int64_t cursor_scans = 0;
+  int64_t allocations_avoided = 0;
+  int64_t compare_allocs_fast = 0;
+  int64_t compare_allocs_slow = 0;
+};
+
+AblationResult RunAblation(Engine* engine, int reps) {
+  AblationResult out;
+  query::EvaluatorOptions fast = engine->evaluator_options();
+  fast.zero_copy_strings = true;
+  fast.child_cursors = true;
+  query::EvaluatorOptions slow = fast;
+  slow.zero_copy_strings = false;
+  slow.child_cursors = false;
+
+  for (int q = 1; q <= 20; ++q) {
+    auto parsed = query::ParseQueryText(GetQuery(q).text);
+    XMARK_CHECK(parsed.ok());
+    for (int variant = 0; variant < 2; ++variant) {
+      const query::EvaluatorOptions& opts = variant == 0 ? fast : slow;
+      query::Evaluator evaluator(engine->store(), opts);
+      double best = 0;
+      for (int r = 0; r < reps; ++r) {
+        PhaseTimer timer;
+        auto result = evaluator.Run(*parsed);
+        XMARK_CHECK(result.ok());
+        const double ms = timer.ElapsedWallMillis();
+        if (r == 0 || ms < best) best = ms;
+      }
+      if (variant == 0) {
+        out.fast_ms[q - 1] = best;
+        out.fast_total += best;
+        out.cursor_scans += evaluator.stats().cursor_scans;
+        out.allocations_avoided += evaluator.stats().allocations_avoided;
+        out.compare_allocs_fast += evaluator.stats().compare_allocs;
+      } else {
+        out.slow_ms[q - 1] = best;
+        out.slow_total += best;
+        out.compare_allocs_slow += evaluator.stats().compare_allocs;
+      }
+    }
+  }
+  return out;
+}
 
 struct PaperRow {
   int query;
@@ -46,8 +103,12 @@ constexpr PaperRow kPaperTable3[] = {
 int Main(int argc, char** argv) {
   const double sf = FlagDouble(argc, argv, "sf", 0.05);
   const int reps = FlagInt(argc, argv, "reps", 1);
-  std::printf("=== Table 3: Query performance (ms), systems A-F ===\n");
-  std::printf("scaling factor %g (paper used 1.0)\n\n", sf);
+  const bool json = FlagBool(argc, argv, "json");
+  const bool no_fastpath = FlagBool(argc, argv, "no-fastpath");
+  if (!json) {
+    std::printf("=== Table 3: Query performance (ms), systems A-F ===\n");
+    std::printf("scaling factor %g (paper used 1.0)\n\n", sf);
+  }
 
   BenchmarkRunner runner(sf);
   for (SystemId id : kMassStorageSystems) {
@@ -57,11 +118,21 @@ int Main(int argc, char** argv) {
                    st.ToString().c_str());
       return 1;
     }
+    if (no_fastpath) {
+      // Ablation flag: run the whole benchmark with the seed's per-access
+      // allocation behavior (no views, no cursors).
+      Engine* engine = runner.engine(id);
+      query::EvaluatorOptions opts = engine->evaluator_options();
+      opts.zero_copy_strings = false;
+      opts.child_cursors = false;
+      engine->set_evaluator_options(opts);
+    }
   }
 
   TablePrinter table(
       {"Query", "A", "B", "C", "D", "E", "F", "items", "paper (A..F)"});
   std::map<int, std::array<double, 6>> measured;
+  std::map<int, size_t> result_items;
   for (const PaperRow& row : kPaperTable3) {
     std::vector<std::string> cells{StringPrintf("Q%d", row.query)};
     size_t items = 0;
@@ -77,16 +148,16 @@ int Main(int argc, char** argv) {
       cells.push_back(StringPrintf("%.1f", timing->total_ms()));
       items = timing->result_items;
     }
+    result_items[row.query] = items;
     cells.push_back(std::to_string(items));
     cells.push_back(StringPrintf("%.0f %.0f %.0f %.0f %.0f %.0f",
                                  row.ms[0], row.ms[1], row.ms[2], row.ms[3],
                                  row.ms[4], row.ms[5]));
     table.AddRow(std::move(cells));
   }
-  std::printf("%s\n", table.ToString().c_str());
+  if (!json) std::printf("%s\n", table.ToString().c_str());
 
   // Section 7's Q15/Q16 long-path observation.
-  std::printf("--- Q15/Q16 path-length observation (section 7) ---\n");
   TablePrinter paths({"Query", "A", "B", "C", "D", "E", "F", "items"});
   std::map<int, std::array<double, 6>> path_ms;
   for (int q : {15, 16}) {
@@ -99,32 +170,113 @@ int Main(int argc, char** argv) {
       cells.push_back(StringPrintf("%.1f", timing->total_ms()));
       items = timing->result_items;
     }
+    result_items[q] = items;
     cells.push_back(std::to_string(items));
     paths.AddRow(std::move(cells));
   }
-  std::printf("%s", paths.ToString().c_str());
-  std::printf("paper: Q16 took ~8x longer than Q15 on A, B, C. measured: "
-              "A %.1fx, B %.1fx, C %.1fx\n\n",
-              path_ms[16][0] / std::max(0.001, path_ms[15][0]),
-              path_ms[16][1] / std::max(0.001, path_ms[15][1]),
-              path_ms[16][2] / std::max(0.001, path_ms[15][2]));
+  if (!json) {
+    std::printf("--- Q15/Q16 path-length observation (section 7) ---\n");
+    std::printf("%s", paths.ToString().c_str());
+    std::printf("paper: Q16 took ~8x longer than Q15 on A, B, C. measured: "
+                "A %.1fx, B %.1fx, C %.1fx\n\n",
+                path_ms[16][0] / std::max(0.001, path_ms[15][0]),
+                path_ms[16][1] / std::max(0.001, path_ms[15][1]),
+                path_ms[16][2] / std::max(0.001, path_ms[15][2]));
 
-  // Shape checks.
-  auto m = [&](int q, int s) { return measured[q][s]; };
-  std::printf("shape checks (see EXPERIMENTS.md for discussion):\n");
-  std::printf("  Q6 on D vs A: %.2fx faster (paper: 29x)\n",
-              m(6, 0) / std::max(0.001, m(6, 3)));
-  std::printf("  Q7 on D vs F: %.2fx faster (paper: 284x)\n",
-              m(7, 5) / std::max(0.001, m(7, 3)));
-  std::printf("  Q3 relational best is C: C=%.1f vs A=%.1f, B=%.1f\n",
-              m(3, 2), m(3, 0), m(3, 1));
-  std::printf("  Q12 < Q11 on lazy-let systems: A %.2fx, D %.2fx\n",
-              m(11, 0) / std::max(0.001, m(12, 0)),
-              m(11, 3) / std::max(0.001, m(12, 3)));
-  std::printf("  Q9 > Q8 everywhere: A %.1fx, D %.1fx, F %.1fx\n",
-              m(9, 0) / std::max(0.001, m(8, 0)),
-              m(9, 3) / std::max(0.001, m(8, 3)),
-              m(9, 5) / std::max(0.001, m(8, 5)));
+    // Shape checks.
+    auto m = [&](int q, int s) { return measured[q][s]; };
+    std::printf("shape checks (see EXPERIMENTS.md for discussion):\n");
+    std::printf("  Q6 on D vs A: %.2fx faster (paper: 29x)\n",
+                m(6, 0) / std::max(0.001, m(6, 3)));
+    std::printf("  Q7 on D vs F: %.2fx faster (paper: 284x)\n",
+                m(7, 5) / std::max(0.001, m(7, 3)));
+    std::printf("  Q3 relational best is C: C=%.1f vs A=%.1f, B=%.1f\n",
+                m(3, 2), m(3, 0), m(3, 1));
+    std::printf("  Q12 < Q11 on lazy-let systems: A %.2fx, D %.2fx\n",
+                m(11, 0) / std::max(0.001, m(12, 0)),
+                m(11, 3) / std::max(0.001, m(12, 3)));
+    std::printf("  Q9 > Q8 everywhere: A %.1fx, D %.1fx, F %.1fx\n",
+                m(9, 0) / std::max(0.001, m(8, 0)),
+                m(9, 3) / std::max(0.001, m(8, 3)),
+                m(9, 5) / std::max(0.001, m(8, 5)));
+  }
+
+  // Zero-copy storage-access ablation on the edge store (system A): the
+  // same tree, Q1-Q20, with the view/cursor fast paths on vs off.
+  const int ablation_reps = reps > 2 ? reps : 2;
+  const AblationResult ab =
+      RunAblation(runner.engine(SystemId::kA), ablation_reps);
+  const double reduction =
+      100.0 * (ab.slow_total - ab.fast_total) / std::max(0.001, ab.slow_total);
+  if (!json) {
+    std::printf("\n--- zero-copy ablation: edge store, Q1-Q20, best of %d ---\n",
+                ablation_reps);
+    TablePrinter at({"Query", "fast (ms)", "no fast paths (ms)", "speedup"});
+    for (int q = 1; q <= 20; ++q) {
+      at.AddRow({StringPrintf("Q%d", q),
+                 StringPrintf("%.2f", ab.fast_ms[q - 1]),
+                 StringPrintf("%.2f", ab.slow_ms[q - 1]),
+                 StringPrintf("%.2fx", ab.slow_ms[q - 1] /
+                                           std::max(0.001, ab.fast_ms[q - 1]))});
+    }
+    std::printf("%s", at.ToString().c_str());
+    std::printf("total: %.1f ms -> %.1f ms (%.1f%% reduction)\n",
+                ab.slow_total, ab.fast_total, reduction);
+    std::printf("stats: %lld cursor scans, %lld allocations avoided, "
+                "compare-path materializations %lld -> %lld\n",
+                static_cast<long long>(ab.cursor_scans),
+                static_cast<long long>(ab.allocations_avoided),
+                static_cast<long long>(ab.compare_allocs_slow),
+                static_cast<long long>(ab.compare_allocs_fast));
+  }
+
+  if (json) {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("bench").Value(std::string_view("table3_queries"));
+    w.Key("scale").Value(sf);
+    w.Key("reps").Value(reps);
+    w.Key("no_fastpath").Value(no_fastpath);
+    w.Key("queries").BeginArray();
+    auto emit_query = [&](int q, const std::array<double, 6>& ms) {
+      w.BeginObject();
+      w.Key("query").Value(q);
+      w.Key("items").Value(result_items[q]);
+      w.Key("ms").BeginObject();
+      for (size_t s = 0; s < kMassStorageSystems.size(); ++s) {
+        const char label[2] = {SystemLabel(kMassStorageSystems[s]), '\0'};
+        w.Key(label).Value(ms[s]);
+      }
+      w.EndObject();
+      w.EndObject();
+    };
+    for (const PaperRow& row : kPaperTable3) emit_query(row.query,
+                                                        measured[row.query]);
+    for (int q : {15, 16}) emit_query(q, path_ms[q]);
+    w.EndArray();
+    w.Key("ablation").BeginObject();
+    w.Key("store").Value(std::string_view("edge table"));
+    w.Key("reps").Value(ablation_reps);
+    w.Key("queries").BeginArray();
+    for (int q = 1; q <= 20; ++q) {
+      w.BeginObject();
+      w.Key("query").Value(q);
+      w.Key("fast_ms").Value(ab.fast_ms[q - 1]);
+      w.Key("no_fastpath_ms").Value(ab.slow_ms[q - 1]);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("fast_total_ms").Value(ab.fast_total);
+    w.Key("no_fastpath_total_ms").Value(ab.slow_total);
+    w.Key("reduction_pct").Value(reduction);
+    w.Key("cursor_scans").Value(ab.cursor_scans);
+    w.Key("allocations_avoided").Value(ab.allocations_avoided);
+    w.Key("compare_allocs_fast").Value(ab.compare_allocs_fast);
+    w.Key("compare_allocs_no_fastpath").Value(ab.compare_allocs_slow);
+    w.EndObject();
+    w.EndObject();
+    std::printf("%s\n", w.str().c_str());
+  }
   return 0;
 }
 

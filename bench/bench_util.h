@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "util/string_util.h"
 
@@ -32,6 +33,96 @@ inline bool FlagBool(int argc, char** argv, const char* name) {
   }
   return false;
 }
+
+/// Minimal JSON emitter for machine-readable benchmark output (--json).
+/// Handles comma placement; the caller is responsible for balanced
+/// Begin/End calls. Numbers are emitted with enough precision for ms
+/// timings; strings are escaped for the characters benchmark names use.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject() { return Open('{'); }
+  JsonWriter& EndObject() { return Close('}'); }
+  JsonWriter& BeginArray() { return Open('['); }
+  JsonWriter& EndArray() { return Close(']'); }
+
+  JsonWriter& Key(std::string_view name) {
+    Comma();
+    AppendString(name);
+    out_ += ':';
+    pending_value_ = true;
+    return *this;
+  }
+  JsonWriter& Value(double v) {
+    Comma();
+    out_ += StringPrintf("%.4f", v);
+    return *this;
+  }
+  JsonWriter& Value(int64_t v) {
+    Comma();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& Value(size_t v) { return Value(static_cast<int64_t>(v)); }
+  JsonWriter& Value(int v) { return Value(static_cast<int64_t>(v)); }
+  JsonWriter& Value(bool v) {
+    Comma();
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+  JsonWriter& Value(std::string_view v) {
+    Comma();
+    AppendString(v);
+    return *this;
+  }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  JsonWriter& Open(char c) {
+    Comma();
+    out_ += c;
+    needs_comma_.push_back(false);
+    return *this;
+  }
+  JsonWriter& Close(char c) {
+    out_ += c;
+    needs_comma_.pop_back();
+    return *this;
+  }
+  void Comma() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;  // value follows its key directly
+    }
+    if (!needs_comma_.empty()) {
+      if (needs_comma_.back()) out_ += ',';
+      needs_comma_.back() = true;
+    }
+  }
+  void AppendString(std::string_view s) {
+    out_ += '"';
+    for (char c : s) {
+      switch (c) {
+        case '"':
+          out_ += "\\\"";
+          break;
+        case '\\':
+          out_ += "\\\\";
+          break;
+        case '\n':
+          out_ += "\\n";
+          break;
+        default:
+          out_ += c;
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  std::vector<bool> needs_comma_;
+  bool pending_value_ = false;
+};
 
 /// "12.3 MB"-style size rendering.
 inline std::string HumanBytes(size_t bytes) {

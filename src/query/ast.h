@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "xml/names.h"
+
 namespace xmark::query {
 
 struct AstNode;
@@ -57,12 +59,22 @@ struct Step {
   Test test = Test::kName;
   std::string name;  // for Test::kName and kAttribute
   std::vector<AstPtr> predicates;
+
+  // Per-store name-resolution cache maintained by the evaluator: `name`
+  // is interned against the active store's dictionary on first use, so a
+  // step applied millions of times pays one dictionary probe. Keyed on the
+  // store's never-recycled uid (0 = unresolved), not its address, so a
+  // freed store cannot validate a stale NameId. Evaluating one AST from
+  // multiple threads is not supported (plain mutable writes).
+  mutable uint64_t name_cache_uid = 0;
+  mutable xml::NameId name_cache_id = xml::kInvalidName;
 };
 
 /// for/let clause of a FLWOR (or the binding list of a quantifier).
 struct ForLetClause {
   bool is_let = false;
   std::string var;
+  int var_slot = -1;  // assigned by ResolveVariableSlots
   AstPtr expr;
 };
 
@@ -92,6 +104,10 @@ struct AstNode {
 
   // kStringLiteral / kVarRef / kFunctionCall (name)
   std::string str_value;
+  // kVarRef: environment slot assigned by ResolveVariableSlots (-1 until
+  // resolution runs). The evaluator binds and looks variables up by this
+  // index instead of comparing names.
+  int var_slot = -1;
   // kNumberLiteral
   double num_value = 0.0;
 
@@ -122,6 +138,7 @@ struct AstNode {
 struct FunctionDecl {
   std::string name;
   std::vector<std::string> params;
+  std::vector<int> param_slots;  // assigned by ResolveVariableSlots
   AstPtr body;
 };
 
@@ -129,7 +146,22 @@ struct FunctionDecl {
 struct ParsedQuery {
   std::vector<FunctionDecl> functions;
   AstPtr body;
+  // Distinct variable names in the module, indexed by slot (filled by
+  // ResolveVariableSlots; ParseQueryText resolves before returning, and
+  // Evaluator::Run re-resolves — idempotently — before every run).
+  std::vector<std::string> var_names;
 };
+
+/// Interns every variable name of the module into a dense slot space:
+/// each distinct name gets one slot, shared by all its (possibly shadowing)
+/// bindings — the evaluator saves and restores the slot on scope entry and
+/// exit, turning variable lookup into a vector index instead of a linear
+/// string-keyed search. Idempotent; deterministic for a given AST.
+void ResolveVariableSlots(ParsedQuery& query);
+
+/// Slot resolution for a standalone expression (tests, RunExpr). Returns
+/// the number of slots assigned.
+int ResolveVariableSlots(AstNode& root);
 
 /// Renders the AST as an s-expression (debugging, plan tests).
 std::string AstToString(const AstNode& node);

@@ -21,32 +21,51 @@ struct Evaluator::Focus {
   int64_t size = 1;
 };
 
+// Slot-indexed variable frame: ResolveVariableSlots interned every variable
+// name of the query into a dense slot space at compile time, so binding and
+// lookup are vector indexing instead of a linear string-keyed search over a
+// binding stack. Shadowing (nested FLWORs, UDF recursion) is handled by
+// saving the previous slot content on a side stack and restoring it on Pop.
 struct Evaluator::Environment {
   struct Binding {
     Sequence value;
     const AstNode* lazy_expr = nullptr;  // unevaluated `let`
     bool evaluated = false;
+    bool bound = false;
   };
-  std::vector<std::pair<std::string, Binding>> stack;
+  std::vector<Binding> slots;
+  std::vector<std::pair<int, Binding>> saved;  // LIFO scope-restore stack
 
-  void Push(const std::string& name, Sequence value) {
-    Binding b;
+  explicit Environment(size_t slot_count) : slots(slot_count) {}
+
+  void Push(int slot, Sequence value) {
+    saved.emplace_back(slot, std::move(slots[slot]));
+    Binding& b = slots[slot];
     b.value = std::move(value);
+    b.lazy_expr = nullptr;
     b.evaluated = true;
-    stack.emplace_back(name, std::move(b));
+    b.bound = true;
   }
-  void PushLazy(const std::string& name, const AstNode* expr) {
-    Binding b;
+  void PushLazy(int slot, const AstNode* expr) {
+    saved.emplace_back(slot, std::move(slots[slot]));
+    Binding& b = slots[slot];
+    b.value.clear();
     b.lazy_expr = expr;
-    stack.emplace_back(name, std::move(b));
+    b.evaluated = false;
+    b.bound = true;
   }
-  void Pop() { stack.pop_back(); }
+  void Pop() {
+    auto& [slot, binding] = saved.back();
+    slots[slot] = std::move(binding);
+    saved.pop_back();
+  }
 
-  Binding* Find(const std::string& name) {
-    for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
-      if (it->first == name) return &it->second;
+  Binding* Find(int slot) {
+    if (slot < 0 || static_cast<size_t>(slot) >= slots.size() ||
+        !slots[slot].bound) {
+      return nullptr;
     }
-    return nullptr;
+    return &slots[slot];
   }
 };
 
@@ -54,6 +73,7 @@ struct Evaluator::JoinPlan {
   bool eligible = false;
   const AstNode* in_expr = nullptr;
   std::string var;
+  int var_slot = -1;
   const AstNode* inner_key = nullptr;  // depends only on `var`
   const AstNode* outer_key = nullptr;  // independent of `var`
   std::vector<const AstNode*> residue;
@@ -231,6 +251,13 @@ Evaluator::~Evaluator() = default;
 
 StatusOr<Sequence> Evaluator::Run(const ParsedQuery& query) {
   current_query_ = &query;
+  // Always re-resolve: the pass is deterministic and idempotent, covers
+  // hand-built queries that bypassed the parser, and repairs slot
+  // numbering if RunExpr was called on a subtree of this module. ASTs are
+  // never genuinely const objects in this codebase, so writing through
+  // the const reference is defined.
+  ResolveVariableSlots(const_cast<ParsedQuery&>(query));
+  slot_count_ = query.var_names.size();
   functions_.clear();
   for (const FunctionDecl& f : query.functions) {
     functions_[f.name] = &f;
@@ -245,7 +272,7 @@ StatusOr<Sequence> Evaluator::Run(const ParsedQuery& query) {
   stats_ = Stats{};
   udf_depth_ = 0;
 
-  Environment env;
+  Environment env(slot_count_);
   XMARK_ASSIGN_OR_RETURN(Sequence result, Eval(*query.body, env, nullptr));
   if (options_.copy_results) {
     for (Item& item : result) {
@@ -256,7 +283,6 @@ StatusOr<Sequence> Evaluator::Run(const ParsedQuery& query) {
 }
 
 StatusOr<Sequence> Evaluator::RunExpr(const AstNode& expr) {
-  ParsedQuery query;
   // Borrow the expression without owning it.
   current_query_ = nullptr;
   functions_.clear();
@@ -264,7 +290,9 @@ StatusOr<Sequence> Evaluator::RunExpr(const AstNode& expr) {
   join_plans_.clear();
   invariant_cache_.clear();
   stats_ = Stats{};
-  Environment env;
+  slot_count_ = static_cast<size_t>(
+      ResolveVariableSlots(const_cast<AstNode&>(expr)));
+  Environment env(slot_count_);
   return Eval(expr, env, nullptr);
 }
 
@@ -276,16 +304,16 @@ StatusOr<Sequence> Evaluator::Eval(const AstNode& node, Environment& env,
     case AstKind::kNumberLiteral:
       return Sequence{Item(node.num_value)};
     case AstKind::kVarRef: {
-      Environment::Binding* binding = env.Find(node.str_value);
+      Environment::Binding* binding = env.Find(node.var_slot);
       if (binding == nullptr) {
         return Status::InvalidArgument("unbound variable $" + node.str_value);
       }
       if (!binding->evaluated) {
         const AstNode* expr = binding->lazy_expr;
         XMARK_ASSIGN_OR_RETURN(Sequence value, Eval(*expr, env, nullptr));
-        // Re-find: evaluation may have grown the binding stack temporarily,
-        // but our binding pointer may have been invalidated by reallocation.
-        binding = env.Find(node.str_value);
+        // Re-find: evaluating the lazy expression may have shadowed and
+        // restored this slot, so re-read it before writing the result.
+        binding = env.Find(node.var_slot);
         XMARK_CHECK(binding != nullptr);
         binding->value = std::move(value);
         binding->evaluated = true;
@@ -363,10 +391,13 @@ Status Evaluator::ApplyPredicates(const std::vector<AstPtr>& predicates,
 
 Status Evaluator::ApplyStep(const Step& step, const Sequence& input,
                             Environment& env, Sequence* output) {
-  const xml::NameTable& names = store_->names();
   xml::NameId want = xml::kInvalidName;
   if (step.test == Step::Test::kName && step.axis != Axis::kAttribute) {
-    want = names.Lookup(step.name);
+    if (step.name_cache_uid != store_->store_uid()) {
+      step.name_cache_id = store_->names().Lookup(step.name);
+      step.name_cache_uid = store_->store_uid();
+    }
+    want = step.name_cache_id;
     if (want == xml::kInvalidName) {
       // Tag never occurs in the document: result is empty. (The paper's
       // closing remark — warning about path expressions with non-existing
@@ -378,9 +409,21 @@ Status Evaluator::ApplyStep(const Step& step, const Sequence& input,
   if (step.axis == Axis::kAttribute) {
     for (const Item& item : input) {
       if (!item.is_node()) continue;
-      const auto value =
-          store_->Attribute(item.node().handle, step.name);
-      if (value.has_value()) output->push_back(Item(*value));
+      if (options_.zero_copy_strings) {
+        const auto view =
+            store_->AttributeView(item.node().handle, step.name);
+        if (view.has_value()) {
+          // The Item still owns one string copy; what's avoided is the
+          // wrapper's intermediate optional<std::string> (the seed
+          // allocated twice per attribute access, this path once).
+          ++stats_.allocations_avoided;
+          output->push_back(Item(std::string(*view)));
+        }
+      } else {
+        // Ablation path: materialize through the wrapper, as the seed did.
+        const auto value = store_->Attribute(item.node().handle, step.name);
+        if (value.has_value()) output->push_back(Item(*value));
+      }
     }
     // Attribute strings support no further predicates groupings; apply
     // predicates over the whole output.
@@ -449,21 +492,34 @@ Status Evaluator::ApplyStep(const Step& step, const Sequence& input,
     return Status::OK();
   }
 
+  // Node-test → child filter, shared by the cursor fast path (applied
+  // store-side) and the generic walks below. NameOf returns kInvalidName
+  // exactly for text nodes, so one virtual call answers every node test.
+  ChildFilter filter = ChildFilter::kAll;
+  switch (step.test) {
+    case Step::Test::kName:
+      filter = ChildFilter::kTag;  // want != kInvalidName (checked above)
+      break;
+    case Step::Test::kWildcard:
+      filter = ChildFilter::kElements;
+      break;
+    case Step::Test::kText:
+      filter = ChildFilter::kText;
+      break;
+    case Step::Test::kAnyNode:
+      filter = ChildFilter::kAll;
+      break;
+  }
   auto matches = [&](NodeHandle n) {
-    switch (step.test) {
-      case Step::Test::kName:
-        return store_->IsElement(n) && store_->NameOf(n) == want;
-      case Step::Test::kWildcard:
-        return store_->IsElement(n);
-      case Step::Test::kText:
-        return !store_->IsElement(n);
-      case Step::Test::kAnyNode:
-        return true;
-    }
-    return false;
+    return MatchesChildFilter(filter, store_->NameOf(n), want);
   };
+  constexpr size_t kBatch = 64;
 
   const bool multi_input = input.size() > 1;
+  // With no predicates the per-item group sequence is unnecessary: matches
+  // are appended straight to the output, saving one vector per input node.
+  const bool has_predicates = !step.predicates.empty();
+  Sequence group_storage;
   for (const Item& item : input) {
     if (!item.is_node()) {
       if (item.is_constructed()) {
@@ -473,7 +529,8 @@ Status Evaluator::ApplyStep(const Step& step, const Sequence& input,
       continue;  // atomics have no children
     }
     const NodeHandle base = item.node().handle;
-    Sequence group;
+    Sequence& group = has_predicates ? group_storage : *output;
+    if (has_predicates) group.clear();
     if (step.axis == Axis::kChild) {
       bool used_layout = false;
       if (step.test == Step::Test::kName) {
@@ -488,10 +545,26 @@ Status Evaluator::ApplyStep(const Step& step, const Sequence& input,
         }
       }
       if (!used_layout) {
-        for (NodeHandle c = store_->FirstChild(base); c != kInvalidHandle;
-             c = store_->NextSibling(c)) {
-          ++stats_.nodes_visited;
-          if (matches(c)) group.push_back(Item(NodeRef{store_, c}));
+        if (options_.child_cursors) {
+          // One cursor per parent: the store scans its physical child
+          // layout and applies the node test in place.
+          ChildCursor cur;
+          store_->OpenChildCursor(base, filter, want, &cur);
+          ++stats_.cursor_scans;
+          NodeHandle buf[kBatch];
+          size_t n;
+          while ((n = cur.Fill(buf, kBatch)) > 0) {
+            stats_.nodes_visited += static_cast<int64_t>(n);
+            for (size_t i = 0; i < n; ++i) {
+              group.push_back(Item(NodeRef{store_, buf[i]}));
+            }
+          }
+        } else {
+          for (NodeHandle c = store_->FirstChild(base); c != kInvalidHandle;
+               c = store_->NextSibling(c)) {
+            ++stats_.nodes_visited;
+            if (matches(c)) group.push_back(Item(NodeRef{store_, c}));
+          }
         }
       }
     } else {  // descendant
@@ -508,25 +581,42 @@ Status Evaluator::ApplyStep(const Step& step, const Sequence& input,
         }
       }
       if (!used_index) {
-        // DFS, excluding the base node itself.
+        // DFS, excluding the base node itself. Each element's child list is
+        // gathered with one batched cursor scan instead of a virtual
+        // sibling-chain walk; text nodes are leaves and skip the scan.
+        auto collect = [&](NodeHandle p, std::vector<NodeHandle>* out) {
+          if (options_.child_cursors) {
+            ChildCursor cur;
+            store_->OpenChildCursor(p, ChildFilter::kAll, xml::kInvalidName,
+                                    &cur);
+            ++stats_.cursor_scans;
+            NodeHandle buf[kBatch];
+            size_t n;
+            while ((n = cur.Fill(buf, kBatch)) > 0) {
+              out->insert(out->end(), buf, buf + n);
+            }
+          } else {
+            for (NodeHandle c = store_->FirstChild(p); c != kInvalidHandle;
+                 c = store_->NextSibling(c)) {
+              out->push_back(c);
+            }
+          }
+        };
         std::vector<NodeHandle> stack;
-        for (NodeHandle c = store_->FirstChild(base); c != kInvalidHandle;
-             c = store_->NextSibling(c)) {
-          stack.push_back(c);
-        }
+        collect(base, &stack);
         std::reverse(stack.begin(), stack.end());
         std::vector<NodeHandle> order;
+        std::vector<NodeHandle> kids;
         while (!stack.empty()) {
           const NodeHandle n = stack.back();
           stack.pop_back();
           ++stats_.nodes_visited;
-          if (matches(n)) order.push_back(n);
+          const xml::NameId tag = store_->NameOf(n);
+          if (MatchesChildFilter(filter, tag, want)) order.push_back(n);
+          if (tag == xml::kInvalidName) continue;  // text leaf
           // Push children in reverse so the DFS emits document order.
-          std::vector<NodeHandle> kids;
-          for (NodeHandle c = store_->FirstChild(n); c != kInvalidHandle;
-               c = store_->NextSibling(c)) {
-            kids.push_back(c);
-          }
+          kids.clear();
+          collect(n, &kids);
           for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
             stack.push_back(*it);
           }
@@ -534,8 +624,10 @@ Status Evaluator::ApplyStep(const Step& step, const Sequence& input,
         for (NodeHandle h : order) group.push_back(Item(NodeRef{store_, h}));
       }
     }
-    XMARK_RETURN_IF_ERROR(ApplyPredicates(step.predicates, env, &group));
-    output->insert(output->end(), group.begin(), group.end());
+    if (has_predicates) {
+      XMARK_RETURN_IF_ERROR(ApplyPredicates(step.predicates, env, &group));
+      output->insert(output->end(), group.begin(), group.end());
+    }
   }
   if (step.axis == Axis::kDescendant && multi_input) {
     SortDedupNodes(output);
@@ -559,6 +651,10 @@ StatusOr<Sequence> Evaluator::EvalPath(const AstNode& node, Environment& env,
   const bool rooted =
       node.absolute || (node.start && IsDocumentCall(*node.start));
   Sequence current;
+  // Input of the next step; aliases a variable binding's sequence when the
+  // path is rooted at an evaluated variable, so `$v/a/b` never copies the
+  // binding (hot in nested-loop joins like Q11/Q12).
+  const Sequence* input = &current;
   size_t step_index = 0;
 
   if (rooted) {
@@ -634,7 +730,15 @@ StatusOr<Sequence> Evaluator::EvalPath(const AstNode& node, Environment& env,
       step_index = 1;
     }
   } else if (node.start) {
-    XMARK_ASSIGN_OR_RETURN(current, Eval(*node.start, env, focus));
+    Environment::Binding* binding =
+        node.start->kind == AstKind::kVarRef
+            ? env.Find(node.start->var_slot)
+            : nullptr;
+    if (binding != nullptr && binding->evaluated) {
+      input = &binding->value;
+    } else {
+      XMARK_ASSIGN_OR_RETURN(current, Eval(*node.start, env, focus));
+    }
   } else {
     if (focus == nullptr) {
       return Status::InvalidArgument("relative path without context");
@@ -644,11 +748,13 @@ StatusOr<Sequence> Evaluator::EvalPath(const AstNode& node, Environment& env,
 
   for (; step_index < node.steps.size(); ++step_index) {
     Sequence next;
-    XMARK_RETURN_IF_ERROR(ApplyStep(node.steps[step_index], current, env,
+    XMARK_RETURN_IF_ERROR(ApplyStep(node.steps[step_index], *input, env,
                                     &next));
     current = std::move(next);
+    input = &current;
     if (current.empty()) break;
   }
+  if (input != &current) current = *input;  // step-less path over a binding
 
   if (cacheable) invariant_cache_.emplace(&node, current);
   return current;
@@ -714,6 +820,7 @@ const Evaluator::JoinPlan* Evaluator::AnalyzeJoin(const AstNode& flwor) {
     plan->eligible = true;
     plan->in_expr = clause.expr.get();
     plan->var = clause.var;
+    plan->var_slot = clause.var_slot;
   } while (false);
 
   const JoinPlan* out = plan.get();
@@ -729,12 +836,12 @@ StatusOr<Sequence> Evaluator::EvalHashJoin(const AstNode& node,
   auto it = join_caches_.find(&node);
   if (it == join_caches_.end()) {
     auto built = std::make_unique<JoinCache>();
-    Environment inner_env;
+    Environment inner_env(slot_count_);
     XMARK_ASSIGN_OR_RETURN(Sequence bindings,
                            Eval(*plan.in_expr, inner_env, nullptr));
     built->bindings = std::move(bindings);
     for (size_t i = 0; i < built->bindings.size(); ++i) {
-      inner_env.Push(plan.var, Sequence{built->bindings[i]});
+      inner_env.Push(plan.var_slot, Sequence{built->bindings[i]});
       XMARK_ASSIGN_OR_RETURN(Sequence keys,
                              Eval(*plan.inner_key, inner_env, nullptr));
       inner_env.Pop();
@@ -761,7 +868,7 @@ StatusOr<Sequence> Evaluator::EvalHashJoin(const AstNode& node,
 
   Sequence out;
   for (size_t idx : matches) {
-    env.Push(plan.var, Sequence{cache->bindings[idx]});
+    env.Push(plan.var_slot, Sequence{cache->bindings[idx]});
     bool pass = true;
     for (const AstNode* residue : plan.residue) {
       XMARK_ASSIGN_OR_RETURN(Sequence v, Eval(*residue, env, focus));
@@ -829,10 +936,10 @@ StatusOr<Sequence> Evaluator::EvalFlwor(const AstNode& node, Environment& env,
     const ForLetClause& clause = node.clauses[ci];
     if (clause.is_let) {
       if (options_.lazy_let) {
-        env.PushLazy(clause.var, clause.expr.get());
+        env.PushLazy(clause.var_slot, clause.expr.get());
       } else {
         XMARK_ASSIGN_OR_RETURN(Sequence value, Eval(*clause.expr, env, focus));
-        env.Push(clause.var, std::move(value));
+        env.Push(clause.var_slot, std::move(value));
       }
       Status st = emit(ci + 1);
       env.Pop();
@@ -840,7 +947,7 @@ StatusOr<Sequence> Evaluator::EvalFlwor(const AstNode& node, Environment& env,
     }
     XMARK_ASSIGN_OR_RETURN(Sequence domain, Eval(*clause.expr, env, focus));
     for (Item& item : domain) {
-      env.Push(clause.var, Sequence{std::move(item)});
+      env.Push(clause.var_slot, Sequence{std::move(item)});
       Status st = emit(ci + 1);
       env.Pop();
       XMARK_RETURN_IF_ERROR(st);
@@ -890,7 +997,7 @@ StatusOr<Sequence> Evaluator::EvalQuantified(const AstNode& node,
     XMARK_ASSIGN_OR_RETURN(Sequence domain,
                            Eval(*node.clauses[ci].expr, env, focus));
     for (Item& item : domain) {
-      env.Push(node.clauses[ci].var, Sequence{std::move(item)});
+      env.Push(node.clauses[ci].var_slot, Sequence{std::move(item)});
       Status st = scan(ci + 1);
       env.Pop();
       XMARK_RETURN_IF_ERROR(st);
@@ -908,26 +1015,21 @@ StatusOr<Sequence> Evaluator::EvalQuantified(const AstNode& node,
 
 namespace {
 
-// General comparison between two items under XQuery's untyped rules:
-// untyped values compared with a number are cast to numbers, otherwise
-// compared as strings.
-bool CompareItemPair(const Item& a, const Item& b, BinaryOp op) {
-  const bool numeric = a.is_number() || b.is_number();
-  int cmp;
-  if (numeric) {
-    const auto na = ItemNumberValue(a);
-    const auto nb = ItemNumberValue(b);
-    if (!na.has_value() || !nb.has_value()) return false;
-    cmp = (*na < *nb) ? -1 : (*na > *nb ? 1 : 0);
-  } else if (a.is_boolean() || b.is_boolean()) {
-    const bool ba = a.is_boolean() ? a.boolean()
-                                   : EffectiveBooleanValue(Sequence{a});
-    const bool bb = b.is_boolean() ? b.boolean()
-                                   : EffectiveBooleanValue(Sequence{b});
-    cmp = (ba == bb) ? 0 : (ba < bb ? -1 : 1);
-  } else {
-    cmp = ItemStringValue(a).compare(ItemStringValue(b));
+bool IsComparisonOp(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return true;
+    default:
+      return false;
   }
+}
+
+bool CompareResult(int cmp, BinaryOp op) {
   switch (op) {
     case BinaryOp::kEq:
       return cmp == 0;
@@ -946,7 +1048,201 @@ bool CompareItemPair(const Item& a, const Item& b, BinaryOp op) {
   }
 }
 
+// `a <op> b` == `b <SwapComparison(op)> a`.
+BinaryOp SwapComparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kLt:
+      return BinaryOp::kGt;
+    case BinaryOp::kLe:
+      return BinaryOp::kGe;
+    case BinaryOp::kGt:
+      return BinaryOp::kLt;
+    case BinaryOp::kGe:
+      return BinaryOp::kLe;
+    default:
+      return op;
+  }
+}
+
+bool SequenceHasConstructed(const Sequence& seq) {
+  for (const Item& item : seq) {
+    if (item.is_constructed()) return true;
+  }
+  return false;
+}
+
+// The streamable path shape: `$v/a/b/text()`-style — variable-rooted,
+// child-axis-only, predicate-free name or text() steps. Such a path can be
+// walked with nested tag-filtered cursors without materializing any
+// intermediate sequence.
+bool IsStreamablePath(const AstNode& n) {
+  if (n.kind != AstKind::kPath || n.absolute || n.start == nullptr ||
+      n.start->kind != AstKind::kVarRef || n.steps.empty()) {
+    return false;
+  }
+  for (const Step& s : n.steps) {
+    if (s.axis != Axis::kChild || !s.predicates.empty()) return false;
+    if (s.test != Step::Test::kName && s.test != Step::Test::kText) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Streams the nodes selected by a streamable path from `base` in document
+// order, calling `fn` on each until it returns true (short-circuit).
+// Returns whether fn ever returned true.
+template <typename Fn>
+bool StreamSteps(const StorageAdapter* store, Evaluator::Stats* stats,
+                 NodeHandle base, const std::vector<Step>& steps, size_t idx,
+                 Fn&& fn) {
+  const Step& step = steps[idx];
+  ChildFilter filter = ChildFilter::kText;
+  xml::NameId want = xml::kInvalidName;
+  if (step.test == Step::Test::kName) {
+    if (step.name_cache_uid != store->store_uid()) {
+      step.name_cache_id = store->names().Lookup(step.name);
+      step.name_cache_uid = store->store_uid();
+    }
+    want = step.name_cache_id;
+    if (want == xml::kInvalidName) return false;  // tag absent: empty result
+    filter = ChildFilter::kTag;
+  }
+  ChildCursor cur;
+  store->OpenChildCursor(base, filter, want, &cur);
+  ++stats->cursor_scans;
+  constexpr size_t kBatch = 64;
+  NodeHandle buf[kBatch];
+  size_t n;
+  while ((n = cur.Fill(buf, kBatch)) > 0) {
+    stats->nodes_visited += static_cast<int64_t>(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (idx + 1 == steps.size()) {
+        if (fn(buf[i])) return true;
+      } else if (StreamSteps(store, stats, buf[i], steps, idx + 1, fn)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
 }  // namespace
+
+// General comparison between two items under XQuery's untyped rules:
+// untyped values compared with a number are cast to numbers, otherwise
+// compared as strings. With zero_copy_strings the operands are consumed
+// through views (text nodes and string atomics never materialize; element
+// string-values reuse the member scratch buffers).
+bool Evaluator::CompareItems(const Item& a, const Item& b, BinaryOp op) {
+  const bool numeric = a.is_number() || b.is_number();
+  int cmp;
+  if (!options_.zero_copy_strings) {
+    // Ablation path: materialize a std::string per operand, the way the
+    // seed evaluator did.
+    if (numeric) {
+      auto to_num = [&](const Item& item) -> std::optional<double> {
+        if (item.is_number()) return item.number();
+        if (item.is_boolean()) return item.boolean() ? 1.0 : 0.0;
+        ++stats_.compare_allocs;
+        return ParseDouble(ItemStringValue(item));
+      };
+      const auto na = to_num(a);
+      const auto nb = to_num(b);
+      if (!na.has_value() || !nb.has_value()) return false;
+      cmp = (*na < *nb) ? -1 : (*na > *nb ? 1 : 0);
+    } else if (a.is_boolean() || b.is_boolean()) {
+      const bool ba = a.is_boolean() ? a.boolean()
+                                     : EffectiveBooleanValue(Sequence{a});
+      const bool bb = b.is_boolean() ? b.boolean()
+                                     : EffectiveBooleanValue(Sequence{b});
+      cmp = (ba == bb) ? 0 : (ba < bb ? -1 : 1);
+    } else {
+      stats_.compare_allocs += 2;
+      cmp = ItemStringValue(a).compare(ItemStringValue(b));
+    }
+    return CompareResult(cmp, op);
+  }
+
+  auto view_of = [&](const Item& item, std::string* scratch) {
+    bool materialized = false;
+    const std::string_view v = ItemStringView(item, scratch, &materialized);
+    if (materialized) {
+      ++stats_.compare_allocs;
+    } else {
+      ++stats_.allocations_avoided;
+    }
+    return v;
+  };
+  if (numeric) {
+    auto to_num = [&](const Item& item,
+                      std::string* scratch) -> std::optional<double> {
+      if (item.is_number()) return item.number();
+      if (item.is_boolean()) return item.boolean() ? 1.0 : 0.0;
+      return ParseDouble(view_of(item, scratch));
+    };
+    const auto na = to_num(a, &cmp_scratch_a_);
+    const auto nb = to_num(b, &cmp_scratch_b_);
+    if (!na.has_value() || !nb.has_value()) return false;
+    cmp = (*na < *nb) ? -1 : (*na > *nb ? 1 : 0);
+  } else if (a.is_boolean() || b.is_boolean()) {
+    const bool ba = a.is_boolean() ? a.boolean()
+                                   : EffectiveBooleanValue(Sequence{a});
+    const bool bb = b.is_boolean() ? b.boolean()
+                                   : EffectiveBooleanValue(Sequence{b});
+    cmp = (ba == bb) ? 0 : (ba < bb ? -1 : 1);
+  } else {
+    cmp = view_of(a, &cmp_scratch_a_).compare(view_of(b, &cmp_scratch_b_));
+  }
+  return CompareResult(cmp, op);
+}
+
+// Recognizes `@name <op> literal` (either operand order) against the focus
+// node and answers it with a single AttributeView probe — no sequence
+// construction, no per-node string. This is the shape of Q1/Q4/Q10-style
+// attribute predicates.
+std::optional<bool> Evaluator::TryAttributeCompare(const AstNode& node,
+                                                   const Focus* focus) {
+  if (!options_.zero_copy_strings || focus == nullptr) return std::nullopt;
+  if (!IsComparisonOp(node.op)) return std::nullopt;
+  auto is_attr_path = [](const AstNode& n) {
+    return n.kind == AstKind::kPath && !n.absolute && n.start == nullptr &&
+           n.steps.size() == 1 && n.steps[0].axis == Axis::kAttribute &&
+           n.steps[0].predicates.empty();
+  };
+  auto is_literal = [](const AstNode& n) {
+    return n.kind == AstKind::kStringLiteral ||
+           n.kind == AstKind::kNumberLiteral;
+  };
+  const AstNode* attr = nullptr;
+  const AstNode* lit = nullptr;
+  bool swapped = false;
+  if (is_attr_path(*node.args[0]) && is_literal(*node.args[1])) {
+    attr = node.args[0].get();
+    lit = node.args[1].get();
+  } else if (is_attr_path(*node.args[1]) && is_literal(*node.args[0])) {
+    attr = node.args[1].get();
+    lit = node.args[0].get();
+    swapped = true;
+  } else {
+    return std::nullopt;
+  }
+  if (!focus->item.is_node()) return std::nullopt;
+  const auto view =
+      store_->AttributeView(focus->item.node().handle, attr->steps[0].name);
+  if (!view.has_value()) return false;  // empty sequence: existentially false
+  ++stats_.allocations_avoided;
+  int cmp;
+  if (lit->kind == AstKind::kNumberLiteral) {
+    const auto num = ParseDouble(*view);
+    if (!num.has_value()) return false;
+    cmp = (*num < lit->num_value) ? -1 : (*num > lit->num_value ? 1 : 0);
+  } else {
+    cmp = view->compare(lit->str_value);
+  }
+  if (swapped) cmp = -cmp;
+  return CompareResult(cmp, node.op);
+}
 
 StatusOr<Sequence> Evaluator::EvalBinary(const AstNode& node, Environment& env,
                                          const Focus* focus) {
@@ -958,6 +1254,134 @@ StatusOr<Sequence> Evaluator::EvalBinary(const AstNode& node, Environment& env,
     if (op == BinaryOp::kAnd && !lv) return Sequence{Item(false)};
     XMARK_ASSIGN_OR_RETURN(Sequence rhs, Eval(*node.args[1], env, focus));
     return Sequence{Item(EffectiveBooleanValue(rhs))};
+  }
+
+  // Attribute-predicate fast path: answered from the store heap without
+  // evaluating either operand into a sequence.
+  {
+    const auto fast = TryAttributeCompare(node, focus);
+    if (fast.has_value()) return Sequence{Item(*fast)};
+  }
+
+  const bool stream_ok =
+      options_.zero_copy_strings && options_.child_cursors;
+
+  // Streaming comparison: `$v/a/b <op> expr` walks the path with nested
+  // tag-filtered cursors and compares each selected node through views,
+  // short-circuiting on the first existential match — no sequence is built
+  // for the path side. This is the hot shape of the Q11/Q12 theta joins.
+  if (stream_ok && IsComparisonOp(op)) {
+    const AstNode* stream = nullptr;
+    const AstNode* other = nullptr;
+    bool swapped = false;
+    if (IsStreamablePath(*node.args[0])) {
+      stream = node.args[0].get();
+      other = node.args[1].get();
+    } else if (IsStreamablePath(*node.args[1])) {
+      stream = node.args[1].get();
+      other = node.args[0].get();
+      swapped = true;
+    }
+    if (stream != nullptr) {
+      Environment::Binding* binding = env.Find(stream->start->var_slot);
+      // Constructed nodes must take the generic path so navigation inside
+      // them raises the same Unimplemented error as with fast paths off.
+      if (binding != nullptr && binding->evaluated &&
+          !SequenceHasConstructed(binding->value)) {
+        XMARK_ASSIGN_OR_RETURN(Sequence other_seq, Eval(*other, env, focus));
+        bool found = false;
+        if (!other_seq.empty()) {
+          const BinaryOp eff = swapped ? SwapComparison(op) : op;
+          for (const Item& start : binding->value) {
+            if (!start.is_node()) continue;
+            if (StreamSteps(store_, &stats_, start.node().handle,
+                            stream->steps, 0, [&](NodeHandle h) {
+                              const Item item(NodeRef{store_, h});
+                              for (const Item& o : other_seq) {
+                                if (CompareItems(item, o, eff)) return true;
+                              }
+                              return false;
+                            })) {
+              found = true;
+              break;
+            }
+          }
+        }
+        return Sequence{Item(found)};
+      }
+    }
+  }
+
+  // Streaming arithmetic: `literal <op> $v/a/text()` (Q11's `5000 *
+  // $i/text()`) resolves both scalars without intermediate sequences.
+  if (stream_ok &&
+      (op == BinaryOp::kAdd || op == BinaryOp::kSub || op == BinaryOp::kMul ||
+       op == BinaryOp::kDiv || op == BinaryOp::kMod)) {
+    struct Scalar {
+      bool handled = false;
+      bool empty = false;
+      double value = 0;
+    };
+    auto scalar_of = [&](const AstNode& arg) -> Scalar {
+      if (arg.kind == AstKind::kNumberLiteral) {
+        return {true, false, arg.num_value};
+      }
+      if (!IsStreamablePath(arg)) return {};
+      Environment::Binding* b = env.Find(arg.start->var_slot);
+      if (b == nullptr || !b->evaluated ||
+          SequenceHasConstructed(b->value)) {
+        return {};  // generic path (errors on constructed-node navigation)
+      }
+      NodeHandle first = kInvalidHandle;
+      for (const Item& start : b->value) {
+        if (!start.is_node()) continue;
+        if (StreamSteps(store_, &stats_, start.node().handle, arg.steps, 0,
+                        [&](NodeHandle h) {
+                          first = h;
+                          return true;
+                        })) {
+          break;
+        }
+      }
+      if (first == kInvalidHandle) return {true, true, 0};
+      const Item item(NodeRef{store_, first});
+      bool materialized = false;
+      const auto num =
+          ParseDouble(ItemStringView(item, &cmp_scratch_a_, &materialized));
+      if (materialized) {
+        ++stats_.compare_allocs;
+      } else {
+        ++stats_.allocations_avoided;
+      }
+      if (!num.has_value()) return {};  // non-numeric: generic error path
+      return {true, false, *num};
+    };
+    const Scalar sa = scalar_of(*node.args[0]);
+    if (sa.handled) {
+      const Scalar sb = scalar_of(*node.args[1]);
+      if (sb.handled) {
+        if (sa.empty || sb.empty) return Sequence{};
+        double result = 0;
+        switch (op) {
+          case BinaryOp::kAdd:
+            result = sa.value + sb.value;
+            break;
+          case BinaryOp::kSub:
+            result = sa.value - sb.value;
+            break;
+          case BinaryOp::kMul:
+            result = sa.value * sb.value;
+            break;
+          case BinaryOp::kDiv:
+            result = sa.value / sb.value;
+            break;
+          default:
+            result = std::fmod(sa.value, sb.value);
+            break;
+        }
+        return Sequence{Item(result)};
+      }
+    }
   }
 
   XMARK_ASSIGN_OR_RETURN(Sequence lhs, Eval(*node.args[0], env, focus));
@@ -983,7 +1407,7 @@ StatusOr<Sequence> Evaluator::EvalBinary(const AstNode& node, Environment& env,
       // Existential semantics over both sequences.
       for (const Item& a : lhs) {
         for (const Item& b : rhs) {
-          if (CompareItemPair(a, b, op)) return Sequence{Item(true)};
+          if (CompareItems(a, b, op)) return Sequence{Item(true)};
         }
       }
       return Sequence{Item(false)};
@@ -1065,7 +1489,7 @@ StatusOr<Sequence> Evaluator::EvalFunction(const AstNode& node,
       actuals.push_back(std::move(v));
     }
     for (size_t i = 0; i < decl.params.size(); ++i) {
-      env.Push(decl.params[i], std::move(actuals[i]));
+      env.Push(decl.param_slots[i], std::move(actuals[i]));
     }
     StatusOr<Sequence> result = Eval(*decl.body, env, nullptr);
     for (size_t i = 0; i < decl.params.size(); ++i) env.Pop();
@@ -1177,26 +1601,41 @@ StatusOr<Sequence> Evaluator::EvalFunction(const AstNode& node,
     }
     return Sequence{Item(best)};
   }
+  // String predicates consume their operands through zero-copy views: a
+  // text-node operand (the common Q14 `contains` shape) reads straight
+  // from the store heap; element string-values reuse the scratch buffers.
+  auto arg_view = [&](const Sequence& arg, std::string* scratch) {
+    if (arg.empty()) return std::string_view();
+    if (!options_.zero_copy_strings) {
+      ++stats_.compare_allocs;
+      *scratch = ItemStringValue(arg.front());
+      return std::string_view(*scratch);
+    }
+    bool materialized = false;
+    const std::string_view v =
+        ItemStringView(arg.front(), scratch, &materialized);
+    if (materialized) {
+      ++stats_.compare_allocs;
+    } else {
+      ++stats_.allocations_avoided;
+    }
+    return v;
+  };
   if (name == "contains") {
     XMARK_RETURN_IF_ERROR(require_args(2));
-    const std::string hay =
-        args[0].empty() ? "" : ItemStringValue(args[0].front());
-    const std::string needle =
-        args[1].empty() ? "" : ItemStringValue(args[1].front());
+    const std::string_view hay = arg_view(args[0], &cmp_scratch_a_);
+    const std::string_view needle = arg_view(args[1], &cmp_scratch_b_);
     return Sequence{Item(Contains(hay, needle))};
   }
   if (name == "starts-with") {
     XMARK_RETURN_IF_ERROR(require_args(2));
-    const std::string s =
-        args[0].empty() ? "" : ItemStringValue(args[0].front());
-    const std::string prefix =
-        args[1].empty() ? "" : ItemStringValue(args[1].front());
+    const std::string_view s = arg_view(args[0], &cmp_scratch_a_);
+    const std::string_view prefix = arg_view(args[1], &cmp_scratch_b_);
     return Sequence{Item(StartsWith(s, prefix))};
   }
   if (name == "string-length") {
     XMARK_RETURN_IF_ERROR(require_args(1));
-    const std::string s =
-        args[0].empty() ? "" : ItemStringValue(args[0].front());
+    const std::string_view s = arg_view(args[0], &cmp_scratch_a_);
     return Sequence{Item(static_cast<double>(s.size()))};
   }
   if (name == "concat") {

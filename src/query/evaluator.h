@@ -32,6 +32,17 @@ struct EvaluatorOptions {
   /// Deep-copy node results into constructed trees (the embedded System G
   /// returns copies, a large part of its overhead).
   bool copy_results = false;
+
+  // --- Storage-access fast paths (implementation quality, not a paper
+  // system knob; on for every system, off for ablation benchmarks) -------
+
+  /// Consume string data through zero-copy views (TextView/AttributeView/
+  /// AppendStringValue) on comparison and predicate paths instead of
+  /// materializing a std::string per node.
+  bool zero_copy_strings = true;
+  /// Walk child steps through batched, tag-filtered store cursors instead
+  /// of a virtual FirstChild/NextSibling call pair per node.
+  bool child_cursors = true;
 };
 
 /// Tree-walking XQuery-subset evaluator over a StorageAdapter.
@@ -56,6 +67,9 @@ class Evaluator {
     int64_t nodes_visited = 0;       // adapter navigation calls
     int64_t hash_joins_built = 0;    // decorrelated inner loops
     int64_t index_lookups = 0;       // id/tag/path index hits
+    int64_t cursor_scans = 0;        // batched child scans opened
+    int64_t allocations_avoided = 0; // per-node strings skipped via views
+    int64_t compare_allocs = 0;      // strings materialized on compare paths
   };
   const Stats& stats() const { return stats_; }
 
@@ -90,9 +104,22 @@ class Evaluator {
   StatusOr<Sequence> EvalHashJoin(const AstNode& node, const JoinPlan& plan,
                                   Environment& env, const Focus* focus);
 
+  // General comparison under XQuery's untyped rules, consuming operands
+  // through zero-copy views (member scratch buffers amortize the rare
+  // materializations).
+  bool CompareItems(const Item& a, const Item& b, BinaryOp op);
+
+  // [@name <op> literal] predicate resolved with one AttributeView probe.
+  // Returns nullopt when the expression does not have that shape.
+  std::optional<bool> TryAttributeCompare(const AstNode& node,
+                                          const Focus* focus);
+
   const StorageAdapter* store_;
   EvaluatorOptions options_;
   Stats stats_;
+  size_t slot_count_ = 0;
+  std::string cmp_scratch_a_;
+  std::string cmp_scratch_b_;
 
   const ParsedQuery* current_query_ = nullptr;
   std::unordered_map<std::string, const FunctionDecl*> functions_;

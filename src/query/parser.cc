@@ -715,7 +715,11 @@ StatusOr<AstPtr> Parser::ParseConstructorAt(size_t pos, size_t* resume) {
 
 StatusOr<ParsedQuery> ParseQueryText(std::string_view text) {
   Parser parser(text);
-  return parser.ParseQuery();
+  XMARK_ASSIGN_OR_RETURN(ParsedQuery query, parser.ParseQuery());
+  // Compile-time variable interning: bindings and references are resolved
+  // to dense environment slots once, so evaluation never compares names.
+  ResolveVariableSlots(query);
+  return query;
 }
 
 const char* BinaryOpName(BinaryOp op) {

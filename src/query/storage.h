@@ -1,6 +1,7 @@
 #ifndef XMARK_QUERY_STORAGE_H_
 #define XMARK_QUERY_STORAGE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -16,6 +17,77 @@ using NodeHandle = uint64_t;
 
 inline constexpr NodeHandle kInvalidHandle = ~uint64_t{0};
 
+class StorageAdapter;
+
+/// Node-test filter applied by a child scan inside the store, so the
+/// evaluator does not pay a virtual IsElement/NameOf call pair per child.
+enum class ChildFilter : uint8_t {
+  kAll,       // every child
+  kElements,  // element children only (wildcard step)
+  kText,      // text children only (text() step)
+  kTag,       // element children with a specific tag
+};
+
+/// Whether a node whose tag id is `tag` (xml::kInvalidName for text nodes)
+/// passes `filter`, with `want` naming the kTag target. The single source
+/// of truth for the filter semantics shared by every store's cursor scan
+/// and the evaluator's node tests. Callers must not pass kTag with
+/// `want == kInvalidName` (it would conflate text nodes with the missing
+/// tag); cursor opens guard that case by producing an empty scan.
+inline bool MatchesChildFilter(ChildFilter filter, xml::NameId tag,
+                               xml::NameId want) {
+  switch (filter) {
+    case ChildFilter::kAll:
+      return true;
+    case ChildFilter::kElements:
+      return tag != xml::kInvalidName;
+    case ChildFilter::kText:
+      return tag == xml::kInvalidName;
+    case ChildFilter::kTag:
+      return tag == want;
+  }
+  return false;
+}
+
+/// Reusable, allocation-free cursor over the (optionally filtered) children
+/// of one node. Opened through StorageAdapter::OpenChildCursor; each store
+/// interprets the state words according to its physical layout (a clustered
+/// row position for the edge table, a path-table slice for the fragmented
+/// mapping, a sibling pointer for the native arrays). The evaluator drains
+/// it in batches, paying one virtual call per batch instead of a
+/// FirstChild/NextSibling call pair per node.
+class ChildCursor {
+ public:
+  /// Copies up to `cap` matching child handles into `out`; returns the
+  /// number written. 0 signals exhaustion.
+  inline size_t Fill(NodeHandle* out, size_t cap);
+
+  /// Fills the header fields and zeroes the state words. Returns false
+  /// when the scan is trivially empty — kTag with an unknown tag, which
+  /// must not fall through to a tag comparison (text nodes' NameOf is
+  /// also kInvalidName) — in which case the store leaves the cursor
+  /// exhausted. Every OpenChildCursor implementation starts here.
+  bool Init(const StorageAdapter* s, NodeHandle p, ChildFilter f,
+            xml::NameId t) {
+    store = s;
+    parent = p;
+    filter = f;
+    tag = t;
+    u0 = u1 = u2 = 0;
+    return !(f == ChildFilter::kTag && t == xml::kInvalidName);
+  }
+
+  // --- cursor state, written by the owning store ------------------------
+  const StorageAdapter* store = nullptr;
+  NodeHandle parent = kInvalidHandle;
+  ChildFilter filter = ChildFilter::kAll;
+  xml::NameId tag = xml::kInvalidName;  // for ChildFilter::kTag
+  // Store-interpreted words (row positions, slice bounds, sibling links).
+  uint64_t u0 = 0;
+  uint64_t u1 = 0;
+  uint64_t u2 = 0;
+};
+
 /// Abstract physical XML mapping. The query evaluator is written entirely
 /// against this interface; the systems of the paper's evaluation (A-G)
 /// differ in how they implement it (edge table, fragmented tables,
@@ -25,9 +97,22 @@ inline constexpr NodeHandle kInvalidHandle = ~uint64_t{0};
 /// Navigation methods must behave like the XPath data model over the loaded
 /// document: elements and text nodes only (the benchmark document has no
 /// other node kinds), attributes exposed through dedicated accessors.
+///
+/// String access is zero-copy: every store keeps character data in a
+/// contiguous heap it owns, so TextView/AttributeView return views valid
+/// for the store's lifetime, and AppendStringValue concatenates into a
+/// caller-owned scratch buffer. The std::string accessors below them are
+/// convenience wrappers that materialize a copy.
 class StorageAdapter {
  public:
+  StorageAdapter() : uid_(NextStoreUid()) {}
   virtual ~StorageAdapter() = default;
+
+  /// Process-unique, never-recycled identity of this store instance. Used
+  /// as the key of per-AST name-resolution caches: a raw `this` pointer
+  /// can be recycled by the allocator after a store is destroyed, which
+  /// would silently validate stale NameIds.
+  uint64_t store_uid() const { return uid_; }
 
   /// Human-readable mapping name ("edge table", "native DOM", ...).
   virtual std::string_view mapping_name() const = 0;
@@ -45,18 +130,71 @@ class StorageAdapter {
   virtual NodeHandle FirstChild(NodeHandle n) const = 0;
   virtual NodeHandle NextSibling(NodeHandle n) const = 0;
 
-  /// Content of a text node.
-  virtual std::string Text(NodeHandle n) const = 0;
-  /// XPath string-value (concatenated descendant text).
-  virtual std::string StringValue(NodeHandle n) const = 0;
+  // --- Zero-copy string access ------------------------------------------
 
-  virtual std::optional<std::string> Attribute(NodeHandle n,
-                                               std::string_view name) const = 0;
+  /// Content of a text node as a view into the store's heap; valid for the
+  /// lifetime of the store.
+  virtual std::string_view TextView(NodeHandle n) const = 0;
+
+  /// Appends the XPath string-value (concatenated descendant text) of `n`
+  /// to `*out`, so callers can reuse one scratch buffer across nodes.
+  virtual void AppendStringValue(NodeHandle n, std::string* out) const = 0;
+
+  /// Value of attribute `name` on `n` as a view into the store's heap.
+  virtual std::optional<std::string_view> AttributeView(
+      NodeHandle n, std::string_view name) const = 0;
+
+  // --- Materializing wrappers (compatibility) ---------------------------
+
+  /// Content of a text node.
+  std::string Text(NodeHandle n) const { return std::string(TextView(n)); }
+
+  /// XPath string-value (concatenated descendant text).
+  std::string StringValue(NodeHandle n) const {
+    std::string out;
+    AppendStringValue(n, &out);
+    return out;
+  }
+
+  std::optional<std::string> Attribute(NodeHandle n,
+                                       std::string_view name) const {
+    const auto view = AttributeView(n, name);
+    if (!view.has_value()) return std::nullopt;
+    return std::string(*view);
+  }
+
   virtual std::vector<std::pair<std::string, std::string>> Attributes(
       NodeHandle n) const = 0;
 
   /// True when `a` precedes `b` in document order (Q4's BEFORE predicate).
   virtual bool Before(NodeHandle a, NodeHandle b) const = 0;
+
+  // --- Batched child scans ----------------------------------------------
+
+  /// Positions `cur` at the start of `parent`'s child list, restricted to
+  /// `filter` (with `tag` naming the element tag for ChildFilter::kTag).
+  /// The default implementation walks the generic FirstChild/NextSibling
+  /// chain; stores override both hooks to scan their physical layout
+  /// directly.
+  virtual void OpenChildCursor(NodeHandle parent, ChildFilter filter,
+                               xml::NameId tag, ChildCursor* cur) const {
+    cur->u0 = cur->Init(this, parent, filter, tag) ? FirstChild(parent)
+                                                   : kInvalidHandle;
+  }
+
+  /// Advances `cur`, writing up to `cap` handles into `out`; returns the
+  /// count (0 = exhausted). Called through ChildCursor::Fill.
+  virtual size_t AdvanceChildCursor(ChildCursor* cur, NodeHandle* out,
+                                    size_t cap) const {
+    size_t n = 0;
+    NodeHandle c = cur->u0;
+    while (n < cap && c != kInvalidHandle) {
+      if (MatchesChildFilter(cur->filter, NameOf(c), cur->tag)) out[n++] = c;
+      c = NextSibling(c);
+    }
+    cur->u0 = c;
+    return n;
+  }
 
   // --- Optional access paths -------------------------------------------
   // Engines advertise the physical structures their architecture provides;
@@ -121,7 +259,19 @@ class StorageAdapter {
   /// Number of catalog entries (tables/paths) the mapping exposes; drives
   /// the metadata-access cost during query compilation (Table 2).
   virtual size_t CatalogEntries() const = 0;
+
+ private:
+  static uint64_t NextStoreUid() {
+    static std::atomic<uint64_t> counter{0};
+    return ++counter;  // 0 stays reserved as "never resolved"
+  }
+
+  uint64_t uid_;
 };
+
+inline size_t ChildCursor::Fill(NodeHandle* out, size_t cap) {
+  return store == nullptr ? 0 : store->AdvanceChildCursor(this, out, cap);
+}
 
 }  // namespace xmark::query
 

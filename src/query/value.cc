@@ -10,7 +10,7 @@ namespace {
 void SerializeStoredNode(const NodeRef& ref, std::string& out) {
   const StorageAdapter& store = *ref.store;
   if (!store.IsElement(ref.handle)) {
-    AppendXmlEscaped(out, store.Text(ref.handle));
+    AppendXmlEscaped(out, store.TextView(ref.handle));
     return;
   }
   out.push_back('<');
@@ -103,10 +103,37 @@ std::string ItemStringValue(const Item& item) {
   return item.string();
 }
 
+std::string_view ItemStringView(const Item& item, std::string* scratch,
+                                bool* materialized) {
+  if (materialized != nullptr) *materialized = false;
+  if (item.is_node()) {
+    const StorageAdapter& store = *item.node().store;
+    if (!store.IsElement(item.node().handle)) {
+      return store.TextView(item.node().handle);
+    }
+    scratch->clear();
+    store.AppendStringValue(item.node().handle, scratch);
+    if (materialized != nullptr) *materialized = true;
+    return *scratch;
+  }
+  if (item.is_string()) return item.string();
+  if (item.is_boolean()) return item.boolean() ? "true" : "false";
+  if (materialized != nullptr) *materialized = true;
+  if (item.is_constructed()) {
+    scratch->clear();
+    AppendConstructedStringValue(*item.constructed(), *scratch);
+    return *scratch;
+  }
+  *scratch = FormatDouble(item.number());
+  return *scratch;
+}
+
 std::optional<double> ItemNumberValue(const Item& item) {
   if (item.is_number()) return item.number();
   if (item.is_boolean()) return item.boolean() ? 1.0 : 0.0;
-  return ParseDouble(ItemStringValue(item));
+  // View-based: text nodes and string atomics parse without allocating.
+  std::string scratch;
+  return ParseDouble(ItemStringView(item, &scratch));
 }
 
 bool EffectiveBooleanValue(const Sequence& seq) {

@@ -76,6 +76,15 @@ class Item {
 /// String-value of an item (node string-value, atomic lexical form).
 std::string ItemStringValue(const Item& item);
 
+/// Zero-copy string-value: returns a view of the item's string value.
+/// Text nodes and string atomics yield views into store/item memory;
+/// element string-values, constructed nodes and numbers are materialized
+/// into `*scratch` (cleared first), letting callers reuse one buffer
+/// across many items. When `materialized` is non-null it is set to whether
+/// scratch was written.
+std::string_view ItemStringView(const Item& item, std::string* scratch,
+                                bool* materialized = nullptr);
+
 /// Numeric value; nullopt when the lexical form is not a number.
 std::optional<double> ItemNumberValue(const Item& item);
 

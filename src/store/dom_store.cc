@@ -61,11 +61,29 @@ void DomStore::BuildIndexes() {
   }
 }
 
-std::optional<std::string> DomStore::Attribute(query::NodeHandle n,
-                                               std::string_view name) const {
-  const auto v = doc_.attribute(static_cast<xml::NodeId>(n), name);
-  if (!v.has_value()) return std::nullopt;
-  return std::string(*v);
+void DomStore::OpenChildCursor(query::NodeHandle parent,
+                               query::ChildFilter filter, xml::NameId tag,
+                               query::ChildCursor* cur) const {
+  cur->u0 =
+      cur->Init(this, parent, filter, tag)
+          ? AsHandle(doc_.first_child(static_cast<xml::NodeId>(parent)))
+          : query::kInvalidHandle;
+}
+
+size_t DomStore::AdvanceChildCursor(query::ChildCursor* cur,
+                                    query::NodeHandle* out,
+                                    size_t cap) const {
+  size_t n = 0;
+  query::NodeHandle c = cur->u0;
+  while (n < cap && c != query::kInvalidHandle) {
+    const xml::NodeId id = static_cast<xml::NodeId>(c);
+    if (query::MatchesChildFilter(cur->filter, doc_.name(id), cur->tag)) {
+      out[n++] = c;
+    }
+    c = AsHandle(doc_.next_sibling(id));
+  }
+  cur->u0 = c;
+  return n;
 }
 
 std::vector<std::pair<std::string, std::string>> DomStore::Attributes(

@@ -51,16 +51,30 @@ class DomStore : public query::StorageAdapter {
   query::NodeHandle NextSibling(query::NodeHandle n) const override {
     return AsHandle(doc_.next_sibling(static_cast<xml::NodeId>(n)));
   }
-  std::string Text(query::NodeHandle n) const override {
-    return std::string(doc_.text(static_cast<xml::NodeId>(n)));
+  std::string_view TextView(query::NodeHandle n) const override {
+    return doc_.text(static_cast<xml::NodeId>(n));
   }
-  std::string StringValue(query::NodeHandle n) const override {
-    return doc_.StringValue(static_cast<xml::NodeId>(n));
+  void AppendStringValue(query::NodeHandle n,
+                         std::string* out) const override {
+    // Preorder ids make the subtree a contiguous id range; one linear scan
+    // collects every descendant text node without recursion.
+    const xml::NodeId end = doc_.SubtreeEnd(static_cast<xml::NodeId>(n));
+    for (xml::NodeId i = static_cast<xml::NodeId>(n); i < end; ++i) {
+      if (!doc_.IsElement(i)) out->append(doc_.text(i));
+    }
   }
-  std::optional<std::string> Attribute(query::NodeHandle n,
-                                       std::string_view name) const override;
+  std::optional<std::string_view> AttributeView(
+      query::NodeHandle n, std::string_view name) const override {
+    return doc_.attribute(static_cast<xml::NodeId>(n), name);
+  }
   std::vector<std::pair<std::string, std::string>> Attributes(
       query::NodeHandle n) const override;
+  // Dense-array sibling walk over the document's node table.
+  void OpenChildCursor(query::NodeHandle parent, query::ChildFilter filter,
+                       xml::NameId tag,
+                       query::ChildCursor* cur) const override;
+  size_t AdvanceChildCursor(query::ChildCursor* cur, query::NodeHandle* out,
+                            size_t cap) const override;
   bool Before(query::NodeHandle a, query::NodeHandle b) const override {
     return a < b;
   }

@@ -66,7 +66,12 @@ StatusOr<std::unique_ptr<EdgeStore>> EdgeStore::Load(std::string_view xml) {
   for (uint32_t pos = 0; pos < store->rows_.size(); ++pos) {
     store->pos_of_id_[store->rows_[pos].id] = pos;
   }
-  std::sort(store->attrs_.begin(), store->attrs_.end(),
+  store->child_begin_.assign(n, static_cast<uint32_t>(store->rows_.size()));
+  for (uint32_t pos = store->rows_.size(); pos-- > 0;) {
+    const uint32_t parent = store->rows_[pos].parent;
+    if (parent != kNoParent) store->child_begin_[parent] = pos;
+  }
+  std::stable_sort(store->attrs_.begin(), store->attrs_.end(),
             [](const AttrRow& a, const AttrRow& b) {
               return a.owner < b.owner;
             });
@@ -106,9 +111,9 @@ query::NodeHandle EdgeStore::NextSibling(query::NodeHandle n) const {
   return next.id;
 }
 
-std::string EdgeStore::Text(query::NodeHandle n) const {
+std::string_view EdgeStore::TextView(query::NodeHandle n) const {
   const EdgeRow& row = RowOf(n);
-  return std::string(HeapString(row.text_begin, row.text_len));
+  return HeapString(row.text_begin, row.text_len);
 }
 
 void EdgeStore::AppendStringValue(query::NodeHandle n, std::string* out) const {
@@ -117,20 +122,20 @@ void EdgeStore::AppendStringValue(query::NodeHandle n, std::string* out) const {
     out->append(HeapString(row.text_begin, row.text_len));
     return;
   }
-  for (query::NodeHandle c = FirstChild(n); c != query::kInvalidHandle;
-       c = NextSibling(c)) {
-    AppendStringValue(c, out);
+  // Scan the clustered child range directly: O(1) positioning instead of a
+  // FirstChild probe plus a PK-index hop per sibling.
+  const auto begin = rows_.begin() + child_begin_[n];
+  for (auto it = begin; it != rows_.end() && it->parent == n; ++it) {
+    if (it->tag == xml::kInvalidName) {
+      out->append(HeapString(it->text_begin, it->text_len));
+    } else {
+      AppendStringValue(it->id, out);
+    }
   }
 }
 
-std::string EdgeStore::StringValue(query::NodeHandle n) const {
-  std::string out;
-  AppendStringValue(n, &out);
-  return out;
-}
-
-std::optional<std::string> EdgeStore::Attribute(query::NodeHandle n,
-                                                std::string_view name) const {
+std::optional<std::string_view> EdgeStore::AttributeView(
+    query::NodeHandle n, std::string_view name) const {
   const xml::NameId id = names_.Lookup(name);
   if (id == xml::kInvalidName) return std::nullopt;
   auto it = std::lower_bound(attrs_.begin(), attrs_.end(), n,
@@ -139,10 +144,33 @@ std::optional<std::string> EdgeStore::Attribute(query::NodeHandle n,
                              });
   for (; it != attrs_.end() && it->owner == n; ++it) {
     if (it->name == id) {
-      return std::string(HeapString(it->value_begin, it->value_len));
+      return HeapString(it->value_begin, it->value_len);
     }
   }
   return std::nullopt;
+}
+
+void EdgeStore::OpenChildCursor(query::NodeHandle parent,
+                                query::ChildFilter filter, xml::NameId tag,
+                                query::ChildCursor* cur) const {
+  cur->u0 = cur->Init(this, parent, filter, tag) ? child_begin_[parent]
+                                                 : rows_.size();
+}
+
+size_t EdgeStore::AdvanceChildCursor(query::ChildCursor* cur,
+                                     query::NodeHandle* out,
+                                     size_t cap) const {
+  const uint32_t parent = static_cast<uint32_t>(cur->parent);
+  size_t pos = static_cast<size_t>(cur->u0);
+  size_t n = 0;
+  while (n < cap && pos < rows_.size() && rows_[pos].parent == parent) {
+    const EdgeRow& row = rows_[pos++];
+    if (query::MatchesChildFilter(cur->filter, row.tag, cur->tag)) {
+      out[n++] = row.id;
+    }
+  }
+  cur->u0 = pos;
+  return n;
 }
 
 std::vector<std::pair<std::string, std::string>> EdgeStore::Attributes(
@@ -174,6 +202,7 @@ query::NodeHandle EdgeStore::NodeById(std::string_view id) const {
 size_t EdgeStore::StorageBytes() const {
   size_t bytes = rows_.capacity() * sizeof(EdgeRow) +
                  pos_of_id_.capacity() * sizeof(uint32_t) +
+                 child_begin_.capacity() * sizeof(uint32_t) +
                  attrs_.capacity() * sizeof(AttrRow) + heap_.capacity();
   for (const auto& [value, node] : id_value_index_) {
     bytes += value.size() + sizeof(node) + 16;

@@ -36,12 +36,19 @@ class EdgeStore : public query::StorageAdapter {
   query::NodeHandle Parent(query::NodeHandle n) const override;
   query::NodeHandle FirstChild(query::NodeHandle n) const override;
   query::NodeHandle NextSibling(query::NodeHandle n) const override;
-  std::string Text(query::NodeHandle n) const override;
-  std::string StringValue(query::NodeHandle n) const override;
-  std::optional<std::string> Attribute(query::NodeHandle n,
-                                       std::string_view name) const override;
+  std::string_view TextView(query::NodeHandle n) const override;
+  void AppendStringValue(query::NodeHandle n, std::string* out) const override;
+  std::optional<std::string_view> AttributeView(
+      query::NodeHandle n, std::string_view name) const override;
   std::vector<std::pair<std::string, std::string>> Attributes(
       query::NodeHandle n) const override;
+  // One binary search over the (parent, ord)-clustered relation, then a
+  // linear row scan — the cursor never touches the PK index.
+  void OpenChildCursor(query::NodeHandle parent, query::ChildFilter filter,
+                       xml::NameId tag,
+                       query::ChildCursor* cur) const override;
+  size_t AdvanceChildCursor(query::ChildCursor* cur, query::NodeHandle* out,
+                            size_t cap) const override;
   bool Before(query::NodeHandle a, query::NodeHandle b) const override {
     return a < b;
   }
@@ -80,10 +87,13 @@ class EdgeStore : public query::StorageAdapter {
   std::string_view HeapString(uint32_t begin, uint32_t len) const {
     return std::string_view(heap_).substr(begin, len);
   }
-  void AppendStringValue(query::NodeHandle n, std::string* out) const;
 
   std::vector<EdgeRow> rows_;       // sorted by (parent, ord)
   std::vector<uint32_t> pos_of_id_; // id -> row position (PK index)
+  // id -> position of its first child row in the clustered relation
+  // (rows_.size() for leaves). Gives cursors O(1) positioning; built in
+  // one pass over the sorted relation during bulkload.
+  std::vector<uint32_t> child_begin_;
   std::vector<AttrRow> attrs_;      // sorted by owner
   std::string heap_;
   std::vector<std::pair<std::string, uint32_t>> id_value_index_;  // sorted

@@ -84,7 +84,7 @@ StatusOr<std::unique_ptr<FragmentedStore>> FragmentedStore::Load(
     if (doc.IsElement(i)) stack.emplace_back(i, path_id);
   }
 
-  std::sort(store->attrs_.begin(), store->attrs_.end(),
+  std::stable_sort(store->attrs_.begin(), store->attrs_.end(),
             [](const AttrRow& a, const AttrRow& b) {
               return a.owner < b.owner;
             });
@@ -155,21 +155,24 @@ query::NodeHandle FragmentedStore::NextSibling(query::NodeHandle n) const {
   return best;
 }
 
-std::string FragmentedStore::Text(query::NodeHandle n) const {
+std::string_view FragmentedStore::TextView(query::NodeHandle n) const {
   const Row& row = RowOf(n);
-  return std::string(std::string_view(heap_).substr(row.text_begin,
-                                                    row.text_len));
+  return std::string_view(heap_).substr(row.text_begin, row.text_len);
 }
 
-std::string FragmentedStore::StringValue(query::NodeHandle n) const {
-  if (!IsElement(n)) return Text(n);
+void FragmentedStore::AppendStringValue(query::NodeHandle n,
+                                        std::string* out) const {
+  if (!IsElement(n)) {
+    out->append(TextView(n));
+    return;
+  }
   // Reconstruction: gather all #text descendants of the subtree interval.
   // Even with the interval trick this touches every text path table — the
   // fragmentation tax on reconstruction-heavy queries.
   const Row& row = RowOf(n);
   std::vector<std::pair<uint32_t, std::pair<uint32_t, uint32_t>>> pieces;
   const auto text_paths = paths_by_tag_.find(text_tag_);
-  if (text_paths == paths_by_tag_.end()) return "";
+  if (text_paths == paths_by_tag_.end()) return;
   for (uint32_t path_id : text_paths->second) {
     if (!PathExtends(path_id, path_of_[n])) continue;
     const PathInfo& tp = paths_[path_id];
@@ -182,14 +185,12 @@ std::string FragmentedStore::StringValue(query::NodeHandle n) const {
     }
   }
   std::sort(pieces.begin(), pieces.end());
-  std::string out;
   for (const auto& [id, span] : pieces) {
-    out.append(std::string_view(heap_).substr(span.first, span.second));
+    out->append(std::string_view(heap_).substr(span.first, span.second));
   }
-  return out;
 }
 
-std::optional<std::string> FragmentedStore::Attribute(
+std::optional<std::string_view> FragmentedStore::AttributeView(
     query::NodeHandle n, std::string_view name) const {
   const xml::NameId id = names_.Lookup(name);
   if (id == xml::kInvalidName) return std::nullopt;
@@ -199,11 +200,54 @@ std::optional<std::string> FragmentedStore::Attribute(
                              });
   for (; it != attrs_.end() && it->owner == n; ++it) {
     if (it->name == id) {
-      return std::string(std::string_view(heap_).substr(it->value_begin,
-                                                        it->value_len));
+      return std::string_view(heap_).substr(it->value_begin, it->value_len);
     }
   }
   return std::nullopt;
+}
+
+void FragmentedStore::OpenChildCursor(query::NodeHandle parent,
+                                      query::ChildFilter filter,
+                                      xml::NameId tag,
+                                      query::ChildCursor* cur) const {
+  if (filter != query::ChildFilter::kTag &&
+      filter != query::ChildFilter::kText) {
+    // Generic scan: merge across child path tables via the default chain.
+    query::StorageAdapter::OpenChildCursor(parent, filter, tag, cur);
+    return;
+  }
+  // A filtered scan is a slice of exactly one child path table (text
+  // children all live in the parent path's #text table).
+  if (!cur->Init(this, parent, filter, tag)) return;  // empty slice
+  const xml::NameId want = filter == query::ChildFilter::kText ? text_tag_ : tag;
+  const PathInfo& path = paths_[path_of_[parent]];
+  for (uint32_t child_path : path.child_paths) {
+    if (paths_[child_path].tag != want) continue;
+    const auto [b, e] = Slice(paths_[child_path],
+                              static_cast<uint32_t>(parent) + 1,
+                              RowOf(parent).subtree_end);
+    cur->u0 = b;
+    cur->u1 = e;
+    cur->u2 = child_path;
+    return;
+  }
+}
+
+size_t FragmentedStore::AdvanceChildCursor(query::ChildCursor* cur,
+                                           query::NodeHandle* out,
+                                           size_t cap) const {
+  if (cur->filter != query::ChildFilter::kTag &&
+      cur->filter != query::ChildFilter::kText) {
+    return query::StorageAdapter::AdvanceChildCursor(cur, out, cap);
+  }
+  if (cur->u0 >= cur->u1) return 0;
+  const PathInfo& path = paths_[cur->u2];
+  size_t n = 0;
+  size_t pos = static_cast<size_t>(cur->u0);
+  const size_t end = static_cast<size_t>(cur->u1);
+  while (n < cap && pos < end) out[n++] = path.rows[pos++].id;
+  cur->u0 = pos;
+  return n;
 }
 
 std::vector<std::pair<std::string, std::string>> FragmentedStore::Attributes(

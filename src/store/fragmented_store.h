@@ -41,12 +41,19 @@ class FragmentedStore : public query::StorageAdapter {
   query::NodeHandle Parent(query::NodeHandle n) const override;
   query::NodeHandle FirstChild(query::NodeHandle n) const override;
   query::NodeHandle NextSibling(query::NodeHandle n) const override;
-  std::string Text(query::NodeHandle n) const override;
-  std::string StringValue(query::NodeHandle n) const override;
-  std::optional<std::string> Attribute(query::NodeHandle n,
-                                       std::string_view name) const override;
+  std::string_view TextView(query::NodeHandle n) const override;
+  void AppendStringValue(query::NodeHandle n, std::string* out) const override;
+  std::optional<std::string_view> AttributeView(
+      query::NodeHandle n, std::string_view name) const override;
   std::vector<std::pair<std::string, std::string>> Attributes(
       query::NodeHandle n) const override;
+  // Tag- and text-filtered scans are direct path-table slices; generic
+  // scans fall back to the (merging) FirstChild/NextSibling chain.
+  void OpenChildCursor(query::NodeHandle parent, query::ChildFilter filter,
+                       xml::NameId tag,
+                       query::ChildCursor* cur) const override;
+  size_t AdvanceChildCursor(query::ChildCursor* cur, query::NodeHandle* out,
+                            size_t cap) const override;
   bool Before(query::NodeHandle a, query::NodeHandle b) const override {
     return a < b;
   }

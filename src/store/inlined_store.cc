@@ -100,7 +100,7 @@ StatusOr<std::unique_ptr<InlinedStore>> InlinedStore::Load(
       store->heap_.append(doc.text(i));
     }
   }
-  std::sort(store->attrs_.begin(), store->attrs_.end(),
+  std::stable_sort(store->attrs_.begin(), store->attrs_.end(),
             [](const AttrRow& a, const AttrRow& b) {
               return a.owner < b.owner;
             });
@@ -139,9 +139,9 @@ StatusOr<std::unique_ptr<InlinedStore>> InlinedStore::Load(
   return store;
 }
 
-std::string InlinedStore::Text(query::NodeHandle n) const {
+std::string_view InlinedStore::TextView(query::NodeHandle n) const {
   const auto& [begin, len] = text_span_[n];
-  return std::string(std::string_view(heap_).substr(begin, len));
+  return std::string_view(heap_).substr(begin, len);
 }
 
 void InlinedStore::AppendStringValue(query::NodeHandle n,
@@ -157,13 +157,7 @@ void InlinedStore::AppendStringValue(query::NodeHandle n,
   }
 }
 
-std::string InlinedStore::StringValue(query::NodeHandle n) const {
-  std::string out;
-  AppendStringValue(n, &out);
-  return out;
-}
-
-std::optional<std::string> InlinedStore::Attribute(
+std::optional<std::string_view> InlinedStore::AttributeView(
     query::NodeHandle n, std::string_view name) const {
   const xml::NameId id = names_.Lookup(name);
   if (id == xml::kInvalidName) return std::nullopt;
@@ -173,11 +167,32 @@ std::optional<std::string> InlinedStore::Attribute(
                              });
   for (; it != attrs_.end() && it->owner == n; ++it) {
     if (it->name == id) {
-      return std::string(
-          std::string_view(heap_).substr(it->value_begin, it->value_len));
+      return std::string_view(heap_).substr(it->value_begin, it->value_len);
     }
   }
   return std::nullopt;
+}
+
+void InlinedStore::OpenChildCursor(query::NodeHandle parent,
+                                   query::ChildFilter filter, xml::NameId tag,
+                                   query::ChildCursor* cur) const {
+  cur->u0 = cur->Init(this, parent, filter, tag) ? first_child_[parent]
+                                                 : query::kInvalidHandle;
+}
+
+size_t InlinedStore::AdvanceChildCursor(query::ChildCursor* cur,
+                                        query::NodeHandle* out,
+                                        size_t cap) const {
+  size_t n = 0;
+  query::NodeHandle c = cur->u0;
+  while (n < cap && c != query::kInvalidHandle) {
+    if (query::MatchesChildFilter(cur->filter, tag_[c], cur->tag)) {
+      out[n++] = c;
+    }
+    c = next_sibling_[c];
+  }
+  cur->u0 = c;
+  return n;
 }
 
 std::vector<std::pair<std::string, std::string>> InlinedStore::Attributes(

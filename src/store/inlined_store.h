@@ -50,12 +50,18 @@ class InlinedStore : public query::StorageAdapter {
   query::NodeHandle NextSibling(query::NodeHandle n) const override {
     return next_sibling_[n];
   }
-  std::string Text(query::NodeHandle n) const override;
-  std::string StringValue(query::NodeHandle n) const override;
-  std::optional<std::string> Attribute(query::NodeHandle n,
-                                       std::string_view name) const override;
+  std::string_view TextView(query::NodeHandle n) const override;
+  void AppendStringValue(query::NodeHandle n, std::string* out) const override;
+  std::optional<std::string_view> AttributeView(
+      query::NodeHandle n, std::string_view name) const override;
   std::vector<std::pair<std::string, std::string>> Attributes(
       query::NodeHandle n) const override;
+  // Dense-array sibling walk: no virtual dispatch per child.
+  void OpenChildCursor(query::NodeHandle parent, query::ChildFilter filter,
+                       xml::NameId tag,
+                       query::ChildCursor* cur) const override;
+  size_t AdvanceChildCursor(query::ChildCursor* cur, query::NodeHandle* out,
+                            size_t cap) const override;
   bool Before(query::NodeHandle a, query::NodeHandle b) const override {
     return a < b;
   }
@@ -78,8 +84,6 @@ class InlinedStore : public query::StorageAdapter {
   static uint64_t SlotKey(xml::NameId parent_tag, xml::NameId child_tag) {
     return (static_cast<uint64_t>(parent_tag) << 32) | child_tag;
   }
-
-  void AppendStringValue(query::NodeHandle n, std::string* out) const;
 
   // Dense structure arrays indexed by preorder id.
   std::vector<query::NodeHandle> parent_;

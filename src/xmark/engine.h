@@ -75,6 +75,11 @@ class Engine {
   const query::EvaluatorOptions& evaluator_options() const {
     return eval_options_;
   }
+  /// Overrides the evaluator configuration (ablation benchmarks flip the
+  /// storage-access fast paths off through this).
+  void set_evaluator_options(const query::EvaluatorOptions& opts) {
+    eval_options_ = opts;
+  }
 
   /// Statistics of the last Execute.
   const query::Evaluator::Stats& last_stats() const { return last_stats_; }

@@ -1,7 +1,9 @@
 #include "xml/sax_parser.h"
 
 #include <cctype>
+#include <charconv>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -23,6 +25,12 @@ bool IsSpace(char c) {
   return c == ' ' || c == '\t' || c == '\n' || c == '\r';
 }
 
+// Maximum digit counts that can still encode a code point <= 0x10ffff;
+// anything longer is an overlong reference and rejected outright (it could
+// also silently overflow a lazy parser).
+constexpr size_t kMaxDecDigits = 7;  // "1114111"
+constexpr size_t kMaxHexDigits = 6;  // "10ffff"
+
 // Decodes &amp; &lt; &gt; &quot; &apos; and &#N; / &#xN; references in
 // `raw` into `out`. Returns false on a malformed reference.
 bool DecodeEntities(std::string_view raw, std::string& out) {
@@ -30,10 +38,17 @@ bool DecodeEntities(std::string_view raw, std::string& out) {
   out.reserve(raw.size());
   size_t i = 0;
   while (i < raw.size()) {
-    const char c = raw[i];
-    if (c != '&') {
-      out.push_back(c);
-      ++i;
+    if (raw[i] != '&') {
+      // Bulk-copy the run up to the next reference instead of pushing one
+      // byte at a time.
+      const void* amp = std::memchr(raw.data() + i, '&', raw.size() - i);
+      const size_t end =
+          amp == nullptr
+              ? raw.size()
+              : static_cast<size_t>(static_cast<const char*>(amp) -
+                                    raw.data());
+      out.append(raw.data() + i, end - i);
+      i = end;
       continue;
     }
     const size_t semi = raw.find(';', i + 1);
@@ -50,11 +65,24 @@ bool DecodeEntities(std::string_view raw, std::string& out) {
     } else if (ent == "apos") {
       out.push_back('\'');
     } else if (!ent.empty() && ent[0] == '#') {
+      // Numeric character reference, parsed in place with from_chars — no
+      // temporary string, and overlong digit runs are rejected rather than
+      // clamped. XML allows leading zeros, so strip them (keeping one
+      // digit) before applying the length bound.
+      const bool hex = ent.size() > 1 && (ent[1] == 'x' || ent[1] == 'X');
+      std::string_view digits = ent.substr(hex ? 2 : 1);
+      if (digits.empty()) return false;
+      size_t zeros = 0;
+      while (zeros + 1 < digits.size() && digits[zeros] == '0') ++zeros;
+      digits.remove_prefix(zeros);
+      if (digits.size() > (hex ? kMaxHexDigits : kMaxDecDigits)) {
+        return false;
+      }
       long code = 0;
-      if (ent.size() > 2 && (ent[1] == 'x' || ent[1] == 'X')) {
-        code = std::strtol(std::string(ent.substr(2)).c_str(), nullptr, 16);
-      } else {
-        code = std::strtol(std::string(ent.substr(1)).c_str(), nullptr, 10);
+      const auto [ptr, ec] = std::from_chars(
+          digits.data(), digits.data() + digits.size(), code, hex ? 16 : 10);
+      if (ec != std::errc() || ptr != digits.data() + digits.size()) {
+        return false;
       }
       if (code <= 0 || code > 0x10ffff) return false;
       // Minimal UTF-8 encoder; the benchmark document is 7-bit ASCII

@@ -1,0 +1,239 @@
+// Unit tests for the zero-copy storage access layer: TextView,
+// AppendStringValue, AttributeView and ChildCursor on every physical
+// mapping, over documents exercising empty elements, mixed content and
+// entity-decoded text.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "query/storage.h"
+#include "store/dom_store.h"
+#include "store/edge_store.h"
+#include "store/fragmented_store.h"
+#include "store/inlined_store.h"
+#include "util/logging.h"
+
+namespace xmark::query {
+namespace {
+
+constexpr std::string_view kDoc = R"(<root>
+  <empty/>
+  <mixed>alpha<b>bold</b> tail</mixed>
+  <ent>a &amp; b &#65;&#x42;</ent>
+  <item id="i1" cat="gold"><price>10</price></item>
+  <item id="i2"><price>20</price><price>30</price></item>
+</root>)";
+
+using StoreFactory = std::unique_ptr<StorageAdapter> (*)(std::string_view);
+
+std::unique_ptr<StorageAdapter> MakeEdge(std::string_view xml) {
+  auto s = store::EdgeStore::Load(xml);
+  XMARK_CHECK(s.ok());
+  return std::move(s).value();
+}
+std::unique_ptr<StorageAdapter> MakeFragmented(std::string_view xml) {
+  auto s = store::FragmentedStore::Load(xml);
+  XMARK_CHECK(s.ok());
+  return std::move(s).value();
+}
+std::unique_ptr<StorageAdapter> MakeInlined(std::string_view xml) {
+  auto s = store::InlinedStore::Load(xml);
+  XMARK_CHECK(s.ok());
+  return std::move(s).value();
+}
+std::unique_ptr<StorageAdapter> MakeDom(std::string_view xml) {
+  store::DomStore::Options options;
+  auto s = store::DomStore::Load(xml, options);
+  XMARK_CHECK(s.ok());
+  return std::move(s).value();
+}
+
+struct StoreCase {
+  const char* name;
+  StoreFactory factory;
+};
+
+class StoreAccessTest : public ::testing::TestWithParam<StoreCase> {
+ protected:
+  void SetUp() override { store_ = GetParam().factory(kDoc); }
+
+  // First child element of `base` with the given tag (via the generic
+  // navigation chain, deliberately not the cursor under test).
+  NodeHandle ChildByTag(NodeHandle base, std::string_view tag) {
+    const xml::NameId id = store_->names().Lookup(tag);
+    for (NodeHandle c = store_->FirstChild(base); c != kInvalidHandle;
+         c = store_->NextSibling(c)) {
+      if (store_->IsElement(c) && store_->NameOf(c) == id) return c;
+    }
+    return kInvalidHandle;
+  }
+
+  // Drains a cursor fully with a small batch to exercise refills.
+  std::vector<NodeHandle> Drain(NodeHandle parent, ChildFilter filter,
+                                xml::NameId tag) {
+    ChildCursor cur;
+    store_->OpenChildCursor(parent, filter, tag, &cur);
+    std::vector<NodeHandle> out;
+    NodeHandle buf[3];
+    size_t n;
+    while ((n = cur.Fill(buf, 3)) > 0) out.insert(out.end(), buf, buf + n);
+    return out;
+  }
+
+  std::unique_ptr<StorageAdapter> store_;
+};
+
+TEST_P(StoreAccessTest, TextViewMatchesText) {
+  const NodeHandle mixed = ChildByTag(store_->Root(), "mixed");
+  ASSERT_NE(mixed, kInvalidHandle);
+  const NodeHandle text = store_->FirstChild(mixed);
+  ASSERT_NE(text, kInvalidHandle);
+  ASSERT_FALSE(store_->IsElement(text));
+  EXPECT_EQ(store_->TextView(text), "alpha");
+  EXPECT_EQ(store_->Text(text), std::string(store_->TextView(text)));
+}
+
+TEST_P(StoreAccessTest, EmptyElement) {
+  const NodeHandle empty = ChildByTag(store_->Root(), "empty");
+  ASSERT_NE(empty, kInvalidHandle);
+  EXPECT_EQ(store_->FirstChild(empty), kInvalidHandle);
+  EXPECT_EQ(store_->StringValue(empty), "");
+  std::string buf = "prefix-";
+  store_->AppendStringValue(empty, &buf);
+  EXPECT_EQ(buf, "prefix-");
+  EXPECT_TRUE(Drain(empty, ChildFilter::kAll, xml::kInvalidName).empty());
+}
+
+TEST_P(StoreAccessTest, MixedContentStringValue) {
+  const NodeHandle mixed = ChildByTag(store_->Root(), "mixed");
+  ASSERT_NE(mixed, kInvalidHandle);
+  EXPECT_EQ(store_->StringValue(mixed), "alphabold tail");
+  // Append-style reuse of one scratch buffer.
+  std::string scratch = "x:";
+  store_->AppendStringValue(mixed, &scratch);
+  EXPECT_EQ(scratch, "x:alphabold tail");
+}
+
+TEST_P(StoreAccessTest, EntityDecodedText) {
+  const NodeHandle ent = ChildByTag(store_->Root(), "ent");
+  ASSERT_NE(ent, kInvalidHandle);
+  EXPECT_EQ(store_->StringValue(ent), "a & b AB");
+  const NodeHandle text = store_->FirstChild(ent);
+  ASSERT_NE(text, kInvalidHandle);
+  EXPECT_EQ(store_->TextView(text), "a & b AB");
+}
+
+TEST_P(StoreAccessTest, LeadingZeroCharRefs) {
+  // XML permits leading zeros in numeric character references.
+  auto store = GetParam().factory("<r>&#0000065;&#x00042;</r>");
+  EXPECT_EQ(store->StringValue(store->Root()), "AB");
+}
+
+TEST_P(StoreAccessTest, AttributeView) {
+  const NodeHandle item = ChildByTag(store_->Root(), "item");
+  ASSERT_NE(item, kInvalidHandle);
+  const auto id = store_->AttributeView(item, "id");
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(*id, "i1");
+  const auto cat = store_->AttributeView(item, "cat");
+  ASSERT_TRUE(cat.has_value());
+  EXPECT_EQ(*cat, "gold");
+  EXPECT_FALSE(store_->AttributeView(item, "absent").has_value());
+  // The materializing wrapper agrees.
+  EXPECT_EQ(store_->Attribute(item, "id"), std::string("i1"));
+  EXPECT_FALSE(store_->Attribute(item, "absent").has_value());
+}
+
+TEST_P(StoreAccessTest, CursorMatchesSiblingChain) {
+  // Every filter on every element produces exactly what the generic
+  // FirstChild/NextSibling walk produces.
+  std::vector<NodeHandle> stack{store_->Root()};
+  while (!stack.empty()) {
+    const NodeHandle n = stack.back();
+    stack.pop_back();
+    if (!store_->IsElement(n)) continue;
+    std::vector<NodeHandle> chain_all, chain_elems, chain_text;
+    for (NodeHandle c = store_->FirstChild(n); c != kInvalidHandle;
+         c = store_->NextSibling(c)) {
+      chain_all.push_back(c);
+      (store_->IsElement(c) ? chain_elems : chain_text).push_back(c);
+      stack.push_back(c);
+    }
+    EXPECT_EQ(Drain(n, ChildFilter::kAll, xml::kInvalidName), chain_all);
+    EXPECT_EQ(Drain(n, ChildFilter::kElements, xml::kInvalidName),
+              chain_elems);
+    EXPECT_EQ(Drain(n, ChildFilter::kText, xml::kInvalidName), chain_text);
+    for (NodeHandle c : chain_elems) {
+      const xml::NameId tag = store_->NameOf(c);
+      std::vector<NodeHandle> chain_tag;
+      for (NodeHandle d : chain_elems) {
+        if (store_->NameOf(d) == tag) chain_tag.push_back(d);
+      }
+      EXPECT_EQ(Drain(n, ChildFilter::kTag, tag), chain_tag);
+    }
+  }
+}
+
+TEST_P(StoreAccessTest, TagFilteredCursor) {
+  const xml::NameId item = store_->names().Lookup("item");
+  ASSERT_NE(item, xml::kInvalidName);
+  const auto items = Drain(store_->Root(), ChildFilter::kTag, item);
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_EQ(store_->AttributeView(items[0], "id"), "i1");
+  EXPECT_EQ(store_->AttributeView(items[1], "id"), "i2");
+}
+
+TEST_P(StoreAccessTest, UnknownTagCursorIsEmpty) {
+  // kTag with kInvalidName must not leak text nodes (whose NameOf is also
+  // kInvalidName).
+  EXPECT_TRUE(
+      Drain(ChildByTag(store_->Root(), "mixed"), ChildFilter::kTag,
+            xml::kInvalidName)
+          .empty());
+}
+
+TEST_P(StoreAccessTest, CursorBatchRefill) {
+  // A child list longer than any Fill batch drains correctly across
+  // refills.
+  std::string doc = "<wide>";
+  for (int i = 0; i < 150; ++i) doc += "<c/><d/>";
+  doc += "</wide>";
+  auto store = GetParam().factory(doc);
+  const xml::NameId c_tag = store->names().Lookup("c");
+  ChildCursor cur;
+  store->OpenChildCursor(store->Root(), ChildFilter::kTag, c_tag, &cur);
+  std::vector<NodeHandle> out;
+  NodeHandle buf[64];
+  size_t n;
+  while ((n = cur.Fill(buf, 64)) > 0) out.insert(out.end(), buf, buf + n);
+  ASSERT_EQ(out.size(), 150u);
+  for (NodeHandle h : out) EXPECT_EQ(store->NameOf(h), c_tag);
+  // Document order.
+  for (size_t i = 1; i < out.size(); ++i) EXPECT_LT(out[i - 1], out[i]);
+}
+
+TEST(EntityLimits, OverlongNumericRefRejected) {
+  // More digits than any code point <= 0x10ffff needs (after stripping
+  // leading zeros) is a malformed reference, not a silent clamp.
+  EXPECT_FALSE(xml::Document::Parse("<r>&#99999999;</r>").ok());
+  EXPECT_FALSE(xml::Document::Parse("<r>&#x1234567;</r>").ok());
+  EXPECT_FALSE(xml::Document::Parse("<r>&#;</r>").ok());
+  EXPECT_FALSE(xml::Document::Parse("<r>&#0;</r>").ok());
+  EXPECT_TRUE(xml::Document::Parse("<r>&#0000065;</r>").ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStores, StoreAccessTest,
+    ::testing::Values(StoreCase{"edge", &MakeEdge},
+                      StoreCase{"fragmented", &MakeFragmented},
+                      StoreCase{"inlined", &MakeInlined},
+                      StoreCase{"dom", &MakeDom}),
+    [](const ::testing::TestParamInfo<StoreCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace xmark::query

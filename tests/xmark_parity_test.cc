@@ -1,0 +1,143 @@
+// Cross-store parity: the serialized results of Q1-Q20 must be
+// byte-identical across all four physical mappings, with the zero-copy
+// storage-access fast paths (view-based comparisons + child cursors) on
+// and off. Also pins the Q1 acceptance property: with fast paths on, the
+// equality predicate path performs no per-node string materialization.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "gen/generator.h"
+#include "query/evaluator.h"
+#include "query/parser.h"
+#include "query/value.h"
+#include "util/logging.h"
+#include "xmark/engine.h"
+#include "xmark/queries.h"
+
+namespace xmark::bench {
+namespace {
+
+const std::string& TestDocument() {
+  static const std::string* const kDoc = [] {
+    gen::GeneratorOptions opts;
+    opts.scale = 0.01;
+    return new std::string(gen::XmlGen(opts).GenerateToString());
+  }();
+  return *kDoc;
+}
+
+// The four physical mappings: A=edge, B=fragmented, C=inlined, D=dom.
+constexpr SystemId kStores[] = {SystemId::kA, SystemId::kB, SystemId::kC,
+                                SystemId::kD};
+
+Engine* LoadedEngine(SystemId id) {
+  static std::map<SystemId, std::unique_ptr<Engine>>* const kEngines =
+      new std::map<SystemId, std::unique_ptr<Engine>>();
+  auto it = kEngines->find(id);
+  if (it == kEngines->end()) {
+    auto engine = Engine::Create(id);
+    Status st = engine->Load(TestDocument());
+    XMARK_CHECK(st.ok());
+    it = kEngines->emplace(id, std::move(engine)).first;
+  }
+  return it->second.get();
+}
+
+std::string RunSerialized(SystemId id, int query, bool fast_paths) {
+  Engine* engine = LoadedEngine(id);
+  auto parsed = query::ParseQueryText(GetQuery(query).text);
+  XMARK_CHECK(parsed.ok());
+  query::EvaluatorOptions opts = engine->evaluator_options();
+  opts.zero_copy_strings = fast_paths;
+  opts.child_cursors = fast_paths;
+  query::Evaluator evaluator(engine->store(), opts);
+  auto result = evaluator.Run(*parsed);
+  XMARK_CHECK(result.ok());
+  return SerializeSequence(*result);
+}
+
+class ParityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParityTest, ByteIdenticalAcrossStoresAndFastPaths) {
+  const int query = GetParam();
+  // Reference: the native DOM store with every fast path disabled.
+  const std::string reference = RunSerialized(SystemId::kD, query, false);
+  for (SystemId id : kStores) {
+    for (bool fast : {false, true}) {
+      const std::string got = RunSerialized(id, query, fast);
+      EXPECT_EQ(got, reference)
+          << "system " << SystemLabel(id) << " Q" << query
+          << (fast ? " with" : " without") << " fast paths diverges";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, ParityTest, ::testing::Range(1, 21));
+
+// Acceptance property of the zero-copy layer: Q1's [@id = "..."] equality
+// path resolves entirely through attribute views — zero per-node string
+// materializations on every store.
+TEST(ZeroCopyStats, Q1EqualityPathMaterializesNothing) {
+  for (SystemId id : kStores) {
+    Engine* engine = LoadedEngine(id);
+    auto parsed = query::ParseQueryText(GetQuery(1).text);
+    ASSERT_TRUE(parsed.ok());
+    query::EvaluatorOptions opts = engine->evaluator_options();
+    opts.zero_copy_strings = true;
+    opts.child_cursors = true;
+    query::Evaluator evaluator(engine->store(), opts);
+    auto result = evaluator.Run(*parsed);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(evaluator.stats().compare_allocs, 0)
+        << "system " << SystemLabel(id)
+        << " materialized strings on the Q1 equality path";
+  }
+}
+
+// Navigation inside constructed elements is Unimplemented; the streaming
+// fast paths must surface the same error instead of silently returning
+// false/empty.
+TEST(ZeroCopyStats, ConstructedNavigationErrorsMatchGenericPath) {
+  Engine* engine = LoadedEngine(SystemId::kD);
+  // `name` must be a tag the store's dictionary knows, or both paths
+  // short-circuit to an empty step result before touching the item.
+  auto parsed = query::ParseQueryText(
+      "for $v in <x><name>1</name></x> return $v/name = \"1\"");
+  ASSERT_TRUE(parsed.ok());
+  for (bool fast : {false, true}) {
+    query::EvaluatorOptions opts = engine->evaluator_options();
+    opts.zero_copy_strings = fast;
+    opts.child_cursors = fast;
+    query::Evaluator evaluator(engine->store(), opts);
+    auto result = evaluator.Run(*parsed);
+    EXPECT_FALSE(result.ok())
+        << (fast ? "fast" : "generic")
+        << " path silently evaluated constructed-node navigation";
+  }
+}
+
+// The cursor fast path actually engages: Q6 (descendant walk) on the edge
+// store reports batched cursor scans.
+TEST(ZeroCopyStats, CursorScansReported) {
+  Engine* engine = LoadedEngine(SystemId::kA);
+  auto parsed = query::ParseQueryText(GetQuery(6).text);
+  ASSERT_TRUE(parsed.ok());
+  query::EvaluatorOptions opts = engine->evaluator_options();
+  opts.zero_copy_strings = true;
+  opts.child_cursors = true;
+  query::Evaluator evaluator(engine->store(), opts);
+  ASSERT_TRUE(evaluator.Run(*parsed).ok());
+  EXPECT_GT(evaluator.stats().cursor_scans, 0);
+
+  opts.child_cursors = false;
+  opts.zero_copy_strings = false;
+  query::Evaluator no_cursors(engine->store(), opts);
+  ASSERT_TRUE(no_cursors.Run(*parsed).ok());
+  EXPECT_EQ(no_cursors.stats().cursor_scans, 0);
+}
+
+}  // namespace
+}  // namespace xmark::bench
