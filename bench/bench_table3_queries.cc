@@ -26,14 +26,19 @@ namespace xmark::bench {
 namespace {
 
 // Zero-copy storage-access ablation on one engine: every query timed with
-// the view/cursor fast paths on vs off (the seed's per-access allocation
-// behavior), same store, same tree.
+// the view/cursor fast paths on, with only the descendant cursors off
+// (isolating the interval-encoded descendant scans), and with every fast
+// path off (the seed's per-access allocation behavior) — same store, same
+// tree.
 struct AblationResult {
   double fast_ms[20] = {};
+  double no_desc_ms[20] = {};  // descendant cursors off, rest on
   double slow_ms[20] = {};
   double fast_total = 0;
+  double no_desc_total = 0;
   double slow_total = 0;
   int64_t cursor_scans = 0;
+  int64_t descendant_scans = 0;
   int64_t allocations_avoided = 0;
   int64_t compare_allocs_fast = 0;
   int64_t compare_allocs_slow = 0;
@@ -44,15 +49,19 @@ AblationResult RunAblation(Engine* engine, int reps) {
   query::EvaluatorOptions fast = engine->evaluator_options();
   fast.zero_copy_strings = true;
   fast.child_cursors = true;
-  query::EvaluatorOptions slow = fast;
+  fast.descendant_cursors = true;
+  query::EvaluatorOptions no_desc = fast;
+  no_desc.descendant_cursors = false;
+  query::EvaluatorOptions slow = no_desc;
   slow.zero_copy_strings = false;
   slow.child_cursors = false;
 
   for (int q = 1; q <= 20; ++q) {
     auto parsed = query::ParseQueryText(GetQuery(q).text);
     XMARK_CHECK(parsed.ok());
-    for (int variant = 0; variant < 2; ++variant) {
-      const query::EvaluatorOptions& opts = variant == 0 ? fast : slow;
+    for (int variant = 0; variant < 3; ++variant) {
+      const query::EvaluatorOptions& opts =
+          variant == 0 ? fast : (variant == 1 ? no_desc : slow);
       query::Evaluator evaluator(engine->store(), opts);
       double best = 0;
       for (int r = 0; r < reps; ++r) {
@@ -66,8 +75,12 @@ AblationResult RunAblation(Engine* engine, int reps) {
         out.fast_ms[q - 1] = best;
         out.fast_total += best;
         out.cursor_scans += evaluator.stats().cursor_scans;
+        out.descendant_scans += evaluator.stats().descendant_scans;
         out.allocations_avoided += evaluator.stats().allocations_avoided;
         out.compare_allocs_fast += evaluator.stats().compare_allocs;
+      } else if (variant == 1) {
+        out.no_desc_ms[q - 1] = best;
+        out.no_desc_total += best;
       } else {
         out.slow_ms[q - 1] = best;
         out.slow_total += best;
@@ -125,6 +138,7 @@ int Main(int argc, char** argv) {
       query::EvaluatorOptions opts = engine->evaluator_options();
       opts.zero_copy_strings = false;
       opts.child_cursors = false;
+      opts.descendant_cursors = false;
       engine->set_evaluator_options(opts);
     }
   }
@@ -211,20 +225,25 @@ int Main(int argc, char** argv) {
   if (!json) {
     std::printf("\n--- zero-copy ablation: edge store, Q1-Q20, best of %d ---\n",
                 ablation_reps);
-    TablePrinter at({"Query", "fast (ms)", "no fast paths (ms)", "speedup"});
+    TablePrinter at({"Query", "fast (ms)", "no desc cursors (ms)",
+                     "no fast paths (ms)", "speedup"});
     for (int q = 1; q <= 20; ++q) {
       at.AddRow({StringPrintf("Q%d", q),
                  StringPrintf("%.2f", ab.fast_ms[q - 1]),
+                 StringPrintf("%.2f", ab.no_desc_ms[q - 1]),
                  StringPrintf("%.2f", ab.slow_ms[q - 1]),
                  StringPrintf("%.2fx", ab.slow_ms[q - 1] /
                                            std::max(0.001, ab.fast_ms[q - 1]))});
     }
     std::printf("%s", at.ToString().c_str());
-    std::printf("total: %.1f ms -> %.1f ms (%.1f%% reduction)\n",
-                ab.slow_total, ab.fast_total, reduction);
-    std::printf("stats: %lld cursor scans, %lld allocations avoided, "
+    std::printf("total: %.1f ms -> %.1f ms (no desc cursors %.1f ms; "
+                "%.1f%% reduction)\n",
+                ab.slow_total, ab.fast_total, ab.no_desc_total, reduction);
+    std::printf("stats: %lld cursor scans, %lld descendant scans, "
+                "%lld allocations avoided, "
                 "compare-path materializations %lld -> %lld\n",
                 static_cast<long long>(ab.cursor_scans),
+                static_cast<long long>(ab.descendant_scans),
                 static_cast<long long>(ab.allocations_avoided),
                 static_cast<long long>(ab.compare_allocs_slow),
                 static_cast<long long>(ab.compare_allocs_fast));
@@ -262,14 +281,17 @@ int Main(int argc, char** argv) {
       w.BeginObject();
       w.Key("query").Value(q);
       w.Key("fast_ms").Value(ab.fast_ms[q - 1]);
+      w.Key("no_descendant_cursors_ms").Value(ab.no_desc_ms[q - 1]);
       w.Key("no_fastpath_ms").Value(ab.slow_ms[q - 1]);
       w.EndObject();
     }
     w.EndArray();
     w.Key("fast_total_ms").Value(ab.fast_total);
+    w.Key("no_descendant_cursors_total_ms").Value(ab.no_desc_total);
     w.Key("no_fastpath_total_ms").Value(ab.slow_total);
     w.Key("reduction_pct").Value(reduction);
     w.Key("cursor_scans").Value(ab.cursor_scans);
+    w.Key("descendant_scans").Value(ab.descendant_scans);
     w.Key("allocations_avoided").Value(ab.allocations_avoided);
     w.Key("compare_allocs_fast").Value(ab.compare_allocs_fast);
     w.Key("compare_allocs_no_fastpath").Value(ab.compare_allocs_slow);

@@ -81,7 +81,12 @@ struct Evaluator::JoinPlan {
 
 struct Evaluator::JoinCache {
   std::vector<Item> bindings;
-  std::unordered_multimap<std::string, size_t> index;
+  // Transparent hash/eq (ROADMAP "Heterogeneous hash-join keys"): probes
+  // pass the key as a string_view straight out of the store heap, so the
+  // per-probe std::string the seed built on Q8/Q9 is gone.
+  std::unordered_multimap<std::string, size_t, TransparentStringHash,
+                          std::equal_to<>>
+      index;
 };
 
 namespace {
@@ -569,7 +574,26 @@ Status Evaluator::ApplyStep(const Step& step, const Sequence& input,
       }
     } else {  // descendant
       bool used_index = false;
-      if (options_.use_tag_index && step.test == Step::Test::kName) {
+      if (options_.descendant_cursors) {
+        // Interval-encoded scan: the store walks its physical encoding of
+        // the subtree interval (id range, tag-index slice, path-table
+        // slices) and applies the node test in place — one clustered range
+        // scan instead of a DFS of per-element child scans.
+        used_index = true;
+        DescendantCursor cur;
+        store_->OpenDescendantCursor(base, filter, want, &cur);
+        ++stats_.descendant_scans;
+        NodeHandle buf[kBatch];
+        size_t n;
+        while ((n = cur.Fill(buf, kBatch)) > 0) {
+          stats_.nodes_visited += static_cast<int64_t>(n);
+          for (size_t i = 0; i < n; ++i) {
+            group.push_back(Item(NodeRef{store_, buf[i]}));
+          }
+        }
+      }
+      if (!used_index && options_.use_tag_index &&
+          step.test == Step::Test::kName) {
         auto from_index = store_->DescendantsByTag(base, want);
         if (from_index.has_value()) {
           ++stats_.index_lookups;
@@ -860,7 +884,19 @@ StatusOr<Sequence> Evaluator::EvalHashJoin(const AstNode& node,
                          Eval(*plan.outer_key, env, focus));
   std::vector<size_t> matches;
   for (const Item& k : probe_keys) {
-    auto [begin, end] = cache->index.equal_range(ItemStringValue(k));
+    // Allocation-free probe: the key is consumed as a view (text nodes and
+    // attribute strings never materialize; element string-values reuse the
+    // member scratch buffer) and hashed transparently.
+    bool materialized = false;
+    const std::string_view key = ItemStringView(k, &cmp_scratch_a_,
+                                                &materialized);
+    ++stats_.join_probes;
+    if (materialized) {
+      ++stats_.join_probe_allocs;
+    } else {
+      ++stats_.allocations_avoided;
+    }
+    auto [begin, end] = cache->index.equal_range(key);
     for (auto m = begin; m != end; ++m) matches.push_back(m->second);
   }
   std::sort(matches.begin(), matches.end());

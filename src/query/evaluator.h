@@ -43,6 +43,10 @@ struct EvaluatorOptions {
   /// Walk child steps through batched, tag-filtered store cursors instead
   /// of a virtual FirstChild/NextSibling call pair per node.
   bool child_cursors = true;
+  /// Walk descendant steps through batched, interval-encoded store cursors
+  /// (one clustered range scan per input node) instead of the generic DFS
+  /// or a materialized DescendantsByTag vector.
+  bool descendant_cursors = true;
 };
 
 /// Tree-walking XQuery-subset evaluator over a StorageAdapter.
@@ -68,8 +72,11 @@ class Evaluator {
     int64_t hash_joins_built = 0;    // decorrelated inner loops
     int64_t index_lookups = 0;       // id/tag/path index hits
     int64_t cursor_scans = 0;        // batched child scans opened
+    int64_t descendant_scans = 0;    // batched descendant scans opened
     int64_t allocations_avoided = 0; // per-node strings skipped via views
     int64_t compare_allocs = 0;      // strings materialized on compare paths
+    int64_t join_probes = 0;         // hash-join index probes
+    int64_t join_probe_allocs = 0;   // probe keys that materialized a string
   };
   const Stats& stats() const { return stats_; }
 

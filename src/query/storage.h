@@ -88,6 +88,48 @@ class ChildCursor {
   uint64_t u2 = 0;
 };
 
+/// Reusable, allocation-free cursor over the (optionally filtered)
+/// descendants of one node, in document order, excluding the node itself.
+/// Opened through StorageAdapter::OpenDescendantCursor. Every store's
+/// handles are preorder ids, so a subtree is the contiguous handle interval
+/// (base, subtree_end) and each store scans whatever physical encoding of
+/// that interval it keeps: the edge relation's subtree_end_ array, the
+/// native document's dense preorder node table, the fragmented mapping's
+/// path-table slices, or (for stores without interval structures) a
+/// stack-free preorder walk over the sibling/parent links. The evaluator
+/// drains it in batches, replacing the seed's one-ChildCursor-per-element
+/// DFS on `//tag` steps with one clustered range scan.
+class DescendantCursor {
+ public:
+  /// Copies up to `cap` matching descendant handles into `out` in document
+  /// order; returns the number written. 0 signals exhaustion.
+  inline size_t Fill(NodeHandle* out, size_t cap);
+
+  /// Fills the header fields and zeroes the state words. Returns false for
+  /// the trivially empty kTag-with-unknown-tag scan (same guard as
+  /// ChildCursor::Init). Every OpenDescendantCursor implementation starts
+  /// here.
+  bool Init(const StorageAdapter* s, NodeHandle b, ChildFilter f,
+            xml::NameId t) {
+    store = s;
+    base = b;
+    filter = f;
+    tag = t;
+    u0 = u1 = u2 = 0;
+    return !(f == ChildFilter::kTag && t == xml::kInvalidName);
+  }
+
+  // --- cursor state, written by the owning store ------------------------
+  const StorageAdapter* store = nullptr;
+  NodeHandle base = kInvalidHandle;
+  ChildFilter filter = ChildFilter::kAll;
+  xml::NameId tag = xml::kInvalidName;  // for ChildFilter::kTag
+  // Store-interpreted words (id intervals, slice bounds, walk positions).
+  uint64_t u0 = 0;
+  uint64_t u1 = 0;
+  uint64_t u2 = 0;
+};
+
 /// Abstract physical XML mapping. The query evaluator is written entirely
 /// against this interface; the systems of the paper's evaluation (A-G)
 /// differ in how they implement it (edge table, fragmented tables,
@@ -196,6 +238,43 @@ class StorageAdapter {
     return n;
   }
 
+  // --- Batched descendant scans -----------------------------------------
+
+  /// Positions `cur` at the start of `base`'s descendant set (excluding
+  /// `base`), restricted to `filter`. The default implementation walks the
+  /// subtree with the FirstChild/NextSibling/Parent links — stack-free, so
+  /// the cursor needs no heap state; stores with interval encodings
+  /// override both hooks to scan their physical layout directly.
+  virtual void OpenDescendantCursor(NodeHandle base, ChildFilter filter,
+                                    xml::NameId tag,
+                                    DescendantCursor* cur) const {
+    cur->u0 = cur->Init(this, base, filter, tag) ? FirstChild(base)
+                                                 : kInvalidHandle;
+  }
+
+  /// Advances `cur`, writing up to `cap` handles into `out` in document
+  /// order; returns the count (0 = exhausted). Called through
+  /// DescendantCursor::Fill.
+  virtual size_t AdvanceDescendantCursor(DescendantCursor* cur,
+                                         NodeHandle* out, size_t cap) const {
+    size_t n = 0;
+    NodeHandle c = cur->u0;
+    while (n < cap && c != kInvalidHandle) {
+      if (MatchesChildFilter(cur->filter, NameOf(c), cur->tag)) out[n++] = c;
+      // Preorder successor within the subtree: first child, else the next
+      // sibling of the nearest ancestor at or below base (exclusive).
+      NodeHandle next = FirstChild(c);
+      while (next == kInvalidHandle && c != cur->base &&
+             c != kInvalidHandle) {
+        next = NextSibling(c);
+        if (next == kInvalidHandle) c = Parent(c);
+      }
+      c = (c == cur->base) ? kInvalidHandle : next;
+    }
+    cur->u0 = c;
+    return n;
+  }
+
   // --- Optional access paths -------------------------------------------
   // Engines advertise the physical structures their architecture provides;
   // the evaluator exploits them only when the engine's feature flags allow.
@@ -271,6 +350,10 @@ class StorageAdapter {
 
 inline size_t ChildCursor::Fill(NodeHandle* out, size_t cap) {
   return store == nullptr ? 0 : store->AdvanceChildCursor(this, out, cap);
+}
+
+inline size_t DescendantCursor::Fill(NodeHandle* out, size_t cap) {
+  return store == nullptr ? 0 : store->AdvanceDescendantCursor(this, out, cap);
 }
 
 }  // namespace xmark::query

@@ -97,8 +97,63 @@ std::vector<std::pair<std::string, std::string>> DomStore::Attributes(
 }
 
 query::NodeHandle DomStore::NodeById(std::string_view id) const {
-  const auto it = id_index_.find(std::string(id));
+  const auto it = id_index_.find(id);
   return it == id_index_.end() ? query::kInvalidHandle : it->second;
+}
+
+void DomStore::OpenDescendantCursor(query::NodeHandle base,
+                                    query::ChildFilter filter, xml::NameId tag,
+                                    query::DescendantCursor* cur) const {
+  if (!cur->Init(this, base, filter, tag)) return;  // u0 == u1: exhausted
+  const xml::NodeId end = doc_.SubtreeEnd(static_cast<xml::NodeId>(base));
+  if (filter == query::ChildFilter::kTag && options_.build_tag_index) {
+    // Tag-index slice: the extent entries inside the subtree interval. The
+    // resolved extent vector rides along in u2 (stable for the store's
+    // lifetime) so Advance never repeats the hash probe; u2 == 1 marks an
+    // absent tag, whose empty u0 == u1 slice never dereferences it.
+    cur->u2 = 1;
+    const auto it = tag_index_.find(tag);
+    if (it == tag_index_.end()) return;  // tag absent: empty slice
+    const auto& handles = it->second;
+    cur->u2 = reinterpret_cast<uint64_t>(&handles);
+    cur->u0 = static_cast<uint64_t>(
+        std::lower_bound(handles.begin(), handles.end(), base + 1) -
+        handles.begin());
+    cur->u1 = static_cast<uint64_t>(
+        std::lower_bound(handles.begin(), handles.end(),
+                         static_cast<query::NodeHandle>(end)) -
+        handles.begin());
+    return;
+  }
+  // Dense preorder scan over the node table.
+  cur->u0 = base + 1;
+  cur->u1 = end;
+}
+
+size_t DomStore::AdvanceDescendantCursor(query::DescendantCursor* cur,
+                                         query::NodeHandle* out,
+                                         size_t cap) const {
+  size_t n = 0;
+  if (cur->u2 != 0) {  // tag-index slice
+    size_t pos = static_cast<size_t>(cur->u0);
+    const size_t end = static_cast<size_t>(cur->u1);
+    if (pos >= end) return 0;  // also guards the u2 == 1 absent-tag marker
+    const auto& handles =
+        *reinterpret_cast<const std::vector<query::NodeHandle>*>(cur->u2);
+    while (n < cap && pos < end) out[n++] = handles[pos++];
+    cur->u0 = pos;
+    return n;
+  }
+  xml::NodeId id = static_cast<xml::NodeId>(cur->u0);
+  const xml::NodeId end = static_cast<xml::NodeId>(cur->u1);
+  while (n < cap && id < end) {
+    if (query::MatchesChildFilter(cur->filter, doc_.name(id), cur->tag)) {
+      out[n++] = id;
+    }
+    ++id;
+  }
+  cur->u0 = id;
+  return n;
 }
 
 const std::vector<query::NodeHandle>* DomStore::NodesByTag(

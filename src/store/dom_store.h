@@ -8,6 +8,7 @@
 
 #include "query/storage.h"
 #include "util/status.h"
+#include "util/string_util.h"
 #include "xml/dom.h"
 
 namespace xmark::store {
@@ -75,6 +76,15 @@ class DomStore : public query::StorageAdapter {
                        query::ChildCursor* cur) const override;
   size_t AdvanceChildCursor(query::ChildCursor* cur, query::NodeHandle* out,
                             size_t cap) const override;
+  // Preorder ids make the subtree the id interval (n, SubtreeEnd(n)): a
+  // tag-filtered scan slices the tag index when one was built, otherwise it
+  // streams the dense node table across that interval.
+  void OpenDescendantCursor(query::NodeHandle base, query::ChildFilter filter,
+                            xml::NameId tag,
+                            query::DescendantCursor* cur) const override;
+  size_t AdvanceDescendantCursor(query::DescendantCursor* cur,
+                                 query::NodeHandle* out,
+                                 size_t cap) const override;
   bool Before(query::NodeHandle a, query::NodeHandle b) const override {
     return a < b;
   }
@@ -126,7 +136,10 @@ class DomStore : public query::StorageAdapter {
   xml::Document doc_;
   Options options_;
   std::unordered_map<xml::NameId, std::vector<query::NodeHandle>> tag_index_;
-  std::unordered_map<std::string, query::NodeHandle> id_index_;
+  // Transparent hash/eq: NodeById probes with the caller's string_view.
+  std::unordered_map<std::string, query::NodeHandle, TransparentStringHash,
+                     std::equal_to<>>
+      id_index_;
   std::vector<SummaryNode> summary_;  // [0] is the root path
 };
 

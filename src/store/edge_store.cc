@@ -71,10 +71,28 @@ StatusOr<std::unique_ptr<EdgeStore>> EdgeStore::Load(std::string_view xml) {
     const uint32_t parent = store->rows_[pos].parent;
     if (parent != kNoParent) store->child_begin_[parent] = pos;
   }
+  // Subtree intervals: ids are preorder, so descendants of i are exactly
+  // the ids in (i, subtree_end_[i]). One ascending pass: a subtree ends at
+  // the node's next sibling, or where its parent's subtree ends (parents
+  // precede children in preorder, so the recurrence resolves in order).
+  store->subtree_end_.resize(n);
+  for (xml::NodeId i = 0; i < n; ++i) {
+    const xml::NodeId sib = doc.next_sibling(i);
+    store->subtree_end_[i] =
+        sib != xml::kInvalidNode
+            ? sib
+            : (doc.parent(i) == xml::kInvalidNode
+                   ? static_cast<uint32_t>(n)
+                   : store->subtree_end_[doc.parent(i)]);
+  }
   std::stable_sort(store->attrs_.begin(), store->attrs_.end(),
             [](const AttrRow& a, const AttrRow& b) {
               return a.owner < b.owner;
             });
+  store->attr_begin_.assign(n, static_cast<uint32_t>(store->attrs_.size()));
+  for (uint32_t pos = store->attrs_.size(); pos-- > 0;) {
+    store->attr_begin_[store->attrs_[pos].owner] = pos;
+  }
   std::sort(store->id_value_index_.begin(), store->id_value_index_.end());
   store->root_ = doc.root();
   return store;
@@ -138,13 +156,10 @@ std::optional<std::string_view> EdgeStore::AttributeView(
     query::NodeHandle n, std::string_view name) const {
   const xml::NameId id = names_.Lookup(name);
   if (id == xml::kInvalidName) return std::nullopt;
-  auto it = std::lower_bound(attrs_.begin(), attrs_.end(), n,
-                             [](const AttrRow& row, uint64_t owner) {
-                               return row.owner < owner;
-                             });
-  for (; it != attrs_.end() && it->owner == n; ++it) {
-    if (it->name == id) {
-      return HeapString(it->value_begin, it->value_len);
+  for (size_t i = attr_begin_[n]; i < attrs_.size() && attrs_[i].owner == n;
+       ++i) {
+    if (attrs_[i].name == id) {
+      return HeapString(attrs_[i].value_begin, attrs_[i].value_len);
     }
   }
   return std::nullopt;
@@ -155,6 +170,16 @@ void EdgeStore::OpenChildCursor(query::NodeHandle parent,
                                 query::ChildCursor* cur) const {
   cur->u0 = cur->Init(this, parent, filter, tag) ? child_begin_[parent]
                                                  : rows_.size();
+}
+
+void EdgeStore::OpenDescendantCursor(query::NodeHandle base,
+                                     query::ChildFilter filter,
+                                     xml::NameId tag,
+                                     query::DescendantCursor* cur) const {
+  if (cur->Init(this, base, filter, tag)) {
+    cur->u0 = base + 1;
+    cur->u1 = subtree_end_[base];
+  }  // else u0 == u1 == 0: exhausted
 }
 
 size_t EdgeStore::AdvanceChildCursor(query::ChildCursor* cur,
@@ -173,16 +198,30 @@ size_t EdgeStore::AdvanceChildCursor(query::ChildCursor* cur,
   return n;
 }
 
+size_t EdgeStore::AdvanceDescendantCursor(query::DescendantCursor* cur,
+                                          query::NodeHandle* out,
+                                          size_t cap) const {
+  size_t id = static_cast<size_t>(cur->u0);
+  const size_t end = static_cast<size_t>(cur->u1);
+  size_t n = 0;
+  while (n < cap && id < end) {
+    if (query::MatchesChildFilter(cur->filter, RowOf(id).tag, cur->tag)) {
+      out[n++] = id;
+    }
+    ++id;
+  }
+  cur->u0 = id;
+  return n;
+}
+
 std::vector<std::pair<std::string, std::string>> EdgeStore::Attributes(
     query::NodeHandle n) const {
   std::vector<std::pair<std::string, std::string>> out;
-  auto it = std::lower_bound(attrs_.begin(), attrs_.end(), n,
-                             [](const AttrRow& row, uint64_t owner) {
-                               return row.owner < owner;
-                             });
-  for (; it != attrs_.end() && it->owner == n; ++it) {
-    out.emplace_back(std::string(names_.Spelling(it->name)),
-                     std::string(HeapString(it->value_begin, it->value_len)));
+  for (size_t i = attr_begin_[n]; i < attrs_.size() && attrs_[i].owner == n;
+       ++i) {
+    out.emplace_back(
+        std::string(names_.Spelling(attrs_[i].name)),
+        std::string(HeapString(attrs_[i].value_begin, attrs_[i].value_len)));
   }
   return out;
 }
@@ -203,7 +242,9 @@ size_t EdgeStore::StorageBytes() const {
   size_t bytes = rows_.capacity() * sizeof(EdgeRow) +
                  pos_of_id_.capacity() * sizeof(uint32_t) +
                  child_begin_.capacity() * sizeof(uint32_t) +
-                 attrs_.capacity() * sizeof(AttrRow) + heap_.capacity();
+                 subtree_end_.capacity() * sizeof(uint32_t) +
+                 attrs_.capacity() * sizeof(AttrRow) +
+                 attr_begin_.capacity() * sizeof(uint32_t) + heap_.capacity();
   for (const auto& [value, node] : id_value_index_) {
     bytes += value.size() + sizeof(node) + 16;
   }

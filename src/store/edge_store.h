@@ -49,6 +49,15 @@ class EdgeStore : public query::StorageAdapter {
                        query::ChildCursor* cur) const override;
   size_t AdvanceChildCursor(query::ChildCursor* cur, query::NodeHandle* out,
                             size_t cap) const override;
+  // Ids are preorder, so the subtree of n is the id interval
+  // (n, subtree_end_[n]): the descendant scan is one pass over that
+  // interval instead of a DFS of per-element child probes.
+  void OpenDescendantCursor(query::NodeHandle base, query::ChildFilter filter,
+                            xml::NameId tag,
+                            query::DescendantCursor* cur) const override;
+  size_t AdvanceDescendantCursor(query::DescendantCursor* cur,
+                                 query::NodeHandle* out,
+                                 size_t cap) const override;
   bool Before(query::NodeHandle a, query::NodeHandle b) const override {
     return a < b;
   }
@@ -94,7 +103,13 @@ class EdgeStore : public query::StorageAdapter {
   // (rows_.size() for leaves). Gives cursors O(1) positioning; built in
   // one pass over the sorted relation during bulkload.
   std::vector<uint32_t> child_begin_;
+  // id -> one past the last preorder id in its subtree; descendant scans
+  // walk the id interval (n, subtree_end_[n]) directly.
+  std::vector<uint32_t> subtree_end_;
   std::vector<AttrRow> attrs_;      // sorted by owner
+  // id -> position of its first attribute row (attrs_.size() when none):
+  // O(1) owner-row location instead of a binary search per probe.
+  std::vector<uint32_t> attr_begin_;
   std::string heap_;
   std::vector<std::pair<std::string, uint32_t>> id_value_index_;  // sorted
   xml::NameTable names_;

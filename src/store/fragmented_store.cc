@@ -88,6 +88,10 @@ StatusOr<std::unique_ptr<FragmentedStore>> FragmentedStore::Load(
             [](const AttrRow& a, const AttrRow& b) {
               return a.owner < b.owner;
             });
+  store->attr_begin_.assign(n, static_cast<uint32_t>(store->attrs_.size()));
+  for (uint32_t pos = store->attrs_.size(); pos-- > 0;) {
+    store->attr_begin_[store->attrs_[pos].owner] = pos;
+  }
   std::sort(store->id_value_index_.begin(), store->id_value_index_.end());
   store->root_ = doc.root();
   return store;
@@ -194,13 +198,11 @@ std::optional<std::string_view> FragmentedStore::AttributeView(
     query::NodeHandle n, std::string_view name) const {
   const xml::NameId id = names_.Lookup(name);
   if (id == xml::kInvalidName) return std::nullopt;
-  auto it = std::lower_bound(attrs_.begin(), attrs_.end(), n,
-                             [](const AttrRow& row, uint64_t owner) {
-                               return row.owner < owner;
-                             });
-  for (; it != attrs_.end() && it->owner == n; ++it) {
-    if (it->name == id) {
-      return std::string_view(heap_).substr(it->value_begin, it->value_len);
+  for (size_t i = attr_begin_[n]; i < attrs_.size() && attrs_[i].owner == n;
+       ++i) {
+    if (attrs_[i].name == id) {
+      return std::string_view(heap_).substr(attrs_[i].value_begin,
+                                            attrs_[i].value_len);
     }
   }
   return std::nullopt;
@@ -250,17 +252,137 @@ size_t FragmentedStore::AdvanceChildCursor(query::ChildCursor* cur,
   return n;
 }
 
+void FragmentedStore::OpenDescendantCursor(
+    query::NodeHandle base, query::ChildFilter filter, xml::NameId tag,
+    query::DescendantCursor* cur) const {
+  if (filter != query::ChildFilter::kTag &&
+      filter != query::ChildFilter::kText) {
+    // Generic filters merge across every child table per node; use the
+    // sibling/parent preorder walk of the base class.
+    query::StorageAdapter::OpenDescendantCursor(base, filter, tag, cur);
+    return;
+  }
+  if (!cur->Init(this, base, filter, tag)) {
+    cur->u2 = 1;  // single-slice mode, u0 == u1: exhausted
+    return;
+  }
+  const xml::NameId want =
+      filter == query::ChildFilter::kText ? text_tag_ : tag;
+  const auto it = paths_by_tag_.find(want);
+  const uint32_t lo = static_cast<uint32_t>(base) + 1;
+  const uint32_t hi = RowOf(base).subtree_end;
+  uint32_t only_path = 0;
+  size_t candidates = 0;
+  if (it != paths_by_tag_.end()) {
+    for (uint32_t path_id : it->second) {
+      if (!PathExtends(path_id, path_of_[base])) continue;
+      ++candidates;
+      only_path = path_id;
+      if (candidates > 1) break;
+    }
+  }
+  if (candidates == 1) {
+    // The common case: one path table carries the tag below base — its
+    // subtree slice is the whole answer, already in document order.
+    const auto [b, e] = Slice(paths_[only_path], lo, hi);
+    cur->u0 = b;
+    cur->u1 = e;
+    cur->u2 = static_cast<uint64_t>(only_path) << 1 | 1;
+    return;
+  }
+  if (candidates == 0) {
+    cur->u2 = 1;  // single-slice mode, empty
+    return;
+  }
+  // Merge mode (u2 == 0): document-order merge across the candidate path
+  // tables, tracked by the lower id bound alone.
+  cur->u0 = lo;
+  cur->u1 = hi;
+}
+
+size_t FragmentedStore::AdvanceDescendantCursor(query::DescendantCursor* cur,
+                                                query::NodeHandle* out,
+                                                size_t cap) const {
+  if (cur->filter != query::ChildFilter::kTag &&
+      cur->filter != query::ChildFilter::kText) {
+    return query::StorageAdapter::AdvanceDescendantCursor(cur, out, cap);
+  }
+  if (cur->u2 != 0) {  // single-slice mode
+    const PathInfo& path = paths_[cur->u2 >> 1];
+    size_t pos = static_cast<size_t>(cur->u0);
+    const size_t end = static_cast<size_t>(cur->u1);
+    size_t n = 0;
+    while (n < cap && pos < end) out[n++] = path.rows[pos++].id;
+    cur->u0 = pos;
+    return n;
+  }
+  // Merge mode: re-slice each candidate table from the current lower bound
+  // and emit the smallest front id until the batch is full. The fronts are
+  // per-call locals (stack-resident up to kInlineFronts candidate paths,
+  // the overwhelmingly common case), so the persistent state stays within
+  // the cursor words.
+  if (cap == 0) return 0;  // must not conflate "no room" with "exhausted"
+  const xml::NameId want =
+      cur->filter == query::ChildFilter::kText ? text_tag_ : cur->tag;
+  const uint32_t lo = static_cast<uint32_t>(cur->u0);
+  const uint32_t hi = static_cast<uint32_t>(cur->u1);
+  if (lo >= hi) return 0;
+  struct Front {
+    const PathInfo* path;
+    size_t pos;
+    size_t end;
+  };
+  constexpr size_t kInlineFronts = 8;
+  Front inline_fronts[kInlineFronts];
+  std::vector<Front> overflow_fronts;  // heap only beyond kInlineFronts
+  Front* fronts = inline_fronts;
+  size_t front_count = 0;
+  const auto it = paths_by_tag_.find(want);
+  XMARK_CHECK(it != paths_by_tag_.end());  // merge mode implies >= 2 paths
+  for (uint32_t path_id : it->second) {
+    if (!PathExtends(path_id, path_of_[static_cast<uint32_t>(cur->base)])) {
+      continue;
+    }
+    const PathInfo& p = paths_[path_id];
+    const auto [b, e] = Slice(p, lo, hi);
+    if (b == e) continue;
+    if (front_count == kInlineFronts && overflow_fronts.empty()) {
+      overflow_fronts.assign(inline_fronts, inline_fronts + front_count);
+    }
+    if (!overflow_fronts.empty()) {
+      overflow_fronts.push_back(Front{&p, b, e});
+      fronts = overflow_fronts.data();
+      front_count = overflow_fronts.size();
+    } else {
+      fronts[front_count++] = Front{&p, b, e};
+    }
+  }
+  size_t n = 0;
+  while (n < cap && front_count > 0) {
+    size_t best = 0;
+    for (size_t f = 1; f < front_count; ++f) {
+      if (fronts[f].path->rows[fronts[f].pos].id <
+          fronts[best].path->rows[fronts[best].pos].id) {
+        best = f;
+      }
+    }
+    out[n++] = fronts[best].path->rows[fronts[best].pos].id;
+    if (++fronts[best].pos == fronts[best].end) {
+      fronts[best] = fronts[--front_count];
+    }
+  }
+  cur->u0 = n > 0 ? static_cast<uint64_t>(out[n - 1]) + 1 : hi;
+  return n;
+}
+
 std::vector<std::pair<std::string, std::string>> FragmentedStore::Attributes(
     query::NodeHandle n) const {
   std::vector<std::pair<std::string, std::string>> out;
-  auto it = std::lower_bound(attrs_.begin(), attrs_.end(), n,
-                             [](const AttrRow& row, uint64_t owner) {
-                               return row.owner < owner;
-                             });
-  for (; it != attrs_.end() && it->owner == n; ++it) {
-    out.emplace_back(std::string(names_.Spelling(it->name)),
+  for (size_t i = attr_begin_[n]; i < attrs_.size() && attrs_[i].owner == n;
+       ++i) {
+    out.emplace_back(std::string(names_.Spelling(attrs_[i].name)),
                      std::string(std::string_view(heap_).substr(
-                         it->value_begin, it->value_len)));
+                         attrs_[i].value_begin, attrs_[i].value_len)));
   }
   return out;
 }
@@ -364,7 +486,8 @@ size_t FragmentedStore::StorageBytes() const {
   size_t bytes = heap_.capacity() +
                  path_of_.capacity() * sizeof(uint32_t) +
                  idx_in_path_.capacity() * sizeof(uint32_t) +
-                 attrs_.capacity() * sizeof(AttrRow);
+                 attrs_.capacity() * sizeof(AttrRow) +
+                 attr_begin_.capacity() * sizeof(uint32_t);
   for (const PathInfo& p : paths_) {
     bytes += sizeof(PathInfo) + p.rows.capacity() * sizeof(Row) +
              p.child_paths.capacity() * sizeof(uint32_t);

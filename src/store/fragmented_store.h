@@ -54,6 +54,16 @@ class FragmentedStore : public query::StorageAdapter {
                        query::ChildCursor* cur) const override;
   size_t AdvanceChildCursor(query::ChildCursor* cur, query::NodeHandle* out,
                             size_t cap) const override;
+  // Tag/text-filtered descendant scans slice the subtree interval out of
+  // the matching path tables (one slice when a single path carries the
+  // tag, a document-order merge across slices otherwise); generic filters
+  // fall back to the sibling/parent walk.
+  void OpenDescendantCursor(query::NodeHandle base, query::ChildFilter filter,
+                            xml::NameId tag,
+                            query::DescendantCursor* cur) const override;
+  size_t AdvanceDescendantCursor(query::DescendantCursor* cur,
+                                 query::NodeHandle* out,
+                                 size_t cap) const override;
   bool Before(query::NodeHandle a, query::NodeHandle b) const override {
     return a < b;
   }
@@ -116,6 +126,9 @@ class FragmentedStore : public query::StorageAdapter {
     uint32_t value_len;
   };
   std::vector<AttrRow> attrs_;  // sorted by owner
+  // id -> first attribute row (attrs_.size() when none): O(1) owner-row
+  // location instead of a binary search per probe.
+  std::vector<uint32_t> attr_begin_;
   std::vector<std::pair<std::string, uint32_t>> id_value_index_;
   xml::NameTable names_;
   xml::NameId text_tag_ = xml::kInvalidName;  // "#text" sentinel

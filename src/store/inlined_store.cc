@@ -104,6 +104,10 @@ StatusOr<std::unique_ptr<InlinedStore>> InlinedStore::Load(
             [](const AttrRow& a, const AttrRow& b) {
               return a.owner < b.owner;
             });
+  store->attr_begin_.assign(n, static_cast<uint32_t>(store->attrs_.size()));
+  for (uint32_t pos = store->attrs_.size(); pos-- > 0;) {
+    store->attr_begin_[store->attrs_[pos].owner] = pos;
+  }
 
   // Derive direct child slots from the DTD.
   std::unordered_set<uint64_t> inlineable;
@@ -161,13 +165,11 @@ std::optional<std::string_view> InlinedStore::AttributeView(
     query::NodeHandle n, std::string_view name) const {
   const xml::NameId id = names_.Lookup(name);
   if (id == xml::kInvalidName) return std::nullopt;
-  auto it = std::lower_bound(attrs_.begin(), attrs_.end(), n,
-                             [](const AttrRow& row, uint64_t owner) {
-                               return row.owner < owner;
-                             });
-  for (; it != attrs_.end() && it->owner == n; ++it) {
-    if (it->name == id) {
-      return std::string_view(heap_).substr(it->value_begin, it->value_len);
+  for (size_t i = attr_begin_[n]; i < attrs_.size() && attrs_[i].owner == n;
+       ++i) {
+    if (attrs_[i].name == id) {
+      return std::string_view(heap_).substr(attrs_[i].value_begin,
+                                            attrs_[i].value_len);
     }
   }
   return std::nullopt;
@@ -195,23 +197,53 @@ size_t InlinedStore::AdvanceChildCursor(query::ChildCursor* cur,
   return n;
 }
 
+void InlinedStore::OpenDescendantCursor(query::NodeHandle base,
+                                        query::ChildFilter filter,
+                                        xml::NameId tag,
+                                        query::DescendantCursor* cur) const {
+  if (!cur->Init(this, base, filter, tag)) return;  // u0 == u1: exhausted
+  // Subtree end: the next sibling of base or of its nearest ancestor with
+  // one (preorder ids), else the end of the node table.
+  query::NodeHandle end = next_sibling_[base];
+  for (query::NodeHandle a = base;
+       end == query::kInvalidHandle && a != query::kInvalidHandle;) {
+    a = parent_[a];
+    end = a == query::kInvalidHandle ? tag_.size() : next_sibling_[a];
+  }
+  cur->u0 = base + 1;
+  cur->u1 = end;
+}
+
+size_t InlinedStore::AdvanceDescendantCursor(query::DescendantCursor* cur,
+                                             query::NodeHandle* out,
+                                             size_t cap) const {
+  size_t id = static_cast<size_t>(cur->u0);
+  const size_t end = static_cast<size_t>(cur->u1);
+  size_t n = 0;
+  while (n < cap && id < end) {
+    if (query::MatchesChildFilter(cur->filter, tag_[id], cur->tag)) {
+      out[n++] = id;
+    }
+    ++id;
+  }
+  cur->u0 = id;
+  return n;
+}
+
 std::vector<std::pair<std::string, std::string>> InlinedStore::Attributes(
     query::NodeHandle n) const {
   std::vector<std::pair<std::string, std::string>> out;
-  auto it = std::lower_bound(attrs_.begin(), attrs_.end(), n,
-                             [](const AttrRow& row, uint64_t owner) {
-                               return row.owner < owner;
-                             });
-  for (; it != attrs_.end() && it->owner == n; ++it) {
-    out.emplace_back(std::string(names_.Spelling(it->name)),
+  for (size_t i = attr_begin_[n]; i < attrs_.size() && attrs_[i].owner == n;
+       ++i) {
+    out.emplace_back(std::string(names_.Spelling(attrs_[i].name)),
                      std::string(std::string_view(heap_).substr(
-                         it->value_begin, it->value_len)));
+                         attrs_[i].value_begin, attrs_[i].value_len)));
   }
   return out;
 }
 
 query::NodeHandle InlinedStore::NodeById(std::string_view id) const {
-  const auto it = id_index_.find(std::string(id));
+  const auto it = id_index_.find(id);
   return it == id_index_.end() ? query::kInvalidHandle : it->second;
 }
 
@@ -229,6 +261,7 @@ std::optional<std::vector<query::NodeHandle>> InlinedStore::ChildrenByTag(
 
 size_t InlinedStore::StorageBytes() const {
   size_t bytes = heap_.capacity() + attrs_.capacity() * sizeof(AttrRow) +
+                 attr_begin_.capacity() * sizeof(uint32_t) +
                  parent_.capacity() * sizeof(query::NodeHandle) * 3 +
                  tag_.capacity() * sizeof(xml::NameId) +
                  row_of_.capacity() * sizeof(uint32_t) +

@@ -8,6 +8,7 @@
 
 #include "query/storage.h"
 #include "util/status.h"
+#include "util/string_util.h"
 #include "xml/dtd.h"
 #include "xml/names.h"
 
@@ -23,8 +24,10 @@ namespace xmark::store {
 /// slot array resolves tag-specific child steps in constant time. This is
 /// what makes C the best relational executor on the ordered-access queries
 /// Q2/Q3 in Table 3. Text of PCDATA-only elements is inlined next to the
-/// element row. No tag or path indexes exist: descendant-heavy queries
-/// (Q6/Q7) still walk the tree, which is why C trails D there.
+/// element row. No tag or path indexes exist: descendant steps scan the
+/// dense preorder arrays across the subtree interval (fast, but still
+/// proportional to subtree size), which is why C trails D — whose
+/// structural summary answers Q6/Q7 without touching the document — there.
 class InlinedStore : public query::StorageAdapter {
  public:
   /// Loads the document; `dtd_text` supplies the schema to derive the
@@ -62,6 +65,15 @@ class InlinedStore : public query::StorageAdapter {
                        query::ChildCursor* cur) const override;
   size_t AdvanceChildCursor(query::ChildCursor* cur, query::NodeHandle* out,
                             size_t cap) const override;
+  // Ids are preorder, so the descendant set is one dense pass over the
+  // tag_ array across the subtree interval (computed at open from the
+  // sibling/parent links, O(depth)).
+  void OpenDescendantCursor(query::NodeHandle base, query::ChildFilter filter,
+                            xml::NameId tag,
+                            query::DescendantCursor* cur) const override;
+  size_t AdvanceDescendantCursor(query::DescendantCursor* cur,
+                                 query::NodeHandle* out,
+                                 size_t cap) const override;
   bool Before(query::NodeHandle a, query::NodeHandle b) const override {
     return a < b;
   }
@@ -106,7 +118,13 @@ class InlinedStore : public query::StorageAdapter {
     uint32_t value_len;
   };
   std::vector<AttrRow> attrs_;  // sorted by owner
-  std::unordered_map<std::string, query::NodeHandle> id_index_;
+  // id -> first attribute row (attrs_.size() when none): O(1) owner-row
+  // location instead of a binary search per probe.
+  std::vector<uint32_t> attr_begin_;
+  // Transparent hash/eq: NodeById probes with the caller's string_view.
+  std::unordered_map<std::string, query::NodeHandle,
+                     TransparentStringHash, std::equal_to<>>
+      id_index_;
   xml::NameTable names_;
   query::NodeHandle root_ = query::kInvalidHandle;
   size_t dtd_elements_ = 0;

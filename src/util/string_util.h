@@ -1,12 +1,29 @@
 #ifndef XMARK_UTIL_STRING_UTIL_H_
 #define XMARK_UTIL_STRING_UTIL_H_
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace xmark {
+
+/// Heterogeneous hash for string-keyed unordered containers: lets find()
+/// and equal_range() take a std::string_view without materializing a
+/// std::string per probe. Pair with std::equal_to<> as the key-equal.
+struct TransparentStringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+  size_t operator()(const std::string& s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+  size_t operator()(const char* s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+};
 
 /// Parses a decimal double from the (trimmed) string; returns nullopt when
 /// the string is not entirely numeric. XMark stores all character data as

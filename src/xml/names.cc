@@ -5,7 +5,7 @@
 namespace xmark::xml {
 
 NameId NameTable::Intern(std::string_view name) {
-  auto it = map_.find(std::string(name));
+  auto it = map_.find(name);
   if (it != map_.end()) return it->second;
   const NameId id = static_cast<NameId>(spellings_.size());
   spellings_.emplace_back(name);
@@ -14,7 +14,7 @@ NameId NameTable::Intern(std::string_view name) {
 }
 
 NameId NameTable::Lookup(std::string_view name) const {
-  auto it = map_.find(std::string(name));
+  auto it = map_.find(name);
   return it == map_.end() ? kInvalidName : it->second;
 }
 

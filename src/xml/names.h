@@ -2,10 +2,13 @@
 #define XMARK_XML_NAMES_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
+
+#include "util/string_util.h"
 
 namespace xmark::xml {
 
@@ -30,7 +33,12 @@ class NameTable {
   size_t size() const { return spellings_.size(); }
 
  private:
-  std::unordered_map<std::string, NameId> map_;
+  // Transparent hash/eq: Lookup and Intern probe with the caller's
+  // string_view directly — no per-probe std::string (every relational
+  // AttributeView resolves the attribute name through here).
+  std::unordered_map<std::string, NameId, TransparentStringHash,
+                     std::equal_to<>>
+      map_;
   std::vector<std::string> spellings_;
 };
 

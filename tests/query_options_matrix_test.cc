@@ -1,6 +1,6 @@
 // Property test: the evaluator must produce identical results under every
 // combination of optimizer features — the features may only change cost,
-// never semantics. Runs a representative query set over all 2^6 option
+// never semantics. Runs a representative query set over all 2^7 option
 // combinations against the fully-indexed native store.
 
 #include <gtest/gtest.h>
@@ -37,6 +37,7 @@ EvaluatorOptions FromMask(int mask) {
   options.hash_join = mask & 8;
   options.lazy_let = mask & 16;
   options.cache_invariant_paths = mask & 32;
+  options.descendant_cursors = mask & 64;
   return options;
 }
 
@@ -69,7 +70,7 @@ TEST_P(OptionsMatrix, SameResultsAsAllFeaturesOff) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllCombinations, OptionsMatrix,
-                         ::testing::Range(0, 64));
+                         ::testing::Range(0, 128));
 
 }  // namespace
 }  // namespace xmark::query

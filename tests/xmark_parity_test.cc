@@ -53,6 +53,7 @@ std::string RunSerialized(SystemId id, int query, bool fast_paths) {
   query::EvaluatorOptions opts = engine->evaluator_options();
   opts.zero_copy_strings = fast_paths;
   opts.child_cursors = fast_paths;
+  opts.descendant_cursors = fast_paths;
   query::Evaluator evaluator(engine->store(), opts);
   auto result = evaluator.Run(*parsed);
   XMARK_CHECK(result.ok());
@@ -119,8 +120,9 @@ TEST(ZeroCopyStats, ConstructedNavigationErrorsMatchGenericPath) {
   }
 }
 
-// The cursor fast path actually engages: Q6 (descendant walk) on the edge
-// store reports batched cursor scans.
+// The cursor fast paths actually engage: Q6 (descendant walk) on the edge
+// store reports batched child scans on its child steps and one batched
+// interval scan per descendant step input.
 TEST(ZeroCopyStats, CursorScansReported) {
   Engine* engine = LoadedEngine(SystemId::kA);
   auto parsed = query::ParseQueryText(GetQuery(6).text);
@@ -128,15 +130,42 @@ TEST(ZeroCopyStats, CursorScansReported) {
   query::EvaluatorOptions opts = engine->evaluator_options();
   opts.zero_copy_strings = true;
   opts.child_cursors = true;
+  opts.descendant_cursors = true;
   query::Evaluator evaluator(engine->store(), opts);
   ASSERT_TRUE(evaluator.Run(*parsed).ok());
   EXPECT_GT(evaluator.stats().cursor_scans, 0);
+  EXPECT_GT(evaluator.stats().descendant_scans, 0);
 
   opts.child_cursors = false;
   opts.zero_copy_strings = false;
+  opts.descendant_cursors = false;
   query::Evaluator no_cursors(engine->store(), opts);
   ASSERT_TRUE(no_cursors.Run(*parsed).ok());
   EXPECT_EQ(no_cursors.stats().cursor_scans, 0);
+  EXPECT_EQ(no_cursors.stats().descendant_scans, 0);
+}
+
+// Acceptance property of the transparent hash-join index: the Q8/Q9 probe
+// loops touch the index with string_view keys straight out of the store
+// heap — every probe runs, none materializes a per-probe std::string.
+TEST(ZeroCopyStats, JoinProbesMaterializeNothing) {
+  for (SystemId id : kStores) {
+    Engine* engine = LoadedEngine(id);
+    for (int q : {8, 9}) {
+      auto parsed = query::ParseQueryText(GetQuery(q).text);
+      ASSERT_TRUE(parsed.ok());
+      query::EvaluatorOptions opts = engine->evaluator_options();
+      opts.hash_join = true;
+      query::Evaluator evaluator(engine->store(), opts);
+      ASSERT_TRUE(evaluator.Run(*parsed).ok());
+      EXPECT_GT(evaluator.stats().join_probes, 0)
+          << "system " << SystemLabel(id) << " Q" << q
+          << " never probed the join index";
+      EXPECT_EQ(evaluator.stats().join_probe_allocs, 0)
+          << "system " << SystemLabel(id) << " Q" << q
+          << " materialized strings on the join probe path";
+    }
+  }
 }
 
 }  // namespace
