@@ -4,8 +4,14 @@
 // check is the spread: the native store (D) loads fastest and stays
 // smallest, the fragmented mapping (B) and the heavier native mappings
 // carry the most overhead.
+//
+// PR 3 adds the parallel bulkload pipeline: every system loads twice, once
+// with --threads workers (default hardware_concurrency) and once with the
+// threads=1 serial ablation, and the speedup column isolates the pipeline.
+// --json emits the machine-readable form archived as BENCH_PR3.json.
 
 #include <cstdio>
+#include <thread>
 
 #include "bench/bench_util.h"
 #include "util/table_printer.h"
@@ -26,36 +32,119 @@ constexpr PaperRow kPaperTable1[] = {
     {'E', "302 MB", "96 s"},  {'F', "345 MB", "215 s"},
 };
 
+// Best-of-reps bulkload at the given thread count.
+double LoadBest(BenchmarkRunner& runner, SystemId id, unsigned threads,
+                int reps, Status* status) {
+  runner.set_load_threads(threads);
+  double best = 0;
+  for (int r = 0; r < reps; ++r) {
+    runner.UnloadSystem(id);
+    *status = runner.LoadSystem(id);
+    if (!status->ok()) return 0;
+    const double ms = runner.load_info(id).bulkload_ms;
+    if (r == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
 int Main(int argc, char** argv) {
   const double sf = FlagDouble(argc, argv, "sf", 0.05);
-  std::printf("=== Table 1: Database sizes and bulkload times ===\n");
-  std::printf("scaling factor %g (paper used 1.0 = 100 MB)\n\n", sf);
+  const int reps = FlagInt(argc, argv, "reps", 1);
+  const int threads_flag = FlagInt(argc, argv, "threads", 0);
+  if (threads_flag < 0) {
+    std::fprintf(stderr, "--threads must be >= 0 (0 = hardware)\n");
+    return 1;
+  }
+  const unsigned threads = static_cast<unsigned>(threads_flag);
+  const bool json = FlagBool(argc, argv, "json");
+  const unsigned hw = std::thread::hardware_concurrency();
+  const unsigned effective = threads != 0 ? threads : (hw == 0 ? 1 : hw);
 
   BenchmarkRunner runner(sf);
-  std::printf("document: %s\n\n", HumanBytes(runner.document().size()).c_str());
+  if (!json) {
+    std::printf("=== Table 1: Database sizes and bulkload times ===\n");
+    std::printf("scaling factor %g (paper used 1.0 = 100 MB), "
+                "threads %u (hardware %u), serial ablation threads=1\n\n",
+                sf, effective, hw);
+    std::printf("document: %s\n\n",
+                HumanBytes(runner.document().size()).c_str());
+  }
 
-  TablePrinter table({"System", "Size", "Bulkload time", "Catalog entries",
-                      "Paper size", "Paper bulkload"});
-  for (size_t i = 0; i < kMassStorageSystems.size(); ++i) {
-    const SystemId id = kMassStorageSystems[i];
-    const Status st = runner.LoadSystem(id);
+  struct Result {
+    SystemId id;
+    double parallel_ms = 0;
+    double serial_ms = 0;
+    size_t bytes = 0;
+    size_t catalog = 0;
+  };
+  std::vector<Result> results;
+  for (const SystemId id : kMassStorageSystems) {
+    Result res;
+    res.id = id;
+    Status st = Status::OK();
+    res.serial_ms = LoadBest(runner, id, 1, reps, &st);
+    if (st.ok()) res.parallel_ms = LoadBest(runner, id, effective, reps, &st);
     if (!st.ok()) {
       std::fprintf(stderr, "load %c failed: %s\n", SystemLabel(id),
                    st.ToString().c_str());
       return 1;
     }
-    const LoadInfo& info = runner.load_info(id);
-    table.AddRow({std::string(1, SystemLabel(id)),
-                  HumanBytes(info.database_bytes),
-                  StringPrintf("%.1f ms", info.bulkload_ms),
-                  std::to_string(info.catalog_entries),
-                  kPaperTable1[i].size, kPaperTable1[i].bulkload});
+    res.bytes = runner.load_info(id).database_bytes;
+    res.catalog = runner.load_info(id).catalog_entries;
+    results.push_back(res);
+  }
+
+  if (json) {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("bench").Value(std::string_view("table1_bulkload"));
+    w.Key("scale").Value(sf);
+    w.Key("reps").Value(reps);
+    w.Key("threads").Value(static_cast<int64_t>(effective));
+    w.Key("hardware_concurrency").Value(static_cast<int64_t>(hw));
+    w.Key("document_bytes").Value(runner.document().size());
+    w.Key("systems").BeginArray();
+    for (const Result& res : results) {
+      w.BeginObject();
+      w.Key("system").Value(std::string(1, SystemLabel(res.id)));
+      w.Key("database_bytes").Value(res.bytes);
+      w.Key("catalog_entries").Value(res.catalog);
+      w.Key("bulkload_ms").Value(res.parallel_ms);
+      w.Key("bulkload_serial_ms").Value(res.serial_ms);
+      w.Key("speedup").Value(
+          res.parallel_ms > 0 ? res.serial_ms / res.parallel_ms : 0.0);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+    std::printf("%s\n", w.str().c_str());
+    return 0;
+  }
+
+  TablePrinter table({"System", "Size", "Bulkload time", "Serial (t=1)",
+                      "Speedup", "Catalog entries", "Paper size",
+                      "Paper bulkload"});
+  for (size_t i = 0; i < results.size(); ++i) {
+    const Result& res = results[i];
+    table.AddRow({std::string(1, SystemLabel(res.id)), HumanBytes(res.bytes),
+                  StringPrintf("%.1f ms", res.parallel_ms),
+                  StringPrintf("%.1f ms", res.serial_ms),
+                  StringPrintf("%.2fx", res.parallel_ms > 0
+                                            ? res.serial_ms / res.parallel_ms
+                                            : 0.0),
+                  std::to_string(res.catalog), kPaperTable1[i].size,
+                  kPaperTable1[i].bulkload});
   }
   std::printf("%s\n", table.ToString().c_str());
 
   std::printf("shape checks (paper):\n");
   const auto ratio = [&](SystemId a, SystemId b) {
-    return runner.load_info(a).bulkload_ms / runner.load_info(b).bulkload_ms;
+    double ams = 0, bms = 0;
+    for (const Result& res : results) {
+      if (res.id == a) ams = res.parallel_ms;
+      if (res.id == b) bms = res.parallel_ms;
+    }
+    return ams / bms;
   };
   std::printf("  D loads fastest of all systems (paper: 50 s minimum): "
               "D/A = %.2fx, D/B = %.2fx\n",

@@ -42,6 +42,7 @@ struct AblationResult {
   int64_t allocations_avoided = 0;
   int64_t compare_allocs_fast = 0;
   int64_t compare_allocs_slow = 0;
+  int64_t sequence_heap_spills = 0;  // SBO misses across Q1-Q20 (fast run)
 };
 
 AblationResult RunAblation(Engine* engine, int reps) {
@@ -78,6 +79,7 @@ AblationResult RunAblation(Engine* engine, int reps) {
         out.descendant_scans += evaluator.stats().descendant_scans;
         out.allocations_avoided += evaluator.stats().allocations_avoided;
         out.compare_allocs_fast += evaluator.stats().compare_allocs;
+        out.sequence_heap_spills += evaluator.stats().sequence_heap_spills;
       } else if (variant == 1) {
         out.no_desc_ms[q - 1] = best;
         out.no_desc_total += best;
@@ -241,12 +243,14 @@ int Main(int argc, char** argv) {
                 ab.slow_total, ab.fast_total, ab.no_desc_total, reduction);
     std::printf("stats: %lld cursor scans, %lld descendant scans, "
                 "%lld allocations avoided, "
-                "compare-path materializations %lld -> %lld\n",
+                "compare-path materializations %lld -> %lld, "
+                "%lld sequence heap spills\n",
                 static_cast<long long>(ab.cursor_scans),
                 static_cast<long long>(ab.descendant_scans),
                 static_cast<long long>(ab.allocations_avoided),
                 static_cast<long long>(ab.compare_allocs_slow),
-                static_cast<long long>(ab.compare_allocs_fast));
+                static_cast<long long>(ab.compare_allocs_fast),
+                static_cast<long long>(ab.sequence_heap_spills));
   }
 
   if (json) {
@@ -292,6 +296,7 @@ int Main(int argc, char** argv) {
     w.Key("reduction_pct").Value(reduction);
     w.Key("cursor_scans").Value(ab.cursor_scans);
     w.Key("descendant_scans").Value(ab.descendant_scans);
+    w.Key("sequence_heap_spills").Value(ab.sequence_heap_spills);
     w.Key("allocations_avoided").Value(ab.allocations_avoided);
     w.Key("compare_allocs_fast").Value(ab.compare_allocs_fast);
     w.Key("compare_allocs_no_fastpath").Value(ab.compare_allocs_slow);

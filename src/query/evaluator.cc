@@ -80,7 +80,7 @@ struct Evaluator::JoinPlan {
 };
 
 struct Evaluator::JoinCache {
-  std::vector<Item> bindings;
+  Sequence bindings;
   // Transparent hash/eq (ROADMAP "Heterogeneous hash-join keys"): probes
   // pass the key as a string_view straight out of the store heap, so the
   // per-probe std::string the seed built on Q8/Q9 is gone.
@@ -194,6 +194,19 @@ bool IsCacheableInvariant(const AstNode& node) {
 // Orders node refs by document position (handles are preorder ids in every
 // store implementation).
 void SortDedupNodes(Sequence* seq) {
+  // Fast path: cursor-backed steps already emit strictly increasing
+  // document order, so one scan usually replaces the sort + unique pass.
+  bool sorted_unique = true;
+  for (size_t i = 1; i < seq->size(); ++i) {
+    const Item& a = (*seq)[i - 1];
+    const Item& b = (*seq)[i];
+    if (!a.is_node() || !b.is_node() ||
+        !(a.node().handle < b.node().handle)) {
+      sorted_unique = false;
+      break;
+    }
+  }
+  if (sorted_unique) return;
   std::stable_sort(seq->begin(), seq->end(), [](const Item& a, const Item& b) {
     if (!a.is_node() || !b.is_node()) return false;
     return a.node().handle < b.node().handle;
@@ -278,7 +291,9 @@ StatusOr<Sequence> Evaluator::Run(const ParsedQuery& query) {
   udf_depth_ = 0;
 
   Environment env(slot_count_);
+  const int64_t spills_before = SequenceHeapSpills();
   XMARK_ASSIGN_OR_RETURN(Sequence result, Eval(*query.body, env, nullptr));
+  stats_.sequence_heap_spills = SequenceHeapSpills() - spills_before;
   if (options_.copy_results) {
     for (Item& item : result) {
       if (item.is_node()) item = Item(DeepCopyNode(item.node()));
@@ -298,7 +313,10 @@ StatusOr<Sequence> Evaluator::RunExpr(const AstNode& expr) {
   slot_count_ = static_cast<size_t>(
       ResolveVariableSlots(const_cast<AstNode&>(expr)));
   Environment env(slot_count_);
-  return Eval(expr, env, nullptr);
+  const int64_t spills_before = SequenceHeapSpills();
+  auto result = Eval(expr, env, nullptr);
+  stats_.sequence_heap_spills = SequenceHeapSpills() - spills_before;
+  return result;
 }
 
 StatusOr<Sequence> Evaluator::Eval(const AstNode& node, Environment& env,
@@ -357,9 +375,20 @@ StatusOr<Sequence> Evaluator::Eval(const AstNode& node, Environment& env,
     case AstKind::kElementConstructor:
       return EvalConstructor(node, env, focus);
     case AstKind::kSequenceExpr: {
-      Sequence out;
+      if (node.args.size() == 1) return Eval(*node.args[0], env, focus);
+      // Evaluate every part first, then concatenate behind one exact
+      // reservation instead of growing the output per part.
+      std::vector<Sequence> parts;
+      parts.reserve(node.args.size());
+      size_t total = 0;
       for (const AstPtr& arg : node.args) {
         XMARK_ASSIGN_OR_RETURN(Sequence part, Eval(*arg, env, focus));
+        total += part.size();
+        parts.push_back(std::move(part));
+      }
+      Sequence out;
+      out.reserve(total);
+      for (Sequence& part : parts) {
         out.insert(out.end(), std::make_move_iterator(part.begin()),
                    std::make_move_iterator(part.end()));
       }
@@ -452,7 +481,8 @@ Status Evaluator::ApplyStep(const Step& step, const Sequence& input,
       group = std::move(filtered);
     }
     XMARK_RETURN_IF_ERROR(ApplyPredicates(step.predicates, env, &group));
-    output->insert(output->end(), group.begin(), group.end());
+    output->insert(output->end(), std::make_move_iterator(group.begin()),
+                   std::make_move_iterator(group.end()));
     return Status::OK();
   }
 
@@ -493,7 +523,8 @@ Status Evaluator::ApplyStep(const Step& step, const Sequence& input,
     // The remaining predicates (beyond the id test) still apply; re-running
     // the id predicate itself is a cheap no-op on one node.
     XMARK_RETURN_IF_ERROR(ApplyPredicates(step.predicates, env, &group));
-    output->insert(output->end(), group.begin(), group.end());
+    output->insert(output->end(), std::make_move_iterator(group.begin()),
+                   std::make_move_iterator(group.end()));
     return Status::OK();
   }
 
@@ -523,7 +554,12 @@ Status Evaluator::ApplyStep(const Step& step, const Sequence& input,
   const bool multi_input = input.size() > 1;
   // With no predicates the per-item group sequence is unnecessary: matches
   // are appended straight to the output, saving one vector per input node.
+  // The same holds for the dominant single-input case with predicates
+  // (every FLWOR binding): the predicates filter the output in place, so
+  // the group-to-output copy disappears as well.
   const bool has_predicates = !step.predicates.empty();
+  const bool group_in_output =
+      !has_predicates || (input.size() == 1 && output->empty());
   Sequence group_storage;
   for (const Item& item : input) {
     if (!item.is_node()) {
@@ -534,8 +570,8 @@ Status Evaluator::ApplyStep(const Step& step, const Sequence& input,
       continue;  // atomics have no children
     }
     const NodeHandle base = item.node().handle;
-    Sequence& group = has_predicates ? group_storage : *output;
-    if (has_predicates) group.clear();
+    Sequence& group = group_in_output ? *output : group_storage;
+    if (!group_in_output) group.clear();
     if (step.axis == Axis::kChild) {
       bool used_layout = false;
       if (step.test == Step::Test::kName) {
@@ -650,7 +686,10 @@ Status Evaluator::ApplyStep(const Step& step, const Sequence& input,
     }
     if (has_predicates) {
       XMARK_RETURN_IF_ERROR(ApplyPredicates(step.predicates, env, &group));
-      output->insert(output->end(), group.begin(), group.end());
+      if (!group_in_output) {
+        output->insert(output->end(), std::make_move_iterator(group.begin()),
+                       std::make_move_iterator(group.end()));
+      }
     }
   }
   if (step.axis == Axis::kDescendant && multi_input) {
@@ -1003,6 +1042,9 @@ StatusOr<Sequence> Evaluator::EvalFlwor(const AstNode& node, Environment& env,
       }
       return false;
     });
+    size_t total = 0;
+    for (const OrderedResult& result : ordered) total += result.items.size();
+    out.reserve(out.size() + total);
     for (size_t idx : perm) {
       out.insert(out.end(),
                  std::make_move_iterator(ordered[idx].items.begin()),

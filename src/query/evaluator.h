@@ -77,6 +77,8 @@ class Evaluator {
     int64_t compare_allocs = 0;      // strings materialized on compare paths
     int64_t join_probes = 0;         // hash-join index probes
     int64_t join_probe_allocs = 0;   // probe keys that materialized a string
+    int64_t sequence_heap_spills = 0;  // Sequences that outgrew the inline
+                                       // buffer (SBO miss count)
   };
   const Stats& stats() const { return stats_; }
 

@@ -85,7 +85,28 @@ void AppendConstructedStringValue(const ConstructedNode& node,
   }
 }
 
+thread_local int64_t g_sequence_heap_spills = 0;
+
 }  // namespace
+
+int64_t SequenceHeapSpills() { return g_sequence_heap_spills; }
+
+void Sequence::Grow(size_t cap) {
+  if (cap < kInlineItems * 2) cap = kInlineItems * 2;
+  Item* heap = static_cast<Item*>(::operator new(
+      cap * sizeof(Item), std::align_val_t{alignof(Item)}));
+  for (size_t i = 0; i < size_; ++i) {
+    new (heap + i) Item(std::move(data_[i]));
+    data_[i].~Item();
+  }
+  if (data_ != inline_ptr()) {
+    ::operator delete(data_, std::align_val_t{alignof(Item)});
+  } else {
+    ++g_sequence_heap_spills;  // first departure from the inline buffer
+  }
+  data_ = heap;
+  capacity_ = static_cast<uint32_t>(cap);
+}
 
 std::string ConstructedStringValue(const ConstructedNode& node) {
   std::string out;

@@ -1,8 +1,13 @@
 #ifndef XMARK_QUERY_VALUE_H_
 #define XMARK_QUERY_VALUE_H_
 
+#include <cstddef>
+#include <initializer_list>
+#include <iterator>
 #include <memory>
+#include <new>
 #include <string>
+#include <utility>
 #include <variant>
 #include <vector>
 
@@ -13,9 +18,7 @@ namespace xmark::query {
 
 struct ConstructedNode;
 class Item;
-
-/// XQuery value: an ordered sequence of items.
-using Sequence = std::vector<Item>;
+class Sequence;
 
 /// Reference to a node inside a storage engine.
 struct NodeRef {
@@ -71,6 +74,169 @@ class Item {
 
  private:
   std::variant<bool, double, std::string, NodeRef, ConstructedPtr> value_;
+};
+
+/// Thread-local count of Sequence inline-to-heap spills (see Sequence).
+/// The evaluator snapshots it around a run to expose
+/// Stats::sequence_heap_spills; the ablation bench uses it to prove the
+/// small-buffer optimization engages on the Q11/Q12 Sequence churn.
+int64_t SequenceHeapSpills();
+
+/// XQuery value: an ordered sequence of items.
+///
+/// Small-buffer-optimized vector: up to kInlineItems items live inside the
+/// object, so the overwhelmingly common single-item sequences of the
+/// generic Eval loop (one per FLWOR binding, predicate evaluation and
+/// comparison operand) never touch the heap. The API is the subset of
+/// std::vector the engine uses; iterators are plain Item pointers.
+class Sequence {
+ public:
+  using value_type = Item;
+  using iterator = Item*;
+  using const_iterator = const Item*;
+
+  static constexpr size_t kInlineItems = 2;
+
+  Sequence() noexcept : data_(inline_ptr()) {}
+  Sequence(std::initializer_list<Item> items) : data_(inline_ptr()) {
+    reserve(items.size());
+    for (const Item& item : items) emplace_back(item);
+  }
+  Sequence(const Sequence& other) : data_(inline_ptr()) {
+    reserve(other.size_);
+    for (size_t i = 0; i < other.size_; ++i) emplace_back(other.data_[i]);
+  }
+  Sequence(Sequence&& other) noexcept : data_(inline_ptr()) {
+    MoveFrom(std::move(other));
+  }
+  Sequence& operator=(const Sequence& other) {
+    if (this == &other) return *this;
+    clear();
+    reserve(other.size_);
+    for (size_t i = 0; i < other.size_; ++i) emplace_back(other.data_[i]);
+    return *this;
+  }
+  Sequence& operator=(Sequence&& other) noexcept {
+    if (this == &other) return *this;
+    Deallocate();
+    data_ = inline_ptr();
+    capacity_ = kInlineItems;
+    size_ = 0;
+    MoveFrom(std::move(other));
+    return *this;
+  }
+  ~Sequence() { Deallocate(); }
+
+  iterator begin() { return data_; }
+  iterator end() { return data_ + size_; }
+  const_iterator begin() const { return data_; }
+  const_iterator end() const { return data_ + size_; }
+  const_iterator cbegin() const { return data_; }
+  const_iterator cend() const { return data_ + size_; }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return capacity_; }
+  Item* data() { return data_; }
+  const Item* data() const { return data_; }
+
+  Item& operator[](size_t i) { return data_[i]; }
+  const Item& operator[](size_t i) const { return data_[i]; }
+  Item& front() { return data_[0]; }
+  const Item& front() const { return data_[0]; }
+  Item& back() { return data_[size_ - 1]; }
+  const Item& back() const { return data_[size_ - 1]; }
+
+  void reserve(size_t cap) {
+    if (cap > capacity_) Grow(cap);
+  }
+
+  void clear() {
+    for (size_t i = 0; i < size_; ++i) data_[i].~Item();
+    size_ = 0;
+  }
+
+  void push_back(const Item& item) { emplace_back(item); }
+  void push_back(Item&& item) { emplace_back(std::move(item)); }
+
+  template <typename... Args>
+  Item& emplace_back(Args&&... args) {
+    if (size_ == capacity_) Grow(capacity_ * 2);
+    Item* slot = new (data_ + size_) Item(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  void pop_back() {
+    data_[--size_].~Item();
+  }
+
+  iterator erase(iterator first, iterator last) {
+    const size_t removed = static_cast<size_t>(last - first);
+    if (removed == 0) return first;
+    for (Item* p = first; last != end(); ++p, ++last) *p = std::move(*last);
+    for (size_t i = size_ - removed; i < size_; ++i) data_[i].~Item();
+    size_ -= static_cast<uint32_t>(removed);
+    return first;
+  }
+
+  /// Inserts [first, last) before `pos`. Accepts any forward/random-access
+  /// iterator (including move_iterator); invalidates iterators on growth.
+  template <typename It>
+  iterator insert(const_iterator pos, It first, It last) {
+    const size_t at = static_cast<size_t>(pos - data_);
+    const size_t count = static_cast<size_t>(std::distance(first, last));
+    if (count == 0) return data_ + at;
+    if (size_ + count > capacity_) {
+      size_t cap = capacity_;
+      while (cap < size_ + count) cap *= 2;
+      Grow(cap);
+    }
+    for (; first != last; ++first) {
+      new (data_ + size_) Item(*first);
+      ++size_;
+    }
+    if (at + count != size_) {
+      std::rotate(data_ + at, data_ + size_ - count, data_ + size_);
+    }
+    return data_ + at;
+  }
+
+ private:
+  Item* inline_ptr() { return reinterpret_cast<Item*>(inline_); }
+
+  void MoveFrom(Sequence&& other) {
+    if (other.data_ != other.inline_ptr()) {
+      // Steal the heap allocation.
+      data_ = other.data_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.data_ = other.inline_ptr();
+      other.capacity_ = kInlineItems;
+      other.size_ = 0;
+      return;
+    }
+    for (size_t i = 0; i < other.size_; ++i) {
+      new (data_ + i) Item(std::move(other.data_[i]));
+      other.data_[i].~Item();
+    }
+    size_ = other.size_;
+    other.size_ = 0;
+  }
+
+  void Grow(size_t cap);
+
+  void Deallocate() {
+    clear();
+    if (data_ != inline_ptr()) {
+      ::operator delete(data_, std::align_val_t{alignof(Item)});
+    }
+  }
+
+  Item* data_;
+  uint32_t size_ = 0;
+  uint32_t capacity_ = kInlineItems;
+  alignas(Item) unsigned char inline_[kInlineItems * sizeof(Item)];
 };
 
 /// String-value of an item (node string-value, atomic lexical form).

@@ -1,6 +1,7 @@
 #include "rel/shredder.h"
 
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace xmark::rel {
 namespace {
@@ -29,9 +30,85 @@ std::string RefAttr(const xml::Document& doc, xml::NodeId n,
   return v.has_value() ? std::string(*v) : "";
 }
 
+// Row batches one chunk of nodes contributes: the unit of work of the
+// parallel shred (batches append to the tables in chunk order).
+struct RowBatch {
+  std::vector<std::vector<Value>> persons;
+  std::vector<std::vector<Value>> items;
+  std::vector<std::vector<Value>> open_auctions;
+  std::vector<std::vector<Value>> closed_auctions;
+};
+
+// Extracts the rows of nodes [begin, end) into `batch`. Pure function of
+// the (read-only) document, safe to run on disjoint ranges concurrently.
+void ShredRange(const xml::Document& doc, xml::NodeId begin, xml::NodeId end,
+                RowBatch* batch) {
+  for (xml::NodeId n = begin; n < end; ++n) {
+    if (!doc.IsElement(n)) continue;
+    const std::string& tag = doc.tag(n);
+    if (tag == "person") {
+      double income = -1.0;
+      const xml::NodeId profile = ChildByTag(doc, n, "profile");
+      if (profile != xml::kInvalidNode) {
+        const std::string text = ChildText(doc, profile, "income");
+        const auto parsed = ParseDouble(text);
+        if (parsed.has_value()) income = *parsed;
+      }
+      std::string city, country;
+      const xml::NodeId address = ChildByTag(doc, n, "address");
+      if (address != xml::kInvalidNode) {
+        city = ChildText(doc, address, "city");
+        country = ChildText(doc, address, "country");
+      }
+      batch->persons.push_back(
+          {std::string(doc.attribute(n, "id").value_or("")),
+           ChildText(doc, n, "name"), std::move(city), std::move(country),
+           income});
+    } else if (tag == "item") {
+      const xml::NodeId region = doc.parent(n);
+      batch->items.push_back(
+          {std::string(doc.attribute(n, "id").value_or("")),
+           ChildText(doc, n, "name"),
+           region == xml::kInvalidNode ? std::string() : doc.tag(region),
+           ChildText(doc, n, "location")});
+    } else if (tag == "open_auction") {
+      batch->open_auctions.push_back(
+          {std::string(doc.attribute(n, "id").value_or("")),
+           RefAttr(doc, n, "itemref", "item"),
+           RefAttr(doc, n, "seller", "person"),
+           ParseDouble(ChildText(doc, n, "initial")).value_or(0.0),
+           ParseDouble(ChildText(doc, n, "current")).value_or(0.0)});
+    } else if (tag == "closed_auction") {
+      batch->closed_auctions.push_back(
+          {RefAttr(doc, n, "itemref", "item"),
+           RefAttr(doc, n, "buyer", "person"),
+           RefAttr(doc, n, "seller", "person"),
+           ParseDouble(ChildText(doc, n, "price")).value_or(0.0)});
+    }
+  }
+}
+
+Status AppendBatch(RowBatch&& batch, AuctionTables* tables) {
+  for (auto& row : batch.persons) {
+    XMARK_RETURN_IF_ERROR(tables->persons->AppendRow(std::move(row)));
+  }
+  for (auto& row : batch.items) {
+    XMARK_RETURN_IF_ERROR(tables->items->AppendRow(std::move(row)));
+  }
+  for (auto& row : batch.open_auctions) {
+    XMARK_RETURN_IF_ERROR(tables->open_auctions->AppendRow(std::move(row)));
+  }
+  for (auto& row : batch.closed_auctions) {
+    XMARK_RETURN_IF_ERROR(
+        tables->closed_auctions->AppendRow(std::move(row)));
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
-StatusOr<AuctionTables> ShredAuctionDocument(const xml::Document& doc) {
+StatusOr<AuctionTables> ShredAuctionDocument(
+    const xml::Document& doc, const store::LoadOptions& options) {
   AuctionTables tables;
   tables.persons = std::make_unique<Table>(std::vector<ColumnSpec>{
       {"id", ColumnType::kString},
@@ -60,48 +137,29 @@ StatusOr<AuctionTables> ShredAuctionDocument(const xml::Document& doc) {
       {"price", ColumnType::kDouble},
   });
 
-  for (xml::NodeId n = 0; n < doc.num_nodes(); ++n) {
-    if (!doc.IsElement(n)) continue;
-    const std::string& tag = doc.tag(n);
-    if (tag == "person") {
-      double income = -1.0;
-      const xml::NodeId profile = ChildByTag(doc, n, "profile");
-      if (profile != xml::kInvalidNode) {
-        const std::string text = ChildText(doc, profile, "income");
-        const auto parsed = ParseDouble(text);
-        if (parsed.has_value()) income = *parsed;
-      }
-      std::string city, country;
-      const xml::NodeId address = ChildByTag(doc, n, "address");
-      if (address != xml::kInvalidNode) {
-        city = ChildText(doc, address, "city");
-        country = ChildText(doc, address, "country");
-      }
-      XMARK_RETURN_IF_ERROR(tables.persons->AppendRow(
-          {std::string(doc.attribute(n, "id").value_or("")),
-           ChildText(doc, n, "name"), std::move(city), std::move(country),
-           income}));
-    } else if (tag == "item") {
-      const xml::NodeId region = doc.parent(n);
-      XMARK_RETURN_IF_ERROR(tables.items->AppendRow(
-          {std::string(doc.attribute(n, "id").value_or("")),
-           ChildText(doc, n, "name"),
-           region == xml::kInvalidNode ? std::string() : doc.tag(region),
-           ChildText(doc, n, "location")}));
-    } else if (tag == "open_auction") {
-      XMARK_RETURN_IF_ERROR(tables.open_auctions->AppendRow(
-          {std::string(doc.attribute(n, "id").value_or("")),
-           RefAttr(doc, n, "itemref", "item"),
-           RefAttr(doc, n, "seller", "person"),
-           ParseDouble(ChildText(doc, n, "initial")).value_or(0.0),
-           ParseDouble(ChildText(doc, n, "current")).value_or(0.0)}));
-    } else if (tag == "closed_auction") {
-      XMARK_RETURN_IF_ERROR(tables.closed_auctions->AppendRow(
-          {RefAttr(doc, n, "itemref", "item"),
-           RefAttr(doc, n, "buyer", "person"),
-           RefAttr(doc, n, "seller", "person"),
-           ParseDouble(ChildText(doc, n, "price")).value_or(0.0)}));
-    }
+  const xml::NodeId n = static_cast<xml::NodeId>(doc.num_nodes());
+  const unsigned threads = options.EffectiveThreads();
+  if (threads <= 1) {
+    RowBatch batch;
+    ShredRange(doc, 0, n, &batch);
+    XMARK_RETURN_IF_ERROR(AppendBatch(std::move(batch), &tables));
+    return tables;
+  }
+  // Parallel shred: each chunk emits its row batches; batches append in
+  // chunk order, reproducing the serial document-order table contents.
+  ThreadPool pool(threads);
+  const std::vector<size_t> bounds = ChunkBounds(n, threads);
+  const size_t chunks = bounds.size() - 1;
+  std::vector<RowBatch> batches(chunks);
+  for (size_t k = 0; k < chunks; ++k) {
+    pool.Submit([&, k] {
+      ShredRange(doc, static_cast<xml::NodeId>(bounds[k]),
+                 static_cast<xml::NodeId>(bounds[k + 1]), &batches[k]);
+    });
+  }
+  pool.Wait();
+  for (RowBatch& batch : batches) {
+    XMARK_RETURN_IF_ERROR(AppendBatch(std::move(batch), &tables));
   }
   return tables;
 }

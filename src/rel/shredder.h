@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "rel/table.h"
+#include "store/load_options.h"
 #include "util/status.h"
 #include "xml/dom.h"
 
@@ -21,8 +22,13 @@ struct AuctionTables {
   std::unique_ptr<Table> closed_auctions;  // item, buyer, seller, price
 };
 
-/// Shreds the document (missing incomes become -1).
-StatusOr<AuctionTables> ShredAuctionDocument(const xml::Document& doc);
+/// Shreds the document (missing incomes become -1). With more than one
+/// thread the entity extraction runs over node chunks that each emit
+/// per-table row batches; the batches append in chunk (= document) order,
+/// so table contents are identical for any thread count.
+StatusOr<AuctionTables> ShredAuctionDocument(
+    const xml::Document& doc,
+    const store::LoadOptions& options = store::LoadOptions{1});
 
 }  // namespace xmark::rel
 

@@ -1,13 +1,27 @@
 #include "store/dom_store.h"
 
 #include <algorithm>
+#include <map>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace xmark::store {
 
-StatusOr<std::unique_ptr<DomStore>> DomStore::Load(std::string_view xml,
-                                                   const Options& options) {
+StatusOr<std::unique_ptr<DomStore>> DomStore::Load(
+    std::string_view xml, const Options& options,
+    const LoadOptions& load_options) {
+  const unsigned threads = load_options.EffectiveThreads();
+  if (threads > 1) {
+    ThreadPool pool(threads);
+    xml::ParseOptions popts;
+    popts.pool = &pool;
+    XMARK_ASSIGN_OR_RETURN(xml::Document doc,
+                           xml::Document::Parse(xml, popts));
+    std::unique_ptr<DomStore> out(new DomStore(std::move(doc), options));
+    out->BuildIndexesParallel(&pool, threads);
+    return out;
+  }
   XMARK_ASSIGN_OR_RETURN(xml::Document doc, xml::Document::Parse(xml));
   std::unique_ptr<DomStore> out(new DomStore(std::move(doc), options));
   out->BuildIndexes();
@@ -58,6 +72,169 @@ void DomStore::BuildIndexes() {
       summary_stack.push_back(idx);
     }
     node_stack.push_back(n);
+  }
+}
+
+void DomStore::BuildSummary() {
+  // Same traversal as BuildIndexes, restricted to the structural summary
+  // (its id assignment and extent order are inherently sequential — and
+  // cheap next to the parse).
+  summary_.clear();
+  summary_.push_back(SummaryNode{});
+  std::vector<size_t> summary_stack{0};
+  std::vector<xml::NodeId> node_stack;
+  for (xml::NodeId n = 0; n < doc_.num_nodes(); ++n) {
+    while (!node_stack.empty() &&
+           !(n >= node_stack.back() && n < doc_.SubtreeEnd(node_stack.back()))) {
+      node_stack.pop_back();
+      summary_stack.pop_back();
+    }
+    if (!doc_.IsElement(n)) continue;
+    const xml::NameId tag = doc_.name(n);
+    SummaryNode& parent = summary_[summary_stack.back()];
+    auto it = parent.children.find(tag);
+    size_t idx;
+    if (it == parent.children.end()) {
+      idx = summary_.size();
+      summary_[summary_stack.back()].children.emplace(tag, idx);
+      summary_.push_back(SummaryNode{});
+      summary_.back().tag = tag;
+    } else {
+      idx = it->second;
+    }
+    summary_[idx].extent.push_back(n);
+    summary_stack.push_back(idx);
+    node_stack.push_back(n);
+  }
+}
+
+void DomStore::BuildIndexesParallel(ThreadPool* pool, unsigned threads) {
+  const size_t n = doc_.num_nodes();
+  const size_t num_names = doc_.names().size();
+  const xml::NameId id_attr = doc_.names().Lookup("id");
+
+  // Chunked collection for the tag and id indexes; the summary runs as
+  // one concurrent task. All merges happen in chunk (= document) order.
+  const std::vector<size_t> bounds = ChunkBounds(n, threads);
+  const size_t chunks = bounds.size() - 1;
+
+  std::vector<std::vector<std::vector<query::NodeHandle>>> tag_parts;
+  std::vector<std::vector<std::pair<std::string, query::NodeHandle>>>
+      id_parts(chunks);
+  if (options_.build_path_summary) {
+    pool->Submit([this] { BuildSummary(); });
+  }
+  if (options_.build_tag_index || options_.build_id_index) {
+    if (options_.build_tag_index) {
+      tag_parts.assign(chunks,
+                       std::vector<std::vector<query::NodeHandle>>(num_names));
+    }
+    for (size_t k = 0; k < chunks; ++k) {
+      pool->Submit([&, k] {
+        for (size_t i = bounds[k]; i < bounds[k + 1]; ++i) {
+          const xml::NodeId node = static_cast<xml::NodeId>(i);
+          if (!doc_.IsElement(node)) continue;
+          if (options_.build_tag_index) {
+            tag_parts[k][doc_.name(node)].push_back(
+                static_cast<query::NodeHandle>(i));
+          }
+          if (options_.build_id_index && id_attr != xml::kInvalidName) {
+            const auto id = doc_.attribute(node, id_attr);
+            if (id.has_value()) {
+              id_parts[k].emplace_back(std::string(*id),
+                                       static_cast<query::NodeHandle>(i));
+            }
+          }
+        }
+      });
+    }
+  }
+  pool->Wait();
+  if (options_.build_tag_index) {
+    for (size_t t = 0; t < num_names; ++t) {
+      size_t total = 0;
+      for (size_t k = 0; k < chunks; ++k) total += tag_parts[k][t].size();
+      if (total == 0) continue;
+      std::vector<query::NodeHandle>& out =
+          tag_index_[static_cast<xml::NameId>(t)];
+      out.reserve(total);
+      for (size_t k = 0; k < chunks; ++k) {
+        out.insert(out.end(), tag_parts[k][t].begin(), tag_parts[k][t].end());
+      }
+    }
+  }
+  if (options_.build_id_index) {
+    for (size_t k = 0; k < chunks; ++k) {
+      for (auto& [id, node] : id_parts[k]) {
+        id_index_.emplace(std::move(id), node);
+      }
+    }
+  }
+}
+
+void DomStore::DumpState(std::string* out) const {
+  out->append("dom-store v1\n");
+  const xml::NameTable& names = doc_.names();
+  out->append("names ");
+  out->append(std::to_string(names.size()));
+  out->push_back('\n');
+  for (xml::NameId i = 0; i < names.size(); ++i) {
+    out->append(names.Spelling(i));
+    out->push_back('\n');
+  }
+  out->append("nodes ");
+  out->append(std::to_string(doc_.num_nodes()));
+  out->push_back('\n');
+  for (xml::NodeId i = 0; i < doc_.num_nodes(); ++i) {
+    out->append(StringPrintf("%u %u %u %u", doc_.IsElement(i) ? 1u : 0u,
+                             doc_.name(i), doc_.parent(i),
+                             doc_.first_child(i)));
+    out->append(StringPrintf(" %u|", doc_.next_sibling(i)));
+    out->append(doc_.text(i));
+    for (const auto& attr : doc_.attributes(i)) {
+      out->append(StringPrintf("|%u=", attr.name));
+      out->append(attr.value);
+    }
+    out->push_back('\n');
+  }
+  out->append("tag_index\n");
+  for (xml::NameId t = 0; t < names.size(); ++t) {
+    const auto it = tag_index_.find(t);
+    if (it == tag_index_.end()) continue;
+    out->append(std::to_string(t));
+    for (query::NodeHandle h : it->second) {
+      out->push_back(' ');
+      out->append(std::to_string(h));
+    }
+    out->push_back('\n');
+  }
+  out->append("id_index\n");
+  {
+    std::map<std::string, query::NodeHandle, std::less<>> sorted(
+        id_index_.begin(), id_index_.end());
+    for (const auto& [id, node] : sorted) {
+      out->append(id);
+      out->push_back(' ');
+      out->append(std::to_string(node));
+      out->push_back('\n');
+    }
+  }
+  out->append("summary ");
+  out->append(std::to_string(summary_.size()));
+  out->push_back('\n');
+  for (const SummaryNode& s : summary_) {
+    out->append(StringPrintf("tag %u children", s.tag));
+    std::map<xml::NameId, size_t> children(s.children.begin(),
+                                           s.children.end());
+    for (const auto& [tag, idx] : children) {
+      out->append(StringPrintf(" %u:%zu", tag, idx));
+    }
+    out->append(" extent");
+    for (query::NodeHandle h : s.extent) {
+      out->push_back(' ');
+      out->append(std::to_string(h));
+    }
+    out->push_back('\n');
   }
 }
 

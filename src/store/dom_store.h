@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "query/storage.h"
+#include "store/load_options.h"
 #include "util/status.h"
 #include "util/string_util.h"
 #include "xml/dom.h"
@@ -29,9 +30,17 @@ class DomStore : public query::StorageAdapter {
     bool build_path_summary = true;
   };
 
-  /// Parses `xml` and builds the selected indexes.
-  static StatusOr<std::unique_ptr<DomStore>> Load(std::string_view xml,
-                                                  const Options& options);
+  /// Parses `xml` and builds the selected indexes. `load_options.threads
+  /// == 1` is the original serial path; more threads parse in parallel and
+  /// build the tag/id/summary indexes concurrently, with byte-identical
+  /// results.
+  static StatusOr<std::unique_ptr<DomStore>> Load(
+      std::string_view xml, const Options& options,
+      const LoadOptions& load_options = {});
+
+  /// Canonical serialization of the document and every index, for the
+  /// bulkload determinism test.
+  void DumpState(std::string* out) const;
 
   // StorageAdapter:
   std::string_view mapping_name() const override { return "native DOM"; }
@@ -132,6 +141,8 @@ class DomStore : public query::StorageAdapter {
   }
 
   void BuildIndexes();
+  void BuildIndexesParallel(ThreadPool* pool, unsigned threads);
+  void BuildSummary();
 
   xml::Document doc_;
   Options options_;

@@ -3,11 +3,16 @@
 #include <algorithm>
 
 #include "util/logging.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
 #include "xml/dom.h"
 
 namespace xmark::store {
 
-StatusOr<std::unique_ptr<EdgeStore>> EdgeStore::Load(std::string_view xml) {
+StatusOr<std::unique_ptr<EdgeStore>> EdgeStore::Load(
+    std::string_view xml, const LoadOptions& options) {
+  const unsigned threads = options.EffectiveThreads();
+  if (threads > 1) return LoadParallel(xml, threads);
   XMARK_ASSIGN_OR_RETURN(xml::Document doc, xml::Document::Parse(xml));
   std::unique_ptr<EdgeStore> store(new EdgeStore());
   // Shred the parsed tree into the edge and attribute relations. NameIds
@@ -96,6 +101,214 @@ StatusOr<std::unique_ptr<EdgeStore>> EdgeStore::Load(std::string_view xml) {
   std::sort(store->id_value_index_.begin(), store->id_value_index_.end());
   store->root_ = doc.root();
   return store;
+}
+
+StatusOr<std::unique_ptr<EdgeStore>> EdgeStore::LoadParallel(
+    std::string_view xml, unsigned threads) {
+  ThreadPool pool(threads);
+  xml::ParseOptions popts;
+  popts.pool = &pool;
+  XMARK_ASSIGN_OR_RETURN(xml::Document doc, xml::Document::Parse(xml, popts));
+  std::unique_ptr<EdgeStore> store(new EdgeStore());
+  const size_t n = doc.num_nodes();
+  // The serial path interns tag and attribute spellings per node in
+  // preorder — exactly the order the document's own dictionary was built
+  // in — so copying it yields the identical table without a serial pass.
+  store->names_ = doc.names();
+  const xml::NameId id_attr = doc.names().Lookup("id");
+
+  // Sibling ordinals: each child is written exactly once, by its parent.
+  std::vector<uint32_t> ord_of_node(n, 0);
+  ParallelFor(&pool, 0, n, 1024, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) {
+      uint32_t ord = 0;
+      for (xml::NodeId c = doc.first_child(static_cast<xml::NodeId>(i));
+           c != xml::kInvalidNode; c = doc.next_sibling(c)) {
+        ord_of_node[c] = ord++;
+      }
+    }
+  });
+
+  // Pass A: per-chunk heap bytes / attribute rows / id entries.
+  const std::vector<size_t> bounds = ChunkBounds(n, threads);
+  const size_t chunks = bounds.size() - 1;
+  std::vector<size_t> heap_base(chunks + 1, 0);
+  std::vector<size_t> attr_base(chunks + 1, 0);
+  std::vector<size_t> id_base(chunks + 1, 0);
+  for (size_t k = 0; k < chunks; ++k) {
+    pool.Submit([&, k] {
+      size_t heap = 0, attrs = 0, ids = 0;
+      for (size_t i = bounds[k]; i < bounds[k + 1]; ++i) {
+        const xml::NodeId node = static_cast<xml::NodeId>(i);
+        if (doc.IsElement(node)) {
+          for (const auto& attr : doc.attributes(node)) {
+            heap += attr.value.size();
+            ++attrs;
+            if (attr.name == id_attr) ++ids;
+          }
+        } else {
+          heap += doc.text(node).size();
+        }
+      }
+      heap_base[k + 1] = heap;
+      attr_base[k + 1] = attrs;
+      id_base[k + 1] = ids;
+    });
+  }
+  pool.Wait();
+  for (size_t k = 0; k < chunks; ++k) {
+    heap_base[k + 1] += heap_base[k];
+    attr_base[k + 1] += attr_base[k];
+    id_base[k + 1] += id_base[k];
+  }
+
+  // Pass B: fill rows, attribute rows, heap bytes and id entries at the
+  // prefix-summed positions — the exact offsets the serial path produces.
+  store->rows_.resize(n);
+  store->attrs_.resize(attr_base[chunks]);
+  store->heap_.resize(heap_base[chunks]);
+  store->id_value_index_.resize(id_base[chunks]);
+  for (size_t k = 0; k < chunks; ++k) {
+    pool.Submit([&, k] {
+      size_t heap_off = heap_base[k];
+      size_t attr_off = attr_base[k];
+      size_t id_off = id_base[k];
+      for (size_t i = bounds[k]; i < bounds[k + 1]; ++i) {
+        const xml::NodeId node = static_cast<xml::NodeId>(i);
+        EdgeRow row{};
+        row.id = static_cast<uint32_t>(i);
+        row.parent = doc.parent(node) == xml::kInvalidNode
+                         ? kNoParent
+                         : doc.parent(node);
+        row.ord = ord_of_node[i];
+        if (doc.IsElement(node)) {
+          row.tag = doc.name(node);
+          for (const auto& attr : doc.attributes(node)) {
+            AttrRow arow{};
+            arow.owner = static_cast<uint32_t>(i);
+            arow.name = attr.name;
+            arow.value_begin = static_cast<uint32_t>(heap_off);
+            arow.value_len = static_cast<uint32_t>(attr.value.size());
+            std::memcpy(store->heap_.data() + heap_off, attr.value.data(),
+                        attr.value.size());
+            heap_off += attr.value.size();
+            store->attrs_[attr_off++] = arow;
+            if (attr.name == id_attr) {
+              store->id_value_index_[id_off++] = {std::string(attr.value),
+                                                  static_cast<uint32_t>(i)};
+            }
+          }
+        } else {
+          row.tag = xml::kInvalidName;
+          row.text_begin = static_cast<uint32_t>(heap_off);
+          row.text_len = static_cast<uint32_t>(doc.text(node).size());
+          std::memcpy(store->heap_.data() + heap_off, doc.text(node).data(),
+                      doc.text(node).size());
+          heap_off += doc.text(node).size();
+        }
+        store->rows_[i] = row;
+      }
+    });
+  }
+  pool.Wait();
+
+  // Cluster on (parent, ord): keys are unique, so the stable parallel
+  // sort lands on the same array as the serial std::sort.
+  ParallelStableSort(&pool, store->rows_.begin(), store->rows_.end(),
+                     [](const EdgeRow& a, const EdgeRow& b) {
+                       if (a.parent != b.parent) return a.parent < b.parent;
+                       return a.ord < b.ord;
+                     });
+
+  // Index builds: disjoint writes throughout.
+  store->pos_of_id_.resize(n);
+  ParallelFor(&pool, 0, n, 4096, [&](size_t b, size_t e) {
+    for (size_t pos = b; pos < e; ++pos) {
+      store->pos_of_id_[store->rows_[pos].id] = static_cast<uint32_t>(pos);
+    }
+  });
+  store->child_begin_.assign(n, static_cast<uint32_t>(n));
+  ParallelFor(&pool, 0, n, 4096, [&](size_t b, size_t e) {
+    for (size_t pos = b; pos < e; ++pos) {
+      const uint32_t parent = store->rows_[pos].parent;
+      if (parent == kNoParent) continue;
+      if (pos == 0 || store->rows_[pos - 1].parent != parent) {
+        store->child_begin_[parent] = static_cast<uint32_t>(pos);
+      }
+    }
+  });
+  // Subtree intervals: the ascending recurrence resolves parents before
+  // children, so this stays a (cheap) sequential pass.
+  store->subtree_end_.resize(n);
+  for (xml::NodeId i = 0; i < n; ++i) {
+    const xml::NodeId sib = doc.next_sibling(i);
+    store->subtree_end_[i] =
+        sib != xml::kInvalidNode
+            ? sib
+            : (doc.parent(i) == xml::kInvalidNode
+                   ? static_cast<uint32_t>(n)
+                   : store->subtree_end_[doc.parent(i)]);
+  }
+  // Attribute rows were emitted in preorder, i.e. already owner-sorted
+  // (the serial stable_sort is a no-op on the same sequence).
+  store->attr_begin_.assign(n, static_cast<uint32_t>(store->attrs_.size()));
+  const size_t num_attrs = store->attrs_.size();
+  ParallelFor(&pool, 0, num_attrs, 4096, [&](size_t b, size_t e) {
+    for (size_t pos = b; pos < e; ++pos) {
+      const uint32_t owner = store->attrs_[pos].owner;
+      if (pos == 0 || store->attrs_[pos - 1].owner != owner) {
+        store->attr_begin_[owner] = static_cast<uint32_t>(pos);
+      }
+    }
+  });
+  // (value, id) pairs are unique, so stable == serial std::sort.
+  ParallelStableSort(&pool, store->id_value_index_.begin(),
+                     store->id_value_index_.end(),
+                     [](const auto& a, const auto& b) { return a < b; });
+  store->root_ = doc.root();
+  return store;
+}
+
+void EdgeStore::DumpState(std::string* out) const {
+  out->append("edge-store v1\n");
+  out->append("names ");
+  out->append(std::to_string(names_.size()));
+  out->push_back('\n');
+  for (xml::NameId i = 0; i < names_.size(); ++i) {
+    out->append(names_.Spelling(i));
+    out->push_back('\n');
+  }
+  out->append(StringPrintf("root %llu\n",
+                           static_cast<unsigned long long>(root_)));
+  out->append("rows\n");
+  for (const EdgeRow& r : rows_) {
+    out->append(StringPrintf("%u %u %u %u %u %u\n", r.id, r.parent, r.ord,
+                             r.tag, r.text_begin, r.text_len));
+  }
+  out->append("pos_of_id\n");
+  for (uint32_t v : pos_of_id_) out->append(std::to_string(v)), out->push_back(' ');
+  out->append("\nchild_begin\n");
+  for (uint32_t v : child_begin_) out->append(std::to_string(v)), out->push_back(' ');
+  out->append("\nsubtree_end\n");
+  for (uint32_t v : subtree_end_) out->append(std::to_string(v)), out->push_back(' ');
+  out->append("\nattrs\n");
+  for (const AttrRow& a : attrs_) {
+    out->append(StringPrintf("%u %u %u %u\n", a.owner, a.name, a.value_begin,
+                             a.value_len));
+  }
+  out->append("attr_begin\n");
+  for (uint32_t v : attr_begin_) out->append(std::to_string(v)), out->push_back(' ');
+  out->append("\nheap ");
+  out->append(std::to_string(heap_.size()));
+  out->push_back('\n');
+  out->append(heap_);
+  out->append("\nid_index\n");
+  for (const auto& [value, node] : id_value_index_) {
+    out->append(value);
+    out->push_back(' ');
+    out->append(std::to_string(node));
+    out->push_back('\n');
+  }
 }
 
 bool EdgeStore::IsElement(query::NodeHandle n) const {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "query/storage.h"
+#include "store/load_options.h"
 #include "util/status.h"
 #include "xml/names.h"
 
@@ -26,7 +27,15 @@ namespace xmark::store {
 /// queries cheaply.
 class EdgeStore : public query::StorageAdapter {
  public:
-  static StatusOr<std::unique_ptr<EdgeStore>> Load(std::string_view xml);
+  /// Bulkloads the document. `options.threads == 1` is the original serial
+  /// shred-then-sort path; more threads run the parallel pipeline with
+  /// byte-identical results (see LoadOptions).
+  static StatusOr<std::unique_ptr<EdgeStore>> Load(
+      std::string_view xml, const LoadOptions& options = {});
+
+  /// Canonical serialization of every internal structure, for the
+  /// bulkload determinism test (threads=1 vs threads=N byte equality).
+  void DumpState(std::string* out) const;
 
   std::string_view mapping_name() const override { return "edge table"; }
   const xml::NameTable& names() const override { return names_; }
@@ -89,6 +98,11 @@ class EdgeStore : public query::StorageAdapter {
   static constexpr uint32_t kNoParent = 0xffffffffu;
 
   EdgeStore() = default;
+
+  // Parallel pipeline: chunked parse, prefix-summed heap/table fills,
+  // partitioned cluster sort, concurrent index builds.
+  static StatusOr<std::unique_ptr<EdgeStore>> LoadParallel(
+      std::string_view xml, unsigned threads);
 
   const EdgeRow& RowOf(query::NodeHandle n) const {
     return rows_[pos_of_id_[n]];

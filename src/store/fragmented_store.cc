@@ -1,14 +1,19 @@
 #include "store/fragmented_store.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "util/logging.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
 #include "xml/dom.h"
 
 namespace xmark::store {
 
 StatusOr<std::unique_ptr<FragmentedStore>> FragmentedStore::Load(
-    std::string_view xml) {
+    std::string_view xml, const LoadOptions& options) {
+  const unsigned threads = options.EffectiveThreads();
+  if (threads > 1) return LoadParallel(xml, threads);
   XMARK_ASSIGN_OR_RETURN(xml::Document doc, xml::Document::Parse(xml));
   std::unique_ptr<FragmentedStore> store(new FragmentedStore());
   store->text_tag_ = store->names_.Intern("#text");
@@ -95,6 +100,246 @@ StatusOr<std::unique_ptr<FragmentedStore>> FragmentedStore::Load(
   std::sort(store->id_value_index_.begin(), store->id_value_index_.end());
   store->root_ = doc.root();
   return store;
+}
+
+StatusOr<std::unique_ptr<FragmentedStore>> FragmentedStore::LoadParallel(
+    std::string_view xml, unsigned threads) {
+  ThreadPool pool(threads);
+  xml::ParseOptions popts;
+  popts.pool = &pool;
+  XMARK_ASSIGN_OR_RETURN(xml::Document doc, xml::Document::Parse(xml, popts));
+  std::unique_ptr<FragmentedStore> store(new FragmentedStore());
+  const size_t n = doc.num_nodes();
+  // Serial interning order is "#text" first, then the document dictionary
+  // in its own (first-occurrence) order: replaying the document table
+  // reproduces it, and doc NameId u maps to store id u + 1.
+  store->text_tag_ = store->names_.Intern("#text");
+  for (xml::NameId u = 0; u < doc.names().size(); ++u) {
+    store->names_.Intern(doc.names().Spelling(u));
+  }
+  const xml::NameId id_attr = doc.names().Lookup("id");
+
+  // Path discovery stays sequential: path ids are assigned in order of
+  // first appearance, and each node's path depends on its parent's. The
+  // pass touches no heap bytes or attribute rows — just the trie walk.
+  store->path_names_.push_back("");
+  store->paths_.push_back(PathInfo{});
+  store->path_of_.resize(n);
+  store->idx_in_path_.resize(n);
+  std::vector<uint32_t> path_rows;  // rows per path, for preallocation
+  path_rows.push_back(0);
+  {
+    std::vector<std::pair<xml::NodeId, uint32_t>> stack;
+    for (xml::NodeId i = 0; i < n; ++i) {
+      while (!stack.empty() &&
+             !(i >= stack.back().first &&
+               i < doc.SubtreeEnd(stack.back().first))) {
+        stack.pop_back();
+      }
+      const uint32_t parent_path = stack.empty() ? 0 : stack.back().second;
+      const xml::NameId tag =
+          doc.IsElement(i) ? doc.name(i) + 1 : store->text_tag_;
+      uint32_t path_id = 0;
+      for (uint32_t child : store->paths_[parent_path].child_paths) {
+        if (store->paths_[child].tag == tag) {
+          path_id = child;
+          break;
+        }
+      }
+      if (path_id == 0) {
+        path_id = static_cast<uint32_t>(store->paths_.size());
+        PathInfo info;
+        info.parent_path = parent_path;
+        info.tag = tag;
+        info.depth = store->paths_[parent_path].depth + 1;
+        store->paths_.push_back(std::move(info));
+        store->paths_[parent_path].child_paths.push_back(path_id);
+        store->paths_by_tag_[tag].push_back(path_id);
+        store->path_names_.push_back(store->path_names_[parent_path] + "/" +
+                                     store->names_.Spelling(tag));
+        path_rows.push_back(0);
+      }
+      store->path_of_[i] = path_id;
+      store->idx_in_path_[i] = path_rows[path_id]++;
+      if (doc.IsElement(i)) stack.emplace_back(i, path_id);
+    }
+  }
+  for (size_t p = 0; p < store->paths_.size(); ++p) {
+    store->paths_[p].rows.resize(path_rows[p]);
+  }
+
+  // Pass A: per-chunk heap bytes / attribute rows / id entries.
+  const std::vector<size_t> bounds = ChunkBounds(n, threads);
+  const size_t chunks = bounds.size() - 1;
+  std::vector<size_t> heap_base(chunks + 1, 0);
+  std::vector<size_t> attr_base(chunks + 1, 0);
+  std::vector<size_t> id_base(chunks + 1, 0);
+  for (size_t k = 0; k < chunks; ++k) {
+    pool.Submit([&, k] {
+      size_t heap = 0, attrs = 0, ids = 0;
+      for (size_t i = bounds[k]; i < bounds[k + 1]; ++i) {
+        const xml::NodeId node = static_cast<xml::NodeId>(i);
+        if (doc.IsElement(node)) {
+          for (const auto& attr : doc.attributes(node)) {
+            heap += attr.value.size();
+            ++attrs;
+            if (attr.name == id_attr) ++ids;
+          }
+        } else {
+          heap += doc.text(node).size();
+        }
+      }
+      heap_base[k + 1] = heap;
+      attr_base[k + 1] = attrs;
+      id_base[k + 1] = ids;
+    });
+  }
+  pool.Wait();
+  for (size_t k = 0; k < chunks; ++k) {
+    heap_base[k + 1] += heap_base[k];
+    attr_base[k + 1] += attr_base[k];
+    id_base[k + 1] += id_base[k];
+  }
+
+  // Pass B: concurrent per-path table fills. Every row slot
+  // (path_of_, idx_in_path_) and every heap/attr/id position is fixed by
+  // the discovery pass and the prefix sums, so writes are disjoint and
+  // the result matches the serial layout byte for byte.
+  store->attrs_.resize(attr_base[chunks]);
+  store->heap_.resize(heap_base[chunks]);
+  store->id_value_index_.resize(id_base[chunks]);
+  for (size_t k = 0; k < chunks; ++k) {
+    pool.Submit([&, k] {
+      size_t heap_off = heap_base[k];
+      size_t attr_off = attr_base[k];
+      size_t id_off = id_base[k];
+      for (size_t i = bounds[k]; i < bounds[k + 1]; ++i) {
+        const xml::NodeId node = static_cast<xml::NodeId>(i);
+        Row row{};
+        row.id = static_cast<uint32_t>(i);
+        row.parent = doc.parent(node) == xml::kInvalidNode
+                         ? 0xffffffffu
+                         : doc.parent(node);
+        row.subtree_end = doc.SubtreeEnd(node);
+        if (doc.IsElement(node)) {
+          for (const auto& attr : doc.attributes(node)) {
+            AttrRow arow{};
+            arow.owner = static_cast<uint32_t>(i);
+            arow.name = attr.name + 1;  // doc id -> store id
+            arow.value_begin = static_cast<uint32_t>(heap_off);
+            arow.value_len = static_cast<uint32_t>(attr.value.size());
+            std::memcpy(store->heap_.data() + heap_off, attr.value.data(),
+                        attr.value.size());
+            heap_off += attr.value.size();
+            store->attrs_[attr_off++] = arow;
+            if (attr.name == id_attr) {
+              store->id_value_index_[id_off++] = {std::string(attr.value),
+                                                  static_cast<uint32_t>(i)};
+            }
+          }
+        } else {
+          row.text_begin = static_cast<uint32_t>(heap_off);
+          row.text_len = static_cast<uint32_t>(doc.text(node).size());
+          std::memcpy(store->heap_.data() + heap_off, doc.text(node).data(),
+                      doc.text(node).size());
+          heap_off += doc.text(node).size();
+        }
+        store->paths_[store->path_of_[i]].rows[store->idx_in_path_[i]] = row;
+      }
+    });
+  }
+  pool.Wait();
+
+  // Attribute rows were emitted in preorder (owner-sorted already).
+  store->attr_begin_.assign(n, static_cast<uint32_t>(store->attrs_.size()));
+  const size_t num_attrs = store->attrs_.size();
+  ParallelFor(&pool, 0, num_attrs, 4096, [&](size_t b, size_t e) {
+    for (size_t pos = b; pos < e; ++pos) {
+      const uint32_t owner = store->attrs_[pos].owner;
+      if (pos == 0 || store->attrs_[pos - 1].owner != owner) {
+        store->attr_begin_[owner] = static_cast<uint32_t>(pos);
+      }
+    }
+  });
+  ParallelStableSort(&pool, store->id_value_index_.begin(),
+                     store->id_value_index_.end(),
+                     [](const auto& a, const auto& b) { return a < b; });
+  store->root_ = doc.root();
+  return store;
+}
+
+void FragmentedStore::DumpState(std::string* out) const {
+  out->append("fragmented-store v1\n");
+  out->append("names ");
+  out->append(std::to_string(names_.size()));
+  out->push_back('\n');
+  for (xml::NameId i = 0; i < names_.size(); ++i) {
+    out->append(names_.Spelling(i));
+    out->push_back('\n');
+  }
+  out->append(StringPrintf("root %llu text_tag %u\n",
+                           static_cast<unsigned long long>(root_), text_tag_));
+  out->append("paths ");
+  out->append(std::to_string(paths_.size()));
+  out->push_back('\n');
+  for (size_t p = 0; p < paths_.size(); ++p) {
+    const PathInfo& info = paths_[p];
+    out->append(StringPrintf("path %zu parent %u tag %u depth %d name %s\n",
+                             p, info.parent_path, info.tag, info.depth,
+                             path_names_[p].c_str()));
+    out->append("children");
+    for (uint32_t c : info.child_paths) {
+      out->push_back(' ');
+      out->append(std::to_string(c));
+    }
+    out->append("\nrows\n");
+    for (const Row& r : info.rows) {
+      out->append(StringPrintf("%u %u %u %u %u\n", r.id, r.parent,
+                               r.subtree_end, r.text_begin, r.text_len));
+    }
+  }
+  out->append("path_of\n");
+  for (uint32_t v : path_of_) {
+    out->append(std::to_string(v));
+    out->push_back(' ');
+  }
+  out->append("\nidx_in_path\n");
+  for (uint32_t v : idx_in_path_) {
+    out->append(std::to_string(v));
+    out->push_back(' ');
+  }
+  out->append("\npaths_by_tag\n");
+  for (xml::NameId tag = 0; tag < names_.size(); ++tag) {
+    const auto it = paths_by_tag_.find(tag);
+    if (it == paths_by_tag_.end()) continue;
+    out->append(std::to_string(tag));
+    for (uint32_t p : it->second) {
+      out->push_back(' ');
+      out->append(std::to_string(p));
+    }
+    out->push_back('\n');
+  }
+  out->append("attrs\n");
+  for (const AttrRow& a : attrs_) {
+    out->append(StringPrintf("%u %u %u %u\n", a.owner, a.name, a.value_begin,
+                             a.value_len));
+  }
+  out->append("attr_begin\n");
+  for (uint32_t v : attr_begin_) {
+    out->append(std::to_string(v));
+    out->push_back(' ');
+  }
+  out->append("\nheap ");
+  out->append(std::to_string(heap_.size()));
+  out->push_back('\n');
+  out->append(heap_);
+  out->append("\nid_index\n");
+  for (const auto& [value, node] : id_value_index_) {
+    out->append(value);
+    out->push_back(' ');
+    out->append(std::to_string(node));
+    out->push_back('\n');
+  }
 }
 
 bool FragmentedStore::IsElement(query::NodeHandle n) const {

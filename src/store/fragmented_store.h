@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "query/storage.h"
+#include "store/load_options.h"
 #include "util/status.h"
 #include "xml/names.h"
 
@@ -29,7 +30,16 @@ namespace xmark::store {
 /// compiling as A).
 class FragmentedStore : public query::StorageAdapter {
  public:
-  static StatusOr<std::unique_ptr<FragmentedStore>> Load(std::string_view xml);
+  /// Bulkloads the document. `options.threads == 1` is the original serial
+  /// path; more threads run the parallel pipeline (path discovery stays a
+  /// cheap sequential pass, the per-path table fills, heap build and index
+  /// builds run concurrently) with byte-identical results.
+  static StatusOr<std::unique_ptr<FragmentedStore>> Load(
+      std::string_view xml, const LoadOptions& options = {});
+
+  /// Canonical serialization of every internal structure, for the
+  /// bulkload determinism test.
+  void DumpState(std::string* out) const;
 
   std::string_view mapping_name() const override {
     return "fragmented path tables";
@@ -104,6 +114,9 @@ class FragmentedStore : public query::StorageAdapter {
   };
 
   FragmentedStore() = default;
+
+  static StatusOr<std::unique_ptr<FragmentedStore>> LoadParallel(
+      std::string_view xml, unsigned threads);
 
   const Row& RowOf(query::NodeHandle n) const {
     return paths_[path_of_[n]].rows[idx_in_path_[n]];

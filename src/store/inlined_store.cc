@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstring>
+#include <map>
 #include <unordered_set>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 #include "xml/dom.h"
 
 namespace xmark::store {
@@ -52,7 +55,10 @@ bool AtMostOnce(const std::string& model, const std::string& child) {
 }  // namespace
 
 StatusOr<std::unique_ptr<InlinedStore>> InlinedStore::Load(
-    std::string_view xml, std::string_view dtd_text) {
+    std::string_view xml, std::string_view dtd_text,
+    const LoadOptions& options) {
+  const unsigned threads = options.EffectiveThreads();
+  if (threads > 1) return LoadParallel(xml, dtd_text, threads);
   XMARK_ASSIGN_OR_RETURN(xml::Dtd dtd, xml::Dtd::Parse(dtd_text));
   XMARK_ASSIGN_OR_RETURN(xml::Document doc, xml::Document::Parse(xml));
   std::unique_ptr<InlinedStore> store(new InlinedStore());
@@ -141,6 +147,275 @@ StatusOr<std::unique_ptr<InlinedStore>> InlinedStore::Load(
 
   store->root_ = doc.root();
   return store;
+}
+
+StatusOr<std::unique_ptr<InlinedStore>> InlinedStore::LoadParallel(
+    std::string_view xml, std::string_view dtd_text, unsigned threads) {
+  XMARK_ASSIGN_OR_RETURN(xml::Dtd dtd, xml::Dtd::Parse(dtd_text));
+  ThreadPool pool(threads);
+  xml::ParseOptions popts;
+  popts.pool = &pool;
+  XMARK_ASSIGN_OR_RETURN(xml::Document doc, xml::Document::Parse(xml, popts));
+  std::unique_ptr<InlinedStore> store(new InlinedStore());
+  store->dtd_elements_ = dtd.elements().size();
+  const size_t n = doc.num_nodes();
+  // Serial interning replays the document dictionary order, so the store
+  // dictionary equals it (store NameId == doc NameId).
+  store->names_ = doc.names();
+  const xml::NameId id_attr = doc.names().Lookup("id");
+  const size_t num_names = doc.names().size();
+
+  store->parent_.resize(n);
+  store->first_child_.resize(n);
+  store->next_sibling_.resize(n);
+  store->tag_.resize(n);
+  store->row_of_.resize(n);
+  store->text_span_.resize(n, {0, 0});
+
+  auto as_handle = [](xml::NodeId id) {
+    return id == xml::kInvalidNode ? query::kInvalidHandle
+                                   : static_cast<query::NodeHandle>(id);
+  };
+
+  // Pass A: per-chunk heap bytes, attr rows, id entries and per-tag
+  // element counts (the dense row_of_ numbering needs, for each chunk, how
+  // many earlier elements carry the same tag).
+  const std::vector<size_t> bounds = ChunkBounds(n, threads);
+  const size_t chunks = bounds.size() - 1;
+  std::vector<size_t> heap_base(chunks + 1, 0);
+  std::vector<size_t> attr_base(chunks + 1, 0);
+  std::vector<size_t> id_base(chunks + 1, 0);
+  std::vector<std::vector<uint32_t>> tag_counts(
+      chunks, std::vector<uint32_t>(num_names, 0));
+  for (size_t k = 0; k < chunks; ++k) {
+    pool.Submit([&, k] {
+      size_t heap = 0, attrs = 0, ids = 0;
+      std::vector<uint32_t>& counts = tag_counts[k];
+      for (size_t i = bounds[k]; i < bounds[k + 1]; ++i) {
+        const xml::NodeId node = static_cast<xml::NodeId>(i);
+        if (doc.IsElement(node)) {
+          ++counts[doc.name(node)];
+          for (const auto& attr : doc.attributes(node)) {
+            heap += attr.value.size();
+            ++attrs;
+            if (attr.name == id_attr) ++ids;
+          }
+        } else {
+          heap += doc.text(node).size();
+        }
+      }
+      heap_base[k + 1] = heap;
+      attr_base[k + 1] = attrs;
+      id_base[k + 1] = ids;
+    });
+  }
+  pool.Wait();
+  for (size_t k = 0; k < chunks; ++k) {
+    heap_base[k + 1] += heap_base[k];
+    attr_base[k + 1] += attr_base[k];
+    id_base[k + 1] += id_base[k];
+  }
+  // tag_counts[k] becomes the per-tag base for chunk k (exclusive prefix);
+  // the final totals land in tag_cardinality_.
+  std::vector<uint32_t> tag_total(num_names, 0);
+  for (size_t k = 0; k < chunks; ++k) {
+    for (size_t t = 0; t < num_names; ++t) {
+      const uint32_t c = tag_counts[k][t];
+      tag_counts[k][t] = tag_total[t];
+      tag_total[t] += c;
+    }
+  }
+  for (size_t t = 0; t < num_names; ++t) {
+    if (tag_total[t] > 0) {
+      store->tag_cardinality_[static_cast<xml::NameId>(t)] = tag_total[t];
+    }
+  }
+
+  // Pass B: fill the dense structure arrays, heap, attribute rows and id
+  // entries; collect per-chunk id pairs for the (serial) hash inserts.
+  store->attrs_.resize(attr_base[chunks]);
+  store->heap_.resize(heap_base[chunks]);
+  std::vector<std::vector<std::pair<std::string, query::NodeHandle>>>
+      id_pairs(chunks);
+  for (size_t k = 0; k < chunks; ++k) {
+    pool.Submit([&, k] {
+      size_t heap_off = heap_base[k];
+      size_t attr_off = attr_base[k];
+      std::vector<uint32_t> next_row = tag_counts[k];
+      for (size_t i = bounds[k]; i < bounds[k + 1]; ++i) {
+        const xml::NodeId node = static_cast<xml::NodeId>(i);
+        store->parent_[i] = as_handle(doc.parent(node));
+        store->first_child_[i] = as_handle(doc.first_child(node));
+        store->next_sibling_[i] = as_handle(doc.next_sibling(node));
+        if (doc.IsElement(node)) {
+          const xml::NameId tag = doc.name(node);
+          store->tag_[i] = tag;
+          store->row_of_[i] = next_row[tag]++;
+          for (const auto& attr : doc.attributes(node)) {
+            AttrRow arow{};
+            arow.owner = static_cast<uint32_t>(i);
+            arow.name = attr.name;
+            arow.value_begin = static_cast<uint32_t>(heap_off);
+            arow.value_len = static_cast<uint32_t>(attr.value.size());
+            std::memcpy(store->heap_.data() + heap_off, attr.value.data(),
+                        attr.value.size());
+            heap_off += attr.value.size();
+            store->attrs_[attr_off++] = arow;
+            if (attr.name == id_attr) {
+              id_pairs[k].emplace_back(std::string(attr.value),
+                                       static_cast<query::NodeHandle>(i));
+            }
+          }
+        } else {
+          store->tag_[i] = xml::kInvalidName;
+          store->text_span_[i] = {static_cast<uint32_t>(heap_off),
+                                  static_cast<uint32_t>(doc.text(node).size())};
+          std::memcpy(store->heap_.data() + heap_off, doc.text(node).data(),
+                      doc.text(node).size());
+          heap_off += doc.text(node).size();
+        }
+      }
+    });
+  }
+  pool.Wait();
+  for (size_t k = 0; k < chunks; ++k) {
+    for (auto& [value, node] : id_pairs[k]) {
+      store->id_index_.emplace(std::move(value), node);
+    }
+  }
+
+  store->attr_begin_.assign(n, static_cast<uint32_t>(store->attrs_.size()));
+  const size_t num_attrs = store->attrs_.size();
+  ParallelFor(&pool, 0, num_attrs, 4096, [&](size_t b, size_t e) {
+    for (size_t pos = b; pos < e; ++pos) {
+      const uint32_t owner = store->attrs_[pos].owner;
+      if (pos == 0 || store->attrs_[pos - 1].owner != owner) {
+        store->attr_begin_[owner] = static_cast<uint32_t>(pos);
+      }
+    }
+  });
+
+  // Direct child slots: the child-chain scans run per chunk; the cheap
+  // slot-vector writes replay serially in chunk (= document) order.
+  std::unordered_set<uint64_t> inlineable;
+  for (const xml::DtdElement& elem : dtd.elements()) {
+    const xml::NameId parent_tag = store->names_.Lookup(elem.name);
+    if (parent_tag == xml::kInvalidName) continue;
+    for (const std::string& child : elem.children) {
+      const xml::NameId child_tag = store->names_.Lookup(child);
+      if (child_tag == xml::kInvalidName) continue;
+      if (AtMostOnce(elem.model, child)) {
+        inlineable.insert(SlotKey(parent_tag, child_tag));
+      }
+    }
+  }
+  struct SlotEntry {
+    uint64_t key;
+    uint32_t parent_row;
+    query::NodeHandle child;
+  };
+  std::vector<std::vector<SlotEntry>> slot_entries(chunks);
+  for (size_t k = 0; k < chunks; ++k) {
+    pool.Submit([&, k] {
+      for (size_t i = bounds[k]; i < bounds[k + 1]; ++i) {
+        if (!doc.IsElement(static_cast<xml::NodeId>(i))) continue;
+        const xml::NameId ptag = store->tag_[i];
+        for (query::NodeHandle c = store->first_child_[i];
+             c != query::kInvalidHandle; c = store->next_sibling_[c]) {
+          const xml::NameId ctag = store->tag_[c];
+          if (ctag == xml::kInvalidName) continue;
+          const uint64_t key = SlotKey(ptag, ctag);
+          if (!inlineable.count(key)) continue;
+          slot_entries[k].push_back(
+              SlotEntry{key, store->row_of_[i], c});
+        }
+      }
+    });
+  }
+  pool.Wait();
+  for (size_t k = 0; k < chunks; ++k) {
+    for (const SlotEntry& entry : slot_entries[k]) {
+      auto& slot = store->slots_[entry.key];
+      if (slot.empty()) {
+        slot.assign(store->tag_cardinality_[static_cast<xml::NameId>(
+                        entry.key >> 32)],
+                    query::kInvalidHandle);
+      }
+      slot[entry.parent_row] = entry.child;
+    }
+  }
+
+  store->root_ = doc.root();
+  return store;
+}
+
+void InlinedStore::DumpState(std::string* out) const {
+  out->append("inlined-store v1\n");
+  out->append("names ");
+  out->append(std::to_string(names_.size()));
+  out->push_back('\n');
+  for (xml::NameId i = 0; i < names_.size(); ++i) {
+    out->append(names_.Spelling(i));
+    out->push_back('\n');
+  }
+  out->append(StringPrintf("root %llu dtd_elements %zu\n",
+                           static_cast<unsigned long long>(root_),
+                           dtd_elements_));
+  out->append("nodes\n");
+  for (size_t i = 0; i < tag_.size(); ++i) {
+    out->append(StringPrintf(
+        "%llu %llu %llu %u %u %u %u\n",
+        static_cast<unsigned long long>(parent_[i]),
+        static_cast<unsigned long long>(first_child_[i]),
+        static_cast<unsigned long long>(next_sibling_[i]), tag_[i],
+        row_of_[i], text_span_[i].first, text_span_[i].second));
+  }
+  out->append("tag_cardinality\n");
+  {
+    std::map<xml::NameId, uint32_t> sorted(tag_cardinality_.begin(),
+                                           tag_cardinality_.end());
+    for (const auto& [tag, count] : sorted) {
+      out->append(StringPrintf("%u %u\n", tag, count));
+    }
+  }
+  out->append("slots\n");
+  {
+    std::map<uint64_t, const std::vector<query::NodeHandle>*> sorted;
+    for (const auto& [key, slot] : slots_) sorted.emplace(key, &slot);
+    for (const auto& [key, slot] : sorted) {
+      out->append(StringPrintf("%llu:", static_cast<unsigned long long>(key)));
+      for (query::NodeHandle h : *slot) {
+        out->push_back(' ');
+        out->append(std::to_string(h));
+      }
+      out->push_back('\n');
+    }
+  }
+  out->append("attrs\n");
+  for (const AttrRow& a : attrs_) {
+    out->append(StringPrintf("%u %u %u %u\n", a.owner, a.name, a.value_begin,
+                             a.value_len));
+  }
+  out->append("attr_begin\n");
+  for (uint32_t v : attr_begin_) {
+    out->append(std::to_string(v));
+    out->push_back(' ');
+  }
+  out->append("\nheap ");
+  out->append(std::to_string(heap_.size()));
+  out->push_back('\n');
+  out->append(heap_);
+  out->append("\nid_index\n");
+  {
+    std::map<std::string, query::NodeHandle> sorted(id_index_.begin(),
+                                                    id_index_.end());
+    for (const auto& [value, node] : sorted) {
+      out->append(value);
+      out->push_back(' ');
+      out->append(std::to_string(node));
+      out->push_back('\n');
+    }
+  }
 }
 
 std::string_view InlinedStore::TextView(query::NodeHandle n) const {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "query/storage.h"
+#include "store/load_options.h"
 #include "util/status.h"
 #include "util/string_util.h"
 #include "xml/dtd.h"
@@ -31,9 +32,16 @@ namespace xmark::store {
 class InlinedStore : public query::StorageAdapter {
  public:
   /// Loads the document; `dtd_text` supplies the schema to derive the
-  /// mapping from (defaults to the bundled auction DTD).
+  /// mapping from (defaults to the bundled auction DTD). `options.threads
+  /// == 1` is the original serial path; more threads run the parallel
+  /// pipeline with byte-identical results.
   static StatusOr<std::unique_ptr<InlinedStore>> Load(
-      std::string_view xml, std::string_view dtd_text = xml::kAuctionDtd);
+      std::string_view xml, std::string_view dtd_text = xml::kAuctionDtd,
+      const LoadOptions& options = {});
+
+  /// Canonical serialization of every internal structure, for the
+  /// bulkload determinism test.
+  void DumpState(std::string* out) const;
 
   std::string_view mapping_name() const override {
     return "DTD-inlined tables";
@@ -92,6 +100,9 @@ class InlinedStore : public query::StorageAdapter {
 
  private:
   InlinedStore() = default;
+
+  static StatusOr<std::unique_ptr<InlinedStore>> LoadParallel(
+      std::string_view xml, std::string_view dtd_text, unsigned threads);
 
   static uint64_t SlotKey(xml::NameId parent_tag, xml::NameId child_tag) {
     return (static_cast<uint64_t>(parent_tag) << 32) | child_tag;

@@ -1,0 +1,28 @@
+#ifndef XMARK_STORE_LOAD_OPTIONS_H_
+#define XMARK_STORE_LOAD_OPTIONS_H_
+
+#include <thread>
+
+namespace xmark::store {
+
+/// Bulkload configuration shared by every store's Load. `threads == 1`
+/// runs the original single-threaded shred-then-sort path unchanged (the
+/// ablation baseline for the Table 1 bench); larger values run the
+/// parallel pipeline — chunked parallel parse, partitioned sorts with
+/// merge, concurrent per-table fills and index builds. The loaded store is
+/// byte-identical for every thread count: preorder ids, name-table
+/// numbering, heap layout and table order are all deterministic.
+struct LoadOptions {
+  /// Worker threads for bulkload; 0 means hardware_concurrency.
+  unsigned threads = 0;
+
+  unsigned EffectiveThreads() const {
+    if (threads != 0) return threads;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+  }
+};
+
+}  // namespace xmark::store
+
+#endif  // XMARK_STORE_LOAD_OPTIONS_H_

@@ -1,0 +1,116 @@
+#include "util/thread_pool.h"
+
+namespace xmark {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  // Backstop against wrapped or absurd requests (e.g. a negative flag
+  // cast to unsigned): more workers than this never helps a bulkload.
+  constexpr unsigned kMaxWorkers = 256;
+  if (threads > kMaxWorkers) threads = kMaxWorkers;
+  queues_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    queues_.push_back(std::make_unique<Queue>());
+  }
+  threads_.reserve(threads - 1);
+  for (unsigned i = 1; i < threads; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  Wait();
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_.store(true, std::memory_order_release);
+  }
+  wake_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  const unsigned q = next_queue_.fetch_add(1, std::memory_order_relaxed) %
+                     queues_.size();
+  {
+    std::lock_guard<std::mutex> lock(queues_[q]->mu);
+    queues_[q]->tasks.push_back(std::move(fn));
+  }
+  // pending_ changes under wake_mu_ so sleeping workers and Wait() cannot
+  // miss the state change between their predicate check and the wait.
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    pending_.fetch_add(1, std::memory_order_release);
+  }
+  wake_.notify_one();
+}
+
+bool ThreadPool::RunOne(unsigned self) {
+  std::function<void()> task;
+  {
+    // Own deque: newest first (cache-hot).
+    Queue& own = *queues_[self];
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.tasks.empty()) {
+      task = std::move(own.tasks.back());
+      own.tasks.pop_back();
+    }
+  }
+  if (!task) {
+    // Steal oldest-first from the other deques.
+    for (size_t i = 1; i < queues_.size() && !task; ++i) {
+      Queue& victim = *queues_[(self + i) % queues_.size()];
+      std::lock_guard<std::mutex> lock(victim.mu);
+      if (!victim.tasks.empty()) {
+        task = std::move(victim.tasks.front());
+        victim.tasks.pop_front();
+      }
+    }
+  }
+  if (!task) return false;
+  task();
+  size_t left;
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    left = pending_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+  }
+  if (left == 0) idle_.notify_all();
+  return true;
+}
+
+bool ThreadPool::HasRunnable() {
+  for (const auto& q : queues_) {
+    std::lock_guard<std::mutex> lock(q->mu);
+    if (!q->tasks.empty()) return true;
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(unsigned self) {
+  while (true) {
+    if (RunOne(self)) continue;
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    wake_.wait(lock, [this] {
+      return stop_.load(std::memory_order_acquire) ||
+             (pending_.load(std::memory_order_acquire) > 0 && HasRunnable());
+    });
+    if (stop_.load(std::memory_order_acquire) && !HasRunnable()) return;
+  }
+}
+
+void ThreadPool::Wait() {
+  // The caller works too: drain tasks until none remain in flight.
+  while (pending_.load(std::memory_order_acquire) > 0) {
+    if (RunOne(0)) continue;
+    // Nothing runnable here, but tasks are still in flight on other
+    // workers (or nested submissions may yet arrive).
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    idle_.wait(lock, [this] {
+      return pending_.load(std::memory_order_acquire) == 0 || HasRunnable();
+    });
+  }
+}
+
+}  // namespace xmark

@@ -139,15 +139,19 @@ StatusOr<std::unique_ptr<query::StorageAdapter>> Engine::BuildStore(
     std::string_view xml) const {
   switch (id_) {
     case SystemId::kA: {
-      XMARK_ASSIGN_OR_RETURN(auto store, store::EdgeStore::Load(xml));
+      XMARK_ASSIGN_OR_RETURN(auto store,
+                             store::EdgeStore::Load(xml, load_options_));
       return std::unique_ptr<query::StorageAdapter>(std::move(store));
     }
     case SystemId::kB: {
-      XMARK_ASSIGN_OR_RETURN(auto store, store::FragmentedStore::Load(xml));
+      XMARK_ASSIGN_OR_RETURN(
+          auto store, store::FragmentedStore::Load(xml, load_options_));
       return std::unique_ptr<query::StorageAdapter>(std::move(store));
     }
     case SystemId::kC: {
-      XMARK_ASSIGN_OR_RETURN(auto store, store::InlinedStore::Load(xml));
+      XMARK_ASSIGN_OR_RETURN(
+          auto store,
+          store::InlinedStore::Load(xml, xml::kAuctionDtd, load_options_));
       return std::unique_ptr<query::StorageAdapter>(std::move(store));
     }
     case SystemId::kD: {
@@ -155,7 +159,8 @@ StatusOr<std::unique_ptr<query::StorageAdapter>> Engine::BuildStore(
       dom_opts.build_tag_index = true;
       dom_opts.build_id_index = true;
       dom_opts.build_path_summary = true;
-      XMARK_ASSIGN_OR_RETURN(auto store, store::DomStore::Load(xml, dom_opts));
+      XMARK_ASSIGN_OR_RETURN(
+          auto store, store::DomStore::Load(xml, dom_opts, load_options_));
       return std::unique_ptr<query::StorageAdapter>(std::move(store));
     }
     case SystemId::kE: {
@@ -163,7 +168,8 @@ StatusOr<std::unique_ptr<query::StorageAdapter>> Engine::BuildStore(
       dom_opts.build_tag_index = false;
       dom_opts.build_id_index = true;
       dom_opts.build_path_summary = false;
-      XMARK_ASSIGN_OR_RETURN(auto store, store::DomStore::Load(xml, dom_opts));
+      XMARK_ASSIGN_OR_RETURN(
+          auto store, store::DomStore::Load(xml, dom_opts, load_options_));
       return std::unique_ptr<query::StorageAdapter>(std::move(store));
     }
     case SystemId::kF:
@@ -172,7 +178,8 @@ StatusOr<std::unique_ptr<query::StorageAdapter>> Engine::BuildStore(
       dom_opts.build_tag_index = false;
       dom_opts.build_id_index = false;
       dom_opts.build_path_summary = false;
-      XMARK_ASSIGN_OR_RETURN(auto store, store::DomStore::Load(xml, dom_opts));
+      XMARK_ASSIGN_OR_RETURN(
+          auto store, store::DomStore::Load(xml, dom_opts, load_options_));
       return std::unique_ptr<query::StorageAdapter>(std::move(store));
     }
   }

@@ -9,6 +9,7 @@
 #include "query/evaluator.h"
 #include "query/parser.h"
 #include "query/storage.h"
+#include "store/load_options.h"
 #include "util/status.h"
 
 namespace xmark::bench {
@@ -53,6 +54,13 @@ class Engine {
   /// Bulkloads the benchmark document (shredding + index build).
   Status Load(std::string_view xml);
 
+  /// Bulkload configuration (thread count) applied by Load and by System
+  /// G's per-query reloads. Results are identical for any thread count.
+  void set_load_options(const store::LoadOptions& options) {
+    load_options_ = options;
+  }
+  const store::LoadOptions& load_options() const { return load_options_; }
+
   /// Compiles a query: parse, static analysis, catalog/metadata resolution.
   StatusOr<PreparedQuery> Prepare(std::string_view query_text) const;
 
@@ -95,6 +103,7 @@ class Engine {
 
   SystemId id_;
   query::EvaluatorOptions eval_options_;
+  store::LoadOptions load_options_;
   bool reload_per_query_;
   std::unique_ptr<query::StorageAdapter> store_;
   std::string retained_xml_;  // kept only by reload-per-query engines

@@ -12,9 +12,15 @@ BenchmarkRunner::BenchmarkRunner(double scale, uint64_t seed) : scale_(scale) {
   document_ = gen::XmlGen(opts).GenerateToString();
 }
 
+void BenchmarkRunner::UnloadSystem(SystemId system) {
+  engines_.erase(system);
+  load_info_.erase(system);
+}
+
 Status BenchmarkRunner::LoadSystem(SystemId system) {
   if (engines_.count(system)) return Status::OK();
   std::unique_ptr<Engine> engine = Engine::Create(system);
+  engine->set_load_options(store::LoadOptions{load_threads_});
   PhaseTimer timer;
   XMARK_RETURN_IF_ERROR(engine->Load(document_));
   LoadInfo info;

@@ -41,6 +41,14 @@ class BenchmarkRunner {
   /// Bulkloads `system`, recording Table 1 metrics. Idempotent.
   Status LoadSystem(SystemId system);
 
+  /// Bulkload worker threads for subsequently loaded systems (0 =
+  /// hardware_concurrency, 1 = serial ablation path).
+  void set_load_threads(unsigned threads) { load_threads_ = threads; }
+
+  /// Drops a loaded system so the next LoadSystem re-bulkloads it (the
+  /// Table 1 bench reloads each system at several thread counts).
+  void UnloadSystem(SystemId system);
+
   /// Times one query (1..20) on a loaded system. The best of `repetitions`
   /// runs is reported (steady-state timing).
   StatusOr<QueryTiming> RunQuery(SystemId system, int query_number,
@@ -56,6 +64,7 @@ class BenchmarkRunner {
 
  private:
   double scale_;
+  unsigned load_threads_ = 0;  // 0 = hardware_concurrency
   std::string document_;
   std::map<SystemId, std::unique_ptr<Engine>> engines_;
   std::map<SystemId, LoadInfo> load_info_;

@@ -89,8 +89,11 @@ int Document::Depth(NodeId n) const {
 }
 
 size_t Document::MemoryBytes() const {
-  return nodes_.capacity() * sizeof(NodeRecord) +
-         attrs_.capacity() * sizeof(DomAttribute) + arena_->bytes_reserved();
+  size_t bytes = nodes_.capacity() * sizeof(NodeRecord) +
+                 attrs_.capacity() * sizeof(DomAttribute) +
+                 arena_->bytes_reserved();
+  for (const auto& arena : chunk_arenas_) bytes += arena->bytes_reserved();
+  return bytes;
 }
 
 NodeId DomBuilder::Append(Document::NodeRecord record) {

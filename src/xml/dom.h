@@ -12,6 +12,10 @@
 #include "xml/names.h"
 #include "xml/sax_parser.h"
 
+namespace xmark {
+class ThreadPool;
+}
+
 namespace xmark::xml {
 
 /// Dense node identifier. Nodes are stored in document (preorder) order, so
@@ -27,6 +31,19 @@ enum class NodeKind : uint8_t { kElement, kText };
 struct DomAttribute {
   NameId name;
   std::string_view value;
+};
+
+/// Options for Document::Parse. When `pool` has more than one worker the
+/// document is parsed by the chunked parallel pipeline: a sequential
+/// structural pre-scan splits the text at safe element boundaries, the
+/// chunks are SAX-parsed concurrently into node/attribute batches, and the
+/// batches are stitched back in document order. The result is identical to
+/// the serial parse — same preorder NodeIds, same NameId assignment (name
+/// batches merge in chunk order, reproducing global first-occurrence
+/// order), same text and attribute bytes — for any worker count.
+struct ParseOptions {
+  bool keep_whitespace = false;
+  ThreadPool* pool = nullptr;  // nullptr (or 1 worker): serial parse
 };
 
 /// Read-only in-memory XML document: a flat, arena-backed node table with
@@ -46,6 +63,9 @@ class Document {
   /// unless `keep_whitespace` is true.
   static StatusOr<Document> Parse(std::string_view input,
                                   bool keep_whitespace = false);
+  /// Parallel-capable overload; see ParseOptions.
+  static StatusOr<Document> Parse(std::string_view input,
+                                  const ParseOptions& options);
   static StatusOr<Document> ParseFile(const std::string& path,
                                       bool keep_whitespace = false);
 
@@ -97,6 +117,7 @@ class Document {
 
  private:
   friend class DomBuilder;
+  friend class ParallelDomParser;
 
   struct NodeRecord {
     NodeKind kind;
@@ -113,6 +134,9 @@ class Document {
   std::vector<DomAttribute> attrs_;
   NameTable names_;
   std::unique_ptr<Arena> arena_;
+  // Per-chunk arenas adopted from the parallel parse; text views in nodes_
+  // point into them (block storage is stable once adopted).
+  std::vector<std::unique_ptr<Arena>> chunk_arenas_;
 };
 
 /// SAX handler that assembles a Document.

@@ -1,0 +1,448 @@
+// Chunked parallel XML parse — the front end of the parallel bulkload
+// pipeline (Table 1 of the paper makes bulkload time a first-class
+// metric, and the serial SAX+DOM pass dominates every store's Load).
+//
+// Three phases:
+//   1. A sequential structural pre-scan walks only the markup (no entity
+//      decoding, no attribute parsing, no node construction) and picks
+//      split points: start tags at shallow depth nearest to evenly spaced
+//      byte targets, each recorded with its open-element context.
+//   2. The chunks are SAX-parsed concurrently. Each chunk builds local
+//      node/attribute batches, a local name table and a local arena;
+//      elements opened before the chunk ("ghosts") are represented by
+//      markers resolved at stitch time.
+//   3. A cheap sequential walk threads the chunk contexts together
+//      (ghost parents, cross-chunk sibling links), then the batches are
+//      copied into the final document in parallel with id/offset fixups.
+//
+// Determinism: chunk boundaries depend only on the input bytes, batches
+// are concatenated in chunk order, and local name tables merge in chunk
+// order (which reproduces the serial first-occurrence interning order),
+// so the resulting Document is identical to the serial parse — same
+// preorder ids, same NameIds, same bytes — for any worker count.
+
+#include <cctype>
+#include <cstring>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
+#include "xml/dom.h"
+
+namespace xmark::xml {
+namespace {
+
+// Parent markers for nodes whose parent element was opened in an earlier
+// chunk: kGhostBase + stack level. Real ids stay below 2^31.
+constexpr NodeId kGhostBase = 0x80000000u;
+
+struct ChunkBoundary {
+  size_t offset = 0;
+  std::vector<std::string> open_tags;  // outermost first
+};
+
+bool IsNameStartChar(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool IsNameChar(char c) {
+  return IsNameStartChar(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+         c == '-' || c == '.';
+}
+
+// Structural pre-scan: splits `in` into ~`chunks` ranges, each starting at
+// a start tag whose enclosing depth is at most kMaxSplitDepth. Returns
+// false when the markup cannot be classified safely (the caller falls back
+// to the serial parser, which produces the real error message if the
+// document is malformed).
+bool ScanChunkBoundaries(std::string_view in, size_t chunks,
+                         std::vector<ChunkBoundary>* out) {
+  constexpr size_t kMaxSplitDepth = 4;
+  out->clear();
+  out->push_back(ChunkBoundary{});  // chunk 0: offset 0, no open elements
+  std::vector<std::pair<size_t, size_t>> stack;  // (name offset, length)
+  size_t next_target = in.size() / chunks;
+  size_t pos = 0;
+  while (pos < in.size()) {
+    const void* lt = std::memchr(in.data() + pos, '<', in.size() - pos);
+    if (lt == nullptr) break;
+    pos = static_cast<size_t>(static_cast<const char*>(lt) - in.data());
+    if (pos + 1 >= in.size()) return false;
+    const char next = in[pos + 1];
+    if (next == '/') {
+      if (stack.empty()) return false;
+      stack.pop_back();
+      const size_t end = in.find('>', pos + 2);
+      if (end == std::string_view::npos) return false;
+      pos = end + 1;
+      continue;
+    }
+    if (next == '!') {
+      if (in.compare(pos, 4, "<!--") == 0) {
+        const size_t end = in.find("-->", pos + 4);
+        if (end == std::string_view::npos) return false;
+        pos = end + 3;
+        continue;
+      }
+      if (in.compare(pos, 9, "<![CDATA[") == 0) {
+        const size_t end = in.find("]]>", pos + 9);
+        if (end == std::string_view::npos) return false;
+        pos = end + 3;
+        continue;
+      }
+      if (in.compare(pos, 9, "<!DOCTYPE") == 0) {
+        int depth = 0;
+        size_t p = pos + 9;
+        for (; p < in.size(); ++p) {
+          if (in[p] == '[') ++depth;
+          if (in[p] == ']') --depth;
+          if (in[p] == '>' && depth <= 0) break;
+        }
+        if (p >= in.size()) return false;
+        pos = p + 1;
+        continue;
+      }
+      return false;
+    }
+    if (next == '?') {
+      const size_t end = in.find("?>", pos + 2);
+      if (end == std::string_view::npos) return false;
+      pos = end + 2;
+      continue;
+    }
+    if (!IsNameStartChar(next)) return false;
+    // Start tag: name span, then scan to '>' skipping quoted values.
+    const size_t name_start = pos + 1;
+    size_t p = name_start;
+    while (p < in.size() && IsNameChar(in[p])) ++p;
+    const size_t name_len = p - name_start;
+    bool self_closing = false;
+    while (p < in.size()) {
+      const char c = in[p];
+      if (c == '"' || c == '\'') {
+        const void* q = std::memchr(in.data() + p + 1, c, in.size() - p - 1);
+        if (q == nullptr) return false;
+        p = static_cast<size_t>(static_cast<const char*>(q) - in.data()) + 1;
+        continue;
+      }
+      if (c == '>') {
+        self_closing = p > name_start && in[p - 1] == '/';
+        break;
+      }
+      ++p;
+    }
+    if (p >= in.size()) return false;
+    if (pos >= next_target && pos > 0 && stack.size() <= kMaxSplitDepth) {
+      ChunkBoundary b;
+      b.offset = pos;
+      b.open_tags.reserve(stack.size());
+      for (const auto& [off, len] : stack) {
+        b.open_tags.emplace_back(in.substr(off, len));
+      }
+      out->push_back(std::move(b));
+      next_target = (out->size()) * in.size() / chunks;
+      if (out->size() >= chunks) next_target = in.size();  // no more splits
+    }
+    if (!self_closing) stack.emplace_back(name_start, name_len);
+    pos = p + 1;
+  }
+  return out->size() >= 2;
+}
+
+}  // namespace
+
+/// Builds one chunk's node/attribute batch (friend of Document via
+/// ParallelDomParser, which owns the stitching).
+class ParallelDomParser {
+ public:
+  using NodeRecord = Document::NodeRecord;
+
+  // SAX handler mirroring DomBuilder, but against chunk-local storage and
+  // with ghost markers for elements opened in earlier chunks.
+  class ChunkBuilder : public SaxHandler {
+   public:
+    // Smaller blocks than the serial builder: with many chunk arenas the
+    // per-arena slack would otherwise dominate the reported database size.
+    ChunkBuilder(size_t ghost_levels, bool keep_whitespace)
+        : arena_(std::make_unique<Arena>(1 << 16)),
+          keep_whitespace_(keep_whitespace),
+          ghosts_open_(ghost_levels),
+          ghost_first_(ghost_levels, kInvalidNode),
+          ghost_last_(ghost_levels, kInvalidNode) {
+      stack_.reserve(ghost_levels + 16);
+      last_child_.reserve(ghost_levels + 16);
+      for (size_t d = 0; d < ghost_levels; ++d) {
+        stack_.push_back(kGhostBase + static_cast<NodeId>(d));
+        last_child_.push_back(kInvalidNode);
+      }
+    }
+
+    Status OnStartElement(
+        std::string_view name,
+        const std::vector<SaxAttribute>& attributes) override {
+      NodeRecord rec{};
+      rec.kind = NodeKind::kElement;
+      rec.name = names_.Intern(name);
+      rec.parent = kInvalidNode;
+      rec.first_child = kInvalidNode;
+      rec.next_sibling = kInvalidNode;
+      rec.attr_begin = static_cast<uint32_t>(attrs_.size());
+      rec.attr_count = static_cast<uint32_t>(attributes.size());
+      for (const SaxAttribute& a : attributes) {
+        attrs_.push_back(
+            DomAttribute{names_.Intern(a.name), arena_->CopyString(a.value)});
+      }
+      const NodeId id = Append(rec);
+      stack_.push_back(id);
+      last_child_.push_back(kInvalidNode);
+      return Status::OK();
+    }
+
+    Status OnEndElement(std::string_view /*name*/) override {
+      if (stack_.empty()) return Status::ParseError("unbalanced end element");
+      const NodeId top = stack_.back();
+      if (top >= kGhostBase) {
+        // Deepest still-open ghost closes; record where its child chain in
+        // this chunk ended for the stitcher.
+        const size_t level = top - kGhostBase;
+        ghost_last_[level] = last_child_.back();
+        --ghosts_open_;
+      }
+      stack_.pop_back();
+      last_child_.pop_back();
+      return Status::OK();
+    }
+
+    Status OnCharacters(std::string_view text) override {
+      if (stack_.empty()) return Status::OK();
+      if (!keep_whitespace_ && TrimWhitespace(text).empty()) {
+        return Status::OK();
+      }
+      const NodeId prev = last_child_.back();
+      if (prev != kInvalidNode && nodes_[prev].kind == NodeKind::kText &&
+          prev == static_cast<NodeId>(nodes_.size() - 1)) {
+        std::string merged(nodes_[prev].text);
+        merged.append(text);
+        nodes_[prev].text = arena_->CopyString(merged);
+        return Status::OK();
+      }
+      NodeRecord rec{};
+      rec.kind = NodeKind::kText;
+      rec.name = kInvalidName;
+      rec.parent = kInvalidNode;
+      rec.first_child = kInvalidNode;
+      rec.next_sibling = kInvalidNode;
+      rec.attr_begin = 0;
+      rec.attr_count = 0;
+      rec.text = arena_->CopyString(text);
+      Append(rec);
+      return Status::OK();
+    }
+
+    // Called once the fragment is fully parsed: records where the child
+    // chains of still-open ghosts ended so the stitcher can resume them.
+    void Finish() {
+      for (size_t d = 0; d < ghosts_open_; ++d) {
+        ghost_last_[d] = last_child_[d];
+      }
+    }
+
+   private:
+    friend class ParallelDomParser;
+
+    NodeId Append(NodeRecord record) {
+      const NodeId id = static_cast<NodeId>(nodes_.size());
+      if (!stack_.empty()) {
+        const NodeId top = stack_.back();
+        record.parent = top;  // real local id or ghost marker
+        const NodeId prev = last_child_.back();
+        if (prev == kInvalidNode) {
+          if (top >= kGhostBase) {
+            ghost_first_[top - kGhostBase] = id;
+          } else {
+            nodes_[top].first_child = id;
+          }
+        } else {
+          nodes_[prev].next_sibling = id;
+        }
+        last_child_.back() = id;
+      } else {
+        record.parent = kInvalidNode;  // document element (chunk 0 only)
+      }
+      nodes_.push_back(record);
+      return id;
+    }
+
+    std::vector<NodeRecord> nodes_;
+    std::vector<DomAttribute> attrs_;
+    NameTable names_;
+    std::unique_ptr<Arena> arena_;
+    bool keep_whitespace_;
+    std::vector<NodeId> stack_;       // local ids; >= kGhostBase for ghosts
+    std::vector<NodeId> last_child_;  // parallel to stack_
+    size_t ghosts_open_;              // entry ghosts not yet closed
+    std::vector<NodeId> ghost_first_; // per entry level: first/last direct
+    std::vector<NodeId> ghost_last_;  //   child appended by this chunk
+  };
+
+  static StatusOr<Document> Parse(std::string_view input,
+                                  const ParseOptions& options);
+};
+
+StatusOr<Document> Document::Parse(std::string_view input,
+                                   const ParseOptions& options) {
+  return ParallelDomParser::Parse(input, options);
+}
+
+StatusOr<Document> ParallelDomParser::Parse(std::string_view input,
+                                            const ParseOptions& options) {
+  ThreadPool* pool = options.pool;
+  constexpr size_t kMinParallelBytes = 1 << 16;
+  std::vector<ChunkBoundary> bounds;
+  if (pool == nullptr || pool->worker_count() <= 1 ||
+      input.size() < kMinParallelBytes ||
+      !ScanChunkBoundaries(input, pool->worker_count() * size_t{4},
+                           &bounds)) {
+    return Document::Parse(input, options.keep_whitespace);
+  }
+  const size_t chunks = bounds.size();
+
+  // Phase 2: parse every chunk concurrently.
+  std::vector<std::unique_ptr<ChunkBuilder>> built(chunks);
+  std::vector<Status> statuses(chunks, Status::OK());
+  for (size_t k = 0; k < chunks; ++k) {
+    pool->Submit([&, k] {
+      built[k] = std::make_unique<ChunkBuilder>(bounds[k].open_tags.size(),
+                                                options.keep_whitespace);
+      const size_t end =
+          k + 1 < chunks ? bounds[k + 1].offset : input.size();
+      SaxFragment fragment;
+      fragment.open_tags = bounds[k].open_tags;
+      fragment.allow_open_end = true;
+      SaxParser parser;
+      statuses[k] = parser.ParseFragment(
+          input.substr(bounds[k].offset, end - bounds[k].offset),
+          built[k].get(), fragment);
+      if (statuses[k].ok()) built[k]->Finish();
+    });
+  }
+  pool->Wait();
+  for (size_t k = 0; k < chunks; ++k) {
+    XMARK_RETURN_IF_ERROR(statuses[k]);
+  }
+
+  // Phase 3a: prefix sums and ordered name-table merge.
+  Document doc;
+  std::vector<size_t> node_base(chunks + 1, 0);
+  std::vector<size_t> attr_base(chunks + 1, 0);
+  for (size_t k = 0; k < chunks; ++k) {
+    node_base[k + 1] = node_base[k] + built[k]->nodes_.size();
+    attr_base[k + 1] = attr_base[k] + built[k]->attrs_.size();
+  }
+  std::vector<std::vector<NameId>> remap(chunks);
+  for (size_t k = 0; k < chunks; ++k) {
+    const NameTable& local = built[k]->names_;
+    remap[k].resize(local.size());
+    for (NameId i = 0; i < local.size(); ++i) {
+      remap[k][i] = doc.names_.Intern(local.Spelling(i));
+    }
+  }
+
+  // Phase 3b: sequential context walk. Tracks, across chunk seams, the
+  // global id of the element open at each depth and the global id of its
+  // last child so far; emits the cross-chunk parent/sibling patches.
+  struct Patch {
+    size_t node;        // global id to patch
+    bool first_child;   // else next_sibling
+    size_t value;       // global id
+  };
+  struct OpenLevel {
+    size_t id;          // global id of the open element
+    size_t last_child;  // global id of its last child; SIZE_MAX if none
+  };
+  std::vector<Patch> patches;
+  std::vector<OpenLevel> context;  // outermost first
+  std::vector<std::vector<size_t>> ghost_ids(chunks);  // per chunk, per level
+  for (size_t k = 0; k < chunks; ++k) {
+    const ChunkBuilder& b = *built[k];
+    const size_t ghosts = b.ghost_first_.size();
+    if (context.size() != ghosts) {
+      return Status::ParseError("chunk context mismatch (malformed input)");
+    }
+    ghost_ids[k].reserve(ghosts);
+    for (size_t d = 0; d < ghosts; ++d) ghost_ids[k].push_back(context[d].id);
+    for (size_t d = 0; d < ghosts; ++d) {
+      if (b.ghost_first_[d] == kInvalidNode) continue;
+      const size_t first = node_base[k] + b.ghost_first_[d];
+      if (context[d].last_child == SIZE_MAX) {
+        patches.push_back(Patch{context[d].id, true, first});
+      } else {
+        patches.push_back(Patch{context[d].last_child, false, first});
+      }
+      XMARK_CHECK(b.ghost_last_[d] != kInvalidNode);  // first implies last
+      context[d].last_child = node_base[k] + b.ghost_last_[d];
+    }
+    // Drop ghost levels this chunk closed, then push its still-open local
+    // elements (stack_ entries past the remaining ghosts, outermost first).
+    context.resize(b.ghosts_open_);
+    for (size_t s = b.ghosts_open_; s < b.stack_.size(); ++s) {
+      OpenLevel lvl;
+      lvl.id = node_base[k] + b.stack_[s];
+      lvl.last_child = b.last_child_[s] == kInvalidNode
+                           ? SIZE_MAX
+                           : node_base[k] + b.last_child_[s];
+      context.push_back(lvl);
+    }
+  }
+  if (!context.empty()) {
+    return Status::ParseError("unclosed element at end of input");
+  }
+
+  // Phase 3c: parallel copy with id/offset/name fixups.
+  doc.nodes_.resize(node_base[chunks]);
+  doc.attrs_.resize(attr_base[chunks]);
+  for (size_t k = 0; k < chunks; ++k) {
+    pool->Submit([&, k] {
+      const ChunkBuilder& b = *built[k];
+      const uint32_t nb = static_cast<uint32_t>(node_base[k]);
+      const uint32_t ab = static_cast<uint32_t>(attr_base[k]);
+      for (size_t i = 0; i < b.nodes_.size(); ++i) {
+        NodeRecord rec = b.nodes_[i];
+        if (rec.parent == kInvalidNode) {
+          // document element
+        } else if (rec.parent >= kGhostBase) {
+          rec.parent =
+              static_cast<NodeId>(ghost_ids[k][rec.parent - kGhostBase]);
+        } else {
+          rec.parent += nb;
+        }
+        if (rec.first_child != kInvalidNode) rec.first_child += nb;
+        if (rec.next_sibling != kInvalidNode) rec.next_sibling += nb;
+        if (rec.name != kInvalidName) rec.name = remap[k][rec.name];
+        rec.attr_begin += ab;
+        doc.nodes_[node_base[k] + i] = rec;
+      }
+      for (size_t i = 0; i < b.attrs_.size(); ++i) {
+        doc.attrs_[attr_base[k] + i] = DomAttribute{
+            remap[k][b.attrs_[i].name], b.attrs_[i].value};
+      }
+    });
+  }
+  pool->Wait();
+  for (const Patch& p : patches) {
+    if (p.first_child) {
+      doc.nodes_[p.node].first_child = static_cast<NodeId>(p.value);
+    } else {
+      doc.nodes_[p.node].next_sibling = static_cast<NodeId>(p.value);
+    }
+  }
+  for (size_t k = 0; k < chunks; ++k) {
+    doc.chunk_arenas_.push_back(std::move(built[k]->arena_));
+  }
+  if (doc.nodes_.empty()) {
+    return Status::ParseError("document has no element");
+  }
+  return doc;
+}
+
+}  // namespace xmark::xml

@@ -126,11 +126,21 @@ Status SaxParser::ParseFile(const std::string& path, SaxHandler* handler) {
 }
 
 Status SaxParser::Parse(std::string_view input, SaxHandler* handler) {
+  return ParseImpl(input, handler, {}, false);
+}
+
+Status SaxParser::ParseFragment(std::string_view input, SaxHandler* handler,
+                                const SaxFragment& fragment) {
+  return ParseImpl(input, handler, fragment.open_tags,
+                   fragment.allow_open_end);
+}
+
+Status SaxParser::ParseImpl(std::string_view input, SaxHandler* handler,
+                            std::vector<std::string> open_tags,
+                            bool allow_open_end) {
   input_ = input;
   pos_ = 0;
   line_ = 1;
-
-  std::vector<std::string> open_tags;
   std::string decode_buf;   // scratch for entity decoding of text
   std::string attr_buf;     // scratch for attribute values (all attrs)
   std::vector<SaxAttribute> attrs;
@@ -342,7 +352,7 @@ Status SaxParser::Parse(std::string_view input, SaxHandler* handler) {
     pos_ = p;
   }
 
-  if (!open_tags.empty()) {
+  if (!open_tags.empty() && !allow_open_end) {
     return Fail("unclosed element <" + open_tags.back() + ">");
   }
   return Status::OK();

@@ -41,16 +41,34 @@ class SaxHandler {
 /// events to a SaxHandler. Namespaces, external entities and notations are
 /// out of scope, matching the XML subset the benchmark document uses
 /// (paper §4.4).
+/// Context for parsing a fragment cut out of a larger document: the
+/// elements already open where the fragment starts (outermost first), and
+/// whether the fragment may legitimately end with elements still open.
+/// This is what lets the parallel bulkload pipeline hand disjoint byte
+/// ranges of one document to concurrent parsers.
+struct SaxFragment {
+  std::vector<std::string> open_tags;
+  bool allow_open_end = false;
+};
+
 class SaxParser {
  public:
   /// Parses `input` to completion, invoking `handler`. Returns the first
   /// error (from the document or from the handler).
   Status Parse(std::string_view input, SaxHandler* handler);
 
+  /// Parses a fragment of a document under the given context: end tags may
+  /// close `fragment.open_tags`, and (when `allow_open_end`) the fragment
+  /// may stop with elements still open.
+  Status ParseFragment(std::string_view input, SaxHandler* handler,
+                       const SaxFragment& fragment);
+
   /// Convenience: reads a file and parses it.
   Status ParseFile(const std::string& path, SaxHandler* handler);
 
  private:
+  Status ParseImpl(std::string_view input, SaxHandler* handler,
+                   std::vector<std::string> open_tags, bool allow_open_end);
   Status Fail(const std::string& msg) const;
 
   std::string_view input_;

@@ -237,6 +237,37 @@ TEST(ShredderTest, TablesMatchGeneratorCounts) {
             static_cast<size_t>(gen.counts().closed_auctions));
 }
 
+TEST(ShredderTest, ParallelShredMatchesSerial) {
+  // The chunked shred (per-chunk row batches appended in chunk order)
+  // must reproduce the serial document-order tables exactly.
+  gen::GeneratorOptions options;
+  options.scale = 0.002;
+  auto doc = xml::Document::Parse(gen::XmlGen(options).GenerateToString());
+  ASSERT_TRUE(doc.ok());
+  auto serial = ShredAuctionDocument(*doc, store::LoadOptions{1});
+  ASSERT_TRUE(serial.ok());
+  auto expect_tables_equal = [](const Table& a, const Table& b) {
+    ASSERT_EQ(a.num_rows(), b.num_rows());
+    ASSERT_EQ(a.num_columns(), b.num_columns());
+    for (size_t row = 0; row < a.num_rows(); ++row) {
+      for (size_t col = 0; col < a.num_columns(); ++col) {
+        EXPECT_EQ(ValueToString(a.ValueAt(col, row)),
+                  ValueToString(b.ValueAt(col, row)))
+            << "row " << row << " col " << col;
+      }
+    }
+  };
+  for (const unsigned threads : {2u, 8u}) {
+    auto parallel = ShredAuctionDocument(*doc, store::LoadOptions{threads});
+    ASSERT_TRUE(parallel.ok()) << "threads=" << threads;
+    expect_tables_equal(*serial->persons, *parallel->persons);
+    expect_tables_equal(*serial->items, *parallel->items);
+    expect_tables_equal(*serial->open_auctions, *parallel->open_auctions);
+    expect_tables_equal(*serial->closed_auctions,
+                        *parallel->closed_auctions);
+  }
+}
+
 TEST(ShredderTest, ReferencesJoinCleanly) {
   gen::GeneratorOptions options;
   options.scale = 0.002;
