@@ -25,20 +25,25 @@
 namespace xmark::bench {
 namespace {
 
-// Zero-copy storage-access ablation on one engine: every query timed with
-// the view/cursor fast paths on, with only the descendant cursors off
+// Zero-copy + planner ablation on one engine: every query timed with all
+// fast paths on, with only the band join off (isolating the sort-merge
+// band join on Q11/Q12), with the descendant cursors additionally off
 // (isolating the interval-encoded descendant scans), and with every fast
 // path off (the seed's per-access allocation behavior) — same store, same
 // tree.
 struct AblationResult {
   double fast_ms[20] = {};
-  double no_desc_ms[20] = {};  // descendant cursors off, rest on
+  double no_band_ms[20] = {};  // band join off, rest on
+  double no_desc_ms[20] = {};  // band join + descendant cursors off
   double slow_ms[20] = {};
   double fast_total = 0;
+  double no_band_total = 0;
   double no_desc_total = 0;
   double slow_total = 0;
   int64_t cursor_scans = 0;
   int64_t descendant_scans = 0;
+  int64_t band_joins_built = 0;   // band domains sorted (fast run)
+  int64_t band_join_rows = 0;     // rows answered by band probes (fast run)
   int64_t allocations_avoided = 0;
   int64_t compare_allocs_fast = 0;
   int64_t compare_allocs_slow = 0;
@@ -51,7 +56,10 @@ AblationResult RunAblation(Engine* engine, int reps) {
   fast.zero_copy_strings = true;
   fast.child_cursors = true;
   fast.descendant_cursors = true;
-  query::EvaluatorOptions no_desc = fast;
+  fast.band_join = true;
+  query::EvaluatorOptions no_band = fast;
+  no_band.band_join = false;
+  query::EvaluatorOptions no_desc = no_band;
   no_desc.descendant_cursors = false;
   query::EvaluatorOptions slow = no_desc;
   slow.zero_copy_strings = false;
@@ -60,9 +68,11 @@ AblationResult RunAblation(Engine* engine, int reps) {
   for (int q = 1; q <= 20; ++q) {
     auto parsed = query::ParseQueryText(GetQuery(q).text);
     XMARK_CHECK(parsed.ok());
-    for (int variant = 0; variant < 3; ++variant) {
+    for (int variant = 0; variant < 4; ++variant) {
       const query::EvaluatorOptions& opts =
-          variant == 0 ? fast : (variant == 1 ? no_desc : slow);
+          variant == 0 ? fast
+                       : (variant == 1 ? no_band
+                                       : (variant == 2 ? no_desc : slow));
       query::Evaluator evaluator(engine->store(), opts);
       double best = 0;
       for (int r = 0; r < reps; ++r) {
@@ -77,10 +87,15 @@ AblationResult RunAblation(Engine* engine, int reps) {
         out.fast_total += best;
         out.cursor_scans += evaluator.stats().cursor_scans;
         out.descendant_scans += evaluator.stats().descendant_scans;
+        out.band_joins_built += evaluator.stats().band_joins_built;
+        out.band_join_rows += evaluator.stats().band_join_rows;
         out.allocations_avoided += evaluator.stats().allocations_avoided;
         out.compare_allocs_fast += evaluator.stats().compare_allocs;
         out.sequence_heap_spills += evaluator.stats().sequence_heap_spills;
       } else if (variant == 1) {
+        out.no_band_ms[q - 1] = best;
+        out.no_band_total += best;
+      } else if (variant == 2) {
         out.no_desc_ms[q - 1] = best;
         out.no_desc_total += best;
       } else {
@@ -91,6 +106,31 @@ AblationResult RunAblation(Engine* engine, int reps) {
     }
   }
   return out;
+}
+
+// --explain: dump the optimizer's plan for Q1-Q20 against the edge store
+// with every optimization on (the configuration the CI fallback check
+// pins).
+int DumpPlans(double sf) {
+  BenchmarkRunner runner(sf);
+  const Status st = runner.LoadSystem(SystemId::kA);
+  if (!st.ok()) {
+    std::fprintf(stderr, "load A: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  Engine* engine = runner.engine(SystemId::kA);
+  query::EvaluatorOptions all_on;  // defaults: every optimization enabled
+  engine->set_evaluator_options(all_on);
+  for (int q = 1; q <= 20; ++q) {
+    auto text = engine->Explain(GetQuery(q).text);
+    if (!text.ok()) {
+      std::fprintf(stderr, "explain Q%d: %s\n", q,
+                   text.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("=== Q%d ===\n%s\n", q, text->c_str());
+  }
+  return 0;
 }
 
 struct PaperRow {
@@ -120,6 +160,8 @@ int Main(int argc, char** argv) {
   const int reps = FlagInt(argc, argv, "reps", 1);
   const bool json = FlagBool(argc, argv, "json");
   const bool no_fastpath = FlagBool(argc, argv, "no-fastpath");
+  const bool no_band_join = FlagBool(argc, argv, "no-band-join");
+  if (FlagBool(argc, argv, "explain")) return DumpPlans(sf);
   if (!json) {
     std::printf("=== Table 3: Query performance (ms), systems A-F ===\n");
     std::printf("scaling factor %g (paper used 1.0)\n\n", sf);
@@ -133,14 +175,19 @@ int Main(int argc, char** argv) {
                    st.ToString().c_str());
       return 1;
     }
-    if (no_fastpath) {
-      // Ablation flag: run the whole benchmark with the seed's per-access
-      // allocation behavior (no views, no cursors).
+    if (no_fastpath || no_band_join) {
       Engine* engine = runner.engine(id);
       query::EvaluatorOptions opts = engine->evaluator_options();
-      opts.zero_copy_strings = false;
-      opts.child_cursors = false;
-      opts.descendant_cursors = false;
+      if (no_fastpath) {
+        // Ablation flag: run the whole benchmark with the seed's
+        // per-access allocation behavior (no views, no cursors, no band
+        // rewrites).
+        opts.zero_copy_strings = false;
+        opts.child_cursors = false;
+        opts.descendant_cursors = false;
+        opts.band_join = false;
+      }
+      if (no_band_join) opts.band_join = false;
       engine->set_evaluator_options(opts);
     }
   }
@@ -227,20 +274,29 @@ int Main(int argc, char** argv) {
   if (!json) {
     std::printf("\n--- zero-copy ablation: edge store, Q1-Q20, best of %d ---\n",
                 ablation_reps);
-    TablePrinter at({"Query", "fast (ms)", "no desc cursors (ms)",
-                     "no fast paths (ms)", "speedup"});
+    TablePrinter at({"Query", "fast (ms)", "no band join (ms)",
+                     "no desc cursors (ms)", "no fast paths (ms)",
+                     "speedup"});
     for (int q = 1; q <= 20; ++q) {
       at.AddRow({StringPrintf("Q%d", q),
                  StringPrintf("%.2f", ab.fast_ms[q - 1]),
+                 StringPrintf("%.2f", ab.no_band_ms[q - 1]),
                  StringPrintf("%.2f", ab.no_desc_ms[q - 1]),
                  StringPrintf("%.2f", ab.slow_ms[q - 1]),
                  StringPrintf("%.2fx", ab.slow_ms[q - 1] /
                                            std::max(0.001, ab.fast_ms[q - 1]))});
     }
     std::printf("%s", at.ToString().c_str());
-    std::printf("total: %.1f ms -> %.1f ms (no desc cursors %.1f ms; "
-                "%.1f%% reduction)\n",
-                ab.slow_total, ab.fast_total, ab.no_desc_total, reduction);
+    std::printf("total: %.1f ms -> %.1f ms (no band join %.1f ms; no desc "
+                "cursors %.1f ms; %.1f%% reduction)\n",
+                ab.slow_total, ab.fast_total, ab.no_band_total,
+                ab.no_desc_total, reduction);
+    std::printf("band join: Q11 %.2fx, Q12 %.2fx (%lld domains built, "
+                "%lld rows by binary search)\n",
+                ab.no_band_ms[10] / std::max(0.001, ab.fast_ms[10]),
+                ab.no_band_ms[11] / std::max(0.001, ab.fast_ms[11]),
+                static_cast<long long>(ab.band_joins_built),
+                static_cast<long long>(ab.band_join_rows));
     std::printf("stats: %lld cursor scans, %lld descendant scans, "
                 "%lld allocations avoided, "
                 "compare-path materializations %lld -> %lld, "
@@ -260,6 +316,7 @@ int Main(int argc, char** argv) {
     w.Key("scale").Value(sf);
     w.Key("reps").Value(reps);
     w.Key("no_fastpath").Value(no_fastpath);
+    w.Key("no_band_join").Value(no_band_join);
     w.Key("queries").BeginArray();
     auto emit_query = [&](int q, const std::array<double, 6>& ms) {
       w.BeginObject();
@@ -285,17 +342,21 @@ int Main(int argc, char** argv) {
       w.BeginObject();
       w.Key("query").Value(q);
       w.Key("fast_ms").Value(ab.fast_ms[q - 1]);
+      w.Key("no_band_join_ms").Value(ab.no_band_ms[q - 1]);
       w.Key("no_descendant_cursors_ms").Value(ab.no_desc_ms[q - 1]);
       w.Key("no_fastpath_ms").Value(ab.slow_ms[q - 1]);
       w.EndObject();
     }
     w.EndArray();
     w.Key("fast_total_ms").Value(ab.fast_total);
+    w.Key("no_band_join_total_ms").Value(ab.no_band_total);
     w.Key("no_descendant_cursors_total_ms").Value(ab.no_desc_total);
     w.Key("no_fastpath_total_ms").Value(ab.slow_total);
     w.Key("reduction_pct").Value(reduction);
     w.Key("cursor_scans").Value(ab.cursor_scans);
     w.Key("descendant_scans").Value(ab.descendant_scans);
+    w.Key("band_joins_built").Value(ab.band_joins_built);
+    w.Key("band_join_rows").Value(ab.band_join_rows);
     w.Key("sequence_heap_spills").Value(ab.sequence_heap_spills);
     w.Key("allocations_avoided").Value(ab.allocations_avoided);
     w.Key("compare_allocs_fast").Value(ab.compare_allocs_fast);

@@ -3,193 +3,19 @@
 #include <algorithm>
 #include <cmath>
 #include <functional>
-#include <set>
 #include <unordered_set>
 
+#include "query/optimizer.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
 namespace xmark::query {
 
-// ---------------------------------------------------------------------------
-// Internal structures
-// ---------------------------------------------------------------------------
-
-struct Evaluator::Focus {
-  Item item;
-  int64_t position = 1;
-  int64_t size = 1;
-};
-
-// Slot-indexed variable frame: ResolveVariableSlots interned every variable
-// name of the query into a dense slot space at compile time, so binding and
-// lookup are vector indexing instead of a linear string-keyed search over a
-// binding stack. Shadowing (nested FLWORs, UDF recursion) is handled by
-// saving the previous slot content on a side stack and restoring it on Pop.
-struct Evaluator::Environment {
-  struct Binding {
-    Sequence value;
-    const AstNode* lazy_expr = nullptr;  // unevaluated `let`
-    bool evaluated = false;
-    bool bound = false;
-  };
-  std::vector<Binding> slots;
-  std::vector<std::pair<int, Binding>> saved;  // LIFO scope-restore stack
-
-  explicit Environment(size_t slot_count) : slots(slot_count) {}
-
-  void Push(int slot, Sequence value) {
-    saved.emplace_back(slot, std::move(slots[slot]));
-    Binding& b = slots[slot];
-    b.value = std::move(value);
-    b.lazy_expr = nullptr;
-    b.evaluated = true;
-    b.bound = true;
-  }
-  void PushLazy(int slot, const AstNode* expr) {
-    saved.emplace_back(slot, std::move(slots[slot]));
-    Binding& b = slots[slot];
-    b.value.clear();
-    b.lazy_expr = expr;
-    b.evaluated = false;
-    b.bound = true;
-  }
-  void Pop() {
-    auto& [slot, binding] = saved.back();
-    slots[slot] = std::move(binding);
-    saved.pop_back();
-  }
-
-  Binding* Find(int slot) {
-    if (slot < 0 || static_cast<size_t>(slot) >= slots.size() ||
-        !slots[slot].bound) {
-      return nullptr;
-    }
-    return &slots[slot];
-  }
-};
-
-struct Evaluator::JoinPlan {
-  bool eligible = false;
-  const AstNode* in_expr = nullptr;
-  std::string var;
-  int var_slot = -1;
-  const AstNode* inner_key = nullptr;  // depends only on `var`
-  const AstNode* outer_key = nullptr;  // independent of `var`
-  std::vector<const AstNode*> residue;
-};
-
-struct Evaluator::JoinCache {
-  Sequence bindings;
-  // Transparent hash/eq (ROADMAP "Heterogeneous hash-join keys"): probes
-  // pass the key as a string_view straight out of the store heap, so the
-  // per-probe std::string the seed built on Q8/Q9 is gone.
-  std::unordered_multimap<std::string, size_t, TransparentStringHash,
-                          std::equal_to<>>
-      index;
-};
-
 namespace {
 
 // ---------------------------------------------------------------------------
-// Static analysis helpers
+// Sequence utilities
 // ---------------------------------------------------------------------------
-
-void VisitChildren(const AstNode& node,
-                   const std::function<void(const AstNode&)>& fn) {
-  if (node.start) fn(*node.start);
-  for (const Step& s : node.steps) {
-    for (const AstPtr& p : s.predicates) fn(*p);
-  }
-  for (const ForLetClause& c : node.clauses) {
-    if (c.expr) fn(*c.expr);
-  }
-  if (node.where) fn(*node.where);
-  for (const OrderSpec& o : node.order_by) fn(*o.key);
-  if (node.ret) fn(*node.ret);
-  for (const AstPtr& a : node.args) fn(*a);
-  for (const AttrConstructor& attr : node.attrs) {
-    for (const AttrPart& part : attr.parts) {
-      if (part.expr) fn(*part.expr);
-    }
-  }
-  for (const AstPtr& c : node.content) fn(*c);
-}
-
-void CollectFreeVars(const AstNode& node, std::set<std::string>& bound,
-                     std::set<std::string>* free_vars) {
-  if (node.kind == AstKind::kVarRef) {
-    if (!bound.count(node.str_value)) free_vars->insert(node.str_value);
-    return;
-  }
-  if (node.kind == AstKind::kFlwor || node.kind == AstKind::kQuantified) {
-    // Clauses bind sequentially; later clause expressions see earlier vars.
-    std::vector<std::string> introduced;
-    for (const ForLetClause& c : node.clauses) {
-      if (c.expr) CollectFreeVars(*c.expr, bound, free_vars);
-      if (!bound.count(c.var)) {
-        bound.insert(c.var);
-        introduced.push_back(c.var);
-      }
-    }
-    if (node.where) CollectFreeVars(*node.where, bound, free_vars);
-    for (const OrderSpec& o : node.order_by) {
-      CollectFreeVars(*o.key, bound, free_vars);
-    }
-    if (node.ret) CollectFreeVars(*node.ret, bound, free_vars);
-    for (const std::string& v : introduced) bound.erase(v);
-    return;
-  }
-  VisitChildren(node,
-                [&](const AstNode& child) {
-                  CollectFreeVars(child, bound, free_vars);
-                });
-}
-
-std::set<std::string> FreeVars(const AstNode& node) {
-  std::set<std::string> bound, free_vars;
-  CollectFreeVars(node, bound, &free_vars);
-  return free_vars;
-}
-
-bool IsDocumentCall(const AstNode& node) {
-  return node.kind == AstKind::kFunctionCall &&
-         (node.str_value == "document" || node.str_value == "doc" ||
-          node.str_value == "fn:doc");
-}
-
-// True when evaluation depends on the dynamic focus (context item,
-// position() or last()), which makes memoization unsound.
-bool DependsOnFocus(const AstNode& node) {
-  if (node.kind == AstKind::kContextItem) return true;
-  if (node.kind == AstKind::kFunctionCall &&
-      (node.str_value == "position" || node.str_value == "last")) {
-    return true;
-  }
-  if (node.kind == AstKind::kPath && !node.absolute && !node.start) {
-    return true;  // relative path starts at the context item
-  }
-  bool found = false;
-  VisitChildren(node, [&](const AstNode& child) {
-    // Predicates establish their own focus, so focus uses inside step
-    // predicates do not leak out; we conservatively still flag them only
-    // for the top expression by skipping recursion into predicates. For
-    // simplicity (and safety) we recurse everywhere: a false positive only
-    // disables a cache.
-    if (!found && DependsOnFocus(child)) found = true;
-  });
-  return found;
-}
-
-bool IsCacheableInvariant(const AstNode& node) {
-  if (node.kind != AstKind::kPath) return false;
-  const bool rooted =
-      node.absolute || (node.start && IsDocumentCall(*node.start));
-  if (!rooted) return false;
-  if (!FreeVars(node).empty()) return false;
-  if (DependsOnFocus(node)) return false;
-  return true;
-}
 
 // Orders node refs by document position (handles are preorder ids in every
 // store implementation).
@@ -263,7 +89,7 @@ ConstructedPtr DeepCopyNode(const NodeRef& ref) {
 
 Evaluator::Evaluator(const StorageAdapter* store,
                      const EvaluatorOptions& options)
-    : store_(store), options_(options) {}
+    : store_(store), options_(options), caps_(store->Capabilities()) {}
 
 Evaluator::~Evaluator() = default;
 
@@ -284,9 +110,15 @@ StatusOr<Sequence> Evaluator::Run(const ParsedQuery& query) {
       functions_[f.name.substr(colon + 1)] = &f;
     }
   }
-  join_caches_.clear();
-  join_plans_.clear();
-  invariant_cache_.clear();
+  // A fresh plan per run owns every cache (hash-join tables, band domains,
+  // invariant memos), so state can never leak across documents.
+  plan_ = std::make_unique<QueryPlan>();
+  plan_->store_name = std::string(store_->mapping_name());
+  plan_->caps = caps_;
+  plan_->options = options_;
+  if (options_.use_planner) {
+    BuildPlan(query, *store_, options_, plan_.get());
+  }
   stats_ = Stats{};
   udf_depth_ = 0;
 
@@ -306,12 +138,16 @@ StatusOr<Sequence> Evaluator::RunExpr(const AstNode& expr) {
   // Borrow the expression without owning it.
   current_query_ = nullptr;
   functions_.clear();
-  join_caches_.clear();
-  join_plans_.clear();
-  invariant_cache_.clear();
-  stats_ = Stats{};
   slot_count_ = static_cast<size_t>(
       ResolveVariableSlots(const_cast<AstNode&>(expr)));
+  plan_ = std::make_unique<QueryPlan>();
+  plan_->store_name = std::string(store_->mapping_name());
+  plan_->caps = caps_;
+  plan_->options = options_;
+  if (options_.use_planner) {
+    BuildExprPlan(expr, *store_, options_, plan_.get());
+  }
+  stats_ = Stats{};
   Environment env(slot_count_);
   const int64_t spills_before = SequenceHeapSpills();
   auto result = Eval(expr, env, nullptr);
@@ -332,6 +168,9 @@ StatusOr<Sequence> Evaluator::Eval(const AstNode& node, Environment& env,
         return Status::InvalidArgument("unbound variable $" + node.str_value);
       }
       if (!binding->evaluated) {
+        // Band bindings land here only when a use other than count($var)
+        // slipped past the optimizer's analysis: materialize through the
+        // generic nested loop, which is always correct.
         const AstNode* expr = binding->lazy_expr;
         XMARK_ASSIGN_OR_RETURN(Sequence value, Eval(*expr, env, nullptr));
         // Re-find: evaluating the lazy expression may have shadowed and
@@ -423,8 +262,17 @@ Status Evaluator::ApplyPredicates(const std::vector<AstPtr>& predicates,
   return Status::OK();
 }
 
-Status Evaluator::ApplyStep(const Step& step, const Sequence& input,
-                            Environment& env, Sequence* output) {
+Status Evaluator::ApplyStep(const Step& step, const StepPlan* planned,
+                            const Sequence& input, Environment& env,
+                            Sequence* output) {
+  // Legacy interpreter mode: no precomputed plan — make the same decision
+  // the optimizer would, per call.
+  StepPlan local;
+  if (planned == nullptr) {
+    local = ComputeStepPlan(step, options_, caps_);
+    planned = &local;
+  }
+
   xml::NameId want = xml::kInvalidName;
   if (step.test == Step::Test::kName && step.axis != Axis::kAttribute) {
     if (step.name_cache_uid != store_->store_uid()) {
@@ -487,29 +335,11 @@ Status Evaluator::ApplyStep(const Step& step, const Sequence& input,
   }
 
   // ID-index fast path: step[...@id = "literal"...] resolved without
-  // scanning the child list (query Q1's lookup).
-  const AstNode* id_literal = nullptr;
-  if (options_.use_id_index && store_->SupportsIdLookup() &&
-      !step.predicates.empty() && step.test == Step::Test::kName &&
-      step.axis == Axis::kChild) {
-    const AstNode& p = *step.predicates.front();
-    if (p.kind == AstKind::kBinary && p.op == BinaryOp::kEq) {
-      auto is_id_path = [](const AstNode& n) {
-        return n.kind == AstKind::kPath && !n.absolute && !n.start &&
-               n.steps.size() == 1 && n.steps[0].axis == Axis::kAttribute &&
-               n.steps[0].name == "id";
-      };
-      if (is_id_path(*p.args[0]) &&
-          p.args[1]->kind == AstKind::kStringLiteral) {
-        id_literal = p.args[1].get();
-      } else if (is_id_path(*p.args[1]) &&
-                 p.args[0]->kind == AstKind::kStringLiteral) {
-        id_literal = p.args[0].get();
-      }
-    }
-  }
-  if (id_literal != nullptr) {
-    const NodeHandle candidate = store_->NodeById(id_literal->str_value);
+  // scanning the child list (query Q1's lookup). The literal shape was
+  // recognized at plan time.
+  if (planned->id_literal != nullptr) {
+    const NodeHandle candidate =
+        store_->NodeById(planned->id_literal->str_value);
     ++stats_.index_lookups;
     if (candidate == kInvalidHandle) return Status::OK();
     if (store_->NameOf(candidate) != want) return Status::OK();
@@ -528,9 +358,9 @@ Status Evaluator::ApplyStep(const Step& step, const Sequence& input,
     return Status::OK();
   }
 
-  // Node-test → child filter, shared by the cursor fast path (applied
-  // store-side) and the generic walks below. NameOf returns kInvalidName
-  // exactly for text nodes, so one virtual call answers every node test.
+  // Node-test → child filter, applied store-side by the physical scan.
+  // NameOf returns kInvalidName exactly for text nodes, so one virtual
+  // call answers every node test.
   ChildFilter filter = ChildFilter::kAll;
   switch (step.test) {
     case Step::Test::kName:
@@ -546,9 +376,6 @@ Status Evaluator::ApplyStep(const Step& step, const Sequence& input,
       filter = ChildFilter::kAll;
       break;
   }
-  auto matches = [&](NodeHandle n) {
-    return MatchesChildFilter(filter, store_->NameOf(n), want);
-  };
   constexpr size_t kBatch = 64;
 
   const bool multi_input = input.size() > 1;
@@ -561,6 +388,7 @@ Status Evaluator::ApplyStep(const Step& step, const Sequence& input,
   const bool group_in_output =
       !has_predicates || (input.size() == 1 && output->empty());
   Sequence group_storage;
+  NodeScan scan;  // reused across the input: DFS/buffer state amortizes
   for (const Item& item : input) {
     if (!item.is_node()) {
       if (item.is_constructed()) {
@@ -572,116 +400,13 @@ Status Evaluator::ApplyStep(const Step& step, const Sequence& input,
     const NodeHandle base = item.node().handle;
     Sequence& group = group_in_output ? *output : group_storage;
     if (!group_in_output) group.clear();
-    if (step.axis == Axis::kChild) {
-      bool used_layout = false;
-      if (step.test == Step::Test::kName) {
-        auto direct = store_->ChildrenByTag(base, want);
-        if (direct.has_value()) {
-          used_layout = true;
-          ++stats_.index_lookups;
-          group.reserve(direct->size());
-          for (NodeHandle h : *direct) {
-            group.push_back(Item(NodeRef{store_, h}));
-          }
-        }
-      }
-      if (!used_layout) {
-        if (options_.child_cursors) {
-          // One cursor per parent: the store scans its physical child
-          // layout and applies the node test in place.
-          ChildCursor cur;
-          store_->OpenChildCursor(base, filter, want, &cur);
-          ++stats_.cursor_scans;
-          NodeHandle buf[kBatch];
-          size_t n;
-          while ((n = cur.Fill(buf, kBatch)) > 0) {
-            stats_.nodes_visited += static_cast<int64_t>(n);
-            for (size_t i = 0; i < n; ++i) {
-              group.push_back(Item(NodeRef{store_, buf[i]}));
-            }
-          }
-        } else {
-          for (NodeHandle c = store_->FirstChild(base); c != kInvalidHandle;
-               c = store_->NextSibling(c)) {
-            ++stats_.nodes_visited;
-            if (matches(c)) group.push_back(Item(NodeRef{store_, c}));
-          }
-        }
-      }
-    } else {  // descendant
-      bool used_index = false;
-      if (options_.descendant_cursors) {
-        // Interval-encoded scan: the store walks its physical encoding of
-        // the subtree interval (id range, tag-index slice, path-table
-        // slices) and applies the node test in place — one clustered range
-        // scan instead of a DFS of per-element child scans.
-        used_index = true;
-        DescendantCursor cur;
-        store_->OpenDescendantCursor(base, filter, want, &cur);
-        ++stats_.descendant_scans;
-        NodeHandle buf[kBatch];
-        size_t n;
-        while ((n = cur.Fill(buf, kBatch)) > 0) {
-          stats_.nodes_visited += static_cast<int64_t>(n);
-          for (size_t i = 0; i < n; ++i) {
-            group.push_back(Item(NodeRef{store_, buf[i]}));
-          }
-        }
-      }
-      if (!used_index && options_.use_tag_index &&
-          step.test == Step::Test::kName) {
-        auto from_index = store_->DescendantsByTag(base, want);
-        if (from_index.has_value()) {
-          ++stats_.index_lookups;
-          used_index = true;
-          group.reserve(from_index->size());
-          for (NodeHandle h : *from_index) {
-            group.push_back(Item(NodeRef{store_, h}));
-          }
-        }
-      }
-      if (!used_index) {
-        // DFS, excluding the base node itself. Each element's child list is
-        // gathered with one batched cursor scan instead of a virtual
-        // sibling-chain walk; text nodes are leaves and skip the scan.
-        auto collect = [&](NodeHandle p, std::vector<NodeHandle>* out) {
-          if (options_.child_cursors) {
-            ChildCursor cur;
-            store_->OpenChildCursor(p, ChildFilter::kAll, xml::kInvalidName,
-                                    &cur);
-            ++stats_.cursor_scans;
-            NodeHandle buf[kBatch];
-            size_t n;
-            while ((n = cur.Fill(buf, kBatch)) > 0) {
-              out->insert(out->end(), buf, buf + n);
-            }
-          } else {
-            for (NodeHandle c = store_->FirstChild(p); c != kInvalidHandle;
-                 c = store_->NextSibling(c)) {
-              out->push_back(c);
-            }
-          }
-        };
-        std::vector<NodeHandle> stack;
-        collect(base, &stack);
-        std::reverse(stack.begin(), stack.end());
-        std::vector<NodeHandle> order;
-        std::vector<NodeHandle> kids;
-        while (!stack.empty()) {
-          const NodeHandle n = stack.back();
-          stack.pop_back();
-          ++stats_.nodes_visited;
-          const xml::NameId tag = store_->NameOf(n);
-          if (MatchesChildFilter(filter, tag, want)) order.push_back(n);
-          if (tag == xml::kInvalidName) continue;  // text leaf
-          // Push children in reverse so the DFS emits document order.
-          kids.clear();
-          collect(n, &kids);
-          for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
-            stack.push_back(*it);
-          }
-        }
-        for (NodeHandle h : order) group.push_back(Item(NodeRef{store_, h}));
+    scan.Open(store_, base, planned->access, filter, want,
+              options_.child_cursors, &stats_);
+    NodeHandle buf[kBatch];
+    size_t n;
+    while ((n = scan.Fill(buf, kBatch)) > 0) {
+      for (size_t i = 0; i < n; ++i) {
+        group.push_back(Item(NodeRef{store_, buf[i]}));
       }
     }
     if (has_predicates) {
@@ -700,15 +425,19 @@ Status Evaluator::ApplyStep(const Step& step, const Sequence& input,
 
 StatusOr<Sequence> Evaluator::EvalPath(const AstNode& node, Environment& env,
                                        const Focus* focus) {
+  const PathPlan* pp = plan_->FindPath(&node);
+  PathPlan local;
+  if (pp == nullptr) {
+    // Legacy interpreter mode: derive the plan per call.
+    local = ComputePathPlan(node, options_, caps_);
+    pp = &local;
+  }
+
   // Memoize loop-invariant rooted paths (real systems materialize these
   // once; naive engines re-walk them per outer-loop iteration).
-  bool cacheable = false;
-  if (options_.cache_invariant_paths) {
-    cacheable = IsCacheableInvariant(node);
-    if (cacheable) {
-      auto it = invariant_cache_.find(&node);
-      if (it != invariant_cache_.end()) return it->second;
-    }
+  if (pp->cacheable) {
+    auto it = plan_->invariant_cache.find(&node);
+    if (it != plan_->invariant_cache.end()) return it->second;
   }
 
   const bool rooted =
@@ -724,32 +453,27 @@ StatusOr<Sequence> Evaluator::EvalPath(const AstNode& node, Environment& env,
     const NodeHandle root = store_->Root();
     // Structural summary fast path: the longest prefix of predicate-free
     // child name steps resolves through PathExtent (System D).
-    if (options_.use_path_index && store_->SupportsPathIndex()) {
+    if (pp->path_index_steps > 0) {
       std::vector<xml::NameId> prefix;
-      size_t consumed = 0;
-      for (const Step& s : node.steps) {
-        if (s.axis != Axis::kChild || s.test != Step::Test::kName ||
-            !s.predicates.empty()) {
-          break;
-        }
-        const xml::NameId id = store_->names().Lookup(s.name);
+      prefix.reserve(pp->path_index_steps);
+      for (size_t i = 0; i < pp->path_index_steps; ++i) {
+        const xml::NameId id = store_->names().Lookup(node.steps[i].name);
         if (id == xml::kInvalidName) {
-          if (cacheable) invariant_cache_.emplace(&node, Sequence{});
+          if (pp->cacheable) {
+            plan_->invariant_cache.emplace(&node, Sequence{});
+          }
           return Sequence{};  // unknown tag: empty result
         }
         prefix.push_back(id);
-        ++consumed;
       }
-      if (!prefix.empty()) {
-        auto extent = store_->PathExtent(prefix);
-        if (extent.has_value()) {
-          ++stats_.index_lookups;
-          current.reserve(extent->size());
-          for (NodeHandle h : *extent) {
-            current.push_back(Item(NodeRef{store_, h}));
-          }
-          step_index = consumed;
+      auto extent = store_->PathExtent(prefix);
+      if (extent.has_value()) {
+        ++stats_.index_lookups;
+        current.reserve(extent->size());
+        for (NodeHandle h : *extent) {
+          current.push_back(Item(NodeRef{store_, h}));
         }
+        step_index = pp->path_index_steps;
       }
     }
     if (step_index == 0) {
@@ -761,6 +485,7 @@ StatusOr<Sequence> Evaluator::EvalPath(const AstNode& node, Environment& env,
       // step tests the root element itself; a descendant step covers the
       // root and all its descendants.
       const Step& first = node.steps[0];
+      const StepPlan* first_plan = pp->steps.empty() ? nullptr : &pp->steps[0];
       Sequence group;
       if (first.axis == Axis::kChild) {
         if (first.test == Step::Test::kWildcard ||
@@ -774,19 +499,17 @@ StatusOr<Sequence> Evaluator::EvalPath(const AstNode& node, Environment& env,
       } else {
         // Descendant-or-self from the document node.
         Sequence self_and_below{Item(NodeRef{store_, root})};
-        Step self_test = Step{};  // match root against the test
         if (first.test == Step::Test::kName &&
             store_->names().Lookup(first.name) != xml::kInvalidName &&
             store_->NameOf(root) == store_->names().Lookup(first.name)) {
-          Sequence group{Item(NodeRef{store_, root})};
+          Sequence group_root{Item(NodeRef{store_, root})};
           XMARK_RETURN_IF_ERROR(
-              ApplyPredicates(first.predicates, env, &group));
-          current.insert(current.end(), group.begin(), group.end());
+              ApplyPredicates(first.predicates, env, &group_root));
+          current.insert(current.end(), group_root.begin(), group_root.end());
         }
-        (void)self_test;
         Sequence below;
         XMARK_RETURN_IF_ERROR(
-            ApplyStep(first, self_and_below, env, &below));
+            ApplyStep(first, first_plan, self_and_below, env, &below));
         current.insert(current.end(), below.begin(), below.end());
         SortDedupNodes(&current);
       }
@@ -811,7 +534,8 @@ StatusOr<Sequence> Evaluator::EvalPath(const AstNode& node, Environment& env,
 
   for (; step_index < node.steps.size(); ++step_index) {
     Sequence next;
-    XMARK_RETURN_IF_ERROR(ApplyStep(node.steps[step_index], *input, env,
+    XMARK_RETURN_IF_ERROR(ApplyStep(node.steps[step_index],
+                                    &pp->steps[step_index], *input, env,
                                     &next));
     current = std::move(next);
     input = &current;
@@ -819,7 +543,7 @@ StatusOr<Sequence> Evaluator::EvalPath(const AstNode& node, Environment& env,
   }
   if (input != &current) current = *input;  // step-less path over a binding
 
-  if (cacheable) invariant_cache_.emplace(&node, current);
+  if (pp->cacheable) plan_->invariant_cache.emplace(&node, current);
   return current;
 }
 
@@ -827,94 +551,31 @@ StatusOr<Sequence> Evaluator::EvalPath(const AstNode& node, Environment& env,
 // FLWOR
 // ---------------------------------------------------------------------------
 
-const Evaluator::JoinPlan* Evaluator::AnalyzeJoin(const AstNode& flwor) {
-  auto it = join_plans_.find(&flwor);
-  if (it != join_plans_.end()) return it->second.get();
-  auto plan = std::make_unique<JoinPlan>();
-
-  do {
-    if (flwor.clauses.size() != 1 || flwor.clauses[0].is_let) break;
-    if (flwor.where == nullptr || !flwor.order_by.empty()) break;
-    const ForLetClause& clause = flwor.clauses[0];
-    if (!FreeVars(*clause.expr).empty()) break;
-    if (DependsOnFocus(*clause.expr)) break;
-
-    // Flatten top-level `and` conjuncts.
-    std::vector<const AstNode*> conjuncts;
-    std::vector<const AstNode*> pending{flwor.where.get()};
-    while (!pending.empty()) {
-      const AstNode* n = pending.back();
-      pending.pop_back();
-      if (n->kind == AstKind::kBinary && n->op == BinaryOp::kAnd) {
-        pending.push_back(n->args[0].get());
-        pending.push_back(n->args[1].get());
-      } else {
-        conjuncts.push_back(n);
-      }
-    }
-
-    for (const AstNode* c : conjuncts) {
-      if (plan->inner_key == nullptr && c->kind == AstKind::kBinary &&
-          c->op == BinaryOp::kEq) {
-        const AstNode* lhs = c->args[0].get();
-        const AstNode* rhs = c->args[1].get();
-        auto only_var = [&](const AstNode* n) {
-          const auto fv = FreeVars(*n);
-          return fv.size() == 1 && *fv.begin() == clause.var &&
-                 !DependsOnFocus(*n);
-        };
-        auto without_var = [&](const AstNode* n) {
-          return FreeVars(*n).count(clause.var) == 0 && !DependsOnFocus(*n);
-        };
-        if (only_var(lhs) && without_var(rhs)) {
-          plan->inner_key = lhs;
-          plan->outer_key = rhs;
-          continue;
-        }
-        if (only_var(rhs) && without_var(lhs)) {
-          plan->inner_key = rhs;
-          plan->outer_key = lhs;
-          continue;
-        }
-      }
-      plan->residue.push_back(c);
-    }
-    if (plan->inner_key == nullptr) break;
-    plan->eligible = true;
-    plan->in_expr = clause.expr.get();
-    plan->var = clause.var;
-    plan->var_slot = clause.var_slot;
-  } while (false);
-
-  const JoinPlan* out = plan.get();
-  join_plans_.emplace(&flwor, std::move(plan));
-  return out;
+const FlworPlan& Evaluator::FlworPlanFor(const AstNode& flwor) {
+  FlworPlan* existing = plan_->FindFlwor(&flwor);
+  if (existing != nullptr) return *existing;
+  // Legacy interpreter mode: analyze on first visit, cache for the run.
+  FlworPlan computed;
+  AnalyzeFlworJoin(flwor, options_, &computed);
+  return plan_->flwors.emplace(&flwor, std::move(computed)).first->second;
 }
 
 StatusOr<Sequence> Evaluator::EvalHashJoin(const AstNode& node,
-                                           const JoinPlan& plan,
+                                           const HashJoinPlan& plan,
                                            Environment& env,
                                            const Focus* focus) {
-  JoinCache* cache;
-  auto it = join_caches_.find(&node);
-  if (it == join_caches_.end()) {
-    auto built = std::make_unique<JoinCache>();
-    Environment inner_env(slot_count_);
-    XMARK_ASSIGN_OR_RETURN(Sequence bindings,
-                           Eval(*plan.in_expr, inner_env, nullptr));
-    built->bindings = std::move(bindings);
-    for (size_t i = 0; i < built->bindings.size(); ++i) {
-      inner_env.Push(plan.var_slot, Sequence{built->bindings[i]});
-      XMARK_ASSIGN_OR_RETURN(Sequence keys,
-                             Eval(*plan.inner_key, inner_env, nullptr));
-      inner_env.Pop();
-      for (const Item& k : keys) {
-        built->index.emplace(ItemStringValue(k), i);
-      }
-    }
-    ++stats_.hash_joins_built;
+  HashJoinExec* cache;
+  auto it = plan_->join_state.find(&node);
+  if (it == plan_->join_state.end()) {
+    auto built = std::make_unique<HashJoinExec>();
+    XMARK_RETURN_IF_ERROR(built->Build(
+        plan, slot_count_,
+        [this](const AstNode& n, Environment& e, const Focus* f) {
+          return Eval(n, e, f);
+        },
+        &stats_));
     cache = built.get();
-    join_caches_.emplace(&node, std::move(built));
+    plan_->join_state.emplace(&node, std::move(built));
   } else {
     cache = it->second.get();
   }
@@ -935,15 +596,14 @@ StatusOr<Sequence> Evaluator::EvalHashJoin(const AstNode& node,
     } else {
       ++stats_.allocations_avoided;
     }
-    auto [begin, end] = cache->index.equal_range(key);
-    for (auto m = begin; m != end; ++m) matches.push_back(m->second);
+    cache->Probe(key, &matches);
   }
   std::sort(matches.begin(), matches.end());
   matches.erase(std::unique(matches.begin(), matches.end()), matches.end());
 
   Sequence out;
   for (size_t idx : matches) {
-    env.Push(plan.var_slot, Sequence{cache->bindings[idx]});
+    env.Push(plan.var_slot, Sequence{cache->bindings()[idx]});
     bool pass = true;
     for (const AstNode* residue : plan.residue) {
       XMARK_ASSIGN_OR_RETURN(Sequence v, Eval(*residue, env, focus));
@@ -962,11 +622,77 @@ StatusOr<Sequence> Evaluator::EvalHashJoin(const AstNode& node,
   return out;
 }
 
+StatusOr<int64_t> Evaluator::BandCount(int slot, Environment& env,
+                                       const Focus* focus) {
+  Environment::Binding* binding = env.Find(slot);
+  XMARK_CHECK(binding != nullptr && binding->band != nullptr);
+  if (binding->band_count >= 0) return binding->band_count;
+  const BandJoinPlan band = *binding->band;
+
+  BandJoinIndex* index;
+  auto it = plan_->band_state.find(band.flwor);
+  if (it == plan_->band_state.end()) {
+    auto built = std::make_unique<BandJoinIndex>();
+    XMARK_RETURN_IF_ERROR(built->Build(
+        band, slot_count_,
+        [this](const AstNode& n, Environment& e, const Focus* f) {
+          return Eval(n, e, f);
+        },
+        &stats_));
+    index = built.get();
+    plan_->band_state.emplace(band.flwor, std::move(built));
+  } else {
+    index = it->second.get();
+  }
+
+  if (!index->valid()) {
+    // The domain keys could not be computed (evaluation error or a
+    // non-numeric inner side): materialize the binding through the generic
+    // nested loop, which reproduces the interpreter exactly.
+    const AstNode* expr = binding->lazy_expr;
+    XMARK_ASSIGN_OR_RETURN(Sequence value, Eval(*expr, env, nullptr));
+    binding = env.Find(slot);
+    XMARK_CHECK(binding != nullptr);
+    binding->value = std::move(value);
+    binding->evaluated = true;
+    binding->band_count = static_cast<int64_t>(binding->value.size());
+    return binding->band_count;
+  }
+
+  if (index->raw_domain_size() == 0) {
+    // Empty domain: the interpreter would never have evaluated the where
+    // clause, so skip the outer side entirely.
+    binding->band_count = 0;
+    return 0;
+  }
+
+  // Probe: under existential comparison semantics the outer sequence
+  // matches a key iff its extreme numeric value does (max for >/>=, min
+  // for </<=), so one binary search answers the count.
+  XMARK_ASSIGN_OR_RETURN(Sequence outer, Eval(*band.outer_expr, env, focus));
+  const bool want_max =
+      band.op == BinaryOp::kGt || band.op == BinaryOp::kGe;
+  bool have = false;
+  double best = 0;
+  for (const Item& item : outer) {
+    const auto num = BandNumericValue(item, &cmp_scratch_a_);
+    if (!num.has_value() || std::isnan(*num)) continue;
+    if (!have || (want_max ? *num > best : *num < best)) best = *num;
+    have = true;
+  }
+  const int64_t count = have ? index->ProbeCount(best, band.op) : 0;
+  stats_.band_join_rows += count;
+  binding = env.Find(slot);
+  XMARK_CHECK(binding != nullptr);
+  binding->band_count = count;
+  return count;
+}
+
 StatusOr<Sequence> Evaluator::EvalFlwor(const AstNode& node, Environment& env,
                                         const Focus* focus) {
-  if (options_.hash_join) {
-    const JoinPlan* plan = AnalyzeJoin(node);
-    if (plan->eligible) return EvalHashJoin(node, *plan, env, focus);
+  const FlworPlan& fp = FlworPlanFor(node);
+  if (fp.strategy == FlworPlan::Strategy::kHashJoin) {
+    return EvalHashJoin(node, fp.hash, env, focus);
   }
 
   Sequence out;
@@ -1010,7 +736,22 @@ StatusOr<Sequence> Evaluator::EvalFlwor(const AstNode& node, Environment& env,
     }
     const ForLetClause& clause = node.clauses[ci];
     if (clause.is_let) {
-      if (options_.lazy_let) {
+      const BandJoinPlan* band =
+          clause.expr ? plan_->FindBandLet(clause.expr.get()) : nullptr;
+      if (band != nullptr) {
+        // Sort-merge band join: count($var) probes the sorted domain, any
+        // other use falls back to materializing lazy_expr. Under eager-let
+        // semantics the probe runs at bind time, matching the
+        // interpreter's evaluation point.
+        env.PushBand(clause.var_slot, clause.expr.get(), band);
+        if (!options_.lazy_let) {
+          StatusOr<int64_t> eager = BandCount(clause.var_slot, env, focus);
+          if (!eager.ok()) {
+            env.Pop();
+            return eager.status();
+          }
+        }
+      } else if (options_.lazy_let) {
         env.PushLazy(clause.var_slot, clause.expr.get());
       } else {
         XMARK_ASSIGN_OR_RETURN(Sequence value, Eval(*clause.expr, env, focus));
@@ -1126,22 +867,6 @@ bool CompareResult(int cmp, BinaryOp op) {
   }
 }
 
-// `a <op> b` == `b <SwapComparison(op)> a`.
-BinaryOp SwapComparison(BinaryOp op) {
-  switch (op) {
-    case BinaryOp::kLt:
-      return BinaryOp::kGt;
-    case BinaryOp::kLe:
-      return BinaryOp::kGe;
-    case BinaryOp::kGt:
-      return BinaryOp::kLt;
-    case BinaryOp::kGe:
-      return BinaryOp::kLe;
-    default:
-      return op;
-  }
-}
-
 bool SequenceHasConstructed(const Sequence& seq) {
   for (const Item& item : seq) {
     if (item.is_constructed()) return true;
@@ -1171,7 +896,7 @@ bool IsStreamablePath(const AstNode& n) {
 // order, calling `fn` on each until it returns true (short-circuit).
 // Returns whether fn ever returned true.
 template <typename Fn>
-bool StreamSteps(const StorageAdapter* store, Evaluator::Stats* stats,
+bool StreamSteps(const StorageAdapter* store, EvalStats* stats,
                  NodeHandle base, const std::vector<Step>& steps, size_t idx,
                  Fn&& fn) {
   const Step& step = steps[idx];
@@ -1573,6 +1298,20 @@ StatusOr<Sequence> Evaluator::EvalFunction(const AstNode& node,
     for (size_t i = 0; i < decl.params.size(); ++i) env.Pop();
     --udf_depth_;
     return result;
+  }
+
+  // Band-join fast path: count($var) over a band binding is answered with
+  // one binary search against the sorted domain — the sequence is never
+  // materialized. (Reached only when `count` is not shadowed by a UDF.)
+  if (name == "count" && node.args.size() == 1 &&
+      node.args[0]->kind == AstKind::kVarRef) {
+    Environment::Binding* binding = env.Find(node.args[0]->var_slot);
+    if (binding != nullptr && binding->band != nullptr &&
+        !binding->evaluated) {
+      XMARK_ASSIGN_OR_RETURN(
+          int64_t count, BandCount(node.args[0]->var_slot, env, focus));
+      return Sequence{Item(static_cast<double>(count))};
+    }
   }
 
   // Builtins: evaluate arguments eagerly.

@@ -7,52 +7,27 @@
 #include <vector>
 
 #include "query/ast.h"
+#include "query/exec.h"
+#include "query/plan.h"
 #include "query/storage.h"
 #include "query/value.h"
 #include "util/status.h"
 
 namespace xmark::query {
 
-/// Optimizer/execution features. Each engine configuration (systems A-G)
-/// enables the subset its architecture plausibly provides; the differences
-/// drive the Table 3 contrasts.
-struct EvaluatorOptions {
-  /// Resolve [@id="lit"] predicates through the store's ID index.
-  bool use_id_index = true;
-  /// Resolve root child-paths through the structural summary.
-  bool use_path_index = true;
-  /// Resolve descendant steps through the tag index.
-  bool use_tag_index = true;
-  /// Decorrelate nested equi-join FLWORs into hash joins.
-  bool hash_join = true;
-  /// Defer `let` evaluation until first use (prunes Q12's inner loop).
-  bool lazy_let = true;
-  /// Memoize absolute-path subexpressions across loop iterations.
-  bool cache_invariant_paths = true;
-  /// Deep-copy node results into constructed trees (the embedded System G
-  /// returns copies, a large part of its overhead).
-  bool copy_results = false;
-
-  // --- Storage-access fast paths (implementation quality, not a paper
-  // system knob; on for every system, off for ablation benchmarks) -------
-
-  /// Consume string data through zero-copy views (TextView/AttributeView/
-  /// AppendStringValue) on comparison and predicate paths instead of
-  /// materializing a std::string per node.
-  bool zero_copy_strings = true;
-  /// Walk child steps through batched, tag-filtered store cursors instead
-  /// of a virtual FirstChild/NextSibling call pair per node.
-  bool child_cursors = true;
-  /// Walk descendant steps through batched, interval-encoded store cursors
-  /// (one clustered range scan per input node) instead of the generic DFS
-  /// or a materialized DescendantsByTag vector.
-  bool descendant_cursors = true;
-};
-
-/// Tree-walking XQuery-subset evaluator over a StorageAdapter.
+/// XQuery-subset engine over a StorageAdapter, layered as
+///   optimizer (query/optimizer.cc): AST -> QueryPlan once per run
+///   physical operators (query/exec.h): scans, hash joins, band joins
+///   evaluator (this class): expression semantics driving the operators.
 ///
-/// One Evaluator instance may be reused across queries; per-run caches
-/// (hash-join tables, invariant-path memos) are reset by Run().
+/// With options.use_planner off the evaluator reverts to the legacy
+/// tree-walking interpreter that re-decides access paths and join
+/// strategies per node at runtime; results are byte-identical either way.
+///
+/// One Evaluator instance may be reused across queries; every Run() builds
+/// a fresh QueryPlan, which owns all per-run caches (hash-join tables,
+/// band-join domains, invariant-path memos) — stale caches across
+/// documents are impossible by construction.
 class Evaluator {
  public:
   Evaluator(const StorageAdapter* store, const EvaluatorOptions& options);
@@ -67,27 +42,13 @@ class Evaluator {
   const EvaluatorOptions& options() const { return options_; }
 
   /// Statistics from the last Run (exposed for ablation benchmarks).
-  struct Stats {
-    int64_t nodes_visited = 0;       // adapter navigation calls
-    int64_t hash_joins_built = 0;    // decorrelated inner loops
-    int64_t index_lookups = 0;       // id/tag/path index hits
-    int64_t cursor_scans = 0;        // batched child scans opened
-    int64_t descendant_scans = 0;    // batched descendant scans opened
-    int64_t allocations_avoided = 0; // per-node strings skipped via views
-    int64_t compare_allocs = 0;      // strings materialized on compare paths
-    int64_t join_probes = 0;         // hash-join index probes
-    int64_t join_probe_allocs = 0;   // probe keys that materialized a string
-    int64_t sequence_heap_spills = 0;  // Sequences that outgrew the inline
-                                       // buffer (SBO miss count)
-  };
+  using Stats = EvalStats;
   const Stats& stats() const { return stats_; }
 
- private:
-  struct Environment;
-  struct Focus;
-  struct JoinPlan;
-  struct JoinCache;
+  /// The plan of the last Run (Explain, tests). Null before the first run.
+  const QueryPlan* plan() const { return plan_.get(); }
 
+ private:
   StatusOr<Sequence> Eval(const AstNode& node, Environment& env,
                           const Focus* focus);
   StatusOr<Sequence> EvalPath(const AstNode& node, Environment& env,
@@ -103,15 +64,23 @@ class Evaluator {
   StatusOr<Sequence> EvalConstructor(const AstNode& node, Environment& env,
                                      const Focus* focus);
 
-  Status ApplyStep(const Step& step, const Sequence& input, Environment& env,
-                   Sequence* output);
+  Status ApplyStep(const Step& step, const StepPlan* step_plan,
+                   const Sequence& input, Environment& env, Sequence* output);
   Status ApplyPredicates(const std::vector<AstPtr>& predicates,
                          Environment& env, Sequence* group);
 
-  // Hash-join decorrelation machinery.
-  const JoinPlan* AnalyzeJoin(const AstNode& flwor);
-  StatusOr<Sequence> EvalHashJoin(const AstNode& node, const JoinPlan& plan,
-                                  Environment& env, const Focus* focus);
+  /// FLWOR strategy from the plan; in legacy mode the entry is analyzed
+  /// and cached on first visit.
+  const FlworPlan& FlworPlanFor(const AstNode& flwor);
+
+  StatusOr<Sequence> EvalHashJoin(const AstNode& node,
+                                  const HashJoinPlan& plan, Environment& env,
+                                  const Focus* focus);
+
+  /// Answers count($var) for the band-join binding in `slot`: builds the
+  /// sorted domain on first probe, then binary-searches. Falls back to
+  /// materializing the binding when the domain fails to build.
+  StatusOr<int64_t> BandCount(int slot, Environment& env, const Focus* focus);
 
   // General comparison under XQuery's untyped rules, consuming operands
   // through zero-copy views (member scratch buffers amortize the rare
@@ -125,6 +94,7 @@ class Evaluator {
 
   const StorageAdapter* store_;
   EvaluatorOptions options_;
+  StorageCapabilities caps_;  // snapshot taken at construction
   Stats stats_;
   size_t slot_count_ = 0;
   std::string cmp_scratch_a_;
@@ -132,9 +102,7 @@ class Evaluator {
 
   const ParsedQuery* current_query_ = nullptr;
   std::unordered_map<std::string, const FunctionDecl*> functions_;
-  std::unordered_map<const AstNode*, std::unique_ptr<JoinPlan>> join_plans_;
-  std::unordered_map<const AstNode*, std::unique_ptr<JoinCache>> join_caches_;
-  std::unordered_map<const AstNode*, Sequence> invariant_cache_;
+  std::unique_ptr<QueryPlan> plan_;  // per-run plan + caches
   int udf_depth_ = 0;
 };
 

@@ -1,0 +1,264 @@
+#include "query/exec.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace xmark::query {
+
+// ---------------------------------------------------------------------------
+// NodeScan
+// ---------------------------------------------------------------------------
+
+void NodeScan::Open(const StorageAdapter* store, NodeHandle base,
+                    StepPlan::Access access, ChildFilter filter,
+                    xml::NameId tag, bool child_cursors, EvalStats* stats) {
+  store_ = store;
+  stats_ = stats;
+  child_cursors_ = child_cursors;
+  filter_ = filter;
+  tag_ = tag;
+  materialized_.clear();
+  materialized_pos_ = 0;
+  switch (access) {
+    case StepPlan::Access::kChildrenByTag: {
+      auto direct = store->ChildrenByTag(base, tag);
+      if (direct.has_value()) {
+        ++stats->index_lookups;
+        materialized_ = std::move(*direct);
+        mode_ = Mode::kMaterialized;
+        return;
+      }
+      // The physical layout does not cover this node: scan its children
+      // the way the options allow.
+      if (!child_cursors_) {
+        chain_ = store->FirstChild(base);
+        mode_ = Mode::kChildChain;
+        return;
+      }
+      [[fallthrough]];
+    }
+    case StepPlan::Access::kChildCursor:
+      store->OpenChildCursor(base, filter, tag, &child_cursor_);
+      ++stats->cursor_scans;
+      mode_ = Mode::kChildCursor;
+      return;
+    case StepPlan::Access::kChildChain:
+      chain_ = store->FirstChild(base);
+      mode_ = Mode::kChildChain;
+      return;
+    case StepPlan::Access::kDescendantCursor:
+      store->OpenDescendantCursor(base, filter, tag, &descendant_cursor_);
+      ++stats->descendant_scans;
+      mode_ = Mode::kDescendantCursor;
+      return;
+    case StepPlan::Access::kTagIndex: {
+      auto from_index = store->DescendantsByTag(base, tag);
+      if (from_index.has_value()) {
+        ++stats->index_lookups;
+        materialized_ = std::move(*from_index);
+        mode_ = Mode::kMaterialized;
+        return;
+      }
+      OpenDfs(base);
+      return;
+    }
+    case StepPlan::Access::kDescendantDfs:
+      OpenDfs(base);
+      return;
+    case StepPlan::Access::kAttribute:
+    case StepPlan::Access::kSelf:
+      mode_ = Mode::kDone;
+      return;
+  }
+  mode_ = Mode::kDone;
+}
+
+// Children of `parent` in document order, gathered with one batched
+// cursor scan when cursors are enabled (no virtual call pair per child),
+// otherwise with the generic sibling chain.
+void NodeScan::CollectChildren(NodeHandle parent,
+                               std::vector<NodeHandle>* out) {
+  if (child_cursors_) {
+    ChildCursor cur;
+    store_->OpenChildCursor(parent, ChildFilter::kAll, xml::kInvalidName,
+                            &cur);
+    ++stats_->cursor_scans;
+    constexpr size_t kBatch = 64;
+    NodeHandle buf[kBatch];
+    size_t n;
+    while ((n = cur.Fill(buf, kBatch)) > 0) {
+      out->insert(out->end(), buf, buf + n);
+    }
+  } else {
+    for (NodeHandle c = store_->FirstChild(parent); c != kInvalidHandle;
+         c = store_->NextSibling(c)) {
+      out->push_back(c);
+    }
+  }
+}
+
+void NodeScan::OpenDfs(NodeHandle base) {
+  mode_ = Mode::kDescendantDfs;
+  dfs_stack_.clear();
+  dfs_kids_.clear();
+  // Seed with the base's children in reverse so popping emits document
+  // order.
+  CollectChildren(base, &dfs_stack_);
+  std::reverse(dfs_stack_.begin(), dfs_stack_.end());
+}
+
+size_t NodeScan::FillDfs(NodeHandle* out, size_t cap) {
+  size_t n = 0;
+  while (n < cap && !dfs_stack_.empty()) {
+    const NodeHandle node = dfs_stack_.back();
+    dfs_stack_.pop_back();
+    ++stats_->nodes_visited;
+    const xml::NameId node_tag = store_->NameOf(node);
+    if (MatchesChildFilter(filter_, node_tag, tag_)) out[n++] = node;
+    if (node_tag == xml::kInvalidName) continue;  // text leaf
+    // Push children in reverse so the DFS emits document order.
+    dfs_kids_.clear();
+    CollectChildren(node, &dfs_kids_);
+    for (auto it = dfs_kids_.rbegin(); it != dfs_kids_.rend(); ++it) {
+      dfs_stack_.push_back(*it);
+    }
+  }
+  if (dfs_stack_.empty() && n == 0) mode_ = Mode::kDone;
+  return n;
+}
+
+size_t NodeScan::Fill(NodeHandle* out, size_t cap) {
+  switch (mode_) {
+    case Mode::kDone:
+      return 0;
+    case Mode::kChildCursor: {
+      const size_t n = child_cursor_.Fill(out, cap);
+      stats_->nodes_visited += static_cast<int64_t>(n);
+      if (n == 0) mode_ = Mode::kDone;
+      return n;
+    }
+    case Mode::kDescendantCursor: {
+      const size_t n = descendant_cursor_.Fill(out, cap);
+      stats_->nodes_visited += static_cast<int64_t>(n);
+      if (n == 0) mode_ = Mode::kDone;
+      return n;
+    }
+    case Mode::kChildChain: {
+      size_t n = 0;
+      NodeHandle c = chain_;
+      while (n < cap && c != kInvalidHandle) {
+        ++stats_->nodes_visited;
+        if (MatchesChildFilter(filter_, store_->NameOf(c), tag_)) {
+          out[n++] = c;
+        }
+        c = store_->NextSibling(c);
+      }
+      chain_ = c;
+      if (n == 0) mode_ = Mode::kDone;
+      return n;
+    }
+    case Mode::kDescendantDfs:
+      return FillDfs(out, cap);
+    case Mode::kMaterialized: {
+      const size_t n =
+          std::min(cap, materialized_.size() - materialized_pos_);
+      std::copy_n(materialized_.begin() + materialized_pos_, n, out);
+      materialized_pos_ += n;
+      if (n == 0) mode_ = Mode::kDone;
+      return n;
+    }
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// HashJoinExec
+// ---------------------------------------------------------------------------
+
+Status HashJoinExec::Build(const HashJoinPlan& plan, size_t slot_count,
+                           const EvalFn& eval, EvalStats* stats) {
+  Environment inner_env(slot_count);
+  XMARK_ASSIGN_OR_RETURN(Sequence bindings,
+                         eval(*plan.in_expr, inner_env, nullptr));
+  bindings_ = std::move(bindings);
+  for (size_t i = 0; i < bindings_.size(); ++i) {
+    inner_env.Push(plan.var_slot, Sequence{bindings_[i]});
+    XMARK_ASSIGN_OR_RETURN(Sequence keys,
+                           eval(*plan.inner_key, inner_env, nullptr));
+    inner_env.Pop();
+    for (const Item& k : keys) {
+      index_.emplace(ItemStringValue(k), i);
+    }
+  }
+  ++stats->hash_joins_built;
+  return Status::OK();
+}
+
+void HashJoinExec::Probe(std::string_view key,
+                         std::vector<size_t>* rows) const {
+  auto [begin, end] = index_.equal_range(key);
+  for (auto m = begin; m != end; ++m) rows->push_back(m->second);
+}
+
+// ---------------------------------------------------------------------------
+// BandJoinIndex
+// ---------------------------------------------------------------------------
+
+std::optional<double> BandNumericValue(const Item& item,
+                                       std::string* scratch) {
+  if (item.is_number()) return item.number();
+  if (item.is_boolean()) return item.boolean() ? 1.0 : 0.0;
+  return ParseDouble(ItemStringView(item, scratch));
+}
+
+Status BandJoinIndex::Build(const BandJoinPlan& plan, size_t slot_count,
+                            const EvalFn& eval, EvalStats* stats) {
+  valid_ = false;
+  keys_.clear();
+  Environment inner_env(slot_count);
+  XMARK_ASSIGN_OR_RETURN(Sequence domain,
+                         eval(*plan.domain, inner_env, nullptr));
+  raw_domain_size_ = domain.size();
+  keys_.reserve(domain.size());
+  std::string scratch;
+  for (const Item& binding : domain) {
+    inner_env.Push(plan.var_slot, Sequence{binding});
+    auto value = eval(*plan.inner_expr, inner_env, nullptr);
+    inner_env.Pop();
+    if (!value.ok()) return Status::OK();  // invalid: nested-loop fallback
+    if (value->empty()) continue;  // empty inner side never matches
+    const auto num = BandNumericValue(value->front(), &scratch);
+    if (!num.has_value()) return Status::OK();  // non-numeric: fall back
+    if (std::isnan(*num)) continue;  // NaN compares false against anything
+    keys_.push_back(*num);
+  }
+  std::sort(keys_.begin(), keys_.end());
+  valid_ = true;
+  ++stats->band_joins_built;
+  return Status::OK();
+}
+
+int64_t BandJoinIndex::ProbeCount(double probe, BinaryOp op) const {
+  if (std::isnan(probe)) return 0;
+  const auto lower =
+      std::lower_bound(keys_.begin(), keys_.end(), probe) - keys_.begin();
+  const auto upper =
+      std::upper_bound(keys_.begin(), keys_.end(), probe) - keys_.begin();
+  const auto n = static_cast<int64_t>(keys_.size());
+  switch (op) {
+    case BinaryOp::kGt:  // probe > key: keys strictly below the probe
+      return lower;
+    case BinaryOp::kGe:
+      return upper;
+    case BinaryOp::kLt:  // probe < key: keys strictly above the probe
+      return n - upper;
+    case BinaryOp::kLe:
+      return n - lower;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace xmark::query

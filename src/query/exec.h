@@ -1,0 +1,225 @@
+#ifndef XMARK_QUERY_EXEC_H_
+#define XMARK_QUERY_EXEC_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "query/ast.h"
+#include "query/plan.h"
+#include "query/storage.h"
+#include "query/value.h"
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace xmark::query {
+
+// ---------------------------------------------------------------------------
+// Execution state
+// ---------------------------------------------------------------------------
+
+/// Dynamic focus of a predicate/step evaluation (context item, position()
+/// and last()).
+struct Focus {
+  Item item;
+  int64_t position = 1;
+  int64_t size = 1;
+};
+
+/// Slot-indexed variable frame: ResolveVariableSlots interned every variable
+/// name of the query into a dense slot space at compile time, so binding and
+/// lookup are vector indexing instead of a linear string-keyed search over a
+/// binding stack. Shadowing (nested FLWORs, UDF recursion) is handled by
+/// saving the previous slot content on a side stack and restoring it on Pop.
+struct Environment {
+  struct Binding {
+    Sequence value;
+    const AstNode* lazy_expr = nullptr;  // unevaluated `let`
+    /// Non-null: count-only band-join binding. count($var) probes the
+    /// sorted band domain instead of materializing the inner loop;
+    /// `lazy_expr` stays set so any other use falls back to the generic
+    /// nested-loop materialization.
+    const BandJoinPlan* band = nullptr;
+    int64_t band_count = -1;  // cached probe result (-1 = not probed)
+    bool evaluated = false;
+    bool bound = false;
+  };
+  std::vector<Binding> slots;
+  std::vector<std::pair<int, Binding>> saved;  // LIFO scope-restore stack
+
+  explicit Environment(size_t slot_count) : slots(slot_count) {}
+
+  void Push(int slot, Sequence value) {
+    saved.emplace_back(slot, std::move(slots[slot]));
+    Binding& b = slots[slot];
+    b.value = std::move(value);
+    b.lazy_expr = nullptr;
+    b.band = nullptr;
+    b.band_count = -1;
+    b.evaluated = true;
+    b.bound = true;
+  }
+  void PushLazy(int slot, const AstNode* expr) {
+    saved.emplace_back(slot, std::move(slots[slot]));
+    Binding& b = slots[slot];
+    b.value.clear();
+    b.lazy_expr = expr;
+    b.band = nullptr;
+    b.band_count = -1;
+    b.evaluated = false;
+    b.bound = true;
+  }
+  void PushBand(int slot, const AstNode* expr, const BandJoinPlan* band) {
+    PushLazy(slot, expr);
+    slots[slot].band = band;
+  }
+  void Pop() {
+    auto& [slot, binding] = saved.back();
+    slots[slot] = std::move(binding);
+    saved.pop_back();
+  }
+
+  Binding* Find(int slot) {
+    if (slot < 0 || static_cast<size_t>(slot) >= slots.size() ||
+        !slots[slot].bound) {
+      return nullptr;
+    }
+    return &slots[slot];
+  }
+};
+
+/// Callback into the expression evaluator; physical operators use it to
+/// evaluate key/domain subexpressions without depending on the Evaluator
+/// class.
+using EvalFn =
+    std::function<StatusOr<Sequence>(const AstNode&, Environment&,
+                                     const Focus*)>;
+
+// ---------------------------------------------------------------------------
+// NodeScan: batch-pull scan over one physical access path
+// ---------------------------------------------------------------------------
+
+/// Physical operator producing the nodes a planned step access selects
+/// from one base node, drained in batches. One NodeScan instance is reused
+/// across the input sequence of a step, so the DFS stack / materialized
+/// buffer allocations amortize.
+class NodeScan {
+ public:
+  /// Positions the scan on `base` for the given access path. Access kinds
+  /// kAttribute/kSelf are not scans and must not be passed here.
+  /// kChildrenByTag falls back to a child scan when the store answers
+  /// nullopt for this node; kTagIndex falls back to a DFS.
+  /// `child_cursors` mirrors EvaluatorOptions::child_cursors: it selects
+  /// the batched cursor (vs the virtual sibling chain) for that fallback
+  /// and for the per-element child collection inside the DFS.
+  void Open(const StorageAdapter* store, NodeHandle base,
+            StepPlan::Access access, ChildFilter filter, xml::NameId tag,
+            bool child_cursors, EvalStats* stats);
+
+  /// Copies up to `cap` matching handles into `out` in document order;
+  /// returns the number written. 0 signals exhaustion.
+  size_t Fill(NodeHandle* out, size_t cap);
+
+ private:
+  enum class Mode : uint8_t {
+    kDone,
+    kChildCursor,
+    kChildChain,
+    kDescendantCursor,
+    kDescendantDfs,
+    kMaterialized,
+  };
+
+  void OpenDfs(NodeHandle base);
+  size_t FillDfs(NodeHandle* out, size_t cap);
+  void CollectChildren(NodeHandle parent, std::vector<NodeHandle>* out);
+
+  const StorageAdapter* store_ = nullptr;
+  EvalStats* stats_ = nullptr;
+  Mode mode_ = Mode::kDone;
+  bool child_cursors_ = true;
+  ChildFilter filter_ = ChildFilter::kAll;
+  xml::NameId tag_ = xml::kInvalidName;
+  ChildCursor child_cursor_;
+  DescendantCursor descendant_cursor_;
+  NodeHandle chain_ = kInvalidHandle;  // kChildChain position
+  std::vector<NodeHandle> materialized_;
+  size_t materialized_pos_ = 0;
+  std::vector<NodeHandle> dfs_stack_;
+  std::vector<NodeHandle> dfs_kids_;
+};
+
+// ---------------------------------------------------------------------------
+// Hash join
+// ---------------------------------------------------------------------------
+
+/// Built hash-join table for one decorrelated FLWOR: the invariant inner
+/// bindings plus a transparent-hash index from key string to binding rows.
+/// Owned by the QueryPlan of the current run.
+class HashJoinExec {
+ public:
+  /// Evaluates the invariant domain and indexes every binding by its inner
+  /// key string(s).
+  Status Build(const HashJoinPlan& plan, size_t slot_count,
+               const EvalFn& eval, EvalStats* stats);
+
+  /// Appends the distinct binding rows whose key equals `key`, in build
+  /// order, to `*rows`.
+  void Probe(std::string_view key, std::vector<size_t>* rows) const;
+
+  const Sequence& bindings() const { return bindings_; }
+
+ private:
+  Sequence bindings_;
+  // Transparent hash/eq: probes pass the key as a string_view straight out
+  // of the store heap, so no per-probe std::string is built.
+  std::unordered_multimap<std::string, size_t, TransparentStringHash,
+                          std::equal_to<>>
+      index_;
+};
+
+// ---------------------------------------------------------------------------
+// Sort-merge band join
+// ---------------------------------------------------------------------------
+
+/// Built band-join domain: the numeric keys of the invariant inner side,
+/// sorted ascending. A probe answers `count of domain items matching
+/// (v OP key)` with one binary search — the sort + sweep that replaces the
+/// Q11/Q12 O(n*m) nested loop. Owned by the QueryPlan of the current run.
+class BandJoinIndex {
+ public:
+  /// Evaluates the domain and the numeric inner side per binding. When any
+  /// binding's inner side fails to evaluate or yields a non-number, the
+  /// index is marked invalid and the caller falls back to the nested loop
+  /// (which reproduces the interpreter's behavior, including its errors).
+  Status Build(const BandJoinPlan& plan, size_t slot_count,
+               const EvalFn& eval, EvalStats* stats);
+
+  bool valid() const { return valid_; }
+  size_t domain_size() const { return keys_.size(); }
+  /// Domain cardinality before unmatchable items were dropped. 0 means
+  /// the interpreter would never have evaluated the predicate at all.
+  size_t raw_domain_size() const { return raw_domain_size_; }
+
+  /// Number of domain items whose key satisfies `probe OP key`, where OP
+  /// is the plan's comparison with the outer value on the left.
+  int64_t ProbeCount(double probe, BinaryOp op) const;
+
+ private:
+  bool valid_ = false;
+  size_t raw_domain_size_ = 0;
+  std::vector<double> keys_;  // sorted ascending; unmatchable items omitted
+};
+
+/// Numeric value of an item under the evaluator's untyped comparison rules
+/// (numbers pass through, booleans become 0/1, everything else parses its
+/// string value; nullopt when the lexical form is not a number). Shared by
+/// the band-join probe and build so both sides cast identically.
+std::optional<double> BandNumericValue(const Item& item,
+                                       std::string* scratch);
+
+}  // namespace xmark::query
+
+#endif  // XMARK_QUERY_EXEC_H_

@@ -1,0 +1,462 @@
+#include "query/optimizer.h"
+
+#include <vector>
+
+namespace xmark::query {
+
+// ---------------------------------------------------------------------------
+// Static analysis
+// ---------------------------------------------------------------------------
+
+void VisitChildren(const AstNode& node,
+                   const std::function<void(const AstNode&)>& fn) {
+  if (node.start) fn(*node.start);
+  for (const Step& s : node.steps) {
+    for (const AstPtr& p : s.predicates) fn(*p);
+  }
+  for (const ForLetClause& c : node.clauses) {
+    if (c.expr) fn(*c.expr);
+  }
+  if (node.where) fn(*node.where);
+  for (const OrderSpec& o : node.order_by) fn(*o.key);
+  if (node.ret) fn(*node.ret);
+  for (const AstPtr& a : node.args) fn(*a);
+  for (const AttrConstructor& attr : node.attrs) {
+    for (const AttrPart& part : attr.parts) {
+      if (part.expr) fn(*part.expr);
+    }
+  }
+  for (const AstPtr& c : node.content) fn(*c);
+}
+
+namespace {
+
+void CollectFreeVars(const AstNode& node, std::set<std::string>& bound,
+                     std::set<std::string>* free_vars) {
+  if (node.kind == AstKind::kVarRef) {
+    if (!bound.count(node.str_value)) free_vars->insert(node.str_value);
+    return;
+  }
+  if (node.kind == AstKind::kFlwor || node.kind == AstKind::kQuantified) {
+    // Clauses bind sequentially; later clause expressions see earlier vars.
+    std::vector<std::string> introduced;
+    for (const ForLetClause& c : node.clauses) {
+      if (c.expr) CollectFreeVars(*c.expr, bound, free_vars);
+      if (!bound.count(c.var)) {
+        bound.insert(c.var);
+        introduced.push_back(c.var);
+      }
+    }
+    if (node.where) CollectFreeVars(*node.where, bound, free_vars);
+    for (const OrderSpec& o : node.order_by) {
+      CollectFreeVars(*o.key, bound, free_vars);
+    }
+    if (node.ret) CollectFreeVars(*node.ret, bound, free_vars);
+    for (const std::string& v : introduced) bound.erase(v);
+    return;
+  }
+  VisitChildren(node,
+                [&](const AstNode& child) {
+                  CollectFreeVars(child, bound, free_vars);
+                });
+}
+
+}  // namespace
+
+std::set<std::string> FreeVars(const AstNode& node) {
+  std::set<std::string> bound, free_vars;
+  CollectFreeVars(node, bound, &free_vars);
+  return free_vars;
+}
+
+bool IsDocumentCall(const AstNode& node) {
+  return node.kind == AstKind::kFunctionCall &&
+         (node.str_value == "document" || node.str_value == "doc" ||
+          node.str_value == "fn:doc");
+}
+
+bool DependsOnFocus(const AstNode& node) {
+  if (node.kind == AstKind::kContextItem) return true;
+  if (node.kind == AstKind::kFunctionCall &&
+      (node.str_value == "position" || node.str_value == "last")) {
+    return true;
+  }
+  if (node.kind == AstKind::kPath && !node.absolute && !node.start) {
+    return true;  // relative path starts at the context item
+  }
+  bool found = false;
+  VisitChildren(node, [&](const AstNode& child) {
+    // Predicates establish their own focus, so focus uses inside step
+    // predicates do not leak out; recursing everywhere is conservative
+    // but safe — a false positive only disables a cache.
+    if (!found && DependsOnFocus(child)) found = true;
+  });
+  return found;
+}
+
+bool IsCacheableInvariant(const AstNode& node) {
+  if (node.kind != AstKind::kPath) return false;
+  const bool rooted =
+      node.absolute || (node.start && IsDocumentCall(*node.start));
+  if (!rooted) return false;
+  if (!FreeVars(node).empty()) return false;
+  if (DependsOnFocus(node)) return false;
+  return true;
+}
+
+BinaryOp SwapComparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kLt:
+      return BinaryOp::kGt;
+    case BinaryOp::kLe:
+      return BinaryOp::kGe;
+    case BinaryOp::kGt:
+      return BinaryOp::kLt;
+    case BinaryOp::kGe:
+      return BinaryOp::kLe;
+    default:
+      return op;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Step / path plans
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// [@id = "literal"] shape of the step's first predicate (Q1's lookup).
+const AstNode* IdLiteralOf(const Step& step) {
+  if (step.predicates.empty()) return nullptr;
+  const AstNode& p = *step.predicates.front();
+  if (p.kind != AstKind::kBinary || p.op != BinaryOp::kEq) return nullptr;
+  auto is_id_path = [](const AstNode& n) {
+    return n.kind == AstKind::kPath && !n.absolute && !n.start &&
+           n.steps.size() == 1 && n.steps[0].axis == Axis::kAttribute &&
+           n.steps[0].name == "id";
+  };
+  if (is_id_path(*p.args[0]) && p.args[1]->kind == AstKind::kStringLiteral) {
+    return p.args[1].get();
+  }
+  if (is_id_path(*p.args[1]) && p.args[0]->kind == AstKind::kStringLiteral) {
+    return p.args[0].get();
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+StepPlan ComputeStepPlan(const Step& step, const EvaluatorOptions& options,
+                         const StorageCapabilities& caps) {
+  StepPlan plan;
+  if (step.axis == Axis::kAttribute) {
+    plan.access = StepPlan::Access::kAttribute;
+    return plan;
+  }
+  if (step.axis == Axis::kSelf) {
+    plan.access = StepPlan::Access::kSelf;
+    return plan;
+  }
+  if (step.axis == Axis::kChild) {
+    if (options.use_id_index && caps.id_lookup &&
+        step.test == Step::Test::kName) {
+      plan.id_literal = IdLiteralOf(step);
+    }
+    if (step.test == Step::Test::kName && caps.children_by_tag) {
+      plan.access = StepPlan::Access::kChildrenByTag;
+    } else if (options.child_cursors) {
+      plan.access = StepPlan::Access::kChildCursor;
+    } else {
+      plan.access = StepPlan::Access::kChildChain;
+    }
+    return plan;
+  }
+  // Descendant axis. A store advertising interval_descendants answers the
+  // cursor with a clustered range scan — always the best path. Without an
+  // interval encoding the cursor is a generic per-node walk, so a
+  // materialized tag-index slice wins when one is available.
+  const bool tag_index_ok = options.use_tag_index && caps.tag_index &&
+                            step.test == Step::Test::kName;
+  if (options.descendant_cursors && caps.interval_descendants) {
+    plan.access = StepPlan::Access::kDescendantCursor;
+  } else if (tag_index_ok) {
+    plan.access = StepPlan::Access::kTagIndex;
+  } else if (options.descendant_cursors) {
+    plan.access = StepPlan::Access::kDescendantCursor;  // generic walk
+  } else {
+    plan.access = StepPlan::Access::kDescendantDfs;
+  }
+  return plan;
+}
+
+PathPlan ComputePathPlan(const AstNode& path, const EvaluatorOptions& options,
+                         const StorageCapabilities& caps) {
+  PathPlan plan;
+  plan.cacheable =
+      options.cache_invariant_paths && IsCacheableInvariant(path);
+  const bool rooted =
+      path.absolute || (path.start && IsDocumentCall(*path.start));
+  if (rooted && options.use_path_index && caps.path_index) {
+    for (const Step& s : path.steps) {
+      if (s.axis != Axis::kChild || s.test != Step::Test::kName ||
+          !s.predicates.empty()) {
+        break;
+      }
+      ++plan.path_index_steps;
+    }
+  }
+  plan.steps.reserve(path.steps.size());
+  for (const Step& s : path.steps) {
+    plan.steps.push_back(ComputeStepPlan(s, options, caps));
+  }
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// Join analysis
+// ---------------------------------------------------------------------------
+
+void AnalyzeFlworJoin(const AstNode& flwor, const EvaluatorOptions& options,
+                      FlworPlan* out) {
+  *out = FlworPlan{};
+  out->band_shape = AnalyzeBandShape(flwor, nullptr);
+
+  do {
+    if (flwor.clauses.size() != 1 || flwor.clauses[0].is_let) break;
+    if (flwor.where == nullptr || !flwor.order_by.empty()) break;
+    const ForLetClause& clause = flwor.clauses[0];
+    if (!FreeVars(*clause.expr).empty()) break;
+    if (DependsOnFocus(*clause.expr)) break;
+
+    // Flatten top-level `and` conjuncts.
+    std::vector<const AstNode*> conjuncts;
+    std::vector<const AstNode*> pending{flwor.where.get()};
+    while (!pending.empty()) {
+      const AstNode* n = pending.back();
+      pending.pop_back();
+      if (n->kind == AstKind::kBinary && n->op == BinaryOp::kAnd) {
+        pending.push_back(n->args[0].get());
+        pending.push_back(n->args[1].get());
+      } else {
+        conjuncts.push_back(n);
+      }
+    }
+
+    HashJoinPlan& hash = out->hash;
+    for (const AstNode* c : conjuncts) {
+      if (hash.inner_key == nullptr && c->kind == AstKind::kBinary &&
+          c->op == BinaryOp::kEq) {
+        const AstNode* lhs = c->args[0].get();
+        const AstNode* rhs = c->args[1].get();
+        auto only_var = [&](const AstNode* n) {
+          const auto fv = FreeVars(*n);
+          return fv.size() == 1 && *fv.begin() == clause.var &&
+                 !DependsOnFocus(*n);
+        };
+        auto without_var = [&](const AstNode* n) {
+          return FreeVars(*n).count(clause.var) == 0 && !DependsOnFocus(*n);
+        };
+        if (only_var(lhs) && without_var(rhs)) {
+          hash.inner_key = lhs;
+          hash.outer_key = rhs;
+          continue;
+        }
+        if (only_var(rhs) && without_var(lhs)) {
+          hash.inner_key = rhs;
+          hash.outer_key = lhs;
+          continue;
+        }
+      }
+      hash.residue.push_back(c);
+    }
+    if (hash.inner_key == nullptr) break;
+    out->join_shape = true;
+    hash.in_expr = clause.expr.get();
+    hash.var = clause.var;
+    hash.var_slot = clause.var_slot;
+    if (options.hash_join) out->strategy = FlworPlan::Strategy::kHashJoin;
+  } while (false);
+}
+
+bool AnalyzeBandShape(const AstNode& flwor, BandJoinPlan* out) {
+  if (flwor.kind != AstKind::kFlwor) return false;
+  if (flwor.clauses.size() != 1 || flwor.clauses[0].is_let) return false;
+  if (flwor.where == nullptr || !flwor.order_by.empty()) return false;
+  const ForLetClause& clause = flwor.clauses[0];
+  // The return must emit exactly the loop variable so the match count
+  // equals the result cardinality.
+  if (flwor.ret == nullptr || flwor.ret->kind != AstKind::kVarRef ||
+      flwor.ret->str_value != clause.var) {
+    return false;
+  }
+  if (!FreeVars(*clause.expr).empty()) return false;
+  if (DependsOnFocus(*clause.expr)) return false;
+
+  const AstNode& where = *flwor.where;
+  if (where.kind != AstKind::kBinary) return false;
+  BinaryOp op = where.op;
+  if (op != BinaryOp::kLt && op != BinaryOp::kLe && op != BinaryOp::kGt &&
+      op != BinaryOp::kGe) {
+    return false;
+  }
+  // The inner side must be guaranteed numeric (top-level arithmetic or a
+  // number literal) so the band comparison is a double ordering, never the
+  // string ordering the generic comparison would fall back to.
+  auto numeric_shape = [](const AstNode& n) {
+    if (n.kind == AstKind::kNumberLiteral ||
+        n.kind == AstKind::kUnaryMinus) {
+      return true;
+    }
+    if (n.kind != AstKind::kBinary) return false;
+    switch (n.op) {
+      case BinaryOp::kAdd:
+      case BinaryOp::kSub:
+      case BinaryOp::kMul:
+      case BinaryOp::kDiv:
+      case BinaryOp::kMod:
+        return true;
+      default:
+        return false;
+    }
+  };
+  auto only_var = [&](const AstNode& n) {
+    const auto fv = FreeVars(n);
+    return fv.size() == 1 && *fv.begin() == clause.var &&
+           !DependsOnFocus(n);
+  };
+  auto without_var = [&](const AstNode& n) {
+    return FreeVars(n).count(clause.var) == 0 && !DependsOnFocus(n);
+  };
+
+  const AstNode* lhs = where.args[0].get();
+  const AstNode* rhs = where.args[1].get();
+  const AstNode* inner = nullptr;
+  const AstNode* outer = nullptr;
+  if (only_var(*rhs) && numeric_shape(*rhs) && without_var(*lhs)) {
+    inner = rhs;
+    outer = lhs;  // already outer OP inner
+  } else if (only_var(*lhs) && numeric_shape(*lhs) && without_var(*rhs)) {
+    inner = lhs;
+    outer = rhs;
+    op = SwapComparison(op);  // normalize to outer OP inner
+  } else {
+    return false;
+  }
+  if (out != nullptr) {
+    out->flwor = &flwor;
+    out->domain = clause.expr.get();
+    out->var_slot = clause.var_slot;
+    out->inner_expr = inner;
+    out->outer_expr = outer;
+    out->op = op;
+  }
+  return true;
+}
+
+namespace {
+
+// Every reference to `var` inside `node` appears as the sole argument of a
+// count() call. Shadowing rebinds of the same name bail out conservatively.
+bool CountOnlyUses(const AstNode& node, const std::string& var) {
+  if (node.kind == AstKind::kVarRef) return node.str_value != var;
+  if (node.kind == AstKind::kFunctionCall &&
+      (node.str_value == "count" || node.str_value == "fn:count") &&
+      node.args.size() == 1 && node.args[0]->kind == AstKind::kVarRef) {
+    return true;  // count($x) — the one permitted use site
+  }
+  if (node.kind == AstKind::kFlwor || node.kind == AstKind::kQuantified) {
+    for (const ForLetClause& c : node.clauses) {
+      if (c.var == var) return false;  // shadowing: give up
+    }
+  }
+  bool ok = true;
+  VisitChildren(node, [&](const AstNode& child) {
+    if (ok && !CountOnlyUses(child, var)) ok = false;
+  });
+  return ok;
+}
+
+}  // namespace
+
+bool AnalyzeBandLet(const AstNode& outer_flwor, size_t clause_index,
+                    BandJoinPlan* out) {
+  if (outer_flwor.kind != AstKind::kFlwor) return false;
+  const ForLetClause& clause = outer_flwor.clauses[clause_index];
+  if (!clause.is_let || clause.expr == nullptr) return false;
+  if (!AnalyzeBandShape(*clause.expr, out)) return false;
+  // The probe may run as late as the count() site, so later clauses must
+  // not rebind anything the band FLWOR reads (its free variables are the
+  // probe side's inputs). The let variable itself must be consumed only
+  // through count() in the rest of the outer FLWOR's scope: later
+  // clauses, where, order by, return.
+  const std::set<std::string> inner_free = FreeVars(*clause.expr);
+  for (size_t i = clause_index + 1; i < outer_flwor.clauses.size(); ++i) {
+    const ForLetClause& later = outer_flwor.clauses[i];
+    if (later.var == clause.var) return false;  // rebind: give up
+    if (inner_free.count(later.var)) return false;  // probe input rebound
+    if (later.expr && !CountOnlyUses(*later.expr, clause.var)) return false;
+  }
+  if (outer_flwor.where && !CountOnlyUses(*outer_flwor.where, clause.var)) {
+    return false;
+  }
+  for (const OrderSpec& o : outer_flwor.order_by) {
+    if (!CountOnlyUses(*o.key, clause.var)) return false;
+  }
+  if (outer_flwor.ret && !CountOnlyUses(*outer_flwor.ret, clause.var)) {
+    return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Whole-query lowering
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void LowerNode(const AstNode& node, const EvaluatorOptions& options,
+               const StorageCapabilities& caps, QueryPlan* plan) {
+  if (node.kind == AstKind::kPath) {
+    plan->paths.emplace(&node, ComputePathPlan(node, options, caps));
+  } else if (node.kind == AstKind::kFlwor) {
+    FlworPlan fp;
+    AnalyzeFlworJoin(node, options, &fp);
+    plan->flwors.emplace(&node, fp);
+    if (options.band_join) {
+      for (size_t i = 0; i < node.clauses.size(); ++i) {
+        BandJoinPlan band;
+        if (AnalyzeBandLet(node, i, &band)) {
+          plan->band_lets.emplace(node.clauses[i].expr.get(), band);
+        }
+      }
+    }
+  }
+  VisitChildren(node, [&](const AstNode& child) {
+    LowerNode(child, options, caps, plan);
+  });
+}
+
+}  // namespace
+
+void BuildPlan(const ParsedQuery& query, const StorageAdapter& store,
+               const EvaluatorOptions& options, QueryPlan* plan) {
+  plan->built_by_optimizer = true;
+  plan->store_name = std::string(store.mapping_name());
+  plan->caps = store.Capabilities();
+  plan->options = options;
+  for (const FunctionDecl& f : query.functions) {
+    LowerNode(*f.body, options, plan->caps, plan);
+  }
+  LowerNode(*query.body, options, plan->caps, plan);
+}
+
+void BuildExprPlan(const AstNode& expr, const StorageAdapter& store,
+                   const EvaluatorOptions& options, QueryPlan* plan) {
+  plan->built_by_optimizer = true;
+  plan->store_name = std::string(store.mapping_name());
+  plan->caps = store.Capabilities();
+  plan->options = options;
+  LowerNode(expr, options, plan->caps, plan);
+}
+
+}  // namespace xmark::query

@@ -1,0 +1,83 @@
+#ifndef XMARK_QUERY_OPTIMIZER_H_
+#define XMARK_QUERY_OPTIMIZER_H_
+
+#include <functional>
+#include <set>
+#include <string>
+
+#include "query/ast.h"
+#include "query/plan.h"
+#include "query/storage.h"
+
+namespace xmark::query {
+
+// ---------------------------------------------------------------------------
+// Static analysis (shared by the optimizer and the legacy interpreter path)
+// ---------------------------------------------------------------------------
+
+/// Invokes `fn` on every direct child expression of `node`.
+void VisitChildren(const AstNode& node,
+                   const std::function<void(const AstNode&)>& fn);
+
+/// Free variable names of an expression (respecting FLWOR/quantifier
+/// scoping).
+std::set<std::string> FreeVars(const AstNode& node);
+
+/// True when evaluation depends on the dynamic focus (context item,
+/// position() or last()), which makes memoization unsound.
+bool DependsOnFocus(const AstNode& node);
+
+/// document()/doc() call recognition.
+bool IsDocumentCall(const AstNode& node);
+
+/// Rooted, variable-free, focus-free path: safe to memoize across loop
+/// iterations.
+bool IsCacheableInvariant(const AstNode& node);
+
+/// `a <op> b` == `b <SwapComparison(op)> a`.
+BinaryOp SwapComparison(BinaryOp op);
+
+// ---------------------------------------------------------------------------
+// Plan construction
+// ---------------------------------------------------------------------------
+
+/// Access-path choice for one step, from options x store capabilities x
+/// static predicate shape.
+StepPlan ComputeStepPlan(const Step& step, const EvaluatorOptions& options,
+                         const StorageCapabilities& caps);
+
+/// Plan for one kPath node (cacheability, path-index prefix, step access).
+PathPlan ComputePathPlan(const AstNode& path, const EvaluatorOptions& options,
+                         const StorageCapabilities& caps);
+
+/// Join analysis for one FLWOR: detects the decorrelatable equi-join shape
+/// and picks the strategy allowed by `options`. Also flags the band
+/// comparison shape (strategy selection for bands happens at the enclosing
+/// `let`, see AnalyzeBandLet).
+void AnalyzeFlworJoin(const AstNode& flwor, const EvaluatorOptions& options,
+                      FlworPlan* out);
+
+/// True when `flwor` matches the band shape
+///   for $v in <invariant> where <outer> OP <numeric inner($v)> return $v
+/// (OP a non-equality comparison). Fills `out` with the normalized plan
+/// (outer side on the left of `op`).
+bool AnalyzeBandShape(const AstNode& flwor, BandJoinPlan* out);
+
+/// True when clause `clause_index` of `outer_flwor` is a `let` over a
+/// band-shaped FLWOR whose variable is used only as count($var) within the
+/// outer FLWOR. Fills `out` on success.
+bool AnalyzeBandLet(const AstNode& outer_flwor, size_t clause_index,
+                    BandJoinPlan* out);
+
+/// Lowers a parsed query against one store + option set. Fills path plans,
+/// FLWOR strategies and band-join lets.
+void BuildPlan(const ParsedQuery& query, const StorageAdapter& store,
+               const EvaluatorOptions& options, QueryPlan* plan);
+
+/// BuildPlan for a bare expression (tests, RunExpr).
+void BuildExprPlan(const AstNode& expr, const StorageAdapter& store,
+                   const EvaluatorOptions& options, QueryPlan* plan);
+
+}  // namespace xmark::query
+
+#endif  // XMARK_QUERY_OPTIMIZER_H_

@@ -1,0 +1,345 @@
+#include "query/plan.h"
+
+#include <string>
+
+#include "query/exec.h"
+#include "util/string_util.h"
+
+namespace xmark::query {
+
+QueryPlan::QueryPlan() = default;
+QueryPlan::~QueryPlan() = default;
+
+const char* StepAccessName(StepPlan::Access access) {
+  switch (access) {
+    case StepPlan::Access::kAttribute:
+      return "attribute";
+    case StepPlan::Access::kSelf:
+      return "self-filter";
+    case StepPlan::Access::kChildrenByTag:
+      return "children-by-tag";
+    case StepPlan::Access::kChildCursor:
+      return "child-cursor";
+    case StepPlan::Access::kChildChain:
+      return "child-chain";
+    case StepPlan::Access::kDescendantCursor:
+      return "descendant-cursor";
+    case StepPlan::Access::kTagIndex:
+      return "tag-index";
+    case StepPlan::Access::kDescendantDfs:
+      return "descendant-dfs";
+  }
+  return "?";
+}
+
+namespace {
+
+// Renders the AST with the plan's annotations as indented text. The format
+// is pinned by golden tests (tests/query_plan_test.cc) and parsed by the
+// CI nested-loop-fallback check, so keep the `strategy=` / `summary:` line
+// shapes stable.
+class ExplainPrinter {
+ public:
+  explicit ExplainPrinter(const QueryPlan& plan) : plan_(plan) {}
+
+  std::string Render(const ParsedQuery& query) {
+    Header();
+    for (const FunctionDecl& f : query.functions) {
+      Line(0, "function " + f.name);
+      Node(*f.body, 1);
+    }
+    Node(*query.body, 0);
+    Footer();
+    return std::move(out_);
+  }
+
+  std::string RenderExpr(const AstNode& expr) {
+    Header();
+    Node(expr, 0);
+    Footer();
+    return std::move(out_);
+  }
+
+ private:
+  void Header() {
+    const EvaluatorOptions& o = plan_.options;
+    out_ += "plan store=" + (plan_.store_name.empty() ? std::string("?")
+                                                      : plan_.store_name) +
+            " planner=" + (plan_.built_by_optimizer ? "on" : "off") + "\n";
+    out_ += StringPrintf(
+        "options: id-index=%d path-index=%d tag-index=%d hash-join=%d "
+        "band-join=%d lazy-let=%d invariant-cache=%d child-cursors=%d "
+        "descendant-cursors=%d\n",
+        o.use_id_index, o.use_path_index, o.use_tag_index, o.hash_join,
+        o.band_join, o.lazy_let, o.cache_invariant_paths, o.child_cursors,
+        o.descendant_cursors);
+    const StorageCapabilities& c = plan_.caps;
+    out_ += StringPrintf(
+        "capabilities: id-lookup=%d tag-index=%d path-index=%d "
+        "children-by-tag=%d interval-descendants=%d\n",
+        c.id_lookup, c.tag_index, c.path_index, c.children_by_tag,
+        c.interval_descendants);
+  }
+
+  void Footer() {
+    const QueryPlan::Summary s = plan_.Summarize();
+    out_ += StringPrintf(
+        "summary: hash-join=%d band-count-join=%d joinable-nested-loop=%d\n",
+        s.hash_joins, s.band_joins, s.joinable_nested_loops);
+  }
+
+  void Line(int depth, const std::string& text) {
+    out_.append(static_cast<size_t>(depth) * 2, ' ');
+    out_ += text;
+    out_ += '\n';
+  }
+
+  static std::string StepSpec(const Step& s) {
+    std::string spec;
+    switch (s.axis) {
+      case Axis::kChild:
+        spec = "/";
+        break;
+      case Axis::kDescendant:
+        spec = "//";
+        break;
+      case Axis::kAttribute:
+        spec = "/@";
+        break;
+      case Axis::kSelf:
+        spec = "/self::";
+        break;
+    }
+    switch (s.test) {
+      case Step::Test::kName:
+        spec += s.name;
+        break;
+      case Step::Test::kWildcard:
+        spec += "*";
+        break;
+      case Step::Test::kText:
+        spec += "text()";
+        break;
+      case Step::Test::kAnyNode:
+        spec += "node()";
+        break;
+    }
+    if (!s.predicates.empty()) {
+      spec += StringPrintf("[%zu pred]", s.predicates.size());
+    }
+    return spec;
+  }
+
+  // One-line spelling of a path expression: "$v/a//b[1 pred]/text()".
+  static std::string PathSpec(const AstNode& n) {
+    std::string spec;
+    if (n.start != nullptr) {
+      if (n.start->kind == AstKind::kVarRef) {
+        spec += "$" + n.start->str_value;
+      } else if (IsDocCallName(*n.start)) {
+        spec += "document()";
+      } else {
+        spec += "(...)";
+      }
+    }
+    for (const Step& s : n.steps) spec += StepSpec(s);
+    if (spec.empty()) spec = n.absolute ? "/" : ".";
+    return spec;
+  }
+
+  static bool IsDocCallName(const AstNode& n) {
+    return n.kind == AstKind::kFunctionCall &&
+           (n.str_value == "document" || n.str_value == "doc" ||
+            n.str_value == "fn:doc");
+  }
+
+  void Path(const AstNode& n, int depth) {
+    std::string line = "path " + PathSpec(n);
+    const PathPlan* pp = plan_.FindPath(&n);
+    if (pp != nullptr) {
+      line += " access=[";
+      for (size_t i = 0; i < pp->steps.size(); ++i) {
+        if (i > 0) line += ",";
+        line += i < pp->path_index_steps
+                    ? "path-index"
+                    : StepAccessName(pp->steps[i].access);
+        if (pp->steps[i].id_literal != nullptr) line += "+id-index";
+      }
+      line += "]";
+      if (pp->cacheable) line += " invariant-cached";
+    }
+    Line(depth, line);
+    if (n.start != nullptr && n.start->kind != AstKind::kVarRef &&
+        !IsDocCallName(*n.start)) {
+      Node(*n.start, depth + 1);
+    }
+    for (const Step& s : n.steps) {
+      for (const AstPtr& p : s.predicates) Node(*p, depth + 1);
+    }
+  }
+
+  void Flwor(const AstNode& n, int depth) {
+    std::string line = "flwor strategy=";
+    auto it = plan_.flwors.find(&n);
+    const FlworPlan* fp = it == plan_.flwors.end() ? nullptr : &it->second;
+    if (fp != nullptr && fp->strategy == FlworPlan::Strategy::kHashJoin) {
+      line += "hash-join key=" + PathSpecOf(fp->hash.inner_key) +
+              " probe=" + PathSpecOf(fp->hash.outer_key);
+      if (!fp->hash.residue.empty()) {
+        line += StringPrintf(" residue=%zu", fp->hash.residue.size());
+      }
+    } else {
+      line += "nested-loop";
+      if (fp != nullptr && fp->join_shape) line += " (joinable!)";
+      if (fp != nullptr && fp->band_shape &&
+          plan_.band_lets.find(&n) == plan_.band_lets.end()) {
+        line += " (band-shape)";
+      }
+    }
+    Line(depth, line);
+    for (const ForLetClause& c : n.clauses) {
+      const BandJoinPlan* band =
+          c.is_let && c.expr ? plan_.FindBandLet(c.expr.get()) : nullptr;
+      if (band != nullptr) {
+        Line(depth + 1,
+             "let $" + c.var + " := band-count-join op=" +
+                 BinaryOpName(band->op) +
+                 " domain=" + PathSpecOf(band->domain) +
+                 " [sort domain keys once, binary-search each probe]");
+        Node(*c.expr, depth + 2);
+        continue;
+      }
+      Line(depth + 1, (c.is_let ? "let $" : "for $") + c.var + " :=");
+      if (c.expr) Node(*c.expr, depth + 2);
+    }
+    if (n.where) {
+      Line(depth + 1, "where");
+      Node(*n.where, depth + 2);
+    }
+    for (const OrderSpec& o : n.order_by) {
+      Line(depth + 1, o.descending ? "order-by descending" : "order-by");
+      Node(*o.key, depth + 2);
+    }
+    if (n.ret) {
+      Line(depth + 1, "return");
+      Node(*n.ret, depth + 2);
+    }
+  }
+
+  static std::string PathSpecOf(const AstNode* n) {
+    if (n == nullptr) return "?";
+    if (n->kind == AstKind::kPath) return PathSpec(*n);
+    if (n->kind == AstKind::kVarRef) return "$" + n->str_value;
+    if (n->kind == AstKind::kBinary) {
+      return std::string("(") + PathSpecOf(n->args[0].get()) + " " +
+             BinaryOpName(n->op) + " " + PathSpecOf(n->args[1].get()) + ")";
+    }
+    if (n->kind == AstKind::kNumberLiteral) {
+      return StringPrintf("%g", n->num_value);
+    }
+    if (n->kind == AstKind::kStringLiteral) return "\"" + n->str_value + "\"";
+    return "(...)";
+  }
+
+  void Node(const AstNode& n, int depth) {
+    switch (n.kind) {
+      case AstKind::kPath:
+        Path(n, depth);
+        return;
+      case AstKind::kFlwor:
+        Flwor(n, depth);
+        return;
+      case AstKind::kQuantified: {
+        Line(depth, n.is_every ? "every" : "some");
+        for (const ForLetClause& c : n.clauses) {
+          Line(depth + 1, "for $" + c.var + " in");
+          if (c.expr) Node(*c.expr, depth + 2);
+        }
+        if (n.where) {
+          Line(depth + 1, "satisfies");
+          Node(*n.where, depth + 2);
+        }
+        return;
+      }
+      case AstKind::kBinary: {
+        Line(depth, std::string("op ") + BinaryOpName(n.op));
+        for (const AstPtr& a : n.args) Node(*a, depth + 1);
+        return;
+      }
+      case AstKind::kFunctionCall: {
+        Line(depth, "call " + n.str_value);
+        for (const AstPtr& a : n.args) Node(*a, depth + 1);
+        return;
+      }
+      case AstKind::kElementConstructor: {
+        Line(depth, "constructor <" + n.tag + ">");
+        for (const AttrConstructor& attr : n.attrs) {
+          for (const AttrPart& part : attr.parts) {
+            if (part.expr) Node(*part.expr, depth + 1);
+          }
+        }
+        for (const AstPtr& c : n.content) Node(*c, depth + 1);
+        return;
+      }
+      case AstKind::kIf: {
+        Line(depth, "if");
+        for (const AstPtr& a : n.args) Node(*a, depth + 1);
+        return;
+      }
+      case AstKind::kSequenceExpr: {
+        Line(depth, "sequence");
+        for (const AstPtr& a : n.args) Node(*a, depth + 1);
+        return;
+      }
+      case AstKind::kUnaryMinus: {
+        Line(depth, "negate");
+        Node(*n.args[0], depth + 1);
+        return;
+      }
+      case AstKind::kVarRef:
+        Line(depth, "var $" + n.str_value);
+        return;
+      case AstKind::kStringLiteral:
+        Line(depth, "literal \"" + n.str_value + "\"");
+        return;
+      case AstKind::kNumberLiteral:
+        Line(depth, StringPrintf("literal %g", n.num_value));
+        return;
+      case AstKind::kContextItem:
+        Line(depth, "context-item");
+        return;
+    }
+    Line(depth, "expr");
+  }
+
+  const QueryPlan& plan_;
+  std::string out_;
+};
+
+}  // namespace
+
+std::string QueryPlan::Explain(const ParsedQuery& query) const {
+  return ExplainPrinter(*this).Render(query);
+}
+
+std::string QueryPlan::ExplainExpr(const AstNode& expr) const {
+  return ExplainPrinter(*this).RenderExpr(expr);
+}
+
+QueryPlan::Summary QueryPlan::Summarize() const {
+  Summary s;
+  s.band_joins = static_cast<int>(band_lets.size());
+  for (const auto& [node, fp] : flwors) {
+    if (fp.strategy == FlworPlan::Strategy::kHashJoin) {
+      ++s.hash_joins;
+    } else if (fp.join_shape) {
+      ++s.joinable_nested_loops;  // decorrelatable but toggled off
+    } else if (fp.band_shape &&
+               band_lets.find(node) == band_lets.end()) {
+      ++s.joinable_nested_loops;  // band shape not converted
+    }
+  }
+  return s;
+}
+
+}  // namespace xmark::query

@@ -1,0 +1,222 @@
+#ifndef XMARK_QUERY_PLAN_H_
+#define XMARK_QUERY_PLAN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "query/ast.h"
+#include "query/storage.h"
+#include "query/value.h"
+
+namespace xmark::query {
+
+class HashJoinExec;
+class BandJoinIndex;
+
+/// Optimizer toggles. Each engine configuration (systems A-G) enables the
+/// subset its architecture plausibly provides; the differences drive the
+/// Table 3 contrasts. Historically these were interpreted per node at
+/// execution time; with `use_planner` on they are resolved once per query
+/// into a QueryPlan and the evaluator just executes the chosen plan.
+struct EvaluatorOptions {
+  /// Resolve [@id="lit"] predicates through the store's ID index.
+  bool use_id_index = true;
+  /// Resolve root child-paths through the structural summary.
+  bool use_path_index = true;
+  /// Resolve descendant steps through the tag index.
+  bool use_tag_index = true;
+  /// Decorrelate nested equi-join FLWORs into hash joins.
+  bool hash_join = true;
+  /// Rewrite the Q11/Q12 numeric band shape (`outer > k * inner`, used
+  /// only under count()) into a sort-merge band join: sort the invariant
+  /// join domain once, answer each probe with a binary search instead of
+  /// the O(n*m) nested-loop sweep.
+  bool band_join = true;
+  /// Defer `let` evaluation until first use (prunes Q12's inner loop).
+  bool lazy_let = true;
+  /// Memoize absolute-path subexpressions across loop iterations.
+  bool cache_invariant_paths = true;
+  /// Deep-copy node results into constructed trees (the embedded System G
+  /// returns copies, a large part of its overhead).
+  bool copy_results = false;
+
+  /// Lower the query into a QueryPlan before execution (join strategies,
+  /// per-step access paths, invariant hoisting decided once per query).
+  /// Off = the legacy tree-walking interpreter that re-decides per node at
+  /// runtime; results are byte-identical either way.
+  bool use_planner = true;
+
+  // --- Storage-access fast paths (implementation quality, not a paper
+  // system knob; on for every system, off for ablation benchmarks) -------
+
+  /// Consume string data through zero-copy views (TextView/AttributeView/
+  /// AppendStringValue) on comparison and predicate paths instead of
+  /// materializing a std::string per node.
+  bool zero_copy_strings = true;
+  /// Walk child steps through batched, tag-filtered store cursors instead
+  /// of a virtual FirstChild/NextSibling call pair per node.
+  bool child_cursors = true;
+  /// Walk descendant steps through batched, interval-encoded store cursors
+  /// (one clustered range scan per input node) instead of the generic DFS
+  /// or a materialized DescendantsByTag vector.
+  bool descendant_cursors = true;
+};
+
+/// Statistics from one evaluator run (exposed for ablation benchmarks).
+struct EvalStats {
+  int64_t nodes_visited = 0;       // adapter navigation calls
+  int64_t hash_joins_built = 0;    // decorrelated inner loops
+  int64_t band_joins_built = 0;    // sorted band-join domains built
+  int64_t band_join_rows = 0;      // rows answered by band-join probes
+                                   // (matches the nested loop would emit)
+  int64_t index_lookups = 0;       // id/tag/path index hits
+  int64_t cursor_scans = 0;        // batched child scans opened
+  int64_t descendant_scans = 0;    // batched descendant scans opened
+  int64_t allocations_avoided = 0; // per-node strings skipped via views
+  int64_t compare_allocs = 0;      // strings materialized on compare paths
+  int64_t join_probes = 0;         // hash-join index probes
+  int64_t join_probe_allocs = 0;   // probe keys that materialized a string
+  int64_t sequence_heap_spills = 0;  // Sequences that outgrew the inline
+                                     // buffer (SBO miss count)
+};
+
+/// Planned access path for one path step, resolved from options x store
+/// capabilities x static predicate shape.
+struct StepPlan {
+  enum class Access : uint8_t {
+    kAttribute,         // attribute axis: AttributeView probe per node
+    kSelf,              // self axis: filter the input sequence
+    kChildrenByTag,     // physical child slots/tables (falls back to a
+                        // cursor when the store answers nullopt at runtime)
+    kChildCursor,       // batched tag-filtered child cursor
+    kChildChain,        // generic FirstChild/NextSibling walk
+    kDescendantCursor,  // batched interval-encoded descendant cursor
+    kTagIndex,          // materialized DescendantsByTag slice
+    kDescendantDfs,     // generic DFS over child scans
+  };
+  Access access = Access::kChildChain;
+  /// Non-null: the step carries an [@id = "literal"] predicate and the
+  /// store supports ID lookup — resolve through NodeById first.
+  const AstNode* id_literal = nullptr;
+};
+
+const char* StepAccessName(StepPlan::Access access);
+
+/// Plan for one kPath expression.
+struct PathPlan {
+  /// Loop-invariant rooted path: memoize the result across iterations.
+  bool cacheable = false;
+  /// Number of leading child-name steps resolvable through the structural
+  /// summary (PathExtent) in one probe. 0 = path index not applicable.
+  size_t path_index_steps = 0;
+  std::vector<StepPlan> steps;  // one entry per AST step
+};
+
+/// Decorrelated equi-join plan for a FLWOR (the Q8/Q9/Q10 shape):
+/// `for $v in <invariant> where <inner_key($v)> = <outer_key> ...`.
+struct HashJoinPlan {
+  const AstNode* in_expr = nullptr;
+  std::string var;
+  int var_slot = -1;
+  const AstNode* inner_key = nullptr;  // depends only on `var`
+  const AstNode* outer_key = nullptr;  // independent of `var`
+  std::vector<const AstNode*> residue;
+};
+
+/// Sort-merge band join plan for the Q11/Q12 shape:
+///   let $l := for $v in <invariant domain>
+///             where <outer> OP <numeric inner($v)> return $v
+/// where every use of $l is count($l). The domain's numeric keys are
+/// sorted once per run; each probe evaluates the outer side to a number
+/// and answers count($l) with one binary search.
+struct BandJoinPlan {
+  const AstNode* flwor = nullptr;      // the inner FLWOR
+  const AstNode* domain = nullptr;     // invariant domain expression
+  int var_slot = -1;                   // the domain variable's slot
+  const AstNode* inner_expr = nullptr; // numeric side, depends only on var
+  const AstNode* outer_expr = nullptr; // probe side, independent of var
+  BinaryOp op = BinaryOp::kGt;         // outer OP inner
+};
+
+/// Join strategy chosen for one FLWOR node.
+struct FlworPlan {
+  enum class Strategy : uint8_t { kNestedLoop, kHashJoin };
+  Strategy strategy = Strategy::kNestedLoop;
+  /// The FLWOR matches a decorrelatable join shape (even if the strategy
+  /// toggle left it on the nested loop — surfaced by Explain/CI as a
+  /// fallback).
+  bool join_shape = false;
+  /// The FLWOR matches the band comparison shape (conversion happens at
+  /// the enclosing `let`; a band shape with no band_lets entry is likewise
+  /// a fallback).
+  bool band_shape = false;
+  HashJoinPlan hash;
+};
+
+/// A query lowered against one store + option set: per-node strategy
+/// annotations plus the per-run executor state (hash-join tables, band
+/// domains, invariant-path memos). One QueryPlan instance belongs to one
+/// Evaluator::Run — caches cannot survive into a run over a different
+/// document by construction.
+class QueryPlan {
+ public:
+  QueryPlan();
+  ~QueryPlan();
+  QueryPlan(const QueryPlan&) = delete;
+  QueryPlan& operator=(const QueryPlan&) = delete;
+
+  /// Non-null when the optimizer planned this path (use_planner on).
+  const PathPlan* FindPath(const AstNode* node) const {
+    auto it = paths.find(node);
+    return it == paths.end() ? nullptr : &it->second;
+  }
+  /// Non-null when `let_expr` (an inner FLWOR) was planned as a band join.
+  const BandJoinPlan* FindBandLet(const AstNode* let_expr) const {
+    auto it = band_lets.find(let_expr);
+    return it == band_lets.end() ? nullptr : &it->second;
+  }
+  /// FLWOR strategy; when absent (legacy interpreter mode) the evaluator
+  /// fills the entry on first visit through the same analysis.
+  FlworPlan* FindFlwor(const AstNode* node) {
+    auto it = flwors.find(node);
+    return it == flwors.end() ? nullptr : &it->second;
+  }
+
+  /// Renders the plan as indented text (bench --explain, golden tests).
+  std::string Explain(const ParsedQuery& query) const;
+  /// Explain for a bare expression (tests).
+  std::string ExplainExpr(const AstNode& expr) const;
+
+  struct Summary {
+    int hash_joins = 0;
+    int band_joins = 0;
+    /// Join-shaped FLWORs left on the naive nested loop (strategy toggles
+    /// off, or a band shape whose let is not count-only).
+    int joinable_nested_loops = 0;
+  };
+  Summary Summarize() const;
+
+  // --- annotations (filled by the optimizer; FLWOR entries may also be
+  // filled lazily by the evaluator in legacy mode) -----------------------
+  bool built_by_optimizer = false;
+  std::string store_name;       // mapping_name at plan time (Explain)
+  StorageCapabilities caps;     // capability snapshot at plan time
+  EvaluatorOptions options;     // toggles the plan was built under
+  std::unordered_map<const AstNode*, PathPlan> paths;
+  std::unordered_map<const AstNode*, FlworPlan> flwors;
+  std::unordered_map<const AstNode*, BandJoinPlan> band_lets;
+
+  // --- per-run executor state -------------------------------------------
+  std::unordered_map<const AstNode*, std::unique_ptr<HashJoinExec>>
+      join_state;
+  std::unordered_map<const AstNode*, std::unique_ptr<BandJoinIndex>>
+      band_state;
+  std::unordered_map<const AstNode*, Sequence> invariant_cache;
+};
+
+}  // namespace xmark::query
+
+#endif  // XMARK_QUERY_PLAN_H_

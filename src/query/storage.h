@@ -130,6 +130,23 @@ class DescendantCursor {
   uint64_t u2 = 0;
 };
 
+/// Plan-time advertisement of the physical access structures a mapping
+/// provides. The optimizer consults this once per query to pick access
+/// paths (id probe, tag-index slice, path-table extent, interval-encoded
+/// descendant scan) instead of re-testing Supports*() virtuals per node at
+/// execution time. The default implementation of
+/// StorageAdapter::Capabilities() derives the index bits from the legacy
+/// Supports* hooks; stores with physical child/descendant layouts override
+/// it to advertise the extra bits.
+struct StorageCapabilities {
+  bool id_lookup = false;       // NodeById
+  bool tag_index = false;       // NodesByTag / DescendantsByTag
+  bool path_index = false;      // PathExtent (structural summary)
+  bool children_by_tag = false; // ChildrenByTag physical child slots/tables
+  bool interval_descendants = false;  // clustered descendant range scans
+                                      // (subtree intervals, table slices)
+};
+
 /// Abstract physical XML mapping. The query evaluator is written entirely
 /// against this interface; the systems of the paper's evaluation (A-G)
 /// differ in how they implement it (edge table, fragmented tables,
@@ -277,7 +294,18 @@ class StorageAdapter {
 
   // --- Optional access paths -------------------------------------------
   // Engines advertise the physical structures their architecture provides;
-  // the evaluator exploits them only when the engine's feature flags allow.
+  // the optimizer exploits them only when the engine's feature flags allow.
+
+  /// One-shot capability snapshot for the query planner. The default
+  /// derives the index bits from the Supports* hooks below; stores with
+  /// physical child-slot or interval layouts override it.
+  virtual StorageCapabilities Capabilities() const {
+    StorageCapabilities caps;
+    caps.id_lookup = SupportsIdLookup();
+    caps.tag_index = SupportsTagIndex();
+    caps.path_index = SupportsPathIndex();
+    return caps;
+  }
 
   /// O(1)/O(log n) lookup of an element by its ID attribute value.
   virtual bool SupportsIdLookup() const { return false; }

@@ -115,6 +115,15 @@ class DomStore : public query::StorageAdapter {
   std::optional<int64_t> PathCount(
       const std::vector<xml::NameId>& path) const override;
 
+  query::StorageCapabilities Capabilities() const override {
+    query::StorageCapabilities caps;
+    caps.id_lookup = SupportsIdLookup();
+    caps.tag_index = options_.build_tag_index;
+    caps.path_index = options_.build_path_summary;
+    caps.interval_descendants = true;  // dense preorder node table
+    return caps;
+  }
+
   size_t StorageBytes() const override;
   size_t CatalogEntries() const override;
 

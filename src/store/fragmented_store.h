@@ -90,6 +90,16 @@ class FragmentedStore : public query::StorageAdapter {
   std::optional<std::vector<query::NodeHandle>> PathExtent(
       const std::vector<xml::NameId>& path) const override;
 
+  query::StorageCapabilities Capabilities() const override {
+    query::StorageCapabilities caps;
+    caps.id_lookup = true;
+    caps.tag_index = true;   // realized by the per-path tables
+    caps.path_index = true;  // path tables ARE the path index
+    caps.children_by_tag = true;
+    caps.interval_descendants = true;  // path-table slices
+    return caps;
+  }
+
   size_t ResolveName(std::string_view name) const override;
 
   size_t StorageBytes() const override;

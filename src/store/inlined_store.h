@@ -92,6 +92,14 @@ class InlinedStore : public query::StorageAdapter {
   std::optional<std::vector<query::NodeHandle>> ChildrenByTag(
       query::NodeHandle n, xml::NameId tag) const override;
 
+  query::StorageCapabilities Capabilities() const override {
+    query::StorageCapabilities caps;
+    caps.id_lookup = true;
+    caps.children_by_tag = true;  // DTD-inlined child slots
+    caps.interval_descendants = true;  // dense preorder tag_ array
+    return caps;
+  }
+
   size_t StorageBytes() const override;
   size_t CatalogEntries() const override;
 

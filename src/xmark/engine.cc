@@ -1,5 +1,7 @@
 #include "xmark/engine.h"
 
+#include "query/optimizer.h"
+#include "query/plan.h"
 #include "store/dom_store.h"
 #include "store/edge_store.h"
 #include "store/fragmented_store.h"
@@ -132,6 +134,10 @@ std::unique_ptr<Engine> Engine::Create(SystemId id) {
       reload = true;
       break;
   }
+  // The band join is a join strategy like the hash join: systems whose
+  // optimizer decorrelates joins get both, nested-loop-only systems (F, G)
+  // get neither.
+  opts.band_join = opts.hash_join;
   return std::unique_ptr<Engine>(new Engine(id, opts, reload));
 }
 
@@ -226,6 +232,14 @@ StatusOr<query::Sequence> Engine::Execute(const PreparedQuery& prepared) {
 StatusOr<query::Sequence> Engine::Run(std::string_view query_text) {
   XMARK_ASSIGN_OR_RETURN(PreparedQuery prepared, Prepare(query_text));
   return Execute(prepared);
+}
+
+StatusOr<std::string> Engine::Explain(std::string_view query_text) const {
+  if (store_ == nullptr) return Status::Internal("engine not loaded");
+  XMARK_ASSIGN_OR_RETURN(PreparedQuery prepared, Prepare(query_text));
+  query::QueryPlan plan;
+  query::BuildPlan(prepared.parsed, *store_, eval_options_, &plan);
+  return plan.Explain(prepared.parsed);
 }
 
 size_t Engine::StorageBytes() const {

@@ -72,6 +72,11 @@ class Engine {
   /// Convenience: Prepare + Execute.
   StatusOr<query::Sequence> Run(std::string_view query_text);
 
+  /// Compiles `query_text`, lowers it through the optimizer against this
+  /// engine's store + option set, and renders the chosen plan as text
+  /// (join strategies, per-step access paths, invariant hoisting).
+  StatusOr<std::string> Explain(std::string_view query_text) const;
+
   SystemId id() const { return id_; }
   char label() const { return SystemLabel(id_); }
 

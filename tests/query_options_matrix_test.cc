@@ -1,28 +1,45 @@
 // Property test: the evaluator must produce identical results under every
 // combination of optimizer features — the features may only change cost,
 // never semantics. Runs a representative query set over all 2^7 option
-// combinations against the fully-indexed native store.
+// combinations against the fully-indexed native store, each combination
+// with the planner both on and off, plus cross-store Q1-Q20 byte-parity
+// for planner on vs off (the planner is a lowering of the interpreter, not
+// a semantic change).
 
 #include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
 
 #include "gen/generator.h"
 #include "query/evaluator.h"
 #include "query/parser.h"
+#include "query/value.h"
 #include "store/dom_store.h"
+#include "store/edge_store.h"
+#include "store/fragmented_store.h"
+#include "store/inlined_store.h"
 #include "util/logging.h"
 #include "xmark/queries.h"
 #include "xmark/result_check.h"
+#include "xml/dtd.h"
 
 namespace xmark::query {
 namespace {
 
-const store::DomStore& Store() {
-  static const store::DomStore* const kStore = [] {
+const std::string& TestDocument() {
+  static const std::string* const kDoc = [] {
     gen::GeneratorOptions options;
     options.scale = 0.002;
+    return new std::string(gen::XmlGen(options).GenerateToString());
+  }();
+  return *kDoc;
+}
+
+const store::DomStore& Store() {
+  static const store::DomStore* const kStore = [] {
     store::DomStore::Options dom_options;
-    auto store = store::DomStore::Load(gen::XmlGen(options).GenerateToString(),
-                                       dom_options);
+    auto store = store::DomStore::Load(TestDocument(), dom_options);
     XMARK_CHECK(store.ok());
     return store->release();
   }();
@@ -38,12 +55,15 @@ EvaluatorOptions FromMask(int mask) {
   options.lazy_let = mask & 16;
   options.cache_invariant_paths = mask & 32;
   options.descendant_cursors = mask & 64;
+  // The band join rides the join-strategy bit: mask 0 stays the fully
+  // naive nested-loop baseline.
+  options.band_join = options.hash_join;
   return options;
 }
 
 // Queries covering every feature: exact match (id index), regular paths
-// (tag/path index), reference chasing (hash join), value join (lazy let +
-// invariant cache), plus ordered access and aggregation.
+// (tag/path index), reference chasing (hash join), value join (band join,
+// lazy let + invariant cache), plus ordered access and aggregation.
 const int kQueries[] = {1, 2, 6, 7, 8, 11, 12, 20};
 
 class OptionsMatrix : public ::testing::TestWithParam<int> {};
@@ -69,8 +89,93 @@ TEST_P(OptionsMatrix, SameResultsAsAllFeaturesOff) {
   }
 }
 
+// Planner parity per mask: lowering the same toggles into a QueryPlan must
+// not change a byte relative to the runtime-decided interpreter.
+TEST_P(OptionsMatrix, PlannerLoweringIsByteIdentical) {
+  EvaluatorOptions planned = FromMask(GetParam());
+  planned.use_planner = true;
+  EvaluatorOptions interpreted = planned;
+  interpreted.use_planner = false;
+  for (int q : kQueries) {
+    auto parsed = ParseQueryText(bench::GetQuery(q).text);
+    ASSERT_TRUE(parsed.ok()) << "Q" << q;
+
+    Evaluator with_planner(&Store(), planned);
+    auto a = with_planner.Run(*parsed);
+    ASSERT_TRUE(a.ok()) << "Q" << q << ": " << a.status();
+
+    Evaluator without_planner(&Store(), interpreted);
+    auto b = without_planner.Run(*parsed);
+    ASSERT_TRUE(b.ok()) << "Q" << q << ": " << b.status();
+
+    EXPECT_EQ(SerializeSequence(*a), SerializeSequence(*b))
+        << "Q" << q << " planner on/off diverges under mask " << GetParam();
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(AllCombinations, OptionsMatrix,
                          ::testing::Range(0, 128));
+
+// Cross-store planner parity: Q1-Q20 on all four physical mappings, every
+// optimization on, planner on vs off — byte-identical serialized results.
+class PlannerStoreParity : public ::testing::TestWithParam<int> {
+ protected:
+  static const StorageAdapter* StoreByIndex(int index) {
+    static const store::EdgeStore* const kEdge = [] {
+      auto s = store::EdgeStore::Load(TestDocument());
+      XMARK_CHECK(s.ok());
+      return s->release();
+    }();
+    static const store::FragmentedStore* const kFragmented = [] {
+      auto s = store::FragmentedStore::Load(TestDocument());
+      XMARK_CHECK(s.ok());
+      return s->release();
+    }();
+    static const store::InlinedStore* const kInlined = [] {
+      auto s = store::InlinedStore::Load(TestDocument(), xml::kAuctionDtd);
+      XMARK_CHECK(s.ok());
+      return s->release();
+    }();
+    switch (index) {
+      case 0:
+        return kEdge;
+      case 1:
+        return kFragmented;
+      case 2:
+        return kInlined;
+      default:
+        return &Store();
+    }
+  }
+};
+
+TEST_P(PlannerStoreParity, Q1ToQ20ByteIdenticalPlannerOnOff) {
+  const int query = GetParam();
+  auto parsed = ParseQueryText(bench::GetQuery(query).text);
+  ASSERT_TRUE(parsed.ok());
+  for (int s = 0; s < 4; ++s) {
+    const StorageAdapter* store = StoreByIndex(s);
+    EvaluatorOptions on;  // defaults: everything on, planner on
+    EvaluatorOptions off = on;
+    off.use_planner = false;
+    off.band_join = false;  // band rewrites exist only under the planner
+
+    Evaluator planned(store, on);
+    auto a = planned.Run(*parsed);
+    ASSERT_TRUE(a.ok()) << store->mapping_name() << " Q" << query << ": "
+                        << a.status();
+    Evaluator interpreted(store, off);
+    auto b = interpreted.Run(*parsed);
+    ASSERT_TRUE(b.ok()) << store->mapping_name() << " Q" << query << ": "
+                        << b.status();
+    EXPECT_EQ(SerializeSequence(*a), SerializeSequence(*b))
+        << store->mapping_name() << " Q" << query
+        << " diverges between planner and interpreter";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, PlannerStoreParity,
+                         ::testing::Range(1, 21));
 
 }  // namespace
 }  // namespace xmark::query

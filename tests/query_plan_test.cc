@@ -1,0 +1,311 @@
+// Planner-layer tests: golden Explain() text for Q8/Q11/Q12 (hash join vs
+// band join chosen), store capability advertisement, and band-join
+// semantics (byte-identical to the nested-loop interpreter across every
+// comparison direction and operand order).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "gen/generator.h"
+#include "query/evaluator.h"
+#include "query/optimizer.h"
+#include "query/parser.h"
+#include "query/plan.h"
+#include "query/value.h"
+#include "store/dom_store.h"
+#include "store/edge_store.h"
+#include "store/fragmented_store.h"
+#include "store/inlined_store.h"
+#include "util/logging.h"
+#include "xmark/queries.h"
+#include "xml/dtd.h"
+
+namespace xmark::query {
+namespace {
+
+const std::string& TestDocument() {
+  static const std::string* const kDoc = [] {
+    gen::GeneratorOptions opts;
+    opts.scale = 0.002;
+    return new std::string(gen::XmlGen(opts).GenerateToString());
+  }();
+  return *kDoc;
+}
+
+const store::DomStore& Dom() {
+  static const store::DomStore* const kStore = [] {
+    store::DomStore::Options options;  // all indexes on
+    auto store = store::DomStore::Load(TestDocument(), options);
+    XMARK_CHECK(store.ok());
+    return store->release();
+  }();
+  return *kStore;
+}
+
+const store::EdgeStore& Edge() {
+  static const store::EdgeStore* const kStore = [] {
+    auto store = store::EdgeStore::Load(TestDocument());
+    XMARK_CHECK(store.ok());
+    return store->release();
+  }();
+  return *kStore;
+}
+
+std::string ExplainQuery(const StorageAdapter& store, int query,
+                         const EvaluatorOptions& options) {
+  auto parsed = ParseQueryText(bench::GetQuery(query).text);
+  XMARK_CHECK(parsed.ok());
+  QueryPlan plan;
+  BuildPlan(*parsed, store, options, &plan);
+  return plan.Explain(*parsed);
+}
+
+TEST(ExplainGolden, Q8ChoosesHashJoin) {
+  const std::string text = ExplainQuery(Dom(), 8, EvaluatorOptions{});
+  EXPECT_NE(text.find("flwor strategy=hash-join key=$t/buyer/@person "
+                      "probe=$p/@id"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("summary: hash-join=1 band-count-join=0 "
+                      "joinable-nested-loop=0"),
+            std::string::npos)
+      << text;
+}
+
+TEST(ExplainGolden, Q11ChoosesBandJoin) {
+  const std::string text = ExplainQuery(Edge(), 11, EvaluatorOptions{});
+  EXPECT_NE(
+      text.find("let $l := band-count-join op=> "
+                "domain=document()/site/open_auctions/open_auction/initial "
+                "[sort domain keys once, binary-search each probe]"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(text.find("summary: hash-join=0 band-count-join=1 "
+                      "joinable-nested-loop=0"),
+            std::string::npos)
+      << text;
+}
+
+TEST(ExplainGolden, Q12ChoosesBandJoin) {
+  const std::string text = ExplainQuery(Edge(), 12, EvaluatorOptions{});
+  EXPECT_NE(text.find("band-count-join op=>"), std::string::npos) << text;
+  EXPECT_NE(text.find("summary: hash-join=0 band-count-join=1 "
+                      "joinable-nested-loop=0"),
+            std::string::npos)
+      << text;
+}
+
+TEST(ExplainGolden, BandJoinOffFallsBackToNestedLoop) {
+  EvaluatorOptions options;
+  options.band_join = false;
+  const std::string text = ExplainQuery(Edge(), 11, options);
+  EXPECT_EQ(text.find("band-count-join op"), std::string::npos) << text;
+  EXPECT_NE(text.find("nested-loop (band-shape)"), std::string::npos) << text;
+  EXPECT_NE(text.find("joinable-nested-loop=1"), std::string::npos) << text;
+}
+
+TEST(ExplainGolden, HashJoinOffIsFlaggedJoinable) {
+  EvaluatorOptions options;
+  options.hash_join = false;
+  const std::string text = ExplainQuery(Dom(), 8, options);
+  EXPECT_NE(text.find("nested-loop (joinable!)"), std::string::npos) << text;
+  EXPECT_NE(text.find("joinable-nested-loop=1"), std::string::npos) << text;
+}
+
+TEST(Capabilities, StoresAdvertiseTheirStructures) {
+  const StorageCapabilities edge = Edge().Capabilities();
+  EXPECT_TRUE(edge.id_lookup);
+  EXPECT_TRUE(edge.interval_descendants);
+  EXPECT_FALSE(edge.children_by_tag);
+  EXPECT_FALSE(edge.tag_index);
+  EXPECT_FALSE(edge.path_index);
+
+  const StorageCapabilities dom = Dom().Capabilities();
+  EXPECT_TRUE(dom.id_lookup);
+  EXPECT_TRUE(dom.tag_index);
+  EXPECT_TRUE(dom.path_index);
+  EXPECT_TRUE(dom.interval_descendants);
+  EXPECT_FALSE(dom.children_by_tag);
+
+  auto fragmented = store::FragmentedStore::Load(TestDocument());
+  ASSERT_TRUE(fragmented.ok());
+  const StorageCapabilities frag = (*fragmented)->Capabilities();
+  EXPECT_TRUE(frag.children_by_tag);
+  EXPECT_TRUE(frag.path_index);
+  EXPECT_TRUE(frag.interval_descendants);
+
+  auto inlined = store::InlinedStore::Load(TestDocument(), xml::kAuctionDtd);
+  ASSERT_TRUE(inlined.ok());
+  const StorageCapabilities inl = (*inlined)->Capabilities();
+  EXPECT_TRUE(inl.children_by_tag);
+  EXPECT_TRUE(inl.id_lookup);
+  EXPECT_FALSE(inl.path_index);
+}
+
+// Band-join semantics: every comparison direction and operand order must
+// match the naive interpreter byte for byte.
+class BandJoinSemantics : public ::testing::Test {
+ protected:
+  static std::string Naive(const ParsedQuery& query) {
+    EvaluatorOptions options;
+    options.use_planner = false;
+    options.band_join = false;
+    options.hash_join = false;
+    Evaluator evaluator(&Dom(), options);
+    auto result = evaluator.Run(query);
+    XMARK_CHECK(result.ok());
+    return SerializeSequence(*result);
+  }
+
+  static std::string Banded(const ParsedQuery& query, int64_t* rows) {
+    Evaluator evaluator(&Dom(), EvaluatorOptions{});  // planner + band on
+    auto result = evaluator.Run(query);
+    XMARK_CHECK(result.ok());
+    EXPECT_GE(evaluator.stats().band_joins_built, 1)
+        << "band join did not engage";
+    if (rows != nullptr) *rows = evaluator.stats().band_join_rows;
+    return SerializeSequence(*result);
+  }
+
+  static std::string BandQuery(std::string_view predicate) {
+    return std::string(R"(
+for $p in document("auction.xml")/site/people/person
+let $l := for $i in document("auction.xml")/site/open_auctions/open_auction/initial
+          where )") +
+           std::string(predicate) + R"(
+          return $i
+return <items name="{$p/name/text()}">{count($l)}</items>
+)";
+  }
+};
+
+TEST_F(BandJoinSemantics, AllComparisonDirectionsMatchInterpreter) {
+  const char* predicates[] = {
+      "$p/profile/income > 5000 * $i/text()",
+      "$p/profile/income >= 5000 * $i/text()",
+      "$p/profile/income < 5000 * $i/text()",
+      "$p/profile/income <= 5000 * $i/text()",
+      // Swapped operand order: the optimizer must normalize the direction.
+      "5000 * $i/text() < $p/profile/income",
+      "5000 * $i/text() >= $p/profile/income",
+  };
+  for (const char* predicate : predicates) {
+    auto parsed = ParseQueryText(BandQuery(predicate));
+    ASSERT_TRUE(parsed.ok()) << predicate;
+    int64_t rows = 0;
+    EXPECT_EQ(Banded(*parsed, &rows), Naive(*parsed)) << predicate;
+  }
+}
+
+TEST_F(BandJoinSemantics, Q11AndQ12MatchInterpreterWithStats) {
+  for (int q : {11, 12}) {
+    auto parsed = ParseQueryText(bench::GetQuery(q).text);
+    ASSERT_TRUE(parsed.ok());
+    int64_t rows = 0;
+    EXPECT_EQ(Banded(*parsed, &rows), Naive(*parsed)) << "Q" << q;
+    EXPECT_GT(rows, 0) << "Q" << q << " band probes produced no rows";
+  }
+}
+
+TEST_F(BandJoinSemantics, NonCountUseFallsBackAndStaysCorrect) {
+  // $l is also returned directly, so the count-only analysis must refuse
+  // the rewrite and the results must still match.
+  const std::string query = R"(
+for $p in document("auction.xml")/site/people/person
+let $l := for $i in document("auction.xml")/site/open_auctions/open_auction/initial
+          where $p/profile/income > 5000 * $i/text()
+          return $i
+return <items>{count($l)}{$l}</items>
+)";
+  auto parsed = ParseQueryText(query);
+  ASSERT_TRUE(parsed.ok());
+  Evaluator evaluator(&Dom(), EvaluatorOptions{});
+  auto result = evaluator.Run(*parsed);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(evaluator.stats().band_joins_built, 0)
+      << "rewrite must not fire when $l escapes count()";
+  EXPECT_EQ(SerializeSequence(*result), Naive(*parsed));
+}
+
+TEST_F(BandJoinSemantics, EagerLetProbesAtBindTime) {
+  // Under eager-let semantics (systems E-G) the probe must run at bind
+  // time and still match the interpreter byte for byte.
+  for (int q : {11, 12}) {
+    auto parsed = ParseQueryText(bench::GetQuery(q).text);
+    ASSERT_TRUE(parsed.ok());
+    EvaluatorOptions eager;
+    eager.lazy_let = false;
+    Evaluator banded(&Dom(), eager);
+    auto a = banded.Run(*parsed);
+    ASSERT_TRUE(a.ok());
+    EXPECT_GE(banded.stats().band_joins_built, 1);
+    EvaluatorOptions naive = eager;
+    naive.use_planner = false;
+    naive.band_join = false;
+    Evaluator interpreted(&Dom(), naive);
+    auto b = interpreted.Run(*parsed);
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(SerializeSequence(*a), SerializeSequence(*b)) << "Q" << q;
+  }
+}
+
+TEST_F(BandJoinSemantics, ProbeInputReboundRefusesRewrite) {
+  // A later clause rebinds $p, which the band FLWOR's probe side reads:
+  // the rewrite must refuse (the probe would otherwise see the rebound
+  // value at the count() site) and results must match the interpreter
+  // under both let-evaluation policies.
+  const std::string query = R"(
+for $p in document("auction.xml")/site/people/person
+let $l := for $i in document("auction.xml")/site/open_auctions/open_auction/initial
+          where $p/profile/income > 5000 * $i/text()
+          return $i
+for $p in document("auction.xml")/site/open_auctions/open_auction
+return count($l)
+)";
+  auto parsed = ParseQueryText(query);
+  ASSERT_TRUE(parsed.ok());
+  for (bool lazy : {true, false}) {
+    EvaluatorOptions planned;
+    planned.lazy_let = lazy;
+    Evaluator with_planner(&Dom(), planned);
+    auto a = with_planner.Run(*parsed);
+    ASSERT_TRUE(a.ok());
+    EXPECT_EQ(with_planner.stats().band_joins_built, 0)
+        << "rewrite must refuse when a probe input is rebound";
+    EvaluatorOptions naive = planned;
+    naive.use_planner = false;
+    naive.band_join = false;
+    Evaluator interpreted(&Dom(), naive);
+    auto b = interpreted.Run(*parsed);
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(SerializeSequence(*a), SerializeSequence(*b))
+        << "lazy_let=" << lazy;
+  }
+}
+
+// The plan of the last run is exposed for inspection; per-run caches live
+// inside it, so two runs over different stores can never share join state.
+TEST(PlanLifetime, FreshPlanPerRun) {
+  auto parsed = ParseQueryText(bench::GetQuery(8).text);
+  ASSERT_TRUE(parsed.ok());
+  Evaluator dom_eval(&Dom(), EvaluatorOptions{});
+  ASSERT_TRUE(dom_eval.Run(*parsed).ok());
+  ASSERT_NE(dom_eval.plan(), nullptr);
+  // Q8's decorrelated inner loop: exactly one hash table, built this run.
+  EXPECT_EQ(dom_eval.plan()->join_state.size(), 1u);
+  EXPECT_EQ(dom_eval.plan()->store_name, "native DOM");
+  ASSERT_TRUE(dom_eval.Run(*parsed).ok());
+  EXPECT_EQ(dom_eval.plan()->join_state.size(), 1u);
+
+  Evaluator edge_eval(&Edge(), EvaluatorOptions{});
+  ASSERT_TRUE(edge_eval.Run(*parsed).ok());
+  // The edge run's plan was built against the edge store; nothing from the
+  // DOM run's caches is visible to it.
+  EXPECT_EQ(edge_eval.plan()->store_name, "edge table");
+  EXPECT_EQ(edge_eval.plan()->join_state.size(), 1u);
+}
+
+}  // namespace
+}  // namespace xmark::query
