@@ -26,24 +26,35 @@ namespace xmark::bench {
 namespace {
 
 // Zero-copy + planner ablation on one engine: every query timed with all
-// fast paths on, with only the band join off (isolating the sort-merge
-// band join on Q11/Q12), with the descendant cursors additionally off
-// (isolating the interval-encoded descendant scans), and with every fast
-// path off (the seed's per-access allocation behavior) — same store, same
-// tree.
+// fast paths on, with only the arena construction off (isolating the
+// ConstructPlan templates on Q10/Q13/Q19), with only the band join off
+// (isolating the sort-merge band join on Q11/Q12), with the descendant
+// cursors additionally off (isolating the interval-encoded descendant
+// scans), and with every fast path off (the seed's per-access allocation
+// behavior) — same store, same tree.
 struct AblationResult {
   double fast_ms[20] = {};
-  double no_band_ms[20] = {};  // band join off, rest on
-  double no_desc_ms[20] = {};  // band join + descendant cursors off
+  double no_arena_ms[20] = {};  // arena construction off, rest on
+  double no_band_ms[20] = {};   // band join off, rest on
+  double no_desc_ms[20] = {};   // band join + descendant cursors off
   double slow_ms[20] = {};
   double fast_total = 0;
+  double no_arena_total = 0;
   double no_band_total = 0;
   double no_desc_total = 0;
   double slow_total = 0;
+  // Heap-allocated constructed nodes per query (nodes_constructed minus
+  // nodes_arena_allocated): the fast run vs the arena-off run is the
+  // Q10-class allocation-count contrast CI pins (>=3x on Q10).
+  int64_t construct_heap_fast[20] = {};
+  int64_t construct_heap_no_arena[20] = {};
   int64_t cursor_scans = 0;
   int64_t descendant_scans = 0;
   int64_t band_joins_built = 0;   // band domains sorted (fast run)
   int64_t band_join_rows = 0;     // rows answered by band probes (fast run)
+  int64_t nodes_constructed = 0;        // constructed nodes (fast run)
+  int64_t nodes_arena_allocated = 0;    // arena subset (fast run)
+  int64_t construct_templates_built = 0;  // templates lowered (fast run)
   int64_t allocations_avoided = 0;
   int64_t compare_allocs_fast = 0;
   int64_t compare_allocs_slow = 0;
@@ -57,6 +68,9 @@ AblationResult RunAblation(Engine* engine, int reps) {
   fast.child_cursors = true;
   fast.descendant_cursors = true;
   fast.band_join = true;
+  fast.arena_construction = true;
+  query::EvaluatorOptions no_arena = fast;
+  no_arena.arena_construction = false;
   query::EvaluatorOptions no_band = fast;
   no_band.band_join = false;
   query::EvaluatorOptions no_desc = no_band;
@@ -64,44 +78,57 @@ AblationResult RunAblation(Engine* engine, int reps) {
   query::EvaluatorOptions slow = no_desc;
   slow.zero_copy_strings = false;
   slow.child_cursors = false;
+  slow.arena_construction = false;
 
+  const query::EvaluatorOptions* variants[] = {&fast, &no_arena, &no_band,
+                                               &no_desc, &slow};
   for (int q = 1; q <= 20; ++q) {
     auto parsed = query::ParseQueryText(GetQuery(q).text);
     XMARK_CHECK(parsed.ok());
-    for (int variant = 0; variant < 4; ++variant) {
-      const query::EvaluatorOptions& opts =
-          variant == 0 ? fast
-                       : (variant == 1 ? no_band
-                                       : (variant == 2 ? no_desc : slow));
-      query::Evaluator evaluator(engine->store(), opts);
+    for (int variant = 0; variant < 5; ++variant) {
+      query::Evaluator evaluator(engine->store(), *variants[variant]);
       double best = 0;
       for (int r = 0; r < reps; ++r) {
         PhaseTimer timer;
         auto result = evaluator.Run(*parsed);
         XMARK_CHECK(result.ok());
-        const double ms = timer.ElapsedWallMillis();
+        // CPU time, not wall: the ablation isolates CPU-bound evaluator
+        // work, and best-of-CPU is stable on noisy shared hardware where
+        // wall-clock scatter exceeds the single-feature contrasts.
+        const double ms = timer.ElapsedCpuMillis();
         if (r == 0 || ms < best) best = ms;
       }
+      const query::Evaluator::Stats& stats = evaluator.stats();
       if (variant == 0) {
         out.fast_ms[q - 1] = best;
         out.fast_total += best;
-        out.cursor_scans += evaluator.stats().cursor_scans;
-        out.descendant_scans += evaluator.stats().descendant_scans;
-        out.band_joins_built += evaluator.stats().band_joins_built;
-        out.band_join_rows += evaluator.stats().band_join_rows;
-        out.allocations_avoided += evaluator.stats().allocations_avoided;
-        out.compare_allocs_fast += evaluator.stats().compare_allocs;
-        out.sequence_heap_spills += evaluator.stats().sequence_heap_spills;
+        out.construct_heap_fast[q - 1] =
+            stats.nodes_constructed - stats.nodes_arena_allocated;
+        out.cursor_scans += stats.cursor_scans;
+        out.descendant_scans += stats.descendant_scans;
+        out.band_joins_built += stats.band_joins_built;
+        out.band_join_rows += stats.band_join_rows;
+        out.nodes_constructed += stats.nodes_constructed;
+        out.nodes_arena_allocated += stats.nodes_arena_allocated;
+        out.construct_templates_built += stats.construct_templates_built;
+        out.allocations_avoided += stats.allocations_avoided;
+        out.compare_allocs_fast += stats.compare_allocs;
+        out.sequence_heap_spills += stats.sequence_heap_spills;
       } else if (variant == 1) {
+        out.no_arena_ms[q - 1] = best;
+        out.no_arena_total += best;
+        out.construct_heap_no_arena[q - 1] =
+            stats.nodes_constructed - stats.nodes_arena_allocated;
+      } else if (variant == 2) {
         out.no_band_ms[q - 1] = best;
         out.no_band_total += best;
-      } else if (variant == 2) {
+      } else if (variant == 3) {
         out.no_desc_ms[q - 1] = best;
         out.no_desc_total += best;
       } else {
         out.slow_ms[q - 1] = best;
         out.slow_total += best;
-        out.compare_allocs_slow += evaluator.stats().compare_allocs;
+        out.compare_allocs_slow += stats.compare_allocs;
       }
     }
   }
@@ -161,6 +188,7 @@ int Main(int argc, char** argv) {
   const bool json = FlagBool(argc, argv, "json");
   const bool no_fastpath = FlagBool(argc, argv, "no-fastpath");
   const bool no_band_join = FlagBool(argc, argv, "no-band-join");
+  const bool no_arena_construct = FlagBool(argc, argv, "no-arena-construct");
   if (FlagBool(argc, argv, "explain")) return DumpPlans(sf);
   if (!json) {
     std::printf("=== Table 3: Query performance (ms), systems A-F ===\n");
@@ -175,19 +203,21 @@ int Main(int argc, char** argv) {
                    st.ToString().c_str());
       return 1;
     }
-    if (no_fastpath || no_band_join) {
+    if (no_fastpath || no_band_join || no_arena_construct) {
       Engine* engine = runner.engine(id);
       query::EvaluatorOptions opts = engine->evaluator_options();
       if (no_fastpath) {
         // Ablation flag: run the whole benchmark with the seed's
         // per-access allocation behavior (no views, no cursors, no band
-        // rewrites).
+        // rewrites, no arena construction).
         opts.zero_copy_strings = false;
         opts.child_cursors = false;
         opts.descendant_cursors = false;
         opts.band_join = false;
+        opts.arena_construction = false;
       }
       if (no_band_join) opts.band_join = false;
+      if (no_arena_construct) opts.arena_construction = false;
       engine->set_evaluator_options(opts);
     }
   }
@@ -274,12 +304,13 @@ int Main(int argc, char** argv) {
   if (!json) {
     std::printf("\n--- zero-copy ablation: edge store, Q1-Q20, best of %d ---\n",
                 ablation_reps);
-    TablePrinter at({"Query", "fast (ms)", "no band join (ms)",
-                     "no desc cursors (ms)", "no fast paths (ms)",
-                     "speedup"});
+    TablePrinter at({"Query", "fast (ms)", "no arena construct (ms)",
+                     "no band join (ms)", "no desc cursors (ms)",
+                     "no fast paths (ms)", "speedup"});
     for (int q = 1; q <= 20; ++q) {
       at.AddRow({StringPrintf("Q%d", q),
                  StringPrintf("%.2f", ab.fast_ms[q - 1]),
+                 StringPrintf("%.2f", ab.no_arena_ms[q - 1]),
                  StringPrintf("%.2f", ab.no_band_ms[q - 1]),
                  StringPrintf("%.2f", ab.no_desc_ms[q - 1]),
                  StringPrintf("%.2f", ab.slow_ms[q - 1]),
@@ -287,16 +318,25 @@ int Main(int argc, char** argv) {
                                            std::max(0.001, ab.fast_ms[q - 1]))});
     }
     std::printf("%s", at.ToString().c_str());
-    std::printf("total: %.1f ms -> %.1f ms (no band join %.1f ms; no desc "
-                "cursors %.1f ms; %.1f%% reduction)\n",
-                ab.slow_total, ab.fast_total, ab.no_band_total,
-                ab.no_desc_total, reduction);
+    std::printf("total: %.1f ms -> %.1f ms (no arena construct %.1f ms; no "
+                "band join %.1f ms; no desc cursors %.1f ms; %.1f%% "
+                "reduction)\n",
+                ab.slow_total, ab.fast_total, ab.no_arena_total,
+                ab.no_band_total, ab.no_desc_total, reduction);
     std::printf("band join: Q11 %.2fx, Q12 %.2fx (%lld domains built, "
                 "%lld rows by binary search)\n",
                 ab.no_band_ms[10] / std::max(0.001, ab.fast_ms[10]),
                 ab.no_band_ms[11] / std::max(0.001, ab.fast_ms[11]),
                 static_cast<long long>(ab.band_joins_built),
                 static_cast<long long>(ab.band_join_rows));
+    std::printf("arena construction: Q10 %.2fx cpu, constructed-node heap "
+                "allocations %lld -> %lld (%lld arena nodes, %lld "
+                "templates)\n",
+                ab.no_arena_ms[9] / std::max(0.001, ab.fast_ms[9]),
+                static_cast<long long>(ab.construct_heap_no_arena[9]),
+                static_cast<long long>(ab.construct_heap_fast[9]),
+                static_cast<long long>(ab.nodes_arena_allocated),
+                static_cast<long long>(ab.construct_templates_built));
     std::printf("stats: %lld cursor scans, %lld descendant scans, "
                 "%lld allocations avoided, "
                 "compare-path materializations %lld -> %lld, "
@@ -317,6 +357,7 @@ int Main(int argc, char** argv) {
     w.Key("reps").Value(reps);
     w.Key("no_fastpath").Value(no_fastpath);
     w.Key("no_band_join").Value(no_band_join);
+    w.Key("no_arena_construct").Value(no_arena_construct);
     w.Key("queries").BeginArray();
     auto emit_query = [&](int q, const std::array<double, 6>& ms) {
       w.BeginObject();
@@ -342,13 +383,18 @@ int Main(int argc, char** argv) {
       w.BeginObject();
       w.Key("query").Value(q);
       w.Key("fast_ms").Value(ab.fast_ms[q - 1]);
+      w.Key("no_arena_construct_ms").Value(ab.no_arena_ms[q - 1]);
       w.Key("no_band_join_ms").Value(ab.no_band_ms[q - 1]);
       w.Key("no_descendant_cursors_ms").Value(ab.no_desc_ms[q - 1]);
       w.Key("no_fastpath_ms").Value(ab.slow_ms[q - 1]);
+      w.Key("construct_heap_nodes_fast").Value(ab.construct_heap_fast[q - 1]);
+      w.Key("construct_heap_nodes_no_arena")
+          .Value(ab.construct_heap_no_arena[q - 1]);
       w.EndObject();
     }
     w.EndArray();
     w.Key("fast_total_ms").Value(ab.fast_total);
+    w.Key("no_arena_construct_total_ms").Value(ab.no_arena_total);
     w.Key("no_band_join_total_ms").Value(ab.no_band_total);
     w.Key("no_descendant_cursors_total_ms").Value(ab.no_desc_total);
     w.Key("no_fastpath_total_ms").Value(ab.slow_total);
@@ -357,6 +403,9 @@ int Main(int argc, char** argv) {
     w.Key("descendant_scans").Value(ab.descendant_scans);
     w.Key("band_joins_built").Value(ab.band_joins_built);
     w.Key("band_join_rows").Value(ab.band_join_rows);
+    w.Key("nodes_constructed").Value(ab.nodes_constructed);
+    w.Key("nodes_arena_allocated").Value(ab.nodes_arena_allocated);
+    w.Key("construct_templates_built").Value(ab.construct_templates_built);
     w.Key("sequence_heap_spills").Value(ab.sequence_heap_spills);
     w.Key("allocations_avoided").Value(ab.allocations_avoided);
     w.Key("compare_allocs_fast").Value(ab.compare_allocs_fast);

@@ -13,37 +13,10 @@ namespace xmark::query {
 
 namespace {
 
-// ---------------------------------------------------------------------------
-// Sequence utilities
-// ---------------------------------------------------------------------------
-
-// Orders node refs by document position (handles are preorder ids in every
-// store implementation).
-void SortDedupNodes(Sequence* seq) {
-  // Fast path: cursor-backed steps already emit strictly increasing
-  // document order, so one scan usually replaces the sort + unique pass.
-  bool sorted_unique = true;
-  for (size_t i = 1; i < seq->size(); ++i) {
-    const Item& a = (*seq)[i - 1];
-    const Item& b = (*seq)[i];
-    if (!a.is_node() || !b.is_node() ||
-        !(a.node().handle < b.node().handle)) {
-      sorted_unique = false;
-      break;
-    }
-  }
-  if (sorted_unique) return;
-  std::stable_sort(seq->begin(), seq->end(), [](const Item& a, const Item& b) {
-    if (!a.is_node() || !b.is_node()) return false;
-    return a.node().handle < b.node().handle;
-  });
-  seq->erase(std::unique(seq->begin(), seq->end(),
-                         [](const Item& a, const Item& b) {
-                           return a.is_node() && b.is_node() &&
-                                  a.node() == b.node();
-                         }),
-             seq->end());
-}
+// SortDedupNodes lives in query/value.cc since the arena-construction
+// work: it orders constructed items by their stable node_id (never by
+// shared_ptr identity, which aliasing arena pointers would break), so it
+// is shared with tests and any future operator that merges node sets.
 
 struct SortKey {
   bool empty = true;
@@ -67,29 +40,18 @@ int CompareSortKeys(const SortKey& a, const SortKey& b) {
 
 }  // namespace
 
-ConstructedPtr DeepCopyNode(const NodeRef& ref) {
-  const StorageAdapter& store = *ref.store;
-  auto out = std::make_shared<ConstructedNode>();
-  if (!store.IsElement(ref.handle)) {
-    out->text = store.Text(ref.handle);
-    return out;
-  }
-  out->tag = std::string(store.names().Spelling(store.NameOf(ref.handle)));
-  out->attributes = store.Attributes(ref.handle);
-  for (NodeHandle c = store.FirstChild(ref.handle); c != kInvalidHandle;
-       c = store.NextSibling(c)) {
-    out->children.emplace_back(DeepCopyNode(NodeRef{&store, c}));
-  }
-  return out;
-}
-
 // ---------------------------------------------------------------------------
 // Evaluator
 // ---------------------------------------------------------------------------
 
 Evaluator::Evaluator(const StorageAdapter* store,
                      const EvaluatorOptions& options)
-    : store_(store), options_(options), caps_(store->Capabilities()) {}
+    : store_(store),
+      options_(options),
+      caps_(store->Capabilities()),
+      eval_fn_([this](const AstNode& n, Environment& e, const Focus* f) {
+        return Eval(n, e, f);
+      }) {}
 
 Evaluator::~Evaluator() = default;
 
@@ -120,6 +82,8 @@ StatusOr<Sequence> Evaluator::Run(const ParsedQuery& query) {
     BuildPlan(query, *store_, options_, plan_.get());
   }
   stats_ = Stats{};
+  stats_.construct_templates_built =
+      static_cast<int64_t>(plan_->constructs.size());
   udf_depth_ = 0;
 
   Environment env(slot_count_);
@@ -148,6 +112,8 @@ StatusOr<Sequence> Evaluator::RunExpr(const AstNode& expr) {
     BuildExprPlan(expr, *store_, options_, plan_.get());
   }
   stats_ = Stats{};
+  stats_.construct_templates_built =
+      static_cast<int64_t>(plan_->constructs.size());
   Environment env(slot_count_);
   const int64_t spills_before = SequenceHeapSpills();
   auto result = Eval(expr, env, nullptr);
@@ -568,12 +534,8 @@ StatusOr<Sequence> Evaluator::EvalHashJoin(const AstNode& node,
   auto it = plan_->join_state.find(&node);
   if (it == plan_->join_state.end()) {
     auto built = std::make_unique<HashJoinExec>();
-    XMARK_RETURN_IF_ERROR(built->Build(
-        plan, slot_count_,
-        [this](const AstNode& n, Environment& e, const Focus* f) {
-          return Eval(n, e, f);
-        },
-        &stats_));
+    XMARK_RETURN_IF_ERROR(built->Build(plan, slot_count_, eval_fn_,
+                                       &stats_));
     cache = built.get();
     plan_->join_state.emplace(&node, std::move(built));
   } else {
@@ -633,12 +595,8 @@ StatusOr<int64_t> Evaluator::BandCount(int slot, Environment& env,
   auto it = plan_->band_state.find(band.flwor);
   if (it == plan_->band_state.end()) {
     auto built = std::make_unique<BandJoinIndex>();
-    XMARK_RETURN_IF_ERROR(built->Build(
-        band, slot_count_,
-        [this](const AstNode& n, Environment& e, const Focus* f) {
-          return Eval(n, e, f);
-        },
-        &stats_));
+    XMARK_RETURN_IF_ERROR(built->Build(band, slot_count_, eval_fn_,
+                                       &stats_));
     index = built.get();
     plan_->band_state.emplace(band.flwor, std::move(built));
   } else {
@@ -1481,7 +1439,7 @@ StatusOr<Sequence> Evaluator::EvalFunction(const AstNode& node,
           store_->names().Spelling(store_->NameOf(item.node().handle))))};
     }
     if (item.is_constructed()) {
-      return Sequence{Item(item.constructed()->tag)};
+      return Sequence{Item(std::string(item.constructed()->tag_view()))};
     }
     return Sequence{Item(std::string())};
   }
@@ -1531,7 +1489,30 @@ StatusOr<Sequence> Evaluator::EvalFunction(const AstNode& node,
 StatusOr<Sequence> Evaluator::EvalConstructor(const AstNode& node,
                                               Environment& env,
                                               const Focus* focus) {
+  // Arena path: the optimizer lowered this constructor into a template —
+  // instantiate it batch-at-a-time into the per-run NodeArena instead of
+  // allocating a shared_ptr node per element and a std::string per text
+  // child. Only plan annotations reach here, so use_planner off (or
+  // arena_construction off) falls through to the legacy path below;
+  // results are byte-identical either way.
+  const ConstructPlan* cp =
+      options_.arena_construction ? plan_->FindConstruct(&node) : nullptr;
+  if (cp != nullptr) {
+    if (plan_->construct_state == nullptr) {
+      plan_->arena = std::make_shared<NodeArena>();
+      plan_->construct_state =
+          std::make_unique<ConstructExec>(plan_->arena);
+    }
+    XMARK_ASSIGN_OR_RETURN(
+        Item item,
+        plan_->construct_state->Instantiate(*cp, env, focus, eval_fn_,
+                                            &stats_,
+                                            options_.copy_results));
+    return Sequence{std::move(item)};
+  }
+
   auto out = std::make_shared<ConstructedNode>();
+  ++stats_.nodes_constructed;
   out->tag = node.tag;
   for (const AttrConstructor& attr : node.attrs) {
     std::string value;
@@ -1551,6 +1532,7 @@ StatusOr<Sequence> Evaluator::EvalConstructor(const AstNode& node,
   for (const AstPtr& content : node.content) {
     if (content->kind == AstKind::kStringLiteral) {
       auto text = std::make_shared<ConstructedNode>();
+      ++stats_.nodes_constructed;
       text->text = content->str_value;
       out->children.emplace_back(std::move(text));
       continue;
@@ -1563,10 +1545,12 @@ StatusOr<Sequence> Evaluator::EvalConstructor(const AstNode& node,
         // text node separated by spaces (XQuery construction rules).
         if (prev_atomic) {
           auto text = std::make_shared<ConstructedNode>();
+          ++stats_.nodes_constructed;
           text->text = " ";
           out->children.emplace_back(std::move(text));
         }
         auto text = std::make_shared<ConstructedNode>();
+        ++stats_.nodes_constructed;
         text->text = ItemStringValue(item);
         out->children.emplace_back(std::move(text));
         prev_atomic = true;

@@ -95,6 +95,9 @@ class Evaluator {
   const StorageAdapter* store_;
   EvaluatorOptions options_;
   StorageCapabilities caps_;  // snapshot taken at construction
+  /// Built once: the Eval callback handed to physical operators (hash
+  /// join / band join builds, constructor-template instantiation).
+  EvalFn eval_fn_;
   Stats stats_;
   size_t slot_count_ = 0;
   std::string cmp_scratch_a_;
@@ -105,10 +108,6 @@ class Evaluator {
   std::unique_ptr<QueryPlan> plan_;  // per-run plan + caches
   int udf_depth_ = 0;
 };
-
-/// Deep-copies a stored node into a constructed tree (System G's copy
-/// semantics; also used by the result checker).
-ConstructedPtr DeepCopyNode(const NodeRef& ref);
 
 }  // namespace xmark::query
 

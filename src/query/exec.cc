@@ -240,6 +240,173 @@ Status BandJoinIndex::Build(const BandJoinPlan& plan, size_t slot_count,
   return Status::OK();
 }
 
+// ---------------------------------------------------------------------------
+// ConstructExec
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Separator between adjacent atomics of one enclosed expression (XQuery
+// construction rules). Static storage: safe as a text_ref forever.
+constexpr std::string_view kAtomicSeparator = " ";
+
+// Non-owning ConstructedPtr for INTERIOR edges of one template instance:
+// the parent chain up to the instance root keeps the arena alive, so the
+// per-child refcount would be pure overhead (two atomic RMWs per node).
+// Only the instance root returned from Instantiate carries the owning
+// arena-aliasing pointer; children must never be detached from a dead
+// root (the engine never does — navigation inside constructed nodes is
+// unsupported, and consumers walk trees through a live root item).
+ConstructedPtr InteriorRef(const ConstructedNode* node) {
+  return ConstructedPtr(std::shared_ptr<const ConstructedNode>(), node);
+}
+
+}  // namespace
+
+ConstructedNode* ConstructExec::NewNode(EvalStats* stats) {
+  ++stats->nodes_constructed;
+  ++stats->nodes_arena_allocated;
+  return arena_->AllocateNode();
+}
+
+ConstructedNode* ConstructExec::NewTextNode(std::string_view interned_text,
+                                            EvalStats* stats) {
+  ConstructedNode* node = NewNode(stats);
+  node->text_ref = interned_text;
+  return node;
+}
+
+const std::vector<std::string_view>& ConstructExec::ConstTexts(
+    const ConstructPlan& plan) {
+  if (plan.template_id >= const_texts_.size()) {
+    const_texts_.resize(plan.template_id + 1);
+  }
+  std::unique_ptr<std::vector<std::string_view>>& slot =
+      const_texts_[plan.template_id];
+  if (slot == nullptr) {
+    // First instantiation of this template this run: intern every constant
+    // segment once; all instantiations share the arena copies. (Views must
+    // point into the arena, never into the ConstructPlan — results outlive
+    // the plan.)
+    slot = std::make_unique<std::vector<std::string_view>>();
+    slot->reserve(plan.const_texts.size());
+    for (const std::string& text : plan.const_texts) {
+      slot->push_back(arena_->InternText(text));
+    }
+  }
+  return *slot;
+}
+
+StatusOr<ConstructedNode*> ConstructExec::BuildElement(
+    const ConstructPlan& plan, size_t element_index,
+    const std::vector<std::string_view>& const_texts, Environment& env,
+    const Focus* focus, const EvalFn& eval, EvalStats* stats,
+    bool copy_results) {
+  const ConstructPlan::Element& el = plan.elements[element_index];
+  ConstructedNode* node = NewNode(stats);
+  // Tags are copied, not viewed: the template's strings die with the plan,
+  // and XMark tags fit std::string's inline buffer anyway.
+  node->tag = el.tag;
+
+  if (!el.attrs.empty()) node->attributes.reserve(el.attrs.size());
+  for (const ConstructPlan::Attr& attr : el.attrs) {
+    if (attr.src == nullptr) {
+      node->attributes.emplace_back(attr.name, attr.const_value);
+      continue;
+    }
+    std::string value;
+    for (const AttrPart& part : attr.src->parts) {
+      if (part.expr == nullptr) {
+        value += part.text;
+        continue;
+      }
+      XMARK_ASSIGN_OR_RETURN(Sequence items, eval(*part.expr, env, focus));
+      for (size_t i = 0; i < items.size(); ++i) {
+        if (i > 0) value += ' ';
+        value += ItemStringValue(items[i]);
+      }
+    }
+    node->attributes.emplace_back(attr.name, std::move(value));
+  }
+
+  node->children.reserve(el.children.size());
+  for (const ConstructPlan::Child& child : el.children) {
+    switch (child.kind) {
+      case ConstructPlan::Child::Kind::kConstText:
+        node->children.emplace_back(
+            InteriorRef(NewTextNode(const_texts[child.index], stats)));
+        break;
+      case ConstructPlan::Child::Kind::kElement: {
+        XMARK_ASSIGN_OR_RETURN(
+            ConstructedNode * nested,
+            BuildElement(plan, child.index, const_texts, env, focus, eval,
+                         stats, copy_results));
+        node->children.emplace_back(InteriorRef(nested));
+        break;
+      }
+      case ConstructPlan::Child::Kind::kHole: {
+        XMARK_ASSIGN_OR_RETURN(Sequence items,
+                               eval(*child.expr, env, focus));
+        // Reserve for the hole's actual cardinality (plus the remaining
+        // static slots): the pool's deallocate is a no-op, so every
+        // outgrown intermediate buffer would stay dead in the arena.
+        node->children.reserve(node->children.size() + items.size() +
+                               (el.children.size() - 1 -
+                                static_cast<size_t>(&child -
+                                                    el.children.data())));
+        bool prev_atomic = false;
+        for (Item& item : items) {
+          if (item.is_atomic()) {
+            // Adjacent atomics from one enclosed expression merge into
+            // space-separated text nodes, exactly as the legacy path does;
+            // the text bytes land in the arena's shared buffer instead of
+            // a std::string per node.
+            if (prev_atomic) {
+              node->children.emplace_back(
+                  InteriorRef(NewTextNode(kAtomicSeparator, stats)));
+            }
+            const std::string_view text = ItemStringView(item, &scratch_);
+            node->children.emplace_back(
+                InteriorRef(NewTextNode(arena_->InternText(text), stats)));
+            prev_atomic = true;
+            continue;
+          }
+          prev_atomic = false;
+          if (item.is_node() && copy_results) {
+            node->children.emplace_back(DeepCopyNode(item.node()));
+          } else if (item.is_constructed() &&
+                     item.constructed()->owner_arena == arena_.get()) {
+            // A nested instance of this same arena (e.g. Q10's {$p}
+            // personne items): strip the owning arena-aliasing pointer to
+            // a non-owning interior ref. Storing an owning pointer inside
+            // an arena node would cycle the arena's refcount and leak
+            // every node of the run.
+            node->children.emplace_back(InteriorRef(item.constructed().get()));
+          } else {
+            node->children.push_back(std::move(item));
+          }
+        }
+        break;
+      }
+    }
+  }
+  return node;
+}
+
+StatusOr<Item> ConstructExec::Instantiate(const ConstructPlan& plan,
+                                          Environment& env,
+                                          const Focus* focus,
+                                          const EvalFn& eval,
+                                          EvalStats* stats,
+                                          bool copy_results) {
+  const std::vector<std::string_view>& const_texts = ConstTexts(plan);
+  XMARK_ASSIGN_OR_RETURN(
+      ConstructedNode * root,
+      BuildElement(plan, 0, const_texts, env, focus, eval, stats,
+                   copy_results));
+  return Item(ConstructedPtr(arena_, root));
+}
+
 int64_t BandJoinIndex::ProbeCount(double probe, BinaryOp op) const {
   if (std::isnan(probe)) return 0;
   const auto lower =

@@ -1,8 +1,30 @@
+// Physical operator layer: pull-time execution of planned decisions.
+//
+// Layer contract: operators here run WITHIN one Evaluator::Run and only
+// execute what the plan layer already decided — a NodeScan never chooses
+// its access path (it receives a StepPlan::Access), ConstructExec never
+// analyzes constructor structure (it instantiates a ConstructPlan), the
+// join operators never detect join shapes (they Build from a
+// HashJoinPlan/BandJoinPlan). Runtime adaptivity is limited to safety
+// fallbacks the plan explicitly allows (ChildrenByTag answering nullopt,
+// an invalid band domain). Operators evaluate subexpressions only through
+// the EvalFn callback, so this layer never depends on the Evaluator class.
+//
+// Cache ownership rule: operator instances that carry per-run state
+// (HashJoinExec tables, BandJoinIndex domains, ConstructExec's arena and
+// interned const-text segments) are owned by the QueryPlan of the current
+// run — never by the Evaluator, never static — so state cannot leak
+// across runs or documents. NodeScan instances are transient (stack-owned
+// by the evaluator loop) and hold no cross-run state.
+
 #ifndef XMARK_QUERY_EXEC_H_
 #define XMARK_QUERY_EXEC_H_
 
 #include <functional>
+#include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -219,6 +241,54 @@ class BandJoinIndex {
 /// the band-join probe and build so both sides cast identically.
 std::optional<double> BandNumericValue(const Item& item,
                                        std::string* scratch);
+
+// ---------------------------------------------------------------------------
+// Arena-backed result construction
+// ---------------------------------------------------------------------------
+
+/// Instantiates ConstructPlan templates into the per-run NodeArena: one
+/// batch of block-allocated nodes per instantiation, constant text
+/// segments interned into the arena once per run (shared by every
+/// instantiation of the template), dynamic text appended into the arena's
+/// shared buffer. Every produced ConstructedPtr aliases the arena's
+/// shared_ptr, so results stay valid for as long as anything references
+/// them, without a per-node control block. Owned by the QueryPlan of the
+/// current run; byte-identical to the evaluator's legacy per-shared_ptr
+/// constructor path.
+class ConstructExec {
+ public:
+  explicit ConstructExec(std::shared_ptr<NodeArena> arena)
+      : arena_(std::move(arena)) {}
+
+  /// Builds one instance of `plan` under the given bindings/focus.
+  /// `copy_results` mirrors EvaluatorOptions::copy_results: stored nodes
+  /// produced by holes are deep-copied into constructed trees.
+  StatusOr<Item> Instantiate(const ConstructPlan& plan, Environment& env,
+                             const Focus* focus, const EvalFn& eval,
+                             EvalStats* stats, bool copy_results);
+
+  const NodeArena& arena() const { return *arena_; }
+
+ private:
+  StatusOr<ConstructedNode*> BuildElement(
+      const ConstructPlan& plan, size_t element_index,
+      const std::vector<std::string_view>& const_texts, Environment& env,
+      const Focus* focus, const EvalFn& eval, EvalStats* stats,
+      bool copy_results);
+  ConstructedNode* NewNode(EvalStats* stats);
+  ConstructedNode* NewTextNode(std::string_view interned_text,
+                               EvalStats* stats);
+  /// The template's constant segments, interned into the arena on first
+  /// use of the template this run.
+  const std::vector<std::string_view>& ConstTexts(const ConstructPlan& plan);
+
+  std::shared_ptr<NodeArena> arena_;
+  // Indexed by ConstructPlan::template_id. unique_ptr values: Instantiate
+  // re-enters through hole evaluation, and growth must not invalidate the
+  // vector a caller still iterates.
+  std::vector<std::unique_ptr<std::vector<std::string_view>>> const_texts_;
+  std::string scratch_;
+};
 
 }  // namespace xmark::query
 

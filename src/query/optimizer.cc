@@ -1,5 +1,6 @@
 #include "query/optimizer.h"
 
+#include <algorithm>
 #include <vector>
 
 namespace xmark::query {
@@ -409,6 +410,78 @@ bool AnalyzeBandLet(const AstNode& outer_flwor, size_t clause_index,
 }
 
 // ---------------------------------------------------------------------------
+// Constructor templates
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Appends the template element for `ctor` (and, recursively, its nested
+// static constructors) to `plan->elements`; returns its index.
+size_t LowerConstructorElement(const AstNode& ctor, ConstructPlan* plan) {
+  const size_t index = plan->elements.size();
+  plan->elements.emplace_back();
+  plan->elements[index].tag = ctor.tag;
+
+  std::vector<ConstructPlan::Attr> attrs;
+  attrs.reserve(ctor.attrs.size());
+  for (const AttrConstructor& attr : ctor.attrs) {
+    ConstructPlan::Attr out;
+    out.name = attr.name;
+    const bool constant =
+        std::all_of(attr.parts.begin(), attr.parts.end(),
+                    [](const AttrPart& p) { return p.expr == nullptr; });
+    if (constant) {
+      for (const AttrPart& p : attr.parts) out.const_value += p.text;
+      ++plan->const_attr_count;
+    } else {
+      out.src = &attr;
+      ++plan->dyn_attr_count;
+    }
+    attrs.push_back(std::move(out));
+  }
+
+  std::vector<ConstructPlan::Child> children;
+  children.reserve(ctor.content.size());
+  for (const AstPtr& content : ctor.content) {
+    ConstructPlan::Child child;
+    if (content->kind == AstKind::kStringLiteral) {
+      child.kind = ConstructPlan::Child::Kind::kConstText;
+      // Intern equal constant segments once per template: every
+      // instantiation then shares one arena copy per distinct segment.
+      const auto found =
+          std::find(plan->const_texts.begin(), plan->const_texts.end(),
+                    content->str_value);
+      child.index = static_cast<size_t>(found - plan->const_texts.begin());
+      if (found == plan->const_texts.end()) {
+        plan->const_texts.push_back(content->str_value);
+      }
+    } else if (content->kind == AstKind::kElementConstructor) {
+      child.kind = ConstructPlan::Child::Kind::kElement;
+      child.index = LowerConstructorElement(*content, plan);
+    } else {
+      child.kind = ConstructPlan::Child::Kind::kHole;
+      child.expr = content.get();
+      ++plan->hole_count;
+    }
+    children.push_back(child);
+  }
+  // The recursion above may have grown plan->elements; write through the
+  // index, not a reference captured before the loop.
+  plan->elements[index].attrs = std::move(attrs);
+  plan->elements[index].children = std::move(children);
+  return index;
+}
+
+}  // namespace
+
+ConstructPlan LowerConstructor(const AstNode& ctor) {
+  ConstructPlan plan;
+  plan.source = &ctor;
+  LowerConstructorElement(ctor, &plan);
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
 // Whole-query lowering
 // ---------------------------------------------------------------------------
 
@@ -430,6 +503,31 @@ void LowerNode(const AstNode& node, const EvaluatorOptions& options,
         }
       }
     }
+  } else if (node.kind == AstKind::kElementConstructor &&
+             options.arena_construction) {
+    // The template folds the whole static shell (nested constructors
+    // included), so recursion continues only into the dynamic parts:
+    // hole expressions and dynamic attribute value parts. A constructor
+    // inside a hole gets its own template when the recursion reaches it.
+    ConstructPlan lowered = LowerConstructor(node);
+    lowered.template_id = plan->constructs.size();
+    const auto [it, inserted] =
+        plan->constructs.emplace(&node, std::move(lowered));
+    const ConstructPlan& cp = it->second;
+    for (const ConstructPlan::Element& element : cp.elements) {
+      for (const ConstructPlan::Attr& attr : element.attrs) {
+        if (attr.src == nullptr) continue;
+        for (const AttrPart& part : attr.src->parts) {
+          if (part.expr) LowerNode(*part.expr, options, caps, plan);
+        }
+      }
+      for (const ConstructPlan::Child& child : element.children) {
+        if (child.kind == ConstructPlan::Child::Kind::kHole) {
+          LowerNode(*child.expr, options, caps, plan);
+        }
+      }
+    }
+    return;
   }
   VisitChildren(node, [&](const AstNode& child) {
     LowerNode(child, options, caps, plan);

@@ -1,3 +1,17 @@
+// Optimizer layer: AST -> QueryPlan, once per run.
+//
+// Layer contract: this is the only place that READS StorageCapabilities
+// and the EvaluatorOptions toggles to make choices — access-path
+// selection, join decorrelation, band-shape recognition, invariant-path
+// cacheability, constructor-template lowering. Everything it emits is an
+// immutable annotation in the QueryPlan; nothing here touches documents,
+// evaluates expressions or allocates executor state (BuildPlan is pure
+// analysis and must stay cheap enough to run per query). The legacy
+// interpreter (use_planner=false) reuses the Compute*/Analyze* helpers
+// per node at runtime, which is why they are exported rather than hidden
+// behind BuildPlan — keep them deterministic and side-effect-free so both
+// modes decide identically.
+
 #ifndef XMARK_QUERY_OPTIMIZER_H_
 #define XMARK_QUERY_OPTIMIZER_H_
 
@@ -69,8 +83,16 @@ bool AnalyzeBandShape(const AstNode& flwor, BandJoinPlan* out);
 bool AnalyzeBandLet(const AstNode& outer_flwor, size_t clause_index,
                     BandJoinPlan* out);
 
+/// Compiles one kElementConstructor subtree into a ConstructPlan template:
+/// the static element shell (nested constructors folded in), constant
+/// attributes and constant text segments resolved at plan time, dynamic
+/// holes recorded as expression pointers. Pure structure analysis — no
+/// options or capabilities involved; gating on arena_construction happens
+/// at registration (LowerNode) and at use (EvalConstructor).
+ConstructPlan LowerConstructor(const AstNode& ctor);
+
 /// Lowers a parsed query against one store + option set. Fills path plans,
-/// FLWOR strategies and band-join lets.
+/// FLWOR strategies, band-join lets and constructor templates.
 void BuildPlan(const ParsedQuery& query, const StorageAdapter& store,
                const EvaluatorOptions& options, QueryPlan* plan);
 

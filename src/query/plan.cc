@@ -69,10 +69,10 @@ class ExplainPrinter {
     out_ += StringPrintf(
         "options: id-index=%d path-index=%d tag-index=%d hash-join=%d "
         "band-join=%d lazy-let=%d invariant-cache=%d child-cursors=%d "
-        "descendant-cursors=%d\n",
+        "descendant-cursors=%d arena-construct=%d\n",
         o.use_id_index, o.use_path_index, o.use_tag_index, o.hash_join,
         o.band_join, o.lazy_let, o.cache_invariant_paths, o.child_cursors,
-        o.descendant_cursors);
+        o.descendant_cursors, o.arena_construction);
     const StorageCapabilities& c = plan_.caps;
     out_ += StringPrintf(
         "capabilities: id-lookup=%d tag-index=%d path-index=%d "
@@ -84,8 +84,10 @@ class ExplainPrinter {
   void Footer() {
     const QueryPlan::Summary s = plan_.Summarize();
     out_ += StringPrintf(
-        "summary: hash-join=%d band-count-join=%d joinable-nested-loop=%d\n",
-        s.hash_joins, s.band_joins, s.joinable_nested_loops);
+        "summary: hash-join=%d band-count-join=%d construct-template=%d "
+        "joinable-nested-loop=%d\n",
+        s.hash_joins, s.band_joins, s.construct_templates,
+        s.joinable_nested_loops);
   }
 
   void Line(int depth, const std::string& text) {
@@ -272,7 +274,19 @@ class ExplainPrinter {
         return;
       }
       case AstKind::kElementConstructor: {
-        Line(depth, "constructor <" + n.tag + ">");
+        std::string line = "constructor <" + n.tag + ">";
+        const ConstructPlan* cp = plan_.FindConstruct(&n);
+        if (cp != nullptr) {
+          // Arena template: the static shell (nested elements, constant
+          // attrs/text) is instantiated per binding from one per-run
+          // compiled form; only the holes are evaluated dynamically.
+          line += StringPrintf(
+              " template=[elements=%zu const-text=%zu holes=%zu "
+              "const-attrs=%zu dyn-attrs=%zu]",
+              cp->elements.size(), cp->const_texts.size(), cp->hole_count,
+              cp->const_attr_count, cp->dyn_attr_count);
+        }
+        Line(depth, line);
         for (const AttrConstructor& attr : n.attrs) {
           for (const AttrPart& part : attr.parts) {
             if (part.expr) Node(*part.expr, depth + 1);
@@ -329,6 +343,7 @@ std::string QueryPlan::ExplainExpr(const AstNode& expr) const {
 QueryPlan::Summary QueryPlan::Summarize() const {
   Summary s;
   s.band_joins = static_cast<int>(band_lets.size());
+  s.construct_templates = static_cast<int>(constructs.size());
   for (const auto& [node, fp] : flwors) {
     if (fp.strategy == FlworPlan::Strategy::kHashJoin) {
       ++s.hash_joins;

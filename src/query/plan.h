@@ -1,3 +1,23 @@
+// Logical plan layer.
+//
+// Layer contract: everything in this file is decided ONCE PER RUN, before
+// the first tuple flows. The optimizer (query/optimizer.cc) lowers the AST
+// into a QueryPlan — per-step access paths, FLWOR join strategies,
+// band-join lets, constructor templates — from a StorageCapabilities
+// snapshot and the EvaluatorOptions toggles; the evaluator and the
+// physical operators (query/exec.h) then only *execute* those decisions,
+// never revisit them. Anything that varies per binding (predicate values,
+// probe keys, dynamic constructor holes) is deliberately NOT here: it
+// belongs to pull time in query/exec.h.
+//
+// Cache ownership rule: every per-run mutable executor state (hash-join
+// tables, band domains, invariant-path memos, the construction arena)
+// lives INSIDE the QueryPlan instance, and a fresh QueryPlan is built per
+// Evaluator::Run. Caches therefore cannot survive into a run over a
+// different document or option set by construction. Annotation maps are
+// keyed by AstNode address; a plan must never outlive the AST it was
+// lowered from.
+
 #ifndef XMARK_QUERY_PLAN_H_
 #define XMARK_QUERY_PLAN_H_
 
@@ -15,6 +35,7 @@ namespace xmark::query {
 
 class HashJoinExec;
 class BandJoinIndex;
+class ConstructExec;
 
 /// Optimizer toggles. Each engine configuration (systems A-G) enables the
 /// subset its architecture plausibly provides; the differences drive the
@@ -63,6 +84,13 @@ struct EvaluatorOptions {
   /// (one clustered range scan per input node) instead of the generic DFS
   /// or a materialized DescendantsByTag vector.
   bool descendant_cursors = true;
+  /// Build element-constructor results through plan-time ConstructPlan
+  /// templates instantiated into a per-run NodeArena (block-allocated
+  /// nodes, shared text buffer) instead of one shared_ptr allocation per
+  /// node and one std::string per text child. Requires use_planner
+  /// (templates are plan annotations); output is byte-identical either
+  /// way.
+  bool arena_construction = true;
 };
 
 /// Statistics from one evaluator run (exposed for ablation benchmarks).
@@ -81,6 +109,13 @@ struct EvalStats {
   int64_t join_probe_allocs = 0;   // probe keys that materialized a string
   int64_t sequence_heap_spills = 0;  // Sequences that outgrew the inline
                                      // buffer (SBO miss count)
+  int64_t nodes_constructed = 0;     // ConstructedNodes created (both the
+                                     // heap and the arena path)
+  int64_t nodes_arena_allocated = 0;  // subset placed in the per-run
+                                      // NodeArena (heap constructed nodes
+                                      // = nodes_constructed - this)
+  int64_t construct_templates_built = 0;  // ConstructPlans lowered by the
+                                          // optimizer for this run
 };
 
 /// Planned access path for one path step, resolved from options x store
@@ -141,6 +176,52 @@ struct BandJoinPlan {
   BinaryOp op = BinaryOp::kGt;         // outer OP inner
 };
 
+/// Plan-time template for one element-constructor subtree (the Q10/Q13
+/// reconstruction shape). The static shell of the constructor — nested
+/// element structure, constant attributes, constant text segments — is
+/// compiled once per run; only the dynamic holes (enclosed expressions)
+/// and dynamic attribute values are evaluated per instantiation.
+/// ConstructExec (query/exec.h) instantiates the template into the
+/// per-run NodeArena: child vectors are reserved from the pre-counted
+/// slot counts, constant text is interned into the arena once per run and
+/// shared by every instantiation, and dynamic text is appended into the
+/// arena's shared buffer instead of allocating a std::string per node.
+struct ConstructPlan {
+  struct Child {
+    enum class Kind : uint8_t {
+      kConstText,  // `index` into const_texts
+      kElement,    // `index` into elements (a nested static element)
+      kHole,       // `expr`: evaluated per instantiation
+    };
+    Kind kind = Kind::kHole;
+    size_t index = 0;
+    const AstNode* expr = nullptr;
+  };
+  struct Attr {
+    std::string name;
+    /// Non-null: dynamic value, evaluate `src->parts` per instantiation.
+    const AttrConstructor* src = nullptr;
+    /// src == nullptr: the value is this constant, folded at plan time.
+    std::string const_value;
+  };
+  struct Element {
+    std::string tag;
+    std::vector<Attr> attrs;
+    std::vector<Child> children;  // pre-counted child slots
+  };
+
+  const AstNode* source = nullptr;  // the kElementConstructor root
+  /// Dense per-plan index assigned at registration; ConstructExec keys its
+  /// per-run interned-segment cache by it (array indexing on the hot
+  /// instantiation path instead of a hash lookup).
+  size_t template_id = 0;
+  std::vector<Element> elements;    // [0] is the root element
+  std::vector<std::string> const_texts;  // deduplicated constant segments
+  size_t hole_count = 0;
+  size_t const_attr_count = 0;
+  size_t dyn_attr_count = 0;
+};
+
 /// Join strategy chosen for one FLWOR node.
 struct FlworPlan {
   enum class Strategy : uint8_t { kNestedLoop, kHashJoin };
@@ -184,6 +265,12 @@ class QueryPlan {
     auto it = flwors.find(node);
     return it == flwors.end() ? nullptr : &it->second;
   }
+  /// Non-null when `node` (a kElementConstructor) was lowered into a
+  /// constructor template.
+  const ConstructPlan* FindConstruct(const AstNode* node) const {
+    auto it = constructs.find(node);
+    return it == constructs.end() ? nullptr : &it->second;
+  }
 
   /// Renders the plan as indented text (bench --explain, golden tests).
   std::string Explain(const ParsedQuery& query) const;
@@ -193,6 +280,7 @@ class QueryPlan {
   struct Summary {
     int hash_joins = 0;
     int band_joins = 0;
+    int construct_templates = 0;
     /// Join-shaped FLWORs left on the naive nested loop (strategy toggles
     /// off, or a band shape whose let is not count-only).
     int joinable_nested_loops = 0;
@@ -208,6 +296,7 @@ class QueryPlan {
   std::unordered_map<const AstNode*, PathPlan> paths;
   std::unordered_map<const AstNode*, FlworPlan> flwors;
   std::unordered_map<const AstNode*, BandJoinPlan> band_lets;
+  std::unordered_map<const AstNode*, ConstructPlan> constructs;
 
   // --- per-run executor state -------------------------------------------
   std::unordered_map<const AstNode*, std::unique_ptr<HashJoinExec>>
@@ -215,6 +304,11 @@ class QueryPlan {
   std::unordered_map<const AstNode*, std::unique_ptr<BandJoinIndex>>
       band_state;
   std::unordered_map<const AstNode*, Sequence> invariant_cache;
+  /// Arena backing this run's constructed results. shared_ptr because
+  /// every arena-backed ConstructedPtr in a result aliases it: the arena
+  /// outlives the plan for exactly as long as results reference it.
+  std::shared_ptr<NodeArena> arena;
+  std::unique_ptr<ConstructExec> construct_state;
 };
 
 }  // namespace xmark::query

@@ -1,10 +1,89 @@
 #include "query/value.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstring>
 
 #include "util/string_util.h"
 
 namespace xmark::query {
+namespace {
+
+// Creation-order identity for constructed nodes (see ConstructedNode::
+// node_id). Process-wide and relaxed: ids only need to be unique and
+// monotone per creating thread, never densely numbered.
+std::atomic<uint64_t> g_next_node_id{1};
+
+}  // namespace
+
+ConstructedNode::ConstructedNode()
+    : node_id(g_next_node_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+ConstructedNode::ConstructedNode(std::pmr::memory_resource* mem)
+    : attributes(mem),
+      children(mem),
+      node_id(g_next_node_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+// ---------------------------------------------------------------------------
+// NodeArena
+// ---------------------------------------------------------------------------
+
+void* NodeArena::BlockResource::do_allocate(size_t bytes, size_t alignment) {
+  size_t at = (used_ + alignment - 1) & ~(alignment - 1);
+  if (at + bytes > cap_ || blocks_.empty()) {
+    // Oversized requests get a dedicated block; everything else bumps
+    // through fixed 64 KiB blocks (operator new char[] is aligned to
+    // __STDCPP_DEFAULT_NEW_ALIGNMENT__, enough for any Item/pair).
+    cap_ = std::max(kTextBlockBytes, bytes + alignment);
+    blocks_.push_back(std::make_unique_for_overwrite<char[]>(cap_));
+    used_ = 0;
+    at = 0;
+    void* p = blocks_.back().get();
+    size_t space = cap_;
+    std::align(alignment, bytes, p, space);
+    at = static_cast<size_t>(static_cast<char*>(p) - blocks_.back().get());
+  }
+  used_ = at + bytes;
+  return blocks_.back().get() + at;
+}
+
+NodeArena::~NodeArena() {
+  for (auto& block : node_blocks_) {
+    ConstructedNode* nodes =
+        reinterpret_cast<ConstructedNode*>(block->storage);
+    for (size_t i = block->used; i > 0; --i) nodes[i - 1].~ConstructedNode();
+  }
+}
+
+ConstructedNode* NodeArena::AllocateNode() {
+  if (node_blocks_.empty() || node_blocks_.back()->used == kNodesPerBlock) {
+    node_blocks_.push_back(std::make_unique<NodeBlock>());
+  }
+  NodeBlock& block = *node_blocks_.back();
+  ConstructedNode* node = new (block.storage +
+                               block.used * sizeof(ConstructedNode))
+      ConstructedNode(&pool_);
+  node->owner_arena = this;
+  ++block.used;
+  ++nodes_allocated_;
+  return node;
+}
+
+std::string_view NodeArena::InternText(std::string_view text) {
+  if (text.empty()) return std::string_view("", 0);
+  if (text_used_ + text.size() > text_cap_) {
+    text_cap_ = std::max(kTextBlockBytes, text.size());
+    text_blocks_.push_back(std::make_unique_for_overwrite<char[]>(text_cap_));
+    text_used_ = 0;
+  }
+  char* dst = text_blocks_.back().get() + text_used_;
+  std::memcpy(dst, text.data(), text.size());
+  text_used_ += text.size();
+  text_bytes_ += text.size();
+  return std::string_view(dst, text.size());
+}
+
 namespace {
 
 void SerializeStoredNode(const NodeRef& ref, std::string& out) {
@@ -38,12 +117,12 @@ void SerializeStoredNode(const NodeRef& ref, std::string& out) {
 }
 
 void SerializeConstructed(const ConstructedNode& node, std::string& out) {
-  if (node.tag.empty()) {
-    AppendXmlEscaped(out, node.text);
+  if (node.is_text()) {
+    AppendXmlEscaped(out, node.text_view());
     return;
   }
   out.push_back('<');
-  out.append(node.tag);
+  out.append(node.tag_view());
   for (const auto& [name, value] : node.attributes) {
     out.push_back(' ');
     out.append(name);
@@ -66,14 +145,14 @@ void SerializeConstructed(const ConstructedNode& node, std::string& out) {
     }
   }
   out.append("</");
-  out.append(node.tag);
+  out.append(node.tag_view());
   out.push_back('>');
 }
 
 void AppendConstructedStringValue(const ConstructedNode& node,
                                   std::string& out) {
-  if (node.tag.empty()) {
-    out.append(node.text);
+  if (node.is_text()) {
+    out.append(node.text_view());
     return;
   }
   for (const Item& child : node.children) {
@@ -181,6 +260,71 @@ std::string SerializeItem(const Item& item) {
     return out;
   }
   return ItemStringValue(item);
+}
+
+ConstructedPtr DeepCopyNode(const NodeRef& ref) {
+  const StorageAdapter& store = *ref.store;
+  auto out = std::make_shared<ConstructedNode>();
+  if (!store.IsElement(ref.handle)) {
+    out->text = store.Text(ref.handle);
+    return out;
+  }
+  out->tag = std::string(store.names().Spelling(store.NameOf(ref.handle)));
+  const auto attrs = store.Attributes(ref.handle);
+  out->attributes.assign(attrs.begin(), attrs.end());
+  for (NodeHandle c = store.FirstChild(ref.handle); c != kInvalidHandle;
+       c = store.NextSibling(c)) {
+    out->children.emplace_back(DeepCopyNode(NodeRef{&store, c}));
+  }
+  return out;
+}
+
+namespace {
+
+// Total order over sequence items for SortDedupNodes: stored nodes first
+// (by preorder handle), then constructed nodes (by creation-order node_id),
+// then atomics (all equivalent — relative order preserved by the stable
+// sort). A genuine strict weak ordering, unlike comparing only node pairs,
+// which violates transitivity of incomparability on mixed sequences.
+std::pair<int, uint64_t> DocOrderKey(const Item& item) {
+  if (item.is_node()) return {0, item.node().handle};
+  if (item.is_constructed()) return {1, item.constructed()->node_id};
+  return {2, 0};
+}
+
+// Identity equality for the dedup pass: atomics are never duplicates;
+// constructed nodes compare by stable node_id, not shared_ptr identity
+// (aliasing arena pointers have distinct control blocks for one node).
+bool SameNodeIdentity(const Item& a, const Item& b) {
+  if (a.is_node() && b.is_node()) return a.node() == b.node();
+  if (a.is_constructed() && b.is_constructed()) {
+    return a.constructed()->node_id == b.constructed()->node_id;
+  }
+  return false;
+}
+
+}  // namespace
+
+void SortDedupNodes(Sequence* seq) {
+  // Fast path: cursor-backed steps already emit strictly increasing
+  // document order, so one scan usually replaces the sort + unique pass.
+  bool sorted_unique = true;
+  for (size_t i = 1; i < seq->size(); ++i) {
+    const Item& a = (*seq)[i - 1];
+    const Item& b = (*seq)[i];
+    if (!a.is_node() || !b.is_node() ||
+        !(a.node().handle < b.node().handle)) {
+      sorted_unique = false;
+      break;
+    }
+  }
+  if (sorted_unique) return;
+  std::stable_sort(seq->begin(), seq->end(),
+                   [](const Item& a, const Item& b) {
+                     return DocOrderKey(a) < DocOrderKey(b);
+                   });
+  seq->erase(std::unique(seq->begin(), seq->end(), SameNodeIdentity),
+             seq->end());
 }
 
 std::string SerializeSequence(const Sequence& seq) {

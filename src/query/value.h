@@ -5,6 +5,7 @@
 #include <initializer_list>
 #include <iterator>
 #include <memory>
+#include <memory_resource>
 #include <new>
 #include <string>
 #include <utility>
@@ -18,6 +19,7 @@ namespace xmark::query {
 
 struct ConstructedNode;
 class Item;
+class NodeArena;
 class Sequence;
 
 /// Reference to a node inside a storage engine.
@@ -34,14 +36,130 @@ struct NodeRef {
 /// constructors). Children may mix text, nested constructed nodes and
 /// references to stored nodes (which are deep-copied only at serialization
 /// time).
+///
+/// Two storage regimes share this struct. Heap nodes (the legacy
+/// per-`make_shared` path) own their tag and text in the `tag`/`text`
+/// strings. Arena nodes (built by ConstructExec from a ConstructPlan
+/// template) leave those strings empty and point `tag_ref`/`text_ref` into
+/// NodeArena-owned memory instead — consumers must go through `tag_view()`
+/// and `text_view()`, which pick whichever representation is populated.
 struct ConstructedNode {
+  /// Heap node: members allocate from the default resource.
+  ConstructedNode();
+  /// Arena node: `children`/`attributes` storage comes from `mem` (the
+  /// owning NodeArena's monotonic pool), so building a template instance
+  /// performs no individual vector allocations.
+  explicit ConstructedNode(std::pmr::memory_resource* mem);
+
   std::string tag;  // empty => text node, `text` holds the content
   std::string text;
-  std::vector<std::pair<std::string, std::string>> attributes;
-  std::vector<Item> children;
+  // Arena-interned alternatives: when `data() != nullptr` they override the
+  // owned strings above (set only by arena construction; the views point
+  // into the NodeArena that placement-allocated this node, so they share
+  // its lifetime).
+  std::string_view tag_ref;
+  std::string_view text_ref;
+  std::pmr::vector<std::pair<std::string, std::string>> attributes;
+  std::pmr::vector<Item> children;
+  /// Stable identity, assigned at construction in creation order from a
+  /// process-wide counter. SortDedupNodes orders and dedups constructed
+  /// items by this id — never by shared_ptr identity, which arena aliasing
+  /// pointers would break (two distinct control blocks can reference the
+  /// same node).
+  uint64_t node_id = 0;
+  /// The arena that placement-allocated this node (null for heap nodes).
+  /// ConstructExec uses it to strip same-arena child items down to
+  /// non-owning interior references — an owning arena-aliasing pointer
+  /// stored inside an arena node would form a reference cycle and leak
+  /// the whole arena.
+  const NodeArena* owner_arena = nullptr;
+
+  std::string_view tag_view() const {
+    return tag_ref.data() != nullptr ? tag_ref : std::string_view(tag);
+  }
+  std::string_view text_view() const {
+    return text_ref.data() != nullptr ? text_ref : std::string_view(text);
+  }
+  bool is_text() const { return tag_view().empty(); }
 };
 
 using ConstructedPtr = std::shared_ptr<const ConstructedNode>;
+
+/// Per-run bump/pool allocator for constructed result trees (the Q10/Q13
+/// reconstruction workload). ConstructedNodes are placement-allocated in
+/// fixed-size blocks and text content is appended into shared character
+/// blocks (stable addresses — blocks never move or shrink), so a template
+/// instantiation costs zero individual node/control-block/string
+/// allocations. Owned by the QueryPlan of the current run via shared_ptr;
+/// every arena-backed ConstructedPtr aliases that shared_ptr, so results
+/// keep the arena alive after the run (and across Evaluator destruction)
+/// without per-node reference counts of their own. Nodes are only
+/// reclaimed when the arena dies — discarded intermediate constructors
+/// accumulate until the end of the run, which the benchmark queries (whose
+/// constructed nodes are all result nodes) never notice.
+class NodeArena {
+ public:
+  NodeArena() = default;
+  ~NodeArena();
+  NodeArena(const NodeArena&) = delete;
+  NodeArena& operator=(const NodeArena&) = delete;
+
+  /// Placement-allocates one default-constructed node. The pointer is
+  /// stable for the arena's lifetime.
+  ConstructedNode* AllocateNode();
+
+  /// Copies `text` into the shared text buffer; the returned view is
+  /// stable for the arena's lifetime (data() is never null, so it always
+  /// takes priority inside ConstructedNode::text_view()).
+  std::string_view InternText(std::string_view text);
+
+  int64_t nodes_allocated() const { return nodes_allocated_; }
+  size_t text_bytes() const { return text_bytes_; }
+
+ private:
+  static constexpr size_t kNodesPerBlock = 64;
+  static constexpr size_t kTextBlockBytes = size_t{1} << 16;
+
+  struct NodeBlock {
+    alignas(ConstructedNode) unsigned char
+        storage[kNodesPerBlock * sizeof(ConstructedNode)];
+    size_t used = 0;
+  };
+
+  /// Bump allocator over fixed 64 KiB blocks (deallocate is a no-op; the
+  /// whole pool dies with the arena). Unlike monotonic_buffer_resource,
+  /// block sizes never grow: every underlying allocation stays below
+  /// glibc's mmap threshold, so freed blocks return to the allocator's
+  /// free lists and the next run's arena reuses warm pages instead of
+  /// faulting fresh mmap'd ones in (measurably dominant on the Q10 bench).
+  class BlockResource final : public std::pmr::memory_resource {
+   public:
+    BlockResource() = default;
+
+   private:
+    void* do_allocate(size_t bytes, size_t alignment) override;
+    void do_deallocate(void*, size_t, size_t) override {}
+    bool do_is_equal(
+        const std::pmr::memory_resource& other) const noexcept override {
+      return this == &other;
+    }
+
+    std::vector<std::unique_ptr<char[]>> blocks_;
+    size_t cap_ = 0;   // capacity of the current (last) block
+    size_t used_ = 0;  // bytes used in the current block
+  };
+
+  // Backs every arena node's children/attributes vectors; declared before
+  // the node blocks, and ~NodeArena destroys all nodes in its body, so the
+  // pool strictly outlives its users.
+  BlockResource pool_;
+  std::vector<std::unique_ptr<NodeBlock>> node_blocks_;
+  std::vector<std::unique_ptr<char[]>> text_blocks_;
+  size_t text_cap_ = 0;   // capacity of the current (last) text block
+  size_t text_used_ = 0;  // bytes used in the current text block
+  int64_t nodes_allocated_ = 0;
+  size_t text_bytes_ = 0;
+};
 
 /// One XQuery item: a stored node, a constructed node, or an atomic value.
 class Item {
@@ -269,6 +387,20 @@ std::string SerializeSequence(const Sequence& seq);
 
 /// String-value of a constructed node (concatenated text).
 std::string ConstructedStringValue(const ConstructedNode& node);
+
+/// Deep-copies a stored node into a constructed tree (System G's copy
+/// semantics; also used when copy_results lifts stored nodes into
+/// constructed content).
+ConstructedPtr DeepCopyNode(const NodeRef& ref);
+
+/// Sorts a node sequence into stable document order and removes duplicate
+/// nodes. Stored nodes order by handle (preorder id in every store);
+/// constructed nodes order by their creation-order `node_id` and sort
+/// after all stored nodes; atomics compare equivalent to each other (their
+/// relative order is preserved, and they are never deduplicated).
+/// Identity, not shared_ptr equality, drives the dedup: two aliasing
+/// ConstructedPtrs to the same arena node collapse into one.
+void SortDedupNodes(Sequence* seq);
 
 }  // namespace xmark::query
 

@@ -1,0 +1,393 @@
+// Arena-backed result construction (ConstructPlan/ConstructExec/NodeArena):
+// golden Explain for the Q10 template, byte-parity between the arena and
+// the legacy shared_ptr-per-node path across all four stores, allocation
+// accounting (the >=5x Q10 node-allocation reduction), arena lifetime
+// (results outlive the evaluator), and the SortDedupNodes identity fix for
+// mixed stored/constructed sequences.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "gen/generator.h"
+#include "query/evaluator.h"
+#include "query/optimizer.h"
+#include "query/parser.h"
+#include "query/plan.h"
+#include "query/value.h"
+#include "store/dom_store.h"
+#include "store/edge_store.h"
+#include "store/fragmented_store.h"
+#include "store/inlined_store.h"
+#include "util/logging.h"
+#include "xmark/queries.h"
+#include "xml/dtd.h"
+
+namespace xmark::query {
+namespace {
+
+const std::string& TestDocument() {
+  static const std::string* const kDoc = [] {
+    gen::GeneratorOptions options;
+    options.scale = 0.002;
+    return new std::string(gen::XmlGen(options).GenerateToString());
+  }();
+  return *kDoc;
+}
+
+const StorageAdapter* StoreByIndex(int index) {
+  static const store::EdgeStore* const kEdge = [] {
+    auto s = store::EdgeStore::Load(TestDocument());
+    XMARK_CHECK(s.ok());
+    return s->release();
+  }();
+  static const store::FragmentedStore* const kFragmented = [] {
+    auto s = store::FragmentedStore::Load(TestDocument());
+    XMARK_CHECK(s.ok());
+    return s->release();
+  }();
+  static const store::InlinedStore* const kInlined = [] {
+    auto s = store::InlinedStore::Load(TestDocument(), xml::kAuctionDtd);
+    XMARK_CHECK(s.ok());
+    return s->release();
+  }();
+  static const store::DomStore* const kDom = [] {
+    store::DomStore::Options options;  // all indexes on
+    auto s = store::DomStore::Load(TestDocument(), options);
+    XMARK_CHECK(s.ok());
+    return s->release();
+  }();
+  switch (index) {
+    case 0:
+      return kEdge;
+    case 1:
+      return kFragmented;
+    case 2:
+      return kInlined;
+    default:
+      return kDom;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Golden Explain
+// ---------------------------------------------------------------------------
+
+TEST(ConstructExplainGolden, Q10TemplatesAreRendered) {
+  auto parsed = ParseQueryText(bench::GetQuery(10).text);
+  ASSERT_TRUE(parsed.ok());
+  QueryPlan plan;
+  BuildPlan(*parsed, *StoreByIndex(3), EvaluatorOptions{}, &plan);
+  const std::string text = plan.Explain(*parsed);
+  // The personne shell: 15 static elements, 11 text holes, no attributes.
+  EXPECT_NE(text.find("constructor <personne> template=[elements=15 "
+                      "const-text=0 holes=11 const-attrs=0 dyn-attrs=0]"),
+            std::string::npos)
+      << text;
+  // The outer categorie wrapper: one nested static <id> element, two holes
+  // ({$i} inside <id> and {$p}).
+  EXPECT_NE(text.find("constructor <categorie> template=[elements=2 "
+                      "const-text=0 holes=2 const-attrs=0 dyn-attrs=0]"),
+            std::string::npos)
+      << text;
+  // Nested static constructors are covered by the parent template: no
+  // template annotation of their own.
+  EXPECT_NE(text.find("constructor <statistiques>\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("summary: hash-join=1 band-count-join=0 "
+                      "construct-template=2 joinable-nested-loop=0"),
+            std::string::npos)
+      << text;
+}
+
+TEST(ConstructExplainGolden, DynamicAttributesAreCounted) {
+  auto parsed = ParseQueryText(bench::GetQuery(13).text);
+  ASSERT_TRUE(parsed.ok());
+  QueryPlan plan;
+  BuildPlan(*parsed, *StoreByIndex(3), EvaluatorOptions{}, &plan);
+  const std::string text = plan.Explain(*parsed);
+  // Q13: <item name="{$i/name/text()}">{$i/description}</item>.
+  EXPECT_NE(text.find("constructor <item> template=[elements=1 const-text=0 "
+                      "holes=1 const-attrs=0 dyn-attrs=1]"),
+            std::string::npos)
+      << text;
+}
+
+TEST(ConstructExplainGolden, ArenaOffRegistersNoTemplates) {
+  auto parsed = ParseQueryText(bench::GetQuery(10).text);
+  ASSERT_TRUE(parsed.ok());
+  EvaluatorOptions options;
+  options.arena_construction = false;
+  QueryPlan plan;
+  BuildPlan(*parsed, *StoreByIndex(3), options, &plan);
+  const std::string text = plan.Explain(*parsed);
+  EXPECT_EQ(text.find("template=["), std::string::npos) << text;
+  EXPECT_NE(text.find("construct-template=0"), std::string::npos) << text;
+}
+
+// ---------------------------------------------------------------------------
+// Byte-parity and allocation accounting
+// ---------------------------------------------------------------------------
+
+// Every constructor-bearing benchmark query, including nested templates
+// (Q10/Q20), dynamic attributes (Q3/Q13/Q16), ordered FLWORs (Q19) and
+// UDF-driven construction (Q2/Q4).
+const int kConstructorQueries[] = {2, 3, 4, 8, 10, 13, 16, 17, 19, 20};
+
+TEST(ArenaConstructionParity, ByteIdenticalAcrossAllStores) {
+  for (int q : kConstructorQueries) {
+    auto parsed = ParseQueryText(bench::GetQuery(q).text);
+    ASSERT_TRUE(parsed.ok()) << "Q" << q;
+    for (int s = 0; s < 4; ++s) {
+      const StorageAdapter* store = StoreByIndex(s);
+      EvaluatorOptions on;  // defaults: arena construction enabled
+      EvaluatorOptions off = on;
+      off.arena_construction = false;
+
+      Evaluator with_arena(store, on);
+      auto a = with_arena.Run(*parsed);
+      ASSERT_TRUE(a.ok()) << store->mapping_name() << " Q" << q << ": "
+                          << a.status();
+      Evaluator without_arena(store, off);
+      auto b = without_arena.Run(*parsed);
+      ASSERT_TRUE(b.ok()) << store->mapping_name() << " Q" << q << ": "
+                          << b.status();
+
+      EXPECT_EQ(SerializeSequence(*a), SerializeSequence(*b))
+          << store->mapping_name() << " Q" << q
+          << " diverges between arena and heap construction";
+      EXPECT_EQ(with_arena.stats().nodes_arena_allocated,
+                with_arena.stats().nodes_constructed)
+          << store->mapping_name() << " Q" << q
+          << ": arena run built heap nodes";
+      // Q4 has no matches at this scale: the constructor never runs.
+      if (without_arena.stats().nodes_constructed > 0) {
+        EXPECT_GT(with_arena.stats().nodes_arena_allocated, 0)
+            << store->mapping_name() << " Q" << q;
+      }
+      EXPECT_GE(with_arena.stats().construct_templates_built, 1)
+          << store->mapping_name() << " Q" << q;
+      EXPECT_EQ(without_arena.stats().nodes_arena_allocated, 0)
+          << store->mapping_name() << " Q" << q;
+    }
+  }
+}
+
+TEST(ArenaConstructionParity, Q10AllocationReductionAtLeast5x) {
+  auto parsed = ParseQueryText(bench::GetQuery(10).text);
+  ASSERT_TRUE(parsed.ok());
+  EvaluatorOptions on;
+  EvaluatorOptions off = on;
+  off.arena_construction = false;
+
+  Evaluator with_arena(StoreByIndex(3), on);
+  ASSERT_TRUE(with_arena.Run(*parsed).ok());
+  Evaluator without_arena(StoreByIndex(3), off);
+  ASSERT_TRUE(without_arena.Run(*parsed).ok());
+
+  const int64_t heap_on = with_arena.stats().nodes_constructed -
+                          with_arena.stats().nodes_arena_allocated;
+  const int64_t heap_off = without_arena.stats().nodes_constructed;
+  EXPECT_EQ(heap_on, 0) << "Q10's constructors are all template-covered";
+  EXPECT_GE(heap_off, 5 * std::max<int64_t>(1, heap_on))
+      << "heap " << heap_off << " -> " << heap_on;
+  // Both runs materialize the same logical node set.
+  EXPECT_EQ(with_arena.stats().nodes_constructed, heap_off);
+}
+
+TEST(ArenaConstructionParity, CopyResultsSemanticsPreserved) {
+  // System G copies stored nodes into constructed trees; the arena path
+  // must apply the same copy at hole sites.
+  auto parsed = ParseQueryText(bench::GetQuery(13).text);
+  ASSERT_TRUE(parsed.ok());
+  EvaluatorOptions on;
+  on.copy_results = true;
+  EvaluatorOptions off = on;
+  off.arena_construction = false;
+
+  Evaluator with_arena(StoreByIndex(3), on);
+  auto a = with_arena.Run(*parsed);
+  ASSERT_TRUE(a.ok());
+  Evaluator without_arena(StoreByIndex(3), off);
+  auto b = without_arena.Run(*parsed);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(SerializeSequence(*a), SerializeSequence(*b));
+  for (const Item& item : *a) {
+    ASSERT_TRUE(item.is_constructed());
+    for (const Item& child : item.constructed()->children) {
+      EXPECT_FALSE(child.is_node()) << "stored node leaked past copy_results";
+    }
+  }
+}
+
+TEST(ArenaConstructionParity, AttributeValueTemplatesAndAtomicJoins) {
+  // Multi-part attribute values and multi-item enclosed sequences exercise
+  // the space-joining construction rules on both paths.
+  const std::string query = R"(
+for $p in document("auction.xml")/site/people/person
+return <p id="x{$p/@id}y" all="{$p/profile/interest/@category}">
+         {"lit"}{$p/name/text()}{(1, 2, "three")}
+       </p>
+)";
+  auto parsed = ParseQueryText(query);
+  ASSERT_TRUE(parsed.ok());
+  for (int s = 0; s < 4; ++s) {
+    const StorageAdapter* store = StoreByIndex(s);
+    EvaluatorOptions on;
+    EvaluatorOptions off = on;
+    off.arena_construction = false;
+    Evaluator with_arena(store, on);
+    auto a = with_arena.Run(*parsed);
+    ASSERT_TRUE(a.ok()) << a.status();
+    Evaluator without_arena(store, off);
+    auto b = without_arena.Run(*parsed);
+    ASSERT_TRUE(b.ok()) << b.status();
+    EXPECT_EQ(SerializeSequence(*a), SerializeSequence(*b))
+        << store->mapping_name();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Arena lifetime
+// ---------------------------------------------------------------------------
+
+TEST(ArenaLifetime, ResultsOutliveTheEvaluator) {
+  auto parsed = ParseQueryText(bench::GetQuery(10).text);
+  ASSERT_TRUE(parsed.ok());
+  Sequence result;
+  std::string while_alive;
+  {
+    Evaluator evaluator(StoreByIndex(3), EvaluatorOptions{});
+    auto run = evaluator.Run(*parsed);
+    ASSERT_TRUE(run.ok());
+    ASSERT_GT(evaluator.stats().nodes_arena_allocated, 0)
+        << "arena did not engage";
+    result = std::move(*run);
+    while_alive = SerializeSequence(result);
+    // A second run swaps in a fresh plan + arena; the first run's arena
+    // must stay alive through the result's aliasing pointers.
+    ASSERT_TRUE(evaluator.Run(*parsed).ok());
+  }
+  // Evaluator (and with it the QueryPlan) destroyed: the serialized bytes
+  // must still be reachable through the aliased arena.
+  EXPECT_EQ(SerializeSequence(result), while_alive);
+}
+
+TEST(ArenaLifetime, NoReferenceCycleThroughNestedInstances) {
+  // Q10 nests one template's instances ({$p} personne items) inside
+  // another's (categorie) children. The interior edges must be
+  // non-owning: an owning arena-aliasing pointer stored inside an arena
+  // node would cycle the refcount and leak the whole arena every run.
+  auto parsed = ParseQueryText(bench::GetQuery(10).text);
+  ASSERT_TRUE(parsed.ok());
+  std::weak_ptr<NodeArena> watch;
+  {
+    Sequence result;
+    {
+      Evaluator evaluator(StoreByIndex(3), EvaluatorOptions{});
+      auto run = evaluator.Run(*parsed);
+      ASSERT_TRUE(run.ok());
+      watch = evaluator.plan()->arena;
+      ASSERT_FALSE(watch.expired());
+      result = std::move(*run);
+    }
+    // Evaluator (and the plan's owning reference) gone; the result's
+    // root items must still hold the arena...
+    EXPECT_FALSE(watch.expired());
+  }
+  // ...and dropping the result must free it. A cycle keeps it alive.
+  EXPECT_TRUE(watch.expired()) << "arena leaked through an owning "
+                                  "interior reference";
+}
+
+// ---------------------------------------------------------------------------
+// SortDedupNodes over mixed stored/constructed sequences
+// ---------------------------------------------------------------------------
+
+TEST(SortDedupNodesTest, MixedStoredAndConstructedSequences) {
+  const StorageAdapter* store = StoreByIndex(3);
+  const NodeHandle root = store->Root();
+  const NodeHandle child = store->FirstChild(root);
+  ASSERT_NE(child, kInvalidHandle);
+
+  // Two constructed nodes; c1 is referenced twice through DIFFERENT
+  // shared_ptr control blocks (arena aliasing), so dedup must key on
+  // node_id, not on pointer or control-block identity.
+  auto arena = std::make_shared<NodeArena>();
+  ConstructedNode* n1 = arena->AllocateNode();
+  ConstructedNode* n2 = arena->AllocateNode();
+  ASSERT_LT(n1->node_id, n2->node_id) << "ids must follow creation order";
+  ConstructedPtr c1a(arena, n1);
+  ConstructedPtr c1b(std::shared_ptr<NodeArena>(arena), n1);  // distinct cb
+  ConstructedPtr c2(arena, n2);
+
+  Sequence seq;
+  seq.push_back(Item(c2));
+  seq.push_back(Item(NodeRef{store, child}));
+  seq.push_back(Item(c1a));
+  seq.push_back(Item(NodeRef{store, root}));
+  seq.push_back(Item(c1b));                      // duplicate of c1a by id
+  seq.push_back(Item(NodeRef{store, child}));    // duplicate stored node
+  SortDedupNodes(&seq);
+
+  // Stored nodes first in document order, then constructed in creation
+  // order, duplicates (by identity, not control block) removed.
+  ASSERT_EQ(seq.size(), 4u);
+  EXPECT_TRUE(seq[0].is_node());
+  EXPECT_EQ(seq[0].node().handle, root);
+  EXPECT_TRUE(seq[1].is_node());
+  EXPECT_EQ(seq[1].node().handle, child);
+  EXPECT_TRUE(seq[2].is_constructed());
+  EXPECT_EQ(seq[2].constructed()->node_id, n1->node_id);
+  EXPECT_TRUE(seq[3].is_constructed());
+  EXPECT_EQ(seq[3].constructed()->node_id, n2->node_id);
+}
+
+TEST(SortDedupNodesTest, AtomicsAreNeitherReorderedNorDeduped) {
+  Sequence seq;
+  seq.push_back(Item(std::string("b")));
+  seq.push_back(Item(std::string("a")));
+  seq.push_back(Item(std::string("a")));
+  SortDedupNodes(&seq);
+  ASSERT_EQ(seq.size(), 3u);
+  EXPECT_EQ(seq[0].string(), "b");
+  EXPECT_EQ(seq[1].string(), "a");
+  EXPECT_EQ(seq[2].string(), "a");
+}
+
+// ---------------------------------------------------------------------------
+// NodeArena mechanics
+// ---------------------------------------------------------------------------
+
+TEST(NodeArenaTest, InternedTextIsStableAcrossGrowth) {
+  NodeArena arena;
+  const std::string_view first = arena.InternText("hello");
+  std::string big(1 << 17, 'x');  // forces a dedicated oversized block
+  const std::string_view huge = arena.InternText(big);
+  for (int i = 0; i < 1000; ++i) {
+    arena.InternText("some more text to roll the current block over");
+  }
+  EXPECT_EQ(first, "hello");  // earlier blocks never move
+  EXPECT_EQ(huge.size(), big.size());
+  EXPECT_EQ(huge, big);
+  const std::string_view empty = arena.InternText("");
+  EXPECT_NE(empty.data(), nullptr) << "empty text must still override "
+                                      "ConstructedNode::text";
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(NodeArenaTest, NodesAreDestroyedWithTheArena) {
+  // More nodes than one block holds; each gets heap-owning members that
+  // would leak (ASAN) if ~NodeArena skipped destructors.
+  NodeArena arena;
+  for (int i = 0; i < 200; ++i) {
+    ConstructedNode* node = arena.AllocateNode();
+    node->tag = "tag-long-enough-to-defeat-the-small-string-optimization";
+    node->children.emplace_back(Item(std::string("child")));
+  }
+  EXPECT_EQ(arena.nodes_allocated(), 200);
+}
+
+}  // namespace
+}  // namespace xmark::query

@@ -1,10 +1,10 @@
 // Property test: the evaluator must produce identical results under every
 // combination of optimizer features — the features may only change cost,
-// never semantics. Runs a representative query set over all 2^7 option
+// never semantics. Runs a representative query set over all 2^8 option
 // combinations against the fully-indexed native store, each combination
 // with the planner both on and off, plus cross-store Q1-Q20 byte-parity
 // for planner on vs off (the planner is a lowering of the interpreter, not
-// a semantic change).
+// a semantic change) and for arena construction on vs off.
 
 #include <gtest/gtest.h>
 
@@ -55,6 +55,7 @@ EvaluatorOptions FromMask(int mask) {
   options.lazy_let = mask & 16;
   options.cache_invariant_paths = mask & 32;
   options.descendant_cursors = mask & 64;
+  options.arena_construction = mask & 128;
   // The band join rides the join-strategy bit: mask 0 stays the fully
   // naive nested-loop baseline.
   options.band_join = options.hash_join;
@@ -63,8 +64,9 @@ EvaluatorOptions FromMask(int mask) {
 
 // Queries covering every feature: exact match (id index), regular paths
 // (tag/path index), reference chasing (hash join), value join (band join,
-// lazy let + invariant cache), plus ordered access and aggregation.
-const int kQueries[] = {1, 2, 6, 7, 8, 11, 12, 20};
+// lazy let + invariant cache), ordered access and aggregation, plus
+// template-heavy result construction (arena construction, Q10/Q13).
+const int kQueries[] = {1, 2, 6, 7, 8, 10, 11, 12, 13, 20};
 
 class OptionsMatrix : public ::testing::TestWithParam<int> {};
 
@@ -114,7 +116,7 @@ TEST_P(OptionsMatrix, PlannerLoweringIsByteIdentical) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllCombinations, OptionsMatrix,
-                         ::testing::Range(0, 128));
+                         ::testing::Range(0, 256));
 
 // Cross-store planner parity: Q1-Q20 on all four physical mappings, every
 // optimization on, planner on vs off — byte-identical serialized results.
@@ -171,6 +173,18 @@ TEST_P(PlannerStoreParity, Q1ToQ20ByteIdenticalPlannerOnOff) {
     EXPECT_EQ(SerializeSequence(*a), SerializeSequence(*b))
         << store->mapping_name() << " Q" << query
         << " diverges between planner and interpreter";
+
+    // Arena construction is a pure materialization strategy: planner on
+    // with the arena off must also match byte for byte.
+    EvaluatorOptions no_arena = on;
+    no_arena.arena_construction = false;
+    Evaluator heap_constructed(store, no_arena);
+    auto c = heap_constructed.Run(*parsed);
+    ASSERT_TRUE(c.ok()) << store->mapping_name() << " Q" << query << ": "
+                        << c.status();
+    EXPECT_EQ(SerializeSequence(*a), SerializeSequence(*c))
+        << store->mapping_name() << " Q" << query
+        << " diverges between arena and heap construction";
   }
 }
 

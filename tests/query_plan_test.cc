@@ -68,7 +68,7 @@ TEST(ExplainGolden, Q8ChoosesHashJoin) {
                       "probe=$p/@id"),
             std::string::npos)
       << text;
-  EXPECT_NE(text.find("summary: hash-join=1 band-count-join=0 "
+  EXPECT_NE(text.find("summary: hash-join=1 band-count-join=0 construct-template=1 "
                       "joinable-nested-loop=0"),
             std::string::npos)
       << text;
@@ -82,7 +82,7 @@ TEST(ExplainGolden, Q11ChoosesBandJoin) {
                 "[sort domain keys once, binary-search each probe]"),
       std::string::npos)
       << text;
-  EXPECT_NE(text.find("summary: hash-join=0 band-count-join=1 "
+  EXPECT_NE(text.find("summary: hash-join=0 band-count-join=1 construct-template=1 "
                       "joinable-nested-loop=0"),
             std::string::npos)
       << text;
@@ -91,7 +91,7 @@ TEST(ExplainGolden, Q11ChoosesBandJoin) {
 TEST(ExplainGolden, Q12ChoosesBandJoin) {
   const std::string text = ExplainQuery(Edge(), 12, EvaluatorOptions{});
   EXPECT_NE(text.find("band-count-join op=>"), std::string::npos) << text;
-  EXPECT_NE(text.find("summary: hash-join=0 band-count-join=1 "
+  EXPECT_NE(text.find("summary: hash-join=0 band-count-join=1 construct-template=1 "
                       "joinable-nested-loop=0"),
             std::string::npos)
       << text;
