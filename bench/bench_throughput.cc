@@ -1,0 +1,259 @@
+// Concurrent query serving throughput: N client threads, each with its own
+// EngineSession against one shared loaded store, draining a mixed Q1-Q20
+// workload. Reports QPS and latency percentiles per thread count — the
+// serving-side scaling the paper's single-user protocol (Tables 2/3) never
+// measures, enabled by immutable-after-load stores, the shared plan cache
+// and per-run evaluator state.
+//
+// Flags:
+//   --sf=0.05          scaling factor of the generated document
+//   --system=D         engine (A..F; G reloads per query and serves poorly
+//                      by design, but is accepted for contrast)
+//   --threads=0        max client threads (0 = hardware_concurrency);
+//                      measures 1, 2, 4, ... up to the max
+//   --iters=3          passes over the query mix per client thread
+//   --parallel-exec    additionally enable intra-query morsel parallelism
+//   --json             machine-readable output (docs/BENCHMARKS.md schema)
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "util/logging.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+#include "xmark/queries.h"
+#include "xmark/runner.h"
+
+namespace xmark::bench {
+namespace {
+
+// The serving mix: every benchmark query. Heavier queries (Q10-Q12)
+// dominate tail latency exactly as construction/join-heavy requests would
+// in a real mixed workload.
+std::vector<int> WorkloadQueries() {
+  std::vector<int> queries;
+  for (int q = 1; q <= 20; ++q) queries.push_back(q);
+  return queries;
+}
+
+struct RunResult {
+  unsigned threads = 0;
+  size_t queries = 0;
+  double wall_ms = 0;
+  double qps = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  uint64_t plan_cache_hits = 0;    // delta across this run
+  uint64_t plan_cache_misses = 0;  // delta across this run
+};
+
+double Percentile(std::vector<double>* latencies, double p) {
+  if (latencies->empty()) return 0;
+  std::sort(latencies->begin(), latencies->end());
+  const size_t idx = std::min(
+      latencies->size() - 1,
+      static_cast<size_t>(p * static_cast<double>(latencies->size())));
+  return (*latencies)[idx];
+}
+
+// One throughput measurement: `threads` clients, each with a private
+// session, each running `iters` passes over the workload. Each client
+// offsets its start position in the mix so concurrent clients are not in
+// lock-step on the same query.
+StatusOr<RunResult> MeasureThreads(Engine* engine, unsigned threads,
+                                   int iters,
+                                   const std::vector<int>& workload) {
+  std::vector<std::unique_ptr<EngineSession>> sessions;
+  for (unsigned t = 0; t < threads; ++t) {
+    XMARK_ASSIGN_OR_RETURN(auto session, engine->CreateSession());
+    sessions.push_back(std::move(session));
+  }
+  const query::PlanCacheStats before = engine->plan_cache_stats();
+
+  std::vector<std::vector<double>> latencies(threads);
+  std::vector<Status> failures(threads, Status::OK());
+  PhaseTimer wall;
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+      clients.emplace_back([&, t] {
+        EngineSession* session = sessions[t].get();
+        std::vector<double>& lat = latencies[t];
+        lat.reserve(workload.size() * static_cast<size_t>(iters));
+        for (int pass = 0; pass < iters; ++pass) {
+          for (size_t i = 0; i < workload.size(); ++i) {
+            const int q =
+                workload[(i + t * 7) % workload.size()];  // de-phase clients
+            PhaseTimer timer;
+            auto result = session->Run(GetQuery(q).text);
+            if (!result.ok()) {
+              failures[t] = result.status();
+              return;
+            }
+            lat.push_back(timer.ElapsedWallMillis());
+          }
+        }
+      });
+    }
+    for (std::thread& c : clients) c.join();
+  }
+  RunResult out;
+  out.wall_ms = wall.ElapsedWallMillis();
+  for (const Status& st : failures) {
+    if (!st.ok()) return st;
+  }
+
+  std::vector<double> merged;
+  for (const auto& lat : latencies) {
+    merged.insert(merged.end(), lat.begin(), lat.end());
+  }
+  const query::PlanCacheStats after = engine->plan_cache_stats();
+  out.threads = threads;
+  out.queries = merged.size();
+  out.qps = out.wall_ms > 0
+                ? 1000.0 * static_cast<double>(merged.size()) / out.wall_ms
+                : 0;
+  out.p50_ms = Percentile(&merged, 0.50);
+  out.p99_ms = Percentile(&merged, 0.99);
+  out.plan_cache_hits = after.hits - before.hits;
+  out.plan_cache_misses = after.misses - before.misses;
+  return out;
+}
+
+SystemId ParseSystem(int argc, char** argv) {
+  const std::string prefix = "--system=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind(prefix, 0) == 0) {
+      const char label = argv[i][prefix.size()];
+      for (SystemId id : kAllSystems) {
+        if (SystemLabel(id) == label) return id;
+      }
+    }
+  }
+  return SystemId::kD;
+}
+
+int Main(int argc, char** argv) {
+  const double sf = FlagDouble(argc, argv, "sf", 0.05);
+  const int iters = FlagInt(argc, argv, "iters", 3);
+  const bool json = FlagBool(argc, argv, "json");
+  const bool parallel_exec = FlagBool(argc, argv, "parallel-exec");
+  const unsigned hardware = std::thread::hardware_concurrency();
+  unsigned max_threads =
+      static_cast<unsigned>(FlagInt(argc, argv, "threads", 0));
+  if (max_threads == 0) max_threads = std::max(1u, hardware);
+  const SystemId system = ParseSystem(argc, argv);
+
+  BenchmarkRunner runner(sf);
+  const Status st = runner.LoadSystem(system);
+  if (!st.ok()) {
+    std::fprintf(stderr, "load %c: %s\n", SystemLabel(system),
+                 st.ToString().c_str());
+    return 1;
+  }
+  Engine* engine = runner.engine(system);
+  if (parallel_exec) {
+    query::EvaluatorOptions opts = engine->evaluator_options();
+    opts.parallel_exec.enabled = true;
+    engine->set_evaluator_options(opts);
+  }
+
+  const std::vector<int> workload = WorkloadQueries();
+  // Warmup: one serial pass primes the plan cache (and the allocator), so
+  // measured runs see steady-state serving.
+  {
+    auto warm = engine->CreateSession();
+    if (!warm.ok()) {
+      std::fprintf(stderr, "session: %s\n",
+                   warm.status().ToString().c_str());
+      return 1;
+    }
+    for (int q : workload) {
+      auto result = (*warm)->Run(GetQuery(q).text);
+      if (!result.ok()) {
+        std::fprintf(stderr, "warmup Q%d: %s\n", q,
+                     result.status().ToString().c_str());
+        return 1;
+      }
+    }
+  }
+
+  std::vector<unsigned> thread_counts;
+  for (unsigned t = 1; t < max_threads; t *= 2) thread_counts.push_back(t);
+  thread_counts.push_back(max_threads);
+
+  std::vector<RunResult> runs;
+  for (unsigned threads : thread_counts) {
+    auto result = MeasureThreads(engine, threads, iters, workload);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%u threads: %s\n", threads,
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    runs.push_back(*result);
+  }
+
+  if (!json) {
+    std::printf("=== Concurrent serving throughput: system %c, sf %g ===\n",
+                SystemLabel(system), sf);
+    std::printf("hardware_concurrency %u, %d passes over Q1-Q20 per "
+                "client, parallel_exec %s\n\n",
+                hardware, iters, parallel_exec ? "on" : "off");
+    TablePrinter table({"threads", "queries", "wall (ms)", "QPS",
+                        "p50 (ms)", "p99 (ms)", "cache hits", "misses"});
+    for (const RunResult& run : runs) {
+      table.AddRow({std::to_string(run.threads),
+                    std::to_string(run.queries),
+                    StringPrintf("%.1f", run.wall_ms),
+                    StringPrintf("%.1f", run.qps),
+                    StringPrintf("%.2f", run.p50_ms),
+                    StringPrintf("%.2f", run.p99_ms),
+                    std::to_string(run.plan_cache_hits),
+                    std::to_string(run.plan_cache_misses)});
+    }
+    std::printf("%s", table.ToString().c_str());
+    if (runs.size() > 1) {
+      std::printf("\nscaling: %.2fx QPS at %u threads vs 1 thread\n",
+                  runs.back().qps / std::max(1e-6, runs.front().qps),
+                  runs.back().threads);
+    }
+  } else {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("bench").Value(std::string_view("throughput"));
+    w.Key("scale").Value(sf);
+    const char label[2] = {SystemLabel(system), '\0'};
+    w.Key("system").Value(std::string_view(label));
+    w.Key("hardware_concurrency").Value(static_cast<int64_t>(hardware));
+    w.Key("iters").Value(iters);
+    w.Key("parallel_exec").Value(parallel_exec);
+    w.Key("runs").BeginArray();
+    for (const RunResult& run : runs) {
+      w.BeginObject();
+      w.Key("threads").Value(static_cast<int64_t>(run.threads));
+      w.Key("queries").Value(run.queries);
+      w.Key("wall_ms").Value(run.wall_ms);
+      w.Key("qps").Value(run.qps);
+      w.Key("p50_ms").Value(run.p50_ms);
+      w.Key("p99_ms").Value(run.p99_ms);
+      w.Key("plan_cache_hits").Value(static_cast<int64_t>(run.plan_cache_hits));
+      w.Key("plan_cache_misses")
+          .Value(static_cast<int64_t>(run.plan_cache_misses));
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+    std::printf("%s\n", w.str().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace xmark::bench
+
+int main(int argc, char** argv) { return xmark::bench::Main(argc, argv); }

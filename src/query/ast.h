@@ -1,6 +1,7 @@
 #ifndef XMARK_QUERY_AST_H_
 #define XMARK_QUERY_AST_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -64,10 +65,35 @@ struct Step {
   // is interned against the active store's dictionary on first use, so a
   // step applied millions of times pays one dictionary probe. Keyed on the
   // store's never-recycled uid (0 = unresolved), not its address, so a
-  // freed store cannot validate a stale NameId. Evaluating one AST from
-  // multiple threads is not supported (plain mutable writes).
-  mutable uint64_t name_cache_uid = 0;
-  mutable xml::NameId name_cache_id = xml::kInvalidName;
+  // freed store cannot validate a stale NameId. The id is published before
+  // the uid (release/acquire), so concurrent evaluations of one AST
+  // against a single store — the plan-cache arrangement — are safe;
+  // evaluating one AST against different stores concurrently is not.
+  mutable std::atomic<uint64_t> name_cache_uid{0};
+  mutable std::atomic<xml::NameId> name_cache_id{xml::kInvalidName};
+
+  // The atomics delete the implicit copy/move members; steps only ever
+  // migrate single-threaded (parser construction), so a relaxed snapshot
+  // of the cache is enough.
+  Step() = default;
+  Step(Step&& other) noexcept
+      : axis(other.axis),
+        test(other.test),
+        name(std::move(other.name)),
+        predicates(std::move(other.predicates)),
+        name_cache_uid(other.name_cache_uid.load(std::memory_order_relaxed)),
+        name_cache_id(other.name_cache_id.load(std::memory_order_relaxed)) {}
+  Step& operator=(Step&& other) noexcept {
+    axis = other.axis;
+    test = other.test;
+    name = std::move(other.name);
+    predicates = std::move(other.predicates);
+    name_cache_uid.store(other.name_cache_uid.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+    name_cache_id.store(other.name_cache_id.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    return *this;
+  }
 };
 
 /// for/let clause of a FLWOR (or the binding list of a quantifier).
@@ -147,9 +173,12 @@ struct ParsedQuery {
   std::vector<FunctionDecl> functions;
   AstPtr body;
   // Distinct variable names in the module, indexed by slot (filled by
-  // ResolveVariableSlots; ParseQueryText resolves before returning, and
-  // Evaluator::Run re-resolves — idempotently — before every run).
+  // ResolveVariableSlots; ParseQueryText resolves before returning).
   std::vector<std::string> var_names;
+  // Set by ResolveVariableSlots(ParsedQuery&). Evaluator::Run resolves
+  // only while this is false, so a parsed module shared by concurrent
+  // runs (the plan cache) is never mutated after compilation.
+  bool slots_resolved = false;
 };
 
 /// Interns every variable name of the module into a dense slot space:

@@ -8,6 +8,7 @@
 #include "query/optimizer.h"
 #include "util/logging.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace xmark::query {
 
@@ -38,6 +39,22 @@ int CompareSortKeys(const SortKey& a, const SortKey& b) {
   return a.str.compare(b.str);
 }
 
+// Resolves a step's element name against the store dictionary through the
+// per-step cache. The cache fields are atomics: the id is published before
+// the uid (release), and a reader that observes the uid (acquire) is
+// guaranteed the matching id — safe for any number of threads evaluating
+// one AST against a single store (the plan-cache arrangement).
+xml::NameId ResolvedStepName(const Step& step, const StorageAdapter* store) {
+  const uint64_t uid = store->store_uid();
+  if (step.name_cache_uid.load(std::memory_order_acquire) == uid) {
+    return step.name_cache_id.load(std::memory_order_relaxed);
+  }
+  const xml::NameId id = store->names().Lookup(step.name);
+  step.name_cache_id.store(id, std::memory_order_relaxed);
+  step.name_cache_uid.store(uid, std::memory_order_release);
+  return id;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -55,14 +72,31 @@ Evaluator::Evaluator(const StorageAdapter* store,
 
 Evaluator::~Evaluator() = default;
 
-StatusOr<Sequence> Evaluator::Run(const ParsedQuery& query) {
+ThreadPool* Evaluator::ExecPool() {
+  if (!options_.parallel_exec.enabled) return nullptr;
+  if (exec_pool_ == nullptr) {
+    unsigned threads = options_.parallel_exec.threads;
+    if (threads == 0) threads = std::thread::hardware_concurrency();
+    if (threads <= 1) return nullptr;  // a 1-worker pool is just overhead
+    exec_pool_ = std::make_unique<ThreadPool>(threads);
+  }
+  return exec_pool_->worker_count() > 1 ? exec_pool_.get() : nullptr;
+}
+
+StatusOr<Sequence> Evaluator::Run(
+    const ParsedQuery& query,
+    std::shared_ptr<const PlanAnnotations> shared_annotations) {
   current_query_ = &query;
-  // Always re-resolve: the pass is deterministic and idempotent, covers
-  // hand-built queries that bypassed the parser, and repairs slot
-  // numbering if RunExpr was called on a subtree of this module. ASTs are
-  // never genuinely const objects in this codebase, so writing through
-  // the const reference is defined.
-  ResolveVariableSlots(const_cast<ParsedQuery&>(query));
+  // Resolve slots only once per parsed module: ParseQueryText resolves
+  // before returning (setting slots_resolved), so a module shared by
+  // concurrent runs through the plan cache is never mutated here. Only
+  // hand-built queries that bypassed the parser still resolve lazily —
+  // those are single-threaded by construction (tests). ASTs are never
+  // genuinely const objects in this codebase, so writing through the
+  // const reference is defined.
+  if (!query.slots_resolved) {
+    ResolveVariableSlots(const_cast<ParsedQuery&>(query));
+  }
   slot_count_ = query.var_names.size();
   functions_.clear();
   for (const FunctionDecl& f : query.functions) {
@@ -73,17 +107,29 @@ StatusOr<Sequence> Evaluator::Run(const ParsedQuery& query) {
     }
   }
   // A fresh plan per run owns every cache (hash-join tables, band domains,
-  // invariant memos), so state can never leak across documents.
+  // invariant memos), so state can never leak across documents. The
+  // compile-time annotations may be adopted from the plan cache instead
+  // of rebuilt — but only when they were lowered for this exact store and
+  // option fingerprint.
   plan_ = std::make_unique<QueryPlan>();
-  plan_->store_name = std::string(store_->mapping_name());
-  plan_->caps = caps_;
-  plan_->options = options_;
+  PlanAnnotations* local = plan_->mutable_annotations();
+  local->store_name = std::string(store_->mapping_name());
+  local->store_uid = store_->store_uid();
+  local->caps = caps_;
+  local->options = options_;
   if (options_.use_planner) {
-    BuildPlan(query, *store_, options_, plan_.get());
+    if (shared_annotations != nullptr &&
+        shared_annotations->store_uid == store_->store_uid() &&
+        OptionsFingerprint(shared_annotations->options) ==
+            OptionsFingerprint(options_)) {
+      plan_->AdoptShared(std::move(shared_annotations));
+    } else {
+      BuildPlan(query, *store_, options_, local);
+    }
   }
   stats_ = Stats{};
   stats_.construct_templates_built =
-      static_cast<int64_t>(plan_->constructs.size());
+      static_cast<int64_t>(plan_->ann().constructs.size());
   udf_depth_ = 0;
 
   Environment env(slot_count_);
@@ -105,15 +151,17 @@ StatusOr<Sequence> Evaluator::RunExpr(const AstNode& expr) {
   slot_count_ = static_cast<size_t>(
       ResolveVariableSlots(const_cast<AstNode&>(expr)));
   plan_ = std::make_unique<QueryPlan>();
-  plan_->store_name = std::string(store_->mapping_name());
-  plan_->caps = caps_;
-  plan_->options = options_;
+  PlanAnnotations* local = plan_->mutable_annotations();
+  local->store_name = std::string(store_->mapping_name());
+  local->store_uid = store_->store_uid();
+  local->caps = caps_;
+  local->options = options_;
   if (options_.use_planner) {
-    BuildExprPlan(expr, *store_, options_, plan_.get());
+    BuildExprPlan(expr, *store_, options_, local);
   }
   stats_ = Stats{};
   stats_.construct_templates_built =
-      static_cast<int64_t>(plan_->constructs.size());
+      static_cast<int64_t>(plan_->ann().constructs.size());
   Environment env(slot_count_);
   const int64_t spills_before = SequenceHeapSpills();
   auto result = Eval(expr, env, nullptr);
@@ -241,11 +289,7 @@ Status Evaluator::ApplyStep(const Step& step, const StepPlan* planned,
 
   xml::NameId want = xml::kInvalidName;
   if (step.test == Step::Test::kName && step.axis != Axis::kAttribute) {
-    if (step.name_cache_uid != store_->store_uid()) {
-      step.name_cache_id = store_->names().Lookup(step.name);
-      step.name_cache_uid = store_->store_uid();
-    }
-    want = step.name_cache_id;
+    want = ResolvedStepName(step, store_);
     if (want == xml::kInvalidName) {
       // Tag never occurs in the document: result is empty. (The paper's
       // closing remark — warning about path expressions with non-existing
@@ -367,7 +411,8 @@ Status Evaluator::ApplyStep(const Step& step, const StepPlan* planned,
     Sequence& group = group_in_output ? *output : group_storage;
     if (!group_in_output) group.clear();
     scan.Open(store_, base, planned->access, filter, want,
-              options_.child_cursors, &stats_);
+              options_.child_cursors, &stats_, ExecPool(),
+              options_.parallel_exec.min_morsel_ids);
     NodeHandle buf[kBatch];
     size_t n;
     while ((n = scan.Fill(buf, kBatch)) > 0) {
@@ -518,12 +563,16 @@ StatusOr<Sequence> Evaluator::EvalPath(const AstNode& node, Environment& env,
 // ---------------------------------------------------------------------------
 
 const FlworPlan& Evaluator::FlworPlanFor(const AstNode& flwor) {
-  FlworPlan* existing = plan_->FindFlwor(&flwor);
+  const FlworPlan* existing = plan_->FindFlwor(&flwor);
   if (existing != nullptr) return *existing;
   // Legacy interpreter mode: analyze on first visit, cache for the run.
+  // The entry lands in the plan's local annotations — an adopted shared
+  // plan is immutable (and already complete for planner mode anyway).
   FlworPlan computed;
   AnalyzeFlworJoin(flwor, options_, &computed);
-  return plan_->flwors.emplace(&flwor, std::move(computed)).first->second;
+  return plan_->mutable_annotations()
+      ->flwors.emplace(&flwor, std::move(computed))
+      .first->second;
 }
 
 StatusOr<Sequence> Evaluator::EvalHashJoin(const AstNode& node,
@@ -596,7 +645,7 @@ StatusOr<int64_t> Evaluator::BandCount(int slot, Environment& env,
   if (it == plan_->band_state.end()) {
     auto built = std::make_unique<BandJoinIndex>();
     XMARK_RETURN_IF_ERROR(built->Build(band, slot_count_, eval_fn_,
-                                       &stats_));
+                                       &stats_, ExecPool()));
     index = built.get();
     plan_->band_state.emplace(band.flwor, std::move(built));
   } else {
@@ -861,11 +910,7 @@ bool StreamSteps(const StorageAdapter* store, EvalStats* stats,
   ChildFilter filter = ChildFilter::kText;
   xml::NameId want = xml::kInvalidName;
   if (step.test == Step::Test::kName) {
-    if (step.name_cache_uid != store->store_uid()) {
-      step.name_cache_id = store->names().Lookup(step.name);
-      step.name_cache_uid = store->store_uid();
-    }
-    want = step.name_cache_id;
+    want = ResolvedStepName(step, store);
     if (want == xml::kInvalidName) return false;  // tag absent: empty result
     filter = ChildFilter::kTag;
   }

@@ -13,6 +13,10 @@
 #include "query/value.h"
 #include "util/status.h"
 
+namespace xmark {
+class ThreadPool;
+}
+
 namespace xmark::query {
 
 /// XQuery-subset engine over a StorageAdapter, layered as
@@ -34,7 +38,13 @@ class Evaluator {
   ~Evaluator();
 
   /// Evaluates a parsed query module and returns the result sequence.
-  StatusOr<Sequence> Run(const ParsedQuery& query);
+  /// `shared_annotations` (optional) is a cached compilation from the plan
+  /// cache: it is adopted — skipping BuildPlan — when it was built for
+  /// this store (uid) under the same options fingerprint, and ignored
+  /// otherwise. Per-run executor state is always private to this run.
+  StatusOr<Sequence> Run(
+      const ParsedQuery& query,
+      std::shared_ptr<const PlanAnnotations> shared_annotations = nullptr);
 
   /// Evaluates a bare expression (no prolog). Used by tests.
   StatusOr<Sequence> RunExpr(const AstNode& expr);
@@ -92,6 +102,11 @@ class Evaluator {
   std::optional<bool> TryAttributeCompare(const AstNode& node,
                                           const Focus* focus);
 
+  /// Worker pool for intra-query morsel parallelism. Null when
+  /// options_.parallel_exec is off or resolves to a single worker; created
+  /// lazily on first use and reused across runs of this evaluator.
+  ThreadPool* ExecPool();
+
   const StorageAdapter* store_;
   EvaluatorOptions options_;
   StorageCapabilities caps_;  // snapshot taken at construction
@@ -106,6 +121,7 @@ class Evaluator {
   const ParsedQuery* current_query_ = nullptr;
   std::unordered_map<std::string, const FunctionDecl*> functions_;
   std::unique_ptr<QueryPlan> plan_;  // per-run plan + caches
+  std::unique_ptr<ThreadPool> exec_pool_;  // morsel workers (parallel_exec)
   int udf_depth_ = 0;
 };
 

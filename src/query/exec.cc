@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace xmark::query {
 
@@ -13,7 +14,8 @@ namespace xmark::query {
 
 void NodeScan::Open(const StorageAdapter* store, NodeHandle base,
                     StepPlan::Access access, ChildFilter filter,
-                    xml::NameId tag, bool child_cursors, EvalStats* stats) {
+                    xml::NameId tag, bool child_cursors, EvalStats* stats,
+                    ThreadPool* pool, size_t min_morsel_ids) {
   store_ = store;
   stats_ = stats;
   child_cursors_ = child_cursors;
@@ -48,11 +50,20 @@ void NodeScan::Open(const StorageAdapter* store, NodeHandle base,
       chain_ = store->FirstChild(base);
       mode_ = Mode::kChildChain;
       return;
-    case StepPlan::Access::kDescendantCursor:
+    case StepPlan::Access::kDescendantCursor: {
       store->OpenDescendantCursor(base, filter, tag, &descendant_cursor_);
       ++stats->descendant_scans;
       mode_ = Mode::kDescendantCursor;
+      const uint64_t span = descendant_cursor_.u1 > descendant_cursor_.u0
+                                ? descendant_cursor_.u1 - descendant_cursor_.u0
+                                : 0;
+      if (pool != nullptr && pool->worker_count() > 1 &&
+          min_morsel_ids > 0 && span >= min_morsel_ids &&
+          store->DescendantCursorPartitionable(descendant_cursor_)) {
+        DrainMorsels(pool, span);
+      }
       return;
+    }
     case StepPlan::Access::kTagIndex: {
       auto from_index = store->DescendantsByTag(base, tag);
       if (from_index.has_value()) {
@@ -73,6 +84,52 @@ void NodeScan::Open(const StorageAdapter* store, NodeHandle base,
       return;
   }
   mode_ = Mode::kDone;
+}
+
+// Morsel-parallel drain of a partitionable descendant cursor: split the
+// cursor's [u0, u1) position interval into deterministic chunks
+// (ChunkBounds depends only on span and worker count), drain each chunk
+// through a clamped COPY of the open cursor into a private buffer, then
+// concatenate the buffers in chunk order. Because the store declared the
+// cursor partitionable, every chunk emits exactly the serial scan's
+// matches for its sub-range, in order — so the concatenation is
+// byte-identical to the serial drain for any chunking. Workers touch no
+// shared state (stats are settled once below), and the scan converts to
+// kMaterialized so Fill never consults the cursor again.
+void NodeScan::DrainMorsels(ThreadPool* pool, uint64_t span) {
+  const std::vector<size_t> bounds =
+      ChunkBounds(static_cast<size_t>(span), pool->worker_count());
+  const size_t chunks = bounds.size() - 1;
+  std::vector<std::vector<NodeHandle>> parts(chunks);
+  for (size_t k = 0; k < chunks; ++k) {
+    if (bounds[k] == bounds[k + 1]) continue;
+    pool->Submit([this, &bounds, &parts, k] {
+      DescendantCursor cur = descendant_cursor_;  // clamped copy
+      const uint64_t origin = descendant_cursor_.u0;
+      cur.u0 = origin + bounds[k];
+      cur.u1 = origin + bounds[k + 1];
+      std::vector<NodeHandle>& out = parts[k];
+      constexpr size_t kBatch = 256;
+      NodeHandle buf[kBatch];
+      size_t n;
+      while ((n = cur.Fill(buf, kBatch)) > 0) {
+        out.insert(out.end(), buf, buf + n);
+      }
+    });
+  }
+  pool->Wait();
+  size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  materialized_.clear();
+  materialized_.reserve(total);
+  for (const auto& p : parts) {
+    materialized_.insert(materialized_.end(), p.begin(), p.end());
+  }
+  // Serial parity: the serial descendant drain counts one visited node per
+  // emitted match (cursor Fill adds the match count per batch).
+  stats_->nodes_visited += static_cast<int64_t>(total);
+  materialized_pos_ = 0;
+  mode_ = Mode::kMaterialized;
 }
 
 // Children of `parent` in document order, gathered with one batched
@@ -214,7 +271,8 @@ std::optional<double> BandNumericValue(const Item& item,
 }
 
 Status BandJoinIndex::Build(const BandJoinPlan& plan, size_t slot_count,
-                            const EvalFn& eval, EvalStats* stats) {
+                            const EvalFn& eval, EvalStats* stats,
+                            ThreadPool* pool) {
   valid_ = false;
   keys_.clear();
   Environment inner_env(slot_count);
@@ -234,7 +292,10 @@ Status BandJoinIndex::Build(const BandJoinPlan& plan, size_t slot_count,
     if (std::isnan(*num)) continue;  // NaN compares false against anything
     keys_.push_back(*num);
   }
-  std::sort(keys_.begin(), keys_.end());
+  // Keys are plain doubles (NaNs already dropped), so a stable sort orders
+  // them identically to std::sort; ParallelStableSort is deterministic for
+  // any worker count, making the parallel build byte-identical to serial.
+  ParallelStableSort(pool, keys_.begin(), keys_.end(), std::less<double>());
   valid_ = true;
   ++stats->band_joins_built;
   return Status::OK();

@@ -36,6 +36,10 @@
 #include "util/status.h"
 #include "util/string_util.h"
 
+namespace xmark {
+class ThreadPool;
+}
+
 namespace xmark::query {
 
 // ---------------------------------------------------------------------------
@@ -136,9 +140,17 @@ class NodeScan {
   /// `child_cursors` mirrors EvaluatorOptions::child_cursors: it selects
   /// the batched cursor (vs the virtual sibling chain) for that fallback
   /// and for the per-element child collection inside the DFS.
+  /// `pool` (optional) enables morsel-parallel draining of descendant
+  /// scans whose cursor spans at least `min_morsel_ids` positions and
+  /// whose store declares the cursor partitionable: the position interval
+  /// is split into deterministic chunks, each drained by a worker into a
+  /// private buffer, and the buffers are concatenated in chunk order —
+  /// byte-identical to the serial scan for any chunking, since every
+  /// morsel emits in id order and chunks cover ascending id ranges.
   void Open(const StorageAdapter* store, NodeHandle base,
             StepPlan::Access access, ChildFilter filter, xml::NameId tag,
-            bool child_cursors, EvalStats* stats);
+            bool child_cursors, EvalStats* stats, ThreadPool* pool = nullptr,
+            size_t min_morsel_ids = 0);
 
   /// Copies up to `cap` matching handles into `out` in document order;
   /// returns the number written. 0 signals exhaustion.
@@ -157,6 +169,9 @@ class NodeScan {
   void OpenDfs(NodeHandle base);
   size_t FillDfs(NodeHandle* out, size_t cap);
   void CollectChildren(NodeHandle parent, std::vector<NodeHandle>* out);
+  /// Drains the open descendant cursor (spanning `span` positions) in
+  /// parallel chunks and converts the scan to kMaterialized.
+  void DrainMorsels(ThreadPool* pool, uint64_t span);
 
   const StorageAdapter* store_ = nullptr;
   EvalStats* stats_ = nullptr;
@@ -216,8 +231,11 @@ class BandJoinIndex {
   /// binding's inner side fails to evaluate or yields a non-number, the
   /// index is marked invalid and the caller falls back to the nested loop
   /// (which reproduces the interpreter's behavior, including its errors).
+  /// `pool` (optional) runs the domain-key sort partitioned
+  /// (ParallelStableSort); probe results are identical either way.
   Status Build(const BandJoinPlan& plan, size_t slot_count,
-               const EvalFn& eval, EvalStats* stats);
+               const EvalFn& eval, EvalStats* stats,
+               ThreadPool* pool = nullptr);
 
   bool valid() const { return valid_; }
   size_t domain_size() const { return keys_.size(); }

@@ -488,7 +488,7 @@ ConstructPlan LowerConstructor(const AstNode& ctor) {
 namespace {
 
 void LowerNode(const AstNode& node, const EvaluatorOptions& options,
-               const StorageCapabilities& caps, QueryPlan* plan) {
+               const StorageCapabilities& caps, PlanAnnotations* plan) {
   if (node.kind == AstKind::kPath) {
     plan->paths.emplace(&node, ComputePathPlan(node, options, caps));
   } else if (node.kind == AstKind::kFlwor) {
@@ -537,9 +537,10 @@ void LowerNode(const AstNode& node, const EvaluatorOptions& options,
 }  // namespace
 
 void BuildPlan(const ParsedQuery& query, const StorageAdapter& store,
-               const EvaluatorOptions& options, QueryPlan* plan) {
+               const EvaluatorOptions& options, PlanAnnotations* plan) {
   plan->built_by_optimizer = true;
   plan->store_name = std::string(store.mapping_name());
+  plan->store_uid = store.store_uid();
   plan->caps = store.Capabilities();
   plan->options = options;
   for (const FunctionDecl& f : query.functions) {
@@ -549,9 +550,10 @@ void BuildPlan(const ParsedQuery& query, const StorageAdapter& store,
 }
 
 void BuildExprPlan(const AstNode& expr, const StorageAdapter& store,
-                   const EvaluatorOptions& options, QueryPlan* plan) {
+                   const EvaluatorOptions& options, PlanAnnotations* plan) {
   plan->built_by_optimizer = true;
   plan->store_name = std::string(store.mapping_name());
+  plan->store_uid = store.store_uid();
   plan->caps = store.Capabilities();
   plan->options = options;
   LowerNode(expr, options, plan->caps, plan);

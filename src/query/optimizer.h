@@ -92,13 +92,15 @@ bool AnalyzeBandLet(const AstNode& outer_flwor, size_t clause_index,
 ConstructPlan LowerConstructor(const AstNode& ctor);
 
 /// Lowers a parsed query against one store + option set. Fills path plans,
-/// FLWOR strategies, band-join lets and constructor templates.
+/// FLWOR strategies, band-join lets and constructor templates into the
+/// annotation set (a QueryPlan's local annotations, or a standalone
+/// PlanAnnotations destined for the plan cache).
 void BuildPlan(const ParsedQuery& query, const StorageAdapter& store,
-               const EvaluatorOptions& options, QueryPlan* plan);
+               const EvaluatorOptions& options, PlanAnnotations* plan);
 
 /// BuildPlan for a bare expression (tests, RunExpr).
 void BuildExprPlan(const AstNode& expr, const StorageAdapter& store,
-                   const EvaluatorOptions& options, QueryPlan* plan);
+                   const EvaluatorOptions& options, PlanAnnotations* plan);
 
 }  // namespace xmark::query
 

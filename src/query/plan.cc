@@ -10,6 +10,30 @@ namespace xmark::query {
 QueryPlan::QueryPlan() = default;
 QueryPlan::~QueryPlan() = default;
 
+uint64_t OptionsFingerprint(const EvaluatorOptions& o) {
+  uint64_t f = 0;
+  const auto bit = [&f](bool b) { f = (f << 1) | (b ? 1u : 0u); };
+  bit(o.use_id_index);
+  bit(o.use_path_index);
+  bit(o.use_tag_index);
+  bit(o.hash_join);
+  bit(o.band_join);
+  bit(o.lazy_let);
+  bit(o.cache_invariant_paths);
+  bit(o.copy_results);
+  bit(o.use_planner);
+  bit(o.zero_copy_strings);
+  bit(o.child_cursors);
+  bit(o.descendant_cursors);
+  bit(o.arena_construction);
+  bit(o.parallel_exec.enabled);
+  // Execution-only knobs still key the cache: simpler one-key scheme, and
+  // sessions with different morsel settings just compile one entry each.
+  f |= static_cast<uint64_t>(o.parallel_exec.threads & 0xffffu) << 16;
+  f ^= static_cast<uint64_t>(o.parallel_exec.min_morsel_ids) << 32;
+  return f;
+}
+
 const char* StepAccessName(StepPlan::Access access) {
   switch (access) {
     case StepPlan::Access::kAttribute:
@@ -62,10 +86,11 @@ class ExplainPrinter {
 
  private:
   void Header() {
-    const EvaluatorOptions& o = plan_.options;
-    out_ += "plan store=" + (plan_.store_name.empty() ? std::string("?")
-                                                      : plan_.store_name) +
-            " planner=" + (plan_.built_by_optimizer ? "on" : "off") + "\n";
+    const PlanAnnotations& a = plan_.ann();
+    const EvaluatorOptions& o = a.options;
+    out_ += "plan store=" + (a.store_name.empty() ? std::string("?")
+                                                  : a.store_name) +
+            " planner=" + (a.built_by_optimizer ? "on" : "off") + "\n";
     out_ += StringPrintf(
         "options: id-index=%d path-index=%d tag-index=%d hash-join=%d "
         "band-join=%d lazy-let=%d invariant-cache=%d child-cursors=%d "
@@ -73,7 +98,7 @@ class ExplainPrinter {
         o.use_id_index, o.use_path_index, o.use_tag_index, o.hash_join,
         o.band_join, o.lazy_let, o.cache_invariant_paths, o.child_cursors,
         o.descendant_cursors, o.arena_construction);
-    const StorageCapabilities& c = plan_.caps;
+    const StorageCapabilities& c = a.caps;
     out_ += StringPrintf(
         "capabilities: id-lookup=%d tag-index=%d path-index=%d "
         "children-by-tag=%d interval-descendants=%d\n",
@@ -182,8 +207,7 @@ class ExplainPrinter {
 
   void Flwor(const AstNode& n, int depth) {
     std::string line = "flwor strategy=";
-    auto it = plan_.flwors.find(&n);
-    const FlworPlan* fp = it == plan_.flwors.end() ? nullptr : &it->second;
+    const FlworPlan* fp = plan_.FindFlwor(&n);
     if (fp != nullptr && fp->strategy == FlworPlan::Strategy::kHashJoin) {
       line += "hash-join key=" + PathSpecOf(fp->hash.inner_key) +
               " probe=" + PathSpecOf(fp->hash.outer_key);
@@ -194,7 +218,7 @@ class ExplainPrinter {
       line += "nested-loop";
       if (fp != nullptr && fp->join_shape) line += " (joinable!)";
       if (fp != nullptr && fp->band_shape &&
-          plan_.band_lets.find(&n) == plan_.band_lets.end()) {
+          plan_.ann().band_lets.find(&n) == plan_.ann().band_lets.end()) {
         line += " (band-shape)";
       }
     }
@@ -341,16 +365,17 @@ std::string QueryPlan::ExplainExpr(const AstNode& expr) const {
 }
 
 QueryPlan::Summary QueryPlan::Summarize() const {
+  const PlanAnnotations& a = ann();
   Summary s;
-  s.band_joins = static_cast<int>(band_lets.size());
-  s.construct_templates = static_cast<int>(constructs.size());
-  for (const auto& [node, fp] : flwors) {
+  s.band_joins = static_cast<int>(a.band_lets.size());
+  s.construct_templates = static_cast<int>(a.constructs.size());
+  for (const auto& [node, fp] : a.flwors) {
     if (fp.strategy == FlworPlan::Strategy::kHashJoin) {
       ++s.hash_joins;
     } else if (fp.join_shape) {
       ++s.joinable_nested_loops;  // decorrelatable but toggled off
     } else if (fp.band_shape &&
-               band_lets.find(node) == band_lets.end()) {
+               a.band_lets.find(node) == a.band_lets.end()) {
       ++s.joinable_nested_loops;  // band shape not converted
     }
   }

@@ -91,7 +91,30 @@ struct EvaluatorOptions {
   /// (templates are plan annotations); output is byte-identical either
   /// way.
   bool arena_construction = true;
+
+  /// Intra-query morsel parallelism. Large descendant/tag-index scans are
+  /// partitioned into preorder-id morsels drained by a util/thread_pool
+  /// worker team, and the band-join domain sort runs partitioned. Results
+  /// are byte-identical to serial execution: each morsel emits in id
+  /// order and morsels are concatenated in id order, which reproduces the
+  /// serial emission exactly for any chunking.
+  struct ParallelExec {
+    bool enabled = false;
+    /// Worker count; 0 = hardware_concurrency. A resolved count of 1
+    /// falls back to the serial path.
+    unsigned threads = 0;
+    /// Minimum cursor positions (ids or tag-index slots) before a scan is
+    /// worth splitting; below this the serial drain wins. Tests set 1 to
+    /// force morsels on tiny documents.
+    size_t min_morsel_ids = 4096;
+  };
+  ParallelExec parallel_exec;
 };
+
+/// Order-independent fingerprint of every option that affects plan
+/// construction or execution strategy. The plan cache keys on it: two
+/// sessions share a compiled query only when their toggles agree.
+uint64_t OptionsFingerprint(const EvaluatorOptions& options);
 
 /// Statistics from one evaluator run (exposed for ablation benchmarks).
 struct EvalStats {
@@ -116,6 +139,27 @@ struct EvalStats {
                                       // = nodes_constructed - this)
   int64_t construct_templates_built = 0;  // ConstructPlans lowered by the
                                           // optimizer for this run
+
+  /// Accumulates `other` into this (engine-level cumulative serving
+  /// stats: each run's counters are merged under the engine's mutex at
+  /// query completion, so concurrent sessions never share a counter).
+  void MergeFrom(const EvalStats& other) {
+    nodes_visited += other.nodes_visited;
+    hash_joins_built += other.hash_joins_built;
+    band_joins_built += other.band_joins_built;
+    band_join_rows += other.band_join_rows;
+    index_lookups += other.index_lookups;
+    cursor_scans += other.cursor_scans;
+    descendant_scans += other.descendant_scans;
+    allocations_avoided += other.allocations_avoided;
+    compare_allocs += other.compare_allocs;
+    join_probes += other.join_probes;
+    join_probe_allocs += other.join_probe_allocs;
+    sequence_heap_spills += other.sequence_heap_spills;
+    nodes_constructed += other.nodes_constructed;
+    nodes_arena_allocated += other.nodes_arena_allocated;
+    construct_templates_built += other.construct_templates_built;
+  }
 };
 
 /// Planned access path for one path step, resolved from options x store
@@ -237,11 +281,31 @@ struct FlworPlan {
   HashJoinPlan hash;
 };
 
+/// The compile-time half of a lowered query: strategy annotations filled
+/// by the optimizer for one (query, store uid, options fingerprint)
+/// triple. Immutable once built, which is what lets the plan cache hand
+/// one instance to any number of concurrent runs via shared_ptr<const>.
+/// Maps are keyed by AstNode address; annotations must never outlive the
+/// ParsedQuery they were lowered from (the cache stores both together).
+struct PlanAnnotations {
+  bool built_by_optimizer = false;
+  std::string store_name;       // mapping_name at plan time (Explain)
+  uint64_t store_uid = 0;       // store identity the plan was built for
+  StorageCapabilities caps;     // capability snapshot at plan time
+  EvaluatorOptions options;     // toggles the plan was built under
+  std::unordered_map<const AstNode*, PathPlan> paths;
+  std::unordered_map<const AstNode*, FlworPlan> flwors;
+  std::unordered_map<const AstNode*, BandJoinPlan> band_lets;
+  std::unordered_map<const AstNode*, ConstructPlan> constructs;
+};
+
 /// A query lowered against one store + option set: per-node strategy
 /// annotations plus the per-run executor state (hash-join tables, band
 /// domains, invariant-path memos). One QueryPlan instance belongs to one
 /// Evaluator::Run — caches cannot survive into a run over a different
-/// document by construction.
+/// document by construction. The annotations half may instead be ADOPTED
+/// from the plan cache (shared, const); the per-run state below is always
+/// exclusive to this run.
 class QueryPlan {
  public:
   QueryPlan();
@@ -249,25 +313,47 @@ class QueryPlan {
   QueryPlan(const QueryPlan&) = delete;
   QueryPlan& operator=(const QueryPlan&) = delete;
 
+  /// The active annotation view: the shared (cached) annotations when one
+  /// was adopted, else the locally built ones.
+  const PlanAnnotations& ann() const { return shared_ ? *shared_ : local_; }
+  /// The locally owned annotations (optimizer output target; also the
+  /// overflow target for legacy-mode lazy FLWOR entries).
+  PlanAnnotations* mutable_annotations() { return &local_; }
+  /// Adopts a cached compilation; Find* then consult it first.
+  void AdoptShared(std::shared_ptr<const PlanAnnotations> shared) {
+    shared_ = std::move(shared);
+  }
+
   /// Non-null when the optimizer planned this path (use_planner on).
   const PathPlan* FindPath(const AstNode* node) const {
+    const auto& paths = ann().paths;
     auto it = paths.find(node);
     return it == paths.end() ? nullptr : &it->second;
   }
   /// Non-null when `let_expr` (an inner FLWOR) was planned as a band join.
   const BandJoinPlan* FindBandLet(const AstNode* let_expr) const {
+    const auto& band_lets = ann().band_lets;
     auto it = band_lets.find(let_expr);
     return it == band_lets.end() ? nullptr : &it->second;
   }
   /// FLWOR strategy; when absent (legacy interpreter mode) the evaluator
-  /// fills the entry on first visit through the same analysis.
-  FlworPlan* FindFlwor(const AstNode* node) {
+  /// fills the entry on first visit through the same analysis. Lazy
+  /// entries land in the local overflow map, so an adopted shared plan is
+  /// never written to.
+  const FlworPlan* FindFlwor(const AstNode* node) const {
+    const auto& flwors = ann().flwors;
     auto it = flwors.find(node);
-    return it == flwors.end() ? nullptr : &it->second;
+    if (it != flwors.end()) return &it->second;
+    if (shared_ != nullptr) {
+      auto local_it = local_.flwors.find(node);
+      if (local_it != local_.flwors.end()) return &local_it->second;
+    }
+    return nullptr;
   }
   /// Non-null when `node` (a kElementConstructor) was lowered into a
   /// constructor template.
   const ConstructPlan* FindConstruct(const AstNode* node) const {
+    const auto& constructs = ann().constructs;
     auto it = constructs.find(node);
     return it == constructs.end() ? nullptr : &it->second;
   }
@@ -287,17 +373,11 @@ class QueryPlan {
   };
   Summary Summarize() const;
 
-  // --- annotations (filled by the optimizer; FLWOR entries may also be
-  // filled lazily by the evaluator in legacy mode) -----------------------
-  bool built_by_optimizer = false;
-  std::string store_name;       // mapping_name at plan time (Explain)
-  StorageCapabilities caps;     // capability snapshot at plan time
-  EvaluatorOptions options;     // toggles the plan was built under
-  std::unordered_map<const AstNode*, PathPlan> paths;
-  std::unordered_map<const AstNode*, FlworPlan> flwors;
-  std::unordered_map<const AstNode*, BandJoinPlan> band_lets;
-  std::unordered_map<const AstNode*, ConstructPlan> constructs;
+ private:
+  std::shared_ptr<const PlanAnnotations> shared_;
+  PlanAnnotations local_;
 
+ public:
   // --- per-run executor state -------------------------------------------
   std::unordered_map<const AstNode*, std::unique_ptr<HashJoinExec>>
       join_state;

@@ -1,0 +1,49 @@
+#include "query/plan_cache.h"
+
+namespace xmark::query {
+namespace {
+
+// '\n' never appears in a uint64 rendering and queries cannot un-escape
+// it, so the composite key is unambiguous.
+std::string CacheKey(std::string_view query_text, uint64_t store_uid,
+                     uint64_t options_fingerprint) {
+  std::string key;
+  key.reserve(query_text.size() + 48);
+  key.append(query_text);
+  key.push_back('\n');
+  key.append(std::to_string(store_uid));
+  key.push_back('\n');
+  key.append(std::to_string(options_fingerprint));
+  return key;
+}
+
+}  // namespace
+
+StatusOr<std::shared_ptr<const CachedQuery>> PlanCache::GetOrCompile(
+    std::string_view query_text, uint64_t store_uid,
+    uint64_t options_fingerprint, const CompileFn& compile) {
+  std::string key = CacheKey(query_text, store_uid, options_fingerprint);
+  Shard& shard = shards_[std::hash<std::string>{}(key) % kShards];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.entries.find(key);
+  if (it != shard.entries.end()) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  XMARK_ASSIGN_OR_RETURN(CachedQuery compiled, compile());
+  auto entry = std::make_shared<const CachedQuery>(std::move(compiled));
+  shard.entries.emplace(std::move(key), entry);
+  return entry;
+}
+
+size_t PlanCache::size() const {
+  size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    n += shard.entries.size();
+  }
+  return n;
+}
+
+}  // namespace xmark::query

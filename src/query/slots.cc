@@ -64,6 +64,7 @@ void ResolveVariableSlots(ParsedQuery& query) {
     if (f.body) resolver.Visit(*f.body);
   }
   if (query.body) resolver.Visit(*query.body);
+  query.slots_resolved = true;
 }
 
 int ResolveVariableSlots(AstNode& root) {

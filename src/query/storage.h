@@ -292,6 +292,19 @@ class StorageAdapter {
     return n;
   }
 
+  /// True when an OPEN descendant cursor of this store iterates a monotone
+  /// [u0, u1) position space — dense preorder ids or ascending index
+  /// slices — such that a COPY of the cursor with u0/u1 clamped to any
+  /// sub-range [a, b) ⊆ [u0, u1) yields exactly the matches of that
+  /// sub-range, in document order. Morsel-parallel scans rely on this to
+  /// split one cursor into per-worker chunks whose concatenation (in chunk
+  /// order) reproduces the serial emission byte for byte. The default says
+  /// no: link-walk cursors carry a current-node pointer, not an interval.
+  virtual bool DescendantCursorPartitionable(
+      const DescendantCursor& /*cur*/) const {
+    return false;
+  }
+
   // --- Optional access paths -------------------------------------------
   // Engines advertise the physical structures their architecture provides;
   // the optimizer exploits them only when the engine's feature flags allow.

@@ -94,6 +94,12 @@ class DomStore : public query::StorageAdapter {
   size_t AdvanceDescendantCursor(query::DescendantCursor* cur,
                                  query::NodeHandle* out,
                                  size_t cap) const override;
+  // Both cursor modes (dense id interval, tag-index slice) iterate a
+  // monotone [u0, u1) position space, so clamped copies partition cleanly.
+  bool DescendantCursorPartitionable(
+      const query::DescendantCursor& /*cur*/) const override {
+    return true;
+  }
   bool Before(query::NodeHandle a, query::NodeHandle b) const override {
     return a < b;
   }

@@ -82,6 +82,12 @@ class InlinedStore : public query::StorageAdapter {
   size_t AdvanceDescendantCursor(query::DescendantCursor* cur,
                                  query::NodeHandle* out,
                                  size_t cap) const override;
+  // The cursor walks the dense id interval [u0, u1): clamped copies
+  // partition cleanly for morsel-parallel scans.
+  bool DescendantCursorPartitionable(
+      const query::DescendantCursor& /*cur*/) const override {
+    return true;
+  }
   bool Before(query::NodeHandle a, query::NodeHandle b) const override {
     return a < b;
   }

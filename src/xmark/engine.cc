@@ -37,6 +37,96 @@ void CollectNameTests(const query::AstNode& node,
   for (const query::AstPtr& c : node.content) CollectNameTests(*c, names);
 }
 
+// Metadata resolution: every name test is looked up in the mapping's
+// catalog. For the fragmented mapping this scans the path catalog, which
+// is what makes System B's compilation phase comparatively expensive
+// (Table 2).
+void ResolveCatalogNames(const query::StorageAdapter& store,
+                         const query::ParsedQuery& parsed,
+                         size_t* catalog_probes, size_t* name_tests) {
+  std::vector<std::string> names;
+  CollectNameTests(*parsed.body, &names);
+  for (const query::FunctionDecl& f : parsed.functions) {
+    CollectNameTests(*f.body, &names);
+  }
+  *name_tests = names.size();
+  for (const std::string& name : names) {
+    *catalog_probes += store.ResolveName(name);
+  }
+}
+
+StatusOr<PreparedQuery> CompileUncached(const query::StorageAdapter& store,
+                                        std::string_view query_text) {
+  PreparedQuery out;
+  XMARK_ASSIGN_OR_RETURN(out.parsed, query::ParseQueryText(query_text));
+  ResolveCatalogNames(store, out.parsed, &out.catalog_probes,
+                      &out.name_tests);
+  return out;
+}
+
+// Cached compilation path: parse + catalog resolution + optimizer
+// lowering, once per (query text, store uid, options fingerprint); every
+// later request for the key shares the entry. `cache_hit` reports whether
+// the compile lambda ran.
+StatusOr<PreparedQuery> PrepareThroughCache(
+    const query::StorageAdapter& store,
+    const query::EvaluatorOptions& options, ServingState* serving,
+    std::string_view query_text) {
+  bool compiled = false;
+  XMARK_ASSIGN_OR_RETURN(
+      std::shared_ptr<const query::CachedQuery> entry,
+      serving->plan_cache.GetOrCompile(
+          query_text, store.store_uid(), query::OptionsFingerprint(options),
+          [&]() -> StatusOr<query::CachedQuery> {
+            compiled = true;
+            query::CachedQuery out;
+            XMARK_ASSIGN_OR_RETURN(out.parsed,
+                                   query::ParseQueryText(query_text));
+            ResolveCatalogNames(store, out.parsed, &out.catalog_probes,
+                                &out.name_tests);
+            auto annotations = std::make_shared<query::PlanAnnotations>();
+            annotations->store_name = std::string(store.mapping_name());
+            annotations->store_uid = store.store_uid();
+            annotations->caps = store.Capabilities();
+            annotations->options = options;
+            if (options.use_planner) {
+              query::BuildPlan(out.parsed, store, options,
+                               annotations.get());
+            }
+            out.annotations = std::move(annotations);
+            return out;
+          }));
+  PreparedQuery prepared;
+  prepared.cached = std::move(entry);
+  prepared.cache_hit = !compiled;
+  prepared.catalog_probes = prepared.cached->catalog_probes;
+  prepared.name_tests = prepared.cached->name_tests;
+  return prepared;
+}
+
+// One Execute against `store`: a private Evaluator adopts the cached
+// annotations when present (the cache key guarantees they match this
+// store + option fingerprint), per-run statistics are merged into the
+// shared cumulative counters under the serving mutex at completion.
+StatusOr<query::Sequence> ExecuteQuery(const query::StorageAdapter& store,
+                                       const query::EvaluatorOptions& options,
+                                       const PreparedQuery& prepared,
+                                       ServingState* serving,
+                                       query::Evaluator::Stats* last_stats) {
+  query::Evaluator evaluator(&store, options);
+  std::shared_ptr<const query::PlanAnnotations> annotations;
+  if (prepared.cached != nullptr) annotations = prepared.cached->annotations;
+  auto result = evaluator.Run(prepared.module(), std::move(annotations));
+  if (!result.ok()) return result.status();
+  *last_stats = evaluator.stats();
+  {
+    std::lock_guard<std::mutex> lock(serving->stats_mu);
+    serving->cumulative_stats.MergeFrom(evaluator.stats());
+    ++serving->queries_executed;
+  }
+  return result;
+}
+
 }  // namespace
 
 char SystemLabel(SystemId id) {
@@ -141,42 +231,41 @@ std::unique_ptr<Engine> Engine::Create(SystemId id) {
   return std::unique_ptr<Engine>(new Engine(id, opts, reload));
 }
 
-StatusOr<std::unique_ptr<query::StorageAdapter>> Engine::BuildStore(
-    std::string_view xml) const {
-  switch (id_) {
+StatusOr<std::shared_ptr<query::StorageAdapter>> Engine::BuildStoreForSystem(
+    SystemId id, std::string_view xml, const store::LoadOptions& options) {
+  switch (id) {
     case SystemId::kA: {
-      XMARK_ASSIGN_OR_RETURN(auto store,
-                             store::EdgeStore::Load(xml, load_options_));
-      return std::unique_ptr<query::StorageAdapter>(std::move(store));
+      XMARK_ASSIGN_OR_RETURN(auto store, store::EdgeStore::Load(xml, options));
+      return std::shared_ptr<query::StorageAdapter>(std::move(store));
     }
     case SystemId::kB: {
-      XMARK_ASSIGN_OR_RETURN(
-          auto store, store::FragmentedStore::Load(xml, load_options_));
-      return std::unique_ptr<query::StorageAdapter>(std::move(store));
+      XMARK_ASSIGN_OR_RETURN(auto store,
+                             store::FragmentedStore::Load(xml, options));
+      return std::shared_ptr<query::StorageAdapter>(std::move(store));
     }
     case SystemId::kC: {
       XMARK_ASSIGN_OR_RETURN(
           auto store,
-          store::InlinedStore::Load(xml, xml::kAuctionDtd, load_options_));
-      return std::unique_ptr<query::StorageAdapter>(std::move(store));
+          store::InlinedStore::Load(xml, xml::kAuctionDtd, options));
+      return std::shared_ptr<query::StorageAdapter>(std::move(store));
     }
     case SystemId::kD: {
       store::DomStore::Options dom_opts;
       dom_opts.build_tag_index = true;
       dom_opts.build_id_index = true;
       dom_opts.build_path_summary = true;
-      XMARK_ASSIGN_OR_RETURN(
-          auto store, store::DomStore::Load(xml, dom_opts, load_options_));
-      return std::unique_ptr<query::StorageAdapter>(std::move(store));
+      XMARK_ASSIGN_OR_RETURN(auto store,
+                             store::DomStore::Load(xml, dom_opts, options));
+      return std::shared_ptr<query::StorageAdapter>(std::move(store));
     }
     case SystemId::kE: {
       store::DomStore::Options dom_opts;
       dom_opts.build_tag_index = false;
       dom_opts.build_id_index = true;
       dom_opts.build_path_summary = false;
-      XMARK_ASSIGN_OR_RETURN(
-          auto store, store::DomStore::Load(xml, dom_opts, load_options_));
-      return std::unique_ptr<query::StorageAdapter>(std::move(store));
+      XMARK_ASSIGN_OR_RETURN(auto store,
+                             store::DomStore::Load(xml, dom_opts, options));
+      return std::shared_ptr<query::StorageAdapter>(std::move(store));
     }
     case SystemId::kF:
     case SystemId::kG: {
@@ -184,49 +273,48 @@ StatusOr<std::unique_ptr<query::StorageAdapter>> Engine::BuildStore(
       dom_opts.build_tag_index = false;
       dom_opts.build_id_index = false;
       dom_opts.build_path_summary = false;
-      XMARK_ASSIGN_OR_RETURN(
-          auto store, store::DomStore::Load(xml, dom_opts, load_options_));
-      return std::unique_ptr<query::StorageAdapter>(std::move(store));
+      XMARK_ASSIGN_OR_RETURN(auto store,
+                             store::DomStore::Load(xml, dom_opts, options));
+      return std::shared_ptr<query::StorageAdapter>(std::move(store));
     }
   }
   return Status::Internal("unknown system");
 }
 
 Status Engine::Load(std::string_view xml) {
-  XMARK_ASSIGN_OR_RETURN(store_, BuildStore(xml));
-  if (reload_per_query_) retained_xml_.assign(xml);
+  XMARK_ASSIGN_OR_RETURN(store_,
+                         BuildStoreForSystem(id_, xml, load_options_));
+  if (reload_per_query_) {
+    retained_xml_ = std::make_shared<const std::string>(xml);
+  }
   return Status::OK();
 }
 
 StatusOr<PreparedQuery> Engine::Prepare(std::string_view query_text) const {
   if (store_ == nullptr) return Status::Internal("engine not loaded");
-  PreparedQuery out;
-  XMARK_ASSIGN_OR_RETURN(out.parsed, query::ParseQueryText(query_text));
-  // Metadata resolution: every name test is looked up in the mapping's
-  // catalog. For the fragmented mapping this scans the path catalog, which
-  // is what makes System B's compilation phase comparatively expensive
-  // (Table 2).
-  std::vector<std::string> names;
-  CollectNameTests(*out.parsed.body, &names);
-  for (const query::FunctionDecl& f : out.parsed.functions) {
-    CollectNameTests(*f.body, &names);
-  }
-  out.name_tests = names.size();
-  for (const std::string& name : names) {
-    out.catalog_probes += store_->ResolveName(name);
-  }
-  return out;
+  return CompileUncached(*store_, query_text);
+}
+
+StatusOr<PreparedQuery> Engine::PrepareCached(
+    std::string_view query_text) const {
+  if (store_ == nullptr) return Status::Internal("engine not loaded");
+  // A reload-per-query store has a fresh uid at every Execute, so cached
+  // annotations could never be adopted: caching would only accumulate
+  // dead entries.
+  if (reload_per_query_) return CompileUncached(*store_, query_text);
+  return PrepareThroughCache(*store_, eval_options_, serving_.get(),
+                             query_text);
 }
 
 StatusOr<query::Sequence> Engine::Execute(const PreparedQuery& prepared) {
-  if (reload_per_query_) {
+  if (reload_per_query_ && retained_xml_ != nullptr) {
     // Embedded processors load the document as part of running the query.
-    XMARK_ASSIGN_OR_RETURN(store_, BuildStore(retained_xml_));
+    XMARK_ASSIGN_OR_RETURN(
+        store_, BuildStoreForSystem(id_, *retained_xml_, load_options_));
   }
-  query::Evaluator evaluator(store_.get(), eval_options_);
-  XMARK_ASSIGN_OR_RETURN(query::Sequence result, evaluator.Run(prepared.parsed));
-  last_stats_ = evaluator.stats();
-  return result;
+  if (store_ == nullptr) return Status::Internal("engine not loaded");
+  return ExecuteQuery(*store_, eval_options_, prepared, serving_.get(),
+                      &last_stats_);
 }
 
 StatusOr<query::Sequence> Engine::Run(std::string_view query_text) {
@@ -234,12 +322,34 @@ StatusOr<query::Sequence> Engine::Run(std::string_view query_text) {
   return Execute(prepared);
 }
 
+StatusOr<std::unique_ptr<EngineSession>> Engine::CreateSession() const {
+  if (store_ == nullptr) return Status::Internal("engine not loaded");
+  return std::unique_ptr<EngineSession>(new EngineSession(
+      id_, eval_options_, load_options_, reload_per_query_, store_,
+      retained_xml_, serving_));
+}
+
 StatusOr<std::string> Engine::Explain(std::string_view query_text) const {
   if (store_ == nullptr) return Status::Internal("engine not loaded");
   XMARK_ASSIGN_OR_RETURN(PreparedQuery prepared, Prepare(query_text));
   query::QueryPlan plan;
-  query::BuildPlan(prepared.parsed, *store_, eval_options_, &plan);
-  return plan.Explain(prepared.parsed);
+  query::BuildPlan(prepared.parsed, *store_, eval_options_,
+                   plan.mutable_annotations());
+  std::string text = plan.Explain(prepared.parsed);
+  const query::PlanCacheStats cache = serving_->plan_cache.stats();
+  text += "plan-cache: hits=" + std::to_string(cache.hits) +
+          " misses=" + std::to_string(cache.misses) + "\n";
+  return text;
+}
+
+query::EvalStats Engine::cumulative_stats() const {
+  std::lock_guard<std::mutex> lock(serving_->stats_mu);
+  return serving_->cumulative_stats;
+}
+
+uint64_t Engine::queries_executed() const {
+  std::lock_guard<std::mutex> lock(serving_->stats_mu);
+  return serving_->queries_executed;
 }
 
 size_t Engine::StorageBytes() const {
@@ -248,6 +358,39 @@ size_t Engine::StorageBytes() const {
 
 size_t Engine::CatalogEntries() const {
   return store_ == nullptr ? 0 : store_->CatalogEntries();
+}
+
+// ---------------------------------------------------------------------------
+// EngineSession
+// ---------------------------------------------------------------------------
+
+StatusOr<PreparedQuery> EngineSession::Prepare(std::string_view query_text) {
+  if (reload_per_query_) return CompileUncached(*store_, query_text);
+  return PrepareThroughCache(*store_, eval_options_, serving_.get(),
+                             query_text);
+}
+
+StatusOr<query::Sequence> EngineSession::Execute(
+    const PreparedQuery& prepared) {
+  if (reload_per_query_ && retained_xml_ != nullptr) {
+    // System G semantics, session-local: the reload happens into a private
+    // store, so concurrent G sessions never share document state (matching
+    // one embedded processor instance per client).
+    XMARK_ASSIGN_OR_RETURN(
+        std::shared_ptr<query::StorageAdapter> fresh,
+        Engine::BuildStoreForSystem(id_, *retained_xml_, load_options_));
+    std::shared_ptr<const query::StorageAdapter> session_store =
+        std::move(fresh);
+    return ExecuteQuery(*session_store, eval_options_, prepared,
+                        serving_.get(), &last_stats_);
+  }
+  return ExecuteQuery(*store_, eval_options_, prepared, serving_.get(),
+                      &last_stats_);
+}
+
+StatusOr<query::Sequence> EngineSession::Run(std::string_view query_text) {
+  XMARK_ASSIGN_OR_RETURN(PreparedQuery prepared, Prepare(query_text));
+  return Execute(prepared);
 }
 
 }  // namespace xmark::bench

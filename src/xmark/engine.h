@@ -3,11 +3,13 @@
 
 #include <array>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 
 #include "query/evaluator.h"
 #include "query/parser.h"
+#include "query/plan_cache.h"
 #include "query/storage.h"
 #include "store/load_options.h"
 #include "util/status.h"
@@ -33,12 +35,33 @@ char SystemLabel(SystemId id);
 /// One-line architecture description (for tables and docs).
 std::string_view SystemArchitecture(SystemId id);
 
-/// A compiled query: the parse tree plus compilation statistics.
+/// A compiled query: either a privately owned compilation (`parsed`, the
+/// uncached Prepare path that Table 2 measures per call) or a shared entry
+/// from the plan cache (`cached`, the serving path). Execute runs
+/// whichever side is set; `module()` resolves it.
 struct PreparedQuery {
   query::ParsedQuery parsed;
+  std::shared_ptr<const query::CachedQuery> cached;
+  bool cache_hit = false;     // cached != null and compile was skipped
   size_t catalog_probes = 0;  // catalog entries inspected while compiling
   size_t name_tests = 0;      // element names resolved
+
+  const query::ParsedQuery& module() const {
+    return cached != nullptr ? cached->parsed : parsed;
+  }
 };
+
+/// State shared by an Engine and every session created from it: the plan
+/// cache and the cumulative serving statistics. Held by shared_ptr so
+/// sessions stay valid even if the engine is destroyed first.
+struct ServingState {
+  query::PlanCache plan_cache;
+  std::mutex stats_mu;
+  query::EvalStats cumulative_stats;  // merged at each query completion
+  uint64_t queries_executed = 0;
+};
+
+class EngineSession;
 
 /// One benchmark system: a storage mapping + evaluator configuration.
 ///
@@ -46,6 +69,12 @@ struct PreparedQuery {
 /// bulkload of Table 1, Prepare() the compilation phase and Execute() the
 /// execution phase of Table 2, and Prepare+Execute together one query run
 /// of Table 3 / Figure 4.
+///
+/// Concurrency: after Load() the store is immutable, so any number of
+/// threads may execute queries against it — each through its own
+/// EngineSession (CreateSession()). The Engine's own Prepare/Execute/Run
+/// remain a single-threaded convenience API (Execute mutates last_stats_
+/// and, for System G, the store pointer).
 class Engine {
  public:
   /// Creates an unloaded engine for the given system.
@@ -62,7 +91,16 @@ class Engine {
   const store::LoadOptions& load_options() const { return load_options_; }
 
   /// Compiles a query: parse, static analysis, catalog/metadata resolution.
+  /// Always compiles from scratch — this is the per-call compilation cost
+  /// Table 2 amplifies, so it must never be amortized by the plan cache.
   StatusOr<PreparedQuery> Prepare(std::string_view query_text) const;
+
+  /// Compiles through the shared plan cache: parse + catalog resolution +
+  /// optimizer lowering happen once per (query text, store, options) and
+  /// every later call shares the entry. System G (reload-per-query)
+  /// bypasses the cache — its store identity changes on every Execute, so
+  /// entries could never be adopted.
+  StatusOr<PreparedQuery> PrepareCached(std::string_view query_text) const;
 
   /// Executes a compiled query. For the embedded System G this includes
   /// re-loading the document — an embedded processor parses its input per
@@ -72,9 +110,15 @@ class Engine {
   /// Convenience: Prepare + Execute.
   StatusOr<query::Sequence> Run(std::string_view query_text);
 
+  /// A lightweight serving handle sharing this engine's loaded store, plan
+  /// cache and cumulative statistics. Each concurrent client thread gets
+  /// its own session; the engine may be destroyed while sessions live.
+  StatusOr<std::unique_ptr<EngineSession>> CreateSession() const;
+
   /// Compiles `query_text`, lowers it through the optimizer against this
   /// engine's store + option set, and renders the chosen plan as text
-  /// (join strategies, per-step access paths, invariant hoisting).
+  /// (join strategies, per-step access paths, invariant hoisting), plus a
+  /// final plan-cache hit/miss line.
   StatusOr<std::string> Explain(std::string_view query_text) const;
 
   SystemId id() const { return id_; }
@@ -97,21 +141,90 @@ class Engine {
   /// Statistics of the last Execute.
   const query::Evaluator::Stats& last_stats() const { return last_stats_; }
 
+  /// Plan-cache hit/miss counters across the engine and all its sessions.
+  query::PlanCacheStats plan_cache_stats() const {
+    return serving_->plan_cache.stats();
+  }
+  /// Evaluator statistics summed over every completed Execute (engine and
+  /// sessions), merged under the serving mutex at query completion.
+  query::EvalStats cumulative_stats() const;
+  uint64_t queries_executed() const;
+
  private:
+  friend class EngineSession;
+
   Engine(SystemId id, query::EvaluatorOptions opts, bool reload_per_query)
       : id_(id),
         eval_options_(opts),
-        reload_per_query_(reload_per_query) {}
+        reload_per_query_(reload_per_query),
+        serving_(std::make_shared<ServingState>()) {}
 
-  StatusOr<std::unique_ptr<query::StorageAdapter>> BuildStore(
-      std::string_view xml) const;
+  /// Builds the system's store from `xml`. Static so sessions of
+  /// reload-per-query engines can build private stores without touching
+  /// the engine.
+  static StatusOr<std::shared_ptr<query::StorageAdapter>> BuildStoreForSystem(
+      SystemId id, std::string_view xml, const store::LoadOptions& options);
 
   SystemId id_;
   query::EvaluatorOptions eval_options_;
   store::LoadOptions load_options_;
   bool reload_per_query_;
-  std::unique_ptr<query::StorageAdapter> store_;
-  std::string retained_xml_;  // kept only by reload-per-query engines
+  std::shared_ptr<query::StorageAdapter> store_;
+  // Kept only by reload-per-query engines; shared so their sessions can
+  // reload privately.
+  std::shared_ptr<const std::string> retained_xml_;
+  std::shared_ptr<ServingState> serving_;
+  query::Evaluator::Stats last_stats_;
+};
+
+/// Per-client serving handle: shares the engine's immutable store, plan
+/// cache and cumulative statistics, while keeping per-session state
+/// (last_stats, System G's private reloaded store) unshared. Safe to use
+/// from one thread at a time; different sessions run fully concurrently.
+class EngineSession {
+ public:
+  /// Compiles through the shared plan cache (uncached for System G, whose
+  /// per-execute store identity defeats caching).
+  StatusOr<PreparedQuery> Prepare(std::string_view query_text);
+
+  /// Executes against the shared store (System G: against a freshly loaded
+  /// private store). Merges this run's statistics into the shared
+  /// cumulative counters at completion.
+  StatusOr<query::Sequence> Execute(const PreparedQuery& prepared);
+
+  /// Convenience: Prepare (cached) + Execute.
+  StatusOr<query::Sequence> Run(std::string_view query_text);
+
+  /// Statistics of this session's last Execute.
+  const query::Evaluator::Stats& last_stats() const { return last_stats_; }
+
+  query::PlanCacheStats plan_cache_stats() const {
+    return serving_->plan_cache.stats();
+  }
+
+ private:
+  friend class Engine;
+
+  EngineSession(SystemId id, query::EvaluatorOptions opts,
+                store::LoadOptions load_options, bool reload_per_query,
+                std::shared_ptr<const query::StorageAdapter> store,
+                std::shared_ptr<const std::string> retained_xml,
+                std::shared_ptr<ServingState> serving)
+      : id_(id),
+        eval_options_(std::move(opts)),
+        load_options_(std::move(load_options)),
+        reload_per_query_(reload_per_query),
+        store_(std::move(store)),
+        retained_xml_(std::move(retained_xml)),
+        serving_(std::move(serving)) {}
+
+  SystemId id_;
+  query::EvaluatorOptions eval_options_;
+  store::LoadOptions load_options_;
+  bool reload_per_query_;
+  std::shared_ptr<const query::StorageAdapter> store_;
+  std::shared_ptr<const std::string> retained_xml_;
+  std::shared_ptr<ServingState> serving_;
   query::Evaluator::Stats last_stats_;
 };
 

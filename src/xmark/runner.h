@@ -27,6 +27,14 @@ struct QueryTiming {
   PhaseCost execute;
   size_t result_items = 0;
 
+  // Prepared-cache mode (BenchmarkRunner::set_use_prepared_cache): compile
+  // wall time of the first repetition (cache miss — full parse + catalog +
+  // optimizer lowering) vs the best cached repetition (cache hit — one
+  // shard-map probe). Zero when the mode is off or repetitions == 1.
+  bool used_plan_cache = false;
+  double first_compile_ms = 0;
+  double cached_compile_ms = 0;
+
   double total_ms() const { return compile.wall_ms + execute.wall_ms; }
 };
 
@@ -54,6 +62,13 @@ class BenchmarkRunner {
   StatusOr<QueryTiming> RunQuery(SystemId system, int query_number,
                                  int repetitions = 1);
 
+  /// Routes RunQuery compilation through Engine::PrepareCached: the first
+  /// repetition pays the full compile, later repetitions hit the shared
+  /// plan cache (QueryTiming reports both). Off by default — Table 2/3
+  /// measure the per-call compilation cost.
+  void set_use_prepared_cache(bool on) { use_prepared_cache_ = on; }
+  bool use_prepared_cache() const { return use_prepared_cache_; }
+
   const LoadInfo& load_info(SystemId system) const {
     return load_info_.at(system);
   }
@@ -65,6 +80,7 @@ class BenchmarkRunner {
  private:
   double scale_;
   unsigned load_threads_ = 0;  // 0 = hardware_concurrency
+  bool use_prepared_cache_ = false;
   std::string document_;
   std::map<SystemId, std::unique_ptr<Engine>> engines_;
   std::map<SystemId, LoadInfo> load_info_;

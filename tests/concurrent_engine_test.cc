@@ -1,0 +1,261 @@
+// Concurrent serving correctness: N client threads with private
+// EngineSessions against one shared loaded store must produce results
+// byte-identical to serial execution, the plan cache must compile each
+// (query, store, options) key exactly once, sessions must survive engine
+// teardown, and shared statistics must merge exactly. Run under
+// ThreadSanitizer in CI (-DSANITIZE=thread).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gen/generator.h"
+#include "query/value.h"
+#include "util/logging.h"
+#include "xmark/engine.h"
+#include "xmark/queries.h"
+
+namespace xmark::bench {
+namespace {
+
+constexpr unsigned kClientThreads = 4;
+
+// Mixed workload covering every execution feature: id lookup, regular
+// paths, tag/path indexes, hash join, band join, ordered access,
+// aggregation, template-heavy construction.
+const int kWorkload[] = {1, 2, 6, 7, 8, 10, 11, 12, 13, 20};
+
+const std::string& TestDocument() {
+  static const std::string* const kDoc = [] {
+    gen::GeneratorOptions options;
+    options.scale = 0.002;
+    return new std::string(gen::XmlGen(options).GenerateToString());
+  }();
+  return *kDoc;
+}
+
+std::unique_ptr<Engine> LoadedEngine(SystemId id) {
+  std::unique_ptr<Engine> engine = Engine::Create(id);
+  XMARK_CHECK(engine->Load(TestDocument()).ok());
+  return engine;
+}
+
+// Serial reference: one result string per workload query, computed through
+// the uncached single-threaded path.
+std::vector<std::string> SerialResults(Engine* engine) {
+  std::vector<std::string> expected;
+  for (int q : kWorkload) {
+    auto result = engine->Run(GetQuery(q).text);
+    XMARK_CHECK(result.ok());
+    expected.push_back(query::SerializeSequence(*result));
+  }
+  return expected;
+}
+
+// Runs the workload on `threads` concurrent sessions of `engine`; every
+// (thread, query) result must serialize identically to `expected`.
+// `passes` > 1 re-runs the mix so later iterations exercise the warm
+// plan cache.
+void RunConcurrentAndCompare(Engine* engine,
+                             const std::vector<std::string>& expected,
+                             unsigned threads, int passes) {
+  std::vector<std::string> errors(threads);
+  std::vector<std::thread> clients;
+  for (unsigned t = 0; t < threads; ++t) {
+    auto session_or = engine->CreateSession();
+    ASSERT_TRUE(session_or.ok()) << session_or.status();
+    clients.emplace_back(
+        [&, t, session = std::shared_ptr<EngineSession>(
+                 std::move(*session_or))] {
+          for (int pass = 0; pass < passes; ++pass) {
+            for (size_t i = 0; i < std::size(kWorkload); ++i) {
+              // De-phase the clients so they are not in lock-step on the
+              // same query.
+              const size_t pick = (i + t * 3) % std::size(kWorkload);
+              auto result = session->Run(GetQuery(kWorkload[pick]).text);
+              if (!result.ok()) {
+                errors[t] = result.status().ToString();
+                return;
+              }
+              if (query::SerializeSequence(*result) != expected[pick]) {
+                errors[t] = "Q" + std::to_string(kWorkload[pick]) +
+                            " diverged from serial result";
+                return;
+              }
+            }
+          }
+        });
+  }
+  for (std::thread& c : clients) c.join();
+  for (unsigned t = 0; t < threads; ++t) {
+    EXPECT_EQ(errors[t], "") << "client " << t;
+  }
+}
+
+TEST(ConcurrentEngine, SessionsMatchSerialByteForByte) {
+  std::unique_ptr<Engine> engine = LoadedEngine(SystemId::kD);
+  const std::vector<std::string> expected = SerialResults(engine.get());
+  RunConcurrentAndCompare(engine.get(), expected, kClientThreads,
+                          /*passes=*/2);
+}
+
+TEST(ConcurrentEngine, EdgeStoreSessionsMatchSerial) {
+  std::unique_ptr<Engine> engine = LoadedEngine(SystemId::kA);
+  const std::vector<std::string> expected = SerialResults(engine.get());
+  RunConcurrentAndCompare(engine.get(), expected, kClientThreads,
+                          /*passes=*/1);
+}
+
+TEST(ConcurrentEngine, FragmentedStoreSessionsMatchSerial) {
+  std::unique_ptr<Engine> engine = LoadedEngine(SystemId::kB);
+  const std::vector<std::string> expected = SerialResults(engine.get());
+  RunConcurrentAndCompare(engine.get(), expected, kClientThreads,
+                          /*passes=*/1);
+}
+
+// System G sessions reload the document into a private store per Execute:
+// concurrent G clients share nothing but the plan-cache shell (which G
+// bypasses) and must still match serial results.
+TEST(ConcurrentEngine, ReloadPerQuerySessionsMatchSerial) {
+  std::unique_ptr<Engine> engine = LoadedEngine(SystemId::kG);
+  // Small subset: G reloads the document per query, so the full mix would
+  // dominate test time without covering anything new.
+  std::vector<std::string> expected;
+  const int subset[] = {1, 8, 13};
+  for (int q : subset) {
+    auto result = engine->Run(GetQuery(q).text);
+    ASSERT_TRUE(result.ok()) << result.status();
+    expected.push_back(query::SerializeSequence(*result));
+  }
+  std::vector<std::string> errors(2);
+  std::vector<std::thread> clients;
+  for (unsigned t = 0; t < 2; ++t) {
+    auto session_or = engine->CreateSession();
+    ASSERT_TRUE(session_or.ok()) << session_or.status();
+    clients.emplace_back([&, t, session = std::shared_ptr<EngineSession>(
+                                 std::move(*session_or))] {
+      for (size_t i = 0; i < std::size(subset); ++i) {
+        auto result = session->Run(GetQuery(subset[i]).text);
+        if (!result.ok()) {
+          errors[t] = result.status().ToString();
+          return;
+        }
+        if (query::SerializeSequence(*result) != expected[i]) {
+          errors[t] = "Q" + std::to_string(subset[i]) + " diverged";
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& c : clients) c.join();
+  EXPECT_EQ(errors[0], "");
+  EXPECT_EQ(errors[1], "");
+}
+
+// Morsel-parallel intra-query execution through the serving path: same
+// bytes as the serial engine, with concurrent clients on top.
+TEST(ConcurrentEngine, ParallelExecSessionsMatchSerial) {
+  std::unique_ptr<Engine> engine = LoadedEngine(SystemId::kD);
+  const std::vector<std::string> expected = SerialResults(engine.get());
+  query::EvaluatorOptions opts = engine->evaluator_options();
+  opts.parallel_exec.enabled = true;
+  opts.parallel_exec.threads = 4;
+  opts.parallel_exec.min_morsel_ids = 1;  // force morsels at tiny scale
+  engine->set_evaluator_options(opts);
+  RunConcurrentAndCompare(engine.get(), expected, /*threads=*/2,
+                          /*passes=*/1);
+}
+
+// The cache compiles each (query text, store, options) key exactly once:
+// with T threads x P passes over W distinct queries, misses == W and
+// every other prepare is a hit.
+TEST(ConcurrentEngine, PlanCacheCompilesOncePerKey) {
+  std::unique_ptr<Engine> engine = LoadedEngine(SystemId::kD);
+  const std::vector<std::string> expected = SerialResults(engine.get());
+  ASSERT_EQ(engine->plan_cache_stats().hits, 0u);
+  ASSERT_EQ(engine->plan_cache_stats().misses, 0u);  // Engine::Run is uncached
+
+  constexpr int kPasses = 3;
+  RunConcurrentAndCompare(engine.get(), expected, kClientThreads, kPasses);
+
+  const query::PlanCacheStats stats = engine->plan_cache_stats();
+  const uint64_t total =
+      uint64_t{kClientThreads} * kPasses * std::size(kWorkload);
+  EXPECT_EQ(stats.misses, std::size(kWorkload));
+  EXPECT_EQ(stats.hits, total - std::size(kWorkload));
+}
+
+TEST(ConcurrentEngine, PreparedQueryReportsCacheHit) {
+  std::unique_ptr<Engine> engine = LoadedEngine(SystemId::kD);
+  auto first = engine->PrepareCached(GetQuery(1).text);
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_FALSE(first->cache_hit);
+  auto second = engine->PrepareCached(GetQuery(1).text);
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_TRUE(second->cache_hit);
+  // Both views resolve to the same shared compilation.
+  EXPECT_EQ(first->cached.get(), second->cached.get());
+  // Compilation statistics survive the cache round-trip.
+  EXPECT_EQ(first->name_tests, second->name_tests);
+  EXPECT_EQ(first->catalog_probes, second->catalog_probes);
+  // The uncached Table 2 path never touches the cache.
+  const query::PlanCacheStats before = engine->plan_cache_stats();
+  ASSERT_TRUE(engine->Prepare(GetQuery(1).text).ok());
+  const query::PlanCacheStats after = engine->plan_cache_stats();
+  EXPECT_EQ(before.hits, after.hits);
+  EXPECT_EQ(before.misses, after.misses);
+}
+
+// Sessions share the store and serving state by shared_ptr: destroying
+// the engine while sessions live must leave them fully functional.
+TEST(ConcurrentEngine, SessionOutlivesEngine) {
+  std::unique_ptr<Engine> engine = LoadedEngine(SystemId::kD);
+  auto baseline = engine->Run(GetQuery(8).text);
+  ASSERT_TRUE(baseline.ok());
+  const std::string expected = query::SerializeSequence(*baseline);
+
+  auto session_or = engine->CreateSession();
+  ASSERT_TRUE(session_or.ok()) << session_or.status();
+  std::unique_ptr<EngineSession> session = std::move(*session_or);
+  engine.reset();  // teardown with the session still live
+
+  auto result = session->Run(GetQuery(8).text);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(query::SerializeSequence(*result), expected);
+}
+
+// Per-run statistics merge exactly into the shared cumulative counters at
+// query completion.
+TEST(ConcurrentEngine, CumulativeStatsMergeExactly) {
+  std::unique_ptr<Engine> engine = LoadedEngine(SystemId::kD);
+  auto prepared = engine->Prepare(GetQuery(2).text);
+  ASSERT_TRUE(prepared.ok());
+  ASSERT_TRUE(engine->Execute(*prepared).ok());
+  const int64_t per_run = engine->last_stats().nodes_visited;
+  ASSERT_TRUE(engine->Execute(*prepared).ok());
+  ASSERT_TRUE(engine->Execute(*prepared).ok());
+
+  EXPECT_EQ(engine->queries_executed(), 3u);
+  EXPECT_EQ(engine->cumulative_stats().nodes_visited, 3 * per_run);
+}
+
+// Explain surfaces the serving cache counters.
+TEST(ConcurrentEngine, ExplainReportsPlanCacheCounters) {
+  std::unique_ptr<Engine> engine = LoadedEngine(SystemId::kD);
+  auto before = engine->Explain(GetQuery(1).text);
+  ASSERT_TRUE(before.ok()) << before.status();
+  EXPECT_NE(before->find("plan-cache: hits=0 misses=0"), std::string::npos)
+      << *before;
+  ASSERT_TRUE(engine->PrepareCached(GetQuery(1).text).ok());
+  ASSERT_TRUE(engine->PrepareCached(GetQuery(1).text).ok());
+  auto after = engine->Explain(GetQuery(1).text);
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_NE(after->find("plan-cache: hits=1 misses=1"), std::string::npos)
+      << *after;
+}
+
+}  // namespace
+}  // namespace xmark::bench

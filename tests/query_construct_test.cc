@@ -78,7 +78,8 @@ TEST(ConstructExplainGolden, Q10TemplatesAreRendered) {
   auto parsed = ParseQueryText(bench::GetQuery(10).text);
   ASSERT_TRUE(parsed.ok());
   QueryPlan plan;
-  BuildPlan(*parsed, *StoreByIndex(3), EvaluatorOptions{}, &plan);
+  BuildPlan(*parsed, *StoreByIndex(3), EvaluatorOptions{},
+            plan.mutable_annotations());
   const std::string text = plan.Explain(*parsed);
   // The personne shell: 15 static elements, 11 text holes, no attributes.
   EXPECT_NE(text.find("constructor <personne> template=[elements=15 "
@@ -105,7 +106,8 @@ TEST(ConstructExplainGolden, DynamicAttributesAreCounted) {
   auto parsed = ParseQueryText(bench::GetQuery(13).text);
   ASSERT_TRUE(parsed.ok());
   QueryPlan plan;
-  BuildPlan(*parsed, *StoreByIndex(3), EvaluatorOptions{}, &plan);
+  BuildPlan(*parsed, *StoreByIndex(3), EvaluatorOptions{},
+            plan.mutable_annotations());
   const std::string text = plan.Explain(*parsed);
   // Q13: <item name="{$i/name/text()}">{$i/description}</item>.
   EXPECT_NE(text.find("constructor <item> template=[elements=1 const-text=0 "
@@ -120,7 +122,7 @@ TEST(ConstructExplainGolden, ArenaOffRegistersNoTemplates) {
   EvaluatorOptions options;
   options.arena_construction = false;
   QueryPlan plan;
-  BuildPlan(*parsed, *StoreByIndex(3), options, &plan);
+  BuildPlan(*parsed, *StoreByIndex(3), options, plan.mutable_annotations());
   const std::string text = plan.Explain(*parsed);
   EXPECT_EQ(text.find("template=["), std::string::npos) << text;
   EXPECT_NE(text.find("construct-template=0"), std::string::npos) << text;

@@ -188,6 +188,38 @@ TEST_P(PlannerStoreParity, Q1ToQ20ByteIdenticalPlannerOnOff) {
   }
 }
 
+// Morsel-parallel execution is pure scheduling: chunked descendant scans
+// merge in deterministic chunk order and the band-domain sort is a
+// deterministic parallel stable sort, so results must be byte-identical
+// for any worker count. min_morsel_ids=1 forces the morsel path even at
+// this tiny scale.
+TEST_P(PlannerStoreParity, ParallelExecByteIdentical) {
+  const int query = GetParam();
+  auto parsed = ParseQueryText(bench::GetQuery(query).text);
+  ASSERT_TRUE(parsed.ok());
+  for (int s = 0; s < 4; ++s) {
+    const StorageAdapter* store = StoreByIndex(s);
+    EvaluatorOptions serial;  // defaults: everything on, parallel off
+    Evaluator base(store, serial);
+    auto a = base.Run(*parsed);
+    ASSERT_TRUE(a.ok()) << store->mapping_name() << " Q" << query << ": "
+                        << a.status();
+    for (unsigned threads : {1u, 4u}) {
+      EvaluatorOptions par = serial;
+      par.parallel_exec.enabled = true;
+      par.parallel_exec.threads = threads;
+      par.parallel_exec.min_morsel_ids = 1;
+      Evaluator subject(store, par);
+      auto b = subject.Run(*parsed);
+      ASSERT_TRUE(b.ok()) << store->mapping_name() << " Q" << query << ": "
+                          << b.status();
+      EXPECT_EQ(SerializeSequence(*a), SerializeSequence(*b))
+          << store->mapping_name() << " Q" << query << " diverges with "
+          << threads << " exec threads";
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(AllQueries, PlannerStoreParity,
                          ::testing::Range(1, 21));
 

@@ -58,7 +58,7 @@ std::string ExplainQuery(const StorageAdapter& store, int query,
   auto parsed = ParseQueryText(bench::GetQuery(query).text);
   XMARK_CHECK(parsed.ok());
   QueryPlan plan;
-  BuildPlan(*parsed, store, options, &plan);
+  BuildPlan(*parsed, store, options, plan.mutable_annotations());
   return plan.Explain(*parsed);
 }
 
@@ -295,7 +295,7 @@ TEST(PlanLifetime, FreshPlanPerRun) {
   ASSERT_NE(dom_eval.plan(), nullptr);
   // Q8's decorrelated inner loop: exactly one hash table, built this run.
   EXPECT_EQ(dom_eval.plan()->join_state.size(), 1u);
-  EXPECT_EQ(dom_eval.plan()->store_name, "native DOM");
+  EXPECT_EQ(dom_eval.plan()->ann().store_name, "native DOM");
   ASSERT_TRUE(dom_eval.Run(*parsed).ok());
   EXPECT_EQ(dom_eval.plan()->join_state.size(), 1u);
 
@@ -303,7 +303,7 @@ TEST(PlanLifetime, FreshPlanPerRun) {
   ASSERT_TRUE(edge_eval.Run(*parsed).ok());
   // The edge run's plan was built against the edge store; nothing from the
   // DOM run's caches is visible to it.
-  EXPECT_EQ(edge_eval.plan()->store_name, "edge table");
+  EXPECT_EQ(edge_eval.plan()->ann().store_name, "edge table");
   EXPECT_EQ(edge_eval.plan()->join_state.size(), 1u);
 }
 
