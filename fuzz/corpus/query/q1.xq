@@ -1,0 +1,3 @@
+
+for $b in document("auction.xml")/site/people/person[@id = "person0"]
+return $b/name/text()

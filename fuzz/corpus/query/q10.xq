@@ -1,0 +1,25 @@
+
+for $i in distinct-values(
+    document("auction.xml")/site/people/person/profile/interest/@category)
+let $p := for $t in document("auction.xml")/site/people/person
+          where $t/profile/interest/@category = $i
+          return <personne>
+                   <statistiques>
+                     <sexe>{$t/profile/gender/text()}</sexe>
+                     <age>{$t/profile/age/text()}</age>
+                     <education>{$t/profile/education/text()}</education>
+                     <revenu>{$t/profile/income/text()}</revenu>
+                   </statistiques>
+                   <coordonnees>
+                     <nom>{$t/name/text()}</nom>
+                     <rue>{$t/address/street/text()}</rue>
+                     <ville>{$t/address/city/text()}</ville>
+                     <pays>{$t/address/country/text()}</pays>
+                     <reseau>
+                       <courrier>{$t/emailaddress/text()}</courrier>
+                       <pagePerso>{$t/homepage/text()}</pagePerso>
+                     </reseau>
+                   </coordonnees>
+                   <cartePaiement>{$t/creditcard/text()}</cartePaiement>
+                 </personne>
+return <categorie><id>{$i}</id>{$p}</categorie>

@@ -1,0 +1,6 @@
+
+for $p in document("auction.xml")/site/people/person
+let $l := for $i in document("auction.xml")/site/open_auctions/open_auction/initial
+          where $p/profile/income > 5000 * $i/text()
+          return $i
+return <items name="{$p/name/text()}">{count($l)}</items>

@@ -1,0 +1,3 @@
+
+for $i in document("auction.xml")/site/regions/australia/item
+return <item name="{$i/name/text()}">{$i/description}</item>

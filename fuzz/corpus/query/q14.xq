@@ -1,0 +1,4 @@
+
+for $i in document("auction.xml")/site//item
+where contains($i/description, "gold")
+return $i/name/text()

@@ -1,0 +1,5 @@
+
+for $a in document("auction.xml")/site/closed_auctions/closed_auction
+          /annotation/description/parlist/listitem/parlist/listitem
+          /text/emph/keyword/text()
+return <text>{$a}</text>

@@ -1,0 +1,5 @@
+
+for $a in document("auction.xml")/site/closed_auctions/closed_auction
+where not(empty($a/annotation/description/parlist/listitem/parlist/listitem
+               /text/emph/keyword/text()))
+return <person id="{$a/seller/@person}"/>

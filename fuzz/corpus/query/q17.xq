@@ -1,0 +1,4 @@
+
+for $p in document("auction.xml")/site/people/person
+where empty($p/homepage/text())
+return <person name="{$p/name/text()}"/>

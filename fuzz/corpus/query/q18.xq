@@ -1,0 +1,4 @@
+
+declare function local:convert($v) { 2.20371 * $v };
+for $i in document("auction.xml")/site/open_auctions/open_auction
+return local:convert(zero-or-one($i/reserve/text()))

@@ -1,0 +1,5 @@
+
+for $b in document("auction.xml")/site/regions//item
+let $k := $b/name/text()
+order by zero-or-one($b/location)
+return <item name="{$k}">{$b/location/text()}</item>

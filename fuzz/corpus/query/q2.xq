@@ -1,0 +1,3 @@
+
+for $b in document("auction.xml")/site/open_auctions/open_auction
+return <increase>{$b/bidder[1]/increase/text()}</increase>

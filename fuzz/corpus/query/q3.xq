@@ -1,0 +1,6 @@
+
+for $b in document("auction.xml")/site/open_auctions/open_auction
+where zero-or-one($b/bidder[1]/increase/text()) * 2
+      <= $b/bidder[last()]/increase/text()
+return <increase first="{$b/bidder[1]/increase/text()}"
+                 last="{$b/bidder[last()]/increase/text()}"/>

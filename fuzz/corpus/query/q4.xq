@@ -1,0 +1,6 @@
+
+for $b in document("auction.xml")/site/open_auctions/open_auction
+where some $pr1 in $b/bidder/personref[@person = "person20"],
+      $pr2 in $b/bidder/personref[@person = "person51"]
+      satisfies $pr1 << $pr2
+return <history>{$b/reserve/text()}</history>

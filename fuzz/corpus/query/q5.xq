@@ -1,0 +1,4 @@
+
+count(for $i in document("auction.xml")/site/closed_auctions/closed_auction
+      where $i/price/text() >= 40
+      return $i/price)

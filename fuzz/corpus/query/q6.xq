@@ -1,0 +1,3 @@
+
+for $b in document("auction.xml")/site/regions
+return count($b//item)

@@ -1,0 +1,3 @@
+
+for $p in document("auction.xml")/site
+return count($p//description) + count($p//mail) + count($p//email)

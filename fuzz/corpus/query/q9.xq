@@ -1,0 +1,8 @@
+
+for $p in document("auction.xml")/site/people/person
+let $a := for $t in document("auction.xml")/site/closed_auctions/closed_auction
+          where $p/@id = $t/buyer/@person
+          return for $t2 in document("auction.xml")/site/regions/europe/item
+                 where $t/itemref/@item = $t2/@id
+                 return <item>{$t2/name/text()}</item>
+return <person name="{$p/name/text()}">{$a}</person>

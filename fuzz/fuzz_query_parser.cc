@@ -1,0 +1,42 @@
+// libFuzzer harness for the XQuery lexer + recursive-descent parser
+// (query/lexer.h, query/parser.h).
+//
+// The parser is the serving front end's attack surface: every query a
+// session submits is lexed and parsed before the plan cache is even
+// consulted, so malformed input must produce a Status, never a crash,
+// unbounded recursion or an out-of-bounds token read. Seed corpus:
+// Q1-Q20 (fuzz/corpus/query/) so mutations start from the real grammar.
+//
+// Build: -DBUILD_FUZZERS=ON (see fuzz/fuzz_sax_parser.cc for the
+// clang/libFuzzer vs standalone-driver split).
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "query/lexer.h"
+#include "query/parser.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  // The parser's recursion depth tracks expression nesting; inputs like
+  // "((((..." recurse per byte. 64 KiB keeps the stack comfortably inside
+  // the default 8 MiB limit while still exploring the whole grammar.
+  if (size > 64 * 1024) return 0;
+  const std::string_view input(reinterpret_cast<const char*>(data), size);
+
+  {
+    // Whole-module entry point (prolog + FLWOR body) — the path every
+    // EngineSession::Prepare takes.
+    xmark::query::Parser parser(input);
+    auto result = parser.ParseQuery();
+    (void)result;  // parse errors are expected outcomes, crashes are not
+  }
+  {
+    // Standalone-expression entry point (tests / interactive use) hits
+    // productions a module parse may reject early.
+    xmark::query::Parser parser(input);
+    auto result = parser.ParseExpression();
+    (void)result;
+  }
+  return 0;
+}

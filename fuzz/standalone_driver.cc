@@ -1,0 +1,61 @@
+// Fallback driver for the fuzz harnesses when the compiler has no
+// libFuzzer (-fsanitize=fuzzer is clang-only; GCC builds get this file
+// linked in instead).
+//
+// Usage: <fuzzer> [file-or-directory ...]
+//
+// Every named file — and every regular file inside a named directory —
+// is fed to LLVMFuzzerTestOneInput once. This is exactly libFuzzer's
+// "-runs=0 corpus/" regression mode, so the sanitizer CI jobs and plain
+// ctest runs replay the committed seed corpus on every build even
+// without clang.
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+int RunFile(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path.string().c_str());
+    return 1;
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                         bytes.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::filesystem::path> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::filesystem::path arg(argv[i]);
+    if (std::filesystem::is_directory(arg)) {
+      for (const auto& entry :
+           std::filesystem::recursive_directory_iterator(arg)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "usage: %s <corpus-file-or-dir>...\n", argv[0]);
+    return 2;
+  }
+  int failures = 0;
+  for (const auto& f : files) failures += RunFile(f);
+  std::printf("ran %zu corpus inputs, %d unreadable\n", files.size(),
+              failures);
+  return failures == 0 ? 0 : 1;
+}

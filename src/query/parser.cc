@@ -120,6 +120,11 @@ StatusOr<AstPtr> Parser::ParseExpr() {
 }
 
 StatusOr<AstPtr> Parser::ParseExprSingle() {
+  DepthGuard depth(this);
+  if (depth_ > kMaxExprDepth) {
+    return Fail("expression nesting exceeds " +
+                std::to_string(kMaxExprDepth) + " levels");
+  }
   if (cur_.kind == TokenKind::kIdent) {
     // Keywords are contextual: "for" is a FLWOR only when followed by $var.
     if (cur_.text == "for" || cur_.text == "let") {
@@ -344,6 +349,13 @@ StatusOr<AstPtr> Parser::ParseMultiplicative() {
 }
 
 StatusOr<AstPtr> Parser::ParseUnary() {
+  // Direct self-recursion ("----1") bypasses ParseExprSingle, so it
+  // carries its own depth guard.
+  DepthGuard depth(this);
+  if (depth_ > kMaxExprDepth) {
+    return Fail("expression nesting exceeds " +
+                std::to_string(kMaxExprDepth) + " levels");
+  }
   if (CurIs(TokenKind::kMinus)) {
     XMARK_RETURN_IF_ERROR(Advance());
     XMARK_ASSIGN_OR_RETURN(AstPtr operand, ParseUnary());
@@ -541,6 +553,13 @@ StatusOr<AstPtr> Parser::ParseEmbeddedExpr(size_t pos, size_t* resume) {
 }
 
 StatusOr<AstPtr> Parser::ParseConstructorAt(size_t pos, size_t* resume) {
+  // Nested constructors ("<a><a><a>…") recurse here directly, outside
+  // ParseExprSingle, so this entry point guards its own depth.
+  DepthGuard depth(this);
+  if (depth_ > kMaxExprDepth) {
+    return Fail("expression nesting exceeds " +
+                std::to_string(kMaxExprDepth) + " levels");
+  }
   const std::string_view src = lexer_.input();
   if (pos >= src.size() || src[pos] != '<') {
     return Status::ParseError("constructor must start with '<'");

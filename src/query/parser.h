@@ -59,8 +59,33 @@ class Parser {
   // Parses "{ Expr }" raw-embedded at `pos` (pointing at '{').
   StatusOr<AstPtr> ParseEmbeddedExpr(size_t pos, size_t* resume);
 
+  // RAII guard bounding expression-nesting recursion. Every recursive
+  // production passes through ParseExprSingle, so one counter there
+  // bounds the whole grammar; without it a hostile query of 64K open
+  // parens overflows the stack (found by fuzz/fuzz_query_parser.cc —
+  // queries are untrusted serving input, a crash is a DoS).
+  class DepthGuard {
+   public:
+    explicit DepthGuard(Parser* parser) : parser_(parser) {
+      ++parser_->depth_;
+    }
+    ~DepthGuard() { --parser_->depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+
+   private:
+    Parser* parser_;
+  };
+
+  // Deep enough for any legitimate query (Q1-Q20 nest < 40 levels, and a
+  // level costs ~10 recursive productions), shallow enough that the worst
+  // case stays far inside an 8 MiB thread stack. Bounds AST depth too, so
+  // the recursive AstNode destructor inherits the same guarantee.
+  static constexpr int kMaxExprDepth = 512;
+
   Lexer lexer_;
   Token cur_;
+  int depth_ = 0;
 };
 
 /// Convenience wrapper: parse a whole query text.

@@ -24,7 +24,7 @@ StatusOr<std::shared_ptr<const CachedQuery>> PlanCache::GetOrCompile(
     uint64_t options_fingerprint, const CompileFn& compile) {
   std::string key = CacheKey(query_text, store_uid, options_fingerprint);
   Shard& shard = shards_[std::hash<std::string>{}(key) % kShards];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  util::MutexLock lock(shard.mu);
   const auto it = shard.entries.find(key);
   if (it != shard.entries.end()) {
     hits_.fetch_add(1, std::memory_order_relaxed);
@@ -40,7 +40,7 @@ StatusOr<std::shared_ptr<const CachedQuery>> PlanCache::GetOrCompile(
 size_t PlanCache::size() const {
   size_t n = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    util::MutexLock lock(shard.mu);
     n += shard.entries.size();
   }
   return n;

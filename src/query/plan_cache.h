@@ -15,14 +15,15 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 
 #include "query/ast.h"
 #include "query/plan.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace xmark::query {
 
@@ -72,9 +73,9 @@ class PlanCache {
  private:
   static constexpr size_t kShards = 8;
   struct Shard {
-    mutable std::mutex mu;
+    mutable util::Mutex mu;
     std::unordered_map<std::string, std::shared_ptr<const CachedQuery>>
-        entries;
+        entries GUARDED_BY(mu);
   };
 
   Shard shards_[kShards];

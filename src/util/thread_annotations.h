@@ -1,0 +1,90 @@
+#ifndef XMARK_UTIL_THREAD_ANNOTATIONS_H_
+#define XMARK_UTIL_THREAD_ANNOTATIONS_H_
+
+// Clang thread-safety annotations (-Wthread-safety), no-ops on GCC/MSVC.
+//
+// These macros declare the locking contract of a structure in the source
+// itself — which mutex guards which field, which functions require or
+// exclude which lock — so Clang's static analysis *proves* every access
+// follows the contract at compile time. The CI job builds the tree with
+// clang++ -DTHREAD_SAFETY_WERROR=ON, turning any unguarded access into a
+// build error; tools/check_layering.py enforces that every mutex outside
+// util/ is the annotated util::Mutex so the analysis cannot be bypassed.
+//
+// Usage pattern (see query/plan_cache.h, util/thread_pool.h):
+//
+//   util::Mutex mu;
+//   std::vector<T> items GUARDED_BY(mu);
+//   void Push(T t) EXCLUDES(mu) { MutexLock lock(mu); items.push_back(t); }
+//   void PushLocked(T t) REQUIRES(mu) { items.push_back(t); }
+//
+// Macro names follow the Clang documentation's canonical set
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html).
+
+#if defined(__clang__)
+#define XMARK_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define XMARK_THREAD_ANNOTATION_(x)  // no-op on non-Clang compilers
+#endif
+
+// Type attribute: marks a class as a lockable capability ("mutex").
+#define CAPABILITY(x) XMARK_THREAD_ANNOTATION_(capability(x))
+
+// Type attribute: RAII object that acquires a capability in its
+// constructor and releases it in its destructor (e.g. util::MutexLock).
+#define SCOPED_CAPABILITY XMARK_THREAD_ANNOTATION_(scoped_lockable)
+
+// Data member attribute: the member may only be read or written while
+// holding the given capability.
+#define GUARDED_BY(x) XMARK_THREAD_ANNOTATION_(guarded_by(x))
+
+// Data member attribute (pointers): the pointed-to data is guarded; the
+// pointer itself may be read freely.
+#define PT_GUARDED_BY(x) XMARK_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+// Function attribute: the caller must hold the capability (exclusively /
+// shared) before calling; the function does not release it.
+#define REQUIRES(...) \
+  XMARK_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  XMARK_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+// Function attribute: the function acquires the capability and holds it
+// on return (caller must not already hold it).
+#define ACQUIRE(...) \
+  XMARK_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  XMARK_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+// Function attribute: the function releases the capability (caller must
+// hold it on entry).
+#define RELEASE(...) \
+  XMARK_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  XMARK_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+// Function attribute: attempts to acquire; first argument is the return
+// value that means success.
+#define TRY_ACQUIRE(...) \
+  XMARK_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+// Function attribute: the caller must NOT hold the capability (the
+// function acquires and releases it internally). Catches self-deadlock.
+#define EXCLUDES(...) XMARK_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+// Function attribute: asserts at runtime that the capability is held and
+// tells the analysis to assume so from here on.
+#define ASSERT_CAPABILITY(x) \
+  XMARK_THREAD_ANNOTATION_(assert_capability(x))
+
+// Function attribute: the function returns a reference to the given
+// capability (lets accessors expose a member mutex).
+#define RETURN_CAPABILITY(x) XMARK_THREAD_ANNOTATION_(lock_returned(x))
+
+// Function attribute: opt this function out of the analysis entirely.
+// Reserve for code the analysis cannot express; every use is a reviewed
+// exception, not a convenience.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  XMARK_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // XMARK_UTIL_THREAD_ANNOTATIONS_H_

@@ -24,10 +24,10 @@ ThreadPool::ThreadPool(unsigned threads) {
 ThreadPool::~ThreadPool() {
   Wait();
   {
-    std::lock_guard<std::mutex> lock(wake_mu_);
+    util::MutexLock lock(wake_mu_);
     stop_.store(true, std::memory_order_release);
   }
-  wake_.notify_all();
+  wake_.NotifyAll();
   for (std::thread& t : threads_) t.join();
 }
 
@@ -35,16 +35,16 @@ void ThreadPool::Submit(std::function<void()> fn) {
   const unsigned q = next_queue_.fetch_add(1, std::memory_order_relaxed) %
                      queues_.size();
   {
-    std::lock_guard<std::mutex> lock(queues_[q]->mu);
+    util::MutexLock lock(queues_[q]->mu);
     queues_[q]->tasks.push_back(std::move(fn));
   }
   // pending_ changes under wake_mu_ so sleeping workers and Wait() cannot
   // miss the state change between their predicate check and the wait.
   {
-    std::lock_guard<std::mutex> lock(wake_mu_);
+    util::MutexLock lock(wake_mu_);
     pending_.fetch_add(1, std::memory_order_release);
   }
-  wake_.notify_one();
+  wake_.NotifyOne();
 }
 
 bool ThreadPool::RunOne(unsigned self) {
@@ -52,7 +52,7 @@ bool ThreadPool::RunOne(unsigned self) {
   {
     // Own deque: newest first (cache-hot).
     Queue& own = *queues_[self];
-    std::lock_guard<std::mutex> lock(own.mu);
+    util::MutexLock lock(own.mu);
     if (!own.tasks.empty()) {
       task = std::move(own.tasks.back());
       own.tasks.pop_back();
@@ -62,7 +62,7 @@ bool ThreadPool::RunOne(unsigned self) {
     // Steal oldest-first from the other deques.
     for (size_t i = 1; i < queues_.size() && !task; ++i) {
       Queue& victim = *queues_[(self + i) % queues_.size()];
-      std::lock_guard<std::mutex> lock(victim.mu);
+      util::MutexLock lock(victim.mu);
       if (!victim.tasks.empty()) {
         task = std::move(victim.tasks.front());
         victim.tasks.pop_front();
@@ -73,16 +73,16 @@ bool ThreadPool::RunOne(unsigned self) {
   task();
   size_t left;
   {
-    std::lock_guard<std::mutex> lock(wake_mu_);
+    util::MutexLock lock(wake_mu_);
     left = pending_.fetch_sub(1, std::memory_order_acq_rel) - 1;
   }
-  if (left == 0) idle_.notify_all();
+  if (left == 0) idle_.NotifyAll();
   return true;
 }
 
 bool ThreadPool::HasRunnable() {
   for (const auto& q : queues_) {
-    std::lock_guard<std::mutex> lock(q->mu);
+    util::MutexLock lock(q->mu);
     if (!q->tasks.empty()) return true;
   }
   return false;
@@ -91,8 +91,8 @@ bool ThreadPool::HasRunnable() {
 void ThreadPool::WorkerLoop(unsigned self) {
   while (true) {
     if (RunOne(self)) continue;
-    std::unique_lock<std::mutex> lock(wake_mu_);
-    wake_.wait(lock, [this] {
+    util::MutexLock lock(wake_mu_);
+    wake_.Wait(wake_mu_, [this] {
       return stop_.load(std::memory_order_acquire) ||
              (pending_.load(std::memory_order_acquire) > 0 && HasRunnable());
     });
@@ -106,8 +106,8 @@ void ThreadPool::Wait() {
     if (RunOne(0)) continue;
     // Nothing runnable here, but tasks are still in flight on other
     // workers (or nested submissions may yet arrive).
-    std::unique_lock<std::mutex> lock(wake_mu_);
-    idle_.wait(lock, [this] {
+    util::MutexLock lock(wake_mu_);
+    idle_.Wait(wake_mu_, [this] {
       return pending_.load(std::memory_order_acquire) == 0 || HasRunnable();
     });
   }

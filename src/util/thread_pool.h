@@ -3,12 +3,13 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace xmark {
 
@@ -51,8 +52,8 @@ class ThreadPool {
 
  private:
   struct Queue {
-    std::mutex mu;
-    std::deque<std::function<void()>> tasks;
+    util::Mutex mu;
+    std::deque<std::function<void()>> tasks GUARDED_BY(mu);
   };
 
   // Pops from own deque back, else steals from other fronts. Returns false
@@ -63,9 +64,13 @@ class ThreadPool {
 
   std::vector<std::unique_ptr<Queue>> queues_;  // [0] is the caller's
   std::vector<std::thread> threads_;
-  std::mutex wake_mu_;
-  std::condition_variable wake_;
-  std::condition_variable idle_;
+  // Sleep/wake protocol: pending_ only changes with wake_mu_ held (though
+  // it stays atomic so Wait()'s fast path may read it lock-free), so a
+  // sleeper that saw pending_ == 0 under the lock cannot miss the
+  // notification of a concurrent Submit.
+  util::Mutex wake_mu_;
+  util::CondVar wake_;
+  util::CondVar idle_;
   std::atomic<size_t> pending_{0};  // submitted but not yet finished
   std::atomic<unsigned> next_queue_{0};
   std::atomic<bool> stop_{false};

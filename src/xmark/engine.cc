@@ -120,7 +120,7 @@ StatusOr<query::Sequence> ExecuteQuery(const query::StorageAdapter& store,
   if (!result.ok()) return result.status();
   *last_stats = evaluator.stats();
   {
-    std::lock_guard<std::mutex> lock(serving->stats_mu);
+    util::MutexLock lock(serving->stats_mu);
     serving->cumulative_stats.MergeFrom(evaluator.stats());
     ++serving->queries_executed;
   }
@@ -343,12 +343,12 @@ StatusOr<std::string> Engine::Explain(std::string_view query_text) const {
 }
 
 query::EvalStats Engine::cumulative_stats() const {
-  std::lock_guard<std::mutex> lock(serving_->stats_mu);
+  util::MutexLock lock(serving_->stats_mu);
   return serving_->cumulative_stats;
 }
 
 uint64_t Engine::queries_executed() const {
-  std::lock_guard<std::mutex> lock(serving_->stats_mu);
+  util::MutexLock lock(serving_->stats_mu);
   return serving_->queries_executed;
 }
 

@@ -3,7 +3,6 @@
 
 #include <array>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 
@@ -12,7 +11,9 @@
 #include "query/plan_cache.h"
 #include "query/storage.h"
 #include "store/load_options.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace xmark::bench {
 
@@ -56,9 +57,11 @@ struct PreparedQuery {
 /// sessions stay valid even if the engine is destroyed first.
 struct ServingState {
   query::PlanCache plan_cache;
-  std::mutex stats_mu;
-  query::EvalStats cumulative_stats;  // merged at each query completion
-  uint64_t queries_executed = 0;
+  util::Mutex stats_mu;
+  // Merged under stats_mu at each query completion; read under stats_mu by
+  // Engine::cumulative_stats() / queries_executed().
+  query::EvalStats cumulative_stats GUARDED_BY(stats_mu);
+  uint64_t queries_executed GUARDED_BY(stats_mu) = 0;
 };
 
 class EngineSession;

@@ -1,0 +1,41 @@
+// NEGATIVE thread-safety probe — this file must NOT compile under
+// clang++ -Wthread-safety -Werror=thread-safety.
+//
+// tools/check_thread_safety.py compiles it and asserts failure: that is
+// the proof the GUARDED_BY vocabulary in util/thread_annotations.h is
+// actually wired to Clang's analysis (a silent no-op macro set would
+// "pass" every build while checking nothing). The expected diagnostic is
+// -Wthread-safety-analysis: "reading variable 'value' requires holding
+// mutex 'mu'".
+//
+// This file is intentionally excluded from the normal build (the tests/
+// glob takes tests/*.cc, not tests/compile_fail/).
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+struct Counter {
+  xmark::util::Mutex mu;
+  int value GUARDED_BY(mu) = 0;
+
+  // BAD: reads a guarded member with no lock held.
+  int ReadUnguarded() { return value; }
+
+  // BAD: writes a guarded member with no lock held.
+  void WriteUnguarded(int v) { value = v; }
+
+  // BAD: claims to need no lock but calls a REQUIRES function.
+  void IncrementLocked() REQUIRES(mu) { ++value; }
+  void CallWithoutLock() { IncrementLocked(); }
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.WriteUnguarded(1);
+  c.CallWithoutLock();
+  return c.ReadUnguarded();
+}

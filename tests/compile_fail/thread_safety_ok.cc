@@ -1,0 +1,49 @@
+// POSITIVE thread-safety probe — must compile warning-clean under
+// clang++ -Wthread-safety -Werror=thread-safety (and under GCC, where
+// the annotations are no-ops).
+//
+// The twin of thread_safety_bad.cc: together they prove the analysis
+// accepts the annotated idioms this repo actually uses (MutexLock
+// scopes, REQUIRES helpers, CondVar waits) and rejects the unguarded
+// ones. tools/check_thread_safety.py runs both.
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+struct Counter {
+  xmark::util::Mutex mu;
+  xmark::util::CondVar nonzero;
+  int value GUARDED_BY(mu) = 0;
+
+  int Read() {
+    xmark::util::MutexLock lock(mu);
+    return value;
+  }
+
+  void IncrementLocked() REQUIRES(mu) { ++value; }
+
+  void Increment() EXCLUDES(mu) {
+    xmark::util::MutexLock lock(mu);
+    IncrementLocked();
+    nonzero.NotifyAll();
+  }
+
+  // CondVar::Wait is REQUIRES(mu): holding the lock across the wait is
+  // the annotated contract, mirroring ThreadPool::WorkerLoop. The guarded
+  // predicate is re-checked with the lock held after every wakeup.
+  int WaitNonzero() {
+    xmark::util::MutexLock lock(mu);
+    while (value == 0) nonzero.Wait(mu);
+    return value;
+  }
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return c.Read() == 1 ? 0 : 1;
+}

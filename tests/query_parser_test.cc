@@ -165,6 +165,50 @@ TEST(ParserTest, Errors) {
   }
 }
 
+// Queries are untrusted serving input: pathological nesting must come
+// back as a parse error, never as unbounded recursion (stack overflow =
+// remotely triggerable crash; found by fuzz/fuzz_query_parser.cc).
+TEST(ParserTest, PathologicalNestingIsRejectedNotCrashed) {
+  constexpr size_t kDeep = 100000;
+
+  // "((((…1…))))" recurses through the whole ParseExprSingle chain.
+  std::string parens(kDeep, '(');
+  parens += '1';
+  parens.append(kDeep, ')');
+  {
+    Parser parser(parens);
+    auto result = parser.ParseExpression();
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.status().message().find("nesting"), std::string::npos)
+        << result.status();
+  }
+
+  // "-----1" recurses directly in ParseUnary.
+  std::string minuses(kDeep, '-');
+  minuses += '1';
+  {
+    Parser parser(minuses);
+    EXPECT_FALSE(parser.ParseExpression().ok());
+  }
+
+  // "<a><a><a>…" recurses directly in ParseConstructorAt.
+  std::string constructors;
+  for (size_t i = 0; i < kDeep; ++i) constructors += "<a>";
+  {
+    Parser parser(constructors);
+    EXPECT_FALSE(parser.ParseExpression().ok());
+  }
+}
+
+// The guard must not reject any realistic nesting depth.
+TEST(ParserTest, ModerateNestingStillParses) {
+  std::string parens(100, '(');
+  parens += '1';
+  parens.append(100, ')');
+  Parser parser(parens);
+  EXPECT_TRUE(parser.ParseExpression().ok());
+}
+
 TEST(ParserTest, AllTwentyBenchmarkQueriesParse) {
   for (const auto& spec : bench::AllQueries()) {
     auto parsed = ParseQueryText(spec.text);

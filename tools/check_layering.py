@@ -1,0 +1,274 @@
+#!/usr/bin/env python3
+"""Include-graph layering lint.
+
+Machine-enforces the architecture documented in docs/ARCHITECTURE.md:
+
+  * ``util/`` depends on nothing above it.
+  * ``xml/`` sits on util only.
+  * ``gen/`` (the XMark document generator) sits on util only.
+  * ``query/`` (plan -> optimizer -> exec DAG) sits on util + xml and
+    never reaches down into concrete stores.
+  * ``store/`` implements the ``query/storage.h`` interface without
+    reaching into any other ``query/`` internals.
+  * ``rel/`` (relational shredder/operators) sits on store and below.
+  * ``xmark/`` (engine / benchmark harness) is the top and may use
+    everything.
+
+plus repo-wide source contracts:
+
+  * No raw ``std::mutex`` / ``std::condition_variable`` / ``<mutex>``
+    outside ``src/util`` — all locking goes through the annotated
+    ``util::Mutex`` wrappers (util/mutex.h) so Clang's
+    ``-Wthread-safety`` analysis covers every critical section.
+  * Any file declaring a ``util::Mutex`` member must include
+    ``util/thread_annotations.h`` (directly or via util/mutex.h), i.e.
+    the GUARDED_BY vocabulary is always in scope where locks live.
+
+Intra-``query/`` sub-layering (plan -> optimizer -> exec) is also
+checked: plan.h must not include optimizer.h/exec.h, optimizer.h must
+not include exec.h.
+
+Exit status 0 = clean, 1 = violations (printed one per line), 2 = usage
+error. ``--self-test`` runs the checker against a synthetic tree that
+contains one violation of every rule and verifies each is caught.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+import tempfile
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"', re.M)
+
+# Layer -> set of layers it may include from (its own layer is always
+# allowed). Directories under src/ not named here are an error, so a new
+# top-level directory forces an explicit layering decision.
+ALLOWED_DEPS = {
+    "util": set(),
+    "xml": {"util"},
+    "gen": {"util"},
+    "query": {"util", "xml"},
+    # store/ may additionally include exactly query/storage.h — handled
+    # as a special case below, not via this table.
+    "store": {"util", "xml"},
+    "rel": {"store", "util", "xml"},
+    "xmark": {"gen", "query", "rel", "store", "util", "xml"},
+}
+
+# The single query/ header that lower layers may implement against.
+STORAGE_INTERFACE = "query/storage.h"
+STORAGE_IMPLEMENTORS = {"store", "rel"}
+
+# query/ internal sub-layering: header stem -> stems its *header* must not
+# include. Headers define the dependency DAG; the .cc files may need
+# complete downstream types (plan.cc owns per-run executor state through
+# unique_ptr<HashJoinExec> etc., whose destructors require exec.h).
+QUERY_SUBLAYER_FORBIDDEN = {
+    "plan": {"optimizer", "exec", "evaluator"},
+    "optimizer": {"exec", "evaluator"},
+}
+
+RAW_MUTEX_RE = re.compile(
+    r"std::(mutex|timed_mutex|recursive_mutex|shared_mutex|"
+    r"condition_variable\b|condition_variable_any|lock_guard|unique_lock|"
+    r"scoped_lock|shared_lock)"
+)
+MUTEX_MEMBER_RE = re.compile(r"\butil::Mutex\b|\bMutex\s+\w+_?\s*;")
+
+
+def strip_comments(text: str) -> str:
+    """Removes // and /* */ comments (string literals with comment-like
+    content are rare enough in this tree not to matter for a lint)."""
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.S)
+    text = re.sub(r"//[^\n]*", "", text)
+    return text
+
+
+def layer_of(include: str) -> str | None:
+    """Maps an #include "a/b.h" path to its top-level layer, or None for
+    paths outside src/ (e.g. bench/bench_util.h)."""
+    head = include.split("/", 1)[0]
+    return head if head in ALLOWED_DEPS else None
+
+
+def check_tree(root: pathlib.Path) -> list[str]:
+    errors: list[str] = []
+    src = root / "src"
+    if not src.is_dir():
+        return [f"{root}: no src/ directory"]
+
+    for path in sorted(src.rglob("*")):
+        if path.suffix not in (".h", ".cc"):
+            continue
+        rel = path.relative_to(root).as_posix()
+        layer = path.relative_to(src).parts[0]
+        if layer not in ALLOWED_DEPS:
+            errors.append(
+                f"{rel}: directory src/{layer}/ has no layering entry in "
+                f"tools/check_layering.py — declare its dependencies")
+            continue
+        raw = path.read_text(encoding="utf-8", errors="replace")
+        text = strip_comments(raw)
+
+        # --- include-graph rules -------------------------------------
+        for inc in INCLUDE_RE.findall(text):
+            inc_layer = layer_of(inc)
+            if inc_layer is None:
+                # System or third-party header (<...> never matches) or a
+                # path outside src/; <>-includes are not captured at all.
+                errors.append(
+                    f"{rel}: includes \"{inc}\" which is outside the src/ "
+                    f"layer graph")
+                continue
+            if inc_layer == layer:
+                continue
+            if layer in STORAGE_IMPLEMENTORS and inc_layer == "query":
+                if inc != STORAGE_INTERFACE:
+                    errors.append(
+                        f"{rel}: stores may only implement "
+                        f"\"{STORAGE_INTERFACE}\", not reach into \"{inc}\"")
+                continue  # storage.h itself is the sanctioned interface
+            if inc_layer not in ALLOWED_DEPS[layer]:
+                errors.append(
+                    f"{rel}: layer '{layer}' must not include \"{inc}\" "
+                    f"(allowed: {', '.join(sorted(ALLOWED_DEPS[layer] | {layer}))})")
+
+        # query/ sub-layering: plan below optimizer below exec.
+        if layer == "query" and path.suffix == ".h":
+            stem = path.stem
+            forbidden = QUERY_SUBLAYER_FORBIDDEN.get(stem, set())
+            for inc in INCLUDE_RE.findall(text):
+                inc_stem = pathlib.PurePosixPath(inc).stem
+                if inc.startswith("query/") and inc_stem in forbidden:
+                    errors.append(
+                        f"{rel}: query sub-layer '{stem}' must not include "
+                        f"\"{inc}\" (plan -> optimizer -> exec is one-way)")
+
+        # --- locking contracts ---------------------------------------
+        if layer != "util":
+            m = RAW_MUTEX_RE.search(text)
+            if m:
+                errors.append(
+                    f"{rel}: raw {m.group(0)} outside src/util — use the "
+                    f"annotated util::Mutex / util::MutexLock / util::CondVar "
+                    f"(util/mutex.h) so -Wthread-safety sees the lock")
+            if re.search(r"#\s*include\s*<(mutex|condition_variable|"
+                         r"shared_mutex)>", text):
+                errors.append(
+                    f"{rel}: includes a raw locking header outside src/util "
+                    f"— include \"util/mutex.h\" instead")
+            if (re.search(r"\butil::Mutex\b", text)
+                    and "util/mutex.h" not in text):
+                errors.append(
+                    f"{rel}: uses util::Mutex without including "
+                    f"\"util/mutex.h\"")
+
+    return errors
+
+
+# ---------------------------------------------------------------------
+# Self-test: synthesize a tree with one violation per rule and check the
+# lint reports each (and passes a clean twin).
+# ---------------------------------------------------------------------
+
+SELF_TEST_BAD = {
+    # util reaching up: forbidden.
+    "src/util/bad_up.h": '#include "query/plan.h"\n',
+    # store reaching into query internals (beyond storage.h): forbidden.
+    "src/store/bad_store.cc":
+        '#include "query/storage.h"\n#include "query/optimizer.h"\n',
+    # query reaching down into a concrete store: forbidden.
+    "src/query/bad_query.h": '#include "store/dom_store.h"\n',
+    # raw std::mutex outside util: forbidden.
+    "src/xmark/bad_lock.cc": "#include <mutex>\nstd::mutex mu;\n",
+    # query sub-layering: plan must not include exec.
+    "src/query/plan.h": '#include "query/exec.h"\n',
+    # unknown directory: must force a layering decision.
+    "src/rogue/new_layer.cc": "int x;\n",
+}
+
+SELF_TEST_CLEAN = {
+    "src/util/mutex.h": "struct Mutex {};\n",
+    "src/xml/names.h": '#include "util/mutex.h"\n',
+    "src/query/storage.h": '#include "xml/names.h"\n',
+    "src/store/dom_store.h": '#include "query/storage.h"\n',
+    "src/xmark/engine.h":
+        '#include "store/dom_store.h"\n#include "util/mutex.h"\n'
+        "util::Mutex stats_mu;\n",
+}
+
+SELF_TEST_EXPECT = [
+    "must not include \"query/plan.h\"",
+    "not reach into \"query/optimizer.h\"",
+    "must not include \"store/dom_store.h\"",
+    "raw std::mutex outside src/util",
+    "raw locking header outside src/util",
+    "plan -> optimizer -> exec is one-way",
+    "no layering entry",
+]
+
+
+def write_tree(root: pathlib.Path, files: dict[str, str]) -> None:
+    for rel, content in files.items():
+        p = root / rel
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(content)
+
+
+def self_test() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        bad = pathlib.Path(tmp) / "bad"
+        write_tree(bad, SELF_TEST_BAD)
+        errors = check_tree(bad)
+        joined = "\n".join(errors)
+        missing = [e for e in SELF_TEST_EXPECT if e not in joined]
+        if missing:
+            print("self-test FAILED: deliberately bad includes not caught:")
+            for e in missing:
+                print(f"  expected error containing: {e!r}")
+            print("checker output was:")
+            print(joined or "  (no errors reported)")
+            return 1
+
+        clean = pathlib.Path(tmp) / "clean"
+        write_tree(clean, SELF_TEST_CLEAN)
+        errors = check_tree(clean)
+        if errors:
+            print("self-test FAILED: clean tree reported errors:")
+            for e in errors:
+                print(f"  {e}")
+            return 1
+    print("check_layering self-test OK "
+          f"({len(SELF_TEST_EXPECT)} violation classes caught, clean tree "
+          "passes)")
+    return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", default=".",
+                    help="repository root (default: cwd)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify the checker catches a synthetic tree of "
+                         "deliberate violations")
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    root = pathlib.Path(args.root).resolve()
+    errors = check_tree(root)
+    if errors:
+        for e in errors:
+            print(e)
+        print(f"\n{len(errors)} layering violation(s).")
+        return 1
+    print("layering OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Thread-safety annotation probe.
+
+Proves that the GUARDED_BY / REQUIRES vocabulary in
+src/util/thread_annotations.h is wired to a real compile-time analysis:
+
+  1. tests/compile_fail/thread_safety_ok.cc must compile warning-clean
+     under ``clang++ -Wthread-safety -Werror=thread-safety``.
+  2. tests/compile_fail/thread_safety_bad.cc (unguarded reads/writes of a
+     GUARDED_BY member, REQUIRES call without the lock) must FAIL to
+     compile, with a -Wthread-safety diagnostic in the output.
+
+Without (2), a broken macro expansion would silently turn the entire
+annotation layer into comments and every "clean" build would prove
+nothing.
+
+Exit codes: 0 = both probes behave, 1 = probe failure, 77 = no clang++
+found (ctest maps 77 to SKIPPED via SKIP_RETURN_CODE; GCC has no
+thread-safety analysis, so there is nothing to probe).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import shutil
+import subprocess
+import sys
+
+CLANG_CANDIDATES = ["clang++"] + [f"clang++-{v}" for v in range(22, 13, -1)]
+
+FLAGS = ["-std=c++20", "-fsyntax-only", "-Wthread-safety",
+         "-Werror=thread-safety"]
+
+
+def find_clang(explicit: str | None) -> str | None:
+    if explicit:
+        return explicit if shutil.which(explicit) else None
+    for name in CLANG_CANDIDATES:
+        if shutil.which(name):
+            return name
+    return None
+
+
+def compile_probe(clang: str, root: pathlib.Path,
+                  probe: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [clang, *FLAGS, f"-I{root / 'src'}",
+         str(root / "tests" / "compile_fail" / probe)],
+        capture_output=True, text=True)
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", default=".", help="repository root")
+    ap.add_argument("--clang", default=None,
+                    help="clang++ binary (default: search PATH)")
+    args = ap.parse_args()
+    root = pathlib.Path(args.root).resolve()
+
+    clang = find_clang(args.clang)
+    if clang is None:
+        print("SKIP: no clang++ on PATH — thread-safety analysis is "
+              "clang-only (the CI thread-safety job provides it)")
+        return 77
+
+    ok = compile_probe(clang, root, "thread_safety_ok.cc")
+    if ok.returncode != 0:
+        print("FAIL: the correctly annotated probe did not compile under "
+              f"{clang} -Werror=thread-safety:")
+        print(ok.stderr)
+        return 1
+
+    bad = compile_probe(clang, root, "thread_safety_bad.cc")
+    if bad.returncode == 0:
+        print("FAIL: thread_safety_bad.cc compiled cleanly — the "
+              "annotations are not reaching Clang's analysis (macro "
+              "expansion broken?)")
+        return 1
+    if "thread-safety" not in bad.stderr:
+        print("FAIL: thread_safety_bad.cc failed to compile, but not with "
+              "a -Wthread-safety diagnostic:")
+        print(bad.stderr)
+        return 1
+
+    n_diags = bad.stderr.count("error:")
+    print(f"thread-safety probe OK under {clang}: annotated probe clean, "
+          f"unguarded probe rejected with {n_diags} error(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
