@@ -13,6 +13,9 @@
 //                      measures 1, 2, 4, ... up to the max
 //   --iters=3          passes over the query mix per client thread
 //   --parallel-exec    additionally enable intra-query morsel parallelism
+//   --deadline-ms=0    per-query deadline applied to every client session
+//                      (0 = no deadline); queries killed by the deadline
+//                      are counted per StatusCode, not treated as fatal
 //   --json             machine-readable output (docs/BENCHMARKS.md schema)
 
 #include <algorithm>
@@ -42,14 +45,28 @@ std::vector<int> WorkloadQueries() {
 
 struct RunResult {
   unsigned threads = 0;
-  size_t queries = 0;
+  size_t queries = 0;  // completed queries (outcomes.ok)
   double wall_ms = 0;
   double qps = 0;
   double p50_ms = 0;
   double p99_ms = 0;
   uint64_t plan_cache_hits = 0;    // delta across this run
   uint64_t plan_cache_misses = 0;  // delta across this run
+  QueryOutcomes outcomes;          // per-StatusCode deltas for this run
 };
+
+// Governed rejections are expected outcomes of a deadline run, not bench
+// failures; anything else (parse error, internal error) still aborts.
+bool IsGovernedRejection(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kCancelled:
+    case StatusCode::kResourceExhausted:
+      return true;
+    default:
+      return false;
+  }
+}
 
 double Percentile(std::vector<double>* latencies, double p) {
   if (latencies->empty()) return 0;
@@ -66,13 +83,16 @@ double Percentile(std::vector<double>* latencies, double p) {
 // lock-step on the same query.
 StatusOr<RunResult> MeasureThreads(Engine* engine, unsigned threads,
                                    int iters,
-                                   const std::vector<int>& workload) {
+                                   const std::vector<int>& workload,
+                                   const query::RunOptions& run_options) {
   std::vector<std::unique_ptr<EngineSession>> sessions;
   for (unsigned t = 0; t < threads; ++t) {
     XMARK_ASSIGN_OR_RETURN(auto session, engine->CreateSession());
+    (*session).set_run_options(run_options);
     sessions.push_back(std::move(session));
   }
   const query::PlanCacheStats before = engine->plan_cache_stats();
+  const QueryOutcomes outcomes_before = engine->outcomes();
 
   std::vector<std::vector<double>> latencies(threads);
   std::vector<Status> failures(threads, Status::OK());
@@ -92,8 +112,14 @@ StatusOr<RunResult> MeasureThreads(Engine* engine, unsigned threads,
             PhaseTimer timer;
             auto result = session->Run(GetQuery(q).text);
             if (!result.ok()) {
-              failures[t] = result.status();
-              return;
+              // Governed rejections (deadline, budget) are counted in the
+              // shared outcome counters; latency is only recorded for
+              // completed queries.
+              if (!IsGovernedRejection(result.status())) {
+                failures[t] = result.status();
+                return;
+              }
+              continue;
             }
             lat.push_back(timer.ElapsedWallMillis());
           }
@@ -113,6 +139,17 @@ StatusOr<RunResult> MeasureThreads(Engine* engine, unsigned threads,
     merged.insert(merged.end(), lat.begin(), lat.end());
   }
   const query::PlanCacheStats after = engine->plan_cache_stats();
+  const QueryOutcomes outcomes_after = engine->outcomes();
+  out.outcomes.ok = outcomes_after.ok - outcomes_before.ok;
+  out.outcomes.deadline_exceeded =
+      outcomes_after.deadline_exceeded - outcomes_before.deadline_exceeded;
+  out.outcomes.cancelled = outcomes_after.cancelled - outcomes_before.cancelled;
+  out.outcomes.resource_exhausted = outcomes_after.resource_exhausted -
+                                    outcomes_before.resource_exhausted;
+  out.outcomes.invalid_query =
+      outcomes_after.invalid_query - outcomes_before.invalid_query;
+  out.outcomes.other_error =
+      outcomes_after.other_error - outcomes_before.other_error;
   out.threads = threads;
   out.queries = merged.size();
   out.qps = out.wall_ms > 0
@@ -143,6 +180,7 @@ int Main(int argc, char** argv) {
   const int iters = FlagInt(argc, argv, "iters", 3);
   const bool json = FlagBool(argc, argv, "json");
   const bool parallel_exec = FlagBool(argc, argv, "parallel-exec");
+  const int deadline_ms = FlagInt(argc, argv, "deadline-ms", 0);
   const unsigned hardware = std::thread::hardware_concurrency();
   unsigned max_threads =
       static_cast<unsigned>(FlagInt(argc, argv, "threads", 0));
@@ -187,9 +225,13 @@ int Main(int argc, char** argv) {
   for (unsigned t = 1; t < max_threads; t *= 2) thread_counts.push_back(t);
   thread_counts.push_back(max_threads);
 
+  query::RunOptions run_options;
+  run_options.deadline_ms = deadline_ms;
+
   std::vector<RunResult> runs;
   for (unsigned threads : thread_counts) {
-    auto result = MeasureThreads(engine, threads, iters, workload);
+    auto result = MeasureThreads(engine, threads, iters, workload,
+                                 run_options);
     if (!result.ok()) {
       std::fprintf(stderr, "%u threads: %s\n", threads,
                    result.status().ToString().c_str());
@@ -204,8 +246,12 @@ int Main(int argc, char** argv) {
     std::printf("hardware_concurrency %u, %d passes over Q1-Q20 per "
                 "client, parallel_exec %s\n\n",
                 hardware, iters, parallel_exec ? "on" : "off");
+    if (deadline_ms > 0) {
+      std::printf("per-query deadline: %d ms\n", deadline_ms);
+    }
     TablePrinter table({"threads", "queries", "wall (ms)", "QPS",
-                        "p50 (ms)", "p99 (ms)", "cache hits", "misses"});
+                        "p50 (ms)", "p99 (ms)", "cache hits", "misses",
+                        "deadline", "resource"});
     for (const RunResult& run : runs) {
       table.AddRow({std::to_string(run.threads),
                     std::to_string(run.queries),
@@ -214,7 +260,9 @@ int Main(int argc, char** argv) {
                     StringPrintf("%.2f", run.p50_ms),
                     StringPrintf("%.2f", run.p99_ms),
                     std::to_string(run.plan_cache_hits),
-                    std::to_string(run.plan_cache_misses)});
+                    std::to_string(run.plan_cache_misses),
+                    std::to_string(run.outcomes.deadline_exceeded),
+                    std::to_string(run.outcomes.resource_exhausted)});
     }
     std::printf("%s", table.ToString().c_str());
     if (runs.size() > 1) {
@@ -232,6 +280,7 @@ int Main(int argc, char** argv) {
     w.Key("hardware_concurrency").Value(static_cast<int64_t>(hardware));
     w.Key("iters").Value(iters);
     w.Key("parallel_exec").Value(parallel_exec);
+    w.Key("deadline_ms").Value(deadline_ms);
     w.Key("runs").BeginArray();
     for (const RunResult& run : runs) {
       w.BeginObject();
@@ -244,6 +293,18 @@ int Main(int argc, char** argv) {
       w.Key("plan_cache_hits").Value(static_cast<int64_t>(run.plan_cache_hits));
       w.Key("plan_cache_misses")
           .Value(static_cast<int64_t>(run.plan_cache_misses));
+      w.Key("outcomes").BeginObject();
+      w.Key("ok").Value(static_cast<int64_t>(run.outcomes.ok));
+      w.Key("deadline_exceeded")
+          .Value(static_cast<int64_t>(run.outcomes.deadline_exceeded));
+      w.Key("cancelled").Value(static_cast<int64_t>(run.outcomes.cancelled));
+      w.Key("resource_exhausted")
+          .Value(static_cast<int64_t>(run.outcomes.resource_exhausted));
+      w.Key("invalid_query")
+          .Value(static_cast<int64_t>(run.outcomes.invalid_query));
+      w.Key("other_error")
+          .Value(static_cast<int64_t>(run.outcomes.other_error));
+      w.EndObject();
       w.EndObject();
     }
     w.EndArray();

@@ -134,10 +134,16 @@ StatusOr<Sequence> Evaluator::Run(
 
   Environment env(slot_count_);
   const int64_t spills_before = SequenceHeapSpills();
-  XMARK_ASSIGN_OR_RETURN(Sequence result, Eval(*query.body, env, nullptr));
+  // Governed runs charge NodeArena / Sequence allocations on this thread
+  // to the run's budget (morsel workers install it themselves).
+  ScopedMemoryBudget charge(ctx_ != nullptr ? ctx_->memory_budget()
+                                            : nullptr);
+  auto result = Eval(*query.body, env, nullptr);
   stats_.sequence_heap_spills = SequenceHeapSpills() - spills_before;
+  if (ctx_ != nullptr) stats_.governance_checks = ctx_->checks();
+  if (!result.ok()) return result.status();
   if (options_.copy_results) {
-    for (Item& item : result) {
+    for (Item& item : *result) {
       if (item.is_node()) item = Item(DeepCopyNode(item.node()));
     }
   }
@@ -164,13 +170,24 @@ StatusOr<Sequence> Evaluator::RunExpr(const AstNode& expr) {
       static_cast<int64_t>(plan_->ann().constructs.size());
   Environment env(slot_count_);
   const int64_t spills_before = SequenceHeapSpills();
+  ScopedMemoryBudget charge(ctx_ != nullptr ? ctx_->memory_budget()
+                                            : nullptr);
   auto result = Eval(expr, env, nullptr);
   stats_.sequence_heap_spills = SequenceHeapSpills() - spills_before;
+  if (ctx_ != nullptr) stats_.governance_checks = ctx_->checks();
   return result;
 }
 
 StatusOr<Sequence> Evaluator::Eval(const AstNode& node, Environment& env,
                                    const Focus* focus) {
+  // Cooperative governance checkpoint: every expression dispatch counts
+  // one step; the context turns it into kDeadlineExceeded / kCancelled /
+  // kResourceExhausted at the first violation. One pointer test when
+  // ungoverned.
+  if (ctx_ != nullptr) {
+    Status st = ctx_->Check();
+    if (!st.ok()) return st;
+  }
   switch (node.kind) {
     case AstKind::kStringLiteral:
       return Sequence{Item(node.str_value)};
@@ -410,12 +427,17 @@ Status Evaluator::ApplyStep(const Step& step, const StepPlan* planned,
     const NodeHandle base = item.node().handle;
     Sequence& group = group_in_output ? *output : group_storage;
     if (!group_in_output) group.clear();
-    scan.Open(store_, base, planned->access, filter, want,
-              options_.child_cursors, &stats_, ExecPool(),
-              options_.parallel_exec.min_morsel_ids);
+    XMARK_RETURN_IF_ERROR(scan.Open(store_, base, planned->access, filter,
+                                    want, options_.child_cursors, &stats_,
+                                    ExecPool(),
+                                    options_.parallel_exec.min_morsel_ids,
+                                    ctx_));
     NodeHandle buf[kBatch];
     size_t n;
     while ((n = scan.Fill(buf, kBatch)) > 0) {
+      // Batch-boundary checkpoint: large scans yield to the deadline /
+      // budget between batches, not only between expressions.
+      if (ctx_ != nullptr) XMARK_RETURN_IF_ERROR(ctx_->Check());
       for (size_t i = 0; i < n; ++i) {
         group.push_back(Item(NodeRef{store_, buf[i]}));
       }

@@ -8,6 +8,7 @@
 
 #include "query/ast.h"
 #include "query/exec.h"
+#include "query/exec_context.h"
 #include "query/plan.h"
 #include "query/storage.h"
 #include "query/value.h"
@@ -48,6 +49,14 @@ class Evaluator {
 
   /// Evaluates a bare expression (no prolog). Used by tests.
   StatusOr<Sequence> RunExpr(const AstNode& expr);
+
+  /// Installs the governance context (borrowed, not owned) consulted by
+  /// the next Run: cooperative deadline/cancellation/budget checks at
+  /// batch boundaries, result-memory charging on this thread and every
+  /// morsel worker. Null (the default) disables every check — the hot
+  /// path then pays one pointer test per Eval dispatch, keeping
+  /// ungoverned runs byte- and plan-identical to earlier releases.
+  void set_exec_context(ExecContext* ctx) { ctx_ = ctx; }
 
   const EvaluatorOptions& options() const { return options_; }
 
@@ -122,6 +131,7 @@ class Evaluator {
   std::unordered_map<std::string, const FunctionDecl*> functions_;
   std::unique_ptr<QueryPlan> plan_;  // per-run plan + caches
   std::unique_ptr<ThreadPool> exec_pool_;  // morsel workers (parallel_exec)
+  ExecContext* ctx_ = nullptr;  // borrowed per-run governance (may be null)
   int udf_depth_ = 0;
 };
 

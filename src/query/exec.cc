@@ -1,21 +1,33 @@
 #include "query/exec.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
+#include "util/fault_injection.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
 
 namespace xmark::query {
+namespace {
+
+// Morsel dispatch backs off to a serial drain once this many tasks are
+// already in flight on the pool: far above anything a healthy run reaches
+// (one drain submits ~4 chunks per worker), low enough that a pathological
+// fan-out degrades instead of queueing unboundedly.
+constexpr size_t kMaxPendingMorselTasks = 1024;
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // NodeScan
 // ---------------------------------------------------------------------------
 
-void NodeScan::Open(const StorageAdapter* store, NodeHandle base,
-                    StepPlan::Access access, ChildFilter filter,
-                    xml::NameId tag, bool child_cursors, EvalStats* stats,
-                    ThreadPool* pool, size_t min_morsel_ids) {
+Status NodeScan::Open(const StorageAdapter* store, NodeHandle base,
+                      StepPlan::Access access, ChildFilter filter,
+                      xml::NameId tag, bool child_cursors, EvalStats* stats,
+                      ThreadPool* pool, size_t min_morsel_ids,
+                      ExecContext* ctx) {
   store_ = store;
   stats_ = stats;
   child_cursors_ = child_cursors;
@@ -30,14 +42,14 @@ void NodeScan::Open(const StorageAdapter* store, NodeHandle base,
         ++stats->index_lookups;
         materialized_ = std::move(*direct);
         mode_ = Mode::kMaterialized;
-        return;
+        return Status::OK();
       }
       // The physical layout does not cover this node: scan its children
       // the way the options allow.
       if (!child_cursors_) {
         chain_ = store->FirstChild(base);
         mode_ = Mode::kChildChain;
-        return;
+        return Status::OK();
       }
       [[fallthrough]];
     }
@@ -45,11 +57,11 @@ void NodeScan::Open(const StorageAdapter* store, NodeHandle base,
       store->OpenChildCursor(base, filter, tag, &child_cursor_);
       ++stats->cursor_scans;
       mode_ = Mode::kChildCursor;
-      return;
+      return Status::OK();
     case StepPlan::Access::kChildChain:
       chain_ = store->FirstChild(base);
       mode_ = Mode::kChildChain;
-      return;
+      return Status::OK();
     case StepPlan::Access::kDescendantCursor: {
       store->OpenDescendantCursor(base, filter, tag, &descendant_cursor_);
       ++stats->descendant_scans;
@@ -60,9 +72,9 @@ void NodeScan::Open(const StorageAdapter* store, NodeHandle base,
       if (pool != nullptr && pool->worker_count() > 1 &&
           min_morsel_ids > 0 && span >= min_morsel_ids &&
           store->DescendantCursorPartitionable(descendant_cursor_)) {
-        DrainMorsels(pool, span);
+        return DrainMorsels(pool, span, ctx);
       }
-      return;
+      return Status::OK();
     }
     case StepPlan::Access::kTagIndex: {
       auto from_index = store->DescendantsByTag(base, tag);
@@ -70,20 +82,21 @@ void NodeScan::Open(const StorageAdapter* store, NodeHandle base,
         ++stats->index_lookups;
         materialized_ = std::move(*from_index);
         mode_ = Mode::kMaterialized;
-        return;
+        return Status::OK();
       }
       OpenDfs(base);
-      return;
+      return Status::OK();
     }
     case StepPlan::Access::kDescendantDfs:
       OpenDfs(base);
-      return;
+      return Status::OK();
     case StepPlan::Access::kAttribute:
     case StepPlan::Access::kSelf:
       mode_ = Mode::kDone;
-      return;
+      return Status::OK();
   }
   mode_ = Mode::kDone;
+  return Status::OK();
 }
 
 // Morsel-parallel drain of a partitionable descendant cursor: split the
@@ -94,30 +107,71 @@ void NodeScan::Open(const StorageAdapter* store, NodeHandle base,
 // cursor partitionable, every chunk emits exactly the serial scan's
 // matches for its sub-range, in order — so the concatenation is
 // byte-identical to the serial drain for any chunking. Workers touch no
-// shared state (stats are settled once below), and the scan converts to
-// kMaterialized so Fill never consults the cursor again.
-void NodeScan::DrainMorsels(ThreadPool* pool, uint64_t span) {
+// shared state beyond the per-chunk status/abort slots (stats are settled
+// once below), and the scan converts to kMaterialized so Fill never
+// consults the cursor again.
+//
+// Error path: a worker that fails (governance check, injected fault)
+// records its Status in its chunk slot and raises the shared abort flag;
+// sibling morsels observe the flag at their next batch and stop early.
+// After the barrier the first non-OK slot in chunk order is returned —
+// deterministic because a governed failure is sticky on the ExecContext
+// (every failing chunk reports the same Status) and an injected fault
+// fires in exactly one chunk.
+Status NodeScan::DrainMorsels(ThreadPool* pool, uint64_t span,
+                              ExecContext* ctx) {
   const std::vector<size_t> bounds =
       ChunkBounds(static_cast<size_t>(span), pool->worker_count());
   const size_t chunks = bounds.size() - 1;
   std::vector<std::vector<NodeHandle>> parts(chunks);
+  std::vector<Status> statuses(chunks);
+  std::atomic<bool> abort{false};
+  MemoryBudget* budget = ctx != nullptr ? ctx->memory_budget() : nullptr;
+  auto drain_chunk = [this, &bounds, &parts, &statuses, &abort, ctx,
+                      budget](size_t k) {
+    if (abort.load(std::memory_order_relaxed)) return;  // sibling failed
+    // Workers charge their private buffers to the run's shared budget.
+    ScopedMemoryBudget install(budget);
+    DescendantCursor cur = descendant_cursor_;  // clamped copy
+    const uint64_t origin = descendant_cursor_.u0;
+    cur.u0 = origin + bounds[k];
+    cur.u1 = origin + bounds[k + 1];
+    std::vector<NodeHandle>& out = parts[k];
+    constexpr size_t kBatch = 256;
+    NodeHandle buf[kBatch];
+    size_t n;
+    while ((n = cur.Fill(buf, kBatch)) > 0) {
+      if (XMARK_FAULT_POINT("exec/morsel_drain")) {
+        statuses[k] =
+            Status::ResourceExhausted("fault injection: exec/morsel_drain");
+        abort.store(true, std::memory_order_relaxed);
+        return;
+      }
+      out.insert(out.end(), buf, buf + n);
+      if (budget != nullptr) budget->Charge(n * sizeof(NodeHandle));
+      if (ctx != nullptr) {
+        Status st = ctx->Check();
+        if (!st.ok()) {
+          statuses[k] = std::move(st);
+          abort.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
+      if (abort.load(std::memory_order_relaxed)) return;
+    }
+  };
   for (size_t k = 0; k < chunks; ++k) {
     if (bounds[k] == bounds[k + 1]) continue;
-    pool->Submit([this, &bounds, &parts, k] {
-      DescendantCursor cur = descendant_cursor_;  // clamped copy
-      const uint64_t origin = descendant_cursor_.u0;
-      cur.u0 = origin + bounds[k];
-      cur.u1 = origin + bounds[k + 1];
-      std::vector<NodeHandle>& out = parts[k];
-      constexpr size_t kBatch = 256;
-      NodeHandle buf[kBatch];
-      size_t n;
-      while ((n = cur.Fill(buf, kBatch)) > 0) {
-        out.insert(out.end(), buf, buf + n);
-      }
-    });
+    std::function<void()> task = [&drain_chunk, k] { drain_chunk(k); };
+    // Admission-controlled dispatch: a saturated (or fault-injected) pool
+    // degrades to draining the chunk on the caller — same chunk-order
+    // concatenation, so the output is identical, just less parallel.
+    if (!pool->TrySubmit(task, kMaxPendingMorselTasks)) drain_chunk(k);
   }
   pool->Wait();
+  for (size_t k = 0; k < chunks; ++k) {
+    XMARK_RETURN_IF_ERROR(statuses[k]);
+  }
   size_t total = 0;
   for (const auto& p : parts) total += p.size();
   materialized_.clear();
@@ -130,6 +184,7 @@ void NodeScan::DrainMorsels(ThreadPool* pool, uint64_t span) {
   stats_->nodes_visited += static_cast<int64_t>(total);
   materialized_pos_ = 0;
   mode_ = Mode::kMaterialized;
+  return Status::OK();
 }
 
 // Children of `parent` in document order, gathered with one batched
@@ -236,6 +291,9 @@ size_t NodeScan::Fill(NodeHandle* out, size_t cap) {
 
 Status HashJoinExec::Build(const HashJoinPlan& plan, size_t slot_count,
                            const EvalFn& eval, EvalStats* stats) {
+  if (XMARK_FAULT_POINT("exec/hash_join_build")) {
+    return Status::ResourceExhausted("fault injection: exec/hash_join_build");
+  }
   Environment inner_env(slot_count);
   XMARK_ASSIGN_OR_RETURN(Sequence bindings,
                          eval(*plan.in_expr, inner_env, nullptr));
@@ -273,6 +331,9 @@ std::optional<double> BandNumericValue(const Item& item,
 Status BandJoinIndex::Build(const BandJoinPlan& plan, size_t slot_count,
                             const EvalFn& eval, EvalStats* stats,
                             ThreadPool* pool) {
+  if (XMARK_FAULT_POINT("exec/band_join_build")) {
+    return Status::ResourceExhausted("fault injection: exec/band_join_build");
+  }
   valid_ = false;
   keys_.clear();
   Environment inner_env(slot_count);
@@ -364,6 +425,9 @@ StatusOr<ConstructedNode*> ConstructExec::BuildElement(
     const Focus* focus, const EvalFn& eval, EvalStats* stats,
     bool copy_results) {
   const ConstructPlan::Element& el = plan.elements[element_index];
+  if (XMARK_FAULT_POINT("exec/construct")) {
+    return Status::ResourceExhausted("fault injection: exec/construct");
+  }
   ConstructedNode* node = NewNode(stats);
   // Tags are copied, not viewed: the template's strings die with the plan,
   // and XMark tags fit std::string's inline buffer anyway.

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "query/ast.h"
+#include "query/exec_context.h"
 #include "query/plan.h"
 #include "query/storage.h"
 #include "query/value.h"
@@ -147,10 +148,14 @@ class NodeScan {
   /// private buffer, and the buffers are concatenated in chunk order —
   /// byte-identical to the serial scan for any chunking, since every
   /// morsel emits in id order and chunks cover ascending id ranges.
-  void Open(const StorageAdapter* store, NodeHandle base,
-            StepPlan::Access access, ChildFilter filter, xml::NameId tag,
-            bool child_cursors, EvalStats* stats, ThreadPool* pool = nullptr,
-            size_t min_morsel_ids = 0);
+  /// `ctx` (optional) is the run's governance context: morsel workers
+  /// check it per batch, so Open fails with the context's Status when the
+  /// run is cancelled or over budget mid-drain. A failing morsel aborts
+  /// its siblings and the first failure in chunk order is returned.
+  Status Open(const StorageAdapter* store, NodeHandle base,
+              StepPlan::Access access, ChildFilter filter, xml::NameId tag,
+              bool child_cursors, EvalStats* stats, ThreadPool* pool = nullptr,
+              size_t min_morsel_ids = 0, ExecContext* ctx = nullptr);
 
   /// Copies up to `cap` matching handles into `out` in document order;
   /// returns the number written. 0 signals exhaustion.
@@ -170,8 +175,11 @@ class NodeScan {
   size_t FillDfs(NodeHandle* out, size_t cap);
   void CollectChildren(NodeHandle parent, std::vector<NodeHandle>* out);
   /// Drains the open descendant cursor (spanning `span` positions) in
-  /// parallel chunks and converts the scan to kMaterialized.
-  void DrainMorsels(ThreadPool* pool, uint64_t span);
+  /// parallel chunks and converts the scan to kMaterialized. Chunks
+  /// refused by pool admission control run serially on the caller
+  /// (graceful degradation — identical output either way). Returns the
+  /// first failing worker Status in chunk order.
+  Status DrainMorsels(ThreadPool* pool, uint64_t span, ExecContext* ctx);
 
   const StorageAdapter* store_ = nullptr;
   EvalStats* stats_ = nullptr;

@@ -1,0 +1,85 @@
+#include "query/exec_context.h"
+
+#include <string>
+
+namespace xmark::query {
+namespace {
+
+thread_local MemoryBudget* g_thread_budget = nullptr;
+
+}  // namespace
+
+ExecContext::ExecContext(const RunOptions& options)
+    : options_(options), budget_(options.max_result_bytes) {
+  if (options_.deadline_ms > 0) {
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(options_.deadline_ms);
+    has_deadline_ = true;
+  }
+}
+
+Status ExecContext::Check() {
+  const uint64_t tick = ticks_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const auto v = static_cast<Violation>(
+      violation_.load(std::memory_order_relaxed));
+  if (v != Violation::kNone) return ErrorFor(v);
+  if (cancelled_.load(std::memory_order_relaxed)) {
+    return Fail(Violation::kCancelled);
+  }
+  if (budget_.exceeded()) return Fail(Violation::kMemory);
+  if (options_.max_eval_steps > 0 &&
+      tick > static_cast<uint64_t>(options_.max_eval_steps)) {
+    return Fail(Violation::kSteps);
+  }
+  if (has_deadline_ && (tick % kCheckStride) == 1 &&
+      std::chrono::steady_clock::now() >= deadline_) {
+    return Fail(Violation::kDeadline);
+  }
+  return Status::OK();
+}
+
+Status ExecContext::Fail(Violation v) {
+  // First violation wins; a concurrent earlier failure takes precedence so
+  // every thread reports the same error.
+  int expected = static_cast<int>(Violation::kNone);
+  violation_.compare_exchange_strong(expected, static_cast<int>(v),
+                                     std::memory_order_relaxed);
+  return ErrorFor(static_cast<Violation>(
+      violation_.load(std::memory_order_relaxed)));
+}
+
+Status ExecContext::ErrorFor(Violation v) const {
+  switch (v) {
+    case Violation::kCancelled:
+      return Status::Cancelled("query cancelled by client");
+    case Violation::kDeadline:
+      return Status::DeadlineExceeded(
+          "query deadline of " + std::to_string(options_.deadline_ms) +
+          "ms exceeded");
+    case Violation::kMemory:
+      return Status::ResourceExhausted(
+          "result memory budget of " +
+          std::to_string(options_.max_result_bytes) + " bytes exceeded (" +
+          std::to_string(budget_.used()) + " charged)");
+    case Violation::kSteps:
+      return Status::ResourceExhausted(
+          "eval step budget of " + std::to_string(options_.max_eval_steps) +
+          " exceeded");
+    case Violation::kNone:
+      break;
+  }
+  return Status::OK();
+}
+
+ScopedMemoryBudget::ScopedMemoryBudget(MemoryBudget* budget)
+    : prev_(g_thread_budget) {
+  g_thread_budget = budget;
+}
+
+ScopedMemoryBudget::~ScopedMemoryBudget() { g_thread_budget = prev_; }
+
+void ChargeThreadMemoryBudget(size_t bytes) {
+  if (g_thread_budget != nullptr) g_thread_budget->Charge(bytes);
+}
+
+}  // namespace xmark::query

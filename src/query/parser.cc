@@ -2,6 +2,7 @@
 
 #include <cctype>
 
+#include "util/fault_injection.h"
 #include "util/string_util.h"
 
 namespace xmark::query {
@@ -33,13 +34,18 @@ Parser::Parser(std::string_view input) : lexer_(input) {
 }
 
 Status Parser::Advance() {
-  XMARK_ASSIGN_OR_RETURN(cur_, lexer_.Next());
+  StatusOr<Token> tok = lexer_.Next();
+  if (!tok.ok()) {
+    return FailAt(ParseErrorCode::kLexError, lexer_.position(),
+                  tok.status().message());
+  }
+  cur_ = *tok;
   return Status::OK();
 }
 
 Status Parser::Expect(TokenKind kind, const char* what) {
   if (cur_.kind != kind) {
-    return Fail(std::string("expected ") + what);
+    return Fail(ParseErrorCode::kUnexpectedToken, std::string("expected ") + what);
   }
   return Advance();
 }
@@ -48,17 +54,34 @@ StatusOr<Token> Parser::PeekNext() {
   const size_t save = lexer_.position();
   StatusOr<Token> tok = lexer_.Next();
   lexer_.SetPosition(save);
+  if (!tok.ok()) {
+    return FailAt(ParseErrorCode::kLexError, save, tok.status().message());
+  }
   return tok;
 }
 
-Status Parser::Fail(const std::string& message) const {
-  return Status::ParseError(message + " at offset " +
-                            std::to_string(cur_.begin) + " (near '" +
-                            std::string(lexer_.input().substr(
-                                cur_.begin,
-                                std::min<size_t>(
-                                    20, lexer_.input().size() - cur_.begin))) +
-                            "')");
+Status Parser::Fail(ParseErrorCode code, const std::string& message) const {
+  return FailAt(code, cur_.begin, message);
+}
+
+Status Parser::FailAt(ParseErrorCode code, size_t offset,
+                      const std::string& message) const {
+  const std::string_view src = lexer_.input();
+  offset = std::min(offset, src.size());
+  size_t line = 1;
+  size_t bol = 0;  // offset of the current line's first character
+  for (size_t i = 0; i < offset; ++i) {
+    if (src[i] == '\n') {
+      ++line;
+      bol = i + 1;
+    }
+  }
+  std::string near(
+      src.substr(offset, std::min<size_t>(20, src.size() - offset)));
+  return Status::InvalidQuery(
+      "[" + std::string(ParseErrorCodeSlug(code)) + "] " +
+      std::to_string(line) + ":" + std::to_string(offset - bol + 1) + ": " +
+      message + " (near '" + near + "')");
 }
 
 StatusOr<ParsedQuery> Parser::ParseQuery() {
@@ -67,21 +90,21 @@ StatusOr<ParsedQuery> Parser::ParseQuery() {
   // Prolog: declare function name($p, ...) { Expr };
   while (CurIsIdent("declare")) {
     XMARK_RETURN_IF_ERROR(Advance());
-    if (!CurIsIdent("function")) return Fail("expected 'function'");
+    if (!CurIsIdent("function")) return Fail(ParseErrorCode::kUnexpectedToken, "expected 'function'");
     XMARK_RETURN_IF_ERROR(Advance());
-    if (!CurIs(TokenKind::kIdent)) return Fail("expected function name");
+    if (!CurIs(TokenKind::kIdent)) return Fail(ParseErrorCode::kUnexpectedToken, "expected function name");
     FunctionDecl decl;
     decl.name = cur_.text;
     XMARK_RETURN_IF_ERROR(Advance());
     XMARK_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
     while (!CurIs(TokenKind::kRParen)) {
-      if (!CurIs(TokenKind::kVar)) return Fail("expected parameter");
+      if (!CurIs(TokenKind::kVar)) return Fail(ParseErrorCode::kUnexpectedToken, "expected parameter");
       decl.params.push_back(cur_.text);
       XMARK_RETURN_IF_ERROR(Advance());
       // Optional "as type" annotations are skipped.
       if (CurIsIdent("as")) {
         XMARK_RETURN_IF_ERROR(Advance());
-        if (!CurIs(TokenKind::kIdent)) return Fail("expected type name");
+        if (!CurIs(TokenKind::kIdent)) return Fail(ParseErrorCode::kUnexpectedToken, "expected type name");
         XMARK_RETURN_IF_ERROR(Advance());
         if (CurIs(TokenKind::kStar)) XMARK_RETURN_IF_ERROR(Advance());
       }
@@ -95,14 +118,14 @@ StatusOr<ParsedQuery> Parser::ParseQuery() {
     query.functions.push_back(std::move(decl));
   }
   XMARK_ASSIGN_OR_RETURN(query.body, ParseExpr());
-  if (!CurIs(TokenKind::kEof)) return Fail("trailing input");
+  if (!CurIs(TokenKind::kEof)) return Fail(ParseErrorCode::kTrailingInput, "trailing input");
   return query;
 }
 
 StatusOr<AstPtr> Parser::ParseExpression() {
   XMARK_RETURN_IF_ERROR(Advance());
   XMARK_ASSIGN_OR_RETURN(AstPtr expr, ParseExpr());
-  if (!CurIs(TokenKind::kEof)) return Fail("trailing input");
+  if (!CurIs(TokenKind::kEof)) return Fail(ParseErrorCode::kTrailingInput, "trailing input");
   return expr;
 }
 
@@ -122,7 +145,8 @@ StatusOr<AstPtr> Parser::ParseExpr() {
 StatusOr<AstPtr> Parser::ParseExprSingle() {
   DepthGuard depth(this);
   if (depth_ > kMaxExprDepth) {
-    return Fail("expression nesting exceeds " +
+    return Fail(ParseErrorCode::kNestingTooDeep,
+                "expression nesting exceeds " +
                 std::to_string(kMaxExprDepth) + " levels");
   }
   if (cur_.kind == TokenKind::kIdent) {
@@ -147,12 +171,12 @@ StatusOr<AstPtr> Parser::ParseFlwor() {
     if (CurIsIdent("for")) {
       XMARK_RETURN_IF_ERROR(Advance());
       while (true) {
-        if (!CurIs(TokenKind::kVar)) return Fail("expected $var after 'for'");
+        if (!CurIs(TokenKind::kVar)) return Fail(ParseErrorCode::kUnexpectedToken, "expected $var after 'for'");
         ForLetClause clause;
         clause.is_let = false;
         clause.var = cur_.text;
         XMARK_RETURN_IF_ERROR(Advance());
-        if (!CurIsIdent("in")) return Fail("expected 'in'");
+        if (!CurIsIdent("in")) return Fail(ParseErrorCode::kUnexpectedToken, "expected 'in'");
         XMARK_RETURN_IF_ERROR(Advance());
         XMARK_ASSIGN_OR_RETURN(clause.expr, ParseExprSingle());
         node->clauses.push_back(std::move(clause));
@@ -162,7 +186,7 @@ StatusOr<AstPtr> Parser::ParseFlwor() {
     } else if (CurIsIdent("let")) {
       XMARK_RETURN_IF_ERROR(Advance());
       while (true) {
-        if (!CurIs(TokenKind::kVar)) return Fail("expected $var after 'let'");
+        if (!CurIs(TokenKind::kVar)) return Fail(ParseErrorCode::kUnexpectedToken, "expected $var after 'let'");
         ForLetClause clause;
         clause.is_let = true;
         clause.var = cur_.text;
@@ -177,7 +201,7 @@ StatusOr<AstPtr> Parser::ParseFlwor() {
       break;
     }
   }
-  if (node->clauses.empty()) return Fail("FLWOR without clauses");
+  if (node->clauses.empty()) return Fail(ParseErrorCode::kUnexpectedToken, "FLWOR without clauses");
   if (CurIsIdent("where")) {
     XMARK_RETURN_IF_ERROR(Advance());
     XMARK_ASSIGN_OR_RETURN(node->where, ParseExprSingle());
@@ -185,7 +209,7 @@ StatusOr<AstPtr> Parser::ParseFlwor() {
   if (CurIsIdent("stable")) XMARK_RETURN_IF_ERROR(Advance());
   if (CurIsIdent("order") || CurIsIdent("sort")) {
     XMARK_RETURN_IF_ERROR(Advance());
-    if (!CurIsIdent("by")) return Fail("expected 'by'");
+    if (!CurIsIdent("by")) return Fail(ParseErrorCode::kUnexpectedToken, "expected 'by'");
     XMARK_RETURN_IF_ERROR(Advance());
     while (true) {
       OrderSpec spec;
@@ -201,7 +225,7 @@ StatusOr<AstPtr> Parser::ParseFlwor() {
       XMARK_RETURN_IF_ERROR(Advance());
     }
   }
-  if (!CurIsIdent("return")) return Fail("expected 'return'");
+  if (!CurIsIdent("return")) return Fail(ParseErrorCode::kUnexpectedToken, "expected 'return'");
   XMARK_RETURN_IF_ERROR(Advance());
   XMARK_ASSIGN_OR_RETURN(node->ret, ParseExprSingle());
   return node;
@@ -212,18 +236,18 @@ StatusOr<AstPtr> Parser::ParseQuantified() {
   node->is_every = CurIsIdent("every");
   XMARK_RETURN_IF_ERROR(Advance());
   while (true) {
-    if (!CurIs(TokenKind::kVar)) return Fail("expected $var in quantifier");
+    if (!CurIs(TokenKind::kVar)) return Fail(ParseErrorCode::kUnexpectedToken, "expected $var in quantifier");
     ForLetClause clause;
     clause.var = cur_.text;
     XMARK_RETURN_IF_ERROR(Advance());
-    if (!CurIsIdent("in")) return Fail("expected 'in'");
+    if (!CurIsIdent("in")) return Fail(ParseErrorCode::kUnexpectedToken, "expected 'in'");
     XMARK_RETURN_IF_ERROR(Advance());
     XMARK_ASSIGN_OR_RETURN(clause.expr, ParseExprSingle());
     node->clauses.push_back(std::move(clause));
     if (!CurIs(TokenKind::kComma)) break;
     XMARK_RETURN_IF_ERROR(Advance());
   }
-  if (!CurIsIdent("satisfies")) return Fail("expected 'satisfies'");
+  if (!CurIsIdent("satisfies")) return Fail(ParseErrorCode::kUnexpectedToken, "expected 'satisfies'");
   XMARK_RETURN_IF_ERROR(Advance());
   XMARK_ASSIGN_OR_RETURN(node->where, ParseExprSingle());
   return node;
@@ -235,10 +259,10 @@ StatusOr<AstPtr> Parser::ParseIf() {
   AstPtr node = MakeNode(AstKind::kIf);
   XMARK_ASSIGN_OR_RETURN(AstPtr cond, ParseExpr());
   XMARK_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
-  if (!CurIsIdent("then")) return Fail("expected 'then'");
+  if (!CurIsIdent("then")) return Fail(ParseErrorCode::kUnexpectedToken, "expected 'then'");
   XMARK_RETURN_IF_ERROR(Advance());
   XMARK_ASSIGN_OR_RETURN(AstPtr then_branch, ParseExprSingle());
-  if (!CurIsIdent("else")) return Fail("expected 'else'");
+  if (!CurIsIdent("else")) return Fail(ParseErrorCode::kUnexpectedToken, "expected 'else'");
   XMARK_RETURN_IF_ERROR(Advance());
   XMARK_ASSIGN_OR_RETURN(AstPtr else_branch, ParseExprSingle());
   node->args.push_back(std::move(cond));
@@ -353,7 +377,8 @@ StatusOr<AstPtr> Parser::ParseUnary() {
   // carries its own depth guard.
   DepthGuard depth(this);
   if (depth_ > kMaxExprDepth) {
-    return Fail("expression nesting exceeds " +
+    return Fail(ParseErrorCode::kNestingTooDeep,
+                "expression nesting exceeds " +
                 std::to_string(kMaxExprDepth) + " levels");
   }
   if (CurIs(TokenKind::kMinus)) {
@@ -381,7 +406,7 @@ Status Parser::ParseStep(Axis axis, std::vector<Step>* steps) {
   step.axis = axis;
   if (CurIs(TokenKind::kAt)) {
     XMARK_RETURN_IF_ERROR(Advance());
-    if (!CurIs(TokenKind::kIdent)) return Fail("expected attribute name");
+    if (!CurIs(TokenKind::kIdent)) return Fail(ParseErrorCode::kUnexpectedToken, "expected attribute name");
     step.axis = Axis::kAttribute;
     step.name = cur_.text;
     XMARK_RETURN_IF_ERROR(Advance());
@@ -409,7 +434,7 @@ Status Parser::ParseStep(Axis axis, std::vector<Step>* steps) {
     step.name = cur_.text;
     XMARK_RETURN_IF_ERROR(Advance());
   } else {
-    return Fail("expected a path step");
+    return Fail(ParseErrorCode::kUnexpectedToken, "expected a path step");
   }
   XMARK_RETURN_IF_ERROR(ParsePredicates(&step.predicates));
   steps->push_back(std::move(step));
@@ -538,7 +563,7 @@ StatusOr<AstPtr> Parser::ParsePrimary() {
       return node;
     }
     default:
-      return Fail("expected a primary expression");
+      return Fail(ParseErrorCode::kUnexpectedToken, "expected a primary expression");
   }
 }
 
@@ -547,7 +572,7 @@ StatusOr<AstPtr> Parser::ParseEmbeddedExpr(size_t pos, size_t* resume) {
   lexer_.SetPosition(pos + 1);
   XMARK_RETURN_IF_ERROR(Advance());
   XMARK_ASSIGN_OR_RETURN(AstPtr expr, ParseExpr());
-  if (!CurIs(TokenKind::kRBrace)) return Fail("expected '}'");
+  if (!CurIs(TokenKind::kRBrace)) return Fail(ParseErrorCode::kUnexpectedToken, "expected '}'");
   *resume = cur_.end;
   return expr;
 }
@@ -557,16 +582,19 @@ StatusOr<AstPtr> Parser::ParseConstructorAt(size_t pos, size_t* resume) {
   // ParseExprSingle, so this entry point guards its own depth.
   DepthGuard depth(this);
   if (depth_ > kMaxExprDepth) {
-    return Fail("expression nesting exceeds " +
+    return Fail(ParseErrorCode::kNestingTooDeep,
+                "expression nesting exceeds " +
                 std::to_string(kMaxExprDepth) + " levels");
   }
   const std::string_view src = lexer_.input();
   if (pos >= src.size() || src[pos] != '<') {
-    return Status::ParseError("constructor must start with '<'");
+    return FailAt(ParseErrorCode::kBadConstructor, pos,
+                  "constructor must start with '<'");
   }
   size_t p = pos + 1;
   if (p >= src.size() || !IsXmlNameStart(src[p])) {
-    return Status::ParseError("expected element name in constructor");
+    return FailAt(ParseErrorCode::kBadConstructor, p,
+                  "expected element name in constructor");
   }
   AstPtr node = MakeNode(AstKind::kElementConstructor);
   const size_t name_start = p;
@@ -583,7 +611,10 @@ StatusOr<AstPtr> Parser::ParseConstructorAt(size_t pos, size_t* resume) {
   bool self_closing = false;
   while (true) {
     skip_ws();
-    if (p >= src.size()) return Status::ParseError("unterminated constructor");
+    if (p >= src.size()) {
+      return FailAt(ParseErrorCode::kUnterminatedConstructor, p,
+                    "unterminated constructor");
+    }
     if (src[p] == '>') {
       ++p;
       break;
@@ -594,7 +625,8 @@ StatusOr<AstPtr> Parser::ParseConstructorAt(size_t pos, size_t* resume) {
       break;
     }
     if (!IsXmlNameStart(src[p])) {
-      return Status::ParseError("malformed constructor attribute");
+      return FailAt(ParseErrorCode::kBadConstructorAttr, p,
+                    "malformed constructor attribute");
     }
     AttrConstructor attr;
     const size_t an = p;
@@ -602,19 +634,22 @@ StatusOr<AstPtr> Parser::ParseConstructorAt(size_t pos, size_t* resume) {
     attr.name = std::string(src.substr(an, p - an));
     skip_ws();
     if (p >= src.size() || src[p] != '=') {
-      return Status::ParseError("expected '=' in constructor attribute");
+      return FailAt(ParseErrorCode::kBadConstructorAttr, p,
+                    "expected '=' in constructor attribute");
     }
     ++p;
     skip_ws();
     if (p >= src.size() || (src[p] != '"' && src[p] != '\'')) {
-      return Status::ParseError("expected quoted attribute value");
+      return FailAt(ParseErrorCode::kBadConstructorAttr, p,
+                    "expected quoted attribute value");
     }
     const char quote = src[p];
     ++p;
     std::string literal;
     while (true) {
       if (p >= src.size()) {
-        return Status::ParseError("unterminated attribute value");
+        return FailAt(ParseErrorCode::kUnterminatedConstructor, p,
+                      "unterminated attribute value");
       }
       const char c = src[p];
       if (c == quote) {
@@ -643,7 +678,8 @@ StatusOr<AstPtr> Parser::ParseConstructorAt(size_t pos, size_t* resume) {
           p += 2;
           continue;
         }
-        return Status::ParseError("unescaped '}' in attribute value");
+        return FailAt(ParseErrorCode::kUnescapedBrace, p,
+                      "unescaped '}' in attribute value");
       }
       literal.push_back(c);
       ++p;
@@ -676,7 +712,8 @@ StatusOr<AstPtr> Parser::ParseConstructorAt(size_t pos, size_t* resume) {
 
   while (true) {
     if (p >= src.size()) {
-      return Status::ParseError("unterminated constructor content");
+      return FailAt(ParseErrorCode::kUnterminatedConstructor, p,
+                    "unterminated constructor content");
     }
     const char c = src[p];
     if (c == '<') {
@@ -686,15 +723,17 @@ StatusOr<AstPtr> Parser::ParseConstructorAt(size_t pos, size_t* resume) {
         const size_t en = q;
         while (q < src.size() && IsXmlNameChar(src[q])) ++q;
         if (src.substr(en, q - en) != node->tag) {
-          return Status::ParseError("mismatched constructor end tag </" +
-                                    std::string(src.substr(en, q - en)) + ">");
+          return FailAt(ParseErrorCode::kMismatchedEndTag, p,
+                        "mismatched constructor end tag </" +
+                            std::string(src.substr(en, q - en)) + ">");
         }
         while (q < src.size() &&
                std::isspace(static_cast<unsigned char>(src[q]))) {
           ++q;
         }
         if (q >= src.size() || src[q] != '>') {
-          return Status::ParseError("malformed constructor end tag");
+          return FailAt(ParseErrorCode::kMismatchedEndTag, q,
+                        "malformed constructor end tag");
         }
         *resume = q + 1;
         return node;
@@ -725,14 +764,63 @@ StatusOr<AstPtr> Parser::ParseConstructorAt(size_t pos, size_t* resume) {
         p += 2;
         continue;
       }
-      return Status::ParseError("unescaped '}' in constructor content");
+      return FailAt(ParseErrorCode::kUnescapedBrace, p,
+                    "unescaped '}' in constructor content");
     }
     text.push_back(c);
     ++p;
   }
 }
 
+std::string_view ParseErrorCodeSlug(ParseErrorCode code) {
+  switch (code) {
+    case ParseErrorCode::kUnexpectedToken:
+      return "unexpected-token";
+    case ParseErrorCode::kTrailingInput:
+      return "trailing-input";
+    case ParseErrorCode::kNestingTooDeep:
+      return "nesting-too-deep";
+    case ParseErrorCode::kBadConstructor:
+      return "bad-constructor";
+    case ParseErrorCode::kBadConstructorAttr:
+      return "bad-constructor-attr";
+    case ParseErrorCode::kUnterminatedConstructor:
+      return "unterminated-constructor";
+    case ParseErrorCode::kMismatchedEndTag:
+      return "mismatched-end-tag";
+    case ParseErrorCode::kUnescapedBrace:
+      return "unescaped-brace";
+    case ParseErrorCode::kLexError:
+      return "lex-error";
+    case ParseErrorCode::kUnknown:
+      break;
+  }
+  return "unknown";
+}
+
+ParseErrorCode ParseErrorCodeOf(const Status& status) {
+  const std::string& m = status.message();
+  if (m.empty() || m[0] != '[') return ParseErrorCode::kUnknown;
+  const size_t close = m.find(']');
+  if (close == std::string::npos) return ParseErrorCode::kUnknown;
+  const std::string_view slug(m.data() + 1, close - 1);
+  for (ParseErrorCode code :
+       {ParseErrorCode::kUnexpectedToken, ParseErrorCode::kTrailingInput,
+        ParseErrorCode::kNestingTooDeep, ParseErrorCode::kBadConstructor,
+        ParseErrorCode::kBadConstructorAttr,
+        ParseErrorCode::kUnterminatedConstructor,
+        ParseErrorCode::kMismatchedEndTag, ParseErrorCode::kUnescapedBrace,
+        ParseErrorCode::kLexError}) {
+    if (slug == ParseErrorCodeSlug(code)) return code;
+  }
+  return ParseErrorCode::kUnknown;
+}
+
 StatusOr<ParsedQuery> ParseQueryText(std::string_view text) {
+  if (XMARK_FAULT_POINT("parser/module")) {
+    return Status::InvalidQuery(
+        "[fault-injection] 1:1: fault injection: parser/module (near '')");
+  }
   Parser parser(text);
   XMARK_ASSIGN_OR_RETURN(ParsedQuery query, parser.ParseQuery());
   // Compile-time variable interning: bindings and references are resolved

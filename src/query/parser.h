@@ -9,6 +9,30 @@
 
 namespace xmark::query {
 
+/// Stable machine-readable categories for query rejections. Every parse
+/// error Status carries `[slug] line:col: message (near '...')` where slug
+/// is ParseErrorCodeSlug(code); slugs are part of the serving API and must
+/// never be renamed (clients and tests dispatch on them).
+enum class ParseErrorCode {
+  kUnexpectedToken,          // token stream diverges from the grammar
+  kTrailingInput,            // query parsed but input continues
+  kNestingTooDeep,           // expression depth exceeds kMaxExprDepth
+  kBadConstructor,           // malformed direct element constructor head
+  kBadConstructorAttr,       // malformed constructor attribute
+  kUnterminatedConstructor,  // input ends inside a constructor
+  kMismatchedEndTag,         // </b> closing <a>
+  kUnescapedBrace,           // bare '}' in constructor content
+  kLexError,                 // tokenizer rejection (bad char, bad literal)
+  kUnknown,                  // status not produced by this parser
+};
+
+/// The stable slug embedded in error messages ("unexpected-token", ...).
+std::string_view ParseErrorCodeSlug(ParseErrorCode code);
+
+/// Recovers the code from a parse-error Status (kUnknown when the message
+/// does not carry a recognized "[slug]" prefix).
+ParseErrorCode ParseErrorCodeOf(const Status& status);
+
 /// Recursive-descent parser for the XQuery subset used by the twenty XMark
 /// queries: FLWOR, quantifiers, path expressions with predicates, direct
 /// element constructors with embedded expressions, prolog function
@@ -33,7 +57,13 @@ class Parser {
   }
   Status Expect(TokenKind kind, const char* what);
   StatusOr<Token> PeekNext();
-  Status Fail(const std::string& message) const;
+  // Coded rejection anchored at the current token (Fail) or at a raw input
+  // offset (FailAt, used by the character-level constructor sub-parser).
+  // Both render "[slug] line:col: message (near '<snippet>')" as a
+  // kInvalidQuery status.
+  Status Fail(ParseErrorCode code, const std::string& message) const;
+  Status FailAt(ParseErrorCode code, size_t offset,
+                const std::string& message) const;
 
   // Grammar productions.
   StatusOr<AstPtr> ParseExpr();         // Expr ::= ExprSingle ("," ...)*

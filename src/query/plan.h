@@ -139,6 +139,8 @@ struct EvalStats {
                                       // = nodes_constructed - this)
   int64_t construct_templates_built = 0;  // ConstructPlans lowered by the
                                           // optimizer for this run
+  int64_t governance_checks = 0;  // cooperative ExecContext checkpoints
+                                  // performed (0 for ungoverned runs)
 
   /// Accumulates `other` into this (engine-level cumulative serving
   /// stats: each run's counters are merged under the engine's mutex at
@@ -159,6 +161,7 @@ struct EvalStats {
     nodes_constructed += other.nodes_constructed;
     nodes_arena_allocated += other.nodes_arena_allocated;
     construct_templates_built += other.construct_templates_built;
+    governance_checks += other.governance_checks;
   }
 };
 

@@ -1,5 +1,7 @@
 #include "query/plan_cache.h"
 
+#include "util/fault_injection.h"
+
 namespace xmark::query {
 namespace {
 
@@ -31,6 +33,10 @@ StatusOr<std::shared_ptr<const CachedQuery>> PlanCache::GetOrCompile(
     return it->second;
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
+  if (XMARK_FAULT_POINT("plan_cache/compile")) {
+    return Status::ResourceExhausted(
+        "fault injection: plan_cache/compile (compilation refused)");
+  }
   XMARK_ASSIGN_OR_RETURN(CachedQuery compiled, compile());
   auto entry = std::make_shared<const CachedQuery>(std::move(compiled));
   shard.entries.emplace(std::move(key), entry);

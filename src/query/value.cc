@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "query/exec_context.h"
 #include "util/string_util.h"
 
 namespace xmark::query {
@@ -36,6 +37,7 @@ void* NodeArena::BlockResource::do_allocate(size_t bytes, size_t alignment) {
     // through fixed 64 KiB blocks (operator new char[] is aligned to
     // __STDCPP_DEFAULT_NEW_ALIGNMENT__, enough for any Item/pair).
     cap_ = std::max(kTextBlockBytes, bytes + alignment);
+    ChargeThreadMemoryBudget(cap_);
     blocks_.push_back(std::make_unique_for_overwrite<char[]>(cap_));
     used_ = 0;
     at = 0;
@@ -58,6 +60,7 @@ NodeArena::~NodeArena() {
 
 ConstructedNode* NodeArena::AllocateNode() {
   if (node_blocks_.empty() || node_blocks_.back()->used == kNodesPerBlock) {
+    ChargeThreadMemoryBudget(sizeof(NodeBlock));
     node_blocks_.push_back(std::make_unique<NodeBlock>());
   }
   NodeBlock& block = *node_blocks_.back();
@@ -74,6 +77,7 @@ std::string_view NodeArena::InternText(std::string_view text) {
   if (text.empty()) return std::string_view("", 0);
   if (text_used_ + text.size() > text_cap_) {
     text_cap_ = std::max(kTextBlockBytes, text.size());
+    ChargeThreadMemoryBudget(text_cap_);
     text_blocks_.push_back(std::make_unique_for_overwrite<char[]>(text_cap_));
     text_used_ = 0;
   }
@@ -172,6 +176,7 @@ int64_t SequenceHeapSpills() { return g_sequence_heap_spills; }
 
 void Sequence::Grow(size_t cap) {
   if (cap < kInlineItems * 2) cap = kInlineItems * 2;
+  ChargeThreadMemoryBudget(cap * sizeof(Item));
   Item* heap = static_cast<Item*>(::operator new(
       cap * sizeof(Item), std::align_val_t{alignof(Item)}));
   for (size_t i = 0; i < size_; ++i) {

@@ -1,0 +1,85 @@
+#include "util/fault_injection.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/mutex.h"
+
+namespace xmark::fault {
+namespace {
+
+// One armed site at a time (see header). Guarded: hits arrive from pool
+// workers while tests arm/disarm on the main thread.
+struct ArmedState {
+  util::Mutex mu;
+  std::string_view site GUARDED_BY(mu);  // empty = disarmed
+  int countdown GUARDED_BY(mu) = 0;
+  bool sticky GUARDED_BY(mu) = false;
+  bool spent GUARDED_BY(mu) = false;  // one-shot already fired
+  int hits GUARDED_BY(mu) = 0;
+};
+
+ArmedState& State() {
+  static ArmedState state;
+  return state;
+}
+
+bool IsRegistered(std::string_view site) {
+  return std::find(std::begin(kFaultSites), std::end(kFaultSites), site) !=
+         std::end(kFaultSites);
+}
+
+}  // namespace
+
+std::span<const std::string_view> FaultSites() { return kFaultSites; }
+
+void Arm(std::string_view site, int countdown) {
+  XMARK_CHECK(IsRegistered(site));
+  ArmedState& s = State();
+  util::MutexLock lock(s.mu);
+  s.site = site;
+  s.countdown = countdown;
+  s.sticky = false;
+  s.spent = false;
+  s.hits = 0;
+}
+
+void ArmSticky(std::string_view site, int countdown) {
+  Arm(site, countdown);
+  ArmedState& s = State();
+  util::MutexLock lock(s.mu);
+  s.sticky = true;
+}
+
+void Disarm() {
+  ArmedState& s = State();
+  util::MutexLock lock(s.mu);
+  s.site = {};
+  s.countdown = 0;
+  s.sticky = false;
+  s.spent = false;
+  s.hits = 0;
+}
+
+bool ShouldFail(std::string_view site) {
+  XMARK_CHECK(IsRegistered(site));
+  ArmedState& s = State();
+  util::MutexLock lock(s.mu);
+  if (s.site != site) return false;
+  ++s.hits;
+  if (s.spent) return false;
+  if (s.countdown > 0) {
+    --s.countdown;
+    return false;
+  }
+  if (!s.sticky) s.spent = true;
+  return true;
+}
+
+int ArmedSiteHits() {
+  ArmedState& s = State();
+  util::MutexLock lock(s.mu);
+  return s.hits;
+}
+
+}  // namespace xmark::fault

@@ -18,6 +18,14 @@ enum class StatusCode {
   kInternal,
   kUnimplemented,
   kIoError,
+  // Resource-governance taxonomy (serving layer): a query exceeded its
+  // deadline, was cancelled by the client, or ran into a memory/step
+  // budget. kInvalidQuery is the structured rejection of a malformed
+  // query text (parse/static errors carry a stable sub-code + line:col).
+  kDeadlineExceeded,
+  kCancelled,
+  kResourceExhausted,
+  kInvalidQuery,
 };
 
 /// Returns a human-readable name for `code` ("OK", "ParseError", ...).
@@ -53,6 +61,18 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status InvalidQuery(std::string msg) {
+    return Status(StatusCode::kInvalidQuery, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,5 +1,7 @@
 #include "util/thread_pool.h"
 
+#include "util/fault_injection.h"
+
 namespace xmark {
 
 ThreadPool::ThreadPool(unsigned threads) {
@@ -45,6 +47,13 @@ void ThreadPool::Submit(std::function<void()> fn) {
     pending_.fetch_add(1, std::memory_order_release);
   }
   wake_.NotifyOne();
+}
+
+bool ThreadPool::TrySubmit(std::function<void()>& fn, size_t max_pending) {
+  if (XMARK_FAULT_POINT("thread_pool/submit")) return false;
+  if (pending_.load(std::memory_order_acquire) >= max_pending) return false;
+  Submit(std::move(fn));
+  return true;
 }
 
 bool ThreadPool::RunOne(unsigned self) {

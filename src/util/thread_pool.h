@@ -44,6 +44,13 @@ class ThreadPool {
   /// (nested submissions are drained by the enclosing Wait()).
   void Submit(std::function<void()> fn);
 
+  /// Admission-controlled Submit: refuses (returns false, leaving `fn`
+  /// unmoved) when more than `max_pending` tasks are already in flight —
+  /// the saturation signal morsel dispatch uses to degrade to a serial
+  /// drain instead of piling unbounded work onto a loaded pool. Also the
+  /// "thread_pool/submit" fault-injection site.
+  bool TrySubmit(std::function<void()>& fn, size_t max_pending);
+
   /// Runs tasks until every submitted task (including ones submitted while
   /// waiting) has finished. The caller executes and steals work itself, so
   /// Wait() never blocks while runnable tasks exist. Only the thread that

@@ -1,11 +1,14 @@
 #include "xmark/engine.h"
 
+#include <optional>
+
 #include "query/optimizer.h"
 #include "query/plan.h"
 #include "store/dom_store.h"
 #include "store/edge_store.h"
 #include "store/fragmented_store.h"
 #include "store/inlined_store.h"
+#include "util/fault_injection.h"
 #include "util/logging.h"
 
 namespace xmark::bench {
@@ -104,30 +107,78 @@ StatusOr<PreparedQuery> PrepareThroughCache(
   return prepared;
 }
 
+// Buckets a non-Execute failure (Prepare, store load) into the shared
+// outcome counters so serving statistics cover rejected queries too.
+void RecordOutcome(ServingState* serving, const Status& status) {
+  util::MutexLock lock(serving->stats_mu);
+  serving->outcomes.Record(status);
+}
+
 // One Execute against `store`: a private Evaluator adopts the cached
 // annotations when present (the cache key guarantees they match this
 // store + option fingerprint), per-run statistics are merged into the
 // shared cumulative counters under the serving mutex at completion.
+//
+// Governance: `ctx` (optional) is a caller-held context (external
+// cancellation); otherwise one is created here iff `run_options` sets a
+// limit. On a governed failure the Evaluator — and with it the run's
+// QueryPlan and NodeArena — is destroyed before returning, so a cancelled
+// query frees its result memory and only the outcome counter survives.
 StatusOr<query::Sequence> ExecuteQuery(const query::StorageAdapter& store,
                                        const query::EvaluatorOptions& options,
+                                       const query::RunOptions& run_options,
+                                       query::ExecContext* ctx,
                                        const PreparedQuery& prepared,
                                        ServingState* serving,
                                        query::Evaluator::Stats* last_stats) {
+  std::optional<query::ExecContext> local_ctx;
+  if (ctx == nullptr && run_options.engaged()) {
+    local_ctx.emplace(run_options);
+    ctx = &*local_ctx;
+  }
   query::Evaluator evaluator(&store, options);
+  evaluator.set_exec_context(ctx);
   std::shared_ptr<const query::PlanAnnotations> annotations;
   if (prepared.cached != nullptr) annotations = prepared.cached->annotations;
   auto result = evaluator.Run(prepared.module(), std::move(annotations));
-  if (!result.ok()) return result.status();
-  *last_stats = evaluator.stats();
   {
     util::MutexLock lock(serving->stats_mu);
-    serving->cumulative_stats.MergeFrom(evaluator.stats());
-    ++serving->queries_executed;
+    serving->outcomes.Record(result.status());
+    if (result.ok()) {
+      serving->cumulative_stats.MergeFrom(evaluator.stats());
+      ++serving->queries_executed;
+    }
   }
+  if (!result.ok()) return result.status();
+  *last_stats = evaluator.stats();
   return result;
 }
 
 }  // namespace
+
+void QueryOutcomes::Record(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      ++ok;
+      return;
+    case StatusCode::kDeadlineExceeded:
+      ++deadline_exceeded;
+      return;
+    case StatusCode::kCancelled:
+      ++cancelled;
+      return;
+    case StatusCode::kResourceExhausted:
+      ++resource_exhausted;
+      return;
+    case StatusCode::kInvalidQuery:
+    case StatusCode::kParseError:
+      ++invalid_query;
+      return;
+    default:
+      ++other_error;
+      return;
+  }
+}
 
 char SystemLabel(SystemId id) {
   return static_cast<char>('A' + static_cast<int>(id));
@@ -233,6 +284,10 @@ std::unique_ptr<Engine> Engine::Create(SystemId id) {
 
 StatusOr<std::shared_ptr<query::StorageAdapter>> Engine::BuildStoreForSystem(
     SystemId id, std::string_view xml, const store::LoadOptions& options) {
+  if (XMARK_FAULT_POINT("engine/load_store")) {
+    return Status::ResourceExhausted(
+        "fault injection: engine/load_store (store bulkload refused)");
+  }
   switch (id) {
     case SystemId::kA: {
       XMARK_ASSIGN_OR_RETURN(auto store, store::EdgeStore::Load(xml, options));
@@ -306,20 +361,25 @@ StatusOr<PreparedQuery> Engine::PrepareCached(
                              query_text);
 }
 
-StatusOr<query::Sequence> Engine::Execute(const PreparedQuery& prepared) {
+StatusOr<query::Sequence> Engine::Execute(const PreparedQuery& prepared,
+                                          query::ExecContext* ctx) {
   if (reload_per_query_ && retained_xml_ != nullptr) {
     // Embedded processors load the document as part of running the query.
     XMARK_ASSIGN_OR_RETURN(
         store_, BuildStoreForSystem(id_, *retained_xml_, load_options_));
   }
   if (store_ == nullptr) return Status::Internal("engine not loaded");
-  return ExecuteQuery(*store_, eval_options_, prepared, serving_.get(),
-                      &last_stats_);
+  return ExecuteQuery(*store_, eval_options_, run_options_, ctx, prepared,
+                      serving_.get(), &last_stats_);
 }
 
 StatusOr<query::Sequence> Engine::Run(std::string_view query_text) {
-  XMARK_ASSIGN_OR_RETURN(PreparedQuery prepared, Prepare(query_text));
-  return Execute(prepared);
+  auto prepared = Prepare(query_text);
+  if (!prepared.ok()) {
+    RecordOutcome(serving_.get(), prepared.status());
+    return prepared.status();
+  }
+  return Execute(*prepared);
 }
 
 StatusOr<std::unique_ptr<EngineSession>> Engine::CreateSession() const {
@@ -339,6 +399,13 @@ StatusOr<std::string> Engine::Explain(std::string_view query_text) const {
   const query::PlanCacheStats cache = serving_->plan_cache.stats();
   text += "plan-cache: hits=" + std::to_string(cache.hits) +
           " misses=" + std::to_string(cache.misses) + "\n";
+  const QueryOutcomes oc = outcomes();
+  text += "outcomes: ok=" + std::to_string(oc.ok) +
+          " deadline=" + std::to_string(oc.deadline_exceeded) +
+          " cancelled=" + std::to_string(oc.cancelled) +
+          " resource=" + std::to_string(oc.resource_exhausted) +
+          " invalid=" + std::to_string(oc.invalid_query) +
+          " other=" + std::to_string(oc.other_error) + "\n";
   return text;
 }
 
@@ -350,6 +417,11 @@ query::EvalStats Engine::cumulative_stats() const {
 uint64_t Engine::queries_executed() const {
   util::MutexLock lock(serving_->stats_mu);
   return serving_->queries_executed;
+}
+
+QueryOutcomes Engine::outcomes() const {
+  util::MutexLock lock(serving_->stats_mu);
+  return serving_->outcomes;
 }
 
 size_t Engine::StorageBytes() const {
@@ -371,7 +443,7 @@ StatusOr<PreparedQuery> EngineSession::Prepare(std::string_view query_text) {
 }
 
 StatusOr<query::Sequence> EngineSession::Execute(
-    const PreparedQuery& prepared) {
+    const PreparedQuery& prepared, query::ExecContext* ctx) {
   if (reload_per_query_ && retained_xml_ != nullptr) {
     // System G semantics, session-local: the reload happens into a private
     // store, so concurrent G sessions never share document state (matching
@@ -381,16 +453,21 @@ StatusOr<query::Sequence> EngineSession::Execute(
         Engine::BuildStoreForSystem(id_, *retained_xml_, load_options_));
     std::shared_ptr<const query::StorageAdapter> session_store =
         std::move(fresh);
-    return ExecuteQuery(*session_store, eval_options_, prepared,
-                        serving_.get(), &last_stats_);
+    return ExecuteQuery(*session_store, eval_options_, run_options_, ctx,
+                        prepared, serving_.get(), &last_stats_);
   }
-  return ExecuteQuery(*store_, eval_options_, prepared, serving_.get(),
-                      &last_stats_);
+  return ExecuteQuery(*store_, eval_options_, run_options_, ctx, prepared,
+                      serving_.get(), &last_stats_);
 }
 
-StatusOr<query::Sequence> EngineSession::Run(std::string_view query_text) {
-  XMARK_ASSIGN_OR_RETURN(PreparedQuery prepared, Prepare(query_text));
-  return Execute(prepared);
+StatusOr<query::Sequence> EngineSession::Run(std::string_view query_text,
+                                             query::ExecContext* ctx) {
+  auto prepared = Prepare(query_text);
+  if (!prepared.ok()) {
+    RecordOutcome(serving_.get(), prepared.status());
+    return prepared.status();
+  }
+  return Execute(*prepared, ctx);
 }
 
 }  // namespace xmark::bench

@@ -7,6 +7,7 @@
 #include <string_view>
 
 #include "query/evaluator.h"
+#include "query/exec_context.h"
 #include "query/parser.h"
 #include "query/plan_cache.h"
 #include "query/storage.h"
@@ -52,6 +53,25 @@ struct PreparedQuery {
   }
 };
 
+/// Cumulative per-StatusCode query outcomes across an engine and all its
+/// sessions — the serving layer's error taxonomy made observable (Explain
+/// and the throughput bench surface these).
+struct QueryOutcomes {
+  uint64_t ok = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t cancelled = 0;
+  uint64_t resource_exhausted = 0;
+  uint64_t invalid_query = 0;  // parse/static rejections (incl. ParseError)
+  uint64_t other_error = 0;
+
+  /// Buckets `status` into the matching counter.
+  void Record(const Status& status);
+  uint64_t total() const {
+    return ok + deadline_exceeded + cancelled + resource_exhausted +
+           invalid_query + other_error;
+  }
+};
+
 /// State shared by an Engine and every session created from it: the plan
 /// cache and the cumulative serving statistics. Held by shared_ptr so
 /// sessions stay valid even if the engine is destroyed first.
@@ -62,6 +82,8 @@ struct ServingState {
   // Engine::cumulative_stats() / queries_executed().
   query::EvalStats cumulative_stats GUARDED_BY(stats_mu);
   uint64_t queries_executed GUARDED_BY(stats_mu) = 0;
+  // Every Prepare/Execute outcome, successes and governed failures alike.
+  QueryOutcomes outcomes GUARDED_BY(stats_mu);
 };
 
 class EngineSession;
@@ -108,10 +130,20 @@ class Engine {
   /// Executes a compiled query. For the embedded System G this includes
   /// re-loading the document — an embedded processor parses its input per
   /// program run, the constant overhead visible across Figure 4.
-  StatusOr<query::Sequence> Execute(const PreparedQuery& prepared);
+  /// Governance: when run_options() is engaged a per-run ExecContext is
+  /// created for this Execute; pass `ctx` to share one with the caller
+  /// (external cancellation). Defaults leave execution entirely unchecked.
+  StatusOr<query::Sequence> Execute(const PreparedQuery& prepared,
+                                    query::ExecContext* ctx = nullptr);
 
   /// Convenience: Prepare + Execute.
   StatusOr<query::Sequence> Run(std::string_view query_text);
+
+  /// Per-run limits applied by every Execute without an explicit context.
+  void set_run_options(const query::RunOptions& options) {
+    run_options_ = options;
+  }
+  const query::RunOptions& run_options() const { return run_options_; }
 
   /// A lightweight serving handle sharing this engine's loaded store, plan
   /// cache and cumulative statistics. Each concurrent client thread gets
@@ -152,6 +184,8 @@ class Engine {
   /// sessions), merged under the serving mutex at query completion.
   query::EvalStats cumulative_stats() const;
   uint64_t queries_executed() const;
+  /// Per-StatusCode outcomes across the engine and all its sessions.
+  QueryOutcomes outcomes() const;
 
  private:
   friend class EngineSession;
@@ -170,6 +204,7 @@ class Engine {
 
   SystemId id_;
   query::EvaluatorOptions eval_options_;
+  query::RunOptions run_options_;
   store::LoadOptions load_options_;
   bool reload_per_query_;
   std::shared_ptr<query::StorageAdapter> store_;
@@ -192,17 +227,35 @@ class EngineSession {
 
   /// Executes against the shared store (System G: against a freshly loaded
   /// private store). Merges this run's statistics into the shared
-  /// cumulative counters at completion.
-  StatusOr<query::Sequence> Execute(const PreparedQuery& prepared);
+  /// cumulative counters at completion. Governance mirrors
+  /// Engine::Execute: run_options() limits apply, `ctx` (optional) shares
+  /// a context so another thread can Cancel() this run; a cancelled run
+  /// frees its arena and leaves the shared plan cache and every sibling
+  /// session untouched.
+  StatusOr<query::Sequence> Execute(const PreparedQuery& prepared,
+                                    query::ExecContext* ctx = nullptr);
 
   /// Convenience: Prepare (cached) + Execute.
-  StatusOr<query::Sequence> Run(std::string_view query_text);
+  StatusOr<query::Sequence> Run(std::string_view query_text,
+                                query::ExecContext* ctx = nullptr);
+
+  /// Per-run limits applied by every Execute without an explicit context.
+  void set_run_options(const query::RunOptions& options) {
+    run_options_ = options;
+  }
+  const query::RunOptions& run_options() const { return run_options_; }
 
   /// Statistics of this session's last Execute.
   const query::Evaluator::Stats& last_stats() const { return last_stats_; }
 
   query::PlanCacheStats plan_cache_stats() const {
     return serving_->plan_cache.stats();
+  }
+
+  /// Shared per-StatusCode outcomes (same counters as Engine::outcomes()).
+  QueryOutcomes outcomes() const {
+    util::MutexLock lock(serving_->stats_mu);
+    return serving_->outcomes;
   }
 
  private:
@@ -223,6 +276,7 @@ class EngineSession {
 
   SystemId id_;
   query::EvaluatorOptions eval_options_;
+  query::RunOptions run_options_;
   store::LoadOptions load_options_;
   bool reload_per_query_;
   std::shared_ptr<const query::StorageAdapter> store_;

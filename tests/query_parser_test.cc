@@ -209,6 +209,63 @@ TEST(ParserTest, ModerateNestingStillParses) {
   EXPECT_TRUE(parser.ParseExpression().ok());
 }
 
+// Every rejection is a kInvalidQuery carrying a stable machine-readable
+// code plus position: "[slug] line:col: message (near '<snippet>')".
+// The slugs are serving API — clients dispatch on them via
+// ParseErrorCodeOf — so this test pins them.
+TEST(ParserTest, RejectionsCarryStableCodesAndPositions) {
+  struct Case {
+    const char* text;
+    ParseErrorCode code;
+  };
+  const Case cases[] = {
+      {"for $x in", ParseErrorCode::kUnexpectedToken},
+      {"1 + ", ParseErrorCode::kUnexpectedToken},
+      {"1 1", ParseErrorCode::kTrailingInput},
+      {"<a></b>", ParseErrorCode::kMismatchedEndTag},
+      {"<a", ParseErrorCode::kUnterminatedConstructor},
+      {"<a b></a>", ParseErrorCode::kBadConstructorAttr},
+      {"<a>}</a>", ParseErrorCode::kUnescapedBrace},
+  };
+  for (const Case& c : cases) {
+    auto result = ParseQueryText(c.text);
+    ASSERT_FALSE(result.ok()) << c.text;
+    const Status& status = result.status();
+    EXPECT_EQ(status.code(), StatusCode::kInvalidQuery) << status;
+    EXPECT_EQ(ParseErrorCodeOf(status), c.code) << status;
+    const std::string expected_prefix =
+        "[" + std::string(ParseErrorCodeSlug(c.code)) + "] ";
+    EXPECT_EQ(status.message().rfind(expected_prefix, 0), 0u) << status;
+    EXPECT_NE(status.message().find(" (near '"), std::string::npos) << status;
+  }
+}
+
+TEST(ParserTest, DiagnosticsPointAtLineAndColumn) {
+  // The stray ')' sits at line 2, column 10.
+  auto result = ParseQueryText("let $x := 1\nreturn $x)");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(ParseErrorCodeOf(result.status()),
+            ParseErrorCode::kTrailingInput);
+  EXPECT_NE(result.status().message().find("] 2:10: "), std::string::npos)
+      << result.status();
+}
+
+TEST(ParserTest, NestingGuardReportsCodedError) {
+  std::string parens(1000, '(');
+  parens += '1';
+  auto result = ParseQueryText(parens);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(ParseErrorCodeOf(result.status()),
+            ParseErrorCode::kNestingTooDeep);
+}
+
+TEST(ParserTest, UnrelatedStatusMapsToUnknownCode) {
+  EXPECT_EQ(ParseErrorCodeOf(Status::Internal("boom")),
+            ParseErrorCode::kUnknown);
+  EXPECT_EQ(ParseErrorCodeOf(Status::InvalidQuery("[not-a-slug] 1:1: x")),
+            ParseErrorCode::kUnknown);
+}
+
 TEST(ParserTest, AllTwentyBenchmarkQueriesParse) {
   for (const auto& spec : bench::AllQueries()) {
     auto parsed = ParseQueryText(spec.text);

@@ -27,6 +27,22 @@ TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::InvalidQuery("x").code(), StatusCode::kInvalidQuery);
+}
+
+// The governance taxonomy renders stable names (clients and the bench
+// JSON key on them).
+TEST(StatusTest, GovernanceCodesRenderStableNames) {
+  EXPECT_EQ(Status::DeadlineExceeded("t").ToString(), "DeadlineExceeded: t");
+  EXPECT_EQ(Status::Cancelled("t").ToString(), "Cancelled: t");
+  EXPECT_EQ(Status::ResourceExhausted("t").ToString(),
+            "ResourceExhausted: t");
+  EXPECT_EQ(Status::InvalidQuery("t").ToString(), "InvalidQuery: t");
 }
 
 StatusOr<int> ParsePositive(int v) {

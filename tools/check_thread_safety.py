@@ -14,18 +14,69 @@ Without (2), a broken macro expansion would silently turn the entire
 annotation layer into comments and every "clean" build would prove
 nothing.
 
-Exit codes: 0 = both probes behave, 1 = probe failure, 77 = no clang++
-found (ctest maps 77 to SKIPPED via SKIP_RETURN_CODE; GCC has no
-thread-safety analysis, so there is nothing to probe).
+Additionally (PR 8), a pure-Python lint runs BEFORE the clang probes —
+so it executes even where clang is absent — and flags any ``util::Mutex``
+member declared in ``src/`` that no annotation in the same file ever
+names: a mutex nothing is ``GUARDED_BY`` protects nothing, which is
+almost always a forgotten annotation (the analysis then silently checks
+an empty contract). Mutexes with a deliberate non-field protocol are
+allowlisted below with their justification.
+
+Exit codes: 0 = lint and both probes behave (probes may SKIP), 1 = lint
+or probe failure, 77 = lint passed but no clang++ found (ctest maps 77
+to SKIPPED via SKIP_RETURN_CODE; GCC has no thread-safety analysis, so
+there is nothing to probe).
 """
 
 from __future__ import annotations
 
 import argparse
 import pathlib
+import re
 import shutil
 import subprocess
 import sys
+
+# util::Mutex members whose protocol is intentionally not expressible as
+# GUARDED_BY on a field in the same file.
+UNANNOTATED_MUTEX_ALLOWLIST = {
+    # The pool's sleep/wake protocol: wake_mu_ orders pending_ updates
+    # against CondVar waits, but pending_ is an atomic also read locklessly
+    # on the fast path, so GUARDED_BY would be wrong.
+    ("src/util/thread_pool.h", "wake_mu_"),
+}
+
+MUTEX_DECL = re.compile(
+    r"(?:mutable\s+)?util::Mutex\s+([A-Za-z_][A-Za-z0-9_]*)\s*;")
+ANNOTATION = re.compile(
+    r"(?:GUARDED_BY|PT_GUARDED_BY|REQUIRES|REQUIRES_SHARED|ACQUIRE|"
+    r"RELEASE|EXCLUDES|RETURN_CAPABILITY)\s*\(\s*([A-Za-z_][A-Za-z0-9_.>-]*)")
+
+
+def lint_unannotated_mutexes(root: pathlib.Path) -> list[str]:
+    """Returns one message per util::Mutex member no annotation names."""
+    problems = []
+    for path in sorted((root / "src").rglob("*")):
+        if path.suffix not in (".h", ".cc"):
+            continue
+        rel = path.relative_to(root).as_posix()
+        text = path.read_text()
+        declared = MUTEX_DECL.findall(text)
+        if not declared:
+            continue
+        referenced = {m.split(".")[-1].split("->")[-1]
+                      for m in ANNOTATION.findall(text)}
+        for name in declared:
+            if name in referenced:
+                continue
+            if (rel, name) in UNANNOTATED_MUTEX_ALLOWLIST:
+                continue
+            problems.append(
+                f"{rel}: util::Mutex '{name}' is never named by any "
+                "GUARDED_BY/REQUIRES/EXCLUDES annotation in this file — "
+                "annotate what it protects, or allowlist it with a "
+                "justification in tools/check_thread_safety.py")
+    return problems
 
 CLANG_CANDIDATES = ["clang++"] + [f"clang++-{v}" for v in range(22, 13, -1)]
 
@@ -57,6 +108,14 @@ def main() -> int:
                     help="clang++ binary (default: search PATH)")
     args = ap.parse_args()
     root = pathlib.Path(args.root).resolve()
+
+    problems = lint_unannotated_mutexes(root)
+    if problems:
+        print("FAIL: unannotated mutexes:")
+        for p in problems:
+            print(f"  {p}")
+        return 1
+    print("unannotated-mutex lint OK")
 
     clang = find_clang(args.clang)
     if clang is None:
