@@ -17,6 +17,7 @@
 #include "rel/operators.h"
 #include "rel/shredder.h"
 #include "store/dom_store.h"
+#include "store/edge_store.h"
 #include "util/logging.h"
 #include "util/table_printer.h"
 #include "util/timer.h"
@@ -45,8 +46,15 @@ double TimeQuery(const query::StorageAdapter* store,
 
 int Main(int argc, char** argv) {
   const double sf = FlagDouble(argc, argv, "sf", 0.05);
-  std::printf("=== Ablation: optimizer features on the native store ===\n");
-  std::printf("scaling factor %g\n\n", sf);
+  const bool json = FlagBool(argc, argv, "json");
+  // Ablation flag: run every row's baseline without pipeline fusion, so
+  // the other feature contrasts can be read against the unfused executor.
+  const bool no_pipelines = FlagBool(argc, argv, "no-compiled-pipelines");
+  if (!json) {
+    std::printf("=== Ablation: optimizer features on the native store ===\n");
+    std::printf("scaling factor %g%s\n\n", sf,
+                no_pipelines ? " (compiled pipelines off)" : "");
+  }
 
   gen::GeneratorOptions gopts;
   gopts.scale = sf;
@@ -57,6 +65,7 @@ int Main(int argc, char** argv) {
   XMARK_CHECK(store.ok());
 
   query::EvaluatorOptions all_on;  // defaults: everything enabled
+  all_on.compiled_pipelines = !no_pipelines;
 
   struct Ablation {
     const char* feature;
@@ -108,6 +117,12 @@ int Main(int argc, char** argv) {
     a.off.cache_invariant_paths = false;
     ablations.push_back(std::move(a));
   }
+  {
+    Ablation a{"compiled pipelines", {1, 5, 6, 14}, all_on};
+    a.on.compiled_pipelines = true;  // fused even under --no-compiled-pipelines
+    a.off.compiled_pipelines = false;
+    ablations.push_back(std::move(a));
+  }
 
   TablePrinter table({"Feature", "Query", "on (ms)", "off (ms)", "speedup"});
   for (const Ablation& ab : ablations) {
@@ -119,7 +134,64 @@ int Main(int argc, char** argv) {
                     StringPrintf("%.1fx", off_ms / std::max(0.001, on_ms))});
     }
   }
-  std::printf("%s\n", table.ToString().c_str());
+  if (!json) std::printf("%s\n", table.ToString().c_str());
+
+  // Compiled-pipeline contrast on the edge store — the mapping whose
+  // dense preorder arrays feed the raw fused drains (the PR 9 acceptance
+  // numbers). Same tree, fused queries, pipelines on vs off.
+  struct PipeRow {
+    int query;
+    double pipeline_ms;
+    double no_pipeline_ms;
+  };
+  std::vector<PipeRow> pipe_rows;
+  {
+    auto edge = store::EdgeStore::Load(doc_text);
+    XMARK_CHECK(edge.ok());
+    query::EvaluatorOptions fused;  // defaults: everything on
+    query::EvaluatorOptions unfused = fused;
+    unfused.compiled_pipelines = false;
+    for (int q : {1, 5, 6, 14}) {
+      PipeRow row{q, TimeQuery(edge->get(), fused, q),
+                  TimeQuery(edge->get(), unfused, q)};
+      pipe_rows.push_back(row);
+    }
+  }
+  if (!json) {
+    std::printf("--- compiled pipelines: edge store, fused queries ---\n");
+    TablePrinter pt({"Query", "pipeline (ms)", "no pipeline (ms)", "speedup"});
+    for (const PipeRow& r : pipe_rows) {
+      pt.AddRow({StringPrintf("Q%d", r.query),
+                 StringPrintf("%.2f", r.pipeline_ms),
+                 StringPrintf("%.2f", r.no_pipeline_ms),
+                 StringPrintf("%.2fx", r.no_pipeline_ms /
+                                           std::max(0.001, r.pipeline_ms))});
+    }
+    std::printf("%s\n", pt.ToString().c_str());
+  }
+
+  if (json) {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("bench").Value(std::string_view("ablation_optimizer"));
+    w.Key("scale").Value(sf);
+    w.Key("no_compiled_pipelines").Value(no_pipelines);
+    w.Key("compiled_pipelines").BeginObject();
+    w.Key("store").Value(std::string_view("edge table"));
+    w.Key("queries").BeginArray();
+    for (const PipeRow& r : pipe_rows) {
+      w.BeginObject();
+      w.Key("query").Value(r.query);
+      w.Key("pipeline_ms").Value(r.pipeline_ms);
+      w.Key("no_pipeline_ms").Value(r.no_pipeline_ms);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+    w.EndObject();
+    std::printf("%s\n", w.str().c_str());
+    return 0;
+  }
 
   // rel-operator microbench: person |x| closed_auction (the Q8 join) as a
   // hash join vs a nested-loop join.

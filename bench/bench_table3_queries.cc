@@ -50,6 +50,8 @@ struct AblationResult {
   int64_t construct_heap_no_arena[20] = {};
   int64_t cursor_scans = 0;
   int64_t descendant_scans = 0;
+  int64_t pipeline_batches_fused = 0;  // batches through compiled pipelines
+  int64_t virtual_batches = 0;         // batches through virtual NodeScan
   int64_t band_joins_built = 0;   // band domains sorted (fast run)
   int64_t band_join_rows = 0;     // rows answered by band probes (fast run)
   int64_t nodes_constructed = 0;        // constructed nodes (fast run)
@@ -106,6 +108,8 @@ AblationResult RunAblation(Engine* engine, int reps) {
             stats.nodes_constructed - stats.nodes_arena_allocated;
         out.cursor_scans += stats.cursor_scans;
         out.descendant_scans += stats.descendant_scans;
+        out.pipeline_batches_fused += stats.pipeline_batches_fused;
+        out.virtual_batches += stats.virtual_batches;
         out.band_joins_built += stats.band_joins_built;
         out.band_join_rows += stats.band_join_rows;
         out.nodes_constructed += stats.nodes_constructed;
@@ -383,6 +387,14 @@ int Main(int argc, char** argv) {
                 static_cast<long long>(ab.compare_allocs_slow),
                 static_cast<long long>(ab.compare_allocs_fast),
                 static_cast<long long>(ab.sequence_heap_spills));
+    std::printf("pipelines: %lld fused batches, %lld virtual batches "
+                "(fused fraction %.1f%%)\n",
+                static_cast<long long>(ab.pipeline_batches_fused),
+                static_cast<long long>(ab.virtual_batches),
+                100.0 * static_cast<double>(ab.pipeline_batches_fused) /
+                    std::max<double>(1.0, static_cast<double>(
+                                              ab.pipeline_batches_fused +
+                                              ab.virtual_batches)));
   }
 
   if (json) {
@@ -465,6 +477,8 @@ int Main(int argc, char** argv) {
     w.Key("reduction_pct").Value(reduction);
     w.Key("cursor_scans").Value(ab.cursor_scans);
     w.Key("descendant_scans").Value(ab.descendant_scans);
+    w.Key("pipeline_batches_fused").Value(ab.pipeline_batches_fused);
+    w.Key("virtual_batches").Value(ab.virtual_batches);
     w.Key("band_joins_built").Value(ab.band_joins_built);
     w.Key("band_join_rows").Value(ab.band_join_rows);
     w.Key("nodes_constructed").Value(ab.nodes_constructed);

@@ -719,6 +719,18 @@ StatusOr<int64_t> Evaluator::BandCount(int slot, Environment& env,
 
 StatusOr<Sequence> Evaluator::EvalFlwor(const AstNode& node, Environment& env,
                                         const Focus* focus) {
+  // Compiled pipeline: the plan-time fusion pass proved this FLWOR
+  // equivalent to a fused monomorphic loop (which reads nothing from env
+  // or focus — fusable shapes are self-contained by construction), so the
+  // whole nested-loop evaluation collapses into one PipelineExec drain.
+  if (options_.compiled_pipelines) {
+    const CompiledPipeline* pipe = plan_->FindPipeline(&node);
+    if (pipe != nullptr) {
+      return PipelineExec::Run(*pipe, store_, &stats_, ctx_, ExecPool(),
+                               options_.parallel_exec.min_morsel_ids);
+    }
+  }
+
   const FlworPlan& fp = FlworPlanFor(node);
   if (fp.strategy == FlworPlan::Strategy::kHashJoin) {
     return EvalHashJoin(node, fp.hash, env, focus);

@@ -158,7 +158,9 @@ class NodeScan {
               size_t min_morsel_ids = 0, ExecContext* ctx = nullptr);
 
   /// Copies up to `cap` matching handles into `out` in document order;
-  /// returns the number written. 0 signals exhaustion.
+  /// returns the number written. 0 signals exhaustion. Every non-empty
+  /// batch counts toward EvalStats::virtual_batches — the generic-path
+  /// denominator of the compiled-pipeline fusion ratio.
   size_t Fill(NodeHandle* out, size_t cap);
 
  private:
@@ -171,6 +173,9 @@ class NodeScan {
     kMaterialized,
   };
 
+  /// The mode dispatch behind Fill (kept separate so the public wrapper is
+  /// the single place virtual_batches accounting happens).
+  size_t FillBatch(NodeHandle* out, size_t cap);
   void OpenDfs(NodeHandle base);
   size_t FillDfs(NodeHandle* out, size_t cap);
   void CollectChildren(NodeHandle parent, std::vector<NodeHandle>* out);
@@ -194,6 +199,36 @@ class NodeScan {
   size_t materialized_pos_ = 0;
   std::vector<NodeHandle> dfs_stack_;
   std::vector<NodeHandle> dfs_kids_;
+};
+
+// ---------------------------------------------------------------------------
+// PipelineExec: compiled-pipeline driver
+// ---------------------------------------------------------------------------
+
+/// Runs one CompiledPipeline (see query/plan.h): the fused scan → filter →
+/// compare → emit loop the plan-time pass proved equivalent to the FLWOR
+/// it annotates. The loop body is selected from a static table of
+/// monomorphic instantiations indexed by the pipeline's plan-time
+/// `dispatch` word — one instantiation per (filter kind × compare op ×
+/// operand type × raw/cursor scan source) — so the hot loop pays no
+/// per-batch virtual call and drains straight into the result Sequence
+/// with no intermediate materialization. Byte-identical to the generic
+/// nested-loop evaluation by construction (the fusion pass refuses any
+/// shape it cannot prove).
+///
+/// Cooperates with governance and morsel parallelism exactly like
+/// NodeScan: every batch checks `ctx` (when non-null), descendant scans
+/// spanning at least `min_morsel_ids` ids split into deterministic chunks
+/// on `pool` (admission-controlled via TrySubmit, private per-chunk
+/// buffers concatenated in chunk order), and the "exec/pipeline_drain"
+/// fault site covers the fused drain. Stateless: safe to call from any
+/// number of concurrent runs sharing the plan.
+class PipelineExec {
+ public:
+  static StatusOr<Sequence> Run(const CompiledPipeline& pipe,
+                                const StorageAdapter* store, EvalStats* stats,
+                                ExecContext* ctx, ThreadPool* pool,
+                                size_t min_morsel_ids);
 };
 
 // ---------------------------------------------------------------------------

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "query/pipeline.h"
+
 namespace xmark::query {
 
 // ---------------------------------------------------------------------------
@@ -547,6 +549,14 @@ void BuildPlan(const ParsedQuery& query, const StorageAdapter& store,
     LowerNode(*f.body, options, plan->caps, plan);
   }
   LowerNode(*query.body, options, plan->caps, plan);
+  // Pipeline fusion runs after lowering: it consults the FLWOR strategies
+  // and band-let registrations decided above.
+  if (options.compiled_pipelines) {
+    for (const FunctionDecl& f : query.functions) {
+      FusePipelines(&query, *f.body, store, options, plan);
+    }
+    FusePipelines(&query, *query.body, store, options, plan);
+  }
 }
 
 void BuildExprPlan(const AstNode& expr, const StorageAdapter& store,
@@ -557,6 +567,9 @@ void BuildExprPlan(const AstNode& expr, const StorageAdapter& store,
   plan->caps = store.Capabilities();
   plan->options = options;
   LowerNode(expr, options, plan->caps, plan);
+  if (options.compiled_pipelines) {
+    FusePipelines(nullptr, expr, store, options, plan);
+  }
 }
 
 }  // namespace xmark::query

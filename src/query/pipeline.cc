@@ -1,0 +1,342 @@
+#include "query/pipeline.h"
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "query/optimizer.h"
+
+namespace xmark::query {
+namespace {
+
+// [@id = "literal"] shape of a step's first predicate. Mirrors the
+// optimizer's file-local IdLiteralOf so the pass recognizes Q1's lookup
+// step independently of whether the ID index resolves it.
+const AstNode* StepIdLiteral(const Step& step) {
+  if (step.predicates.empty()) return nullptr;
+  const AstNode& p = *step.predicates.front();
+  if (p.kind != AstKind::kBinary || p.op != BinaryOp::kEq) return nullptr;
+  auto is_id_path = [](const AstNode& n) {
+    return n.kind == AstKind::kPath && !n.absolute && !n.start &&
+           n.steps.size() == 1 && n.steps[0].axis == Axis::kAttribute &&
+           n.steps[0].name == "id";
+  };
+  if (is_id_path(*p.args[0]) && p.args[1]->kind == AstKind::kStringLiteral) {
+    return p.args[1].get();
+  }
+  if (is_id_path(*p.args[1]) && p.args[0]->kind == AstKind::kStringLiteral) {
+    return p.args[0].get();
+  }
+  return nullptr;
+}
+
+// $v, or $v followed by predicate-free child name steps with an optional
+// trailing text() step — the only var-rooted shape the fused filter and
+// tail walkers reproduce exactly (nested per-step walk order equals the
+// evaluator's per-step batch order for a single root).
+bool MatchVarPath(const AstNode& n, const std::string& var,
+                  std::vector<std::string>* names, bool* text_tail) {
+  names->clear();
+  *text_tail = false;
+  if (n.kind == AstKind::kVarRef) return n.str_value == var;
+  if (n.kind != AstKind::kPath || n.absolute || n.start == nullptr) {
+    return false;
+  }
+  if (n.start->kind != AstKind::kVarRef || n.start->str_value != var) {
+    return false;
+  }
+  for (size_t i = 0; i < n.steps.size(); ++i) {
+    const Step& s = n.steps[i];
+    if (s.axis != Axis::kChild || !s.predicates.empty()) return false;
+    if (s.test == Step::Test::kName) {
+      names->push_back(s.name);
+    } else if (s.test == Step::Test::kText && i + 1 == n.steps.size()) {
+      *text_tail = true;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct DomainShape {
+  CompiledPipeline::Scan scan = CompiledPipeline::Scan::kPrefixOnly;
+  std::vector<std::string> prefix;
+  std::string scan_name;
+  bool id_filter = false;
+  std::string id_value;
+};
+
+// Rooted path of predicate-free child name steps, with the last step
+// optionally a descendant name step (Q14) or a child step carrying the
+// [@id = "lit"] predicate (Q1). The first step always stays in the prefix
+// family: rooted paths test the document root itself on step 0, which the
+// prefix resolver reproduces — a descendant or predicated step 0 would
+// not, so those shapes are refused.
+bool MatchDomain(const AstNode& n, DomainShape* out) {
+  if (n.kind != AstKind::kPath) return false;
+  const bool rooted =
+      n.absolute || (n.start != nullptr && IsDocumentCall(*n.start));
+  if (!rooted || n.steps.empty()) return false;
+  const size_t last = n.steps.size() - 1;
+  for (size_t i = 0; i < last; ++i) {
+    const Step& s = n.steps[i];
+    if (s.axis != Axis::kChild || s.test != Step::Test::kName ||
+        !s.predicates.empty()) {
+      return false;
+    }
+    out->prefix.push_back(s.name);
+  }
+  const Step& s = n.steps[last];
+  if (s.test != Step::Test::kName) return false;
+  if (s.axis == Axis::kDescendant) {
+    if (!s.predicates.empty() || last == 0) return false;
+    out->scan = CompiledPipeline::Scan::kDescendants;
+    out->scan_name = s.name;
+    return true;
+  }
+  if (s.axis != Axis::kChild) return false;
+  if (s.predicates.empty()) {
+    out->prefix.push_back(s.name);
+    out->scan = CompiledPipeline::Scan::kPrefixOnly;
+    return true;
+  }
+  // A predicated last step fuses only as the one-predicate id lookup, and
+  // only below a non-empty prefix (step 0 predicates apply to the root
+  // test, not to a child scan).
+  if (s.predicates.size() != 1 || last == 0) return false;
+  const AstNode* lit = StepIdLiteral(s);
+  if (lit == nullptr) return false;
+  out->scan = CompiledPipeline::Scan::kChildren;
+  out->scan_name = s.name;
+  out->id_filter = true;
+  out->id_value = lit->str_value;
+  return true;
+}
+
+// The evaluator strips a leading "fn:" before its UDF lookup, so a prolog
+// function named e.g. "contains" shadows both spellings of the builtin.
+bool ShadowedBuiltin(const std::set<std::string>& udfs,
+                     std::string_view name) {
+  if (name.substr(0, 3) == "fn:") name = name.substr(3);
+  return udfs.count(std::string(name)) != 0;
+}
+
+bool IsComparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsLiteral(const AstNode& n) {
+  return n.kind == AstKind::kStringLiteral || n.kind == AstKind::kNumberLiteral;
+}
+
+// Where clause: absent, contains/starts-with($v-path, "lit"), or the
+// existential literal compare <$v-path> OP <literal> (either operand
+// order; normalized literal-right via SwapComparison, which preserves the
+// evaluator's CompareItems outcome exactly).
+bool MatchWhere(const AstNode* where, const std::string& var,
+                const std::set<std::string>& udfs, CompiledPipeline* pipe,
+                std::vector<std::string>* filter_names) {
+  if (where == nullptr) {
+    pipe->filter = CompiledPipeline::FilterKind::kNone;
+    return true;
+  }
+  const AstNode& w = *where;
+  if (w.kind == AstKind::kFunctionCall) {
+    CompiledPipeline::FilterKind kind;
+    if (w.str_value == "contains" || w.str_value == "fn:contains") {
+      kind = CompiledPipeline::FilterKind::kContains;
+    } else if (w.str_value == "starts-with" ||
+               w.str_value == "fn:starts-with") {
+      kind = CompiledPipeline::FilterKind::kStartsWith;
+    } else {
+      return false;
+    }
+    if (ShadowedBuiltin(udfs, w.str_value)) return false;
+    if (w.args.size() != 2) return false;
+    bool text_tail = false;
+    if (!MatchVarPath(*w.args[0], var, filter_names, &text_tail)) return false;
+    if (w.args[1]->kind != AstKind::kStringLiteral) return false;
+    pipe->filter = kind;
+    pipe->filter_path_text = text_tail;
+    pipe->needle = w.args[1]->str_value;
+    return true;
+  }
+  if (w.kind != AstKind::kBinary || !IsComparison(w.op)) return false;
+  const AstNode* lhs = w.args[0].get();
+  const AstNode* rhs = w.args[1].get();
+  BinaryOp op = w.op;
+  if (IsLiteral(*lhs) && !IsLiteral(*rhs)) {
+    std::swap(lhs, rhs);
+    op = SwapComparison(op);
+  }
+  if (!IsLiteral(*rhs)) return false;
+  bool text_tail = false;
+  if (!MatchVarPath(*lhs, var, filter_names, &text_tail)) return false;
+  pipe->filter = CompiledPipeline::FilterKind::kCompare;
+  pipe->filter_path_text = text_tail;
+  pipe->cmp_op = op;
+  pipe->cmp_numeric = rhs->kind == AstKind::kNumberLiteral;
+  pipe->cmp_number = rhs->num_value;
+  pipe->cmp_str = rhs->str_value;
+  return true;
+}
+
+// Return clause: $v (emit the binding), a $v-rooted child path with an
+// optional trailing text() (Q1/Q14 tails), or count($v//tag) (Q6).
+bool MatchRet(const AstNode& ret, const std::string& var,
+              const std::set<std::string>& udfs, CompiledPipeline* pipe,
+              std::vector<std::string>* tail_names, std::string* count_name) {
+  bool text_tail = false;
+  if (MatchVarPath(ret, var, tail_names, &text_tail)) {
+    if (tail_names->empty() && !text_tail) {
+      pipe->emit = CompiledPipeline::Emit::kVar;
+    } else {
+      pipe->emit = CompiledPipeline::Emit::kTailNodes;
+      pipe->tail_text = text_tail;
+    }
+    return true;
+  }
+  if (ret.kind == AstKind::kFunctionCall &&
+      (ret.str_value == "count" || ret.str_value == "fn:count") &&
+      !ShadowedBuiltin(udfs, ret.str_value) && ret.args.size() == 1) {
+    const AstNode& a = *ret.args[0];
+    if (a.kind != AstKind::kPath || a.absolute || a.start == nullptr) {
+      return false;
+    }
+    if (a.start->kind != AstKind::kVarRef || a.start->str_value != var) {
+      return false;
+    }
+    if (a.steps.size() != 1) return false;
+    const Step& s = a.steps[0];
+    if (s.axis != Axis::kDescendant || s.test != Step::Test::kName ||
+        !s.predicates.empty()) {
+      return false;
+    }
+    *count_name = s.name;
+    pipe->emit = CompiledPipeline::Emit::kCount;
+    return true;
+  }
+  return false;
+}
+
+void TryFuse(const AstNode& flwor, const std::set<std::string>& udfs,
+             const StorageAdapter& store, const EvaluatorOptions& options,
+             PlanAnnotations* plan) {
+  if (flwor.clauses.size() != 1 || flwor.clauses[0].is_let ||
+      flwor.clauses[0].expr == nullptr) {
+    return;
+  }
+  if (!flwor.order_by.empty() || flwor.ret == nullptr) return;
+  // Only the plain nested loop fuses: a hash-join strategy already beats
+  // the pipeline, and a FLWOR registered as a band-join let must keep its
+  // generic fallback semantics when the band index is invalid.
+  const auto fit = plan->flwors.find(&flwor);
+  if (fit == plan->flwors.end() ||
+      fit->second.strategy != FlworPlan::Strategy::kNestedLoop) {
+    return;
+  }
+  if (plan->band_lets.count(&flwor) != 0) return;
+
+  const std::string& var = flwor.clauses[0].var;
+  DomainShape dom;
+  if (!MatchDomain(*flwor.clauses[0].expr, &dom)) return;
+
+  CompiledPipeline pipe;
+  std::vector<std::string> filter_names;
+  std::vector<std::string> tail_names;
+  std::string count_name;
+  if (!MatchWhere(flwor.where.get(), var, udfs, &pipe, &filter_names)) return;
+  if (!MatchRet(*flwor.ret, var, udfs, &pipe, &tail_names, &count_name)) {
+    return;
+  }
+
+  // Every tag resolves against the store dictionary at plan time; a name
+  // the document never saw keeps the generic path (which short-circuits
+  // unknown tags to empty results anyway — fusing them buys nothing).
+  const auto resolve = [&store](const std::string& name, xml::NameId* out) {
+    *out = store.names().Lookup(name);
+    return *out != xml::kInvalidName;
+  };
+  pipe.prefix.reserve(dom.prefix.size());
+  for (const std::string& name : dom.prefix) {
+    xml::NameId id = xml::kInvalidName;
+    if (!resolve(name, &id)) return;
+    pipe.prefix.push_back(id);
+  }
+  if (!dom.scan_name.empty() && !resolve(dom.scan_name, &pipe.scan_tag)) {
+    return;
+  }
+  pipe.filter_path.reserve(filter_names.size());
+  for (const std::string& name : filter_names) {
+    xml::NameId id = xml::kInvalidName;
+    if (!resolve(name, &id)) return;
+    pipe.filter_path.push_back(id);
+  }
+  pipe.tail.reserve(tail_names.size());
+  for (const std::string& name : tail_names) {
+    xml::NameId id = xml::kInvalidName;
+    if (!resolve(name, &id)) return;
+    pipe.tail.push_back(id);
+  }
+  if (!count_name.empty() && !resolve(count_name, &pipe.count_tag)) return;
+
+  pipe.flwor = &flwor;
+  pipe.scan = dom.scan;
+  pipe.id_filter = dom.id_filter;
+  pipe.id_value = std::move(dom.id_value);
+  // Mirrors ComputeStepPlan's id_literal condition: the probe replaces the
+  // child scan only when both the toggle and the capability agree.
+  pipe.id_lookup =
+      dom.id_filter && options.use_id_index && plan->caps.id_lookup;
+  pipe.dispatch = PipelineDispatch(pipe.filter, pipe.cmp_op, pipe.cmp_numeric,
+                                   store.RawTagArray() != nullptr);
+  pipe.stages = "scan";
+  if (pipe.id_filter || pipe.filter == CompiledPipeline::FilterKind::kContains ||
+      pipe.filter == CompiledPipeline::FilterKind::kStartsWith) {
+    pipe.stages += "|filter";
+  }
+  if (pipe.filter == CompiledPipeline::FilterKind::kCompare) {
+    pipe.stages += "|compare";
+  }
+  pipe.stages +=
+      pipe.emit == CompiledPipeline::Emit::kCount ? "|count" : "|emit";
+  pipe.pipeline_id = plan->pipelines.size();
+  plan->pipelines.emplace(&flwor, std::move(pipe));
+}
+
+void Walk(const AstNode& node, const std::set<std::string>& udfs,
+          const StorageAdapter& store, const EvaluatorOptions& options,
+          PlanAnnotations* plan) {
+  if (node.kind == AstKind::kFlwor) {
+    TryFuse(node, udfs, store, options, plan);
+  }
+  VisitChildren(node, [&](const AstNode& child) {
+    Walk(child, udfs, store, options, plan);
+  });
+}
+
+}  // namespace
+
+void FusePipelines(const ParsedQuery* query, const AstNode& root,
+                   const StorageAdapter& store,
+                   const EvaluatorOptions& options, PlanAnnotations* plan) {
+  std::set<std::string> udfs;
+  if (query != nullptr) {
+    for (const FunctionDecl& f : query->functions) udfs.insert(f.name);
+  }
+  Walk(root, udfs, store, options, plan);
+}
+
+}  // namespace xmark::query

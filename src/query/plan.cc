@@ -27,6 +27,7 @@ uint64_t OptionsFingerprint(const EvaluatorOptions& o) {
   bit(o.descendant_cursors);
   bit(o.arena_construction);
   bit(o.parallel_exec.enabled);
+  bit(o.compiled_pipelines);
   // Execution-only knobs still key the cache: simpler one-key scheme, and
   // sessions with different morsel settings just compile one entry each.
   f |= static_cast<uint64_t>(o.parallel_exec.threads & 0xffffu) << 16;
@@ -110,9 +111,9 @@ class ExplainPrinter {
     const QueryPlan::Summary s = plan_.Summarize();
     out_ += StringPrintf(
         "summary: hash-join=%d band-count-join=%d construct-template=%d "
-        "joinable-nested-loop=%d\n",
+        "joinable-nested-loop=%d compiled-pipeline=%d\n",
         s.hash_joins, s.band_joins, s.construct_templates,
-        s.joinable_nested_loops);
+        s.joinable_nested_loops, s.compiled_pipelines);
   }
 
   void Line(int depth, const std::string& text) {
@@ -223,6 +224,11 @@ class ExplainPrinter {
       }
     }
     Line(depth, line);
+    const CompiledPipeline* pipe = plan_.FindPipeline(&n);
+    if (pipe != nullptr) {
+      Line(depth + 1, StringPrintf("pipeline %zu fused=[%s]",
+                                   pipe->pipeline_id, pipe->stages.c_str()));
+    }
     for (const ForLetClause& c : n.clauses) {
       const BandJoinPlan* band =
           c.is_let && c.expr ? plan_.FindBandLet(c.expr.get()) : nullptr;
@@ -369,6 +375,7 @@ QueryPlan::Summary QueryPlan::Summarize() const {
   Summary s;
   s.band_joins = static_cast<int>(a.band_lets.size());
   s.construct_templates = static_cast<int>(a.constructs.size());
+  s.compiled_pipelines = static_cast<int>(a.pipelines.size());
   for (const auto& [node, fp] : a.flwors) {
     if (fp.strategy == FlworPlan::Strategy::kHashJoin) {
       ++s.hash_joins;

@@ -91,6 +91,14 @@ struct EvaluatorOptions {
   /// (templates are plan annotations); output is byte-identical either
   /// way.
   bool arena_construction = true;
+  /// Fuse hot FLWOR shapes (scan → filter → compare → emit chains) into
+  /// CompiledPipeline loops: monomorphic template instantiations in
+  /// exec.cc drain the underlying id interval or cursor range straight
+  /// into the final result, with no intermediate Sequence per operator
+  /// boundary and no per-batch virtual dispatch. Unfusable shapes run the
+  /// regular operators; output is byte-identical either way. Requires
+  /// use_planner (pipelines are plan annotations).
+  bool compiled_pipelines = true;
 
   /// Intra-query morsel parallelism. Large descendant/tag-index scans are
   /// partitioned into preorder-id morsels drained by a util/thread_pool
@@ -141,6 +149,11 @@ struct EvalStats {
                                           // optimizer for this run
   int64_t governance_checks = 0;  // cooperative ExecContext checkpoints
                                   // performed (0 for ungoverned runs)
+  int64_t pipeline_batches_fused = 0;  // batches drained inside compiled
+                                       // pipeline loops (no per-batch
+                                       // virtual dispatch)
+  int64_t virtual_batches = 0;  // batches pulled through the virtual
+                                // operator boundary (NodeScan::Fill)
 
   /// Accumulates `other` into this (engine-level cumulative serving
   /// stats: each run's counters are merged under the engine's mutex at
@@ -162,6 +175,8 @@ struct EvalStats {
     nodes_arena_allocated += other.nodes_arena_allocated;
     construct_templates_built += other.construct_templates_built;
     governance_checks += other.governance_checks;
+    pipeline_batches_fused += other.pipeline_batches_fused;
+    virtual_batches += other.virtual_batches;
   }
 };
 
@@ -269,6 +284,75 @@ struct ConstructPlan {
   size_t dyn_attr_count = 0;
 };
 
+/// A fused execution plan for one hot FLWOR shape (the Q1/Q5/Q6/Q14
+/// class): `for $v in <rooted path> [where <predicate($v)>] return
+/// <tail($v)>`. The optimizer's pipeline pass (query/pipeline.cc) proves
+/// the shape at plan time — rooted child/descendant name steps, a
+/// predicate that is a literal compare or contains/starts-with over a
+/// var-rooted child path, a tail that is the variable, a var-rooted path,
+/// or a count() of one descendant step — and resolves every tag to a
+/// NameId. PipelineExec (query/exec.h) then runs the whole chain as one
+/// monomorphic loop selected from a dispatch table: the scan drains the
+/// store's raw preorder interval (or a batched cursor) straight into the
+/// final result, with no intermediate Sequence and no per-batch virtual
+/// call. Any shape the pass cannot prove simply gets no entry here and
+/// runs on the regular operators — byte-identical output by contract.
+struct CompiledPipeline {
+  /// How the FLWOR domain is scanned.
+  enum class Scan : uint8_t {
+    kPrefixOnly,    // bindings = the resolved prefix nodes (Q6's $b)
+    kChildren,      // child-axis last step under each prefix node (Q1)
+    kDescendants,   // descendant-axis last step: one preorder interval
+                    // per prefix node (Q14's site//item)
+  };
+  /// The fused where-clause predicate (applied per scanned node).
+  enum class FilterKind : uint8_t {
+    kNone,
+    kContains,    // contains(<var path>, "lit"): first path match only
+    kStartsWith,  // starts-with(<var path>, "lit"): first match only
+    kCompare,     // <var path> OP literal: existential over all matches
+  };
+  /// What each surviving binding contributes to the result.
+  enum class Emit : uint8_t {
+    kVar,        // the binding itself
+    kTailNodes,  // var-rooted child steps (+ optional trailing text())
+    kCount,      // count($v//tag): one number per binding
+  };
+
+  const AstNode* flwor = nullptr;  // the FLWOR this pipeline replaces
+  size_t pipeline_id = 0;          // dense per-plan index (Explain)
+
+  Scan scan = Scan::kPrefixOnly;
+  std::vector<xml::NameId> prefix;  // resolved child-name steps from the root
+  xml::NameId scan_tag = xml::kInvalidName;  // last-step tag (kChildren/kDesc...)
+  /// Last step carried [@id = "lit"]: filter scanned children on it.
+  bool id_filter = false;
+  /// ...and the store's ID index answers it directly (one NodeById probe
+  /// instead of the child scan). Mirrors ComputeStepPlan's condition.
+  bool id_lookup = false;
+  std::string id_value;
+
+  FilterKind filter = FilterKind::kNone;
+  std::vector<xml::NameId> filter_path;  // var-rooted child-name steps
+  bool filter_path_text = false;    // trailing text() on the filter path
+  std::string needle;               // contains/starts-with literal
+  BinaryOp cmp_op = BinaryOp::kEq;  // compare: <path> cmp_op <literal>
+  bool cmp_numeric = false;         // literal parsed as a number
+  double cmp_number = 0;
+  std::string cmp_str;
+
+  Emit emit = Emit::kVar;
+  std::vector<xml::NameId> tail;  // kTailNodes: var-rooted child-name steps
+  bool tail_text = false;    // trailing text() on the tail
+  xml::NameId count_tag = xml::kInvalidName;  // kCount: the descendant tag
+
+  /// Monomorphic-loop selector, computed at plan time (PipelineDispatch
+  /// in query/pipeline.h); exec.cc indexes its instantiation table by it.
+  uint32_t dispatch = 0;
+  /// Fused stage list ("scan|compare|emit", Explain + the CI gate).
+  std::string stages;
+};
+
 /// Join strategy chosen for one FLWOR node.
 struct FlworPlan {
   enum class Strategy : uint8_t { kNestedLoop, kHashJoin };
@@ -300,6 +384,7 @@ struct PlanAnnotations {
   std::unordered_map<const AstNode*, FlworPlan> flwors;
   std::unordered_map<const AstNode*, BandJoinPlan> band_lets;
   std::unordered_map<const AstNode*, ConstructPlan> constructs;
+  std::unordered_map<const AstNode*, CompiledPipeline> pipelines;
 };
 
 /// A query lowered against one store + option set: per-node strategy
@@ -353,6 +438,12 @@ class QueryPlan {
     }
     return nullptr;
   }
+  /// Non-null when `node` (a FLWOR) was fused into a compiled pipeline.
+  const CompiledPipeline* FindPipeline(const AstNode* node) const {
+    const auto& pipelines = ann().pipelines;
+    auto it = pipelines.find(node);
+    return it == pipelines.end() ? nullptr : &it->second;
+  }
   /// Non-null when `node` (a kElementConstructor) was lowered into a
   /// constructor template.
   const ConstructPlan* FindConstruct(const AstNode* node) const {
@@ -373,6 +464,8 @@ class QueryPlan {
     /// Join-shaped FLWORs left on the naive nested loop (strategy toggles
     /// off, or a band shape whose let is not count-only).
     int joinable_nested_loops = 0;
+    /// FLWORs fused into compiled pipelines.
+    int compiled_pipelines = 0;
   };
   Summary Summarize() const;
 

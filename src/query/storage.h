@@ -305,6 +305,24 @@ class StorageAdapter {
     return false;
   }
 
+  // --- Raw preorder views (compiled pipelines) --------------------------
+
+  /// Dense preorder tag array, or nullptr. Non-null means this store's
+  /// handles ARE dense preorder ids 0..RawNodeCount(): entry i equals
+  /// NameOf(i) (xml::kInvalidName for text nodes), and the array stays
+  /// valid for the store's lifetime. Compiled pipelines (query/exec.cc)
+  /// scan it directly — a tag compare per id with zero virtual calls —
+  /// instead of draining a batched cursor. Stores whose handles are not
+  /// dense preorder ids keep the nullptr default and pipelines fall back
+  /// to the cursor-batch source.
+  virtual const xml::NameId* RawTagArray() const { return nullptr; }
+  virtual size_t RawNodeCount() const { return 0; }
+  /// One past the last preorder id of `n`'s subtree: the descendants of
+  /// `n` are exactly the ids [n + 1, RawSubtreeEnd(n)). Meaningful only
+  /// while RawTagArray() is non-null; the default (empty interval) keeps
+  /// non-raw stores honest.
+  virtual NodeHandle RawSubtreeEnd(NodeHandle n) const { return n + 1; }
+
   // --- Optional access paths -------------------------------------------
   // Engines advertise the physical structures their architecture provides;
   // the optimizer exploits them only when the engine's feature flags allow.

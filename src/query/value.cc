@@ -253,18 +253,36 @@ bool EffectiveBooleanValue(const Sequence& seq) {
   return !first.string().empty();
 }
 
-std::string SerializeItem(const Item& item) {
+namespace {
+
+// Streaming serializer core: every item kind appends straight into the
+// caller-owned buffer — no per-item std::string temporary.
+void AppendSerializedItem(const Item& item, std::string& out) {
   if (item.is_node()) {
-    std::string out;
     SerializeStoredNode(item.node(), out);
-    return out;
+    return;
   }
   if (item.is_constructed()) {
-    std::string out;
     SerializeConstructed(*item.constructed(), out);
-    return out;
+    return;
   }
-  return ItemStringValue(item);
+  if (item.is_string()) {
+    out.append(item.string());
+    return;
+  }
+  if (item.is_boolean()) {
+    out.append(item.boolean() ? "true" : "false");
+    return;
+  }
+  out.append(FormatDouble(item.number()));
+}
+
+}  // namespace
+
+std::string SerializeItem(const Item& item) {
+  std::string out;
+  AppendSerializedItem(item, out);
+  return out;
 }
 
 ConstructedPtr DeepCopyNode(const NodeRef& ref) {
@@ -332,13 +350,43 @@ void SortDedupNodes(Sequence* seq) {
              seq->end());
 }
 
+size_t EstimateSerializedSize(const Sequence& seq) {
+  size_t est = seq.size();  // one separator per item
+  for (size_t i = 0; i < seq.size(); ++i) {
+    const Item& item = seq[i];
+    if (item.is_string()) {
+      // Escape expansion worst case is 6x ("&quot;"); 2x covers real text.
+      est += 2 * item.string().size() + 1;
+    } else if (item.is_boolean()) {
+      est += 5;
+    } else if (item.is_number()) {
+      est += 24;
+    } else if (item.is_node()) {
+      const NodeRef& ref = item.node();
+      if (!ref.store->IsElement(ref.handle)) {
+        est += 2 * ref.store->TextView(ref.handle).size() + 1;
+      } else if (ref.store->RawTagArray() != nullptr) {
+        // Preorder stores know the subtree span: ~24 output bytes per
+        // node (tags + text) is the empirically safe per-node factor.
+        est += 24 * (ref.store->RawSubtreeEnd(ref.handle) - ref.handle);
+      } else {
+        est += 64;
+      }
+    } else {
+      est += 64;  // constructed: flat guess, trees are query-built & small
+    }
+  }
+  return est;
+}
+
 std::string SerializeSequence(const Sequence& seq) {
   std::string out;
+  out.reserve(EstimateSerializedSize(seq));
   bool prev_atomic = false;
   for (size_t i = 0; i < seq.size(); ++i) {
     const bool atomic = seq[i].is_atomic();
     if (i > 0) out.push_back((atomic && prev_atomic) ? ' ' : '\n');
-    out.append(SerializeItem(seq[i]));
+    AppendSerializedItem(seq[i], out);
     prev_atomic = atomic;
   }
   return out;

@@ -382,8 +382,16 @@ bool EffectiveBooleanValue(const Sequence& seq);
 std::string SerializeItem(const Item& item);
 
 /// Serializes a whole sequence, separating top-level atomics with spaces
-/// and nodes with newlines.
+/// and nodes with newlines. Streams every item into one caller-owned
+/// buffer pre-reserved from EstimateSerializedSize — no per-item string
+/// temporaries.
 std::string SerializeSequence(const Sequence& seq);
+
+/// Cheap size estimate for SerializeSequence's output, used to pre-reserve
+/// the result buffer: exact-ish for atomics and text nodes, subtree-span
+/// heuristic for elements on preorder stores (RawTagArray), flat constants
+/// elsewhere. A hint, not a bound.
+size_t EstimateSerializedSize(const Sequence& seq);
 
 /// String-value of a constructed node (concatenated text).
 std::string ConstructedStringValue(const ConstructedNode& node);

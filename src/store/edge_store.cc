@@ -71,6 +71,11 @@ StatusOr<std::unique_ptr<EdgeStore>> EdgeStore::Load(
   for (uint32_t pos = 0; pos < store->rows_.size(); ++pos) {
     store->pos_of_id_[store->rows_[pos].id] = pos;
   }
+  // Dense preorder id->tag projection for the compiled-pipeline raw scans.
+  store->tag_by_id_.resize(n);
+  for (const EdgeRow& row : store->rows_) {
+    store->tag_by_id_[row.id] = row.tag;
+  }
   store->child_begin_.assign(n, static_cast<uint32_t>(store->rows_.size()));
   for (uint32_t pos = store->rows_.size(); pos-- > 0;) {
     const uint32_t parent = store->rows_[pos].parent;
@@ -225,6 +230,13 @@ StatusOr<std::unique_ptr<EdgeStore>> EdgeStore::LoadParallel(
   ParallelFor(&pool, 0, n, 4096, [&](size_t b, size_t e) {
     for (size_t pos = b; pos < e; ++pos) {
       store->pos_of_id_[store->rows_[pos].id] = static_cast<uint32_t>(pos);
+    }
+  });
+  // Dense preorder id->tag projection for the compiled-pipeline raw scans.
+  store->tag_by_id_.resize(n);
+  ParallelFor(&pool, 0, n, 4096, [&](size_t b, size_t e) {
+    for (size_t pos = b; pos < e; ++pos) {
+      store->tag_by_id_[store->rows_[pos].id] = store->rows_[pos].tag;
     }
   });
   store->child_begin_.assign(n, static_cast<uint32_t>(n));
@@ -456,6 +468,7 @@ size_t EdgeStore::StorageBytes() const {
                  pos_of_id_.capacity() * sizeof(uint32_t) +
                  child_begin_.capacity() * sizeof(uint32_t) +
                  subtree_end_.capacity() * sizeof(uint32_t) +
+                 tag_by_id_.capacity() * sizeof(xml::NameId) +
                  attrs_.capacity() * sizeof(AttrRow) +
                  attr_begin_.capacity() * sizeof(uint32_t) + heap_.capacity();
   for (const auto& [value, node] : id_value_index_) {

@@ -77,6 +77,16 @@ class EdgeStore : public query::StorageAdapter {
     return a < b;
   }
 
+  // Raw preorder views for compiled pipelines: ids are preorder, so the
+  // dense id->tag projection (built once at bulkload) plus subtree_end_
+  // give the fused drains a branch-free interval scan with zero virtual
+  // calls.
+  const xml::NameId* RawTagArray() const override { return tag_by_id_.data(); }
+  size_t RawNodeCount() const override { return tag_by_id_.size(); }
+  query::NodeHandle RawSubtreeEnd(query::NodeHandle n) const override {
+    return subtree_end_[n];
+  }
+
   bool SupportsIdLookup() const override { return true; }
   query::NodeHandle NodeById(std::string_view id) const override;
 
@@ -133,6 +143,9 @@ class EdgeStore : public query::StorageAdapter {
   // id -> one past the last preorder id in its subtree; descendant scans
   // walk the id interval (n, subtree_end_[n]) directly.
   std::vector<uint32_t> subtree_end_;
+  // id -> tag (kInvalidName for text rows): the dense preorder projection
+  // compiled pipelines scan without going through RowOf's PK indirection.
+  std::vector<xml::NameId> tag_by_id_;
   std::vector<AttrRow> attrs_;      // sorted by owner
   // id -> position of its first attribute row (attrs_.size() when none):
   // O(1) owner-row location instead of a binary search per probe.

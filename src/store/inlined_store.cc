@@ -472,21 +472,25 @@ size_t InlinedStore::AdvanceChildCursor(query::ChildCursor* cur,
   return n;
 }
 
+query::NodeHandle InlinedStore::RawSubtreeEnd(query::NodeHandle n) const {
+  // Subtree end: the next sibling of n or of its nearest ancestor with
+  // one (preorder ids), else the end of the node table.
+  query::NodeHandle end = next_sibling_[n];
+  for (query::NodeHandle a = n;
+       end == query::kInvalidHandle && a != query::kInvalidHandle;) {
+    a = parent_[a];
+    end = a == query::kInvalidHandle ? tag_.size() : next_sibling_[a];
+  }
+  return end;
+}
+
 void InlinedStore::OpenDescendantCursor(query::NodeHandle base,
                                         query::ChildFilter filter,
                                         xml::NameId tag,
                                         query::DescendantCursor* cur) const {
   if (!cur->Init(this, base, filter, tag)) return;  // u0 == u1: exhausted
-  // Subtree end: the next sibling of base or of its nearest ancestor with
-  // one (preorder ids), else the end of the node table.
-  query::NodeHandle end = next_sibling_[base];
-  for (query::NodeHandle a = base;
-       end == query::kInvalidHandle && a != query::kInvalidHandle;) {
-    a = parent_[a];
-    end = a == query::kInvalidHandle ? tag_.size() : next_sibling_[a];
-  }
   cur->u0 = base + 1;
-  cur->u1 = end;
+  cur->u1 = RawSubtreeEnd(base);
 }
 
 size_t InlinedStore::AdvanceDescendantCursor(query::DescendantCursor* cur,

@@ -92,6 +92,13 @@ class InlinedStore : public query::StorageAdapter {
     return a < b;
   }
 
+  // Raw preorder views for compiled pipelines: the dense tag_ array IS the
+  // id->tag projection; subtree ends reuse OpenDescendantCursor's
+  // ancestor-walk computation.
+  const xml::NameId* RawTagArray() const override { return tag_.data(); }
+  size_t RawNodeCount() const override { return tag_.size(); }
+  query::NodeHandle RawSubtreeEnd(query::NodeHandle n) const override;
+
   bool SupportsIdLookup() const override { return true; }
   query::NodeHandle NodeById(std::string_view id) const override;
 

@@ -40,6 +40,7 @@ inline constexpr std::string_view kFaultSites[] = {
     "plan_cache/compile",    // PlanCache::GetOrCompile: compile fn fails
     "thread_pool/submit",    // ThreadPool::TrySubmit: pool reports saturation
     "exec/morsel_drain",     // DrainMorsels worker: one morsel fails
+    "exec/pipeline_drain",   // PipelineExec fused drain: one batch fails
     "exec/hash_join_build",  // HashJoinExec::Build: table build fails
     "exec/band_join_build",  // BandJoinIndex::Build: domain build fails
     "exec/construct",        // ConstructExec::BuildElement: node alloc fails

@@ -89,8 +89,17 @@ std::string FormatDouble(double v) {
 }
 
 void AppendXmlEscaped(std::string& out, std::string_view s) {
-  for (char c : s) {
-    switch (c) {
+  // Span-based: memchr-backed find_first_of locates the next escapable
+  // byte and everything before it is bulk-copied in one append, instead
+  // of a branch + push_back per character. Escape-free strings (the
+  // overwhelming case in the serializer) reduce to a single append.
+  constexpr std::string_view kEscapable("&<>\"");
+  size_t pos = 0;
+  while (pos < s.size()) {
+    const size_t hit = s.find_first_of(kEscapable, pos);
+    if (hit == std::string_view::npos) break;
+    out.append(s, pos, hit - pos);
+    switch (s[hit]) {
       case '&':
         out.append("&amp;");
         break;
@@ -100,13 +109,13 @@ void AppendXmlEscaped(std::string& out, std::string_view s) {
       case '>':
         out.append("&gt;");
         break;
-      case '"':
+      default:  // '"'
         out.append("&quot;");
         break;
-      default:
-        out.push_back(c);
     }
+    pos = hit + 1;
   }
+  out.append(s, pos, std::string_view::npos);
 }
 
 std::string StringPrintf(const char* fmt, ...) {

@@ -277,8 +277,10 @@ std::unique_ptr<Engine> Engine::Create(SystemId id) {
   }
   // The band join is a join strategy like the hash join: systems whose
   // optimizer decorrelates joins get both, nested-loop-only systems (F, G)
-  // get neither.
+  // get neither. Compiled pipelines follow the same split — they are an
+  // optimizer product (plan-time fusion), not a storage feature.
   opts.band_join = opts.hash_join;
+  opts.compiled_pipelines = opts.hash_join;
   return std::unique_ptr<Engine>(new Engine(id, opts, reload));
 }
 

@@ -169,6 +169,54 @@ TEST(ConcurrentEngine, ParallelExecSessionsMatchSerial) {
                           /*passes=*/1);
 }
 
+// Morsel parallelism inside compiled pipelines through the serving path:
+// the fused Q1/Q6/Q14 drains on the edge store (raw interval scans +
+// chunked descendant morsels) must stay byte-identical to the serial
+// engine while concurrent clients share the store and plan cache.
+TEST(ConcurrentEngine, MorselPipelineSessionsMatchSerial) {
+  std::unique_ptr<Engine> engine = LoadedEngine(SystemId::kA);
+  std::vector<std::string> expected;
+  const int fusable[] = {1, 6, 14};
+  for (int q : fusable) {
+    auto result = engine->Run(GetQuery(q).text);
+    ASSERT_TRUE(result.ok()) << result.status();
+    expected.push_back(query::SerializeSequence(*result));
+  }
+  query::EvaluatorOptions opts = engine->evaluator_options();
+  ASSERT_TRUE(opts.compiled_pipelines);  // system A serves fused plans
+  opts.parallel_exec.enabled = true;
+  opts.parallel_exec.threads = 4;
+  opts.parallel_exec.min_morsel_ids = 1;  // force morsels at tiny scale
+  engine->set_evaluator_options(opts);
+  std::vector<std::string> errors(kClientThreads);
+  std::vector<std::thread> clients;
+  for (unsigned t = 0; t < kClientThreads; ++t) {
+    auto session_or = engine->CreateSession();
+    ASSERT_TRUE(session_or.ok()) << session_or.status();
+    clients.emplace_back([&, t, session = std::shared_ptr<EngineSession>(
+                                 std::move(*session_or))] {
+      for (int pass = 0; pass < 2; ++pass) {
+        for (size_t i = 0; i < std::size(fusable); ++i) {
+          auto result = session->Run(GetQuery(fusable[i]).text);
+          if (!result.ok()) {
+            errors[t] = result.status().ToString();
+            return;
+          }
+          if (query::SerializeSequence(*result) != expected[i]) {
+            errors[t] = "Q" + std::to_string(fusable[i]) +
+                        " fused morsel run diverged from serial result";
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& c : clients) c.join();
+  for (unsigned t = 0; t < kClientThreads; ++t) {
+    EXPECT_EQ(errors[t], "") << "client " << t;
+  }
+}
+
 // The cache compiles each (query text, store, options) key exactly once:
 // with T threads x P passes over W distinct queries, misses == W and
 // every other prepare is a hit.

@@ -1,6 +1,6 @@
 // Property test: the evaluator must produce identical results under every
 // combination of optimizer features — the features may only change cost,
-// never semantics. Runs a representative query set over all 2^8 option
+// never semantics. Runs a representative query set over all 2^9 option
 // combinations against the fully-indexed native store, each combination
 // with the planner both on and off, plus cross-store Q1-Q20 byte-parity
 // for planner on vs off (the planner is a lowering of the interpreter, not
@@ -56,6 +56,7 @@ EvaluatorOptions FromMask(int mask) {
   options.cache_invariant_paths = mask & 32;
   options.descendant_cursors = mask & 64;
   options.arena_construction = mask & 128;
+  options.compiled_pipelines = mask & 256;
   // The band join rides the join-strategy bit: mask 0 stays the fully
   // naive nested-loop baseline.
   options.band_join = options.hash_join;
@@ -116,7 +117,7 @@ TEST_P(OptionsMatrix, PlannerLoweringIsByteIdentical) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllCombinations, OptionsMatrix,
-                         ::testing::Range(0, 256));
+                         ::testing::Range(0, 512));
 
 // Cross-store planner parity: Q1-Q20 on all four physical mappings, every
 // optimization on, planner on vs off — byte-identical serialized results.
@@ -185,6 +186,19 @@ TEST_P(PlannerStoreParity, Q1ToQ20ByteIdenticalPlannerOnOff) {
     EXPECT_EQ(SerializeSequence(*a), SerializeSequence(*c))
         << store->mapping_name() << " Q" << query
         << " diverges between arena and heap construction";
+
+    // Compiled pipelines are a pure execution strategy: the fused
+    // monomorphic loops must not change a byte relative to the generic
+    // operators on any store.
+    EvaluatorOptions no_pipe = on;
+    no_pipe.compiled_pipelines = false;
+    Evaluator generic_ops(store, no_pipe);
+    auto d = generic_ops.Run(*parsed);
+    ASSERT_TRUE(d.ok()) << store->mapping_name() << " Q" << query << ": "
+                        << d.status();
+    EXPECT_EQ(SerializeSequence(*a), SerializeSequence(*d))
+        << store->mapping_name() << " Q" << query
+        << " diverges between compiled pipelines and generic operators";
   }
 }
 

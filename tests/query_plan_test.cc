@@ -106,6 +106,40 @@ TEST(ExplainGolden, BandJoinOffFallsBackToNestedLoop) {
   EXPECT_NE(text.find("joinable-nested-loop=1"), std::string::npos) << text;
 }
 
+// Compiled-pipeline fusion goldens: the hot Table 3 shapes must lower to
+// fused monomorphic loops, rendered with their stage chain and counted in
+// the CI-parsable summary line.
+TEST(ExplainGolden, Q1FusesIdFilterPipeline) {
+  const std::string text = ExplainQuery(Edge(), 1, EvaluatorOptions{});
+  EXPECT_NE(text.find("pipeline 0 fused=[scan|filter|emit]"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("compiled-pipeline=1"), std::string::npos) << text;
+}
+
+TEST(ExplainGolden, Q6FusesCountOnlyPipeline) {
+  const std::string text = ExplainQuery(Edge(), 6, EvaluatorOptions{});
+  EXPECT_NE(text.find("pipeline 0 fused=[scan|count]"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("compiled-pipeline=1"), std::string::npos) << text;
+}
+
+TEST(ExplainGolden, Q14FusesContainsPipeline) {
+  const std::string text = ExplainQuery(Edge(), 14, EvaluatorOptions{});
+  EXPECT_NE(text.find("pipeline 0 fused=[scan|filter|emit]"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("compiled-pipeline=1"), std::string::npos) << text;
+}
+
+TEST(ExplainGolden, PipelinesOffFallBackToGenericOperators) {
+  EvaluatorOptions options;
+  options.compiled_pipelines = false;
+  const std::string text = ExplainQuery(Edge(), 6, options);
+  EXPECT_EQ(text.find("pipeline 0 fused"), std::string::npos) << text;
+  EXPECT_NE(text.find("compiled-pipeline=0"), std::string::npos) << text;
+}
+
 TEST(ExplainGolden, HashJoinOffIsFlaggedJoinable) {
   EvaluatorOptions options;
   options.hash_join = false;

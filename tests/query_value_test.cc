@@ -89,5 +89,34 @@ TEST(SequenceTest, SerializeSeparators) {
   EXPECT_EQ(SerializeSequence(seq), "1 2\n<x/>");
 }
 
+// The span-based escape scan (bulk copy between escapable bytes) must
+// agree with the old per-character loop on every placement of a special
+// character: none, leading, trailing, adjacent, and all four entities.
+TEST(SerializeTest, EscapeSpanScanCoversAllPlacements) {
+  auto esc = [](std::string_view s) {
+    auto n = std::make_shared<ConstructedNode>();
+    n->text = std::string(s);
+    return SerializeItem(Item(ConstructedPtr(n)));
+  };
+  EXPECT_EQ(esc(""), "");
+  EXPECT_EQ(esc("no specials at all"), "no specials at all");
+  EXPECT_EQ(esc("&leading"), "&amp;leading");
+  EXPECT_EQ(esc("trailing>"), "trailing&gt;");
+  EXPECT_EQ(esc("<<>>"), "&lt;&lt;&gt;&gt;");
+  EXPECT_EQ(esc("a&b<c>d\"e"), "a&amp;b&lt;c&gt;d&quot;e");
+  EXPECT_EQ(esc("&"), "&amp;");
+}
+
+// SerializeSequence streams into one pre-reserved buffer: the estimate
+// must cover the actual output for atomic-only sequences, so the buffer
+// never reallocates while items append.
+TEST(SerializeTest, EstimateCoversAtomicOutput) {
+  Sequence seq{Item(1.5), Item(true), Item(std::string("atomics stay raw")),
+               Item(std::string("plain"))};
+  const std::string out = SerializeSequence(seq);
+  EXPECT_EQ(out, "1.5 true atomics stay raw plain");
+  EXPECT_GE(EstimateSerializedSize(seq), out.size());
+}
+
 }  // namespace
 }  // namespace xmark::query

@@ -128,6 +128,9 @@ TEST(ZeroCopyStats, CursorScansReported) {
   auto parsed = query::ParseQueryText(GetQuery(6).text);
   ASSERT_TRUE(parsed.ok());
   query::EvaluatorOptions opts = engine->evaluator_options();
+  // Pin the generic operator path: Q6 otherwise runs as a compiled
+  // pipeline, whose scans are accounted independently of these toggles.
+  opts.compiled_pipelines = false;
   opts.zero_copy_strings = true;
   opts.child_cursors = true;
   opts.descendant_cursors = true;
