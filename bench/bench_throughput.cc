@@ -16,6 +16,12 @@
 //   --deadline-ms=0    per-query deadline applied to every client session
 //                      (0 = no deadline); queries killed by the deadline
 //                      are counted per StatusCode, not treated as fatal
+//   --corpus=0         documents in the catalog (0 = single-document
+//                      protocol). With N > 0 the workload mixes
+//                      doc("corpus-XX.xml")-scoped queries (round-robin
+//                      over the corpus) with collection() fan-out queries
+//                      (every 5th query), exercising catalog routing and
+//                      cross-document concatenation under concurrency
 //   --json             machine-readable output (docs/BENCHMARKS.md schema)
 
 #include <algorithm>
@@ -34,13 +40,39 @@
 namespace xmark::bench {
 namespace {
 
+// One request of the serving mix: a benchmark query, possibly rewritten
+// to a catalog scope (doc("corpus-XX.xml") or collection()).
+struct WorkItem {
+  int query = 0;
+  std::string text;
+  bool collection = false;
+};
+
 // The serving mix: every benchmark query. Heavier queries (Q10-Q12)
 // dominate tail latency exactly as construction/join-heavy requests would
-// in a real mixed workload.
-std::vector<int> WorkloadQueries() {
-  std::vector<int> queries;
-  for (int q = 1; q <= 20; ++q) queries.push_back(q);
-  return queries;
+// in a real mixed workload. With `corpus_documents` > 0 every 5th query
+// fans out over the whole corpus via collection() and the rest bind one
+// document round-robin, so concurrent clients hit disjoint documents and
+// the shared fan-out path at once.
+std::vector<WorkItem> Workload(size_t corpus_documents) {
+  std::vector<WorkItem> items;
+  for (int q = 1; q <= 20; ++q) {
+    WorkItem item;
+    item.query = q;
+    if (corpus_documents == 0) {
+      item.text = std::string(GetQuery(q).text);
+    } else if (q % 5 == 0) {
+      item.collection = true;
+      item.text = RewriteEntryCalls(GetQuery(q).text, "collection()");
+    } else {
+      const size_t doc = static_cast<size_t>(q) % corpus_documents;
+      item.text = RewriteEntryCalls(
+          GetQuery(q).text,
+          StringPrintf("doc(\"corpus-%02zu.xml\")", doc));
+    }
+    items.push_back(std::move(item));
+  }
+  return items;
 }
 
 struct RunResult {
@@ -83,7 +115,7 @@ double Percentile(std::vector<double>* latencies, double p) {
 // lock-step on the same query.
 StatusOr<RunResult> MeasureThreads(Engine* engine, unsigned threads,
                                    int iters,
-                                   const std::vector<int>& workload,
+                                   const std::vector<WorkItem>& workload,
                                    const query::RunOptions& run_options) {
   std::vector<std::unique_ptr<EngineSession>> sessions;
   for (unsigned t = 0; t < threads; ++t) {
@@ -107,10 +139,10 @@ StatusOr<RunResult> MeasureThreads(Engine* engine, unsigned threads,
         lat.reserve(workload.size() * static_cast<size_t>(iters));
         for (int pass = 0; pass < iters; ++pass) {
           for (size_t i = 0; i < workload.size(); ++i) {
-            const int q =
+            const WorkItem& item =
                 workload[(i + t * 7) % workload.size()];  // de-phase clients
             PhaseTimer timer;
-            auto result = session->Run(GetQuery(q).text);
+            auto result = session->Run(item.text);
             if (!result.ok()) {
               // Governed rejections (deadline, budget) are counted in the
               // shared outcome counters; latency is only recorded for
@@ -181,6 +213,8 @@ int Main(int argc, char** argv) {
   const bool json = FlagBool(argc, argv, "json");
   const bool parallel_exec = FlagBool(argc, argv, "parallel-exec");
   const int deadline_ms = FlagInt(argc, argv, "deadline-ms", 0);
+  const size_t corpus =
+      static_cast<size_t>(std::max(0, FlagInt(argc, argv, "corpus", 0)));
   const unsigned hardware = std::thread::hardware_concurrency();
   unsigned max_threads =
       static_cast<unsigned>(FlagInt(argc, argv, "threads", 0));
@@ -188,6 +222,7 @@ int Main(int argc, char** argv) {
   const SystemId system = ParseSystem(argc, argv);
 
   BenchmarkRunner runner(sf);
+  if (corpus > 0) runner.set_corpus_documents(corpus);
   const Status st = runner.LoadSystem(system);
   if (!st.ok()) {
     std::fprintf(stderr, "load %c: %s\n", SystemLabel(system),
@@ -201,7 +236,11 @@ int Main(int argc, char** argv) {
     engine->set_evaluator_options(opts);
   }
 
-  const std::vector<int> workload = WorkloadQueries();
+  const std::vector<WorkItem> workload = Workload(corpus);
+  size_t collection_queries = 0;
+  for (const WorkItem& item : workload) {
+    if (item.collection) ++collection_queries;
+  }
   // Warmup: one serial pass primes the plan cache (and the allocator), so
   // measured runs see steady-state serving.
   {
@@ -211,10 +250,10 @@ int Main(int argc, char** argv) {
                    warm.status().ToString().c_str());
       return 1;
     }
-    for (int q : workload) {
-      auto result = (*warm)->Run(GetQuery(q).text);
+    for (const WorkItem& item : workload) {
+      auto result = (*warm)->Run(item.text);
       if (!result.ok()) {
-        std::fprintf(stderr, "warmup Q%d: %s\n", q,
+        std::fprintf(stderr, "warmup Q%d: %s\n", item.query,
                      result.status().ToString().c_str());
         return 1;
       }
@@ -249,6 +288,11 @@ int Main(int argc, char** argv) {
     if (deadline_ms > 0) {
       std::printf("per-query deadline: %d ms\n", deadline_ms);
     }
+    if (corpus > 0) {
+      std::printf("corpus: %zu documents (%zu collection() queries per "
+                  "pass, rest doc()-scoped round-robin)\n",
+                  corpus, collection_queries);
+    }
     TablePrinter table({"threads", "queries", "wall (ms)", "QPS",
                         "p50 (ms)", "p99 (ms)", "cache hits", "misses",
                         "deadline", "resource"});
@@ -281,6 +325,9 @@ int Main(int argc, char** argv) {
     w.Key("iters").Value(iters);
     w.Key("parallel_exec").Value(parallel_exec);
     w.Key("deadline_ms").Value(deadline_ms);
+    w.Key("corpus_documents").Value(corpus);
+    w.Key("collection_queries").Value(collection_queries);
+    w.Key("catalog_bytes").Value(engine->StorageBytes());
     w.Key("runs").BeginArray();
     for (const RunResult& run : runs) {
       w.BeginObject();

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/string_util.h"
@@ -123,6 +124,26 @@ class JsonWriter {
   std::vector<bool> needs_comma_;
   bool pending_value_ = false;
 };
+
+/// Replaces every `document("auction.xml")` entry call of a benchmark
+/// query with `replacement` — corpus benches point Q1-Q20 at a specific
+/// catalog document (`doc("corpus-03.xml")`) or at the whole corpus
+/// (`collection()`).
+inline std::string RewriteEntryCalls(std::string_view query_text,
+                                     std::string_view replacement) {
+  constexpr std::string_view kNeedle = "document(\"auction.xml\")";
+  std::string out;
+  size_t pos = 0;
+  while (true) {
+    const size_t hit = query_text.find(kNeedle, pos);
+    if (hit == std::string_view::npos) break;
+    out.append(query_text.substr(pos, hit - pos));
+    out.append(replacement);
+    pos = hit + kNeedle.size();
+  }
+  out.append(query_text.substr(pos));
+  return out;
+}
 
 /// "12.3 MB"-style size rendering.
 inline std::string HumanBytes(size_t bytes) {

@@ -474,7 +474,7 @@ StatusOr<Sequence> Evaluator::EvalPath(const AstNode& node, Environment& env,
   }
 
   const bool rooted =
-      node.absolute || (node.start && IsDocumentCall(*node.start));
+      node.absolute || (node.start && IsRootedEntryCall(*node.start));
   Sequence current;
   // Input of the next step; aliases a variable binding's sequence when the
   // path is rooted at an evaluated variable, so `$v/a/b` never copies the
@@ -1367,7 +1367,15 @@ StatusOr<Sequence> Evaluator::EvalFunction(const AstNode& node,
 
   if (name == "document" || name == "doc") {
     // The benchmark binds the single auction document regardless of URI
-    // (paper §5 takes the document() syntax literally).
+    // (paper §5 takes the document() syntax literally). Multi-document
+    // routing happens above this layer: the engine resolves the query's
+    // document scope and hands this evaluator the right store.
+    return Sequence{Item(NodeRef{store_, store_->Root()})};
+  }
+  if (name == "collection") {
+    // Corpus scan entry point: within one per-document run this is the
+    // document root; the engine fans the query out across the catalog and
+    // concatenates per-document results in document-id order.
     return Sequence{Item(NodeRef{store_, store_->Root()})};
   }
   if (name == "count") {

@@ -38,6 +38,13 @@ Status ExecContext::Check() {
   return Status::OK();
 }
 
+Status ExecContext::CheckCoarse() {
+  if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+    return Fail(Violation::kDeadline);
+  }
+  return Check();
+}
+
 Status ExecContext::Fail(Violation v) {
   // First violation wins; a concurrent earlier failure takes precedence so
   // every thread reports the same error.

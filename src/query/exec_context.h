@@ -92,6 +92,12 @@ class ExecContext {
   /// immediately). Returns the sticky first violation ever after.
   Status Check();
 
+  /// Check() variant for coarse checkpoints (one per document bulkload,
+  /// not one per evaluated batch): consults the deadline clock on every
+  /// call instead of every kCheckStride ticks — at millisecond-granular
+  /// work a strided clock read would skip an expired deadline entirely.
+  Status CheckCoarse();
+
   /// The budget charged by NodeArena / Sequence growth (see
   /// ScopedMemoryBudget) and by morsel workers' buffers.
   MemoryBudget* memory_budget() { return &budget_; }

@@ -78,6 +78,86 @@ bool IsDocumentCall(const AstNode& node) {
           node.str_value == "fn:doc");
 }
 
+bool IsCollectionCall(const AstNode& node) {
+  return node.kind == AstKind::kFunctionCall &&
+         (node.str_value == "collection" ||
+          node.str_value == "fn:collection");
+}
+
+bool IsRootedEntryCall(const AstNode& node) {
+  return IsDocumentCall(node) || IsCollectionCall(node);
+}
+
+std::string QueryScope::CacheKey() const {
+  switch (kind) {
+    case Kind::kDefault:
+      return "";
+    case Kind::kDocument:
+      return "doc:" + doc_uri;
+    case Kind::kCollection:
+      return "collection";
+  }
+  return "";
+}
+
+namespace {
+
+// Folds one entry call into the scope; reports conflicts.
+Status MergeScope(const AstNode& node, QueryScope* scope) {
+  if (IsCollectionCall(node)) {
+    if (scope->kind == QueryScope::Kind::kDocument) {
+      return Status::InvalidQuery(
+          "[multi-document-scope] collection() cannot be combined with "
+          "doc(\"" + scope->doc_uri + "\")");
+    }
+    scope->kind = QueryScope::Kind::kCollection;
+    return Status::OK();
+  }
+  // doc()/document() with a non-literal (or absent) URI keeps the legacy
+  // "bind the default document, ignore the URI" semantics.
+  if (node.args.size() != 1 ||
+      node.args[0]->kind != AstKind::kStringLiteral) {
+    return Status::OK();
+  }
+  const std::string& uri = node.args[0]->str_value;
+  if (scope->kind == QueryScope::Kind::kCollection) {
+    return Status::InvalidQuery(
+        "[multi-document-scope] doc(\"" + uri +
+        "\") cannot be combined with collection()");
+  }
+  if (scope->kind == QueryScope::Kind::kDocument && scope->doc_uri != uri) {
+    return Status::InvalidQuery(
+        "[multi-document-scope] query addresses both \"" + scope->doc_uri +
+        "\" and \"" + uri + "\"; cross-document joins are not supported");
+  }
+  scope->kind = QueryScope::Kind::kDocument;
+  scope->doc_uri = uri;
+  return Status::OK();
+}
+
+Status CollectScope(const AstNode& node, QueryScope* scope) {
+  if (node.kind == AstKind::kFunctionCall && IsRootedEntryCall(node)) {
+    XMARK_RETURN_IF_ERROR(MergeScope(node, scope));
+  }
+  Status status = Status::OK();
+  VisitChildren(node, [&](const AstNode& child) {
+    if (!status.ok()) return;
+    status = CollectScope(child, scope);
+  });
+  return status;
+}
+
+}  // namespace
+
+StatusOr<QueryScope> ExtractQueryScope(const ParsedQuery& query) {
+  QueryScope scope;
+  for (const FunctionDecl& f : query.functions) {
+    XMARK_RETURN_IF_ERROR(CollectScope(*f.body, &scope));
+  }
+  XMARK_RETURN_IF_ERROR(CollectScope(*query.body, &scope));
+  return scope;
+}
+
 bool DependsOnFocus(const AstNode& node) {
   if (node.kind == AstKind::kContextItem) return true;
   if (node.kind == AstKind::kFunctionCall &&
@@ -100,7 +180,7 @@ bool DependsOnFocus(const AstNode& node) {
 bool IsCacheableInvariant(const AstNode& node) {
   if (node.kind != AstKind::kPath) return false;
   const bool rooted =
-      node.absolute || (node.start && IsDocumentCall(*node.start));
+      node.absolute || (node.start && IsRootedEntryCall(*node.start));
   if (!rooted) return false;
   if (!FreeVars(node).empty()) return false;
   if (DependsOnFocus(node)) return false;
@@ -198,7 +278,7 @@ PathPlan ComputePathPlan(const AstNode& path, const EvaluatorOptions& options,
   plan.cacheable =
       options.cache_invariant_paths && IsCacheableInvariant(path);
   const bool rooted =
-      path.absolute || (path.start && IsDocumentCall(*path.start));
+      path.absolute || (path.start && IsRootedEntryCall(*path.start));
   if (rooted && options.use_path_index && caps.path_index) {
     for (const Step& s : path.steps) {
       if (s.axis != Axis::kChild || s.test != Step::Test::kName ||
@@ -545,6 +625,21 @@ void BuildPlan(const ParsedQuery& query, const StorageAdapter& store,
   plan->store_uid = store.store_uid();
   plan->caps = store.Capabilities();
   plan->options = options;
+  // Scope is a rendering annotation here (Explain's "scope:" line); the
+  // engine routes execution. Scope conflicts surface at Prepare, so a
+  // failed extraction just leaves the default label.
+  if (StatusOr<QueryScope> scope = ExtractQueryScope(query); scope.ok()) {
+    switch (scope->kind) {
+      case QueryScope::Kind::kDefault:
+        break;
+      case QueryScope::Kind::kDocument:
+        plan->doc_scope = "doc(" + scope->doc_uri + ")";
+        break;
+      case QueryScope::Kind::kCollection:
+        plan->doc_scope = "collection";
+        break;
+    }
+  }
   for (const FunctionDecl& f : query.functions) {
     LowerNode(*f.body, options, plan->caps, plan);
   }

@@ -44,6 +44,36 @@ bool DependsOnFocus(const AstNode& node);
 /// document()/doc() call recognition.
 bool IsDocumentCall(const AstNode& node);
 
+/// collection()/fn:collection() call recognition (corpus-wide scan entry).
+bool IsCollectionCall(const AstNode& node);
+
+/// Either document entry point: a path starting here is rooted, so every
+/// rooted-path optimization (invariant caching, path-index prefixes,
+/// pipeline fusion) applies to doc() and collection() scans alike.
+bool IsRootedEntryCall(const AstNode& node);
+
+/// Document scope a query statically binds to, extracted from its entry
+/// calls (doc("id")/document("id") string-literal URIs and collection()).
+struct QueryScope {
+  enum class Kind {
+    kDefault,     // no entry call, dynamic URI, or absolute path only
+    kDocument,    // every entry call names the same single document
+    kCollection,  // collection(): fan out over the whole corpus
+  };
+  Kind kind = Kind::kDefault;
+  std::string doc_uri;  // set for kDocument
+
+  /// Plan-cache key component ("" / "doc:<uri>" / "collection").
+  std::string CacheKey() const;
+};
+
+/// Walks the whole module (body + user functions). Fails with
+/// kInvalidQuery "[multi-document-scope]" when entry calls disagree (two
+/// distinct literal URIs, or doc() mixed with collection()) — cross-
+/// document joins are not supported; a query addresses one document or
+/// the uniform collection.
+StatusOr<QueryScope> ExtractQueryScope(const ParsedQuery& query);
+
 /// Rooted, variable-free, focus-free path: safe to memoize across loop
 /// iterations.
 bool IsCacheableInvariant(const AstNode& node);

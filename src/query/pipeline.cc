@@ -77,7 +77,7 @@ struct DomainShape {
 bool MatchDomain(const AstNode& n, DomainShape* out) {
   if (n.kind != AstKind::kPath) return false;
   const bool rooted =
-      n.absolute || (n.start != nullptr && IsDocumentCall(*n.start));
+      n.absolute || (n.start != nullptr && IsRootedEntryCall(*n.start));
   if (!rooted || n.steps.empty()) return false;
   const size_t last = n.steps.size() - 1;
   for (size_t i = 0; i < last; ++i) {

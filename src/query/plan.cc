@@ -92,6 +92,10 @@ class ExplainPrinter {
     out_ += "plan store=" + (a.store_name.empty() ? std::string("?")
                                                   : a.store_name) +
             " planner=" + (a.built_by_optimizer ? "on" : "off") + "\n";
+    out_ += "scope: " +
+            (a.doc_scope.empty() ? std::string("default-document")
+                                 : a.doc_scope) +
+            "\n";
     out_ += StringPrintf(
         "options: id-index=%d path-index=%d tag-index=%d hash-join=%d "
         "band-join=%d lazy-let=%d invariant-cache=%d child-cursors=%d "
@@ -164,6 +168,8 @@ class ExplainPrinter {
     if (n.start != nullptr) {
       if (n.start->kind == AstKind::kVarRef) {
         spec += "$" + n.start->str_value;
+      } else if (IsCollectionCallName(*n.start)) {
+        spec += "collection()";
       } else if (IsDocCallName(*n.start)) {
         spec += "document()";
       } else {
@@ -178,7 +184,13 @@ class ExplainPrinter {
   static bool IsDocCallName(const AstNode& n) {
     return n.kind == AstKind::kFunctionCall &&
            (n.str_value == "document" || n.str_value == "doc" ||
-            n.str_value == "fn:doc");
+            n.str_value == "fn:doc" || n.str_value == "collection" ||
+            n.str_value == "fn:collection");
+  }
+
+  static bool IsCollectionCallName(const AstNode& n) {
+    return n.kind == AstKind::kFunctionCall &&
+           (n.str_value == "collection" || n.str_value == "fn:collection");
   }
 
   void Path(const AstNode& n, int depth) {

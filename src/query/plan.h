@@ -377,6 +377,7 @@ struct FlworPlan {
 struct PlanAnnotations {
   bool built_by_optimizer = false;
   std::string store_name;       // mapping_name at plan time (Explain)
+  std::string doc_scope;        // document scope ("" = default document)
   uint64_t store_uid = 0;       // store identity the plan was built for
   StorageCapabilities caps;     // capability snapshot at plan time
   EvaluatorOptions options;     // toggles the plan was built under

@@ -55,10 +55,15 @@ class PlanCache {
   using CompileFn = std::function<StatusOr<CachedQuery>()>;
 
   /// Returns the cached entry for the key, compiling it via `compile`
-  /// under the shard lock on miss.
+  /// under the shard lock on miss. `doc_scope` is the document-scope key
+  /// component (QueryScope::CacheKey(): "" for the default document,
+  /// "doc:<uri>", or "collection") — per-document entries of a collection
+  /// fan-out and single-document entries never collide even when they
+  /// share a store uid.
   StatusOr<std::shared_ptr<const CachedQuery>> GetOrCompile(
       std::string_view query_text, uint64_t store_uid,
-      uint64_t options_fingerprint, const CompileFn& compile);
+      uint64_t options_fingerprint, std::string_view doc_scope,
+      const CompileFn& compile);
 
   /// Hit/miss counters since construction (monotone; approximate ordering
   /// under concurrency, exact totals).

@@ -398,6 +398,16 @@ class StorageAdapter {
   /// the metadata-access cost during query compilation (Table 2).
   virtual size_t CatalogEntries() const = 0;
 
+  /// Total node count of the mapping (elements + text nodes). The document
+  /// catalog prefix-sums these into per-document global id ranges.
+  virtual size_t NodeCount() const { return RawNodeCount(); }
+
+  /// Deterministic full-state dump: byte-identical for any load thread
+  /// count (the bulkload-determinism and catalog-ingest CI gates diff
+  /// these). Every store implements it; the catalog concatenates them into
+  /// per-document sections.
+  virtual void DumpState(std::string* out) const = 0;
+
  private:
   static uint64_t NextStoreUid() {
     static std::atomic<uint64_t> counter{0};

@@ -40,7 +40,7 @@ class DomStore : public query::StorageAdapter {
 
   /// Canonical serialization of the document and every index, for the
   /// bulkload determinism test.
-  void DumpState(std::string* out) const;
+  void DumpState(std::string* out) const override;
 
   // StorageAdapter:
   std::string_view mapping_name() const override { return "native DOM"; }
@@ -132,6 +132,7 @@ class DomStore : public query::StorageAdapter {
 
   size_t StorageBytes() const override;
   size_t CatalogEntries() const override;
+  size_t NodeCount() const override { return doc_.num_nodes(); }
 
   /// Number of distinct root-to-node tag paths (DataGuide size).
   size_t SummaryPaths() const { return summary_.size(); }

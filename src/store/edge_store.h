@@ -35,7 +35,7 @@ class EdgeStore : public query::StorageAdapter {
 
   /// Canonical serialization of every internal structure, for the
   /// bulkload determinism test (threads=1 vs threads=N byte equality).
-  void DumpState(std::string* out) const;
+  void DumpState(std::string* out) const override;
 
   std::string_view mapping_name() const override { return "edge table"; }
   const xml::NameTable& names() const override { return names_; }

@@ -39,7 +39,7 @@ class FragmentedStore : public query::StorageAdapter {
 
   /// Canonical serialization of every internal structure, for the
   /// bulkload determinism test.
-  void DumpState(std::string* out) const;
+  void DumpState(std::string* out) const override;
 
   std::string_view mapping_name() const override {
     return "fragmented path tables";
@@ -104,6 +104,7 @@ class FragmentedStore : public query::StorageAdapter {
 
   size_t StorageBytes() const override;
   size_t CatalogEntries() const override { return paths_.size(); }
+  size_t NodeCount() const override { return path_of_.size(); }
 
   size_t num_paths() const { return paths_.size(); }
 

@@ -41,7 +41,7 @@ class InlinedStore : public query::StorageAdapter {
 
   /// Canonical serialization of every internal structure, for the
   /// bulkload determinism test.
-  void DumpState(std::string* out) const;
+  void DumpState(std::string* out) const override;
 
   std::string_view mapping_name() const override {
     return "DTD-inlined tables";

@@ -1,6 +1,10 @@
 #include "xmark/engine.h"
 
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
 #include <optional>
+#include <sstream>
 
 #include "query/optimizer.h"
 #include "query/plan.h"
@@ -10,6 +14,7 @@
 #include "store/inlined_store.h"
 #include "util/fault_injection.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace xmark::bench {
 namespace {
@@ -64,22 +69,45 @@ StatusOr<PreparedQuery> CompileUncached(const query::StorageAdapter& store,
   XMARK_ASSIGN_OR_RETURN(out.parsed, query::ParseQueryText(query_text));
   ResolveCatalogNames(store, out.parsed, &out.catalog_probes,
                       &out.name_tests);
+  XMARK_ASSIGN_OR_RETURN(out.scope, query::ExtractQueryScope(out.parsed));
+  out.source_text = std::string(query_text);
   return out;
 }
 
+// Document scope of `query_text`, memoized by text in the serving state
+// (scope is a pure function of the text) so the plan-cache hit path never
+// re-parses just to route. Parse and scope-conflict errors are returned,
+// not cached.
+StatusOr<query::QueryScope> ScopeForQuery(ServingState* serving,
+                                          std::string_view query_text) {
+  {
+    util::MutexLock lock(serving->scope_mu);
+    const auto it = serving->scopes.find(std::string(query_text));
+    if (it != serving->scopes.end()) return it->second;
+  }
+  XMARK_ASSIGN_OR_RETURN(query::ParsedQuery parsed,
+                         query::ParseQueryText(query_text));
+  XMARK_ASSIGN_OR_RETURN(query::QueryScope scope,
+                         query::ExtractQueryScope(parsed));
+  util::MutexLock lock(serving->scope_mu);
+  serving->scopes.emplace(std::string(query_text), scope);
+  return scope;
+}
+
 // Cached compilation path: parse + catalog resolution + optimizer
-// lowering, once per (query text, store uid, options fingerprint); every
-// later request for the key shares the entry. `cache_hit` reports whether
-// the compile lambda ran.
+// lowering, once per (query text, store uid, options fingerprint, doc
+// scope); every later request for the key shares the entry. `cache_hit`
+// reports whether the compile lambda ran.
 StatusOr<PreparedQuery> PrepareThroughCache(
     const query::StorageAdapter& store,
     const query::EvaluatorOptions& options, ServingState* serving,
-    std::string_view query_text) {
+    std::string_view query_text, const query::QueryScope& scope) {
   bool compiled = false;
   XMARK_ASSIGN_OR_RETURN(
       std::shared_ptr<const query::CachedQuery> entry,
       serving->plan_cache.GetOrCompile(
           query_text, store.store_uid(), query::OptionsFingerprint(options),
+          scope.CacheKey(),
           [&]() -> StatusOr<query::CachedQuery> {
             compiled = true;
             query::CachedQuery out;
@@ -104,6 +132,8 @@ StatusOr<PreparedQuery> PrepareThroughCache(
   prepared.cache_hit = !compiled;
   prepared.catalog_probes = prepared.cached->catalog_probes;
   prepared.name_tests = prepared.cached->name_tests;
+  prepared.scope = scope;
+  prepared.source_text = std::string(query_text);
   return prepared;
 }
 
@@ -112,6 +142,37 @@ StatusOr<PreparedQuery> PrepareThroughCache(
 void RecordOutcome(ServingState* serving, const Status& status) {
   util::MutexLock lock(serving->stats_mu);
   serving->outcomes.Record(status);
+}
+
+// One evaluator run against one store, with no serving-state recording:
+// the building block shared by single-store Executes and the per-document
+// legs of a collection() fan-out.
+struct DocRun {
+  StatusOr<query::Sequence> result = Status::Internal("document not run");
+  query::Evaluator::Stats stats;
+};
+
+DocRun RunOnStore(const query::StorageAdapter& store,
+                  const query::EvaluatorOptions& options,
+                  query::ExecContext* ctx, const query::ParsedQuery& module,
+                  std::shared_ptr<const query::PlanAnnotations> annotations) {
+  DocRun out;
+  query::Evaluator evaluator(&store, options);
+  evaluator.set_exec_context(ctx);
+  out.result = evaluator.Run(module, std::move(annotations));
+  out.stats = evaluator.stats();
+  return out;
+}
+
+// Books one completed query into the shared serving counters.
+void RecordRun(ServingState* serving, const Status& status,
+               const query::Evaluator::Stats& stats) {
+  util::MutexLock lock(serving->stats_mu);
+  serving->outcomes.Record(status);
+  if (status.ok()) {
+    serving->cumulative_stats.MergeFrom(stats);
+    ++serving->queries_executed;
+  }
 }
 
 // One Execute against `store`: a private Evaluator adopts the cached
@@ -136,22 +197,140 @@ StatusOr<query::Sequence> ExecuteQuery(const query::StorageAdapter& store,
     local_ctx.emplace(run_options);
     ctx = &*local_ctx;
   }
-  query::Evaluator evaluator(&store, options);
-  evaluator.set_exec_context(ctx);
   std::shared_ptr<const query::PlanAnnotations> annotations;
   if (prepared.cached != nullptr) annotations = prepared.cached->annotations;
-  auto result = evaluator.Run(prepared.module(), std::move(annotations));
-  {
-    util::MutexLock lock(serving->stats_mu);
-    serving->outcomes.Record(result.status());
-    if (result.ok()) {
-      serving->cumulative_stats.MergeFrom(evaluator.stats());
-      ++serving->queries_executed;
+  DocRun run =
+      RunOnStore(store, options, ctx, prepared.module(), std::move(annotations));
+  RecordRun(serving, run.result.status(), run.stats);
+  if (!run.result.ok()) return run.result.status();
+  *last_stats = run.stats;
+  return run.result;
+}
+
+// collection() fan-out: one evaluator run per catalog document,
+// concatenated in document-id order (the differential oracle: identical
+// bytes to running each document alone and concatenating). Each document
+// leg compiles its own entry — through the plan cache when the caller's
+// prepare was cached (key: doc store uid + "collection" scope), uncached
+// otherwise — so no AST is ever shared across stores (the per-Step name
+// cache is keyed by one store uid at a time). Legs run in parallel across
+// documents when parallel_exec is enabled; slots are indexed, so the
+// concatenation is deterministic for any interleaving. One governed
+// context spans every leg: a deadline or budget covers the whole corpus
+// scan. The fan-out books exactly one query into the serving counters,
+// with the legs' statistics merged.
+StatusOr<query::Sequence> ExecuteCollection(
+    const store::DocumentCatalog& catalog,
+    const query::EvaluatorOptions& options,
+    const query::RunOptions& run_options, query::ExecContext* ctx,
+    const PreparedQuery& prepared, ServingState* serving,
+    query::Evaluator::Stats* last_stats) {
+  std::shared_ptr<const store::DocumentCatalog::Snapshot> snap =
+      catalog.snapshot();
+  if (snap->docs.empty()) {
+    Status status =
+        Status::NotFound("[empty-catalog] collection() over no documents");
+    RecordRun(serving, status, {});
+    return status;
+  }
+  std::optional<query::ExecContext> local_ctx;
+  if (ctx == nullptr && run_options.engaged()) {
+    local_ctx.emplace(run_options);
+    ctx = &*local_ctx;
+  }
+
+  const size_t n = snap->docs.size();
+  const bool use_cache = prepared.cached != nullptr;
+  std::vector<DocRun> runs(n);
+  auto run_leg = [&](size_t i) {
+    const store::DocumentCatalog::Entry& doc = snap->docs[i];
+    if (use_cache) {
+      StatusOr<PreparedQuery> leg = PrepareThroughCache(
+          *doc.store, options, serving, prepared.source_text, prepared.scope);
+      if (!leg.ok()) {
+        runs[i].result = leg.status();
+        return;
+      }
+      runs[i] = RunOnStore(*doc.store, options, ctx, leg->module(),
+                           leg->cached->annotations);
+    } else {
+      // Uncached prepare path: a private parse per document, preserving
+      // the "compilation is never amortized" contract of Engine::Prepare.
+      StatusOr<PreparedQuery> leg =
+          CompileUncached(*doc.store, prepared.source_text);
+      if (!leg.ok()) {
+        runs[i].result = leg.status();
+        return;
+      }
+      runs[i] = RunOnStore(*doc.store, options, ctx, leg->parsed, nullptr);
+    }
+  };
+
+  unsigned workers = 1;
+  if (options.parallel_exec.enabled && n > 1) {
+    workers = options.parallel_exec.threads != 0
+                  ? options.parallel_exec.threads
+                  : std::thread::hardware_concurrency();
+    if (workers == 0) workers = 1;
+    workers = static_cast<unsigned>(std::min<size_t>(workers, n));
+  }
+  if (workers > 1) {
+    ThreadPool pool(workers);
+    for (size_t i = 0; i < n; ++i) {
+      pool.Submit([&run_leg, i] { run_leg(i); });
+    }
+    pool.Wait();
+  } else {
+    for (size_t i = 0; i < n; ++i) run_leg(i);
+  }
+
+  query::Evaluator::Stats merged;
+  for (const DocRun& run : runs) merged.MergeFrom(run.stats);
+  for (size_t i = 0; i < n; ++i) {
+    if (!runs[i].result.ok()) {
+      // First failure in document-id order wins (deterministic).
+      RecordRun(serving, runs[i].result.status(), merged);
+      return runs[i].result.status();
     }
   }
-  if (!result.ok()) return result.status();
-  *last_stats = evaluator.stats();
-  return result;
+  query::Sequence out;
+  size_t total = 0;
+  for (const DocRun& run : runs) total += run.result->size();
+  out.reserve(total);
+  for (DocRun& run : runs) {
+    for (query::Item& item : *run.result) out.push_back(std::move(item));
+  }
+  RecordRun(serving, Status::OK(), merged);
+  *last_stats = merged;
+  return out;
+}
+
+// Resolves a doc("uri") scope against the catalog: exact id match first.
+// The paper's "URI ignored" semantics survive only around the canonical
+// benchmark id — a single-document catalog binds any URI when that
+// document came from legacy Load() (id == kDefaultDocumentId), and
+// doc("auction.xml") binds a lone document of any id. Explicitly
+// catalog-managed ids otherwise require an exact match, so dropped
+// documents miss with a coded error instead of silently rebinding.
+StatusOr<std::shared_ptr<const query::StorageAdapter>> ResolveScopedStore(
+    const store::DocumentCatalog& catalog,
+    const std::shared_ptr<const query::StorageAdapter>& default_store,
+    const query::QueryScope& scope) {
+  std::shared_ptr<const store::DocumentCatalog::Snapshot> snap =
+      catalog.snapshot();
+  if (snap->docs.empty()) {
+    if (default_store != nullptr) return default_store;
+    return Status::NotFound("[empty-catalog] no documents loaded");
+  }
+  const store::DocumentCatalog::Entry* e = snap->Find(scope.doc_uri);
+  if (e != nullptr) return e->store;
+  if (snap->docs.size() == 1 &&
+      (snap->docs[0].id == Engine::kDefaultDocumentId ||
+       scope.doc_uri == Engine::kDefaultDocumentId)) {
+    return snap->docs[0].store;
+  }
+  return Status::NotFound("[unknown-document] no document \"" +
+                          scope.doc_uri + "\" in catalog");
 }
 
 }  // namespace
@@ -338,39 +517,192 @@ StatusOr<std::shared_ptr<query::StorageAdapter>> Engine::BuildStoreForSystem(
   return Status::Internal("unknown system");
 }
 
+store::DocumentCatalog::StoreBuilder Engine::MakeStoreBuilder() const {
+  const SystemId id = id_;
+  return [id](std::string_view xml, const store::LoadOptions& options) {
+    return BuildStoreForSystem(id, xml, options);
+  };
+}
+
 Status Engine::Load(std::string_view xml) {
-  XMARK_ASSIGN_OR_RETURN(store_,
-                         BuildStoreForSystem(id_, xml, load_options_));
+  // Legacy single-document load: reset the catalog to exactly this
+  // document (sessions created earlier keep the old one alive).
+  auto catalog = std::make_shared<store::DocumentCatalog>();
+  XMARK_RETURN_IF_ERROR(catalog->AddDocument(kDefaultDocumentId, xml,
+                                             MakeStoreBuilder(),
+                                             load_options_));
+  catalog_ = std::move(catalog);
+  store_ = catalog_->Find(kDefaultDocumentId);
   if (reload_per_query_) {
     retained_xml_ = std::make_shared<const std::string>(xml);
   }
   return Status::OK();
 }
 
+Status Engine::LoadDocument(std::string_view id, std::string_view xml) {
+  std::vector<store::CorpusDocument> batch(1);
+  batch[0].id = std::string(id);
+  batch[0].xml = std::string(xml);
+  return LoadCorpus(batch);
+}
+
+Status Engine::LoadCorpus(const std::vector<store::CorpusDocument>& docs) {
+  if (docs.empty()) return Status::OK();
+  if (reload_per_query_ && DocumentCount() + docs.size() > 1) {
+    return Status::Unimplemented(
+        "[multi-document-unsupported] embedded (reload-per-query) engines "
+        "hold a single document");
+  }
+  // Governance spans the whole corpus load: one context covers every
+  // document's bulkload, charged with the loaded store bytes.
+  std::optional<query::ExecContext> ctx;
+  store::IngestGovernance governance;
+  const store::IngestGovernance* gov = nullptr;
+  if (run_options_.engaged()) {
+    ctx.emplace(run_options_);
+    governance.check = [&ctx] { return ctx->CheckCoarse(); };
+    governance.charge_bytes = [&ctx](size_t bytes) {
+      ctx->memory_budget()->Charge(bytes);
+    };
+    gov = &governance;
+  }
+  Status status =
+      catalog_->LoadCorpus(docs, MakeStoreBuilder(), load_options_, gov);
+  if (!status.ok()) {
+    RecordOutcome(serving_.get(), status);
+    return status;
+  }
+  if (store_ == nullptr) {
+    store_ = catalog_->snapshot()->docs.front().store;
+  }
+  if (reload_per_query_) {
+    retained_xml_ = std::make_shared<const std::string>(docs.front().xml);
+  }
+  return Status::OK();
+}
+
+StatusOr<size_t> Engine::LoadCorpusFromDir(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) {
+    return Status::NotFound("[corpus-dir] cannot open \"" + dir +
+                            "\": " + ec.message());
+  }
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : it) {
+    if (entry.is_regular_file() && entry.path().extension() == ".xml") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  std::vector<store::CorpusDocument> docs;
+  docs.reserve(files.size());
+  for (const std::filesystem::path& path : files) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      return Status::NotFound("[corpus-dir] cannot read \"" +
+                              path.string() + "\"");
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    store::CorpusDocument doc;
+    doc.id = path.filename().string();
+    doc.xml = std::move(buf).str();
+    docs.push_back(std::move(doc));
+  }
+  XMARK_RETURN_IF_ERROR(LoadCorpus(docs));
+  return docs.size();
+}
+
+std::vector<std::string> Engine::ListDocuments() const {
+  return catalog_->ListDocuments();
+}
+
+Status Engine::DropDocument(std::string_view id) {
+  const std::shared_ptr<const query::StorageAdapter> dropped =
+      catalog_->Find(id);
+  XMARK_RETURN_IF_ERROR(catalog_->Drop(id));
+  if (dropped != nullptr && dropped == store_) {
+    // The default-scope document went away; fall over to the first
+    // remaining document (or unloaded when the catalog is empty).
+    std::shared_ptr<const store::DocumentCatalog::Snapshot> snap =
+        catalog_->snapshot();
+    store_ = snap->docs.empty() ? nullptr : snap->docs.front().store;
+  }
+  return Status::OK();
+}
+
+size_t Engine::DocumentCount() const { return catalog_->size(); }
+
+void Engine::DumpCatalogState(std::string* out) const {
+  catalog_->DumpState(out);
+}
+
 StatusOr<PreparedQuery> Engine::Prepare(std::string_view query_text) const {
-  if (store_ == nullptr) return Status::Internal("engine not loaded");
+  if (store_ == nullptr) {
+    return Status::NotFound("[empty-catalog] no documents loaded");
+  }
   return CompileUncached(*store_, query_text);
 }
 
 StatusOr<PreparedQuery> Engine::PrepareCached(
     std::string_view query_text) const {
-  if (store_ == nullptr) return Status::Internal("engine not loaded");
+  if (store_ == nullptr) {
+    return Status::NotFound("[empty-catalog] no documents loaded");
+  }
   // A reload-per-query store has a fresh uid at every Execute, so cached
   // annotations could never be adopted: caching would only accumulate
   // dead entries.
   if (reload_per_query_) return CompileUncached(*store_, query_text);
-  return PrepareThroughCache(*store_, eval_options_, serving_.get(),
-                             query_text);
+  XMARK_ASSIGN_OR_RETURN(query::QueryScope scope,
+                         ScopeForQuery(serving_.get(), query_text));
+  std::shared_ptr<const query::StorageAdapter> target = store_;
+  if (scope.kind == query::QueryScope::Kind::kDocument) {
+    XMARK_ASSIGN_OR_RETURN(target,
+                           ResolveScopedStore(*catalog_, store_, scope));
+  } else if (scope.kind == query::QueryScope::Kind::kCollection) {
+    // Compile against the first document; the fan-out compiles per-
+    // document entries under the same "collection" scope key at Execute.
+    std::shared_ptr<const store::DocumentCatalog::Snapshot> snap =
+        catalog_->snapshot();
+    if (!snap->docs.empty()) target = snap->docs.front().store;
+  }
+  return PrepareThroughCache(*target, eval_options_, serving_.get(),
+                             query_text, scope);
 }
 
 StatusOr<query::Sequence> Engine::Execute(const PreparedQuery& prepared,
                                           query::ExecContext* ctx) {
   if (reload_per_query_ && retained_xml_ != nullptr) {
     // Embedded processors load the document as part of running the query.
+    // They hold one document, so every scope binds it — collection() over
+    // a single-document corpus included.
     XMARK_ASSIGN_OR_RETURN(
         store_, BuildStoreForSystem(id_, *retained_xml_, load_options_));
   }
-  if (store_ == nullptr) return Status::Internal("engine not loaded");
+  if (store_ == nullptr &&
+      prepared.scope.kind != query::QueryScope::Kind::kCollection) {
+    return Status::NotFound("[empty-catalog] no documents loaded");
+  }
+  if (!reload_per_query_) {
+    switch (prepared.scope.kind) {
+      case query::QueryScope::Kind::kDefault:
+        break;
+      case query::QueryScope::Kind::kDocument: {
+        auto target = ResolveScopedStore(*catalog_, store_, prepared.scope);
+        if (!target.ok()) {
+          RecordOutcome(serving_.get(), target.status());
+          return target.status();
+        }
+        return ExecuteQuery(**target, eval_options_, run_options_, ctx,
+                            prepared, serving_.get(), &last_stats_);
+      }
+      case query::QueryScope::Kind::kCollection:
+        return ExecuteCollection(*catalog_, eval_options_, run_options_,
+                                 ctx, prepared, serving_.get(),
+                                 &last_stats_);
+    }
+  }
   return ExecuteQuery(*store_, eval_options_, run_options_, ctx, prepared,
                       serving_.get(), &last_stats_);
 }
@@ -388,16 +720,32 @@ StatusOr<std::unique_ptr<EngineSession>> Engine::CreateSession() const {
   if (store_ == nullptr) return Status::Internal("engine not loaded");
   return std::unique_ptr<EngineSession>(new EngineSession(
       id_, eval_options_, load_options_, reload_per_query_, store_,
-      retained_xml_, serving_));
+      catalog_, retained_xml_, serving_));
 }
 
 StatusOr<std::string> Engine::Explain(std::string_view query_text) const {
   if (store_ == nullptr) return Status::Internal("engine not loaded");
   XMARK_ASSIGN_OR_RETURN(PreparedQuery prepared, Prepare(query_text));
+  // Explain renders the plan against the store the scope binds — a
+  // collection() plan is shown against the first document (every fan-out
+  // leg lowers the same way modulo per-document statistics).
+  std::shared_ptr<const query::StorageAdapter> target = store_;
+  if (!reload_per_query_) {
+    if (prepared.scope.kind == query::QueryScope::Kind::kDocument) {
+      XMARK_ASSIGN_OR_RETURN(
+          target, ResolveScopedStore(*catalog_, store_, prepared.scope));
+    } else if (prepared.scope.kind ==
+               query::QueryScope::Kind::kCollection) {
+      std::shared_ptr<const store::DocumentCatalog::Snapshot> snap =
+          catalog_->snapshot();
+      if (!snap->docs.empty()) target = snap->docs.front().store;
+    }
+  }
   query::QueryPlan plan;
-  query::BuildPlan(prepared.parsed, *store_, eval_options_,
+  query::BuildPlan(prepared.parsed, *target, eval_options_,
                    plan.mutable_annotations());
   std::string text = plan.Explain(prepared.parsed);
+  text += "catalog: documents=" + std::to_string(catalog_->size()) + "\n";
   const query::PlanCacheStats cache = serving_->plan_cache.stats();
   text += "plan-cache: hits=" + std::to_string(cache.hits) +
           " misses=" + std::to_string(cache.misses) + "\n";
@@ -427,11 +775,29 @@ QueryOutcomes Engine::outcomes() const {
 }
 
 size_t Engine::StorageBytes() const {
-  return store_ == nullptr ? 0 : store_->StorageBytes();
+  std::shared_ptr<const store::DocumentCatalog::Snapshot> snap =
+      catalog_->snapshot();
+  if (snap->docs.empty()) {
+    return store_ == nullptr ? 0 : store_->StorageBytes();
+  }
+  size_t total = 0;
+  for (const store::DocumentCatalog::Entry& doc : snap->docs) {
+    total += doc.store->StorageBytes();
+  }
+  return total;
 }
 
 size_t Engine::CatalogEntries() const {
-  return store_ == nullptr ? 0 : store_->CatalogEntries();
+  std::shared_ptr<const store::DocumentCatalog::Snapshot> snap =
+      catalog_->snapshot();
+  if (snap->docs.empty()) {
+    return store_ == nullptr ? 0 : store_->CatalogEntries();
+  }
+  size_t total = 0;
+  for (const store::DocumentCatalog::Entry& doc : snap->docs) {
+    total += doc.store->CatalogEntries();
+  }
+  return total;
 }
 
 // ---------------------------------------------------------------------------
@@ -440,8 +806,22 @@ size_t Engine::CatalogEntries() const {
 
 StatusOr<PreparedQuery> EngineSession::Prepare(std::string_view query_text) {
   if (reload_per_query_) return CompileUncached(*store_, query_text);
-  return PrepareThroughCache(*store_, eval_options_, serving_.get(),
-                             query_text);
+  XMARK_ASSIGN_OR_RETURN(query::QueryScope scope,
+                         ScopeForQuery(serving_.get(), query_text));
+  std::shared_ptr<const query::StorageAdapter> target = store_;
+  if (scope.kind == query::QueryScope::Kind::kDocument) {
+    XMARK_ASSIGN_OR_RETURN(target,
+                           ResolveScopedStore(*catalog_, store_, scope));
+  } else if (scope.kind == query::QueryScope::Kind::kCollection) {
+    std::shared_ptr<const store::DocumentCatalog::Snapshot> snap =
+        catalog_->snapshot();
+    if (!snap->docs.empty()) target = snap->docs.front().store;
+  }
+  if (target == nullptr) {
+    return Status::NotFound("[empty-catalog] no documents loaded");
+  }
+  return PrepareThroughCache(*target, eval_options_, serving_.get(),
+                             query_text, scope);
 }
 
 StatusOr<query::Sequence> EngineSession::Execute(
@@ -458,9 +838,90 @@ StatusOr<query::Sequence> EngineSession::Execute(
     return ExecuteQuery(*session_store, eval_options_, run_options_, ctx,
                         prepared, serving_.get(), &last_stats_);
   }
+  switch (prepared.scope.kind) {
+    case query::QueryScope::Kind::kDefault:
+      break;
+    case query::QueryScope::Kind::kDocument: {
+      auto target = ResolveScopedStore(*catalog_, store_, prepared.scope);
+      if (!target.ok()) {
+        RecordOutcome(serving_.get(), target.status());
+        return target.status();
+      }
+      return ExecuteQuery(**target, eval_options_, run_options_, ctx,
+                          prepared, serving_.get(), &last_stats_);
+    }
+    case query::QueryScope::Kind::kCollection:
+      return ExecuteCollection(*catalog_, eval_options_, run_options_, ctx,
+                               prepared, serving_.get(), &last_stats_);
+  }
+  if (store_ == nullptr) {
+    return Status::NotFound("[empty-catalog] no documents loaded");
+  }
   return ExecuteQuery(*store_, eval_options_, run_options_, ctx, prepared,
                       serving_.get(), &last_stats_);
 }
+
+Status EngineSession::LoadDocument(std::string_view id,
+                                   std::string_view xml) {
+  std::vector<store::CorpusDocument> batch(1);
+  batch[0].id = std::string(id);
+  batch[0].xml = std::string(xml);
+  return LoadCorpus(batch);
+}
+
+Status EngineSession::LoadCorpus(
+    const std::vector<store::CorpusDocument>& docs) {
+  if (docs.empty()) return Status::OK();
+  if (reload_per_query_) {
+    return Status::Unimplemented(
+        "[multi-document-unsupported] embedded (reload-per-query) engines "
+        "hold a single document");
+  }
+  const SystemId id = id_;
+  store::DocumentCatalog::StoreBuilder builder =
+      [id](std::string_view xml, const store::LoadOptions& options) {
+        return Engine::BuildStoreForSystem(id, xml, options);
+      };
+  std::optional<query::ExecContext> ctx;
+  store::IngestGovernance governance;
+  const store::IngestGovernance* gov = nullptr;
+  if (run_options_.engaged()) {
+    ctx.emplace(run_options_);
+    governance.check = [&ctx] { return ctx->CheckCoarse(); };
+    governance.charge_bytes = [&ctx](size_t bytes) {
+      ctx->memory_budget()->Charge(bytes);
+    };
+    gov = &governance;
+  }
+  Status status = catalog_->LoadCorpus(docs, builder, load_options_, gov);
+  if (!status.ok()) {
+    RecordOutcome(serving_.get(), status);
+    return status;
+  }
+  if (store_ == nullptr) {
+    store_ = catalog_->snapshot()->docs.front().store;
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> EngineSession::ListDocuments() const {
+  return catalog_->ListDocuments();
+}
+
+Status EngineSession::DropDocument(std::string_view id) {
+  if (reload_per_query_) {
+    return Status::Unimplemented(
+        "[multi-document-unsupported] embedded (reload-per-query) engines "
+        "hold a single document");
+  }
+  // The session's default-scope store_ intentionally survives a drop of
+  // its document: running and future default-scope queries keep the
+  // snapshot they started from, while doc()/collection() routing sees the
+  // updated catalog immediately.
+  return catalog_->Drop(id);
+}
+
+size_t EngineSession::DocumentCount() const { return catalog_->size(); }
 
 StatusOr<query::Sequence> EngineSession::Run(std::string_view query_text,
                                              query::ExecContext* ctx) {

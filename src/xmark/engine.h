@@ -5,12 +5,16 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <unordered_map>
+#include <vector>
 
 #include "query/evaluator.h"
 #include "query/exec_context.h"
+#include "query/optimizer.h"
 #include "query/parser.h"
 #include "query/plan_cache.h"
 #include "query/storage.h"
+#include "store/document_catalog.h"
 #include "store/load_options.h"
 #include "util/mutex.h"
 #include "util/status.h"
@@ -47,6 +51,14 @@ struct PreparedQuery {
   bool cache_hit = false;     // cached != null and compile was skipped
   size_t catalog_probes = 0;  // catalog entries inspected while compiling
   size_t name_tests = 0;      // element names resolved
+  /// Document scope the query statically binds to (doc("id") /
+  /// collection() entry calls); Execute routes on it. Re-resolved against
+  /// the live catalog at every Execute, so entries prepared before a
+  /// DropDocument miss cleanly instead of dangling.
+  query::QueryScope scope;
+  /// Original query text, kept for the per-document compiles of a
+  /// collection() fan-out.
+  std::string source_text;
 
   const query::ParsedQuery& module() const {
     return cached != nullptr ? cached->parsed : parsed;
@@ -77,6 +89,11 @@ struct QueryOutcomes {
 /// sessions stay valid even if the engine is destroyed first.
 struct ServingState {
   query::PlanCache plan_cache;
+  // Memoized document scopes by query text (scope is a pure function of
+  // the text), so the plan-cache hit path never re-parses just to route.
+  util::Mutex scope_mu;
+  std::unordered_map<std::string, query::QueryScope> scopes
+      GUARDED_BY(scope_mu);
   util::Mutex stats_mu;
   // Merged under stats_mu at each query completion; read under stats_mu by
   // Engine::cumulative_stats() / queries_executed().
@@ -105,8 +122,54 @@ class Engine {
   /// Creates an unloaded engine for the given system.
   static std::unique_ptr<Engine> Create(SystemId id);
 
-  /// Bulkloads the benchmark document (shredding + index build).
+  /// Document id Load() registers the benchmark document under.
+  static constexpr std::string_view kDefaultDocumentId = "auction.xml";
+
+  /// Bulkloads the benchmark document (shredding + index build). Resets
+  /// the catalog to this single document, registered as
+  /// kDefaultDocumentId, and makes it the default-scope document.
   Status Load(std::string_view xml);
+
+  // --- Document catalog --------------------------------------------------
+  //
+  // Each engine holds N documents of its mapping, keyed by a stable id.
+  // Queries route by static scope: doc("id") binds one document by exact
+  // id (the paper's "URI ignored" semantics survive only around the
+  // canonical "auction.xml" id of legacy Load()), collection() fans out
+  // over every document in id order, and plain document() / absolute
+  // paths bind the default document (the first ever loaded). System G
+  // (reload-per-query) stays single-document.
+
+  /// Loads one document under `id`. kInvalidArgument
+  /// "[duplicate-document-id]" when the id is taken.
+  Status LoadDocument(std::string_view id, std::string_view xml);
+
+  /// Loads a batch, parallelizing the bulkloads across documents
+  /// (load_options().threads pool tasks; byte-deterministic for any
+  /// count). All-or-nothing; when run_options() is engaged the whole
+  /// batch runs under one governed context, and a deadline/budget
+  /// violation unwinds it leaving prior documents queryable.
+  Status LoadCorpus(const std::vector<store::CorpusDocument>& docs);
+
+  /// Loads every "*.xml" file of `dir` (sorted by name; the file name is
+  /// the document id). Returns the number of documents loaded.
+  StatusOr<size_t> LoadCorpusFromDir(const std::string& dir);
+
+  /// Document ids in sorted order.
+  std::vector<std::string> ListDocuments() const;
+
+  /// Drops one document. Later doc("id") queries fail with kNotFound;
+  /// stale plan-cache entries miss (per-document store uids are never
+  /// recycled) instead of crashing. Results already returned keep their
+  /// store alive through the snapshot they were executed against.
+  Status DropDocument(std::string_view id);
+
+  size_t DocumentCount() const;
+
+  /// Deterministic corpus dump: per-document sections in id order with
+  /// prefix-summed global id ranges (the CI ingest-determinism gate diffs
+  /// threads=1 vs threads=8 outputs).
+  void DumpCatalogState(std::string* out) const;
 
   /// Bulkload configuration (thread count) applied by Load and by System
   /// G's per-query reloads. Results are identical for any thread count.
@@ -202,12 +265,20 @@ class Engine {
   static StatusOr<std::shared_ptr<query::StorageAdapter>> BuildStoreForSystem(
       SystemId id, std::string_view xml, const store::LoadOptions& options);
 
+  /// Wraps BuildStoreForSystem for the catalog (which must not know the
+  /// system enum).
+  store::DocumentCatalog::StoreBuilder MakeStoreBuilder() const;
+
   SystemId id_;
   query::EvaluatorOptions eval_options_;
   query::RunOptions run_options_;
   store::LoadOptions load_options_;
   bool reload_per_query_;
-  std::shared_ptr<query::StorageAdapter> store_;
+  // Default-scope document (the first loaded); catalog documents are
+  // routed per query. Both point into the same catalog entries.
+  std::shared_ptr<const query::StorageAdapter> store_;
+  std::shared_ptr<store::DocumentCatalog> catalog_ =
+      std::make_shared<store::DocumentCatalog>();
   // Kept only by reload-per-query engines; shared so their sessions can
   // reload privately.
   std::shared_ptr<const std::string> retained_xml_;
@@ -239,6 +310,15 @@ class EngineSession {
   StatusOr<query::Sequence> Run(std::string_view query_text,
                                 query::ExecContext* ctx = nullptr);
 
+  // Shared document catalog (same instance as the engine's): sessions may
+  // grow or shrink the corpus concurrently with sibling queries — the
+  // catalog swaps immutable snapshots, so running queries keep theirs.
+  Status LoadDocument(std::string_view id, std::string_view xml);
+  Status LoadCorpus(const std::vector<store::CorpusDocument>& docs);
+  std::vector<std::string> ListDocuments() const;
+  Status DropDocument(std::string_view id);
+  size_t DocumentCount() const;
+
   /// Per-run limits applied by every Execute without an explicit context.
   void set_run_options(const query::RunOptions& options) {
     run_options_ = options;
@@ -264,6 +344,7 @@ class EngineSession {
   EngineSession(SystemId id, query::EvaluatorOptions opts,
                 store::LoadOptions load_options, bool reload_per_query,
                 std::shared_ptr<const query::StorageAdapter> store,
+                std::shared_ptr<store::DocumentCatalog> catalog,
                 std::shared_ptr<const std::string> retained_xml,
                 std::shared_ptr<ServingState> serving)
       : id_(id),
@@ -271,6 +352,7 @@ class EngineSession {
         load_options_(std::move(load_options)),
         reload_per_query_(reload_per_query),
         store_(std::move(store)),
+        catalog_(std::move(catalog)),
         retained_xml_(std::move(retained_xml)),
         serving_(std::move(serving)) {}
 
@@ -280,6 +362,7 @@ class EngineSession {
   store::LoadOptions load_options_;
   bool reload_per_query_;
   std::shared_ptr<const query::StorageAdapter> store_;
+  std::shared_ptr<store::DocumentCatalog> catalog_;
   std::shared_ptr<const std::string> retained_xml_;
   std::shared_ptr<ServingState> serving_;
   query::Evaluator::Stats last_stats_;

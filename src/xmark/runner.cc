@@ -2,14 +2,34 @@
 
 #include "gen/generator.h"
 #include "util/logging.h"
+#include "util/string_util.h"
 
 namespace xmark::bench {
 
-BenchmarkRunner::BenchmarkRunner(double scale, uint64_t seed) : scale_(scale) {
+BenchmarkRunner::BenchmarkRunner(double scale, uint64_t seed)
+    : scale_(scale), seed_(seed) {
   gen::GeneratorOptions opts;
   opts.scale = scale;
   opts.seed = seed;
   document_ = gen::XmlGen(opts).GenerateToString();
+}
+
+void BenchmarkRunner::set_corpus_documents(size_t count) {
+  corpus_.clear();
+  corpus_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    store::CorpusDocument doc;
+    doc.id = StringPrintf("corpus-%02zu.xml", i);
+    if (i == 0) {
+      doc.xml = document_;  // same (scale, seed) as the single-doc bench
+    } else {
+      gen::GeneratorOptions opts;
+      opts.scale = scale_;
+      opts.seed = seed_ + i;
+      doc.xml = gen::XmlGen(opts).GenerateToString();
+    }
+    corpus_.push_back(std::move(doc));
+  }
 }
 
 void BenchmarkRunner::UnloadSystem(SystemId system) {
@@ -22,7 +42,11 @@ Status BenchmarkRunner::LoadSystem(SystemId system) {
   std::unique_ptr<Engine> engine = Engine::Create(system);
   engine->set_load_options(store::LoadOptions{load_threads_});
   PhaseTimer timer;
-  XMARK_RETURN_IF_ERROR(engine->Load(document_));
+  if (corpus_.empty()) {
+    XMARK_RETURN_IF_ERROR(engine->Load(document_));
+  } else {
+    XMARK_RETURN_IF_ERROR(engine->LoadCorpus(corpus_));
+  }
   LoadInfo info;
   info.bulkload_ms = timer.ElapsedWallMillis();
   info.database_bytes = engine->StorageBytes();

@@ -4,7 +4,9 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "store/document_catalog.h"
 #include "util/status.h"
 #include "util/timer.h"
 #include "xmark/engine.h"
@@ -46,8 +48,22 @@ class BenchmarkRunner {
   /// Generates the benchmark document at the given scaling factor.
   explicit BenchmarkRunner(double scale, uint64_t seed = 42);
 
-  /// Bulkloads `system`, recording Table 1 metrics. Idempotent.
+  /// Bulkloads `system`, recording Table 1 metrics. Idempotent. In corpus
+  /// mode (set_corpus_documents) this bulkloads the whole corpus through
+  /// Engine::LoadCorpus; database_bytes/catalog_entries then sum over all
+  /// documents.
   Status LoadSystem(SystemId system);
+
+  /// Switches later LoadSystem calls to corpus bulkload: `count` documents
+  /// generated at this runner's scale under seeds seed, seed+1, ... with
+  /// ids "corpus-00.xml", "corpus-01.xml", ... (document 0 is the
+  /// single-document benchmark file). 0 — the default — keeps the paper's
+  /// single-document protocol.
+  void set_corpus_documents(size_t count);
+  size_t corpus_documents() const { return corpus_.size(); }
+  const std::vector<store::CorpusDocument>& corpus() const {
+    return corpus_;
+  }
 
   /// Bulkload worker threads for subsequently loaded systems (0 =
   /// hardware_concurrency, 1 = serial ablation path).
@@ -79,9 +95,11 @@ class BenchmarkRunner {
 
  private:
   double scale_;
+  uint64_t seed_;
   unsigned load_threads_ = 0;  // 0 = hardware_concurrency
   bool use_prepared_cache_ = false;
   std::string document_;
+  std::vector<store::CorpusDocument> corpus_;  // empty = single-document
   std::map<SystemId, std::unique_ptr<Engine>> engines_;
   std::map<SystemId, LoadInfo> load_info_;
 };

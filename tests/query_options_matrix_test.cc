@@ -8,8 +8,12 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "gen/generator.h"
 #include "query/evaluator.h"
@@ -19,7 +23,9 @@
 #include "store/edge_store.h"
 #include "store/fragmented_store.h"
 #include "store/inlined_store.h"
+#include "store/document_catalog.h"
 #include "util/logging.h"
+#include "xmark/engine.h"
 #include "xmark/queries.h"
 #include "xmark/result_check.h"
 #include "xml/dtd.h"
@@ -113,6 +119,77 @@ TEST_P(OptionsMatrix, PlannerLoweringIsByteIdentical) {
 
     EXPECT_EQ(SerializeSequence(*a), SerializeSequence(*b))
         << "Q" << q << " planner on/off diverges under mask " << GetParam();
+  }
+}
+
+// Catalog scans under the full matrix: a corpus ingested with 4 threads
+// and queried through doc("id") / collection() must serialize identically
+// under every optimizer feature mask, with the collection fan-out running
+// across the exec pool — the catalog layer may only route and
+// concatenate, never change semantics.
+bench::Engine* MatrixCatalogEngine() {
+  static bench::Engine* const kEngine = [] {
+    std::unique_ptr<bench::Engine> engine =
+        bench::Engine::Create(bench::SystemId::kD);
+    store::LoadOptions load;
+    load.threads = 4;
+    engine->set_load_options(load);
+    std::vector<store::CorpusDocument> docs;
+    for (int i = 0; i < 3; ++i) {
+      gen::GeneratorOptions g;
+      g.scale = 0.002;
+      g.seed = 50 + i;
+      store::CorpusDocument doc;
+      doc.id = "m-" + std::to_string(i) + ".xml";
+      doc.xml = gen::XmlGen(g).GenerateToString();
+      docs.push_back(std::move(doc));
+    }
+    XMARK_CHECK(engine->LoadCorpus(docs).ok());
+    return engine.release();
+  }();
+  return kEngine;
+}
+
+std::string RunCatalogSerialized(const EvaluatorOptions& options,
+                                 const std::string& text) {
+  bench::Engine* engine = MatrixCatalogEngine();
+  engine->set_evaluator_options(options);
+  auto result = engine->Run(text);
+  if (!result.ok()) {
+    ADD_FAILURE() << text << ": " << result.status().message();
+    return "<error>";
+  }
+  return SerializeSequence(*result);
+}
+
+TEST_P(OptionsMatrix, CatalogScansMatchAllFeaturesOff) {
+  constexpr std::string_view kNeedle = "document(\"auction.xml\")";
+  for (int q : {1, 8, 10, 20}) {
+    for (const char* entry : {"doc(\"m-1.xml\")", "collection()"}) {
+      std::string text{bench::GetQuery(q).text};
+      for (size_t hit = text.find(kNeedle); hit != std::string::npos;
+           hit = text.find(kNeedle, hit)) {
+        text.replace(hit, kNeedle.size(), entry);
+      }
+      // Baseline (mask 0, serial) is mask-independent: compute it once.
+      static std::map<std::string, std::string>* const kBaselines =
+          new std::map<std::string, std::string>();
+      auto baseline = kBaselines->find(text);
+      if (baseline == kBaselines->end()) {
+        baseline = kBaselines
+                       ->emplace(text,
+                                 RunCatalogSerialized(FromMask(0), text))
+                       .first;
+      }
+      const std::string& expected = baseline->second;
+      EvaluatorOptions subject = FromMask(GetParam());
+      subject.parallel_exec.enabled = true;
+      subject.parallel_exec.threads = 4;
+      subject.parallel_exec.min_morsel_ids = 1;
+      EXPECT_EQ(RunCatalogSerialized(subject, text), expected)
+          << "Q" << q << " via " << entry << " differs under option mask "
+          << GetParam();
+    }
   }
 }
 

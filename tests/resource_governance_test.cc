@@ -23,6 +23,7 @@
 #include "query/exec_context.h"
 #include "query/parser.h"
 #include "query/value.h"
+#include "store/document_catalog.h"
 #include "util/fault_injection.h"
 #include "util/logging.h"
 #include "xmark/engine.h"
@@ -316,6 +317,74 @@ TEST(ResourceGovernance, MorselDrainPropagatesFailureAndRecovers) {
 }
 
 // --------------------------------------------------------------------------
+// Corpus ingest governance
+// --------------------------------------------------------------------------
+
+std::vector<store::CorpusDocument> TinyCorpus(int count, uint64_t seed_base,
+                                              double scale = 0.002) {
+  std::vector<store::CorpusDocument> docs;
+  for (int i = 0; i < count; ++i) {
+    gen::GeneratorOptions options;
+    options.scale = scale;
+    options.seed = seed_base + i;
+    store::CorpusDocument doc;
+    doc.id = "gov-" + std::to_string(i) + ".xml";
+    doc.xml = gen::XmlGen(options).GenerateToString();
+    docs.push_back(std::move(doc));
+  }
+  return docs;
+}
+
+// A memory-budget violation mid-corpus-load unwinds the whole batch:
+// nothing from it lands in the catalog, the violation is booked in the
+// outcome taxonomy, and the documents loaded before the batch keep
+// serving exact bytes through the same engine. Clearing the limit lets
+// the identical batch load.
+TEST(ResourceGovernance, BudgetViolationMidCorpusLoadUnwindsCleanly) {
+  std::unique_ptr<Engine> engine = LoadedEngine();
+  const std::string expected = RunSerialized(engine.get(), 1);
+  const std::vector<store::CorpusDocument> docs = TinyCorpus(2, 300);
+
+  RunOptions options;
+  options.max_result_bytes = 1;  // any bulkload's charge exceeds this
+  engine->set_run_options(options);
+  Status st = engine->LoadCorpus(docs);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted) << st;
+  EXPECT_EQ(engine->DocumentCount(), 1u);
+  EXPECT_GE(engine->outcomes().resource_exhausted, 1u);
+
+  engine->set_run_options(RunOptions{});
+  EXPECT_EQ(RunSerialized(engine.get(), 1), expected);
+
+  ASSERT_TRUE(engine->LoadCorpus(docs).ok());
+  EXPECT_EQ(engine->DocumentCount(), 3u);
+  auto spanned = engine->Run(
+      "count(for $p in collection()/site/people/person return $p)");
+  ASSERT_TRUE(spanned.ok()) << spanned.status();
+  EXPECT_EQ(spanned->size(), 3u);  // one per-document count, in id order
+}
+
+// A deadline expiring partway through a multi-document bulkload aborts
+// the batch all-or-nothing. The builds are real (multi-megabyte parses),
+// so a 1 ms deadline must trip at one of the per-document checks.
+TEST(ResourceGovernance, DeadlineMidCorpusLoadUnwindsCleanly) {
+  std::unique_ptr<Engine> engine = LoadedEngine();
+  const std::string expected = RunSerialized(engine.get(), 1);
+
+  RunOptions options;
+  options.deadline_ms = 1;
+  engine->set_run_options(options);
+  Status st = engine->LoadCorpus(TinyCorpus(3, 400, 0.02));
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded) << st;
+  EXPECT_EQ(engine->DocumentCount(), 1u);
+
+  engine->set_run_options(RunOptions{});
+  EXPECT_EQ(RunSerialized(engine.get(), 1), expected);
+}
+
+// --------------------------------------------------------------------------
 // Error taxonomy observability
 // --------------------------------------------------------------------------
 
@@ -405,6 +474,26 @@ TEST(ResourceGovernance, EveryFaultSiteFailsCleanAndRecovers) {
     auto after = engine->Run(GetQuery(8).text);
     EXPECT_TRUE(after.ok()) << site << ": " << after.status();
   }
+}
+
+// A store bulkload failing partway through a parallel corpus load (the
+// armed countdown lets two documents build, the third is refused) aborts
+// the batch with a clean Status, commits nothing, and the engine loads
+// the identical batch once the fault clears.
+TEST(ResourceGovernance, MidBatchLoadFaultLeavesCatalogUnchanged) {
+  std::unique_ptr<Engine> engine = LoadedEngine();
+  const std::vector<store::CorpusDocument> docs = TinyCorpus(4, 500);
+
+  fault::Arm("engine/load_store", 2);
+  Status st = engine->LoadCorpus(docs);
+  fault::Disarm();
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("fault injection"), std::string::npos) << st;
+  EXPECT_EQ(engine->DocumentCount(), 1u);
+
+  ASSERT_TRUE(engine->LoadCorpus(docs).ok());
+  EXPECT_EQ(engine->DocumentCount(), 5u);
+  EXPECT_TRUE(engine->Run(GetQuery(1).text).ok());
 }
 
 #endif  // XMARK_FAULT_INJECTION
